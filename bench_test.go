@@ -1,0 +1,380 @@
+// Benchmarks: one per reproduction experiment (see DESIGN.md, E1–E10).
+// Each benchmark runs complete protocol executions and reports, besides
+// ns/op, the protocol-level costs the paper is about: messages, bits and
+// rounds per run. Run with:
+//
+//	go test -bench=. -benchmem
+package sublinear_test
+
+import (
+	"testing"
+
+	"sublinear"
+	"sublinear/internal/baseline"
+	"sublinear/internal/fault"
+	"sublinear/internal/graph"
+	"sublinear/internal/rng"
+	"sublinear/internal/walks"
+)
+
+// reportProto attaches protocol-level metrics to a benchmark.
+type protoCost struct {
+	msgs, bits, rounds float64
+	fails              int
+	runs               int
+}
+
+func (c *protoCost) report(b *testing.B) {
+	b.Helper()
+	n := float64(c.runs)
+	b.ReportMetric(c.msgs/n, "msgs/run")
+	b.ReportMetric(c.bits/n, "bits/run")
+	b.ReportMetric(c.rounds/n, "rounds/run")
+	b.ReportMetric(float64(c.fails)/n, "failures/run")
+}
+
+func benchElection(b *testing.B, opts sublinear.Options) {
+	b.Helper()
+	var cost protoCost
+	for i := 0; i < b.N; i++ {
+		opts.Seed = uint64(i) + 1
+		res, err := sublinear.Elect(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cost.runs++
+		cost.msgs += float64(res.Counters.Messages())
+		cost.bits += float64(res.Counters.Bits())
+		cost.rounds += float64(res.Rounds)
+		if !res.Eval.Success {
+			cost.fails++
+		}
+	}
+	cost.report(b)
+}
+
+func benchAgreement(b *testing.B, opts sublinear.Options, pOne float64) {
+	b.Helper()
+	var cost protoCost
+	for i := 0; i < b.N; i++ {
+		opts.Seed = uint64(i) + 1
+		inputs := sublinear.RandomInputs(opts.N, pOne, opts.Seed^0xfeed)
+		res, err := sublinear.Agree(opts, inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cost.runs++
+		cost.msgs += float64(res.Counters.Messages())
+		cost.bits += float64(res.Counters.Bits())
+		cost.rounds += float64(res.Rounds)
+		if !res.Eval.Success {
+			cost.fails++
+		}
+	}
+	cost.report(b)
+}
+
+func halfFaults(n int) *sublinear.FaultModel {
+	return &sublinear.FaultModel{Faulty: n / 2, Policy: sublinear.DropHalf}
+}
+
+// E1 — Table I: the same workload across the protocol landscape.
+
+func BenchmarkE1TableIOursImplicit(b *testing.B) {
+	benchAgreement(b, sublinear.Options{N: 2048, Alpha: 0.5, Faults: halfFaults(2048)}, 0.5)
+}
+
+func BenchmarkE1TableIOursExplicit(b *testing.B) {
+	benchAgreement(b, sublinear.Options{N: 2048, Alpha: 0.5, Explicit: true, Faults: halfFaults(2048)}, 0.5)
+}
+
+func BenchmarkE1TableIGKStyle(b *testing.B) {
+	var cost protoCost
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i) + 1
+		inputs := sublinear.RandomInputs(2048, 0.5, seed^0xfeed)
+		adv := fault.NewRandomPlan(2048, 1023, 20, fault.DropHalf, rng.New(seed))
+		res, err := baseline.RunGK(baseline.GKConfig{N: 2048, Seed: seed}, inputs, adv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cost.runs++
+		cost.msgs += float64(res.Counters.Messages())
+		cost.bits += float64(res.Counters.Bits())
+		cost.rounds += float64(res.Rounds)
+		if !res.Success {
+			cost.fails++
+		}
+	}
+	cost.report(b)
+}
+
+func BenchmarkE1TableIFloodSet(b *testing.B) {
+	var cost protoCost
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i) + 1
+		inputs := sublinear.RandomInputs(2048, 0.5, seed^0xfeed)
+		adv := fault.NewRandomPlan(2048, 1023, 1024, fault.DropHalf, rng.New(seed))
+		res, err := baseline.RunFloodSet(baseline.FloodSetConfig{N: 2048, Seed: seed, F: 1023}, inputs, adv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cost.runs++
+		cost.msgs += float64(res.Counters.Messages())
+		cost.bits += float64(res.Counters.Bits())
+		cost.rounds += float64(res.Rounds)
+		if !res.Success {
+			cost.fails++
+		}
+	}
+	cost.report(b)
+}
+
+func BenchmarkE1TableIPushGossip(b *testing.B) {
+	var cost protoCost
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i) + 1
+		inputs := sublinear.RandomInputs(2048, 0.5, seed^0xfeed)
+		adv := fault.NewRandomPlan(2048, 1023, 20, fault.DropHalf, rng.New(seed))
+		res, err := baseline.RunGossip(baseline.GossipConfig{N: 2048, Seed: seed}, inputs, adv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cost.runs++
+		cost.msgs += float64(res.Counters.Messages())
+		cost.bits += float64(res.Counters.Bits())
+		cost.rounds += float64(res.Rounds)
+		if !res.Success {
+			cost.fails++
+		}
+	}
+	cost.report(b)
+}
+
+func BenchmarkE1TableIRotatingCoordinator(b *testing.B) {
+	var cost protoCost
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i) + 1
+		inputs := sublinear.RandomInputs(2048, 0.5, seed^0xfeed)
+		adv := fault.NewRandomPlan(2048, 1023, 1024, fault.DropHalf, rng.New(seed))
+		res, err := baseline.RunRotating(baseline.RotatingConfig{N: 2048, Seed: seed, F: 1023}, inputs, adv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cost.runs++
+		cost.msgs += float64(res.Counters.Messages())
+		cost.bits += float64(res.Counters.Bits())
+		cost.rounds += float64(res.Rounds)
+		if !res.Success {
+			cost.fails++
+		}
+	}
+	cost.report(b)
+}
+
+func BenchmarkE1TableIAMPFaultFree(b *testing.B) {
+	var cost protoCost
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i) + 1
+		inputs := sublinear.RandomInputs(2048, 0.5, seed^0xfeed)
+		res, err := baseline.RunAMP(baseline.AMPConfig{N: 2048, Seed: seed}, inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cost.runs++
+		cost.msgs += float64(res.Counters.Messages())
+		cost.bits += float64(res.Counters.Bits())
+		cost.rounds += float64(res.Rounds)
+		if !res.Success {
+			cost.fails++
+		}
+	}
+	cost.report(b)
+}
+
+func BenchmarkE1TableIKuttenFaultFree(b *testing.B) {
+	var cost protoCost
+	for i := 0; i < b.N; i++ {
+		res, err := baseline.RunKutten(baseline.KuttenConfig{N: 2048, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cost.runs++
+		cost.msgs += float64(res.Counters.Messages())
+		cost.bits += float64(res.Counters.Bits())
+		cost.rounds += float64(res.Rounds)
+		if !res.Success {
+			cost.fails++
+		}
+	}
+	cost.report(b)
+}
+
+func BenchmarkE1TableIAllPairs(b *testing.B) {
+	var cost protoCost
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i) + 1
+		adv := fault.NewRandomPlan(2048, 1023, 1024, fault.DropHalf, rng.New(seed))
+		res, err := baseline.RunAllPairs(baseline.AllPairsConfig{N: 2048, Seed: seed, F: 1023}, adv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cost.runs++
+		cost.msgs += float64(res.Counters.Messages())
+		cost.bits += float64(res.Counters.Bits())
+		cost.rounds += float64(res.Rounds)
+		if !res.Success {
+			cost.fails++
+		}
+	}
+	cost.report(b)
+}
+
+// E2 — election message scaling in n (Theorem 4.1).
+
+func BenchmarkE2ElectionVsN(b *testing.B) {
+	for _, n := range []int{512, 1024, 2048, 4096} {
+		b.Run(sizeLabel(n), func(b *testing.B) {
+			benchElection(b, sublinear.Options{N: n, Alpha: 0.5, Faults: halfFaults(n)})
+		})
+	}
+}
+
+// E3 — election message scaling in alpha (Theorem 4.1).
+
+func BenchmarkE3ElectionVsAlpha(b *testing.B) {
+	for _, tt := range []struct {
+		label string
+		alpha float64
+	}{{"alpha1", 1}, {"alpha1over2", 0.5}, {"alpha1over4", 0.25}} {
+		b.Run(tt.label, func(b *testing.B) {
+			n := 1024
+			f := int((1 - tt.alpha) * float64(n))
+			opts := sublinear.Options{N: n, Alpha: tt.alpha}
+			if f > 0 {
+				opts.Faults = &sublinear.FaultModel{Faulty: f, Policy: sublinear.DropHalf}
+			}
+			benchElection(b, opts)
+		})
+	}
+}
+
+// E4 — leader safety under the footnote-3 adversary (Theorem 4.1).
+
+func BenchmarkE4LeaderSafety(b *testing.B) {
+	benchElection(b, sublinear.Options{N: 1024, Alpha: 0.5,
+		Faults: &sublinear.FaultModel{Faulty: 512, CrashAfterElection: true}})
+}
+
+// E5 — agreement message scaling (Theorem 5.1).
+
+func BenchmarkE5AgreementScaling(b *testing.B) {
+	for _, n := range []int{1024, 4096, 16384} {
+		b.Run(sizeLabel(n), func(b *testing.B) {
+			benchAgreement(b, sublinear.Options{N: n, Alpha: 0.5, Faults: halfFaults(n)}, 0.5)
+		})
+	}
+}
+
+// E6 — message starvation (Theorems 4.2/5.2): referee sample at 1/16 of
+// the paper's constant; failures/run is the metric to watch.
+
+func BenchmarkE6MessageStarvation(b *testing.B) {
+	benchAgreement(b, sublinear.Options{N: 1024, Alpha: 0.5,
+		Tuning: sublinear.Tuning{RefereeFactor: 0.125},
+		Faults: halfFaults(1024)}, 0.5)
+}
+
+// E7 — round complexity with EarlyStop (Corollaries 1/3).
+
+func BenchmarkE7Rounds(b *testing.B) {
+	benchElection(b, sublinear.Options{N: 1024, Alpha: 0.5,
+		Tuning: sublinear.Tuning{EarlyStop: true},
+		Faults: &sublinear.FaultModel{Faulty: 256, Policy: sublinear.DropHalf}})
+}
+
+// E8 — the resilience frontier f = n - log^2 n.
+
+func BenchmarkE8Frontier(b *testing.B) {
+	n := 256
+	alpha := sublinear.MinimumAlpha(n)
+	f := int((1 - alpha) * float64(n))
+	benchElection(b, sublinear.Options{N: n, Alpha: alpha,
+		Faults: &sublinear.FaultModel{Faulty: f, Policy: sublinear.DropHalf}})
+}
+
+// E9 — explicit extension overhead.
+
+func BenchmarkE9Explicit(b *testing.B) {
+	b.Run("election", func(b *testing.B) {
+		benchElection(b, sublinear.Options{N: 1024, Alpha: 0.5, Explicit: true, Faults: halfFaults(1024)})
+	})
+	b.Run("agreement", func(b *testing.B) {
+		benchAgreement(b, sublinear.Options{N: 1024, Alpha: 0.5, Explicit: true, Faults: halfFaults(1024)}, 0.5)
+	})
+}
+
+// E10 — engine ablation: identical protocol work on the sequential vs the
+// goroutine-per-chunk concurrent engine.
+
+func BenchmarkE10AblationEngineSequential(b *testing.B) {
+	benchElection(b, sublinear.Options{N: 1024, Alpha: 0.5, Faults: halfFaults(1024)})
+}
+
+func BenchmarkE10AblationEngineConcurrent(b *testing.B) {
+	benchElection(b, sublinear.Options{N: 1024, Alpha: 0.5, Concurrent: true, Faults: halfFaults(1024)})
+}
+
+// E12 — general-graph walk election (open problem 2).
+
+func BenchmarkE12WalkElection(b *testing.B) {
+	topos := []struct {
+		name string
+		mk   func() (graph.Graph, error)
+	}{
+		{"complete1024", func() (graph.Graph, error) { return graph.Complete(1024) }},
+		{"regular1024", func() (graph.Graph, error) { return graph.RandomRegular(1024, 8, 5) }},
+		{"hypercube1024", func() (graph.Graph, error) { return graph.Hypercube(10) }},
+	}
+	for _, tp := range topos {
+		b.Run(tp.name, func(b *testing.B) {
+			g, err := tp.mk()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cost protoCost
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := walks.Run(g, uint64(i)+1, walks.Params{}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost.runs++
+				cost.msgs += float64(res.Counters.Messages())
+				cost.bits += float64(res.Counters.Bits())
+				cost.rounds += float64(res.Rounds)
+				if !res.Eval.Success {
+					cost.fails++
+				}
+			}
+			cost.report(b)
+		})
+	}
+}
+
+func sizeLabel(n int) string {
+	switch n {
+	case 512:
+		return "n512"
+	case 1024:
+		return "n1024"
+	case 2048:
+		return "n2048"
+	case 4096:
+		return "n4096"
+	case 16384:
+		return "n16384"
+	default:
+		return "n"
+	}
+}

@@ -1,0 +1,99 @@
+// Command walkle runs the general-graph walk-based leader election or
+// agreement (open problem 2 of the paper) on a chosen topology.
+//
+// Usage:
+//
+//	walkle -topo hypercube -n 1024 -seed 1
+//	walkle -topo ring -n 256 -stretch 200
+//	walkle -topo torus -n 1024 -agree -pone 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sublinear/internal/cliutil"
+	"sublinear/internal/graph"
+	"sublinear/internal/rng"
+	"sublinear/internal/walks"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "walkle:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		topo    = flag.String("topo", "hypercube", "topology: complete|ring|torus|hypercube|regular")
+		n       = flag.Int("n", 1024, "network size (rounded per topology)")
+		deg     = flag.Int("deg", 8, "degree for the regular topology")
+		seed    = flag.Uint64("seed", 1, "run seed")
+		stretch = flag.Float64("stretch", 0, "walk-length stretch (0 = auto from measured mixing time)")
+		agree   = flag.Bool("agree", false, "run walk agreement instead of election")
+		pone    = flag.Float64("pone", 0.5, "P[input bit = 1] for agreement")
+	)
+	flag.Parse()
+
+	g, err := cliutil.MakeGraph(*topo, *n, *deg, *seed)
+	if err != nil {
+		return err
+	}
+	tmix := graph.MixingTime(g, 0.25, 200000)
+	params := walks.Params{Stretch: *stretch}
+	if *stretch == 0 {
+		auto := float64(tmix) / rng.LogN(g.N())
+		if auto < 1 {
+			auto = 1
+		}
+		if auto > 500 {
+			auto = 500
+			fmt.Printf("note: auto stretch capped at 500 (t_mix=%d)\n", tmix)
+		}
+		params.Stretch = auto
+	}
+	fmt.Printf("%s: n=%d diameter=%d t_mix(1/4)=%d stretch=%.1f\n",
+		g.Name(), g.N(), graph.Diameter(g), tmix, params.Stretch)
+
+	if *agree {
+		src := rng.New(*seed ^ 0xfeed)
+		inputs := make([]int, g.N())
+		zeros := 0
+		for i := range inputs {
+			if src.Bool(*pone) {
+				inputs[i] = 1
+			} else {
+				zeros++
+			}
+		}
+		res, err := walks.RunAgreement(g, *seed, params, inputs, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("inputs: %d zeros / %d nodes\n", zeros, g.N())
+		fmt.Printf("success=%v value=%d candidates=%d rounds=%d messages=%d walkLen=%d\n",
+			res.Eval.Success, res.Eval.Value, res.Eval.Candidates,
+			res.Rounds, res.Counters.Messages(), res.WalkLen)
+		if !res.Eval.Success {
+			fmt.Printf("failure: %s\n", res.Eval.Reason)
+		}
+		return nil
+	}
+
+	res, err := walks.Run(g, *seed, params, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("success=%v candidates=%d elected=%d rounds=%d messages=%d walkLen=%d\n",
+		res.Eval.Success, res.Eval.Candidates, res.Eval.ElectedCount,
+		res.Rounds, res.Counters.Messages(), res.WalkLen)
+	if res.Eval.Success {
+		fmt.Printf("leader rank: %d (full agreement on max: %v)\n", res.Eval.AgreedRank, res.Eval.FullAgreement)
+	} else {
+		fmt.Printf("failure: %s\n", res.Eval.Reason)
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package sublinear_test
+
+import (
+	"fmt"
+
+	"sublinear"
+)
+
+// The simplest use: elect a leader among 512 nodes while the adversary
+// crashes a quarter of them mid-protocol.
+func ExampleElect() {
+	res, err := sublinear.Elect(sublinear.Options{
+		N:     512,
+		Alpha: 0.75,
+		Seed:  7,
+		Faults: &sublinear.FaultModel{
+			Faulty: 128,
+			Policy: sublinear.DropHalf,
+		},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("success:", res.Eval.Success)
+	fmt.Println("leader agreed on:", res.Eval.AgreedRank != 0)
+	// Output:
+	// success: true
+	// leader agreed on: true
+}
+
+// Binary agreement: if any committee member holds a 0, the network
+// agrees on 0.
+func ExampleAgree() {
+	inputs := make([]int, 512) // all zeros
+	res, err := sublinear.Agree(sublinear.Options{
+		N:     512,
+		Alpha: 0.75,
+		Seed:  7,
+	}, inputs)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("success:", res.Eval.Success)
+	fmt.Println("value:", res.Eval.Value)
+	// Output:
+	// success: true
+	// value: 0
+}
+
+// Describe reports the concrete committee geometry the paper's constants
+// produce for a given network.
+func ExampleDescribe() {
+	d, err := sublinear.Describe(sublinear.Tuning{}, 4096, 0.5)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("referees per candidate:", d.RefereeCount)
+	fmt.Println("expected committee size:", int(d.ExpectedCandidates))
+	// Output:
+	// referees per candidate: 523
+	// expected committee size: 99
+}

@@ -1,0 +1,3 @@
+module sublinear
+
+go 1.22

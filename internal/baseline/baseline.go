@@ -1,0 +1,68 @@
+// Package baseline implements the comparator protocols the paper measures
+// itself against (Table I and Section III):
+//
+//   - Kutten–Pandurangan–Peleg–Robinson–Trehan sublinear implicit leader
+//     election in fault-free networks (TCS'15) — kutten.go.
+//   - Augustine–Molla–Pandurangan sublinear implicit agreement in
+//     fault-free networks (PODC'18) — amp.go.
+//   - A Gilbert–Kowalski (SODA'10) style explicit agreement: a
+//     Theta(log n) committee agrees internally and disseminates, O(n log n)
+//     messages in the KT0-cost regime the paper quotes for it — gk.go.
+//   - Classical FloodSet explicit agreement: f+1 rounds, Theta(n^2)
+//     messages, tolerates any f — floodset.go.
+//   - All-pairs flooding leader election: the trivial Theta(n^2) message
+//     benchmark — allpairs.go.
+//
+// All baselines run on the same simulator and the same adversaries as the
+// core algorithms, so message counts, bits, rounds, and success rates are
+// directly comparable.
+package baseline
+
+import (
+	"fmt"
+
+	"sublinear/internal/metrics"
+	"sublinear/internal/netsim"
+)
+
+// Result is the common outcome type for baseline runs.
+type Result struct {
+	// Outputs holds per-node outputs; the concrete type depends on the
+	// protocol.
+	Outputs []any
+	// CrashedAt[u] is node u's crash round or 0.
+	CrashedAt []int
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Counters carries message/bit accounting.
+	Counters *metrics.Counters
+	// Success is the protocol-specific verdict.
+	Success bool
+	// Reason explains a failure.
+	Reason string
+	// Value is the agreed value / leader identifier on success.
+	Value int64
+}
+
+// runMachines executes machines on the shared engine with the baseline
+// defaults (strict CONGEST with a generous factor for set-carrying
+// baselines).
+func runMachines(n int, alpha float64, seed uint64, maxRounds, congestFactor int, machines []netsim.Machine, adv netsim.Adversary) (*netsim.Result, error) {
+	cfg := netsim.Config{
+		N:             n,
+		Alpha:         alpha,
+		Seed:          seed,
+		MaxRounds:     maxRounds,
+		CongestFactor: congestFactor,
+		Strict:        true,
+	}
+	engine, err := netsim.NewEngine(cfg, machines, adv)
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.Run()
+	if err != nil {
+		return nil, fmt.Errorf("baseline run: %w", err)
+	}
+	return res, nil
+}

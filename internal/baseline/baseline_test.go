@@ -1,0 +1,243 @@
+package baseline
+
+import (
+	"testing"
+
+	"sublinear/internal/fault"
+	"sublinear/internal/rng"
+)
+
+func TestKuttenElectsUniqueLeader(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		res, err := RunKutten(KuttenConfig{N: 512, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Success {
+			t.Errorf("seed %d: %s", seed, res.Reason)
+		}
+		if res.Rounds != 3 {
+			t.Errorf("seed %d: %d rounds, want 3 (O(1))", seed, res.Rounds)
+		}
+	}
+}
+
+func TestKuttenSublinearMessages(t *testing.T) {
+	const n = 1024
+	res, err := RunKutten(KuttenConfig{N: n, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Messages() > int64(n)*64 {
+		t.Fatalf("kutten used %d messages — not sublinear-ish for n=%d", res.Counters.Messages(), n)
+	}
+}
+
+func TestKuttenWinnerIsMinimumCandidate(t *testing.T) {
+	res, err := RunKutten(KuttenConfig{N: 256, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatalf("failed: %s", res.Reason)
+	}
+	var minRank uint64
+	for _, o := range res.Outputs {
+		ko := o.(KuttenOutput)
+		if ko.IsCandidate && (minRank == 0 || ko.Rank < minRank) {
+			minRank = ko.Rank
+		}
+	}
+	if uint64(res.Value) != minRank {
+		t.Fatalf("winner %d, want minimum candidate rank %d", res.Value, minRank)
+	}
+}
+
+func TestAMPAgreesOnValidValue(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		src := rng.New(seed)
+		inputs := make([]int, 512)
+		ones := 0
+		for i := range inputs {
+			inputs[i] = src.Intn(2)
+			ones += inputs[i]
+		}
+		res, err := RunAMP(AMPConfig{N: 512, Seed: seed}, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Success {
+			t.Errorf("seed %d: %s", seed, res.Reason)
+		}
+	}
+}
+
+func TestAMPAllSameInput(t *testing.T) {
+	for _, v := range []int{0, 1} {
+		inputs := make([]int, 256)
+		for i := range inputs {
+			inputs[i] = v
+		}
+		res, err := RunAMP(AMPConfig{N: 256, Seed: 9}, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Success || res.Value != int64(v) {
+			t.Fatalf("inputs all %d: success=%v value=%d", v, res.Success, res.Value)
+		}
+	}
+}
+
+func TestFloodSetToleratesHeavyCrashes(t *testing.T) {
+	const n = 128
+	f := n/2 - 1
+	for seed := uint64(0); seed < 10; seed++ {
+		src := rng.New(seed + 50)
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = src.Intn(2)
+		}
+		adv := fault.NewRandomPlan(n, f, f+1, fault.DropHalf, src)
+		res, err := RunFloodSet(FloodSetConfig{N: n, Seed: seed, F: f}, inputs, adv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Success {
+			t.Errorf("seed %d: %s", seed, res.Reason)
+		}
+	}
+}
+
+func TestFloodSetQuadraticMessages(t *testing.T) {
+	const n = 128
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = i % 2
+	}
+	res, err := RunFloodSet(FloodSetConfig{N: n, Seed: 3, F: 5}, inputs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everyone floods once; the zero-holders' flood dominates, so at
+	// least n*(n-1) messages and at most 2n(n-1).
+	minWant := int64(n) * int64(n-1)
+	if res.Counters.Messages() < minWant || res.Counters.Messages() > 2*minWant {
+		t.Fatalf("floodset messages = %d, want within [%d, %d]", res.Counters.Messages(), minWant, 2*minWant)
+	}
+}
+
+func TestFloodSetDecidesMinimum(t *testing.T) {
+	inputs := make([]int, 64)
+	inputs[17] = 0
+	for i := range inputs {
+		if i != 17 {
+			inputs[i] = 1
+		}
+	}
+	res, err := RunFloodSet(FloodSetConfig{N: 64, Seed: 1, F: 3}, inputs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success || res.Value != 0 {
+		t.Fatalf("decided %d (success=%v), want 0", res.Value, res.Success)
+	}
+}
+
+func TestGKFaultFree(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		src := rng.New(seed)
+		inputs := make([]int, 512)
+		for i := range inputs {
+			inputs[i] = src.Intn(2)
+		}
+		res, err := RunGK(GKConfig{N: 512, Seed: seed}, inputs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Success {
+			t.Errorf("seed %d: %s", seed, res.Reason)
+		}
+	}
+}
+
+func TestGKUnderRandomFaults(t *testing.T) {
+	const n = 256
+	f := n/2 - 1
+	ok := 0
+	const reps = 10
+	for seed := uint64(0); seed < reps; seed++ {
+		src := rng.New(seed + 77)
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = src.Intn(2)
+		}
+		adv := fault.NewRandomPlan(n, f, 10, fault.DropHalf, src)
+		res, err := RunGK(GKConfig{N: n, Seed: seed}, inputs, adv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Success {
+			ok++
+		}
+	}
+	// GK-style survives random f<n/2 faults w.h.p. (committee wipes are
+	// exponentially unlikely).
+	if ok < reps-2 {
+		t.Errorf("GK succeeded %d/%d under random faults", ok, reps)
+	}
+}
+
+func TestGKLinearishMessages(t *testing.T) {
+	const n = 1024
+	inputs := make([]int, n)
+	res, err := RunGK(GKConfig{N: n, Seed: 2}, inputs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := res.Counters.Messages()
+	if msgs < int64(n) {
+		t.Fatalf("GK messages = %d, below n — dissemination missing", msgs)
+	}
+	if msgs > int64(n)*int64(64) {
+		t.Fatalf("GK messages = %d, far above n log n", msgs)
+	}
+}
+
+func TestAllPairsAgreesOnWinner(t *testing.T) {
+	const n = 128
+	f := n / 3
+	for seed := uint64(0); seed < 10; seed++ {
+		src := rng.New(seed + 31)
+		adv := fault.NewRandomPlan(n, f, f+1, fault.DropHalf, src)
+		res, err := RunAllPairs(AllPairsConfig{N: n, Seed: seed, F: f}, adv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Success {
+			t.Errorf("seed %d: %s", seed, res.Reason)
+		}
+	}
+}
+
+func TestAllPairsQuadraticMessages(t *testing.T) {
+	const n = 128
+	res, err := RunAllPairs(AllPairsConfig{N: n, Seed: 4, F: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Messages() < int64(n)*int64(n-1) {
+		t.Fatalf("all-pairs messages = %d, want >= n(n-1)", res.Counters.Messages())
+	}
+}
+
+func TestInputLengthValidation(t *testing.T) {
+	if _, err := RunAMP(AMPConfig{N: 8, Seed: 1}, []int{0}); err == nil {
+		t.Error("AMP accepted short inputs")
+	}
+	if _, err := RunFloodSet(FloodSetConfig{N: 8, Seed: 1, F: 1}, []int{0}, nil); err == nil {
+		t.Error("FloodSet accepted short inputs")
+	}
+	if _, err := RunGK(GKConfig{N: 8, Seed: 1}, []int{0}, nil); err == nil {
+		t.Error("GK accepted short inputs")
+	}
+}

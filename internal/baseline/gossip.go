@@ -1,0 +1,152 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"sublinear/internal/netsim"
+)
+
+// GossipConfig parameterises the push-gossip explicit agreement baseline,
+// the shape of Chlebus–Kowalski's locally scalable randomized consensus
+// (Table I row [36]: O(n log n) messages and O(log n) rounds in
+// expectation, linear fraction of crash faults): every node that holds
+// the current minimum pushes it to a few random peers each round;
+// epidemic spreading delivers the global minimum to all live nodes in
+// O(log n) rounds w.h.p.
+type GossipConfig struct {
+	N    int
+	Seed uint64
+	// Fanout is the number of random peers pushed to per round; default
+	// 3.
+	Fanout int
+	// RoundFactor scales the round budget RoundFactor*ceil(log2 n);
+	// default 4.
+	RoundFactor float64
+	// Alpha is engine bookkeeping; default 0.5.
+	Alpha float64
+}
+
+// GossipOutput is a node's (explicit) decision.
+type GossipOutput struct {
+	Input int
+	Value int
+}
+
+type gossipMsg struct{ bit int }
+
+func (gossipMsg) Kind() string { return "gossip" }
+func (gossipMsg) Bits(int) int { return 2 }
+
+// gossipMachine pushes its current minimum to Fanout random ports every
+// round until the round budget is spent. Persistent pushing is what makes
+// the epidemic reach everyone in O(log n) rounds w.h.p. even when crashed
+// nodes swallow part of the traffic; the total cost stays
+// n * Fanout * O(log n) = Theta(n log n) messages.
+type gossipMachine struct {
+	fanout    int
+	endRound  int
+	input     int
+	lastRound int
+
+	min int
+}
+
+var _ netsim.Machine = (*gossipMachine)(nil)
+
+func (m *gossipMachine) Step(env *netsim.Env, round int, inbox []netsim.Delivery) []netsim.Send {
+	m.lastRound = round
+	if round == 1 {
+		m.min = m.input
+	}
+	for _, msg := range inbox {
+		if pl, ok := msg.Payload.(gossipMsg); ok && pl.bit < m.min {
+			m.min = pl.bit
+		}
+	}
+	if round > m.endRound {
+		return nil
+	}
+	sends := make([]netsim.Send, 0, m.fanout)
+	used := make(map[int]bool, m.fanout)
+	for i := 0; i < m.fanout; i++ {
+		p := 1 + env.Rand.Intn(env.N-1)
+		if used[p] {
+			continue
+		}
+		used[p] = true
+		sends = append(sends, netsim.Send{Port: p, Payload: gossipMsg{bit: m.min}})
+	}
+	return sends
+}
+
+func (m *gossipMachine) Done() bool { return m.lastRound > m.endRound }
+
+func (m *gossipMachine) Output() any { return GossipOutput{Input: m.input, Value: m.min} }
+
+// RunGossip executes the push-gossip baseline under the given adversary
+// and evaluates explicit agreement over live nodes.
+func RunGossip(cfg GossipConfig, inputs []int, adv netsim.Adversary) (*Result, error) {
+	if len(inputs) != cfg.N {
+		return nil, fmt.Errorf("gossip: %d inputs for N=%d", len(inputs), cfg.N)
+	}
+	if cfg.Fanout == 0 {
+		cfg.Fanout = 3
+	}
+	if cfg.RoundFactor == 0 {
+		cfg.RoundFactor = 4
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.5
+	}
+	rounds := int(math.Ceil(cfg.RoundFactor * math.Log2(float64(cfg.N))))
+	if rounds < 4 {
+		rounds = 4
+	}
+	machines := make([]netsim.Machine, cfg.N)
+	for u := range machines {
+		machines[u] = &gossipMachine{fanout: cfg.Fanout, endRound: rounds, input: inputs[u]}
+	}
+	res, err := runMachines(cfg.N, cfg.Alpha, cfg.Seed, rounds+1, 8, machines, adv)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Outputs:   res.Outputs,
+		CrashedAt: res.CrashedAt,
+		Rounds:    res.Rounds,
+		Counters:  res.Counters,
+	}
+	haveInput := [2]bool{}
+	for _, in := range inputs {
+		haveInput[in] = true
+	}
+	value := -1
+	agree := true
+	for u, o := range res.Outputs {
+		if res.CrashedAt[u] != 0 {
+			continue
+		}
+		g, ok := o.(GossipOutput)
+		if !ok {
+			return nil, fmt.Errorf("gossip: unexpected output %T", o)
+		}
+		if value == -1 {
+			value = g.Value
+		} else if value != g.Value {
+			agree = false
+		}
+	}
+	switch {
+	case value == -1:
+		out.Reason = "no live nodes"
+	case !agree:
+		out.Reason = "live nodes disagree"
+	case !haveInput[value]:
+		out.Reason = "decided value is no node's input"
+	default:
+		out.Success = true
+		out.Value = int64(value)
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package baseline
+
+import (
+	"testing"
+
+	"sublinear/internal/fault"
+	"sublinear/internal/rng"
+)
+
+func mixedInputs(n int, seed uint64) []int {
+	src := rng.New(seed)
+	in := make([]int, n)
+	for i := range in {
+		in[i] = src.Intn(2)
+	}
+	return in
+}
+
+func TestGossipFaultFree(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		res, err := RunGossip(GossipConfig{N: 512, Seed: seed}, mixedInputs(512, seed), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Success {
+			t.Errorf("seed %d: %s", seed, res.Reason)
+		}
+	}
+}
+
+func TestGossipUnderCrashes(t *testing.T) {
+	const n, reps = 512, 12
+	ok := 0
+	for seed := uint64(0); seed < reps; seed++ {
+		src := rng.New(seed + 40)
+		adv := fault.NewRandomPlan(n, n/2, 20, fault.DropHalf, src)
+		res, err := RunGossip(GossipConfig{N: n, Seed: seed}, mixedInputs(n, seed), adv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Success {
+			ok++
+		} else {
+			t.Logf("seed %d: %s", seed, res.Reason)
+		}
+	}
+	if ok < reps-1 {
+		t.Errorf("gossip succeeded %d/%d under crashes", ok, reps)
+	}
+}
+
+func TestGossipMessageScale(t *testing.T) {
+	// Push gossip is Theta(n log n): every node pushes at most
+	// 2*fanout*values messages; far below n^2, above n.
+	const n = 1024
+	res, err := RunGossip(GossipConfig{N: n, Seed: 3}, mixedInputs(n, 3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := res.Counters.Messages()
+	// Budget: n * fanout(3) * rounds(4*log2 n) pushes, i.e. Theta(n log n);
+	// far below n^2.
+	upper := int64(n) * 3 * int64(4*10+1)
+	if msgs < int64(n) || msgs > upper {
+		t.Fatalf("gossip messages = %d, want within [n, %d] for n=%d", msgs, upper, n)
+	}
+	if msgs > int64(n)*int64(n)/8 {
+		t.Fatalf("gossip messages = %d approach n^2", msgs)
+	}
+}
+
+func TestGossipAllOnes(t *testing.T) {
+	in := make([]int, 256)
+	for i := range in {
+		in[i] = 1
+	}
+	res, err := RunGossip(GossipConfig{N: 256, Seed: 1}, in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success || res.Value != 1 {
+		t.Fatalf("all-ones gossip: %+v", res)
+	}
+}
+
+func TestRotatingFaultFree(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		in := mixedInputs(256, seed)
+		res, err := RunRotating(RotatingConfig{N: 256, Seed: seed, F: 16}, in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Success {
+			t.Errorf("seed %d: %s", seed, res.Reason)
+		}
+		// Fault-free: everyone adopts coordinator 0's input.
+		if res.Value != int64(in[0]) {
+			t.Errorf("seed %d: decided %d, want coordinator 0's input %d", seed, res.Value, in[0])
+		}
+	}
+}
+
+func TestRotatingUnderAdversarialCoordinatorCrashes(t *testing.T) {
+	// Crash exactly the early coordinators mid-broadcast with split
+	// delivery — the worst case for rotating coordinators. With F+1
+	// phases the first non-faulty coordinator must re-unify.
+	const n = 128
+	const f = 20
+	crash := make(map[int]int, f)
+	for i := 0; i < f; i++ {
+		crash[i] = i + 1 // coordinator i crashes in its own phase
+	}
+	for seed := uint64(0); seed < 5; seed++ {
+		adv := fault.NewTargetedPlan(n, crash, fault.DropHalf, rng.New(seed))
+		res, err := RunRotating(RotatingConfig{N: n, Seed: seed, F: f}, mixedInputs(n, seed), adv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Success {
+			t.Errorf("seed %d: %s", seed, res.Reason)
+		}
+	}
+}
+
+func TestRotatingMessageAndRoundShape(t *testing.T) {
+	const n, f = 256, 64
+	res, err := RunRotating(RotatingConfig{N: n, Seed: 2, F: f}, mixedInputs(n, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != f+2 {
+		t.Errorf("rounds = %d, want O(f) = %d", res.Rounds, f+2)
+	}
+	// One broadcast per phase: (f+1)(n-1) messages exactly (fault-free).
+	want := int64(f+1) * int64(n-1)
+	if res.Counters.Messages() != want {
+		t.Errorf("messages = %d, want %d", res.Counters.Messages(), want)
+	}
+}
+
+func TestRotatingValidation(t *testing.T) {
+	if _, err := RunRotating(RotatingConfig{N: 8, F: 8}, make([]int, 8), nil); err == nil {
+		t.Error("F >= N accepted")
+	}
+	if _, err := RunRotating(RotatingConfig{N: 8, F: 2}, []int{0}, nil); err == nil {
+		t.Error("short inputs accepted")
+	}
+	if _, err := RunGossip(GossipConfig{N: 8}, []int{0}, nil); err == nil {
+		t.Error("gossip short inputs accepted")
+	}
+}

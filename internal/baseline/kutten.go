@@ -1,0 +1,210 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"sublinear/internal/netsim"
+	"sublinear/internal/rng"
+)
+
+// KuttenConfig parameterises the fault-free sublinear leader election of
+// Kutten et al. (TCS'15), the algorithm the paper's election result
+// generalises to the crash-fault setting.
+type KuttenConfig struct {
+	N    int
+	Seed uint64
+	// CandidateFactor scales the candidate probability
+	// CandidateFactor * ln n / n; default 6.
+	CandidateFactor float64
+	// RefereeFactor scales the referee sample 2*sqrt(n ln n); default 2.
+	RefereeFactor float64
+}
+
+// KuttenOutput is a node's output.
+type KuttenOutput struct {
+	IsCandidate bool
+	Rank        uint64
+	Elected     bool
+	// WinnerRank is the smallest rank the node observed via its
+	// referees; the true winner's rank at the winner itself.
+	WinnerRank uint64
+}
+
+// kuttenPhases: round 1 candidates announce ranks to sampled referees;
+// round 2 each referee replies with the minimum rank it saw; round 3
+// candidates conclude: elected iff no referee reported a smaller rank.
+// O(1) rounds, O(sqrt(n) log^{3/2} n) messages — the fault-free bounds of
+// [21] that Table I cites.
+type kuttenMachine struct {
+	cfg       KuttenConfig
+	lastRound int
+
+	isCandidate bool
+	rank        uint64
+	refPorts    []int
+	winner      uint64 // min rank heard back
+
+	// Referee role.
+	minSeen   uint64
+	replyTo   []int
+	replyRank uint64
+}
+
+var _ netsim.Machine = (*kuttenMachine)(nil)
+
+type kuttenAnnounce struct{ rank uint64 }
+
+func (kuttenAnnounce) Kind() string   { return "announce" }
+func (kuttenAnnounce) Bits(n int) int { return ridBits(n) }
+
+type kuttenReply struct{ min uint64 }
+
+func (kuttenReply) Kind() string   { return "reply" }
+func (kuttenReply) Bits(n int) int { return ridBits(n) }
+
+func (m *kuttenMachine) Step(env *netsim.Env, round int, inbox []netsim.Delivery) []netsim.Send {
+	m.lastRound = round
+	switch round {
+	case 1:
+		prob := m.cfg.CandidateFactor * rng.LogN(env.N) / float64(env.N)
+		if prob > 1 {
+			prob = 1
+		}
+		if !env.Rand.Bool(prob) {
+			return nil
+		}
+		m.isCandidate = true
+		m.rank = 1 + uint64(env.Rand.Int64n(int64(ridRange(env.N))))
+		m.winner = m.rank
+		k := int(math.Ceil(m.cfg.RefereeFactor * math.Sqrt(float64(env.N)*rng.LogN(env.N))))
+		if k > env.N-1 {
+			k = env.N - 1
+		}
+		ports := env.Rand.SampleDistinct(k, env.N-1, nil)
+		m.refPorts = make([]int, k)
+		sends := make([]netsim.Send, k)
+		for i, p := range ports {
+			m.refPorts[i] = p + 1
+			sends[i] = netsim.Send{Port: p + 1, Payload: kuttenAnnounce{rank: m.rank}}
+		}
+		return sends
+	case 2:
+		for _, msg := range inbox {
+			pl, ok := msg.Payload.(kuttenAnnounce)
+			if !ok {
+				continue
+			}
+			if m.minSeen == 0 || pl.rank < m.minSeen {
+				m.minSeen = pl.rank
+			}
+			m.replyTo = append(m.replyTo, msg.Port)
+		}
+		if len(m.replyTo) == 0 {
+			return nil
+		}
+		sends := make([]netsim.Send, len(m.replyTo))
+		for i, p := range m.replyTo {
+			sends[i] = netsim.Send{Port: p, Payload: kuttenReply{min: m.minSeen}}
+		}
+		return sends
+	case 3:
+		for _, msg := range inbox {
+			if pl, ok := msg.Payload.(kuttenReply); ok && pl.min < m.winner {
+				m.winner = pl.min
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+func (m *kuttenMachine) Done() bool { return m.lastRound >= 3 }
+
+func (m *kuttenMachine) Output() any {
+	return KuttenOutput{
+		IsCandidate: m.isCandidate,
+		Rank:        m.rank,
+		Elected:     m.isCandidate && m.winner == m.rank,
+		WinnerRank:  m.winner,
+	}
+}
+
+// RunKutten executes the fault-free baseline election and evaluates it:
+// success means exactly one candidate is elected.
+func RunKutten(cfg KuttenConfig) (*Result, error) {
+	if cfg.CandidateFactor == 0 {
+		cfg.CandidateFactor = 6
+	}
+	if cfg.RefereeFactor == 0 {
+		cfg.RefereeFactor = 2
+	}
+	machines := make([]netsim.Machine, cfg.N)
+	for u := range machines {
+		machines[u] = &kuttenMachine{cfg: cfg}
+	}
+	res, err := runMachines(cfg.N, 1, cfg.Seed, 3, 8, machines, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Outputs:   res.Outputs,
+		CrashedAt: res.CrashedAt,
+		Rounds:    res.Rounds,
+		Counters:  res.Counters,
+	}
+	elected, candidates := 0, 0
+	var leader uint64
+	for _, o := range res.Outputs {
+		ko, ok := o.(KuttenOutput)
+		if !ok {
+			return nil, fmt.Errorf("kutten: unexpected output %T", o)
+		}
+		if ko.IsCandidate {
+			candidates++
+		}
+		if ko.Elected {
+			elected++
+			leader = ko.Rank
+		}
+	}
+	switch {
+	case candidates == 0:
+		out.Reason = "no candidates"
+	case elected != 1:
+		out.Reason = fmt.Sprintf("%d elected, want 1", elected)
+	default:
+		out.Success = true
+		out.Value = int64(leader)
+	}
+	return out, nil
+}
+
+// ridRange is the rank space [1, n^4] clamped to 2^62.
+func ridRange(n int) uint64 {
+	fn := float64(n)
+	r := fn * fn * fn * fn
+	if r > float64(uint64(1)<<62) {
+		return 1 << 62
+	}
+	if r < 16 {
+		return 16
+	}
+	return uint64(r)
+}
+
+// ridBits is the encoded rank size: 4 ceil(log2 n) bits, capped at 62.
+func ridBits(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	if b < 1 {
+		b = 1
+	}
+	b *= 4
+	if b > 62 {
+		b = 62
+	}
+	return b + 2
+}

@@ -1,0 +1,54 @@
+// Package cliutil holds the small parsing and construction helpers shared
+// by the command-line tools (cmd/ftle, cmd/ftagree, cmd/walkle).
+package cliutil
+
+import (
+	"fmt"
+	"math"
+
+	"sublinear"
+	"sublinear/internal/graph"
+)
+
+// ParsePolicy maps the CLI spelling of a crash-round delivery policy.
+func ParsePolicy(s string) (sublinear.DropPolicy, error) {
+	switch s {
+	case "all":
+		return sublinear.DropAll, nil
+	case "none":
+		return sublinear.DropNone, nil
+	case "half":
+		return sublinear.DropHalf, nil
+	case "random":
+		return sublinear.DropRandom, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (want all|none|half|random)", s)
+	}
+}
+
+// MakeGraph builds a named topology of roughly n nodes (rounded to the
+// topology's natural size).
+func MakeGraph(topo string, n, deg int, seed uint64) (graph.Graph, error) {
+	switch topo {
+	case "complete":
+		return graph.Complete(n)
+	case "ring":
+		return graph.Ring(n)
+	case "torus":
+		side := int(math.Round(math.Sqrt(float64(n))))
+		if side < 2 {
+			side = 2
+		}
+		return graph.Torus(side, side)
+	case "hypercube":
+		dim := 1
+		for 1<<dim < n {
+			dim++
+		}
+		return graph.Hypercube(dim)
+	case "regular":
+		return graph.RandomRegular(n, deg, seed)
+	default:
+		return nil, fmt.Errorf("unknown topology %q (want complete|ring|torus|hypercube|regular)", topo)
+	}
+}

@@ -1,0 +1,60 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+
+	"sublinear"
+)
+
+func TestParsePolicy(t *testing.T) {
+	tests := []struct {
+		in   string
+		want sublinear.DropPolicy
+		ok   bool
+	}{
+		{"all", sublinear.DropAll, true},
+		{"none", sublinear.DropNone, true},
+		{"half", sublinear.DropHalf, true},
+		{"random", sublinear.DropRandom, true},
+		{"bogus", 0, false},
+		{"", 0, false},
+	}
+	for _, tt := range tests {
+		got, err := ParsePolicy(tt.in)
+		if tt.ok && (err != nil || got != tt.want) {
+			t.Errorf("ParsePolicy(%q) = %v, %v", tt.in, got, err)
+		}
+		if !tt.ok && err == nil {
+			t.Errorf("ParsePolicy(%q) accepted", tt.in)
+		}
+	}
+}
+
+func TestMakeGraph(t *testing.T) {
+	tests := []struct {
+		topo  string
+		n     int
+		wantN int
+	}{
+		{"complete", 32, 32},
+		{"ring", 32, 32},
+		{"torus", 36, 36},     // 6x6
+		{"torus", 40, 36},     // rounds to 6x6
+		{"hypercube", 32, 32}, // 2^5
+		{"hypercube", 33, 64}, // rounds up to 2^6
+		{"regular", 32, 32},
+	}
+	for _, tt := range tests {
+		g, err := MakeGraph(tt.topo, tt.n, 4, 1)
+		if err != nil {
+			t.Fatalf("MakeGraph(%q, %d): %v", tt.topo, tt.n, err)
+		}
+		if g.N() != tt.wantN {
+			t.Errorf("MakeGraph(%q, %d).N() = %d, want %d", tt.topo, tt.n, g.N(), tt.wantN)
+		}
+	}
+	if _, err := MakeGraph("moebius", 32, 4, 1); err == nil || !strings.Contains(err.Error(), "unknown topology") {
+		t.Errorf("bad topology: %v", err)
+	}
+}

@@ -1,0 +1,153 @@
+// Package cloud implements the communication-graph machinery of the
+// paper's lower-bound proofs (Sections IV-B and V-B): initiators,
+// influence clouds, cloud disjointness, and deciding trees.
+//
+// The lower bounds say that any algorithm sending o(sqrt(n)/alpha^{3/2})
+// messages leaves, with constant probability, at least two influence
+// clouds that never touch — and by a symmetry argument each such cloud is
+// equally likely to elect a leader or decide a value, so the algorithm
+// errs with constant probability. This package lets the experiments
+// observe exactly that structure on real (message-starved) executions:
+// E6 crushes the referee sample size and watches disjoint clouds appear
+// as success probability collapses.
+package cloud
+
+import (
+	"sort"
+
+	"sublinear/internal/netsim"
+)
+
+// Analysis summarises the communication structure of one traced run.
+type Analysis struct {
+	// Initiators are the nodes that sent a message before receiving any
+	// ("not influenced before sending its first message").
+	Initiators []int
+	// Clouds holds one influence cloud per initiator, as sorted node
+	// sets. Clouds[i] is the set reachable from Initiators[i] in the
+	// directed communication graph.
+	Clouds [][]int
+	// Components is the number of weakly connected components of the
+	// communication graph that contain at least one edge, plus isolated
+	// senders.
+	Components int
+	// DisjointClouds is the number of clouds that share no node with any
+	// other cloud — the event N of Lemma 5.
+	DisjointClouds int
+	// SmallestCloud is the size of the smallest cloud (0 if none).
+	SmallestCloud int
+	// TouchedNodes is the number of nodes that sent or received at least
+	// one message.
+	TouchedNodes int
+}
+
+// Analyze builds the influence-cloud structure from a message trace.
+func Analyze(t *netsim.Trace) *Analysis {
+	n := t.N()
+	adj := make(map[int][]int)
+	touched := make(map[int]bool)
+	t.Edges(func(u, v, _ int) bool {
+		adj[u] = append(adj[u], v)
+		touched[u] = true
+		touched[v] = true
+		return true
+	})
+
+	a := &Analysis{TouchedNodes: len(touched)}
+	for u := 0; u < n; u++ {
+		fs := t.FirstSend(u)
+		if fs == 0 {
+			continue
+		}
+		fr := t.FirstReceive(u)
+		if fr == 0 || fs < fr {
+			a.Initiators = append(a.Initiators, u)
+		}
+	}
+
+	for _, init := range a.Initiators {
+		a.Clouds = append(a.Clouds, reach(adj, init))
+	}
+
+	// Disjointness: count clouds sharing no node with any other cloud.
+	owner := make(map[int]int) // node -> count of clouds containing it
+	for _, c := range a.Clouds {
+		for _, v := range c {
+			owner[v]++
+		}
+	}
+	smallest := 0
+	for _, c := range a.Clouds {
+		disjoint := true
+		for _, v := range c {
+			if owner[v] > 1 {
+				disjoint = false
+				break
+			}
+		}
+		if disjoint {
+			a.DisjointClouds++
+		}
+		if smallest == 0 || len(c) < smallest {
+			smallest = len(c)
+		}
+	}
+	a.SmallestCloud = smallest
+	a.Components = weakComponents(adj, touched)
+	return a
+}
+
+// reach returns the sorted set of nodes reachable from start (inclusive)
+// along directed edges.
+func reach(adj map[int][]int, start int) []int {
+	seen := map[int]bool{start: true}
+	stack := []int{start}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// weakComponents counts weakly connected components among touched nodes.
+func weakComponents(adj map[int][]int, touched map[int]bool) int {
+	und := make(map[int][]int, len(adj))
+	for u, vs := range adj {
+		for _, v := range vs {
+			und[u] = append(und[u], v)
+			und[v] = append(und[v], u)
+		}
+	}
+	seen := make(map[int]bool, len(touched))
+	count := 0
+	for u := range touched {
+		if seen[u] {
+			continue
+		}
+		count++
+		stack := []int{u}
+		seen[u] = true
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, y := range und[x] {
+				if !seen[y] {
+					seen[y] = true
+					stack = append(stack, y)
+				}
+			}
+		}
+	}
+	return count
+}

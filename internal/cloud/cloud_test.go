@@ -1,0 +1,186 @@
+package cloud
+
+import (
+	"testing"
+
+	"sublinear/internal/netsim"
+)
+
+// starMachine broadcasts to a fixed set of ports in round 1 if it is a
+// hub; everyone else is silent.
+type starMachine struct {
+	hub   bool
+	ports []int
+	last  int
+}
+
+func (m *starMachine) Step(_ *netsim.Env, round int, _ []netsim.Delivery) []netsim.Send {
+	m.last = round
+	if !m.hub || round != 1 {
+		return nil
+	}
+	out := make([]netsim.Send, 0, len(m.ports))
+	for _, p := range m.ports {
+		out = append(out, netsim.Send{Port: p, Payload: pl{}})
+	}
+	return out
+}
+
+func (m *starMachine) Done() bool  { return m.last >= 2 }
+func (m *starMachine) Output() any { return nil }
+
+type pl struct{}
+
+func (pl) Bits(int) int { return 1 }
+func (pl) Kind() string { return "p" }
+
+// runStars builds an n-node network where each listed hub sends to the
+// given ports, and returns the trace analysis.
+func runStars(t *testing.T, n int, hubs map[int][]int) *Analysis {
+	t.Helper()
+	machines := make([]netsim.Machine, n)
+	for u := range machines {
+		machines[u] = &starMachine{hub: hubs[u] != nil, ports: hubs[u]}
+	}
+	eng, err := netsim.NewEngine(netsim.Config{N: n, Alpha: 1, MaxRounds: 3, Record: true}, machines, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(res.Trace)
+}
+
+func TestTwoDisjointStars(t *testing.T) {
+	// Node 0 -> nodes 1,2 (ports 1,2); node 5 -> nodes 6,7 (ports 1,2).
+	an := runStars(t, 10, map[int][]int{0: {1, 2}, 5: {1, 2}})
+	if len(an.Initiators) != 2 {
+		t.Fatalf("initiators = %v, want [0 5]", an.Initiators)
+	}
+	if an.DisjointClouds != 2 {
+		t.Fatalf("disjoint clouds = %d, want 2", an.DisjointClouds)
+	}
+	if an.Components != 2 {
+		t.Fatalf("components = %d, want 2", an.Components)
+	}
+	if an.SmallestCloud != 3 {
+		t.Fatalf("smallest cloud = %d, want 3", an.SmallestCloud)
+	}
+	if an.TouchedNodes != 6 {
+		t.Fatalf("touched = %d, want 6", an.TouchedNodes)
+	}
+}
+
+func TestOverlappingClouds(t *testing.T) {
+	// Node 0 -> node 2 (port 2); node 1 -> node 2 (port 1). Clouds {0,2}
+	// and {1,2} intersect at 2.
+	an := runStars(t, 5, map[int][]int{0: {2}, 1: {1}})
+	if len(an.Initiators) != 2 {
+		t.Fatalf("initiators = %v", an.Initiators)
+	}
+	if an.DisjointClouds != 0 {
+		t.Fatalf("disjoint clouds = %d, want 0 (they share node 2)", an.DisjointClouds)
+	}
+	if an.Components != 1 {
+		t.Fatalf("components = %d, want 1", an.Components)
+	}
+}
+
+func TestSilentNetwork(t *testing.T) {
+	an := runStars(t, 4, nil)
+	if len(an.Initiators) != 0 || an.TouchedNodes != 0 || an.Components != 0 {
+		t.Fatalf("silent network analysis: %+v", an)
+	}
+	if an.SmallestCloud != 0 {
+		t.Fatalf("smallest cloud = %d, want 0", an.SmallestCloud)
+	}
+}
+
+// chainMachine forwards the token: node 0 sends in round 1; any receiver
+// forwards to its successor port in the next round.
+type chainMachine struct {
+	initiator bool
+	last      int
+	fired     bool
+}
+
+func (m *chainMachine) Step(env *netsim.Env, round int, inbox []netsim.Delivery) []netsim.Send {
+	m.last = round
+	if m.initiator && round == 1 {
+		m.fired = true
+		return []netsim.Send{{Port: 1, Payload: pl{}}}
+	}
+	if len(inbox) > 0 && !m.fired && env.ID < env.N-1 {
+		m.fired = true
+		return []netsim.Send{{Port: 1, Payload: pl{}}}
+	}
+	return nil
+}
+
+func (m *chainMachine) Done() bool  { return m.last >= 1 && m.fired || m.last >= 8 }
+func (m *chainMachine) Output() any { return nil }
+
+func TestChainIsOneCloud(t *testing.T) {
+	const n = 6
+	machines := make([]netsim.Machine, n)
+	for u := range machines {
+		machines[u] = &chainMachine{initiator: u == 0}
+	}
+	eng, err := netsim.NewEngine(netsim.Config{N: n, Alpha: 1, MaxRounds: 10, Record: true}, machines, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := Analyze(res.Trace)
+	// Only node 0 initiates; its influence cloud is the whole chain.
+	if len(an.Initiators) != 1 || an.Initiators[0] != 0 {
+		t.Fatalf("initiators = %v", an.Initiators)
+	}
+	if got := len(an.Clouds[0]); got != n {
+		t.Fatalf("cloud size = %d, want %d", got, n)
+	}
+	if an.DisjointClouds != 1 {
+		t.Fatalf("disjoint clouds = %d, want 1", an.DisjointClouds)
+	}
+}
+
+func TestInitiatorDetectionWithReplies(t *testing.T) {
+	// Node 0 pings node 1; node 1 replies (sends only after receiving),
+	// so node 1 is NOT an initiator.
+	machines := []netsim.Machine{
+		&starMachine{hub: true, ports: []int{1}},
+		&replyMachine{},
+		&starMachine{},
+	}
+	eng, err := netsim.NewEngine(netsim.Config{N: 3, Alpha: 1, MaxRounds: 4, Record: true}, machines, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := Analyze(res.Trace)
+	if len(an.Initiators) != 1 || an.Initiators[0] != 0 {
+		t.Fatalf("initiators = %v, want [0]", an.Initiators)
+	}
+}
+
+type replyMachine struct{ last int }
+
+func (m *replyMachine) Step(_ *netsim.Env, round int, inbox []netsim.Delivery) []netsim.Send {
+	m.last = round
+	var out []netsim.Send
+	for _, d := range inbox {
+		out = append(out, netsim.Send{Port: d.Port, Payload: pl{}})
+	}
+	return out
+}
+
+func (m *replyMachine) Done() bool  { return m.last >= 3 }
+func (m *replyMachine) Output() any { return nil }

@@ -1,0 +1,71 @@
+package core
+
+import "testing"
+
+func TestByzantineHijackerStealsElection(t *testing.T) {
+	wins := 0
+	const reps = 10
+	for seed := uint64(0); seed < reps; seed++ {
+		res, err := RunElectionWithByzantine(RunConfig{N: 256, Alpha: 0.5, Seed: seed}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Hijacked {
+			wins++
+		}
+	}
+	// One liar must essentially always win — that is the point of E11.
+	if wins < reps-1 {
+		t.Errorf("hijacker won %d/%d elections; crash-fault protocol unexpectedly resisted", wins, reps)
+	}
+}
+
+func TestByzantinePoisonerBreaksValidity(t *testing.T) {
+	violations := 0
+	const reps = 10
+	for seed := uint64(0); seed < reps; seed++ {
+		res, err := RunAgreementWithByzantine(RunConfig{N: 256, Alpha: 0.5, Seed: seed}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ValidityViolated {
+			violations++
+		}
+	}
+	if violations < reps-1 {
+		t.Errorf("poisoner violated validity in %d/%d runs", violations, reps)
+	}
+}
+
+func TestByzantineZeroAttackersIsHonest(t *testing.T) {
+	// byz = 0 must reduce to the honest protocol.
+	res, err := RunElectionWithByzantine(RunConfig{N: 256, Alpha: 0.5, Seed: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hijacked {
+		t.Fatal("hijack reported without Byzantine nodes")
+	}
+	if !res.Result.Eval.Success {
+		t.Fatalf("honest run failed: %s", res.Result.Eval.Reason)
+	}
+	agr, err := RunAgreementWithByzantine(RunConfig{N: 256, Alpha: 0.5, Seed: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agr.ValidityViolated {
+		t.Fatal("validity violation without Byzantine nodes")
+	}
+	if !agr.Result.Eval.Success || agr.Result.Eval.Value != 1 {
+		t.Fatalf("honest all-ones agreement: %+v", agr.Result.Eval)
+	}
+}
+
+func TestByzantineValidation(t *testing.T) {
+	if _, err := RunElectionWithByzantine(RunConfig{N: 16, Alpha: 1}, 16); err == nil {
+		t.Error("byz = n accepted")
+	}
+	if _, err := RunAgreementWithByzantine(RunConfig{N: 16, Alpha: 1}, -1); err == nil {
+		t.Error("negative byz accepted")
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+
+	"sublinear/internal/netsim"
+	"sublinear/internal/wire"
+)
+
+// Payload codec: a compact tagged binary encoding for every protocol
+// message, used when the protocols run over a real transport
+// (internal/realnet) instead of the in-memory simulator. The encoding is
+// tag byte + varint fields; sizes land near the Bits() model accounting.
+
+// Payload type tags. Values are part of the wire format; append only.
+const (
+	tagRankAnnounce byte = iota + 1
+	tagRankForward
+	tagPropose
+	tagRelayMax
+	tagClaim
+	tagConfirm
+	tagLeaderAnnounce
+	tagBitRegister
+	tagZero
+	tagValueAnnounce
+)
+
+// EncodePayload appends the binary encoding of a core protocol payload to
+// dst. It rejects payload types that do not belong to this package.
+func EncodePayload(dst []byte, p netsim.Payload) ([]byte, error) {
+	switch pl := p.(type) {
+	case rankAnnounce:
+		dst = append(dst, tagRankAnnounce)
+		return wire.AppendUvarint(dst, pl.rank), nil
+	case rankForward:
+		dst = append(dst, tagRankForward)
+		return wire.AppendUvarint(dst, pl.rank), nil
+	case proposeMsg:
+		dst = append(dst, tagPropose)
+		dst = wire.AppendUvarint(dst, pl.id)
+		return wire.AppendUvarint(dst, pl.prop), nil
+	case relayMaxMsg:
+		dst = append(dst, tagRelayMax)
+		dst = wire.AppendUvarint(dst, pl.rank)
+		return wire.AppendBool(dst, pl.ownerProposed), nil
+	case claimMsg:
+		dst = append(dst, tagClaim)
+		dst = wire.AppendUvarint(dst, pl.rank)
+		return wire.AppendBool(dst, pl.self), nil
+	case confirmMsg:
+		dst = append(dst, tagConfirm)
+		dst = wire.AppendUvarint(dst, pl.rank)
+		return wire.AppendBool(dst, pl.owner), nil
+	case leaderAnnounce:
+		dst = append(dst, tagLeaderAnnounce)
+		return wire.AppendUvarint(dst, pl.rank), nil
+	case bitRegister:
+		dst = append(dst, tagBitRegister)
+		return wire.AppendUvarint(dst, uint64(pl.bit)), nil
+	case zeroMsg:
+		return append(dst, tagZero), nil
+	case valueAnnounce:
+		dst = append(dst, tagValueAnnounce)
+		return wire.AppendUvarint(dst, uint64(pl.bit)), nil
+	default:
+		return nil, fmt.Errorf("core: cannot encode payload type %T", p)
+	}
+}
+
+// DecodePayload decodes a payload produced by EncodePayload. It returns
+// the payload and the remaining bytes.
+func DecodePayload(b []byte) (netsim.Payload, []byte, error) {
+	if len(b) == 0 {
+		return nil, nil, wire.ErrShortBuffer
+	}
+	tag, b := b[0], b[1:]
+	switch tag {
+	case tagRankAnnounce:
+		rank, rest, err := wire.Uvarint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rankAnnounce{rank: rank}, rest, nil
+	case tagRankForward:
+		rank, rest, err := wire.Uvarint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rankForward{rank: rank}, rest, nil
+	case tagPropose:
+		id, rest, err := wire.Uvarint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		prop, rest, err := wire.Uvarint(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		return proposeMsg{id: id, prop: prop}, rest, nil
+	case tagRelayMax:
+		rank, rest, err := wire.Uvarint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		owner, rest, err := wire.Bool(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		return relayMaxMsg{rank: rank, ownerProposed: owner}, rest, nil
+	case tagClaim:
+		rank, rest, err := wire.Uvarint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		self, rest, err := wire.Bool(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		return claimMsg{rank: rank, self: self}, rest, nil
+	case tagConfirm:
+		rank, rest, err := wire.Uvarint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		owner, rest, err := wire.Bool(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		return confirmMsg{rank: rank, owner: owner}, rest, nil
+	case tagLeaderAnnounce:
+		rank, rest, err := wire.Uvarint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		return leaderAnnounce{rank: rank}, rest, nil
+	case tagBitRegister:
+		bit, rest, err := wire.Uvarint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		return bitRegister{bit: int(bit)}, rest, nil
+	case tagZero:
+		return zeroMsg{}, b, nil
+	case tagValueAnnounce:
+		bit, rest, err := wire.Uvarint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		return valueAnnounce{bit: int(bit)}, rest, nil
+	default:
+		return nil, nil, fmt.Errorf("core: unknown payload tag %d", tag)
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sublinear/internal/netsim"
+)
+
+func allPayloads() []netsim.Payload {
+	return []netsim.Payload{
+		rankAnnounce{rank: 12345},
+		rankForward{rank: 1},
+		proposeMsg{id: 7, prop: 9},
+		proposeMsg{id: 9, prop: 9},
+		relayMaxMsg{rank: 1 << 61, ownerProposed: true},
+		relayMaxMsg{rank: 2, ownerProposed: false},
+		claimMsg{rank: 3, self: true},
+		claimMsg{rank: 4, self: false},
+		confirmMsg{rank: 5, owner: true},
+		leaderAnnounce{rank: 6},
+		bitRegister{bit: 0},
+		bitRegister{bit: 1},
+		zeroMsg{},
+		valueAnnounce{bit: 1},
+	}
+}
+
+func TestPayloadCodecRoundTrip(t *testing.T) {
+	for _, p := range allPayloads() {
+		enc, err := EncodePayload(nil, p)
+		if err != nil {
+			t.Fatalf("%T: %v", p, err)
+		}
+		got, rest, err := DecodePayload(enc)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", p, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%T: %d leftover bytes", p, len(rest))
+		}
+		if got != p {
+			t.Fatalf("round trip: got %#v, want %#v", got, p)
+		}
+	}
+}
+
+func TestPayloadCodecConcatenation(t *testing.T) {
+	// Payloads are self-delimiting: a concatenated stream decodes back
+	// element by element (the realnet frames rely on this).
+	var enc []byte
+	var err error
+	payloads := allPayloads()
+	for _, p := range payloads {
+		enc, err = EncodePayload(enc, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range payloads {
+		var got netsim.Payload
+		got, enc, err = DecodePayload(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("got %#v, want %#v", got, want)
+		}
+	}
+	if len(enc) != 0 {
+		t.Fatal("leftover bytes")
+	}
+}
+
+func TestPayloadCodecRandomRanks(t *testing.T) {
+	f := func(rank uint64, flag bool) bool {
+		for _, p := range []netsim.Payload{
+			rankAnnounce{rank: rank},
+			relayMaxMsg{rank: rank, ownerProposed: flag},
+			claimMsg{rank: rank, self: flag},
+			proposeMsg{id: rank, prop: rank / 2},
+		} {
+			enc, err := EncodePayload(nil, p)
+			if err != nil {
+				return false
+			}
+			got, rest, err := DecodePayload(enc)
+			if err != nil || len(rest) != 0 || got != p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPayloadCodecRejectsForeign(t *testing.T) {
+	if _, err := EncodePayload(nil, foreignPayload{}); err == nil {
+		t.Fatal("foreign payload encoded")
+	}
+}
+
+func TestPayloadCodecRejectsGarbage(t *testing.T) {
+	if _, _, err := DecodePayload(nil); err == nil {
+		t.Fatal("empty buffer decoded")
+	}
+	if _, _, err := DecodePayload([]byte{0xee}); err == nil {
+		t.Fatal("unknown tag decoded")
+	}
+	if _, _, err := DecodePayload([]byte{tagPropose}); err == nil {
+		t.Fatal("truncated fields decoded")
+	}
+}
+
+func TestEncodedSizeNearModelBits(t *testing.T) {
+	// The wire encoding must stay within a small constant of the CONGEST
+	// model accounting (bits/8 plus tag/varint overhead).
+	for _, p := range allPayloads() {
+		enc, err := EncodePayload(nil, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		modelBytes := p.Bits(1<<62) / 8
+		if len(enc) > modelBytes+3 {
+			t.Errorf("%T: %d encoded bytes vs %d model bytes", p, len(enc), modelBytes)
+		}
+	}
+}
+
+type foreignPayload struct{}
+
+func (foreignPayload) Bits(int) int { return 1 }
+func (foreignPayload) Kind() string { return "foreign" }

@@ -1,0 +1,217 @@
+package core
+
+import "fmt"
+
+// ElectionEval judges one election run against Definition 1 and the
+// additional promises of Section IV-A ("a crashed node is never elected as
+// a leader, but it may crash after the election"). Crashed nodes have
+// halted; success is judged over the live network, with the crashed
+// leader case admitted exactly when the paper admits it: the leader's
+// self-proposal was already broadcast.
+type ElectionEval struct {
+	// Candidates is the committee size |C|.
+	Candidates int
+	// LiveCandidates is the number of candidates that never crashed.
+	LiveCandidates int
+	// AgreedRank is the leader rank every live candidate converged on,
+	// or 0 when they disagree or are undecided.
+	AgreedRank uint64
+	// LeaderNode is the index of the agreed leader, or -1.
+	LeaderNode int
+	// LeaderCrashed reports the agreed leader crashed (necessarily after
+	// proposing itself, else the run is a failure).
+	LeaderCrashed bool
+	// ElectedLive is the number of live nodes in state ELECTED.
+	ElectedLive int
+	// Success is the overall verdict.
+	Success bool
+	// Reason explains a failure; empty on success.
+	Reason string
+	// ExplicitOK reports, in explicit mode, that every live node learned
+	// the leader.
+	ExplicitOK bool
+}
+
+func evaluateElection(outputs []ElectionOutput, crashedAt []int, explicit bool) ElectionEval {
+	ev := ElectionEval{LeaderNode: -1}
+	agreed := uint64(0)
+	agree := true
+	undecided := 0
+	rankOwner := make(map[uint64]int)
+	for u, o := range outputs {
+		if !o.IsCandidate {
+			continue
+		}
+		ev.Candidates++
+		rankOwner[o.Rank] = u
+		if crashedAt[u] != 0 {
+			continue
+		}
+		ev.LiveCandidates++
+		if o.State == Elected {
+			ev.ElectedLive++
+		}
+		switch {
+		case o.LeaderRank == 0:
+			undecided++
+		case agreed == 0:
+			agreed = o.LeaderRank
+		case agreed != o.LeaderRank:
+			agree = false
+		}
+	}
+	switch {
+	case ev.Candidates == 0:
+		return ev.fail("no candidates self-selected")
+	case ev.LiveCandidates == 0:
+		return ev.fail("every candidate crashed")
+	case undecided > 0:
+		return ev.fail(fmt.Sprintf("%d live candidates undecided", undecided))
+	case !agree:
+		return ev.fail("live candidates disagree on the leader")
+	}
+	ev.AgreedRank = agreed
+	owner, ok := rankOwner[agreed]
+	if !ok {
+		return ev.fail("agreed rank belongs to no candidate")
+	}
+	ev.LeaderNode = owner
+	ev.LeaderCrashed = crashedAt[owner] != 0
+	if ev.LeaderCrashed {
+		if !outputs[owner].SelfProposed {
+			return ev.fail("agreed leader crashed before proposing itself")
+		}
+		// The paper's allowed case: elected, then crashed. No live node
+		// may claim leadership.
+		if ev.ElectedLive != 0 {
+			return ev.fail("live ELECTED node besides a crashed leader")
+		}
+	} else {
+		if ev.ElectedLive != 1 {
+			return ev.fail(fmt.Sprintf("%d live ELECTED nodes, want 1", ev.ElectedLive))
+		}
+		if outputs[owner].State != Elected {
+			return ev.fail("agreed leader is not the ELECTED node")
+		}
+	}
+	ev.Success = true
+	if explicit {
+		ev.ExplicitOK = true
+		for u, o := range outputs {
+			if crashedAt[u] != 0 {
+				continue
+			}
+			if o.LeaderRank != agreed {
+				ev.ExplicitOK = false
+				ev.Success = false
+				ev.Reason = "explicit: a live node did not learn the leader"
+				break
+			}
+		}
+	}
+	return ev
+}
+
+func (ev ElectionEval) fail(reason string) ElectionEval {
+	ev.Success = false
+	ev.Reason = reason
+	return ev
+}
+
+// AgreementEval judges one agreement run against Definition 2: among live
+// nodes the final states must be a subset of {v, bot} with at least one
+// decided node, and v must be the input of some node (validity).
+type AgreementEval struct {
+	// Candidates is the committee size |C|.
+	Candidates int
+	// LiveCandidates is the number of candidates that never crashed.
+	LiveCandidates int
+	// DecidedLive is the number of live decided nodes.
+	DecidedLive int
+	// Value is the agreed value when Success.
+	Value int
+	// Success is the overall verdict (agreement + validity + at least
+	// one decided node).
+	Success bool
+	// Reason explains a failure; empty on success.
+	Reason string
+	// StrictAllNodes additionally includes crashed nodes' frozen states
+	// in the agreement check (diagnostic; the paper's guarantee is for
+	// the surviving network).
+	StrictAllNodes bool
+	// ExplicitOK reports, in explicit mode, that every live node
+	// decided the agreed value.
+	ExplicitOK bool
+}
+
+func evaluateAgreement(outputs []AgreementOutput, inputs []int, crashedAt []int, explicit bool) AgreementEval {
+	var ev AgreementEval
+	ev.Value = -1
+	haveInput := [2]bool{}
+	for _, in := range inputs {
+		haveInput[in] = true
+	}
+	agree, strictAgree := true, true
+	value, strictValue := -1, -1
+	for u, o := range outputs {
+		if o.IsCandidate {
+			ev.Candidates++
+			if crashedAt[u] == 0 {
+				ev.LiveCandidates++
+			}
+		}
+		if !o.Decided {
+			continue
+		}
+		if strictValue == -1 {
+			strictValue = o.Value
+		} else if strictValue != o.Value {
+			strictAgree = false
+		}
+		if crashedAt[u] != 0 {
+			continue
+		}
+		ev.DecidedLive++
+		if value == -1 {
+			value = o.Value
+		} else if value != o.Value {
+			agree = false
+		}
+	}
+	ev.StrictAllNodes = strictAgree
+	switch {
+	case ev.Candidates == 0:
+		return ev.failA("no candidates self-selected")
+	case ev.LiveCandidates == 0:
+		return ev.failA("every candidate crashed")
+	case ev.DecidedLive == 0:
+		return ev.failA("no live node decided")
+	case !agree:
+		return ev.failA("live decided nodes disagree")
+	case !haveInput[value]:
+		return ev.failA(fmt.Sprintf("decided %d, which is no node's input", value))
+	}
+	ev.Value = value
+	ev.Success = true
+	if explicit {
+		ev.ExplicitOK = true
+		for u, o := range outputs {
+			if crashedAt[u] != 0 {
+				continue
+			}
+			if !o.Decided || o.Value != value {
+				ev.ExplicitOK = false
+				ev.Success = false
+				ev.Reason = "explicit: a live node did not decide the agreed value"
+				break
+			}
+		}
+	}
+	return ev
+}
+
+func (ev AgreementEval) failA(reason string) AgreementEval {
+	ev.Success = false
+	ev.Reason = reason
+	return ev
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// Helpers to build output fixtures.
+func cand(rank, leader uint64, state ElectionState, proposed bool) ElectionOutput {
+	return ElectionOutput{IsCandidate: true, Rank: rank, LeaderRank: leader, State: state, SelfProposed: proposed}
+}
+
+func passive() ElectionOutput { return ElectionOutput{State: NonElected} }
+
+func TestEvaluateElectionSuccess(t *testing.T) {
+	outs := []ElectionOutput{
+		cand(5, 5, Elected, true),
+		cand(9, 5, NonElected, false),
+		passive(),
+	}
+	ev := evaluateElection(outs, []int{0, 0, 0}, false)
+	if !ev.Success {
+		t.Fatalf("want success, got %q", ev.Reason)
+	}
+	if ev.AgreedRank != 5 || ev.LeaderNode != 0 || ev.LeaderCrashed || ev.ElectedLive != 1 {
+		t.Fatalf("eval: %+v", ev)
+	}
+}
+
+func TestEvaluateElectionFailures(t *testing.T) {
+	tests := []struct {
+		name    string
+		outs    []ElectionOutput
+		crashed []int
+		substr  string
+	}{
+		{
+			"no candidates",
+			[]ElectionOutput{passive(), passive()},
+			[]int{0, 0},
+			"no candidates",
+		},
+		{
+			"all candidates crashed",
+			[]ElectionOutput{cand(5, 0, Undecided, false), passive()},
+			[]int{3, 0},
+			"every candidate crashed",
+		},
+		{
+			"undecided",
+			[]ElectionOutput{cand(5, 0, Undecided, false), passive()},
+			[]int{0, 0},
+			"undecided",
+		},
+		{
+			"disagree",
+			[]ElectionOutput{cand(5, 5, Elected, true), cand(9, 9, Elected, true)},
+			[]int{0, 0},
+			"disagree",
+		},
+		{
+			"two elected same rank view",
+			[]ElectionOutput{cand(5, 5, Elected, true), cand(9, 5, Elected, false)},
+			[]int{0, 0},
+			"ELECTED",
+		},
+		{
+			"agreed rank unknown",
+			[]ElectionOutput{cand(5, 7, NonElected, false)},
+			[]int{0},
+			"no candidate",
+		},
+		{
+			"leader crashed before proposing",
+			[]ElectionOutput{cand(5, 5, Elected, false), cand(9, 5, NonElected, false)},
+			[]int{4, 0},
+			"before proposing",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ev := evaluateElection(tt.outs, tt.crashed, false)
+			if ev.Success {
+				t.Fatal("unexpected success")
+			}
+			if !strings.Contains(ev.Reason, tt.substr) {
+				t.Fatalf("reason %q, want substring %q", ev.Reason, tt.substr)
+			}
+		})
+	}
+}
+
+func TestEvaluateElectionCrashedLeaderAllowed(t *testing.T) {
+	// Leader proposed itself, then crashed — the paper's permitted case.
+	outs := []ElectionOutput{
+		cand(5, 5, Elected, true),
+		cand(9, 5, NonElected, false),
+	}
+	ev := evaluateElection(outs, []int{7, 0}, false)
+	if !ev.Success {
+		t.Fatalf("crashed-after-proposal leader should succeed: %q", ev.Reason)
+	}
+	if !ev.LeaderCrashed {
+		t.Error("LeaderCrashed not reported")
+	}
+}
+
+func TestEvaluateElectionCrashedLeaderWithLiveElected(t *testing.T) {
+	// A live node claims ELECTED while the agreed leader crashed — that
+	// is a second leader and must fail.
+	outs := []ElectionOutput{
+		cand(9, 9, Elected, true),  // crashed agreed leader
+		cand(5, 9, Elected, false), // live usurper
+	}
+	ev := evaluateElection(outs, []int{2, 0}, false)
+	if ev.Success {
+		t.Fatal("usurper accepted")
+	}
+}
+
+func TestEvaluateElectionExplicit(t *testing.T) {
+	outs := []ElectionOutput{
+		cand(5, 5, Elected, true),
+		{IsCandidate: false, State: NonElected, LeaderRank: 5},
+	}
+	ev := evaluateElection(outs, []int{0, 0}, true)
+	if !ev.Success || !ev.ExplicitOK {
+		t.Fatalf("explicit eval: %+v", ev)
+	}
+	// A live node that missed the announcement fails explicit mode.
+	outs[1].LeaderRank = 0
+	ev = evaluateElection(outs, []int{0, 0}, true)
+	if ev.Success || ev.ExplicitOK {
+		t.Fatalf("uninformed node accepted: %+v", ev)
+	}
+	// A crashed node that missed it is fine.
+	ev = evaluateElection(outs, []int{0, 3}, true)
+	if !ev.Success {
+		t.Fatalf("crashed uninformed node rejected: %q", ev.Reason)
+	}
+}
+
+func agOut(cand bool, input int, decided bool, value int) AgreementOutput {
+	return AgreementOutput{IsCandidate: cand, Input: input, Decided: decided, Value: value}
+}
+
+func TestEvaluateAgreementSuccess(t *testing.T) {
+	outs := []AgreementOutput{
+		agOut(true, 0, true, 0),
+		agOut(true, 1, true, 0),
+		agOut(false, 1, false, 0),
+	}
+	ev := evaluateAgreement(outs, []int{0, 1, 1}, []int{0, 0, 0}, false)
+	if !ev.Success || ev.Value != 0 || ev.DecidedLive != 2 {
+		t.Fatalf("eval: %+v", ev)
+	}
+	if !ev.StrictAllNodes {
+		t.Error("strict flag should hold")
+	}
+}
+
+func TestEvaluateAgreementFailures(t *testing.T) {
+	tests := []struct {
+		name    string
+		outs    []AgreementOutput
+		inputs  []int
+		crashed []int
+		substr  string
+	}{
+		{
+			"no candidates",
+			[]AgreementOutput{agOut(false, 1, false, 0)},
+			[]int{1}, []int{0},
+			"no candidates",
+		},
+		{
+			"all crashed",
+			[]AgreementOutput{agOut(true, 1, true, 1)},
+			[]int{1}, []int{5},
+			"every candidate crashed",
+		},
+		{
+			"no live decision",
+			[]AgreementOutput{agOut(true, 1, false, 0), agOut(true, 1, true, 1)},
+			[]int{1, 1}, []int{0, 3},
+			"no live node decided",
+		},
+		{
+			"disagreement",
+			[]AgreementOutput{agOut(true, 0, true, 0), agOut(true, 1, true, 1)},
+			[]int{0, 1}, []int{0, 0},
+			"disagree",
+		},
+		{
+			"validity",
+			[]AgreementOutput{agOut(true, 0, true, 1), agOut(true, 0, true, 1)},
+			[]int{0, 0}, []int{0, 0},
+			"no node's input",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ev := evaluateAgreement(tt.outs, tt.inputs, tt.crashed, false)
+			if ev.Success {
+				t.Fatal("unexpected success")
+			}
+			if !strings.Contains(ev.Reason, tt.substr) {
+				t.Fatalf("reason %q, want %q", ev.Reason, tt.substr)
+			}
+		})
+	}
+}
+
+func TestEvaluateAgreementStrictFlag(t *testing.T) {
+	// A crashed decider with the other value: live agreement holds,
+	// strict all-nodes flag reports the discrepancy.
+	outs := []AgreementOutput{
+		agOut(true, 0, true, 0), // crashed
+		agOut(true, 1, true, 1),
+		agOut(true, 1, true, 1),
+	}
+	ev := evaluateAgreement(outs, []int{0, 1, 1}, []int{2, 0, 0}, false)
+	if !ev.Success {
+		t.Fatalf("live agreement should succeed: %q", ev.Reason)
+	}
+	if ev.StrictAllNodes {
+		t.Error("strict flag should report the crashed 0-decider")
+	}
+}
+
+func TestEvaluateAgreementExplicit(t *testing.T) {
+	outs := []AgreementOutput{
+		agOut(true, 0, true, 0),
+		agOut(false, 1, true, 0),
+	}
+	ev := evaluateAgreement(outs, []int{0, 1}, []int{0, 0}, true)
+	if !ev.Success || !ev.ExplicitOK {
+		t.Fatalf("explicit eval: %+v", ev)
+	}
+	outs[1].Decided = false
+	ev = evaluateAgreement(outs, []int{0, 1}, []int{0, 0}, true)
+	if ev.Success {
+		t.Fatal("undecided live node accepted in explicit mode")
+	}
+}

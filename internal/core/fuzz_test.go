@@ -1,0 +1,37 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodePayload hardens the wire codec against corrupt peers: random
+// bytes must never panic, and anything that decodes must re-encode to the
+// same canonical bytes it was decoded from.
+func FuzzDecodePayload(f *testing.F) {
+	for _, p := range allPayloads() {
+		enc, err := EncodePayload(nil, p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x01, 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, rest, err := DecodePayload(data)
+		if err != nil {
+			return
+		}
+		consumed := data[:len(data)-len(rest)]
+		re, err := EncodePayload(nil, p)
+		if err != nil {
+			t.Fatalf("decoded payload %#v cannot re-encode: %v", p, err)
+		}
+		// Varints have a unique canonical form, so the round trip must
+		// reproduce the consumed bytes exactly.
+		if !bytes.Equal(re, consumed) {
+			t.Fatalf("canonical form mismatch: consumed %x, re-encoded %x", consumed, re)
+		}
+	})
+}

@@ -1,0 +1,342 @@
+package core
+
+// White-box tests of the election and agreement state machines: the
+// handlers are driven directly with crafted deliveries, pinning down the
+// transition semantics of Section IV-A's four steps (propose / relay-max /
+// claim / confirm) and Section V-A's zero-propagation independent of the
+// engine and the randomness.
+
+import (
+	"testing"
+
+	"sublinear/internal/netsim"
+	"sublinear/internal/rng"
+)
+
+// testDerived returns a derived parameter set usable off-engine.
+func testDerived(t *testing.T) derived {
+	t.Helper()
+	d, err := deriveParams(Params{}, 256, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// newCandidate builds an election machine in candidate state with a fixed
+// rank and referee ports, bypassing the random start.
+func newCandidate(t *testing.T, rank uint64) *electionMachine {
+	t.Helper()
+	m := newElectionMachine(testDerived(t))
+	m.isCandidate = true
+	m.rank = rank
+	m.known.Add(rank)
+	m.proposed = make(map[uint64]bool)
+	m.echoed = make(map[uint64]bool)
+	m.floor = 1
+	m.refPorts = []int{1, 2, 3}
+	return m
+}
+
+func deliver(m *electionMachine, round int, pl netsim.Payload) {
+	m.handle(round, netsim.Delivery{Port: 9, Payload: pl})
+}
+
+func TestMachineRelayRetiresSmallerRanks(t *testing.T) {
+	m := newCandidate(t, 50)
+	m.known.Add(10)
+	m.known.Add(30)
+	deliver(m, 10, relayMaxMsg{rank: 30, ownerProposed: false})
+	if m.floor != 30 {
+		t.Fatalf("floor = %d, want 30 (ranks below the relayed max retire)", m.floor)
+	}
+	if m.target != 30 {
+		t.Fatalf("target = %d, want 30", m.target)
+	}
+	// 30 itself stays admissible: it is the next proposal.
+	m.proposalLogic(m.prepEnd + 1)
+	if m.pending != 30 {
+		t.Fatalf("pending = %d, want 30", m.pending)
+	}
+}
+
+func TestMachineSelfClaimOnOwnMax(t *testing.T) {
+	m := newCandidate(t, 50)
+	deliver(m, 10, relayMaxMsg{rank: 50, ownerProposed: true})
+	if !m.selfClaimed {
+		t.Fatal("candidate did not claim on seeing its own rank as the max")
+	}
+	if m.confirmed != 50 {
+		t.Fatalf("confirmed = %d, want own rank", m.confirmed)
+	}
+	// The claim must be queued for the referees.
+	sends := m.flush()
+	if len(sends) != len(m.refPorts) {
+		t.Fatalf("claim fan-out: %d sends, want %d", len(sends), len(m.refPorts))
+	}
+	for _, s := range sends {
+		cl, ok := s.Payload.(claimMsg)
+		if !ok || cl.rank != 50 || !cl.self {
+			t.Fatalf("unexpected claim payload %#v", s.Payload)
+		}
+	}
+}
+
+func TestMachineEchoOnOwnerProposedRelay(t *testing.T) {
+	m := newCandidate(t, 50)
+	deliver(m, 10, relayMaxMsg{rank: 80, ownerProposed: true})
+	if m.confirmed != 80 {
+		t.Fatalf("confirmed = %d, want adopted 80", m.confirmed)
+	}
+	sends := m.flush()
+	if len(sends) == 0 {
+		t.Fatal("no echo queued")
+	}
+	cl := sends[0].Payload.(claimMsg)
+	if cl.rank != 80 || cl.self {
+		t.Fatalf("echo payload %#v", cl)
+	}
+	// A second identical relay must not re-echo (echo-once dedup).
+	deliver(m, 11, relayMaxMsg{rank: 80, ownerProposed: true})
+	for !m.out.Empty() {
+		m.flush()
+	}
+	deliver(m, 12, relayMaxMsg{rank: 80, ownerProposed: true})
+	if !m.out.Empty() {
+		t.Fatal("duplicate relay triggered a second echo")
+	}
+}
+
+func TestMachineProposalTimeout(t *testing.T) {
+	m := newCandidate(t, 50)
+	m.known.Add(10)
+	start := m.prepEnd + 1
+	m.proposalLogic(start)
+	if m.pending != 10 || !m.proposed[10] {
+		t.Fatalf("pending = %d, want 10", m.pending)
+	}
+	// No updates arrive; before the timeout nothing changes.
+	m.proposalLogic(start + m.timeoutRounds() - 1)
+	if m.pending != 10 {
+		t.Fatal("proposal retired early")
+	}
+	// At the timeout, 10 is retired and the machine proposes its own
+	// rank next.
+	m.proposalLogic(start + m.timeoutRounds())
+	if m.floor != 11 {
+		t.Fatalf("floor = %d, want 11 after retiring 10", m.floor)
+	}
+	if m.pending != 50 {
+		t.Fatalf("pending = %d, want own rank 50", m.pending)
+	}
+	if !m.selfProposed {
+		t.Fatal("selfProposed not recorded")
+	}
+	if m.stats.Timeouts != 1 || m.stats.Proposals != 2 {
+		t.Fatalf("stats: %+v", m.stats)
+	}
+}
+
+func TestMachineConfirmCancelsTimeout(t *testing.T) {
+	m := newCandidate(t, 50)
+	m.known.Add(10)
+	start := m.prepEnd + 1
+	m.proposalLogic(start)
+	deliver(m, start+1, confirmMsg{rank: 10, owner: true})
+	if m.confirmed != 10 {
+		t.Fatalf("confirmed = %d, want 10", m.confirmed)
+	}
+	if m.pending != 0 {
+		t.Fatal("confirm did not resolve the pending proposal")
+	}
+	// Quiescence: no further proposals while confirmed >= target.
+	m.proposalLogic(start + 100)
+	if m.pending != 0 || m.stats.Proposals != 1 {
+		t.Fatalf("machine kept proposing after confirmation: %+v", m.stats)
+	}
+}
+
+func TestMachineHigherConfirmDisplacesLeader(t *testing.T) {
+	m := newCandidate(t, 50)
+	deliver(m, 10, relayMaxMsg{rank: 50, ownerProposed: true}) // self-claim
+	deliver(m, 14, confirmMsg{rank: 90, owner: true})          // someone higher
+	if m.confirmed != 90 {
+		t.Fatalf("confirmed = %d, want displaced to 90", m.confirmed)
+	}
+	out := m.Output().(ElectionOutput)
+	if out.State != NonElected || out.LeaderRank != 90 {
+		t.Fatalf("output: %+v", out)
+	}
+}
+
+func TestMachineProposesEachRankOnce(t *testing.T) {
+	m := newCandidate(t, 50)
+	m.known.Add(10)
+	start := m.prepEnd + 1
+	m.proposalLogic(start)
+	first := m.out.Pending()
+	// A relay for the same rank (not owner) keeps it pending; repeated
+	// proposal logic must not re-send.
+	deliver(m, start+1, relayMaxMsg{rank: 10, ownerProposed: false})
+	m.proposalLogic(start + 2)
+	m.proposalLogic(start + 3)
+	if m.out.Pending() != first {
+		t.Fatal("re-proposed a pending rank")
+	}
+}
+
+func TestMachineRefereeRelaysMonotoneMax(t *testing.T) {
+	m := newElectionMachine(testDerived(t))
+	// Two candidates contact the referee.
+	m.handle(2, netsim.Delivery{Port: 4, Payload: rankAnnounce{rank: 100}})
+	m.handle(2, netsim.Delivery{Port: 7, Payload: rankAnnounce{rank: 200}})
+	if !m.refActive || len(m.candPorts) != 2 {
+		t.Fatalf("referee state: active=%v ports=%v", m.refActive, m.candPorts)
+	}
+	drain := func() []netsim.Send {
+		var all []netsim.Send
+		for !m.out.Empty() {
+			all = append(all, m.flush()...)
+		}
+		return all
+	}
+	drain() // rank forwards
+
+	m.handle(5, netsim.Delivery{Port: 4, Payload: proposeMsg{id: 100, prop: 100}})
+	relays := 0
+	for _, s := range drain() {
+		if r, ok := s.Payload.(relayMaxMsg); ok {
+			relays++
+			if r.rank != 100 || !r.ownerProposed {
+				t.Fatalf("relay %#v", r)
+			}
+		}
+	}
+	if relays != 2 {
+		t.Fatalf("relay fan-out = %d, want 2", relays)
+	}
+	// A lower proposal must not trigger a new relay.
+	m.handle(6, netsim.Delivery{Port: 7, Payload: proposeMsg{id: 200, prop: 50}})
+	if len(drain()) != 0 {
+		t.Fatal("lower proposal re-relayed")
+	}
+	// A higher one must.
+	m.handle(7, netsim.Delivery{Port: 7, Payload: proposeMsg{id: 200, prop: 200}})
+	if len(drain()) == 0 {
+		t.Fatal("higher proposal not relayed")
+	}
+	if m.stats.RelaysSent != 2 {
+		t.Fatalf("RelaysSent = %d", m.stats.RelaysSent)
+	}
+}
+
+func TestMachineRefereeBackfillsNewCandidate(t *testing.T) {
+	m := newElectionMachine(testDerived(t))
+	m.handle(2, netsim.Delivery{Port: 4, Payload: rankAnnounce{rank: 100}})
+	m.handle(5, netsim.Delivery{Port: 4, Payload: proposeMsg{id: 100, prop: 100}})
+	m.handle(6, netsim.Delivery{Port: 4, Payload: claimMsg{rank: 100, self: true}})
+	for !m.out.Empty() {
+		m.flush()
+	}
+	// A latecomer candidate contacts the referee: it must receive the
+	// known rank, the current max, and the best claim.
+	m.handle(9, netsim.Delivery{Port: 8, Payload: rankAnnounce{rank: 300}})
+	var kinds []string
+	for !m.out.Empty() {
+		for _, s := range m.flush() {
+			if s.Port == 8 {
+				kinds = append(kinds, s.Payload.Kind())
+			}
+		}
+	}
+	want := map[string]bool{"fwd": false, "relay": false, "confirm": false}
+	for _, k := range kinds {
+		if _, ok := want[k]; ok {
+			want[k] = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("latecomer did not receive %q", k)
+		}
+	}
+}
+
+// Agreement machine white-box tests.
+
+func newAgreeCandidate(t *testing.T, input int) *agreementMachine {
+	t.Helper()
+	m := newAgreementMachine(testDerived(t), input)
+	m.isCandidate = true
+	m.refPorts = []int{1, 2}
+	m.refPortSet = map[int]bool{1: true, 2: true}
+	if input == 0 {
+		m.hasZero = true
+		m.sentZero = true
+	}
+	return m
+}
+
+func TestAgreementMachineZeroFromReferee(t *testing.T) {
+	m := newAgreeCandidate(t, 1)
+	m.handle(netsim.Delivery{Port: 1, Payload: zeroMsg{}})
+	if !m.hasZero {
+		t.Fatal("zero from a referee port not adopted")
+	}
+	// The forward happens on the next Step.
+	env := &netsim.Env{N: 256, Alpha: 0.5, Rand: rng.New(1)}
+	sends := m.Step(env, 10, nil)
+	if len(sends) != 2 {
+		t.Fatalf("zero forward fan-out = %d, want 2", len(sends))
+	}
+	// And only once.
+	if got := m.Step(env, 11, nil); len(got) != 0 {
+		t.Fatal("zero forwarded twice")
+	}
+}
+
+func TestAgreementMachineRefereePushesOncePerPort(t *testing.T) {
+	m := newAgreementMachine(testDerived(t), 1)
+	m.handle(netsim.Delivery{Port: 3, Payload: bitRegister{bit: 1}})
+	m.handle(netsim.Delivery{Port: 5, Payload: bitRegister{bit: 0}})
+	var pushed []int
+	for !m.out.Empty() {
+		for _, s := range m.out.Flush(nil) {
+			if _, ok := s.Payload.(zeroMsg); ok {
+				pushed = append(pushed, s.Port)
+			}
+		}
+	}
+	if len(pushed) != 2 {
+		t.Fatalf("zero pushed to %v, want both candidate ports", pushed)
+	}
+	// Re-receiving a zero must not re-push.
+	m.handle(netsim.Delivery{Port: 5, Payload: zeroMsg{}})
+	if !m.out.Empty() {
+		t.Fatal("duplicate zero re-pushed")
+	}
+}
+
+func TestAgreementMachineUnknownPortZero(t *testing.T) {
+	// A zero from an unknown port is a candidate whose registration was
+	// lost: the referee adopts the port and propagates.
+	m := newAgreementMachine(testDerived(t), 1)
+	m.handle(netsim.Delivery{Port: 6, Payload: zeroMsg{}})
+	if !m.refActive || !m.holdsZero {
+		t.Fatalf("orphan zero not adopted: active=%v holds=%v", m.refActive, m.holdsZero)
+	}
+}
+
+func TestAgreementMachineOutputsAtTermination(t *testing.T) {
+	m := newAgreeCandidate(t, 1)
+	m.lastRound = m.mainEnd
+	out := m.Output().(AgreementOutput)
+	if !out.Decided || out.Value != 1 {
+		t.Fatalf("all-ones candidate output: %+v", out)
+	}
+	m2 := newAgreeCandidate(t, 0)
+	out2 := m2.Output().(AgreementOutput)
+	if !out2.Decided || out2.Value != 0 {
+		t.Fatalf("zero-holder output: %+v", out2)
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sublinear/internal/fault"
+	"sublinear/internal/rng"
+)
+
+func minAgreeOnce(t *testing.T, cfg RunConfig, values []uint64) *MinAgreementResult {
+	t.Helper()
+	res, err := RunMinAgreement(cfg, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func randValues(n int, span uint64, seed uint64) []uint64 {
+	src := rng.New(seed)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(src.Int64n(int64(span)))
+	}
+	return out
+}
+
+func TestMinAgreementFaultFree(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		values := randValues(512, 1<<40, seed)
+		res := minAgreeOnce(t, RunConfig{N: 512, Alpha: 0.5, Seed: seed}, values)
+		if !res.Eval.Success {
+			t.Errorf("seed %d: %s", seed, res.Eval.Reason)
+			continue
+		}
+		// Fault-free the decision is the minimum over committee inputs.
+		minCommittee := ^uint64(0)
+		for u, o := range res.Outputs {
+			if o.IsCandidate && values[u] < minCommittee {
+				minCommittee = values[u]
+			}
+		}
+		if res.Eval.Value != minCommittee {
+			t.Errorf("seed %d: decided %d, committee min %d", seed, res.Eval.Value, minCommittee)
+		}
+	}
+}
+
+func TestMinAgreementConstantValues(t *testing.T) {
+	values := make([]uint64, 256)
+	for i := range values {
+		values[i] = 77
+	}
+	res := minAgreeOnce(t, RunConfig{N: 256, Alpha: 0.5, Seed: 1}, values)
+	if !res.Eval.Success || res.Eval.Value != 77 {
+		t.Fatalf("constant inputs: %+v", res.Eval)
+	}
+	// Constant inputs generate no improvement traffic beyond
+	// registration.
+	if got := res.Counters.PerKind()["value"]; got > int64(res.Eval.Candidates)*2000 {
+		t.Fatalf("excessive traffic for constant inputs: %d", got)
+	}
+}
+
+func TestMinAgreementUnderCrashes(t *testing.T) {
+	const n, reps = 512, 20
+	ok := 0
+	for seed := uint64(0); seed < reps; seed++ {
+		src := rng.New(seed + 800)
+		adv := fault.NewRandomPlan(n, n/2, 40, fault.DropHalf, src)
+		res := minAgreeOnce(t, RunConfig{N: n, Alpha: 0.5, Seed: seed, Adversary: adv},
+			randValues(n, 1000, seed))
+		if res.Eval.Success {
+			ok++
+		} else {
+			t.Logf("seed %d: %s", seed, res.Eval.Reason)
+		}
+	}
+	if ok < reps-1 {
+		t.Errorf("success %d/%d under crashes", ok, reps)
+	}
+}
+
+func TestMinAgreementBinaryEquivalence(t *testing.T) {
+	// On 0/1 inputs the multi-valued protocol must produce the same
+	// decision as the binary protocol (both decide the committee min; the
+	// committees coincide for the same seed because candidate selection
+	// draws the same coins).
+	for seed := uint64(0); seed < 8; seed++ {
+		bits := randInputs(256, seed)
+		vals := make([]uint64, len(bits))
+		for i, b := range bits {
+			vals[i] = uint64(b)
+		}
+		bin := agreeOnce(t, RunConfig{N: 256, Alpha: 0.5, Seed: seed}, bits)
+		multi := minAgreeOnce(t, RunConfig{N: 256, Alpha: 0.5, Seed: seed}, vals)
+		if !bin.Eval.Success || !multi.Eval.Success {
+			t.Fatalf("seed %d: bin=%v multi=%v", seed, bin.Eval.Reason, multi.Eval.Reason)
+		}
+		if uint64(bin.Eval.Value) != multi.Eval.Value {
+			t.Errorf("seed %d: binary decided %d, multi decided %d", seed, bin.Eval.Value, multi.Eval.Value)
+		}
+	}
+}
+
+func TestMinAgreementValidation(t *testing.T) {
+	if _, err := RunMinAgreement(RunConfig{N: 8, Alpha: 1}, []uint64{1}); err == nil {
+		t.Error("short values accepted")
+	}
+	big := make([]uint64, 8)
+	big[3] = 1 << 62
+	if _, err := RunMinAgreement(RunConfig{N: 8, Alpha: 1}, big); err == nil {
+		t.Error("oversized value accepted")
+	}
+}
+
+// Property: the decided value is always a member of the input multiset.
+func TestMinAgreementValidityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 128
+		values := randValues(n, 50, seed) // small span forces collisions
+		res, err := RunMinAgreement(RunConfig{N: n, Alpha: 0.75, Seed: seed}, values)
+		if err != nil {
+			return false
+		}
+		if !res.Eval.Success {
+			return true // Monte Carlo failure is legal
+		}
+		for _, v := range values {
+			if v == res.Eval.Value {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+// Message payloads for the two algorithms. Every payload fits the CONGEST
+// budget: at most one rank (4 ceil(log2 n) bits, the paper's [1, n^4] ID
+// space) plus a rank-sized companion field and a few flag bits.
+
+// rankAnnounce is the pre-processing message of the election algorithm: a
+// candidate announces its rank to a referee ("each candidate node u sends
+// its own rank IDu to its referee nodes").
+type rankAnnounce struct {
+	rank uint64
+}
+
+func (rankAnnounce) Kind() string   { return "rank" }
+func (rankAnnounce) Bits(n int) int { return rankBits(n) + 2 }
+
+// rankForward is a referee forwarding one known candidate rank to one of
+// its candidates (pre-processing, one rank per edge per round).
+type rankForward struct {
+	rank uint64
+}
+
+func (rankForward) Kind() string   { return "fwd" }
+func (rankForward) Bits(n int) int { return rankBits(n) + 2 }
+
+// proposeMsg is Step 1: candidate u proposes rank prop as the potential
+// leader; id is u's own rank (<IDu, pu> in the paper). own == (id == prop).
+type proposeMsg struct {
+	id   uint64
+	prop uint64
+}
+
+func (proposeMsg) Kind() string   { return "propose" }
+func (proposeMsg) Bits(n int) int { return 2*rankBits(n) + 2 }
+
+// relayMaxMsg is Step 2: a referee relays the maximum rank proposed to it;
+// ownerProposed reports whether that rank was proposed by its owner
+// (<IDu, pmax> vs <bot, pmax> in the paper).
+type relayMaxMsg struct {
+	rank          uint64
+	ownerProposed bool
+}
+
+func (relayMaxMsg) Kind() string   { return "relay" }
+func (relayMaxMsg) Bits(n int) int { return rankBits(n) + 3 }
+
+// claimMsg is Step 3 traffic from candidates to referees: a leader claim
+// (self == true: "u sends <IDu, p~max> and marks itself the leader") or an
+// acknowledging echo by a candidate that adopted the owner's claim.
+type claimMsg struct {
+	rank uint64
+	self bool
+}
+
+func (claimMsg) Kind() string   { return "claim" }
+func (claimMsg) Bits(n int) int { return rankBits(n) + 3 }
+
+// confirmMsg is a referee relaying the strongest claim it has seen to its
+// candidates; owner reports whether the rank's owner itself claimed.
+type confirmMsg struct {
+	rank  uint64
+	owner bool
+}
+
+func (confirmMsg) Kind() string   { return "confirm" }
+func (confirmMsg) Bits(n int) int { return rankBits(n) + 3 }
+
+// leaderAnnounce is the explicit extension: a candidate broadcasts the
+// elected leader's rank to the whole network.
+type leaderAnnounce struct {
+	rank uint64
+}
+
+func (leaderAnnounce) Kind() string   { return "announce" }
+func (leaderAnnounce) Bits(n int) int { return rankBits(n) + 2 }
+
+// bitRegister is Step 0 of the agreement algorithm: a candidate registers
+// with a referee, carrying its input bit.
+type bitRegister struct {
+	bit int
+}
+
+func (bitRegister) Kind() string { return "register" }
+func (bitRegister) Bits(int) int { return 3 }
+
+// zeroMsg propagates the value 0 (candidate -> referee or referee ->
+// candidate); all agreement propagation messages carry a single bit.
+type zeroMsg struct{}
+
+func (zeroMsg) Kind() string { return "zero" }
+func (zeroMsg) Bits(int) int { return 2 }
+
+// valueAnnounce is the explicit extension of agreement: a decided
+// candidate broadcasts the agreed bit to the whole network.
+type valueAnnounce struct {
+	bit int
+}
+
+func (valueAnnounce) Kind() string { return "announce" }
+func (valueAnnounce) Bits(int) int { return 3 }

@@ -1,0 +1,48 @@
+package core
+
+import "sort"
+
+// rankSet is the candidate's rankList: an ordered set of known candidate
+// ranks with O(log k) insertion and minimum-above queries. Sizes stay at
+// the committee scale (Theta(log n / alpha)), so a sorted slice wins over
+// a tree.
+type rankSet struct {
+	sorted []uint64
+}
+
+// Add inserts r, returning false if it was already present.
+func (s *rankSet) Add(r uint64) bool {
+	i := sort.Search(len(s.sorted), func(i int) bool { return s.sorted[i] >= r })
+	if i < len(s.sorted) && s.sorted[i] == r {
+		return false
+	}
+	s.sorted = append(s.sorted, 0)
+	copy(s.sorted[i+1:], s.sorted[i:])
+	s.sorted[i] = r
+	return true
+}
+
+// Contains reports whether r is in the set.
+func (s *rankSet) Contains(r uint64) bool {
+	i := sort.Search(len(s.sorted), func(i int) bool { return s.sorted[i] >= r })
+	return i < len(s.sorted) && s.sorted[i] == r
+}
+
+// MinAtLeast returns the smallest element >= floor for which skip returns
+// false, or 0 if none exists. skip may be nil.
+func (s *rankSet) MinAtLeast(floor uint64, skip func(uint64) bool) uint64 {
+	i := sort.Search(len(s.sorted), func(i int) bool { return s.sorted[i] >= floor })
+	for ; i < len(s.sorted); i++ {
+		if skip == nil || !skip(s.sorted[i]) {
+			return s.sorted[i]
+		}
+	}
+	return 0
+}
+
+// Len returns the number of elements.
+func (s *rankSet) Len() int { return len(s.sorted) }
+
+// All returns the elements in ascending order. The returned slice is the
+// set's backing store; callers must not modify it.
+func (s *rankSet) All() []uint64 { return s.sorted }

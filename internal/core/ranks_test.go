@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRankSetBasics(t *testing.T) {
+	var s rankSet
+	if s.Len() != 0 || s.Contains(1) {
+		t.Fatal("zero value not empty")
+	}
+	if !s.Add(5) || !s.Add(3) || !s.Add(9) {
+		t.Fatal("Add of new values returned false")
+	}
+	if s.Add(5) {
+		t.Fatal("duplicate Add returned true")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for _, v := range []uint64{3, 5, 9} {
+		if !s.Contains(v) {
+			t.Errorf("Contains(%d) = false", v)
+		}
+	}
+	if s.Contains(4) {
+		t.Error("Contains(4) = true")
+	}
+	want := []uint64{3, 5, 9}
+	got := s.All()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("All() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRankSetMinAtLeast(t *testing.T) {
+	var s rankSet
+	for _, v := range []uint64{10, 20, 30, 40} {
+		s.Add(v)
+	}
+	tests := []struct {
+		floor uint64
+		skip  func(uint64) bool
+		want  uint64
+	}{
+		{0, nil, 10},
+		{10, nil, 10},
+		{11, nil, 20},
+		{41, nil, 0},
+		{0, func(r uint64) bool { return r == 10 }, 20},
+		{0, func(r uint64) bool { return r <= 30 }, 40},
+		{0, func(r uint64) bool { return true }, 0},
+	}
+	for i, tt := range tests {
+		if got := s.MinAtLeast(tt.floor, tt.skip); got != tt.want {
+			t.Errorf("case %d: MinAtLeast = %d, want %d", i, got, tt.want)
+		}
+	}
+}
+
+// Property: rankSet behaves like a sorted set built from a map.
+func TestRankSetMatchesModel(t *testing.T) {
+	f := func(vals []uint64, floor uint64) bool {
+		var s rankSet
+		model := make(map[uint64]bool)
+		for _, v := range vals {
+			added := s.Add(v)
+			if added == model[v] { // added must be !present
+				return false
+			}
+			model[v] = true
+		}
+		if s.Len() != len(model) {
+			return false
+		}
+		keys := make([]uint64, 0, len(model))
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for i, k := range keys {
+			if s.All()[i] != k {
+				return false
+			}
+		}
+		// MinAtLeast against the model.
+		var want uint64
+		for _, k := range keys {
+			if k >= floor {
+				want = k
+				break
+			}
+		}
+		return s.MinAtLeast(floor, nil) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"sublinear/internal/netsim"
+	"sublinear/internal/realnet"
+)
+
+// RunElectionOverTCP executes the leader election with every message
+// crossing a real TCP loopback socket in the binary wire format, instead
+// of the in-memory simulator. Same model, same adversary semantics, same
+// evaluation; see internal/realnet.
+func RunElectionOverTCP(cfg RunConfig) (*ElectionResult, error) {
+	d, err := deriveParams(cfg.Params, cfg.N, cfg.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	machines := make([]netsim.Machine, cfg.N)
+	for u := range machines {
+		machines[u] = newElectionMachine(d)
+	}
+	res, err := realnet.Run(realnet.Config{
+		N:         cfg.N,
+		Alpha:     cfg.Alpha,
+		Seed:      cfg.Seed,
+		MaxRounds: electionRounds(d),
+		Encode:    EncodePayload,
+		Decode:    DecodePayload,
+		Adversary: cfg.Adversary,
+	}, machines)
+	if err != nil {
+		return nil, fmt.Errorf("election over tcp: %w", err)
+	}
+	out := &ElectionResult{
+		Outputs:   make([]ElectionOutput, cfg.N),
+		CrashedAt: res.CrashedAt,
+		Faulty:    faultyVector(cfg.Adversary, cfg.N),
+		Rounds:    res.Rounds,
+		Counters:  res.Counters,
+	}
+	for u, o := range res.Outputs {
+		eo, ok := o.(ElectionOutput)
+		if !ok {
+			return nil, fmt.Errorf("election over tcp: node %d returned %T", u, o)
+		}
+		out.Outputs[u] = eo
+	}
+	out.Eval = evaluateElection(out.Outputs, res.CrashedAt, d.params.Explicit)
+	return out, nil
+}
+
+// RunAgreementOverTCP is RunAgreement over real TCP loopback sockets.
+func RunAgreementOverTCP(cfg RunConfig, inputs []int) (*AgreementResult, error) {
+	d, err := deriveParams(cfg.Params, cfg.N, cfg.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	if len(inputs) != cfg.N {
+		return nil, fmt.Errorf("agreement over tcp: %d inputs for N=%d", len(inputs), cfg.N)
+	}
+	machines := make([]netsim.Machine, cfg.N)
+	for u := range machines {
+		if inputs[u] != 0 && inputs[u] != 1 {
+			return nil, fmt.Errorf("agreement over tcp: input[%d] = %d", u, inputs[u])
+		}
+		machines[u] = newAgreementMachine(d, inputs[u])
+	}
+	res, err := realnet.Run(realnet.Config{
+		N:         cfg.N,
+		Alpha:     cfg.Alpha,
+		Seed:      cfg.Seed,
+		MaxRounds: agreementRounds(d, 0),
+		Encode:    EncodePayload,
+		Decode:    DecodePayload,
+		Adversary: cfg.Adversary,
+	}, machines)
+	if err != nil {
+		return nil, fmt.Errorf("agreement over tcp: %w", err)
+	}
+	out := &AgreementResult{
+		Outputs:   make([]AgreementOutput, cfg.N),
+		CrashedAt: res.CrashedAt,
+		Faulty:    faultyVector(cfg.Adversary, cfg.N),
+		Rounds:    res.Rounds,
+		Counters:  res.Counters,
+	}
+	for u, o := range res.Outputs {
+		ao, ok := o.(AgreementOutput)
+		if !ok {
+			return nil, fmt.Errorf("agreement over tcp: node %d returned %T", u, o)
+		}
+		out.Outputs[u] = ao
+	}
+	out.Eval = evaluateAgreement(out.Outputs, inputs, res.CrashedAt, d.params.Explicit)
+	return out, nil
+}
+
+func faultyVector(adv netsim.Adversary, n int) []bool {
+	out := make([]bool, n)
+	if adv == nil {
+		return out
+	}
+	for u := 0; u < n; u++ {
+		out[u] = adv.Faulty(u)
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every registered experiment in quick mode
+// end to end: each must complete without error, produce at least one
+// non-empty table, and render. This is the regression net for the
+// reproduction harness itself (the full-scale numbers are recorded in
+// EXPERIMENTS.md).
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiments still run full protocol sweeps")
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			t.Parallel()
+			rep, err := r.Run(Config{Quick: true, SeedBase: 1})
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if rep.ID != r.ID {
+				t.Errorf("report ID %q, want %q", rep.ID, r.ID)
+			}
+			if len(rep.Tables) == 0 {
+				t.Fatalf("%s produced no tables", r.ID)
+			}
+			for i, tbl := range rep.Tables {
+				if len(tbl.Rows) == 0 {
+					t.Errorf("%s table %d is empty", r.ID, i)
+				}
+				for _, row := range tbl.Rows {
+					if len(row) != len(tbl.Header) {
+						t.Errorf("%s table %d: row width %d vs header %d", r.ID, i, len(row), len(tbl.Header))
+					}
+				}
+			}
+			var sb strings.Builder
+			if err := rep.Render(&sb); err != nil {
+				t.Fatalf("%s render: %v", r.ID, err)
+			}
+			if !strings.Contains(sb.String(), r.ID) {
+				t.Errorf("%s render missing header", r.ID)
+			}
+		})
+	}
+}
+
+func TestFigureHelper(t *testing.T) {
+	rep := &Report{ID: "X", Title: "t"}
+	rep.figure("fig", true, []string{"a", "b"}, []float64{1, 10})
+	if len(rep.Figures) != 1 {
+		t.Fatal("figure not attached")
+	}
+	var sb strings.Builder
+	if err := rep.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fig") {
+		t.Error("figure title missing from render")
+	}
+}

@@ -1,0 +1,358 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"sublinear"
+	"sublinear/internal/baseline"
+	"sublinear/internal/fault"
+	"sublinear/internal/rng"
+	"sublinear/internal/stats"
+)
+
+// runE1 reproduces Table I: the same agreement workload measured across
+// the paper's protocol landscape, plus the equivalent comparison for
+// leader election. Absolute numbers are simulator counts; the shape to
+// check is who is sublinear, who is linear, who is quadratic, and who
+// survives f = n/2 - 1 crashes.
+func runE1(cfg Config) (*Report, error) {
+	rep := &Report{ID: "E1", Title: "Table I: agreement protocol comparison"}
+	ns := pick(cfg, []int{1024, 4096}, []int{512})
+	reps := pick(cfg, 5, 2)
+
+	agreeTbl := NewTable(
+		"Agreement protocols, random inputs (P[1]=1/2), f=n/2-1 random crashes (DropHalf) where tolerated",
+		"protocol", "model", "tolerates", "n", "f", "msgs", "bits", "rounds", "success")
+	electTbl := NewTable(
+		"Leader election protocols, f=n/2-1 random crashes (DropHalf) where tolerated",
+		"protocol", "model", "tolerates", "n", "f", "msgs", "rounds", "success")
+
+	for _, n := range ns {
+		f := n/2 - 1
+		cfg.progressf("E1: n=%d\n", n)
+
+		// Ours, implicit and explicit agreement.
+		opts := sublinear.Options{N: n, Alpha: 0.5,
+			Faults: &sublinear.FaultModel{Faulty: f, Policy: sublinear.DropHalf}}
+		agg, err := runAgreementReps(opts, 0.5, reps, cfg.SeedBase+uint64(n))
+		if err != nil {
+			return nil, err
+		}
+		agreeTbl.AddRow("this paper (implicit)", "KT0 anon", "n-log^2(n)", n, f,
+			agg.Messages.Mean, agg.Bits.Mean, agg.Rounds.Mean, rate(agg.Success, reps))
+
+		opts.Explicit = true
+		aggE, err := runAgreementReps(opts, 0.5, reps, cfg.SeedBase+uint64(n))
+		if err != nil {
+			return nil, err
+		}
+		agreeTbl.AddRow("this paper (explicit)", "KT0 anon", "n-log^2(n)", n, f,
+			aggE.Messages.Mean, aggE.Bits.Mean, aggE.Rounds.Mean, rate(aggE.Success, reps))
+
+		// GK-style and FloodSet baselines under the same adversary family.
+		var gkAgg, fsAgg baselineAgg
+		for r := 0; r < reps; r++ {
+			seed := cfg.SeedBase + uint64(n) + uint64(r)*104729
+			inputs := sublinear.RandomInputs(n, 0.5, seed^0xbeef)
+			src := rng.New(seed ^ 0xadd5)
+			gk, err := baseline.RunGK(baseline.GKConfig{N: n, Seed: seed}, inputs,
+				faultPlan(n, f, 20, src))
+			if err != nil {
+				return nil, err
+			}
+			gkAgg.add(gk)
+			fs, err := baseline.RunFloodSet(baseline.FloodSetConfig{N: n, Seed: seed, F: f}, inputs,
+				faultPlan(n, f, f+1, src))
+			if err != nil {
+				return nil, err
+			}
+			fsAgg.add(fs)
+		}
+		agreeTbl.AddRow("Gilbert-Kowalski style", "KT1", "n/2-1", n, f,
+			gkAgg.meanMsgs(), gkAgg.meanBits(), gkAgg.meanRounds(), rate(gkAgg.ok, reps))
+		agreeTbl.AddRow("FloodSet (classical)", "KT0 bcast", "any f", n, f,
+			fsAgg.meanMsgs(), fsAgg.meanBits(), fsAgg.meanRounds(), rate(fsAgg.ok, reps))
+
+		// Push-gossip (Chlebus–Kowalski-style expected bounds) and the
+		// deterministic rotating coordinator.
+		var goAgg, rotAgg baselineAgg
+		for r := 0; r < reps; r++ {
+			seed := cfg.SeedBase + uint64(n) + uint64(r)*104729
+			inputs := sublinear.RandomInputs(n, 0.5, seed^0xbeef)
+			src := rng.New(seed ^ 0xadd5)
+			gp, err := baseline.RunGossip(baseline.GossipConfig{N: n, Seed: seed}, inputs,
+				faultPlan(n, f, 20, src))
+			if err != nil {
+				return nil, err
+			}
+			goAgg.add(gp)
+			rot, err := baseline.RunRotating(baseline.RotatingConfig{N: n, Seed: seed, F: f}, inputs,
+				faultPlan(n, f, f+1, src))
+			if err != nil {
+				return nil, err
+			}
+			rotAgg.add(rot)
+		}
+		agreeTbl.AddRow("push gossip (CK-style)", "KT0 anon", "n/2-1*", n, f,
+			goAgg.meanMsgs(), goAgg.meanBits(), goAgg.meanRounds(), rate(goAgg.ok, reps))
+		agreeTbl.AddRow("rotating coordinator (det.)", "KT1", "any f", n, f,
+			rotAgg.meanMsgs(), rotAgg.meanBits(), rotAgg.meanRounds(), rate(rotAgg.ok, reps))
+
+		// AMP fault-free implicit agreement.
+		var ampAgg baselineAgg
+		for r := 0; r < reps; r++ {
+			seed := cfg.SeedBase + uint64(n) + uint64(r)*104729
+			inputs := sublinear.RandomInputs(n, 0.5, seed^0xbeef)
+			amp, err := baseline.RunAMP(baseline.AMPConfig{N: n, Seed: seed}, inputs)
+			if err != nil {
+				return nil, err
+			}
+			ampAgg.add(amp)
+		}
+		agreeTbl.AddRow("Augustine et al. (fault-free)", "KT0 anon", "0", n, 0,
+			ampAgg.meanMsgs(), ampAgg.meanBits(), ampAgg.meanRounds(), rate(ampAgg.ok, reps))
+
+		// Election comparison.
+		eOpts := sublinear.Options{N: n, Alpha: 0.5,
+			Faults: &sublinear.FaultModel{Faulty: f, Policy: sublinear.DropHalf}}
+		eAgg, err := runElectionReps(eOpts, reps, cfg.SeedBase+uint64(n))
+		if err != nil {
+			return nil, err
+		}
+		electTbl.AddRow("this paper (implicit)", "KT0 anon", "n-log^2(n)", n, f,
+			eAgg.Messages.Mean, eAgg.Rounds.Mean, rate(eAgg.Success, reps))
+
+		var kAgg, apAgg baselineAgg
+		for r := 0; r < reps; r++ {
+			seed := cfg.SeedBase + uint64(n) + uint64(r)*104729
+			kt, err := baseline.RunKutten(baseline.KuttenConfig{N: n, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			kAgg.add(kt)
+			src := rng.New(seed ^ 0xadd5)
+			ap, err := baseline.RunAllPairs(baseline.AllPairsConfig{N: n, Seed: seed, F: f},
+				faultPlan(n, f, f+1, src))
+			if err != nil {
+				return nil, err
+			}
+			apAgg.add(ap)
+		}
+		electTbl.AddRow("Kutten et al. (fault-free)", "KT0 anon", "0", n, 0,
+			kAgg.meanMsgs(), kAgg.meanRounds(), rate(kAgg.ok, reps))
+		electTbl.AddRow("all-pairs flooding", "KT0 bcast", "any f", n, f,
+			apAgg.meanMsgs(), apAgg.meanRounds(), rate(apAgg.ok, reps))
+	}
+	rep.Tables = append(rep.Tables, agreeTbl, electTbl)
+	rep.notef("shape check: this paper and the fault-free sublinear baselines stay Õ(sqrt(n)); GK-style is Θ(n log n); FloodSet and all-pairs are Θ(n^2).")
+	return rep, nil
+}
+
+// runE2 sweeps n at fixed alpha and fits the election message exponent
+// (Theorem 4.1: Õ(sqrt n) for constant alpha).
+func runE2(cfg Config) (*Report, error) {
+	rep := &Report{ID: "E2", Title: "Theorem 4.1: election messages vs n (alpha = 1/2)"}
+	ns := pick(cfg, []int{1024, 2048, 4096, 8192, 16384}, []int{512, 1024, 2048})
+	reps := pick(cfg, 5, 2)
+	tbl := NewTable("Leader election, alpha=1/2, f=n/2 random crashes (DropHalf)",
+		"n", "msgs(mean)", "msgs(p90)", "bits(mean)", "rounds", "success", "msgs/n", "msgs/sqrt(n)")
+	var xs, ys []float64
+	for _, n := range ns {
+		cfg.progressf("E2: n=%d\n", n)
+		opts := sublinear.Options{N: n, Alpha: 0.5,
+			Faults: &sublinear.FaultModel{Faulty: n / 2, Policy: sublinear.DropHalf}}
+		agg, err := runElectionReps(opts, reps, cfg.SeedBase+uint64(n)*31)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(n, agg.Messages.Mean, agg.Messages.P90, agg.Bits.Mean, agg.Rounds.Mean,
+			rate(agg.Success, reps),
+			agg.Messages.Mean/float64(n), agg.Messages.Mean/sqrtF(n))
+		xs = append(xs, float64(n))
+		ys = append(ys, agg.Messages.Mean)
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	labels := make([]string, len(ns))
+	for i, n := range ns {
+		labels[i] = fmt.Sprintf("n=%d", n)
+	}
+	rep.figure("figure: election messages vs n (log scale)", true, labels, ys)
+	if fit, err := stats.LogLogSlope(xs, ys); err == nil {
+		rep.notef("log-log slope of messages vs n: %.3f (R^2=%.3f); theory: 0.5 plus polylog drift — sublinear iff < 1.", fit.Slope, fit.R2)
+	}
+	return rep, nil
+}
+
+// runE3 sweeps alpha at fixed n and fits the election message exponent in
+// 1/alpha (Theorem 4.1: O(sqrt(n) log^{5/2} n / alpha^{5/2})).
+func runE3(cfg Config) (*Report, error) {
+	rep := &Report{ID: "E3", Title: "Theorem 4.1: election messages vs alpha"}
+	n := pick(cfg, 2048, 512)
+	alphas := pick(cfg, []float64{1, 0.5, 0.25, 0.125}, []float64{1, 0.5, 0.25})
+	reps := pick(cfg, 3, 2)
+	tbl := NewTable(fmt.Sprintf("Leader election, n=%d, f=(1-alpha)n random crashes (DropHalf)", n),
+		"alpha", "f", "msgs(mean)", "rounds", "success")
+	var xs, ys []float64
+	for _, alpha := range alphas {
+		cfg.progressf("E3: alpha=%v\n", alpha)
+		f := int((1 - alpha) * float64(n))
+		opts := sublinear.Options{N: n, Alpha: alpha}
+		if f > 0 {
+			opts.Faults = &sublinear.FaultModel{Faulty: f, Policy: sublinear.DropHalf}
+		}
+		agg, err := runElectionReps(opts, reps, cfg.SeedBase+uint64(alpha*1024))
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(alpha, f, agg.Messages.Mean, agg.Rounds.Mean, rate(agg.Success, reps))
+		xs = append(xs, 1/alpha)
+		ys = append(ys, agg.Messages.Mean)
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	labels := make([]string, len(alphas))
+	for i, a := range alphas {
+		labels[i] = fmt.Sprintf("alpha=%v", a)
+	}
+	rep.figure("figure: election messages vs alpha (log scale)", true, labels, ys)
+	if fit, err := stats.LogLogSlope(xs, ys); err == nil {
+		rep.notef("log-log slope of messages vs 1/alpha: %.3f (R^2=%.3f); theory: between 3/2 (benign constant) and 5/2 (worst-case bound).", fit.Slope, fit.R2)
+	}
+	return rep, nil
+}
+
+// runE4 validates the safety side of Theorem 4.1: exactly one leader, and
+// against the footnote-3 adversary (all faulty nodes crash after the
+// election) the elected leader is non-faulty with probability >= alpha.
+func runE4(cfg Config) (*Report, error) {
+	rep := &Report{ID: "E4", Title: "Theorem 4.1: leader uniqueness and non-faulty probability"}
+	n := pick(cfg, 2048, 512)
+	reps := pick(cfg, 40, 10)
+	alpha := 0.5
+	f := n / 2
+	tbl := NewTable(fmt.Sprintf("n=%d, alpha=%v, f=%d", n, alpha, f),
+		"adversary", "success", "leader non-faulty", "leader never crashed")
+
+	late := sublinear.Options{N: n, Alpha: alpha,
+		Faults: &sublinear.FaultModel{Faulty: f, CrashAfterElection: true}}
+	aggLate, err := runElectionReps(late, reps, cfg.SeedBase+11)
+	if err != nil {
+		return nil, err
+	}
+	tbl.AddRow("crash after election (footnote 3)", rate(aggLate.Success, reps),
+		rate(aggLate.LeaderNonFaulty, max(aggLate.Success, 1)),
+		rate(aggLate.LeaderLive, max(aggLate.Success, 1)))
+
+	mid := sublinear.Options{N: n, Alpha: alpha,
+		Faults: &sublinear.FaultModel{Faulty: f, Policy: sublinear.DropHalf}}
+	aggMid, err := runElectionReps(mid, reps, cfg.SeedBase+13)
+	if err != nil {
+		return nil, err
+	}
+	tbl.AddRow("random mid-run crashes (DropHalf)", rate(aggMid.Success, reps),
+		rate(aggMid.LeaderNonFaulty, max(aggMid.Success, 1)),
+		rate(aggMid.LeaderLive, max(aggMid.Success, 1)))
+
+	hunter := sublinear.Options{N: n, Alpha: alpha,
+		Faults: &sublinear.FaultModel{Faulty: f, Hunter: true, Policy: sublinear.DropHalf}}
+	aggHunt, err := runElectionReps(hunter, reps, cfg.SeedBase+17)
+	if err != nil {
+		return nil, err
+	}
+	tbl.AddRow("adaptive committee hunter (DropHalf)", rate(aggHunt.Success, reps),
+		rate(aggHunt.LeaderNonFaulty, max(aggHunt.Success, 1)),
+		rate(aggHunt.LeaderLive, max(aggHunt.Success, 1)))
+
+	rep.Tables = append(rep.Tables, tbl)
+	rep.notef("theory: under the footnote-3 adversary P[leader non-faulty] ~ 1-f/n = alpha = %.2f; uniqueness holds w.h.p. under every adversary.", alpha)
+	if fails := topFailures(append(aggLate.Failures, append(aggMid.Failures, aggHunt.Failures...)...)); fails != "" {
+		rep.notef("failures: %s", fails)
+	}
+	return rep, nil
+}
+
+// runE5 is E2/E3 for agreement (Theorem 5.1).
+func runE5(cfg Config) (*Report, error) {
+	rep := &Report{ID: "E5", Title: "Theorem 5.1: agreement message scaling"}
+	ns := pick(cfg, []int{1024, 2048, 4096, 8192, 16384}, []int{512, 1024, 2048})
+	reps := pick(cfg, 5, 2)
+	tblN := NewTable("Agreement vs n, alpha=1/2, f=n/2 random crashes (DropHalf), P[1]=1/2",
+		"n", "msgs(mean)", "bits(mean)", "rounds", "success", "msgs/sqrt(n)")
+	var xs, ys []float64
+	for _, n := range ns {
+		cfg.progressf("E5: n=%d\n", n)
+		opts := sublinear.Options{N: n, Alpha: 0.5,
+			Faults: &sublinear.FaultModel{Faulty: n / 2, Policy: sublinear.DropHalf}}
+		agg, err := runAgreementReps(opts, 0.5, reps, cfg.SeedBase+uint64(n)*37)
+		if err != nil {
+			return nil, err
+		}
+		tblN.AddRow(n, agg.Messages.Mean, agg.Bits.Mean, agg.Rounds.Mean,
+			rate(agg.Success, reps), agg.Messages.Mean/sqrtF(n))
+		xs = append(xs, float64(n))
+		ys = append(ys, agg.Messages.Mean)
+	}
+	rep.Tables = append(rep.Tables, tblN)
+	nLabels := make([]string, len(ns))
+	for i, n := range ns {
+		nLabels[i] = fmt.Sprintf("n=%d", n)
+	}
+	rep.figure("figure: agreement messages vs n (log scale)", true, nLabels, ys)
+	if fit, err := stats.LogLogSlope(xs, ys); err == nil {
+		rep.notef("log-log slope of messages vs n: %.3f (R^2=%.3f); theory 0.5 plus polylog drift.", fit.Slope, fit.R2)
+	}
+
+	nA := pick(cfg, 2048, 512)
+	alphas := pick(cfg, []float64{1, 0.5, 0.25, 0.125}, []float64{1, 0.5, 0.25})
+	tblA := NewTable(fmt.Sprintf("Agreement vs alpha, n=%d, f=(1-alpha)n random crashes (DropHalf)", nA),
+		"alpha", "f", "msgs(mean)", "rounds", "success")
+	var xa, ya []float64
+	for _, alpha := range alphas {
+		cfg.progressf("E5: alpha=%v\n", alpha)
+		f := int((1 - alpha) * float64(nA))
+		opts := sublinear.Options{N: nA, Alpha: alpha}
+		if f > 0 {
+			opts.Faults = &sublinear.FaultModel{Faulty: f, Policy: sublinear.DropHalf}
+		}
+		agg, err := runAgreementReps(opts, 0.5, reps, cfg.SeedBase+uint64(alpha*2048))
+		if err != nil {
+			return nil, err
+		}
+		tblA.AddRow(alpha, f, agg.Messages.Mean, agg.Rounds.Mean, rate(agg.Success, reps))
+		xa = append(xa, 1/alpha)
+		ya = append(ya, agg.Messages.Mean)
+	}
+	rep.Tables = append(rep.Tables, tblA)
+	if fit, err := stats.LogLogSlope(xa, ya); err == nil {
+		rep.notef("log-log slope of messages vs 1/alpha: %.3f (R^2=%.3f); theory 3/2.", fit.Slope, fit.R2)
+	}
+	return rep, nil
+}
+
+func sqrtF(n int) float64 { return math.Sqrt(float64(n)) }
+
+// baselineAgg accumulates baseline.Result runs for one table row.
+type baselineAgg struct {
+	msgs, bits, rounds float64
+	ok, runs           int
+}
+
+func (a *baselineAgg) add(r *baseline.Result) {
+	a.runs++
+	a.msgs += float64(r.Counters.Messages())
+	a.bits += float64(r.Counters.Bits())
+	a.rounds += float64(r.Rounds)
+	if r.Success {
+		a.ok++
+	}
+}
+
+func (a *baselineAgg) meanMsgs() float64   { return a.msgs / float64(max(a.runs, 1)) }
+func (a *baselineAgg) meanBits() float64   { return a.bits / float64(max(a.runs, 1)) }
+func (a *baselineAgg) meanRounds() float64 { return a.rounds / float64(max(a.runs, 1)) }
+
+// faultPlan builds the standard random-crash adversary used across
+// experiments.
+func faultPlan(n, f, horizon int, src *rng.Source) *fault.Plan {
+	return fault.NewRandomPlan(n, f, horizon, fault.DropHalf, src)
+}

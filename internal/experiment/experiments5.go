@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"sublinear"
+)
+
+// runE13 measures the *semantics* of implicit agreement (Definition 2 and
+// the discussion around it): the decision is the 0-biased agreement over
+// the random committee's inputs, so a 0 held by k nodes is decided iff
+// some committee member holds it. The catch probability is
+// 1 - (1 - |C|/n)^k; the experiment sweeps k and compares measured catch
+// rates against that prediction — quantifying exactly what the
+// "sampled quorum" of examples/configflag can and cannot see.
+func runE13(cfg Config) (*Report, error) {
+	rep := &Report{ID: "E13", Title: "Implicit-agreement sampling semantics: zero-catch probability vs planted zeros"}
+	n := pick(cfg, 2048, 512)
+	reps := pick(cfg, 40, 10)
+	ks := pick(cfg, []int{1, 4, 16, 64, 256}, []int{1, 8, 64})
+
+	d, err := sublinear.Describe(sublinear.Tuning{}, n, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	committee := d.ExpectedCandidates
+
+	tbl := NewTable(fmt.Sprintf("n=%d, alpha=1/2, f=n/2 random crashes (DropHalf); k zeros planted uniformly", n),
+		"k zeros", "decided 0", "success", "predicted catch 1-(1-|C|/n)^k")
+	var labels []string
+	var caught []float64
+	for _, k := range ks {
+		cfg.progressf("E13: k=%d\n", k)
+		zeroWins, ok := 0, 0
+		for r := 0; r < reps; r++ {
+			seed := cfg.SeedBase + uint64(r)*7927 + uint64(k)
+			inputs := sublinear.SparseZeros(n, k, seed^0x5eed)
+			res, err := sublinear.Agree(sublinear.Options{
+				N: n, Alpha: 0.5, Seed: seed,
+				Faults: &sublinear.FaultModel{Faulty: n / 2, Policy: sublinear.DropHalf},
+			}, inputs)
+			if err != nil {
+				return nil, err
+			}
+			if res.Eval.Success {
+				ok++
+				if res.Eval.Value == 0 {
+					zeroWins++
+				}
+			}
+		}
+		predicted := 1 - math.Pow(1-committee/float64(n), float64(k))
+		tbl.AddRow(k, rate(zeroWins, reps), rate(ok, reps), predicted)
+		labels = append(labels, fmt.Sprintf("k=%d", k))
+		caught = append(caught, float64(zeroWins)/float64(reps))
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	rep.figure("figure: P[decide 0] vs planted zeros", false, labels, caught)
+	rep.notef("the committee is a Theta(log n/alpha) uniform sample (E[|C|] = %.0f here): singleton zeros are caught with probability ~|C|/n = %.3f, widespread zeros w.h.p. — validity holds either way (the decision is always some node's input). This is the quantitative content of the paper's implicit relaxation.", committee, committee/float64(n))
+	return rep, nil
+}

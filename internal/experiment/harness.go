@@ -1,0 +1,248 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"sublinear"
+	"sublinear/internal/stats"
+	"sublinear/internal/viz"
+)
+
+// Report is the output of one experiment.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []*Table
+	// Figures are terminal bar charts rendered after the tables.
+	Figures []viz.Bars
+	// Notes carries fit results, verdicts and caveats, one per line.
+	Notes []string
+}
+
+// Render writes the whole report as text.
+func (r *Report) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	for _, t := range r.Tables {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	for _, f := range r.Figures {
+		if err := f.Render(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// figure appends a bar-chart figure built from parallel label/value
+// slices.
+func (r *Report) figure(title string, logScale bool, labels []string, values []float64) {
+	r.Figures = append(r.Figures, viz.Bars{
+		Title: title, Labels: labels, Values: values, LogScale: logScale,
+	})
+}
+
+func (r *Report) notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Config controls an experiment invocation.
+type Config struct {
+	// Quick shrinks sweeps and repetition counts for CI-scale runs.
+	Quick bool
+	// Progress receives one line per sweep point; nil discards.
+	Progress io.Writer
+	// SeedBase offsets every seed, for independent re-runs.
+	SeedBase uint64
+}
+
+func (c Config) progressf(format string, args ...any) {
+	if c.Progress != nil {
+		fmt.Fprintf(c.Progress, format, args...)
+	}
+}
+
+// pick returns quick when c.Quick, else full.
+func pick[T any](c Config, full, quick T) T {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// Runner is a registered experiment.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(Config) (*Report, error)
+}
+
+// All returns every registered experiment in order.
+func All() []Runner {
+	return []Runner{
+		{"E1", "Table I: agreement protocol comparison", runE1},
+		{"E2", "Theorem 4.1: election messages vs n", runE2},
+		{"E3", "Theorem 4.1: election messages vs alpha", runE3},
+		{"E4", "Theorem 4.1: leader uniqueness and non-faulty probability", runE4},
+		{"E5", "Theorem 5.1: agreement message scaling", runE5},
+		{"E6", "Theorems 4.2/5.2: message starvation and influence clouds", runE6},
+		{"E7", "Corollaries 1/3: round complexity", runE7},
+		{"E8", "Resilience frontier f = n - log^2 n", runE8},
+		{"E9", "Implicit-to-explicit extension overhead", runE9},
+		{"E10", "Ablations: constants, iteration budget, engines", runE10},
+		{"E11", "Open problem 3: Byzantine non-resistance", runE11},
+		{"E12", "Open problem 2: general-graph walk election", runE12},
+		{"E13", "Implicit-agreement sampling semantics", runE13},
+	}
+}
+
+// Find returns the runner with the given ID.
+func Find(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// electionStats aggregates repeated election runs at one sweep point.
+type electionStats struct {
+	Messages stats.Summary
+	Bits     stats.Summary
+	Rounds   stats.Summary
+	Success  int
+	Reps     int
+	// LeaderNonFaulty counts successful runs whose agreed leader was a
+	// non-faulty node.
+	LeaderNonFaulty int
+	// LeaderLive counts successful runs whose agreed leader never
+	// crashed.
+	LeaderLive int
+	Failures   []string
+}
+
+// runElectionReps runs reps independent elections and aggregates.
+func runElectionReps(opts sublinear.Options, reps int, seedBase uint64) (electionStats, error) {
+	var (
+		agg        electionStats
+		msgs, bits []float64
+		rounds     []float64
+	)
+	agg.Reps = reps
+	for rep := 0; rep < reps; rep++ {
+		opts.Seed = seedBase + uint64(rep)*7919
+		res, err := sublinear.Elect(opts)
+		if err != nil {
+			return agg, err
+		}
+		msgs = append(msgs, float64(res.Counters.Messages()))
+		bits = append(bits, float64(res.Counters.Bits()))
+		rounds = append(rounds, float64(res.Rounds))
+		if res.Eval.Success {
+			agg.Success++
+			if !res.Eval.LeaderCrashed {
+				agg.LeaderLive++
+			}
+			if res.Eval.LeaderNode >= 0 && !res.Faulty[res.Eval.LeaderNode] {
+				agg.LeaderNonFaulty++
+			}
+		} else {
+			agg.Failures = append(agg.Failures, res.Eval.Reason)
+		}
+	}
+	agg.Messages = stats.Summarize(msgs)
+	agg.Bits = stats.Summarize(bits)
+	agg.Rounds = stats.Summarize(rounds)
+	return agg, nil
+}
+
+// agreementStats aggregates repeated agreement runs at one sweep point.
+type agreementStats struct {
+	Messages stats.Summary
+	Bits     stats.Summary
+	Rounds   stats.Summary
+	Success  int
+	Reps     int
+	Failures []string
+}
+
+// runAgreementReps runs reps independent agreements with random inputs
+// (P[1] = pOne) and aggregates.
+func runAgreementReps(opts sublinear.Options, pOne float64, reps int, seedBase uint64) (agreementStats, error) {
+	var (
+		agg        agreementStats
+		msgs, bits []float64
+		rounds     []float64
+	)
+	agg.Reps = reps
+	for rep := 0; rep < reps; rep++ {
+		opts.Seed = seedBase + uint64(rep)*7919
+		inputs := sublinear.RandomInputs(opts.N, pOne, opts.Seed^0xbeef)
+		res, err := sublinear.Agree(opts, inputs)
+		if err != nil {
+			return agg, err
+		}
+		msgs = append(msgs, float64(res.Counters.Messages()))
+		bits = append(bits, float64(res.Counters.Bits()))
+		rounds = append(rounds, float64(res.Rounds))
+		if res.Eval.Success {
+			agg.Success++
+		} else {
+			agg.Failures = append(agg.Failures, res.Eval.Reason)
+		}
+	}
+	agg.Messages = stats.Summarize(msgs)
+	agg.Bits = stats.Summarize(bits)
+	agg.Rounds = stats.Summarize(rounds)
+	return agg, nil
+}
+
+// rate formats k/n as a rate string with a Wilson interval.
+func rate(k, n int) string {
+	lo, hi := stats.WilsonInterval(k, n)
+	return fmt.Sprintf("%d/%d (%.2f, CI %.2f-%.2f)", k, n, float64(k)/float64(n), lo, hi)
+}
+
+// topFailures summarises failure reasons.
+func topFailures(reasons []string) string {
+	if len(reasons) == 0 {
+		return ""
+	}
+	counts := make(map[string]int)
+	for _, r := range reasons {
+		counts[r]++
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return counts[keys[i]] > counts[keys[j]] })
+	out := ""
+	for i, k := range keys {
+		if i == 2 {
+			break
+		}
+		if i > 0 {
+			out += "; "
+		}
+		out += fmt.Sprintf("%s x%d", k, counts[k])
+	}
+	return out
+}

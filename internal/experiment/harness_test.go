@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"sublinear"
+)
+
+func TestRunElectionReps(t *testing.T) {
+	opts := sublinear.Options{N: 128, Alpha: 0.75,
+		Faults: &sublinear.FaultModel{Faulty: 16, Policy: sublinear.DropHalf}}
+	agg, err := runElectionReps(opts, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Reps != 4 {
+		t.Fatalf("reps = %d", agg.Reps)
+	}
+	if agg.Messages.Count != 4 || agg.Messages.Mean <= 0 {
+		t.Fatalf("message stats: %+v", agg.Messages)
+	}
+	if agg.Rounds.Mean <= 0 || agg.Bits.Mean <= agg.Messages.Mean {
+		t.Fatalf("rounds/bits stats: %+v / %+v", agg.Rounds, agg.Bits)
+	}
+	if agg.Success+len(agg.Failures) != 4 {
+		t.Fatalf("success %d + failures %d != reps", agg.Success, len(agg.Failures))
+	}
+	if agg.LeaderNonFaulty > agg.Success || agg.LeaderLive > agg.Success {
+		t.Fatalf("leader counters exceed successes: %+v", agg)
+	}
+}
+
+func TestRunAgreementReps(t *testing.T) {
+	opts := sublinear.Options{N: 128, Alpha: 0.75}
+	agg, err := runAgreementReps(opts, 0.5, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Reps != 3 || agg.Messages.Count != 3 {
+		t.Fatalf("agg: %+v", agg)
+	}
+	if agg.Success != 3 {
+		t.Fatalf("fault-free agreement failed: %v", agg.Failures)
+	}
+}
+
+func TestRunRepsErrorPropagates(t *testing.T) {
+	opts := sublinear.Options{N: 1, Alpha: 0.75} // invalid n
+	if _, err := runElectionReps(opts, 2, 0); err == nil {
+		t.Error("election error swallowed")
+	}
+	if _, err := runAgreementReps(opts, 0.5, 2, 0); err == nil {
+		t.Error("agreement error swallowed")
+	}
+}
+
+func TestRepsUseDistinctSeeds(t *testing.T) {
+	// With distinct seeds the per-rep message counts almost surely vary.
+	opts := sublinear.Options{N: 128, Alpha: 0.75}
+	agg, err := runElectionReps(opts, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Messages.StdDev == 0 {
+		t.Error("identical message counts across reps — seeds not varied?")
+	}
+}
+
+func TestPickHelper(t *testing.T) {
+	full, quick := []int{1, 2, 3}, []int{1}
+	if got := pick(Config{}, full, quick); len(got) != 3 {
+		t.Error("pick(full) wrong")
+	}
+	if got := pick(Config{Quick: true}, full, quick); len(got) != 1 {
+		t.Error("pick(quick) wrong")
+	}
+}
+
+func TestProgressWriter(t *testing.T) {
+	var b strings.Builder
+	cfg := Config{Progress: &b}
+	cfg.progressf("hello %d\n", 5)
+	if b.String() != "hello 5\n" {
+		t.Errorf("progress output %q", b.String())
+	}
+	// nil writer must not panic.
+	Config{}.progressf("ignored")
+}

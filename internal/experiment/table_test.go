@@ -1,0 +1,152 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("caption here", "name", "value")
+	tbl.AddRow("alpha", 1.5)
+	tbl.AddRow("a-very-long-name", 2)
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "caption here" {
+		t.Errorf("caption line: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Errorf("header line: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "----") {
+		t.Errorf("separator line: %q", lines[2])
+	}
+	// Columns align: "value" column starts at the same offset everywhere.
+	head := strings.Index(lines[1], "value")
+	row1 := strings.Index(lines[3], "1.500")
+	if head != row1 {
+		t.Errorf("misaligned columns: header@%d row@%d\n%s", head, row1, out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRow("x,y", `quote"d`)
+	tbl.AddRow(1, 2)
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",\"quote\"\"d\"\n1,2\n"
+	if b.String() != want {
+		t.Errorf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{5, "5"},
+		{1234567, "1.23e+06"},
+		{0.5, "0.500"},
+		{0.001, "0.0010"},
+	}
+	for _, tt := range tests {
+		if got := formatFloat(tt.in); got != tt.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 13 {
+		t.Fatalf("registered experiments = %d, want 13", len(all))
+	}
+	seen := map[string]bool{}
+	for _, r := range all {
+		if seen[r.ID] {
+			t.Errorf("duplicate ID %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Run == nil || r.Title == "" {
+			t.Errorf("experiment %s incomplete", r.ID)
+		}
+		got, ok := Find(r.ID)
+		if !ok || got.ID != r.ID {
+			t.Errorf("Find(%s) failed", r.ID)
+		}
+	}
+	if _, ok := Find("E99"); ok {
+		t.Error("Find accepted unknown ID")
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	rep := &Report{ID: "EX", Title: "demo"}
+	tbl := NewTable("t", "c")
+	tbl.AddRow("v")
+	rep.Tables = append(rep.Tables, tbl)
+	rep.notef("a note %d", 7)
+	var b strings.Builder
+	if err := rep.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"== EX: demo ==", "note: a note 7", "v"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRateAndFailureHelpers(t *testing.T) {
+	s := rate(3, 4)
+	if !strings.Contains(s, "3/4") || !strings.Contains(s, "0.75") {
+		t.Errorf("rate: %q", s)
+	}
+	if topFailures(nil) != "" {
+		t.Error("no failures should render empty")
+	}
+	got := topFailures([]string{"a", "b", "a", "a", "c", "b"})
+	if !strings.Contains(got, "a x3") || !strings.Contains(got, "b x2") {
+		t.Errorf("topFailures: %q", got)
+	}
+	if strings.Contains(got, "c") {
+		t.Errorf("topFailures should keep only the top two: %q", got)
+	}
+}
+
+// A full (quick) experiment exercises the harness end to end; E10 is the
+// cheapest one that touches elections, tuning overrides, and both
+// engines.
+func TestRunQuickExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment still runs full elections")
+	}
+	rep, err := runE10(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 5 {
+		t.Fatalf("E10 produced %d tables, want 5", len(rep.Tables))
+	}
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "WARNING") {
+			t.Errorf("E10 reported: %s", n)
+		}
+	}
+	var b strings.Builder
+	if err := rep.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "true") {
+		t.Error("engine equivalence row missing")
+	}
+}

@@ -1,0 +1,270 @@
+// Package graph provides the topologies for the general-graph extension
+// of the paper (conclusion, open problem 2: "Extend the study of the
+// message complexity of the problem in general graphs").
+//
+// A Graph exposes the KT0 port abstraction on arbitrary topologies: node
+// u has ports 1..Degree(u), each leading to a neighbor; nodes do not know
+// who is behind a port. The walk-based election of internal/walks runs on
+// any connected Graph.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"sublinear/internal/rng"
+)
+
+// Graph is an undirected, connected graph with port-numbered adjacency.
+type Graph interface {
+	// N returns the number of nodes.
+	N() int
+	// Degree returns the degree of node u.
+	Degree(u int) int
+	// Neighbor returns the node behind port p of u, 1 <= p <= Degree(u).
+	Neighbor(u, p int) int
+	// PortOf returns the port of u that leads to neighbor v, or 0 if v
+	// is not adjacent to u.
+	PortOf(u, v int) int
+	// Name returns a short topology label for tables.
+	Name() string
+}
+
+// adjacency is the shared implementation: sorted neighbor lists; port p
+// of u is its p-th smallest neighbor.
+type adjacency struct {
+	name  string
+	neigh [][]int
+}
+
+func (g *adjacency) N() int           { return len(g.neigh) }
+func (g *adjacency) Degree(u int) int { return len(g.neigh[u]) }
+func (g *adjacency) Name() string     { return g.name }
+
+func (g *adjacency) Neighbor(u, p int) int {
+	ns := g.neigh[u]
+	if p < 1 || p > len(ns) {
+		panic(fmt.Sprintf("graph: port %d out of range [1,%d] at node %d", p, len(ns), u))
+	}
+	return ns[p-1]
+}
+
+func (g *adjacency) PortOf(u, v int) int {
+	ns := g.neigh[u]
+	i := sort.SearchInts(ns, v)
+	if i < len(ns) && ns[i] == v {
+		return i + 1
+	}
+	return 0
+}
+
+// build creates an adjacency graph from an edge set, validating
+// simplicity and connectivity.
+func build(name string, n int, edges [][2]int) (*adjacency, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: n = %d", n)
+	}
+	neigh := make([][]int, n)
+	seen := make(map[[2]int]bool, len(edges))
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u == v || u < 0 || v < 0 || u >= n || v >= n {
+			return nil, fmt.Errorf("graph: bad edge (%d,%d)", u, v)
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int{u, v}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		neigh[u] = append(neigh[u], v)
+		neigh[v] = append(neigh[v], u)
+	}
+	for u := range neigh {
+		sort.Ints(neigh[u])
+	}
+	g := &adjacency{name: name, neigh: neigh}
+	if !IsConnected(g) {
+		return nil, fmt.Errorf("graph: %s on %d nodes is not connected", name, n)
+	}
+	return g, nil
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) (Graph, error) {
+	edges := make([][2]int, 0, n*(n-1)/2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	return build("complete", n, edges)
+}
+
+// Ring returns the cycle C_n — the worst realistic mixing time,
+// Theta(n^2).
+func Ring(n int) (Graph, error) {
+	edges := make([][2]int, 0, n)
+	for u := 0; u < n; u++ {
+		edges = append(edges, [2]int{u, (u + 1) % n})
+	}
+	return build("ring", n, edges)
+}
+
+// Torus returns the rows x cols torus grid (4-regular), mixing in
+// Theta(n) steps.
+func Torus(rows, cols int) (Graph, error) {
+	n := rows * cols
+	id := func(r, c int) int { return ((r+rows)%rows)*cols + (c+cols)%cols }
+	var edges [][2]int
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			edges = append(edges, [2]int{id(r, c), id(r, c+1)}, [2]int{id(r, c), id(r+1, c)})
+		}
+	}
+	return build(fmt.Sprintf("torus-%dx%d", rows, cols), n, edges)
+}
+
+// Hypercube returns the dim-dimensional hypercube on 2^dim nodes, mixing
+// in Theta(dim log dim) steps.
+func Hypercube(dim int) (Graph, error) {
+	if dim < 1 || dim > 30 {
+		return nil, fmt.Errorf("graph: hypercube dim = %d", dim)
+	}
+	n := 1 << dim
+	var edges [][2]int
+	for u := 0; u < n; u++ {
+		for b := 0; b < dim; b++ {
+			v := u ^ (1 << b)
+			if u < v {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+	return build(fmt.Sprintf("hypercube-%d", dim), n, edges)
+}
+
+// RandomRegular returns a connected random (near-)d-regular graph built
+// as the union of d/2 independent random Hamiltonian cycles — a standard
+// expander construction (mixing time O(log n) w.h.p.). d must be even and
+// >= 4. The result is connected by construction; the rare duplicate edge
+// between two cycles is collapsed, so a few nodes may have degree
+// slightly below d.
+func RandomRegular(n, d int, seed uint64) (Graph, error) {
+	if d < 4 || d%2 != 0 || d >= n {
+		return nil, fmt.Errorf("graph: random regular needs even 4 <= d < n, have n=%d d=%d", n, d)
+	}
+	src := rng.New(seed)
+	edges := make([][2]int, 0, n*d/2)
+	for c := 0; c < d/2; c++ {
+		perm := src.Perm(n)
+		for i := 0; i < n; i++ {
+			edges = append(edges, [2]int{perm[i], perm[(i+1)%n]})
+		}
+	}
+	return build(fmt.Sprintf("random-%d-regular", d), n, edges)
+}
+
+// IsConnected reports whether g is connected.
+func IsConnected(g Graph) bool {
+	n := g.N()
+	if n == 0 {
+		return false
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for p := 1; p <= g.Degree(u); p++ {
+			v := g.Neighbor(u, p)
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == n
+}
+
+// Diameter returns the graph diameter via BFS from every node. Intended
+// for the modest sizes of the general-graph experiments.
+func Diameter(g Graph) int {
+	n := g.N()
+	diam := 0
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for p := 1; p <= g.Degree(u); p++ {
+				v := g.Neighbor(u, p)
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					if dist[v] > diam {
+						diam = dist[v]
+					}
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return diam
+}
+
+// MixingTime estimates the eps-mixing time of the lazy random walk
+// (stay with probability 1/2) started from node 0: the first step count
+// at which the total-variation distance to the stationary distribution
+// (proportional to degree) drops below eps. Dense vector iteration,
+// O(steps * m) work — intended for the experiment sizes.
+func MixingTime(g Graph, eps float64, maxSteps int) int {
+	n := g.N()
+	totalDeg := 0.0
+	for u := 0; u < n; u++ {
+		totalDeg += float64(g.Degree(u))
+	}
+	pi := make([]float64, n)
+	for u := 0; u < n; u++ {
+		pi[u] = float64(g.Degree(u)) / totalDeg
+	}
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	cur[0] = 1
+	for step := 1; step <= maxSteps; step++ {
+		for u := range next {
+			next[u] = 0.5 * cur[u] // lazy self-loop
+		}
+		for u := 0; u < n; u++ {
+			if cur[u] == 0 {
+				continue
+			}
+			share := 0.5 * cur[u] / float64(g.Degree(u))
+			for p := 1; p <= g.Degree(u); p++ {
+				next[g.Neighbor(u, p)] += share
+			}
+		}
+		cur, next = next, cur
+		tv := 0.0
+		for u := 0; u < n; u++ {
+			d := cur[u] - pi[u]
+			if d > 0 {
+				tv += d
+			}
+		}
+		if tv < eps {
+			return step
+		}
+	}
+	return maxSteps
+}

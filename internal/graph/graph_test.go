@@ -1,0 +1,211 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// checkPortSymmetry asserts the Neighbor/PortOf contract on every edge.
+func checkPortSymmetry(t *testing.T, g Graph) {
+	t.Helper()
+	for u := 0; u < g.N(); u++ {
+		seen := make(map[int]bool)
+		for p := 1; p <= g.Degree(u); p++ {
+			v := g.Neighbor(u, p)
+			if v == u {
+				t.Fatalf("%s: self-loop at %d", g.Name(), u)
+			}
+			if seen[v] {
+				t.Fatalf("%s: parallel edge %d-%d", g.Name(), u, v)
+			}
+			seen[v] = true
+			if got := g.PortOf(u, v); got != p {
+				t.Fatalf("%s: PortOf(%d,%d) = %d, want %d", g.Name(), u, v, got, p)
+			}
+			if back := g.PortOf(v, u); back == 0 || g.Neighbor(v, back) != u {
+				t.Fatalf("%s: edge %d-%d not symmetric", g.Name(), u, v)
+			}
+		}
+	}
+}
+
+func TestCompleteGraph(t *testing.T) {
+	g, err := Complete(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 9 {
+		t.Fatalf("n = %d", g.N())
+	}
+	for u := 0; u < 9; u++ {
+		if g.Degree(u) != 8 {
+			t.Fatalf("degree(%d) = %d", u, g.Degree(u))
+		}
+	}
+	checkPortSymmetry(t, g)
+	if d := Diameter(g); d != 1 {
+		t.Fatalf("diameter = %d, want 1", d)
+	}
+}
+
+func TestRingGraph(t *testing.T) {
+	g, err := Ring(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 10; u++ {
+		if g.Degree(u) != 2 {
+			t.Fatalf("degree(%d) = %d", u, g.Degree(u))
+		}
+	}
+	checkPortSymmetry(t, g)
+	if d := Diameter(g); d != 5 {
+		t.Fatalf("diameter = %d, want 5", d)
+	}
+}
+
+func TestTorusGraph(t *testing.T) {
+	g, err := Torus(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 24 {
+		t.Fatalf("n = %d", g.N())
+	}
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(u) != 4 {
+			t.Fatalf("degree(%d) = %d, want 4", u, g.Degree(u))
+		}
+	}
+	checkPortSymmetry(t, g)
+	// Torus diameter = floor(rows/2) + floor(cols/2).
+	if d := Diameter(g); d != 2+3 {
+		t.Fatalf("diameter = %d, want 5", d)
+	}
+}
+
+func TestHypercubeGraph(t *testing.T) {
+	g, err := Hypercube(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 32 {
+		t.Fatalf("n = %d", g.N())
+	}
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(u) != 5 {
+			t.Fatalf("degree(%d) = %d", u, g.Degree(u))
+		}
+	}
+	checkPortSymmetry(t, g)
+	if d := Diameter(g); d != 5 {
+		t.Fatalf("diameter = %d, want dim", d)
+	}
+}
+
+func TestRandomRegularGraph(t *testing.T) {
+	g, err := RandomRegular(64, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPortSymmetry(t, g)
+	if !IsConnected(g) {
+		t.Fatal("not connected")
+	}
+	// Union of 3 Hamiltonian cycles: degree <= 6, and most nodes exactly 6.
+	lower := 0
+	for u := 0; u < g.N(); u++ {
+		d := g.Degree(u)
+		if d > 6 || d < 2 {
+			t.Fatalf("degree(%d) = %d", u, d)
+		}
+		if d < 6 {
+			lower++
+		}
+	}
+	if lower > g.N()/4 {
+		t.Fatalf("%d nodes below target degree", lower)
+	}
+	// Expanders have small diameter.
+	if d := Diameter(g); d > 8 {
+		t.Fatalf("diameter = %d, too large for an expander", d)
+	}
+}
+
+func TestRandomRegularDeterministic(t *testing.T) {
+	a, err := RandomRegular(32, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomRegular(32, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 32; u++ {
+		if a.Degree(u) != b.Degree(u) {
+			t.Fatal("same seed produced different graphs")
+		}
+		for p := 1; p <= a.Degree(u); p++ {
+			if a.Neighbor(u, p) != b.Neighbor(u, p) {
+				t.Fatal("same seed produced different graphs")
+			}
+		}
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := RandomRegular(16, 3, 1); err == nil {
+		t.Error("odd degree accepted")
+	}
+	if _, err := RandomRegular(4, 4, 1); err == nil {
+		t.Error("d >= n accepted")
+	}
+	if _, err := Hypercube(0); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := Complete(1); err == nil {
+		t.Error("n = 1 accepted")
+	}
+}
+
+func TestMixingTimeOrdering(t *testing.T) {
+	complete, err := Complete(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := Hypercube(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := Ring(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := MixingTime(complete, 0.25, 100000)
+	th := MixingTime(cube, 0.25, 100000)
+	tr := MixingTime(ring, 0.25, 100000)
+	if !(tc <= th && th < tr) {
+		t.Fatalf("mixing times out of order: complete=%d hypercube=%d ring=%d", tc, th, tr)
+	}
+	// Ring mixes in Theta(n^2): n=64 -> hundreds of steps at least.
+	if tr < 64 {
+		t.Fatalf("ring mixing time %d implausibly small", tr)
+	}
+}
+
+// Property: Neighbor/PortOf are inverse on random regular graphs.
+func TestPortInverseProperty(t *testing.T) {
+	g, err := RandomRegular(48, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(uRaw, pRaw uint8) bool {
+		u := int(uRaw) % g.N()
+		p := int(pRaw)%g.Degree(u) + 1
+		v := g.Neighbor(u, p)
+		return g.Neighbor(v, g.PortOf(v, u)) == u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,185 @@
+// Package graphsim generalizes the synchronous crash-fault simulator of
+// internal/netsim from complete networks to arbitrary connected graphs
+// (the setting of the paper's open problem 2). It reuses netsim's
+// Machine, Payload, Send/Delivery and Adversary contracts; the only
+// difference is that node u's ports 1..Deg(u) follow the topology of an
+// internal/graph.Graph instead of the complete wiring.
+package graphsim
+
+import (
+	"fmt"
+
+	"sublinear/internal/graph"
+	"sublinear/internal/metrics"
+	"sublinear/internal/netsim"
+	"sublinear/internal/rng"
+)
+
+// Config parameterises a general-graph run.
+type Config struct {
+	// Graph is the topology. Required.
+	Graph graph.Graph
+	// Alpha is the guaranteed non-faulty fraction (Env exposure).
+	Alpha float64
+	// Seed derives every node's private coins.
+	Seed uint64
+	// MaxRounds caps the execution. Required.
+	MaxRounds int
+	// CongestFactor sets the per-message budget to
+	// factor*ceil(log2 n) bits; zero selects 12.
+	CongestFactor int
+	// Strict aborts on CONGEST violations.
+	Strict bool
+}
+
+// Result is the outcome of a general-graph run.
+type Result struct {
+	// Outputs holds each machine's Output(), indexed by node.
+	Outputs []any
+	// CrashedAt[u] is the crash round of node u, or 0.
+	CrashedAt []int
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Counters carries message/bit accounting.
+	Counters *metrics.Counters
+	// Violations holds CONGEST violations in non-strict mode.
+	Violations []netsim.Violation
+}
+
+// Run executes the machines on the graph under the adversary (nil means
+// fault-free).
+func Run(cfg Config, machines []netsim.Machine, adv netsim.Adversary) (*Result, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("graphsim: Graph is required")
+	}
+	n := cfg.Graph.N()
+	if len(machines) != n {
+		return nil, fmt.Errorf("graphsim: %d machines for n=%d", len(machines), n)
+	}
+	if cfg.MaxRounds < 1 {
+		return nil, fmt.Errorf("graphsim: MaxRounds must be >= 1")
+	}
+	if adv == nil {
+		adv = netsim.NoFaults{}
+	}
+	factor := cfg.CongestFactor
+	if factor == 0 {
+		factor = 12
+	}
+	budget := factor * ceilLog2(n)
+
+	g := cfg.Graph
+	root := rng.New(cfg.Seed)
+	envs := make([]*netsim.Env, n)
+	for u := 0; u < n; u++ {
+		envs[u] = &netsim.Env{
+			N: n, ID: u, Alpha: cfg.Alpha,
+			Rand: root.Split(uint64(u)),
+			Deg:  g.Degree(u),
+		}
+	}
+
+	var (
+		counters   metrics.Counters
+		violations []netsim.Violation
+		crashedAt  = make([]int, n)
+		inboxes    = make([][]netsim.Delivery, n)
+		nextInbox  = make([][]netsim.Delivery, n)
+	)
+	violate := func(u, round int, reason string) error {
+		if cfg.Strict {
+			return fmt.Errorf("graphsim: node %d round %d: %s", u, round, reason)
+		}
+		violations = append(violations, netsim.Violation{Node: u, Round: round, Reason: reason})
+		return nil
+	}
+
+	rounds := 0
+	for round := 1; round <= cfg.MaxRounds; round++ {
+		rounds = round
+		counters.BeginRound(round)
+		inFlight := false
+		for u := 0; u < n; u++ {
+			if crashedAt[u] != 0 {
+				continue
+			}
+			outbox := machines[u].Step(envs[u], round, inboxes[u])
+			crashing := false
+			if adv.Faulty(u) && adv.CrashNow(u, round, outbox) {
+				crashing = true
+				crashedAt[u] = round
+			}
+			usedPorts := make(map[int]bool, len(outbox))
+			for i, s := range outbox {
+				if s.Port < 1 || s.Port > g.Degree(u) {
+					if err := violate(u, round, fmt.Sprintf("port %d out of range [1,%d]", s.Port, g.Degree(u))); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				if usedPorts[s.Port] {
+					if err := violate(u, round, fmt.Sprintf("two messages on port %d", s.Port)); err != nil {
+						return nil, err
+					}
+				}
+				usedPorts[s.Port] = true
+				if sz := s.Payload.Bits(n); sz > budget {
+					if err := violate(u, round, fmt.Sprintf("payload %q is %d bits, budget %d", s.Payload.Kind(), sz, budget)); err != nil {
+						return nil, err
+					}
+				}
+				counters.AddMessage(s.Payload.Kind(), s.Payload.Bits(n))
+				if crashing && !adv.DeliverOnCrash(u, round, i, s) {
+					continue
+				}
+				v := g.Neighbor(u, s.Port)
+				nextInbox[v] = append(nextInbox[v], netsim.Delivery{
+					Port:    g.PortOf(v, u),
+					Payload: s.Payload,
+				})
+			}
+			if len(outbox) > 0 {
+				inFlight = true
+			}
+		}
+		inboxes, nextInbox = nextInbox, inboxes
+		for u := range nextInbox {
+			nextInbox[u] = nextInbox[u][:0]
+		}
+		if !inFlight {
+			quiet := true
+			for u := 0; u < n; u++ {
+				if crashedAt[u] == 0 && !machines[u].Done() {
+					quiet = false
+					break
+				}
+			}
+			if quiet {
+				break
+			}
+		}
+	}
+
+	res := &Result{
+		Outputs:    make([]any, n),
+		CrashedAt:  crashedAt,
+		Rounds:     rounds,
+		Counters:   &counters,
+		Violations: violations,
+	}
+	for u, m := range machines {
+		res.Outputs[u] = m.Output()
+	}
+	return res, nil
+}
+
+func ceilLog2(n int) int {
+	b := 0
+	for v := 1; v < n; v <<= 1 {
+		b++
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}

@@ -1,0 +1,208 @@
+package graphsim
+
+import (
+	"strings"
+	"testing"
+
+	"sublinear/internal/graph"
+	"sublinear/internal/netsim"
+)
+
+type pl struct{ id int }
+
+func (pl) Bits(int) int { return 4 }
+func (pl) Kind() string { return "p" }
+
+// floodMachine floods a counter along all ports once, then echoes the
+// highest id it has seen back on the arrival port.
+type floodMachine struct {
+	origin bool
+	last   int
+	best   int
+	seen   []int // arrival ports, for assertions
+}
+
+func (m *floodMachine) Step(env *netsim.Env, round int, inbox []netsim.Delivery) []netsim.Send {
+	m.last = round
+	var out []netsim.Send
+	if m.origin && round == 1 {
+		for p := 1; p <= env.Deg; p++ {
+			out = append(out, netsim.Send{Port: p, Payload: pl{id: env.ID}})
+		}
+		return out
+	}
+	for _, d := range inbox {
+		m.seen = append(m.seen, d.Port)
+		if v := d.Payload.(pl).id; v > m.best {
+			m.best = v
+		}
+	}
+	return nil
+}
+
+func (m *floodMachine) Done() bool  { return true }
+func (m *floodMachine) Output() any { return m.best }
+
+func TestGraphsimDeliversAlongTopology(t *testing.T) {
+	g, err := graph.Ring(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines := make([]netsim.Machine, 6)
+	floods := make([]*floodMachine, 6)
+	for u := range machines {
+		fm := &floodMachine{origin: u == 3}
+		floods[u] = fm
+		machines[u] = fm
+	}
+	res, err := Run(Config{Graph: g, Alpha: 1, MaxRounds: 4}, machines, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 3's flood reaches exactly its two ring neighbors, 2 and 4.
+	if res.Counters.Messages() != 2 {
+		t.Fatalf("messages = %d, want 2 (ring degree)", res.Counters.Messages())
+	}
+	for u, fm := range floods {
+		wantRecv := u == 2 || u == 4
+		if (len(fm.seen) == 1) != wantRecv {
+			t.Fatalf("node %d received %d messages", u, len(fm.seen))
+		}
+		if wantRecv {
+			// The arrival port must lead back to node 3.
+			if g.Neighbor(u, fm.seen[0]) != 3 {
+				t.Fatalf("node %d arrival port %d does not lead to 3", u, fm.seen[0])
+			}
+		}
+	}
+}
+
+func TestGraphsimEnvDegree(t *testing.T) {
+	g, err := graph.Torus(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degSeen := make([]int, g.N())
+	machines := make([]netsim.Machine, g.N())
+	for u := range machines {
+		u := u
+		machines[u] = &funcMachine{step: func(env *netsim.Env, round int, _ []netsim.Delivery) []netsim.Send {
+			degSeen[u] = env.Deg
+			return nil
+		}}
+	}
+	if _, err := Run(Config{Graph: g, Alpha: 1, MaxRounds: 1}, machines, nil); err != nil {
+		t.Fatal(err)
+	}
+	for u, d := range degSeen {
+		if d != 4 {
+			t.Fatalf("node %d saw Deg=%d, want 4", u, d)
+		}
+	}
+}
+
+type funcMachine struct {
+	step func(*netsim.Env, int, []netsim.Delivery) []netsim.Send
+	last int
+}
+
+func (m *funcMachine) Step(env *netsim.Env, round int, in []netsim.Delivery) []netsim.Send {
+	m.last = round
+	return m.step(env, round, in)
+}
+func (m *funcMachine) Done() bool  { return true }
+func (m *funcMachine) Output() any { return nil }
+
+func TestGraphsimPortValidation(t *testing.T) {
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines := make([]netsim.Machine, 4)
+	for u := range machines {
+		machines[u] = &funcMachine{step: func(env *netsim.Env, round int, _ []netsim.Delivery) []netsim.Send {
+			if env.ID == 0 && round == 1 {
+				return []netsim.Send{{Port: 3, Payload: pl{}}} // degree is 2
+			}
+			return nil
+		}}
+	}
+	_, err = Run(Config{Graph: g, Alpha: 1, MaxRounds: 2, Strict: true}, machines, nil)
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("err = %v", err)
+	}
+	// Non-strict records it instead.
+	for u := range machines {
+		machines[u] = &funcMachine{step: func(env *netsim.Env, round int, _ []netsim.Delivery) []netsim.Send {
+			if env.ID == 0 && round == 1 {
+				return []netsim.Send{{Port: 3, Payload: pl{}}}
+			}
+			return nil
+		}}
+	}
+	res, err := Run(Config{Graph: g, Alpha: 1, MaxRounds: 2}, machines, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 1 {
+		t.Fatalf("violations: %+v", res.Violations)
+	}
+}
+
+type crashAt struct{ node, round int }
+
+func (c crashAt) Faulty(u int) bool                              { return u == c.node }
+func (c crashAt) CrashNow(u, r int, _ []netsim.Send) bool        { return u == c.node && r >= c.round }
+func (c crashAt) DeliverOnCrash(_, _, i int, _ netsim.Send) bool { return i == 0 }
+
+func TestGraphsimCrashFiltering(t *testing.T) {
+	g, err := graph.Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	received := 0
+	machines := make([]netsim.Machine, 5)
+	for u := range machines {
+		machines[u] = &funcMachine{step: func(env *netsim.Env, round int, in []netsim.Delivery) []netsim.Send {
+			received += len(in)
+			if env.ID == 0 && round == 1 {
+				out := make([]netsim.Send, env.Deg)
+				for p := 1; p <= env.Deg; p++ {
+					out[p-1] = netsim.Send{Port: p, Payload: pl{}}
+				}
+				return out
+			}
+			return nil
+		}}
+	}
+	res, err := Run(Config{Graph: g, Alpha: 0.5, MaxRounds: 3}, machines, crashAt{node: 0, round: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrashedAt[0] != 1 {
+		t.Fatalf("CrashedAt = %v", res.CrashedAt)
+	}
+	// All 4 sends counted, only outbox index 0 delivered.
+	if res.Counters.Messages() != 4 {
+		t.Fatalf("messages = %d", res.Counters.Messages())
+	}
+	if received != 1 {
+		t.Fatalf("received = %d, want 1", received)
+	}
+}
+
+func TestGraphsimValidation(t *testing.T) {
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(Config{Graph: g, MaxRounds: 1}, make([]netsim.Machine, 3), nil); err == nil {
+		t.Error("machine count mismatch accepted")
+	}
+	if _, err := Run(Config{Graph: g}, make([]netsim.Machine, 4), nil); err == nil {
+		t.Error("MaxRounds 0 accepted")
+	}
+	if _, err := Run(Config{MaxRounds: 1}, nil, nil); err == nil {
+		t.Error("nil graph accepted")
+	}
+}

@@ -1,0 +1,124 @@
+// Package metrics accounts for the resources a protocol execution consumes:
+// messages, payload bits, and rounds. The paper's central quantity is the
+// message complexity (total messages sent by all nodes over the whole
+// execution); Remark 1 additionally discusses bit complexity, so both are
+// tracked, along with a per-round time series and a per-message-kind
+// breakdown used by the experiment tables.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters accumulates resource usage for one execution. The zero value is
+// ready to use. Counters is not safe for concurrent use; the concurrent
+// engine aggregates per-round on the barrier, where it holds exclusive
+// access.
+type Counters struct {
+	messages int64
+	bits     int64
+	rounds   int
+	perRound []RoundUsage
+	perKind  map[string]int64
+}
+
+// RoundUsage is the usage recorded for a single round.
+type RoundUsage struct {
+	Round    int
+	Messages int64
+	Bits     int64
+}
+
+// AddMessage records one sent message of the given kind and payload size.
+func (c *Counters) AddMessage(kind string, bits int) {
+	c.messages++
+	c.bits += int64(bits)
+	if c.perKind == nil {
+		c.perKind = make(map[string]int64)
+	}
+	c.perKind[kind]++
+	if n := len(c.perRound); n > 0 {
+		c.perRound[n-1].Messages++
+		c.perRound[n-1].Bits += int64(bits)
+	}
+}
+
+// BeginRound marks the start of a round; subsequent AddMessage calls are
+// attributed to it.
+func (c *Counters) BeginRound(round int) {
+	c.rounds = round
+	c.perRound = append(c.perRound, RoundUsage{Round: round})
+}
+
+// Messages returns the total number of messages sent.
+func (c *Counters) Messages() int64 { return c.messages }
+
+// Bits returns the total number of payload bits sent.
+func (c *Counters) Bits() int64 { return c.bits }
+
+// Rounds returns the index of the last round that began.
+func (c *Counters) Rounds() int { return c.rounds }
+
+// PerRound returns a copy of the per-round usage series.
+func (c *Counters) PerRound() []RoundUsage {
+	out := make([]RoundUsage, len(c.perRound))
+	copy(out, c.perRound)
+	return out
+}
+
+// PerKind returns a copy of the per-kind message counts.
+func (c *Counters) PerKind() map[string]int64 {
+	out := make(map[string]int64, len(c.perKind))
+	for k, v := range c.perKind {
+		out[k] = v
+	}
+	return out
+}
+
+// Merge adds other's totals into c. Per-round series are merged by round
+// index; the longer series wins on length.
+func (c *Counters) Merge(other *Counters) {
+	c.messages += other.messages
+	c.bits += other.bits
+	if other.rounds > c.rounds {
+		c.rounds = other.rounds
+	}
+	if c.perKind == nil && len(other.perKind) > 0 {
+		c.perKind = make(map[string]int64, len(other.perKind))
+	}
+	for k, v := range other.perKind {
+		c.perKind[k] += v
+	}
+	for i, ru := range other.perRound {
+		if i < len(c.perRound) {
+			c.perRound[i].Messages += ru.Messages
+			c.perRound[i].Bits += ru.Bits
+		} else {
+			c.perRound = append(c.perRound, ru)
+		}
+	}
+}
+
+// String summarises the counters on one line.
+func (c *Counters) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rounds=%d messages=%d bits=%d", c.rounds, c.messages, c.bits)
+	if len(c.perKind) > 0 {
+		kinds := make([]string, 0, len(c.perKind))
+		for k := range c.perKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		b.WriteString(" [")
+		for i, k := range kinds {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%s=%d", k, c.perKind[k])
+		}
+		b.WriteString("]")
+	}
+	return b.String()
+}

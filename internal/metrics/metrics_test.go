@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var c Counters
+	c.AddMessage("x", 10)
+	if c.Messages() != 1 || c.Bits() != 10 {
+		t.Fatalf("got messages=%d bits=%d", c.Messages(), c.Bits())
+	}
+}
+
+func TestPerRoundAttribution(t *testing.T) {
+	var c Counters
+	c.BeginRound(1)
+	c.AddMessage("a", 5)
+	c.AddMessage("a", 5)
+	c.BeginRound(2)
+	c.AddMessage("b", 7)
+	pr := c.PerRound()
+	if len(pr) != 2 {
+		t.Fatalf("got %d rounds", len(pr))
+	}
+	if pr[0].Messages != 2 || pr[0].Bits != 10 {
+		t.Errorf("round 1: %+v", pr[0])
+	}
+	if pr[1].Messages != 1 || pr[1].Bits != 7 {
+		t.Errorf("round 2: %+v", pr[1])
+	}
+	if c.Rounds() != 2 {
+		t.Errorf("Rounds() = %d", c.Rounds())
+	}
+}
+
+func TestMessageBeforeFirstRound(t *testing.T) {
+	var c Counters
+	c.AddMessage("a", 1) // no BeginRound yet: totals count, series empty
+	if c.Messages() != 1 {
+		t.Fatal("total lost")
+	}
+	if len(c.PerRound()) != 0 {
+		t.Fatal("phantom round")
+	}
+}
+
+func TestPerKind(t *testing.T) {
+	var c Counters
+	c.AddMessage("a", 1)
+	c.AddMessage("b", 1)
+	c.AddMessage("a", 1)
+	pk := c.PerKind()
+	if pk["a"] != 2 || pk["b"] != 1 {
+		t.Fatalf("per-kind: %v", pk)
+	}
+	pk["a"] = 99 // must be a copy
+	if c.PerKind()["a"] != 2 {
+		t.Error("PerKind returned internal map")
+	}
+}
+
+func TestPerRoundCopy(t *testing.T) {
+	var c Counters
+	c.BeginRound(1)
+	c.AddMessage("a", 1)
+	pr := c.PerRound()
+	pr[0].Messages = 99
+	if c.PerRound()[0].Messages != 1 {
+		t.Error("PerRound returned internal slice")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Counters
+	a.BeginRound(1)
+	a.AddMessage("x", 2)
+	b.BeginRound(1)
+	b.AddMessage("x", 3)
+	b.BeginRound(2)
+	b.AddMessage("y", 4)
+	a.Merge(&b)
+	if a.Messages() != 3 || a.Bits() != 9 || a.Rounds() != 2 {
+		t.Fatalf("merge totals: %s", a.String())
+	}
+	pr := a.PerRound()
+	if len(pr) != 2 || pr[0].Messages != 2 || pr[1].Messages != 1 {
+		t.Fatalf("merge series: %+v", pr)
+	}
+	if a.PerKind()["x"] != 2 || a.PerKind()["y"] != 1 {
+		t.Fatalf("merge kinds: %v", a.PerKind())
+	}
+}
+
+func TestMergeTotalsCommutative(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		var a, b, a2, b2 Counters
+		for _, x := range xs {
+			a.AddMessage("k", int(x))
+			a2.AddMessage("k", int(x))
+		}
+		for _, y := range ys {
+			b.AddMessage("k", int(y))
+			b2.AddMessage("k", int(y))
+		}
+		a.Merge(&b)   // a+b
+		b2.Merge(&a2) // b+a
+		return a.Messages() == b2.Messages() && a.Bits() == b2.Bits()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	var c Counters
+	c.BeginRound(1)
+	c.AddMessage("zz", 3)
+	c.AddMessage("aa", 3)
+	s := c.String()
+	for _, want := range []string{"rounds=1", "messages=2", "bits=6", "aa=1", "zz=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	// Kinds render sorted.
+	if strings.Index(s, "aa=") > strings.Index(s, "zz=") {
+		t.Errorf("kinds not sorted: %q", s)
+	}
+}

@@ -1,0 +1,109 @@
+package netsim
+
+import (
+	"runtime"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestActorPoolNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		machines := make([]Machine, 64)
+		for u := range machines {
+			machines[u] = &pingMachine{}
+		}
+		eng, err := NewEngine(Config{N: 64, Alpha: 1, Seed: uint64(i), MaxRounds: 10}, machines, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Mode = Actors
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give exiting goroutines a moment to unwind.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after — actor pool leaked", before, runtime.NumGoroutine())
+}
+
+func TestActorPoolDirect(t *testing.T) {
+	calls := make([][]int, 4)
+	pool := newActorPool(4, func(u, round int) []Send {
+		calls[u] = append(calls[u], round)
+		if u == 2 {
+			return []Send{{Port: 1, Payload: testPayload{id: round}}}
+		}
+		return nil
+	})
+	defer pool.shutdown()
+
+	for round := 1; round <= 3; round++ {
+		out := pool.runRound(round)
+		for u := 0; u < 4; u++ {
+			if u == 2 {
+				if len(out[u]) != 1 || out[u][0].Payload.(testPayload).id != round {
+					t.Fatalf("round %d: actor 2 outbox %+v", round, out[u])
+				}
+			} else if out[u] != nil {
+				t.Fatalf("round %d: actor %d produced %+v", round, u, out[u])
+			}
+		}
+	}
+	for u := 0; u < 4; u++ {
+		if len(calls[u]) != 3 {
+			t.Fatalf("actor %d stepped %d times, want 3", u, len(calls[u]))
+		}
+		for i, r := range calls[u] {
+			if r != i+1 {
+				t.Fatalf("actor %d saw rounds %v", u, calls[u])
+			}
+		}
+	}
+}
+
+// Property: for any interleaving of enqueues, repeated flushes preserve
+// per-port FIFO order and eventually drain everything.
+func TestEdgeQueueFIFOProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		var q EdgeQueue
+		enqueued := make(map[int][]int)
+		seq := 0
+		for _, op := range ops {
+			port := int(op%5) + 1
+			q.Enqueue(port, testPayload{id: seq})
+			enqueued[port] = append(enqueued[port], seq)
+			seq++
+		}
+		got := make(map[int][]int)
+		for !q.Empty() {
+			for _, s := range q.Flush(nil) {
+				got[s.Port] = append(got[s.Port], s.Payload.(testPayload).id)
+			}
+		}
+		if len(got) != len(enqueued) {
+			return false
+		}
+		for port, want := range enqueued {
+			if len(got[port]) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[port][i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,270 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+
+	"sublinear/internal/metrics"
+	"sublinear/internal/rng"
+)
+
+// Engine executes a set of machines under the synchronous crash-fault
+// model. Construct with NewEngine and call Run once.
+type Engine struct {
+	cfg      Config
+	machines []Machine
+	adv      Adversary
+
+	envs      []*Env
+	inboxes   [][]Delivery
+	nextInbox [][]Delivery
+	crashedAt []int
+
+	counters   metrics.Counters
+	violations []Violation
+	trace      *Trace
+	bitBudget  int
+
+	// Concurrent selects the Parallel run mode; Mode overrides it when
+	// set. Semantics are identical across modes; tests assert
+	// equivalence.
+	Concurrent bool
+	// Mode selects how machine steps are scheduled within a round:
+	// Sequential (default), Parallel (worker pool per round), or Actors
+	// (persistent goroutine per node).
+	Mode RunMode
+}
+
+// NewEngine validates the configuration and prepares an engine. machines
+// must have length cfg.N. adv may be nil, meaning no faults.
+func NewEngine(cfg Config, machines []Machine, adv Adversary) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(machines) != cfg.N {
+		return nil, fmt.Errorf("netsim: %d machines for N=%d", len(machines), cfg.N)
+	}
+	if adv == nil {
+		adv = NoFaults{}
+	}
+	e := &Engine{
+		cfg:       cfg,
+		machines:  machines,
+		adv:       adv,
+		envs:      make([]*Env, cfg.N),
+		inboxes:   make([][]Delivery, cfg.N),
+		nextInbox: make([][]Delivery, cfg.N),
+		crashedAt: make([]int, cfg.N),
+		bitBudget: cfg.bitBudget(),
+	}
+	root := rng.New(cfg.Seed)
+	for u := 0; u < cfg.N; u++ {
+		e.envs[u] = &Env{N: cfg.N, ID: u, Alpha: cfg.Alpha, Rand: root.Split(uint64(u)), Deg: cfg.N - 1}
+	}
+	if cfg.Record {
+		e.trace = newTrace(cfg.N)
+	}
+	return e, nil
+}
+
+// Run executes rounds until every live machine is done and no messages are
+// in flight, or MaxRounds elapses. It returns an error only for model
+// violations in strict mode.
+func (e *Engine) Run() (*Result, error) {
+	n := e.cfg.N
+	mode := e.Mode
+	if mode == Sequential && e.Concurrent {
+		mode = Parallel
+	}
+	outboxes := make([][]Send, n)
+	var pool *actorPool
+	if mode == Actors {
+		pool = newActorPool(n, e.stepOne)
+		defer pool.shutdown()
+	}
+	for round := 1; round <= e.cfg.MaxRounds; round++ {
+		e.counters.BeginRound(round)
+
+		// Phase 1: every live machine computes its outbox from its inbox.
+		switch mode {
+		case Parallel:
+			e.stepConcurrent(round, outboxes)
+		case Actors:
+			copy(outboxes, pool.runRound(round))
+		default:
+			for u := 0; u < n; u++ {
+				outboxes[u] = e.stepOne(u, round)
+			}
+		}
+
+		// Phase 2 (coordination thread): crash decisions, filtering,
+		// accounting, delivery. Done in node order for determinism.
+		inFlight := false
+		for u := 0; u < n; u++ {
+			outbox := outboxes[u]
+			if outbox == nil {
+				continue
+			}
+			crashing := false
+			if e.crashedAt[u] == 0 && e.adv.Faulty(u) && e.adv.CrashNow(u, round, outbox) {
+				crashing = true
+				e.crashedAt[u] = round
+			}
+			if err := e.deliver(u, round, outbox, crashing); err != nil {
+				return nil, err
+			}
+			if len(outbox) > 0 {
+				inFlight = true
+			}
+			outboxes[u] = nil
+		}
+
+		// Rotate inboxes.
+		e.inboxes, e.nextInbox = e.nextInbox, e.inboxes
+		for u := range e.nextInbox {
+			e.nextInbox[u] = e.nextInbox[u][:0]
+		}
+
+		if !inFlight && e.allQuiet() {
+			break
+		}
+	}
+	return e.result(), nil
+}
+
+// stepOne runs machine u for the given round and returns its outbox, or
+// nil if the machine is crashed. Machines that report Done keep being
+// stepped: Done means "I will not send unless I receive something", which
+// matters for reactive roles (a referee acts only when contacted); it does
+// not halt the machine.
+func (e *Engine) stepOne(u, round int) []Send {
+	if e.crashedAt[u] != 0 {
+		return nil
+	}
+	inbox := e.inboxes[u]
+	out := e.machines[u].Step(e.envs[u], round, inbox)
+	if e.trace != nil && len(inbox) > 0 {
+		e.trace.noteReceive(u, round)
+	}
+	if out == nil {
+		return emptyOutbox
+	}
+	return out
+}
+
+// emptyOutbox distinguishes "stepped, sent nothing" from "did not step".
+var emptyOutbox = make([]Send, 0)
+
+func (e *Engine) stepConcurrent(round int, outboxes [][]Send) {
+	var wg sync.WaitGroup
+	workers := 8
+	n := e.cfg.N
+	if n < workers {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for u := lo; u < hi; u++ {
+				outboxes[u] = e.stepOne(u, round)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// deliver applies crash filtering, CONGEST checks, accounting and trace
+// recording to node u's round-r outbox, then places delivered messages in
+// the receivers' next inboxes.
+func (e *Engine) deliver(u, round int, outbox []Send, crashing bool) error {
+	n := e.cfg.N
+	var usedPorts map[int]struct{}
+	if len(outbox) > 1 {
+		usedPorts = make(map[int]struct{}, len(outbox))
+	}
+	for i, s := range outbox {
+		if s.Port < 1 || s.Port >= n {
+			if err := e.violate(u, round, fmt.Sprintf("port %d out of range", s.Port)); err != nil {
+				return err
+			}
+			continue
+		}
+		if usedPorts != nil {
+			if _, dup := usedPorts[s.Port]; dup {
+				if err := e.violate(u, round, fmt.Sprintf("two messages on port %d in one round", s.Port)); err != nil {
+					return err
+				}
+			}
+			usedPorts[s.Port] = struct{}{}
+		}
+		sz := s.Payload.Bits(n)
+		if sz > e.bitBudget {
+			if err := e.violate(u, round, fmt.Sprintf("payload %q is %d bits, budget %d", s.Payload.Kind(), sz, e.bitBudget)); err != nil {
+				return err
+			}
+		}
+		// A message is "sent" (and counts toward message complexity) even
+		// if the sender crashes mid-round and the message is lost: the
+		// paper counts messages sent by all nodes.
+		e.counters.AddMessage(s.Payload.Kind(), sz)
+
+		if crashing && !e.adv.DeliverOnCrash(u, round, i, s) {
+			continue
+		}
+		v := Peer(n, u, s.Port)
+		e.nextInbox[v] = append(e.nextInbox[v], Delivery{
+			Port:    ArrivalPort(n, u, v),
+			Payload: s.Payload,
+		})
+		if e.trace != nil {
+			e.trace.noteSend(u, v, round)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) violate(node, round int, reason string) error {
+	if e.cfg.Strict {
+		return fmt.Errorf("netsim: node %d round %d: %s", node, round, reason)
+	}
+	e.violations = append(e.violations, Violation{Node: node, Round: round, Reason: reason})
+	return nil
+}
+
+func (e *Engine) allQuiet() bool {
+	for u := range e.machines {
+		if e.crashedAt[u] != 0 {
+			continue
+		}
+		if !e.machines[u].Done() {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) result() *Result {
+	res := &Result{
+		Outputs:    make([]any, e.cfg.N),
+		CrashedAt:  append([]int(nil), e.crashedAt...),
+		Faulty:     make([]bool, e.cfg.N),
+		Rounds:     e.counters.Rounds(),
+		Counters:   &e.counters,
+		Violations: e.violations,
+		Trace:      e.trace,
+	}
+	for u, m := range e.machines {
+		res.Outputs[u] = m.Output()
+		res.Faulty[u] = e.adv.Faulty(u)
+	}
+	return res
+}

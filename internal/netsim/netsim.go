@@ -1,0 +1,228 @@
+// Package netsim simulates a synchronous, fully connected, anonymous
+// message-passing network under crash faults — the model of Section II of
+// the paper.
+//
+// Model contract implemented here:
+//
+//   - The network is a complete graph on n nodes. Nodes are anonymous
+//     (KT0): a machine addresses messages by local port number in
+//     [1, n-1] and never learns which node a port leads to, except that a
+//     received message carries the arrival port, enabling replies.
+//   - Execution proceeds in synchronous rounds starting at round 1. All
+//     messages sent by a node that does not crash in round r are delivered
+//     at the beginning of round r+1.
+//   - A faulty node may crash in any round; in its crash round an
+//     adversarially chosen subset of its outgoing messages is lost, and
+//     the node halts for all subsequent rounds.
+//   - CONGEST: each message carries O(log n) bits; the engine enforces a
+//     per-message bit budget and can also enforce the one-message-per-edge
+//     -per-round discipline.
+//
+// Port wiring: node u's port p (1 <= p <= n-1) connects to node
+// (u+p) mod n. The protocols in this repository use ports only for
+// uniform random sampling and for replying on arrival ports, so any fixed
+// bijection yields the same execution distribution as the hidden random
+// permutation of the paper's model (see DESIGN.md).
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"sublinear/internal/metrics"
+	"sublinear/internal/rng"
+)
+
+// Payload is the content of a message. Implementations must be immutable
+// after send: the same value may be delivered to the receiver without
+// copying.
+type Payload interface {
+	// Bits returns the encoded size of the payload in bits, for a network
+	// of n nodes. Used for CONGEST accounting and enforcement.
+	Bits(n int) int
+	// Kind returns a short label for accounting (e.g. "propose").
+	Kind() string
+}
+
+// Send is an outgoing message: a payload addressed to a local port.
+type Send struct {
+	Port    int
+	Payload Payload
+}
+
+// Delivery is an incoming message as seen by a machine: the payload and
+// the local port it arrived on. The sender's identity is deliberately not
+// exposed (KT0 anonymity).
+type Delivery struct {
+	Port    int
+	Payload Payload
+}
+
+// Env is the per-node environment handed to a machine: n, alpha, and a
+// private coin stream.
+//
+// ID is the node's own index. It exists for KT1 baseline protocols
+// (internal/baseline), where nodes know their neighbors; with the fixed
+// port wiring, a KT1 machine reaches node v via port (v-ID) mod n and
+// identifies a sender as (ID+arrivalPort) mod n. The paper's KT0
+// algorithms in internal/core never read ID — anonymity is a property of
+// the protocol, which the tests enforce.
+type Env struct {
+	N     int
+	ID    int
+	Alpha float64
+	Rand  *rng.Source
+	// Deg is the number of local ports. On the complete network it is
+	// N-1; the general-graph simulator (internal/graphsim) sets the
+	// node's topology degree.
+	Deg int
+}
+
+// PortTo returns the local port that reaches node v from this node (KT1
+// only). It panics if v is this node.
+func (e *Env) PortTo(v int) int { return ArrivalPort(e.N, v, e.ID) }
+
+// SenderOf returns the node behind the given arrival port (KT1 only).
+func (e *Env) SenderOf(port int) int { return Peer(e.N, e.ID, port) }
+
+// Machine is a per-node protocol state machine.
+//
+// Step is called once per round for every node that has not crashed and
+// has not halted. The inbox holds the deliveries that arrived at the start
+// of this round (messages sent in the previous round); it is empty in
+// round 1. Step returns the messages the node sends this round.
+//
+// Done reports that the machine has halted voluntarily; the engine stops
+// once every live machine is done and no messages are in flight.
+//
+// Output returns the machine's final output and may be called at any time
+// after Run returns.
+type Machine interface {
+	Step(env *Env, round int, inbox []Delivery) []Send
+	Done() bool
+	Output() any
+}
+
+// Adversary controls crash faults. The engine calls it as follows: the
+// faulty set is static (Faulty); each round, after a faulty live node
+// produced its outbox, CrashNow is consulted once — returning true crashes
+// the node this round, in which case DeliverOnCrash is consulted per
+// outgoing message. CrashNow is called in increasing node order on the
+// engine's coordination thread, so adversaries may keep state and observe
+// outboxes across rounds (the "adaptively choose when and how" power of
+// the paper's static adversary).
+type Adversary interface {
+	Faulty(node int) bool
+	CrashNow(node, round int, outbox []Send) bool
+	DeliverOnCrash(node, round, msgIndex int, send Send) bool
+}
+
+// NoFaults is an Adversary with an empty faulty set.
+type NoFaults struct{}
+
+// Faulty always reports false.
+func (NoFaults) Faulty(int) bool { return false }
+
+// CrashNow always reports false.
+func (NoFaults) CrashNow(int, int, []Send) bool { return false }
+
+// DeliverOnCrash always reports true (it is never consulted).
+func (NoFaults) DeliverOnCrash(int, int, int, Send) bool { return true }
+
+// Config parameterises an engine run.
+type Config struct {
+	// N is the number of nodes. Required, >= 2.
+	N int
+	// Alpha is the guaranteed fraction of non-faulty nodes, exposed to
+	// machines via Env. Must be in (0, 1].
+	Alpha float64
+	// Seed seeds the run; each node's private coins derive from it.
+	Seed uint64
+	// MaxRounds caps the execution length. Required, >= 1.
+	MaxRounds int
+	// CongestFactor c sets the per-message budget to c*ceil(log2 n) bits.
+	// Zero selects the default of 8 (a handful of log-sized fields).
+	CongestFactor int
+	// Strict makes CONGEST violations (over-sized payloads, two messages
+	// on one edge in one round, out-of-range ports) abort the run with an
+	// error instead of being recorded.
+	Strict bool
+	// Record enables the message trace needed by the influence-cloud
+	// analysis (internal/cloud). Costs memory proportional to the number
+	// of messages.
+	Record bool
+}
+
+func (c *Config) validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("netsim: config N = %d, need >= 2", c.N)
+	}
+	if !(c.Alpha > 0 && c.Alpha <= 1) {
+		return fmt.Errorf("netsim: config Alpha = %v, need (0,1]", c.Alpha)
+	}
+	if c.MaxRounds < 1 {
+		return errors.New("netsim: config MaxRounds must be >= 1")
+	}
+	return nil
+}
+
+func (c *Config) bitBudget() int {
+	factor := c.CongestFactor
+	if factor == 0 {
+		factor = 8
+	}
+	return factor * bitsLen(c.N)
+}
+
+// bitsLen returns ceil(log2 n) with a floor of 1.
+func bitsLen(n int) int {
+	if n <= 2 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Violation is a recorded CONGEST violation (non-strict mode).
+type Violation struct {
+	Node, Round int
+	Reason      string
+}
+
+// Result holds the outcome of an engine run.
+type Result struct {
+	// Outputs holds each machine's Output(), indexed by node.
+	Outputs []any
+	// CrashedAt[u] is the round node u crashed in, or 0 if it never did.
+	CrashedAt []int
+	// Faulty[u] reports whether node u was in the adversary's static
+	// faulty set (it may or may not have crashed).
+	Faulty []bool
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Counters holds message/bit/round accounting.
+	Counters *metrics.Counters
+	// Violations holds CONGEST violations observed in non-strict mode.
+	Violations []Violation
+	// Trace is the recorded message trace, or nil if Config.Record was
+	// false.
+	Trace *Trace
+}
+
+// Peer returns the node that port p of node u connects to, for an n-node
+// network. It panics on out-of-range ports.
+func Peer(n, u, p int) int {
+	if p < 1 || p >= n {
+		panic(fmt.Sprintf("netsim: port %d out of range [1,%d]", p, n-1))
+	}
+	return (u + p) % n
+}
+
+// ArrivalPort returns the port of node v on which a message from node u
+// arrives. It panics if u == v.
+func ArrivalPort(n, u, v int) int {
+	if u == v {
+		panic("netsim: no self edges in the model")
+	}
+	return ((u-v)%n + n) % n
+}

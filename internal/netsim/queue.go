@@ -1,0 +1,60 @@
+package netsim
+
+// EdgeQueue buffers outgoing messages so a machine can respect the CONGEST
+// discipline of at most one message per edge per round. Enqueue any number
+// of messages; each call to Flush returns a batch containing at most one
+// message per port (the head of each port's queue) and retains the rest.
+//
+// The paper relies on this pattern in the pre-processing step of the
+// election algorithm, where a referee must send O(log n / alpha) ranks to a
+// candidate "in parallel" over O(log n / alpha) rounds.
+//
+// The zero value is ready to use.
+type EdgeQueue struct {
+	perPort map[int][]Payload
+	ports   []int // insertion order, for deterministic flushes
+}
+
+// Enqueue adds a payload destined for the given port.
+func (q *EdgeQueue) Enqueue(port int, p Payload) {
+	if q.perPort == nil {
+		q.perPort = make(map[int][]Payload)
+	}
+	if _, seen := q.perPort[port]; !seen {
+		q.ports = append(q.ports, port)
+	}
+	q.perPort[port] = append(q.perPort[port], p)
+}
+
+// Flush pops at most one payload per port and appends the resulting sends
+// to dst, returning the extended slice.
+func (q *EdgeQueue) Flush(dst []Send) []Send {
+	if len(q.perPort) == 0 {
+		return dst
+	}
+	remaining := q.ports[:0]
+	for _, port := range q.ports {
+		queue := q.perPort[port]
+		dst = append(dst, Send{Port: port, Payload: queue[0]})
+		if len(queue) == 1 {
+			delete(q.perPort, port)
+		} else {
+			q.perPort[port] = queue[1:]
+			remaining = append(remaining, port)
+		}
+	}
+	q.ports = remaining
+	return dst
+}
+
+// Empty reports whether no payloads are pending.
+func (q *EdgeQueue) Empty() bool { return len(q.perPort) == 0 }
+
+// Pending returns the total number of queued payloads.
+func (q *EdgeQueue) Pending() int {
+	total := 0
+	for _, queue := range q.perPort {
+		total += len(queue)
+	}
+	return total
+}

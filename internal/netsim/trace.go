@@ -1,0 +1,63 @@
+package netsim
+
+// Trace records the communication pattern of a run, for the influence-cloud
+// analysis of Sections IV-B and V-B. It stores, per ordered node pair, the
+// first round in which a message crossed that edge, plus each node's first
+// send and first receive rounds.
+type Trace struct {
+	n         int
+	firstSend []int // 0 = never
+	firstRecv []int // 0 = never
+	edges     map[[2]int]int
+	order     [][2]int // edges in first-crossing order
+}
+
+func newTrace(n int) *Trace {
+	return &Trace{
+		n:         n,
+		firstSend: make([]int, n),
+		firstRecv: make([]int, n),
+		edges:     make(map[[2]int]int),
+	}
+}
+
+func (t *Trace) noteSend(u, v, round int) {
+	if t.firstSend[u] == 0 {
+		t.firstSend[u] = round
+	}
+	key := [2]int{u, v}
+	if _, seen := t.edges[key]; !seen {
+		t.edges[key] = round
+		t.order = append(t.order, key)
+	}
+}
+
+func (t *Trace) noteReceive(u, round int) {
+	if t.firstRecv[u] == 0 {
+		t.firstRecv[u] = round
+	}
+}
+
+// N returns the number of nodes in the traced network.
+func (t *Trace) N() int { return t.n }
+
+// FirstSend returns the round node u first sent a message, or 0 if never.
+func (t *Trace) FirstSend(u int) int { return t.firstSend[u] }
+
+// FirstReceive returns the round node u first received a message (i.e. the
+// round the message was available in its inbox), or 0 if never.
+func (t *Trace) FirstReceive(u int) int { return t.firstRecv[u] }
+
+// Edges calls fn for every directed edge (u, v) over which at least one
+// message was sent, with the round of the first crossing, in first-crossing
+// order. Returning false stops the iteration.
+func (t *Trace) Edges(fn func(u, v, round int) bool) {
+	for _, key := range t.order {
+		if !fn(key[0], key[1], t.edges[key]) {
+			return
+		}
+	}
+}
+
+// EdgeCount returns the number of distinct directed communication edges.
+func (t *Trace) EdgeCount() int { return len(t.edges) }

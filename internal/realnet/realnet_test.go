@@ -1,0 +1,134 @@
+package realnet
+
+import (
+	"strings"
+	"testing"
+
+	"sublinear/internal/netsim"
+	"sublinear/internal/wire"
+)
+
+// tokenPayload is a trivial self-delimiting payload for transport tests.
+type tokenPayload struct{ v uint64 }
+
+func (tokenPayload) Bits(int) int { return 16 }
+func (tokenPayload) Kind() string { return "token" }
+
+func encodeToken(dst []byte, p netsim.Payload) ([]byte, error) {
+	t, ok := p.(tokenPayload)
+	if !ok {
+		return nil, wire.ErrShortBuffer
+	}
+	return wire.AppendUvarint(dst, t.v), nil
+}
+
+func decodeToken(b []byte) (netsim.Payload, []byte, error) {
+	v, rest, err := wire.Uvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tokenPayload{v: v}, rest, nil
+}
+
+// ringMachine passes a token around the ring (port 1 = successor) a fixed
+// number of hops; node 0 starts it.
+type ringMachine struct {
+	hops     int
+	last     int
+	received []uint64
+}
+
+func (m *ringMachine) Step(env *netsim.Env, round int, inbox []netsim.Delivery) []netsim.Send {
+	m.last = round
+	if env.ID == 0 && round == 1 {
+		return []netsim.Send{{Port: 1, Payload: tokenPayload{v: 1}}}
+	}
+	var out []netsim.Send
+	for _, d := range inbox {
+		tok := d.Payload.(tokenPayload)
+		m.received = append(m.received, tok.v)
+		if int(tok.v) < m.hops {
+			out = append(out, netsim.Send{Port: 1, Payload: tokenPayload{v: tok.v + 1}})
+		}
+	}
+	return out
+}
+
+func (m *ringMachine) Done() bool  { return true } // reactive only
+func (m *ringMachine) Output() any { return append([]uint64(nil), m.received...) }
+
+func TestTokenRingOverTCP(t *testing.T) {
+	const n, hops = 8, 16
+	machines := make([]netsim.Machine, n)
+	for u := range machines {
+		machines[u] = &ringMachine{hops: hops}
+	}
+	res, err := Run(Config{
+		N: n, Alpha: 1, Seed: 1, MaxRounds: hops + 3,
+		Encode: encodeToken, Decode: decodeToken,
+	}, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Messages() != hops {
+		t.Fatalf("messages = %d, want %d", res.Counters.Messages(), hops)
+	}
+	// Token value v arrives at node v mod n.
+	for u, o := range res.Outputs {
+		for _, v := range o.([]uint64) {
+			if int(v%n) != u {
+				t.Fatalf("token %d arrived at node %d", v, u)
+			}
+		}
+	}
+	if res.WireBytes <= 0 {
+		t.Fatal("no wire bytes accounted")
+	}
+}
+
+func TestCrashOverTCP(t *testing.T) {
+	// Crash the token at hop 5: the ring goes quiet and the run ends.
+	const n, hops = 6, 30
+	machines := make([]netsim.Machine, n)
+	for u := range machines {
+		machines[u] = &ringMachine{hops: hops}
+	}
+	adv := crashOn{node: 5 % n, round: 6}
+	res, err := Run(Config{
+		N: n, Alpha: 0.5, Seed: 2, MaxRounds: hops + 3,
+		Encode: encodeToken, Decode: decodeToken, Adversary: adv,
+	}, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrashedAt[adv.node] != adv.round {
+		t.Fatalf("CrashedAt = %v", res.CrashedAt)
+	}
+	// Messages sent: hops 1..6 (the 6th is sent by the crashing node and
+	// counted, but dropped).
+	if res.Counters.Messages() != 6 {
+		t.Fatalf("messages = %d, want 6", res.Counters.Messages())
+	}
+	if res.Rounds >= hops {
+		t.Fatalf("ring kept running after the crash: %d rounds", res.Rounds)
+	}
+}
+
+type crashOn struct{ node, round int }
+
+func (c crashOn) Faulty(u int) bool                              { return u == c.node }
+func (c crashOn) CrashNow(u, round int, _ []netsim.Send) bool    { return u == c.node && round >= c.round }
+func (c crashOn) DeliverOnCrash(_, _, _ int, _ netsim.Send) bool { return false }
+
+func TestRunValidation(t *testing.T) {
+	machines := []netsim.Machine{&ringMachine{}, &ringMachine{}}
+	if _, err := Run(Config{N: 2, Alpha: 1, MaxRounds: 1}, machines); err == nil || !strings.Contains(err.Error(), "Encode") {
+		t.Errorf("missing codec accepted: %v", err)
+	}
+	if _, err := Run(Config{N: 3, Alpha: 1, MaxRounds: 1, Encode: encodeToken, Decode: decodeToken}, machines); err == nil {
+		t.Error("machine count mismatch accepted")
+	}
+	if _, err := Run(Config{N: 2, Alpha: 1, Encode: encodeToken, Decode: decodeToken}, machines); err == nil {
+		t.Error("MaxRounds 0 accepted")
+	}
+}

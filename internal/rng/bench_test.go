@@ -1,0 +1,43 @@
+package rng
+
+import "testing"
+
+func BenchmarkUint64(b *testing.B) {
+	src := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = src.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	src := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = src.Intn(1 << 20)
+	}
+	_ = sink
+}
+
+func BenchmarkSplit(b *testing.B) {
+	src := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = src.Split(uint64(i))
+	}
+}
+
+func BenchmarkSampleDistinctSparse(b *testing.B) {
+	src := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = src.SampleDistinct(100, 1<<20, nil)
+	}
+}
+
+func BenchmarkSampleDistinctDense(b *testing.B) {
+	src := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = src.SampleDistinct(400, 1024, nil)
+	}
+}

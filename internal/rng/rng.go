@@ -1,0 +1,203 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// generation for the simulator.
+//
+// Every node in a simulated network needs an independent stream of private
+// coins (the model in the paper gives each node access to an arbitrary
+// number of private random bits), yet a whole run must be reproducible from
+// a single seed. Source is a xoshiro256** generator; streams are derived
+// from a parent seed with SplitMix64, the standard seeding scheme for the
+// xoshiro family, which guarantees well-distributed, decorrelated states.
+package rng
+
+import "math"
+
+// Source is a deterministic pseudo-random generator. It implements the
+// subset of math/rand-style methods the protocols need. The zero value is
+// not valid; construct with New or Split.
+type Source struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a Source seeded from seed via SplitMix64.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	src.s0, src.s1, src.s2, src.s3 = next(), next(), next(), next()
+	return &src
+}
+
+// Split derives an independent child stream for the given index. Two
+// children with different indices, or children of different parents, have
+// decorrelated states. The parent stream is not advanced.
+func (s *Source) Split(index uint64) *Source {
+	// Mix the parent state with the index through SplitMix64. Using the
+	// full 256-bit parent state avoids collisions between, e.g.,
+	// New(1).Split(2) and New(2).Split(1).
+	mix := s.s0
+	mix = mix*0x9e3779b97f4a7c15 + index
+	mix ^= s.s1 + 0x6a09e667f3bcc909
+	mix = mix*0xbf58476d1ce4e5b9 + s.s2
+	mix ^= s.s3
+	return New(mix)
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s1*5, 7) * 9
+	t := s.s1 << 17
+
+	s.s2 ^= s.s0
+	s.s3 ^= s.s1
+	s.s1 ^= s.s2
+	s.s0 ^= s.s3
+	s.s2 ^= t
+	s.s3 = rotl(s.s3, 45)
+
+	return result
+}
+
+// Int64n returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Int64n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int64n called with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded generation with rejection.
+	un := uint64(n)
+	for {
+		v := s.Uint64()
+		hi, lo := mul64(v, un)
+		if lo >= un || lo >= (-un)%un {
+			return int64(hi)
+		}
+	}
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	return int(s.Int64n(int64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p. Values of p outside [0, 1] are
+// clamped.
+func (s *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// SampleDistinct returns k distinct uniform values from [0, n), excluding
+// any value for which excluded returns true. It panics if fewer than k
+// admissible values exist. excluded may be nil.
+func (s *Source) SampleDistinct(k, n int, excluded func(int) bool) []int {
+	admissible := n
+	if excluded != nil {
+		admissible = 0
+		for i := 0; i < n; i++ {
+			if !excluded(i) {
+				admissible++
+			}
+		}
+	}
+	if k > admissible {
+		panic("rng: SampleDistinct: not enough admissible values")
+	}
+	out := make([]int, 0, k)
+	if k*4 >= admissible {
+		// Dense regime: Fisher–Yates over the admissible values.
+		vals := make([]int, 0, admissible)
+		for i := 0; i < n; i++ {
+			if excluded == nil || !excluded(i) {
+				vals = append(vals, i)
+			}
+		}
+		for i := 0; i < k; i++ {
+			j := i + s.Intn(len(vals)-i)
+			vals[i], vals[j] = vals[j], vals[i]
+			out = append(out, vals[i])
+		}
+		return out
+	}
+	// Sparse regime: rejection sampling with a seen-set.
+	seen := make(map[int]struct{}, k)
+	for len(out) < k {
+		v := s.Intn(n)
+		if excluded != nil && excluded(v) {
+			continue
+		}
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Binomial returns a sample from Binomial(n, p). It uses direct simulation
+// for small n and a normal approximation would be unsound for tail
+// experiments, so direct simulation is used throughout; n in this codebase
+// stays small enough (committee sizes) for this to be cheap.
+func (s *Source) Binomial(n int, p float64) int {
+	count := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(p) {
+			count++
+		}
+	}
+	return count
+}
+
+func rotl(x uint64, k uint) uint64 {
+	return (x << k) | (x >> (64 - k))
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+
+	t := aHi*bLo + (aLo*bLo)>>32
+	lo = a * b
+	hi = aHi*bHi + t>>32 + (t&mask+aLo*bHi)>>32
+	return hi, lo
+}
+
+// LogN returns the natural logarithm of n as a float64, with a floor of 1
+// so that parameter formulas remain positive for tiny n.
+func LogN(n int) float64 {
+	l := math.Log(float64(n))
+	if l < 1 {
+		return 1
+	}
+	return l
+}

@@ -1,0 +1,261 @@
+package rng
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("streams diverged at step %d: %d vs %d", i, got, want)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams from different seeds collided %d/100 times", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1, c2 := parent.Split(1), parent.Split(2)
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("children with different indices produced the same first value")
+	}
+	// Split must not advance the parent.
+	p1 := New(7)
+	_ = p1.Split(1)
+	p2 := New(7)
+	if p1.Uint64() != p2.Uint64() {
+		t.Error("Split advanced the parent stream")
+	}
+}
+
+func TestSplitCrossParent(t *testing.T) {
+	// New(1).Split(2) must differ from New(2).Split(1).
+	a := New(1).Split(2)
+	b := New(2).Split(1)
+	if a.Uint64() == b.Uint64() {
+		t.Error("cross-parent split collision")
+	}
+}
+
+func TestSplitDeterminism(t *testing.T) {
+	a := New(42).Split(13)
+	b := New(42).Split(13)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("split streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	src := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 30} {
+		for i := 0; i < 200; i++ {
+			v := src.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestInt64nProperty(t *testing.T) {
+	src := New(99)
+	f := func(n int64) bool {
+		if n <= 0 {
+			n = -n + 1
+		}
+		v := src.Int64n(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	src := New(5)
+	const buckets, draws = 8, 80000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[src.Intn(buckets)]++
+	}
+	expected := float64(draws) / buckets
+	for b, c := range counts {
+		dev := math.Abs(float64(c)-expected) / expected
+		if dev > 0.05 {
+			t.Errorf("bucket %d: %d draws, %.1f%% off expectation", b, c, dev*100)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	src := New(11)
+	sum := 0.0
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		v := src.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBoolFrequency(t *testing.T) {
+	src := New(13)
+	for _, p := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		hits := 0
+		const draws = 40000
+		for i := 0; i < draws; i++ {
+			if src.Bool(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / draws
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("Bool(%v) frequency %v", p, got)
+		}
+	}
+}
+
+func TestBoolClamps(t *testing.T) {
+	src := New(17)
+	if src.Bool(-0.5) {
+		t.Error("Bool(-0.5) returned true")
+	}
+	if !src.Bool(1.5) {
+		t.Error("Bool(1.5) returned false")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	src := New(19)
+	for _, n := range []int{0, 1, 2, 10, 257} {
+		p := src.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	src := New(23)
+	for _, tt := range []struct{ k, n int }{
+		{0, 10}, {1, 10}, {5, 10}, {10, 10}, {20, 1000}, {999, 1000},
+	} {
+		got := src.SampleDistinct(tt.k, tt.n, nil)
+		if len(got) != tt.k {
+			t.Fatalf("SampleDistinct(%d,%d): %d values", tt.k, tt.n, len(got))
+		}
+		seen := make(map[int]bool, tt.k)
+		for _, v := range got {
+			if v < 0 || v >= tt.n || seen[v] {
+				t.Fatalf("SampleDistinct(%d,%d) invalid value %d", tt.k, tt.n, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleDistinctExcluded(t *testing.T) {
+	src := New(29)
+	excl := func(v int) bool { return v%2 == 0 }
+	got := src.SampleDistinct(50, 100, excl)
+	for _, v := range got {
+		if v%2 == 0 {
+			t.Fatalf("sampled excluded value %d", v)
+		}
+	}
+}
+
+func TestSampleDistinctPanicsWhenImpossible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).SampleDistinct(11, 10, nil)
+}
+
+func TestSampleDistinctCoverage(t *testing.T) {
+	// Sparse-regime sampling must still be able to produce every value.
+	src := New(31)
+	seen := make(map[int]bool)
+	for i := 0; i < 3000; i++ {
+		for _, v := range src.SampleDistinct(2, 50, nil) {
+			seen[v] = true
+		}
+	}
+	if len(seen) != 50 {
+		t.Errorf("only %d/50 values ever sampled", len(seen))
+	}
+}
+
+func TestBinomialMean(t *testing.T) {
+	src := New(37)
+	const n, p, reps = 100, 0.3, 3000
+	sum := 0
+	for i := 0; i < reps; i++ {
+		sum += src.Binomial(n, p)
+	}
+	mean := float64(sum) / reps
+	if math.Abs(mean-n*p) > 1 {
+		t.Errorf("Binomial(%d,%v) mean %v, want ~%v", n, p, mean, n*p)
+	}
+}
+
+func TestMul64MatchesBits(t *testing.T) {
+	f := func(a, b uint64) bool {
+		hi, lo := mul64(a, b)
+		whi, wlo := bits.Mul64(a, b)
+		return hi == whi && lo == wlo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogN(t *testing.T) {
+	if got := LogN(2); got != 1 {
+		t.Errorf("LogN(2) = %v, want floor 1", got)
+	}
+	if got, want := LogN(1024), math.Log(1024); math.Abs(got-want) > 1e-12 {
+		t.Errorf("LogN(1024) = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,162 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: summary statistics, binomial confidence intervals for
+// success rates, and log-log least squares for empirical scaling
+// exponents (the paper's bounds are power laws in n and 1/alpha, so a
+// log-log slope is the natural shape check).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Summary holds the summary statistics of a sample.
+type Summary struct {
+	Count  int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	Median float64
+	P90    float64
+}
+
+// Summarize computes summary statistics. It returns a zero Summary for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	varSum := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		varSum += d * d
+	}
+	if len(xs) > 1 {
+		s.StdDev = math.Sqrt(varSum / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Quantile(sorted, 0.5)
+	s.P90 = Quantile(sorted, 0.9)
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of a sorted sample using
+// linear interpolation. It returns NaN for an empty sample.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// WilsonInterval returns the 95% Wilson score confidence interval for a
+// binomial proportion with k successes out of trials.
+func WilsonInterval(k, trials int) (lo, hi float64) {
+	if trials == 0 {
+		return 0, 1
+	}
+	const z = 1.96
+	n := float64(trials)
+	p := float64(k) / n
+	denom := 1 + z*z/n
+	center := (p + z*z/(2*n)) / denom
+	half := z * math.Sqrt(p*(1-p)/n+z*z/(4*n*n)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Fit is an ordinary least squares line y = Slope*x + Intercept with the
+// coefficient of determination.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// ErrTooFewPoints is returned when a fit needs more data.
+var ErrTooFewPoints = errors.New("stats: need at least two points")
+
+// OLS fits y = a*x + b by least squares.
+func OLS(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return Fit{}, ErrTooFewPoints
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, errors.New("stats: zero variance in x")
+	}
+	slope := sxy / sxx
+	fit := Fit{Slope: slope, Intercept: my - slope*mx}
+	if syy > 0 {
+		fit.R2 = sxy * sxy / (sxx * syy)
+	} else {
+		fit.R2 = 1
+	}
+	return fit, nil
+}
+
+// LogLogSlope fits log(y) = slope*log(x) + c and returns the fit; this is
+// the empirical exponent of a power law y ~ x^slope. Points with
+// non-positive coordinates are rejected.
+func LogLogSlope(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, errors.New("stats: length mismatch")
+	}
+	lx := make([]float64, 0, len(xs))
+	ly := make([]float64, 0, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return Fit{}, errors.New("stats: log-log fit needs positive data")
+		}
+		lx = append(lx, math.Log(xs[i]))
+		ly = append(ly, math.Log(ys[i]))
+	}
+	return OLS(lx, ly)
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Count != 4 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if !almost(s.Mean, 2.5, 1e-12) {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	// Sample stddev of 1..4 is sqrt(5/3).
+	if !almost(s.StdDev, math.Sqrt(5.0/3), 1e-12) {
+		t.Errorf("stddev = %v", s.StdDev)
+	}
+	if !almost(s.Median, 2.5, 1e-12) {
+		t.Errorf("median = %v", s.Median)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 {
+		t.Fatal("empty sample")
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.StdDev != 0 || s.Median != 7 || s.Min != 7 || s.Max != 7 {
+		t.Fatalf("single sample: %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40, 50}
+	tests := []struct{ q, want float64 }{
+		{0, 10}, {1, 50}, {0.5, 30}, {0.25, 20}, {0.125, 15},
+	}
+	for _, tt := range tests {
+		if got := Quantile(sorted, tt.q); !almost(got, tt.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Errorf("no trials: (%v, %v)", lo, hi)
+	}
+	lo, hi = WilsonInterval(50, 100)
+	if !(lo < 0.5 && 0.5 < hi) {
+		t.Errorf("50/100: (%v, %v) does not bracket 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Errorf("50/100 interval too wide: %v", hi-lo)
+	}
+	lo, hi = WilsonInterval(100, 100)
+	if hi < 0.999 || lo < 0.9 {
+		t.Errorf("100/100: (%v, %v)", lo, hi)
+	}
+	lo, hi = WilsonInterval(0, 100)
+	if lo != 0 || hi > 0.1 {
+		t.Errorf("0/100: (%v, %v)", lo, hi)
+	}
+	// More trials narrow the interval.
+	lo1, hi1 := WilsonInterval(5, 10)
+	lo2, hi2 := WilsonInterval(500, 1000)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Error("interval did not narrow with more trials")
+	}
+}
+
+func TestOLSExactLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x - 2
+	}
+	fit, err := OLS(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.Slope, 3, 1e-9) || !almost(fit.Intercept, -2, 1e-9) || !almost(fit.R2, 1, 1e-9) {
+		t.Fatalf("fit: %+v", fit)
+	}
+}
+
+func TestOLSErrors(t *testing.T) {
+	if _, err := OLS([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := OLS([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero x-variance accepted")
+	}
+	if _, err := OLS([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestLogLogSlopeRecoversExponent(t *testing.T) {
+	xs := []float64{10, 100, 1000, 10000}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 5 * math.Pow(x, 2.5)
+	}
+	fit, err := LogLogSlope(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.Slope, 2.5, 1e-9) {
+		t.Fatalf("slope = %v, want 2.5", fit.Slope)
+	}
+}
+
+func TestLogLogSlopeRejectsNonPositive(t *testing.T) {
+	if _, err := LogLogSlope([]float64{1, 0}, []float64{1, 1}); err == nil {
+		t.Error("zero x accepted")
+	}
+	if _, err := LogLogSlope([]float64{1, 2}, []float64{1, -1}); err == nil {
+		t.Error("negative y accepted")
+	}
+}
+
+// Property: OLS recovers arbitrary lines exactly (up to float error).
+func TestOLSProperty(t *testing.T) {
+	f := func(a8, b8 int8) bool {
+		a, b := float64(a8), float64(b8)
+		xs := []float64{0, 1, 2, 3, 7, 11}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = a*x + b
+		}
+		fit, err := OLS(xs, ys)
+		if err != nil {
+			return false
+		}
+		return almost(fit.Slope, a, 1e-6) && almost(fit.Intercept, b, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the median lies within [min, max] and the mean too.
+func TestSummarizeBoundsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.Min <= s.P90 && s.P90 <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

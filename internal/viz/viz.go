@@ -1,0 +1,143 @@
+// Package viz renders small terminal figures for the experiment harness:
+// log-scale bar charts for sweeps (messages vs n, success vs starvation)
+// and sparklines for per-round message profiles. Pure text, no
+// dependencies — the "figures" of this reproduction are rendered next to
+// their tables by cmd/experiments -plot.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bars renders a horizontal bar chart. Values must be non-negative; when
+// logScale is set, bar lengths are proportional to log10(1+value), which
+// keeps power-law sweeps readable.
+type Bars struct {
+	Title    string
+	Labels   []string
+	Values   []float64
+	Width    int // max bar width in cells; 0 = 48
+	LogScale bool
+}
+
+// Render writes the chart.
+func (b Bars) Render(w io.Writer) error {
+	if len(b.Labels) != len(b.Values) {
+		return fmt.Errorf("viz: %d labels for %d values", len(b.Labels), len(b.Values))
+	}
+	width := b.Width
+	if width <= 0 {
+		width = 48
+	}
+	if b.Title != "" {
+		if _, err := fmt.Fprintln(w, b.Title); err != nil {
+			return err
+		}
+	}
+	labelW := 0
+	for _, l := range b.Labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	maxV := 0.0
+	for _, v := range b.Values {
+		if v < 0 {
+			return fmt.Errorf("viz: negative value %v", v)
+		}
+		if s := b.scale(v); s > maxV {
+			maxV = s
+		}
+	}
+	for i, l := range b.Labels {
+		cells := 0
+		if maxV > 0 {
+			cells = int(math.Round(b.scale(b.Values[i]) / maxV * float64(width)))
+		}
+		if b.Values[i] > 0 && cells == 0 {
+			cells = 1
+		}
+		bar := strings.Repeat("#", cells)
+		if _, err := fmt.Fprintf(w, "  %-*s |%-*s %s\n", labelW, l, width, bar, formatValue(b.Values[i])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b Bars) scale(v float64) float64 {
+	if b.LogScale {
+		return math.Log10(1 + v)
+	}
+	return v
+}
+
+// Sparkline renders a series as one line of eight-level block characters.
+// It returns an empty string for an empty series.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	minV, maxV := values[0], values[0]
+	for _, v := range values {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sb strings.Builder
+	span := maxV - minV
+	for _, v := range values {
+		idx := 0
+		if span > 0 {
+			idx = int((v - minV) / span * float64(len(levels)-1))
+		}
+		sb.WriteRune(levels[idx])
+	}
+	return sb.String()
+}
+
+// Downsample reduces a series to at most buckets points by averaging,
+// for sparkline rendering of long per-round profiles.
+func Downsample(values []float64, buckets int) []float64 {
+	if buckets <= 0 || len(values) <= buckets {
+		return append([]float64(nil), values...)
+	}
+	out := make([]float64, buckets)
+	per := float64(len(values)) / float64(buckets)
+	for i := 0; i < buckets; i++ {
+		lo := int(float64(i) * per)
+		hi := int(float64(i+1) * per)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > len(values) {
+			hi = len(values)
+		}
+		sum := 0.0
+		for _, v := range values[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+func formatValue(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

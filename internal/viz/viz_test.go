@@ -1,0 +1,118 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarsRender(t *testing.T) {
+	var sb strings.Builder
+	b := Bars{
+		Title:  "demo",
+		Labels: []string{"a", "bbbb", "c"},
+		Values: []float64{10, 100, 0},
+		Width:  10,
+	}
+	if err := b.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "demo" {
+		t.Errorf("title line %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	// Largest value gets the full width; zero gets none.
+	if !strings.Contains(lines[2], strings.Repeat("#", 10)) {
+		t.Errorf("max bar not full width: %q", lines[2])
+	}
+	if strings.Contains(lines[3], "#") {
+		t.Errorf("zero value drew a bar: %q", lines[3])
+	}
+	// Non-zero small values draw at least one cell.
+	if !strings.Contains(lines[1], "#") {
+		t.Errorf("small value drew nothing: %q", lines[1])
+	}
+}
+
+func TestBarsLogScaleCompresses(t *testing.T) {
+	render := func(logScale bool) (shortBar int) {
+		var sb strings.Builder
+		b := Bars{Labels: []string{"s", "l"}, Values: []float64{100, 1e6}, Width: 40, LogScale: logScale}
+		if err := b.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+		line := strings.Split(sb.String(), "\n")[0]
+		return strings.Count(line, "#")
+	}
+	if lin, log := render(false), render(true); log <= lin {
+		t.Errorf("log scale did not lengthen the small bar: linear %d, log %d", lin, log)
+	}
+}
+
+func TestBarsValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := (Bars{Labels: []string{"a"}, Values: nil}).Render(&sb); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := (Bars{Labels: []string{"a"}, Values: []float64{-1}}).Render(&sb); err == nil {
+		t.Error("negative value accepted")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty series should render empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline length %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("extremes wrong: %q", s)
+	}
+	// Constant series renders at the floor level.
+	flat := []rune(Sparkline([]float64{5, 5, 5}))
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat series: %q", string(flat))
+		}
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	in := []float64{1, 1, 3, 3, 5, 5}
+	out := Downsample(in, 3)
+	if len(out) != 3 || out[0] != 1 || out[1] != 3 || out[2] != 5 {
+		t.Fatalf("downsample: %v", out)
+	}
+	// No-op when already small enough; result is a copy.
+	same := Downsample(in, 10)
+	if len(same) != len(in) {
+		t.Fatal("unexpected resize")
+	}
+	same[0] = 99
+	if in[0] == 99 {
+		t.Fatal("downsample returned the input slice")
+	}
+	if got := Downsample(in, 0); len(got) != len(in) {
+		t.Fatal("buckets=0 should copy")
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"}, {12, "12"}, {1500, "1.5k"}, {2.5e6, "2.50M"}, {0.25, "0.25"},
+	}
+	for _, tt := range tests {
+		if got := formatValue(tt.in); got != tt.want {
+			t.Errorf("formatValue(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

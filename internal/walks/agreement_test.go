@@ -1,0 +1,153 @@
+package walks
+
+import (
+	"testing"
+
+	"sublinear/internal/fault"
+	"sublinear/internal/graph"
+	"sublinear/internal/rng"
+)
+
+func walkInputs(n int, pOne float64, seed uint64) []int {
+	src := rng.New(seed)
+	in := make([]int, n)
+	for i := range in {
+		if src.Bool(pOne) {
+			in[i] = 1
+		}
+	}
+	return in
+}
+
+func TestWalkAgreementFastMixers(t *testing.T) {
+	graphs := []graph.Graph{
+		mustGraph(t)(graph.Complete(256)),
+		mustGraph(t)(graph.Hypercube(8)),
+		mustGraph(t)(graph.RandomRegular(256, 8, 7)),
+	}
+	for _, g := range graphs {
+		g := g
+		t.Run(g.Name(), func(t *testing.T) {
+			t.Parallel()
+			ok := 0
+			const reps = 12
+			for seed := uint64(0); seed < reps; seed++ {
+				res, err := RunAgreement(g, seed, Params{}, walkInputs(g.N(), 0.5, seed), nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Eval.Success {
+					ok++
+				} else {
+					t.Logf("seed %d: %s", seed, res.Eval.Reason)
+				}
+			}
+			if ok < reps-1 {
+				t.Errorf("%s: success %d/%d", g.Name(), ok, reps)
+			}
+		})
+	}
+}
+
+func TestWalkAgreementValidity(t *testing.T) {
+	g := mustGraph(t)(graph.Hypercube(8))
+	// All ones: must decide 1 (no forged zeros anywhere).
+	ones := walkInputs(g.N(), 1.1, 1)
+	res, err := RunAgreement(g, 3, Params{}, ones, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Eval.Success || res.Eval.Value != 1 {
+		t.Fatalf("all-ones: %+v", res.Eval)
+	}
+	// All zeros: must decide 0.
+	zeros := make([]int, g.N())
+	res, err = RunAgreement(g, 3, Params{}, zeros, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Eval.Success || res.Eval.Value != 0 {
+		t.Fatalf("all-zeros: %+v", res.Eval)
+	}
+}
+
+func TestWalkAgreementZeroBias(t *testing.T) {
+	// With mixed inputs the committee w.h.p. holds a zero, so the walk
+	// agreement decides 0 (the paper's bias).
+	g := mustGraph(t)(graph.RandomRegular(256, 8, 5))
+	zeroWins := 0
+	const reps = 10
+	for seed := uint64(0); seed < reps; seed++ {
+		res, err := RunAgreement(g, seed, Params{}, walkInputs(g.N(), 0.5, seed+77), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Eval.Success && res.Eval.Value == 0 {
+			zeroWins++
+		}
+	}
+	if zeroWins < reps-2 {
+		t.Errorf("zero decided in only %d/%d mixed-input runs", zeroWins, reps)
+	}
+}
+
+func TestWalkAgreementSlowMixer(t *testing.T) {
+	ring := mustGraph(t)(graph.Ring(128))
+	flatOK, stretchedOK := 0, 0
+	const reps = 6
+	for seed := uint64(0); seed < reps; seed++ {
+		// Plant zeros sparsely so agreement actually requires transport.
+		inputs := walkInputs(128, 0.9, seed+5)
+		flat, err := RunAgreement(ring, seed, Params{}, inputs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if flat.Eval.Success {
+			flatOK++
+		}
+		stretched, err := RunAgreement(ring, seed, Params{Stretch: 150}, inputs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stretched.Eval.Success {
+			stretchedOK++
+		}
+	}
+	if stretchedOK < reps-1 {
+		t.Errorf("stretched ring agreement %d/%d", stretchedOK, reps)
+	}
+	if flatOK >= stretchedOK && flatOK < reps {
+		t.Logf("flat %d/%d vs stretched %d/%d", flatOK, reps, stretchedOK, reps)
+	}
+}
+
+func TestWalkAgreementUnderCrashes(t *testing.T) {
+	g := mustGraph(t)(graph.RandomRegular(256, 8, 11))
+	ok := 0
+	const reps = 10
+	for seed := uint64(0); seed < reps; seed++ {
+		adv := fault.NewRandomPlan(g.N(), g.N()/16, 10, fault.DropAll, rng.New(seed+60))
+		res, err := RunAgreement(g, seed, Params{}, walkInputs(g.N(), 0.5, seed), adv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Eval.Success {
+			ok++
+		} else {
+			t.Logf("seed %d: %s", seed, res.Eval.Reason)
+		}
+	}
+	if ok < reps*2/3 {
+		t.Errorf("success %d/%d under light crashes", ok, reps)
+	}
+}
+
+func TestWalkAgreementValidation(t *testing.T) {
+	g := mustGraph(t)(graph.Ring(8))
+	if _, err := RunAgreement(g, 1, Params{}, []int{0, 1}, nil); err == nil {
+		t.Error("short inputs accepted")
+	}
+	if _, err := RunAgreement(g, 1, Params{}, []int{0, 1, 2, 0, 0, 0, 0, 0}, nil); err == nil {
+		t.Error("non-binary input accepted")
+	}
+}

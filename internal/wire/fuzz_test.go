@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame throws arbitrary byte streams at the frame reader: it
+// must never panic or over-allocate, and every frame it accepts must
+// round-trip through WriteFrame.
+func FuzzReadFrame(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteFrame(&seed, []byte("hello")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		body, err := ReadFrame(bytes.NewReader(data), nil)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteFrame(&out, body); err != nil {
+			t.Fatalf("accepted frame cannot re-encode: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:4+len(body)]) {
+			t.Fatalf("frame round trip mismatch")
+		}
+	})
+}
+
+// FuzzUvarint checks that arbitrary bytes never panic the varint decoder
+// and that accepted values re-encode canonically.
+func FuzzUvarint(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add(AppendUvarint(nil, 1<<63))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, rest, err := Uvarint(data)
+		if err != nil {
+			return
+		}
+		re := AppendUvarint(nil, v)
+		consumed := data[:len(data)-len(rest)]
+		// encoding/binary accepts some non-canonical encodings (e.g.
+		// trailing zero continuation groups); only require that the
+		// canonical form decodes back to the same value.
+		got, rest2, err := Uvarint(re)
+		if err != nil || got != v || len(rest2) != 0 {
+			t.Fatalf("canonical re-decode failed for %d (consumed %x)", v, consumed)
+		}
+	})
+}

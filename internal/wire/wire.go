@@ -1,0 +1,94 @@
+// Package wire provides the binary encoding primitives used when protocol
+// payloads leave the in-memory simulator: varint field encoding for the
+// message codec (internal/core's payload codec) and length-prefixed frame
+// I/O for the TCP loopback runner (internal/realnet).
+//
+// The format is deliberately minimal: unsigned varints (encoding/binary's
+// Uvarint), booleans as one byte, and frames as a 4-byte big-endian length
+// followed by the body, capped to guard against corrupt peers.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrame is the largest accepted frame body, far above any CONGEST
+// message but small enough to bound a corrupt length prefix.
+const MaxFrame = 1 << 20
+
+// Errors returned by the decoding helpers.
+var (
+	// ErrShortBuffer reports a truncated encoding.
+	ErrShortBuffer = errors.New("wire: short buffer")
+	// ErrFrameTooLarge reports a frame length prefix above MaxFrame.
+	ErrFrameTooLarge = errors.New("wire: frame too large")
+)
+
+// AppendUvarint appends the varint encoding of v.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// Uvarint decodes a varint from b, returning the value and the remaining
+// bytes.
+func Uvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, ErrShortBuffer
+	}
+	return v, b[n:], nil
+}
+
+// AppendBool appends a boolean as one byte.
+func AppendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// Bool decodes a one-byte boolean.
+func Bool(b []byte) (bool, []byte, error) {
+	if len(b) < 1 {
+		return false, nil, ErrShortBuffer
+	}
+	return b[0] != 0, b[1:], nil
+}
+
+// WriteFrame writes a length-prefixed frame.
+func WriteFrame(w io.Writer, body []byte) error {
+	if len(body) > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame, reusing buf when it is large
+// enough.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, size)
+	}
+	if cap(buf) < int(size) {
+		buf = make([]byte, size)
+	}
+	buf = buf[:size]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

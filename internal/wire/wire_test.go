@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestUvarintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		got, rest, err := Uvarint(AppendUvarint(nil, v))
+		return err == nil && got == v && len(rest) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUvarintSequence(t *testing.T) {
+	var b []byte
+	vals := []uint64{0, 1, 127, 128, 1 << 40, ^uint64(0)}
+	for _, v := range vals {
+		b = AppendUvarint(b, v)
+	}
+	for _, want := range vals {
+		var got uint64
+		var err error
+		got, b, err = Uvarint(b)
+		if err != nil || got != want {
+			t.Fatalf("decode %d: got %d err %v", want, got, err)
+		}
+	}
+	if len(b) != 0 {
+		t.Fatal("leftover bytes")
+	}
+}
+
+func TestUvarintShort(t *testing.T) {
+	if _, _, err := Uvarint(nil); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := Uvarint([]byte{0x80}); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("truncated varint: err = %v", err)
+	}
+}
+
+func TestBoolRoundTrip(t *testing.T) {
+	for _, v := range []bool{true, false} {
+		got, rest, err := Bool(AppendBool(nil, v))
+		if err != nil || got != v || len(rest) != 0 {
+			t.Fatalf("bool %v: got %v err %v", v, got, err)
+		}
+	}
+	if _, _, err := Bool(nil); !errors.Is(err, ErrShortBuffer) {
+		t.Fatal("empty bool accepted")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bodies := [][]byte{nil, {1}, bytes.Repeat([]byte{0xab}, 70000)}
+	for _, body := range bodies {
+		if err := WriteFrame(&buf, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scratch []byte
+	for _, want := range bodies {
+		got, err := ReadFrame(&buf, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame mismatch: %d vs %d bytes", len(got), len(want))
+		}
+		scratch = got
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("write: err = %v", err)
+	}
+	// A corrupt length prefix must be rejected before allocation.
+	hdr := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadFrame(bytes.NewReader(hdr), nil); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("read: err = %v", err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()-1]
+	if _, err := ReadFrame(bytes.NewReader(raw), nil); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestReadFrameReusesBuffer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]byte, 16)
+	got, err := ReadFrame(&buf, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &scratch[0] {
+		t.Error("large-enough buffer not reused")
+	}
+}

@@ -1,0 +1,106 @@
+package sublinear_test
+
+import (
+	"testing"
+
+	"sublinear"
+	"sublinear/internal/rng"
+)
+
+// TestSoakRandomConfigurations is the chaos test: random network sizes,
+// alphas, fault loads, policies and transports, checked against the hard
+// invariants that must hold on EVERY run regardless of Monte Carlo
+// outcomes:
+//
+//  1. the run never errors for a valid configuration;
+//  2. an agreed election leader that crashed had self-proposed first
+//     ("a crashed node is never elected");
+//  3. at most one live node ends ELECTED;
+//  4. a decided agreement value is some node's input;
+//  5. accounting is sane (messages > 0, rounds within budget).
+func TestSoakRandomConfigurations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	src := rng.New(0x50a1234)
+	const runs = 40
+	for i := 0; i < runs; i++ {
+		n := 64 << src.Intn(3) // 64, 128, 256
+		minA := sublinear.MinimumAlpha(n)
+		alpha := minA + src.Float64()*(1-minA)
+		maxF := int((1 - alpha) * float64(n))
+		f := 0
+		if maxF > 0 {
+			f = src.Intn(maxF + 1)
+		}
+		policy := []sublinear.DropPolicy{
+			sublinear.DropAll, sublinear.DropNone, sublinear.DropHalf, sublinear.DropRandom,
+		}[src.Intn(4)]
+		opts := sublinear.Options{
+			N:          n,
+			Alpha:      alpha,
+			Seed:       src.Uint64(),
+			Explicit:   src.Bool(0.3),
+			Concurrent: src.Bool(0.3),
+		}
+		if f > 0 {
+			opts.Faults = &sublinear.FaultModel{
+				Faulty: f,
+				Policy: policy,
+				Hunter: src.Bool(0.25),
+			}
+		}
+
+		res, err := sublinear.Elect(opts)
+		if err != nil {
+			t.Fatalf("run %d (n=%d alpha=%.3f f=%d): %v", i, n, alpha, f, err)
+		}
+		tun := opts.Tuning
+		tun.Explicit = opts.Explicit
+		d, err := sublinear.Describe(tun, n, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Counters.Messages() <= 0 && res.Eval.Candidates > 0 {
+			t.Errorf("run %d: no messages despite candidates", i)
+		}
+		if res.Rounds > d.ElectionRounds {
+			t.Errorf("run %d: %d rounds exceeds budget %d", i, res.Rounds, d.ElectionRounds)
+		}
+		electedLive := 0
+		for u, o := range res.Outputs {
+			if o.State == sublinear.Elected && res.CrashedAt[u] == 0 {
+				electedLive++
+			}
+		}
+		if electedLive > 1 {
+			t.Errorf("run %d: %d live ELECTED nodes", i, electedLive)
+		}
+		if res.Eval.Success && res.Eval.LeaderCrashed {
+			if !res.Outputs[res.Eval.LeaderNode].SelfProposed {
+				t.Errorf("run %d: crashed leader without self-proposal", i)
+			}
+		}
+
+		inputs := sublinear.RandomInputs(n, src.Float64(), opts.Seed^0xf00d)
+		ares, err := sublinear.Agree(opts, inputs)
+		if err != nil {
+			t.Fatalf("run %d agreement: %v", i, err)
+		}
+		if ares.Eval.Success {
+			found := false
+			for _, in := range inputs {
+				if in == ares.Eval.Value {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("run %d: decided %d, not an input", i, ares.Eval.Value)
+			}
+		}
+		if ares.Rounds > d.AgreementRounds+2 {
+			t.Errorf("run %d: agreement rounds %d exceed budget %d", i, ares.Rounds, d.AgreementRounds)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package sublinear_test
+
+import (
+	"testing"
+
+	"sublinear"
+)
+
+func TestElectOverTCP(t *testing.T) {
+	res, err := sublinear.Elect(sublinear.Options{N: 48, Alpha: 0.75, Seed: 3, TCP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Eval.Success {
+		t.Fatalf("TCP election failed: %s", res.Eval.Reason)
+	}
+	if res.Counters.Messages() == 0 {
+		t.Fatal("no messages accounted over TCP")
+	}
+}
+
+func TestElectOverTCPMatchesSimulator(t *testing.T) {
+	// The TCP transport must produce the same protocol outcome as the
+	// simulator for the same seed (same machines, same coins, same
+	// fault-free schedule).
+	sim, err := sublinear.Elect(sublinear.Options{N: 32, Alpha: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp, err := sublinear.Elect(sublinear.Options{N: 32, Alpha: 1, Seed: 5, TCP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Eval.AgreedRank != tcp.Eval.AgreedRank || sim.Eval.LeaderNode != tcp.Eval.LeaderNode {
+		t.Fatalf("transport changed the outcome: sim rank %d node %d, tcp rank %d node %d",
+			sim.Eval.AgreedRank, sim.Eval.LeaderNode, tcp.Eval.AgreedRank, tcp.Eval.LeaderNode)
+	}
+	if sim.Counters.Messages() != tcp.Counters.Messages() {
+		t.Fatalf("message counts differ: sim %d, tcp %d",
+			sim.Counters.Messages(), tcp.Counters.Messages())
+	}
+}
+
+func TestAgreeOverTCPWithFaults(t *testing.T) {
+	inputs := sublinear.RandomInputs(48, 0.5, 9)
+	res, err := sublinear.Agree(sublinear.Options{
+		N: 48, Alpha: 0.75, Seed: 9, TCP: true,
+		Faults: &sublinear.FaultModel{Faulty: 12, Policy: sublinear.DropHalf},
+	}, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Eval.Success {
+		t.Fatalf("TCP agreement under faults failed: %s", res.Eval.Reason)
+	}
+}
