@@ -3,10 +3,15 @@
 //
 // Usage:
 //
-//	ftagree -n 4096 -alpha 0.5 -f 2048 -pone 0.5 -seed 1 [-explicit] [-v]
+//	ftagree -n 4096 -alpha 0.5 -f 2048 -pone 0.5 -seed 1 [-explicit] [-v] [-timeout 30s]
+//
+// Exit status: 0 on success, 1 on usage or run errors, 2 when the
+// protocol ran but failed its success predicate — so scripted smoke
+// tests can distinguish "broken invocation" from "agreement failed".
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -16,8 +21,15 @@ import (
 	"sublinear/internal/cloud"
 )
 
+// errProtocolFailure marks a run that completed but did not satisfy the
+// agreement success predicate; the failure details are already printed.
+var errProtocolFailure = errors.New("protocol failure")
+
 func main() {
 	if err := run(); err != nil {
+		if errors.Is(err, errProtocolFailure) {
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "ftagree:", err)
 		os.Exit(1)
 	}
@@ -34,6 +46,7 @@ func run() error {
 		explicit = flag.Bool("explicit", false, "run the explicit extension")
 		verbose  = flag.Bool("v", false, "print per-kind message counts")
 		clouds   = flag.Bool("clouds", false, "record the message trace and print the influence-cloud analysis (Sections IV-B/V-B)")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -57,7 +70,9 @@ func run() error {
 		}
 	}
 
-	res, err := sublinear.Agree(opts, inputs)
+	res, err := cliutil.RunTimeout(*timeout, func() (*sublinear.AgreementResult, error) {
+		return sublinear.Agree(opts, inputs)
+	})
 	if err != nil {
 		return err
 	}
@@ -66,10 +81,12 @@ func run() error {
 	fmt.Printf("success=%v candidates=%d live=%d decided=%d rounds=%d messages=%d bits=%d\n",
 		ev.Success, ev.Candidates, ev.LiveCandidates, ev.DecidedLive, res.Rounds,
 		res.Counters.Messages(), res.Counters.Bits())
+	var runErr error
 	if ev.Success {
 		fmt.Printf("agreed value: %d\n", ev.Value)
 	} else {
 		fmt.Printf("failure: %s\n", ev.Reason)
+		runErr = errProtocolFailure
 	}
 	if *verbose {
 		fmt.Printf("counters: %s\n", res.Counters)
@@ -81,5 +98,5 @@ func run() error {
 		fmt.Printf("influence clouds: %d initiators, %d disjoint clouds, smallest cloud %d nodes\n",
 			len(an.Initiators), an.DisjointClouds, an.SmallestCloud)
 	}
-	return nil
+	return runErr
 }

@@ -3,13 +3,19 @@
 //
 // Usage:
 //
-//	ftle -n 4096 -alpha 0.5 -f 2048 -policy half -seed 1 [-explicit] [-hunter] [-v]
+//	ftle -n 4096 -alpha 0.5 -f 2048 -policy half -seed 1 [-explicit] [-hunter] [-v] [-timeout 30s]
+//
+// Exit status: 0 on success, 1 on usage or run errors, 2 when the
+// protocol ran but failed its success predicate — so scripted smoke
+// tests can distinguish "broken invocation" from "election failed".
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"sublinear"
 	"sublinear/internal/cliutil"
@@ -17,8 +23,15 @@ import (
 	"sublinear/internal/viz"
 )
 
+// errProtocolFailure marks a run that completed but did not satisfy the
+// election success predicate; the failure details are already printed.
+var errProtocolFailure = errors.New("protocol failure")
+
 func main() {
 	if err := run(); err != nil {
+		if errors.Is(err, errProtocolFailure) {
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "ftle:", err)
 		os.Exit(1)
 	}
@@ -38,6 +51,7 @@ func run() error {
 		profile  = flag.Bool("profile", false, "print the per-round message profile")
 		clouds   = flag.Bool("clouds", false, "record the message trace and print the influence-cloud analysis (Section IV-B)")
 		reps     = flag.Int("reps", 1, "repeat with consecutive seeds and print aggregate statistics")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -63,10 +77,12 @@ func run() error {
 	}
 
 	if *reps > 1 {
-		return runReps(opts, *reps)
+		return runReps(opts, *reps, *timeout)
 	}
 
-	res, err := sublinear.Elect(opts)
+	res, err := cliutil.RunTimeout(*timeout, func() (*sublinear.ElectionResult, error) {
+		return sublinear.Elect(opts)
+	})
 	if err != nil {
 		return err
 	}
@@ -84,8 +100,11 @@ func run() error {
 			faulty = "faulty"
 		}
 		fmt.Printf("leader: node %d (rank %d), %s, %s\n", ev.LeaderNode, ev.AgreedRank, status, faulty)
-	} else {
+	}
+	var runErr error
+	if !ev.Success {
 		fmt.Printf("failure: %s\n", ev.Reason)
+		runErr = errProtocolFailure
 	}
 	if *verbose {
 		fmt.Printf("counters: %s\n", res.Counters)
@@ -118,12 +137,12 @@ func run() error {
 			}
 		}
 	}
-	return nil
+	return runErr
 }
 
 // runReps repeats the election with consecutive seeds and prints
-// aggregate statistics.
-func runReps(opts sublinear.Options, reps int) error {
+// aggregate statistics. It fails (exit status 2) when any run fails.
+func runReps(opts sublinear.Options, reps int, timeout time.Duration) error {
 	var (
 		success, nonFaulty, leaderLive int
 		msgs, rounds                   float64
@@ -131,7 +150,9 @@ func runReps(opts sublinear.Options, reps int) error {
 	base := opts.Seed
 	for i := 0; i < reps; i++ {
 		opts.Seed = base + uint64(i)*7919
-		res, err := sublinear.Elect(opts)
+		res, err := cliutil.RunTimeout(timeout, func() (*sublinear.ElectionResult, error) {
+			return sublinear.Elect(opts)
+		})
 		if err != nil {
 			return err
 		}
@@ -153,5 +174,8 @@ func runReps(opts sublinear.Options, reps int) error {
 	fmt.Printf("aggregate over %d runs: success=%d/%d leader-non-faulty=%d leader-never-crashed=%d\n",
 		reps, success, reps, nonFaulty, leaderLive)
 	fmt.Printf("means: %.0f messages, %.1f rounds\n", msgs/fr, rounds/fr)
+	if success < reps {
+		return errProtocolFailure
+	}
 	return nil
 }

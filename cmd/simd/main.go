@@ -1,0 +1,86 @@
+// Command simd is the simulation-as-a-service daemon: it accepts JSON
+// job submissions for the repository's protocols and experiments, runs
+// them on a bounded worker pool with a seed-keyed result cache, and
+// exposes results, Prometheus metrics, health, and pprof over HTTP.
+//
+// Usage:
+//
+//	simd -addr :8080 -workers 8 -queue 256 -cache 4096 -job-timeout 2m
+//
+// See docs/SIMD.md for the API and an example curl session. On SIGINT or
+// SIGTERM the daemon stops accepting work, drains queued and in-flight
+// jobs, and exits 0; if the drain exceeds -drain-timeout it exits 1.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sublinear/internal/simsvc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "simd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queueSize    = flag.Int("queue", 256, "job queue capacity (backpressure beyond it)")
+		cacheSize    = flag.Int("cache", 4096, "result cache entries")
+		jobTimeout   = flag.Duration("job-timeout", 2*time.Minute, "per-job execution timeout")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
+		maxN         = flag.Int("max-n", simsvc.DefaultLimits.MaxN, "largest accepted network size")
+		maxReps      = flag.Int("max-reps", simsvc.DefaultLimits.MaxReps, "largest accepted repetition count")
+	)
+	flag.Parse()
+
+	svc := simsvc.New(simsvc.Config{
+		Workers:    *workers,
+		QueueSize:  *queueSize,
+		CacheSize:  *cacheSize,
+		JobTimeout: *jobTimeout,
+		Limits:     simsvc.Limits{MaxN: *maxN, MaxReps: *maxReps},
+	})
+	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("simd listening on %s", *addr)
+		if err := server.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("simd draining (budget %v)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := server.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := svc.Close(drainCtx); err != nil {
+		return err
+	}
+	log.Printf("simd drained cleanly")
+	return nil
+}

@@ -3,6 +3,9 @@
 package cliutil
 
 import (
+	"errors"
+	"time"
+
 	"fmt"
 	"math"
 
@@ -50,5 +53,34 @@ func MakeGraph(topo string, n, deg int, seed uint64) (graph.Graph, error) {
 		return graph.RandomRegular(n, deg, seed)
 	default:
 		return nil, fmt.Errorf("unknown topology %q (want complete|ring|torus|hypercube|regular)", topo)
+	}
+}
+
+// ErrTimeout is returned by RunTimeout when the run outlives its budget.
+var ErrTimeout = errors.New("timed out")
+
+// RunTimeout runs f, failing with ErrTimeout if it does not return within
+// d. d <= 0 means no limit. The protocol engines are synchronous and not
+// cancellable, so on timeout the run is abandoned on its goroutine; the
+// caller is a CLI that exits immediately afterwards.
+func RunTimeout[T any](d time.Duration, f func() (T, error)) (T, error) {
+	if d <= 0 {
+		return f()
+	}
+	type outcome struct {
+		v   T
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		v, err := f()
+		ch <- outcome{v, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.v, o.err
+	case <-time.After(d):
+		var zero T
+		return zero, fmt.Errorf("%w after %v", ErrTimeout, d)
 	}
 }

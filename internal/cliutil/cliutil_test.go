@@ -1,6 +1,9 @@
 package cliutil
 
 import (
+	"errors"
+	"time"
+
 	"strings"
 	"testing"
 
@@ -56,5 +59,30 @@ func TestMakeGraph(t *testing.T) {
 	}
 	if _, err := MakeGraph("moebius", 32, 4, 1); err == nil || !strings.Contains(err.Error(), "unknown topology") {
 		t.Errorf("bad topology: %v", err)
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	// No limit: runs to completion.
+	v, err := RunTimeout(0, func() (int, error) { return 42, nil })
+	if v != 42 || err != nil {
+		t.Fatalf("RunTimeout(0) = %v, %v", v, err)
+	}
+	// Fast function under a generous limit.
+	v, err = RunTimeout(time.Minute, func() (int, error) { return 7, nil })
+	if v != 7 || err != nil {
+		t.Fatalf("RunTimeout(1m) = %v, %v", v, err)
+	}
+	// Errors pass through.
+	_, err = RunTimeout(time.Minute, func() (int, error) { return 0, errors.New("boom") })
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("error not passed through: %v", err)
+	}
+	// A hung function trips ErrTimeout.
+	block := make(chan struct{})
+	defer close(block)
+	_, err = RunTimeout(10*time.Millisecond, func() (int, error) { <-block; return 0, nil })
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
 	}
 }

@@ -11,6 +11,14 @@ import (
 	"sublinear/internal/stats"
 )
 
+func init() {
+	Register(Runner{"E1", "Table I: agreement protocol comparison", runE1})
+	Register(Runner{"E2", "Theorem 4.1: election messages vs n", runE2})
+	Register(Runner{"E3", "Theorem 4.1: election messages vs alpha", runE3})
+	Register(Runner{"E4", "Theorem 4.1: leader uniqueness and non-faulty probability", runE4})
+	Register(Runner{"E5", "Theorem 5.1: agreement message scaling", runE5})
+}
+
 // runE1 reproduces Table I: the same agreement workload measured across
 // the paper's protocol landscape, plus the equivalent comparison for
 // leader election. Absolute numbers are simulator counts; the shape to

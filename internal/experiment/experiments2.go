@@ -11,6 +11,14 @@ import (
 	"sublinear/internal/stats"
 )
 
+func init() {
+	Register(Runner{"E6", "Theorems 4.2/5.2: message starvation and influence clouds", runE6})
+	Register(Runner{"E7", "Corollaries 1/3: round complexity", runE7})
+	Register(Runner{"E8", "Resilience frontier f = n - log^2 n", runE8})
+	Register(Runner{"E9", "Implicit-to-explicit extension overhead", runE9})
+	Register(Runner{"E10", "Ablations: constants, iteration budget, engines", runE10})
+}
+
 // runE6 is the lower-bound experiment (Theorems 4.2 and 5.2): starve the
 // protocols of messages by shrinking the referee sample and watch success
 // probability collapse, while the influence-cloud analysis shows the

@@ -6,6 +6,10 @@ import (
 	"sublinear/internal/core"
 )
 
+func init() {
+	Register(Runner{"E11", "Open problem 3: Byzantine non-resistance", runE11})
+}
+
 // runE11 is the negative half of the paper's open problem 3 ("whether a
 // sub-linear message bound agreement protocol is possible in the presence
 // of Byzantine node failure"): the paper's crash-fault algorithms, run

@@ -8,6 +8,10 @@ import (
 	"sublinear/internal/walks"
 )
 
+func init() {
+	Register(Runner{"E12", "Open problem 2: general-graph walk election", runE12})
+}
+
 // runE12 explores the paper's open problem 2 — message complexity of
 // leader election in general graphs — with the random-walk sampling
 // election of internal/walks. On each topology the experiment measures

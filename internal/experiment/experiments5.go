@@ -7,6 +7,10 @@ import (
 	"sublinear"
 )
 
+func init() {
+	Register(Runner{"E13", "Implicit-agreement sampling semantics", runE13})
+}
+
 // runE13 measures the *semantics* of implicit agreement (Definition 2 and
 // the discussion around it): the decision is the 0-biased agreement over
 // the random committee's inputs, so a 0 held by k nodes is decided iff

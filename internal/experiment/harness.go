@@ -86,42 +86,6 @@ func pick[T any](c Config, full, quick T) T {
 	return full
 }
 
-// Runner is a registered experiment.
-type Runner struct {
-	ID    string
-	Title string
-	Run   func(Config) (*Report, error)
-}
-
-// All returns every registered experiment in order.
-func All() []Runner {
-	return []Runner{
-		{"E1", "Table I: agreement protocol comparison", runE1},
-		{"E2", "Theorem 4.1: election messages vs n", runE2},
-		{"E3", "Theorem 4.1: election messages vs alpha", runE3},
-		{"E4", "Theorem 4.1: leader uniqueness and non-faulty probability", runE4},
-		{"E5", "Theorem 5.1: agreement message scaling", runE5},
-		{"E6", "Theorems 4.2/5.2: message starvation and influence clouds", runE6},
-		{"E7", "Corollaries 1/3: round complexity", runE7},
-		{"E8", "Resilience frontier f = n - log^2 n", runE8},
-		{"E9", "Implicit-to-explicit extension overhead", runE9},
-		{"E10", "Ablations: constants, iteration budget, engines", runE10},
-		{"E11", "Open problem 3: Byzantine non-resistance", runE11},
-		{"E12", "Open problem 2: general-graph walk election", runE12},
-		{"E13", "Implicit-agreement sampling semantics", runE13},
-	}
-}
-
-// Find returns the runner with the given ID.
-func Find(id string) (Runner, bool) {
-	for _, r := range All() {
-		if r.ID == id {
-			return r, true
-		}
-	}
-	return Runner{}, false
-}
-
 // electionStats aggregates repeated election runs at one sweep point.
 type electionStats struct {
 	Messages stats.Summary

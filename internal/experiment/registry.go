@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Runner is a registered experiment.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(Config) (*Report, error)
+}
+
+// registry is the single experiment table. Each experiments*.go file
+// registers its runners in an init, so the table cannot drift from the
+// implementations, and every consumer — cmd/experiments, simd, tests —
+// dispatches through the same entries.
+var registry []Runner
+
+// Register adds a runner to the shared experiment table. It panics on a
+// duplicate or empty ID; registration happens at init time, so a mistake
+// fails every test immediately rather than shadowing an experiment.
+func Register(r Runner) {
+	if r.ID == "" || r.Run == nil {
+		panic("experiment: Register with empty ID or nil Run")
+	}
+	if _, ok := Find(r.ID); ok {
+		panic(fmt.Sprintf("experiment: duplicate ID %q", r.ID))
+	}
+	registry = append(registry, r)
+	sort.SliceStable(registry, func(i, j int) bool {
+		return idOrder(registry[i].ID) < idOrder(registry[j].ID)
+	})
+}
+
+// idOrder sorts E2 before E10: numeric suffix first, lexical fallback.
+func idOrder(id string) int {
+	if len(id) > 1 {
+		if n, err := strconv.Atoi(id[1:]); err == nil {
+			return n
+		}
+	}
+	return 1 << 30
+}
+
+// All returns every registered experiment in ID order.
+func All() []Runner {
+	out := make([]Runner, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Find returns the runner with the given ID.
+func Find(id string) (Runner, bool) {
+	for _, r := range registry {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}

@@ -101,6 +101,57 @@ func (c *Counters) Merge(other *Counters) {
 	}
 }
 
+// Snapshot is an immutable, self-contained copy of a Counters' state.
+// Unlike *Counters it shares no memory with its source, so a worker can
+// take a Snapshot of counters it owns exclusively and hand it to an
+// aggregator on another goroutine without a data race.
+type Snapshot struct {
+	Messages int64
+	Bits     int64
+	Rounds   int
+	PerRound []RoundUsage
+	PerKind  map[string]int64
+}
+
+// Snapshot returns a deep copy of the current state. The caller must hold
+// exclusive access to c while the copy is taken; the returned Snapshot is
+// then safe to share freely.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		Messages: c.messages,
+		Bits:     c.bits,
+		Rounds:   c.rounds,
+		PerRound: c.PerRound(),
+		PerKind:  c.PerKind(),
+	}
+}
+
+// MergeSnapshot adds a snapshot's totals into c, with the same semantics
+// as Merge. It is the aggregation half of the worker-pool pattern: each
+// worker snapshots counters it owns, and a single aggregator merges the
+// snapshots.
+func (c *Counters) MergeSnapshot(s Snapshot) {
+	c.messages += s.Messages
+	c.bits += s.Bits
+	if s.Rounds > c.rounds {
+		c.rounds = s.Rounds
+	}
+	if c.perKind == nil && len(s.PerKind) > 0 {
+		c.perKind = make(map[string]int64, len(s.PerKind))
+	}
+	for k, v := range s.PerKind {
+		c.perKind[k] += v
+	}
+	for i, ru := range s.PerRound {
+		if i < len(c.perRound) {
+			c.perRound[i].Messages += ru.Messages
+			c.perRound[i].Bits += ru.Bits
+		} else {
+			c.perRound = append(c.perRound, ru)
+		}
+	}
+}
+
 // String summarises the counters on one line.
 func (c *Counters) String() string {
 	var b strings.Builder

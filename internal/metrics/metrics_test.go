@@ -130,3 +130,65 @@ func TestString(t *testing.T) {
 		t.Errorf("kinds not sorted: %q", s)
 	}
 }
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	var c Counters
+	c.BeginRound(1)
+	c.AddMessage("a", 8)
+	s := c.Snapshot()
+	c.AddMessage("a", 8)
+	c.AddMessage("b", 4)
+	if s.Messages != 1 || s.Bits != 8 || s.Rounds != 1 {
+		t.Fatalf("snapshot totals: %+v", s)
+	}
+	if len(s.PerKind) != 1 || s.PerKind["a"] != 1 {
+		t.Fatalf("snapshot perKind mutated: %v", s.PerKind)
+	}
+	if len(s.PerRound) != 1 || s.PerRound[0].Messages != 1 {
+		t.Fatalf("snapshot perRound mutated: %v", s.PerRound)
+	}
+}
+
+func TestMergeSnapshotMatchesMerge(t *testing.T) {
+	build := func() *Counters {
+		var c Counters
+		c.BeginRound(1)
+		c.AddMessage("x", 2)
+		c.BeginRound(2)
+		c.AddMessage("y", 3)
+		return &c
+	}
+	var viaMerge, viaSnap Counters
+	viaMerge.Merge(build())
+	viaMerge.Merge(build())
+	viaSnap.MergeSnapshot(build().Snapshot())
+	viaSnap.MergeSnapshot(build().Snapshot())
+	if viaMerge.String() != viaSnap.String() {
+		t.Fatalf("MergeSnapshot diverges from Merge:\n %s\n %s", viaMerge.String(), viaSnap.String())
+	}
+}
+
+func TestSnapshotConcurrentAggregation(t *testing.T) {
+	// The worker-pool pattern simd uses: each goroutine owns its own
+	// Counters, snapshots it, and a single aggregator merges. Run under
+	// -race this is the regression test for the documented contract.
+	const workers = 8
+	snaps := make(chan Snapshot, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			var c Counters
+			c.BeginRound(1)
+			for i := 0; i <= w; i++ {
+				c.AddMessage("m", 1)
+			}
+			snaps <- c.Snapshot()
+		}(w)
+	}
+	var agg Counters
+	for w := 0; w < workers; w++ {
+		agg.MergeSnapshot(<-snaps)
+	}
+	if agg.Messages() != workers*(workers+1)/2 {
+		t.Fatalf("aggregated messages = %d", agg.Messages())
+	}
+}

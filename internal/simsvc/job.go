@@ -1,0 +1,180 @@
+// Package simsvc is the simulation-as-a-service layer: a job queue, a
+// worker pool, a seed-keyed result cache, and an HTTP API over the
+// protocols and experiments this repository implements. One long-running
+// daemon (cmd/simd) replaces process-per-run invocations of cmd/ftle,
+// cmd/ftagree and cmd/experiments: jobs are small independent Monte Carlo
+// runs, exactly the workload a pool plus cache serves best. Because every
+// engine is deterministic in its seed, a cached result is exact — an
+// identical resubmission is a true replay, not an approximation.
+package simsvc
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Protocols accepted by JobSpec.Protocol. The core three run the paper's
+// algorithms through the public sublinear API; the baseline names run the
+// Table-I comparators; "experiment" replays a registered experiment
+// (E1–E13) from the shared internal/experiment registry.
+const (
+	ProtoElection   = "election"
+	ProtoAgreement  = "agreement"
+	ProtoMinAgree   = "minagree"
+	ProtoExperiment = "experiment"
+)
+
+// baselineProtocols maps the JobSpec spelling of each Table-I comparator.
+var baselineProtocols = map[string]bool{
+	"gk": true, "floodset": true, "gossip": true, "rotating": true,
+	"allpairs": true, "kutten": true, "amp": true,
+}
+
+// Protocols returns every accepted protocol name, sorted.
+func Protocols() []string {
+	out := []string{ProtoElection, ProtoAgreement, ProtoMinAgree, ProtoExperiment}
+	for p := range baselineProtocols {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// JobSpec is one simulation job as submitted over the API. The zero value
+// of every optional field means "the default"; Normalize resolves the
+// defaults so two spellings of the same job share one cache entry.
+type JobSpec struct {
+	// Protocol selects the algorithm; see Protocols().
+	Protocol string `json:"protocol"`
+	// N is the network size (core protocols and baselines).
+	N int `json:"n,omitempty"`
+	// Alpha is the guaranteed non-faulty fraction; 0 means 0.5.
+	Alpha float64 `json:"alpha,omitempty"`
+	// F is the faulty-node count; nil derives (1-alpha)*n, 0 is
+	// fault-free.
+	F *int `json:"f,omitempty"`
+	// POne is P[input bit = 1] for agreement workloads; 0 means 0.5.
+	POne float64 `json:"pone,omitempty"`
+	// Policy is the crash-round delivery policy (all|none|half|random);
+	// empty means half.
+	Policy string `json:"policy,omitempty"`
+	// Engine selects the execution engine (seq|concurrent|actors); empty
+	// means seq. All engines are deterministic per seed.
+	Engine string `json:"engine,omitempty"`
+	// Explicit runs the explicit extension of election/agreement.
+	Explicit bool `json:"explicit,omitempty"`
+	// Hunter uses the adaptive committee-hunting adversary (election).
+	Hunter bool `json:"hunter,omitempty"`
+	// Late crashes all faulty nodes after the election (footnote 3).
+	Late bool `json:"late,omitempty"`
+	// Seed is the base seed; repetition r runs with Seed + r*7919.
+	Seed uint64 `json:"seed"`
+	// Reps is the repetition count; 0 means 1.
+	Reps int `json:"reps,omitempty"`
+	// Experiment is the registered experiment ID (protocol "experiment").
+	Experiment string `json:"experiment,omitempty"`
+	// Quick shrinks experiment sweeps to CI scale.
+	Quick bool `json:"quick,omitempty"`
+}
+
+// Limits bound what a single job may ask for, so one request cannot pin a
+// worker for hours. They are service configuration, not protocol limits.
+type Limits struct {
+	MaxN    int
+	MaxReps int
+}
+
+// DefaultLimits are the daemon defaults.
+var DefaultLimits = Limits{MaxN: 1 << 16, MaxReps: 1000}
+
+// Normalize validates the spec against the limits and resolves every
+// default to its concrete value. The returned spec is canonical: two
+// specs describing the same job normalize identically, which is what the
+// cache key hashes.
+func (s JobSpec) Normalize(lim Limits) (JobSpec, error) {
+	out := s
+	out.Protocol = strings.ToLower(strings.TrimSpace(s.Protocol))
+	core := out.Protocol == ProtoElection || out.Protocol == ProtoAgreement || out.Protocol == ProtoMinAgree
+	switch {
+	case core, baselineProtocols[out.Protocol]:
+	case out.Protocol == ProtoExperiment:
+		if out.Experiment == "" {
+			return out, fmt.Errorf("experiment jobs need an experiment ID")
+		}
+		// N, faults, engine are the experiment's business; zero them so
+		// irrelevant fields cannot split the cache.
+		out.N, out.Alpha, out.F, out.POne = 0, 0, nil, 0
+		out.Policy, out.Engine = "", ""
+		out.Explicit, out.Hunter, out.Late = false, false, false
+		out.Reps = 1
+		return out, nil
+	default:
+		return out, fmt.Errorf("unknown protocol %q (want one of %s)",
+			s.Protocol, strings.Join(Protocols(), "|"))
+	}
+	out.Experiment, out.Quick = "", false
+	if out.Reps == 0 {
+		out.Reps = 1
+	}
+	if out.Reps < 1 || out.Reps > lim.MaxReps {
+		return out, fmt.Errorf("reps %d out of range [1, %d]", out.Reps, lim.MaxReps)
+	}
+	if out.N < 2 || out.N > lim.MaxN {
+		return out, fmt.Errorf("n %d out of range [2, %d]", out.N, lim.MaxN)
+	}
+	if out.Alpha == 0 {
+		out.Alpha = 0.5
+	}
+	if out.Alpha < 0 || out.Alpha > 1 {
+		return out, fmt.Errorf("alpha %v out of range (0, 1]", out.Alpha)
+	}
+	if out.F == nil {
+		f := int((1 - out.Alpha) * float64(out.N))
+		out.F = &f
+	}
+	if *out.F < 0 || *out.F >= out.N {
+		return out, fmt.Errorf("f %d out of range [0, n)", *out.F)
+	}
+	if out.POne == 0 {
+		out.POne = 0.5
+	}
+	if out.POne < 0 || out.POne > 1 {
+		return out, fmt.Errorf("pone %v out of range [0, 1]", out.POne)
+	}
+	if out.Policy == "" {
+		out.Policy = "half"
+	}
+	switch out.Policy {
+	case "all", "none", "half", "random":
+	default:
+		return out, fmt.Errorf("unknown policy %q (want all|none|half|random)", out.Policy)
+	}
+	if out.Engine == "" {
+		out.Engine = "seq"
+	}
+	switch out.Engine {
+	case "seq", "concurrent", "actors":
+	default:
+		return out, fmt.Errorf("unknown engine %q (want seq|concurrent|actors)", out.Engine)
+	}
+	return out, nil
+}
+
+// Key returns the content address of a normalized spec: the hex SHA-256
+// of its canonical encoding. Identical jobs — same protocol, parameters,
+// engine, and seed — share a key, and deterministic engines make the
+// cached result under that key exact.
+func (s JobSpec) Key() string {
+	f := -1
+	if s.F != nil {
+		f = *s.F
+	}
+	canon := fmt.Sprintf("v1|%s|n=%d|alpha=%g|f=%d|pone=%g|policy=%s|engine=%s|x=%t|h=%t|l=%t|seed=%d|reps=%d|exp=%s|quick=%t",
+		s.Protocol, s.N, s.Alpha, f, s.POne, s.Policy, s.Engine,
+		s.Explicit, s.Hunter, s.Late, s.Seed, s.Reps, s.Experiment, s.Quick)
+	sum := sha256.Sum256([]byte(canon))
+	return hex.EncodeToString(sum[:])
+}

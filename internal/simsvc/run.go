@@ -1,0 +1,212 @@
+package simsvc
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"sublinear"
+	"sublinear/internal/baseline"
+	"sublinear/internal/experiment"
+	"sublinear/internal/fault"
+	"sublinear/internal/metrics"
+	"sublinear/internal/rng"
+	"sublinear/internal/stats"
+)
+
+// JobResult is the aggregated outcome of one job's repetitions.
+type JobResult struct {
+	// Success counts repetitions whose protocol-level evaluation passed.
+	Success int `json:"success"`
+	// Reps is the number of repetitions actually run.
+	Reps int `json:"reps"`
+	// SuccessRate is Success/Reps with its 95% Wilson interval.
+	SuccessRate float64 `json:"successRate"`
+	CILow       float64 `json:"ciLow"`
+	CIHigh      float64 `json:"ciHigh"`
+	// Messages, Bits, Rounds summarise the per-repetition counters.
+	Messages stats.Summary `json:"messages"`
+	Bits     stats.Summary `json:"bits"`
+	Rounds   stats.Summary `json:"rounds"`
+	// PerKind is the message-kind breakdown summed over repetitions.
+	PerKind map[string]int64 `json:"perKind,omitempty"`
+	// Failures lists distinct failure reasons (deduplicated, capped).
+	Failures []string `json:"failures,omitempty"`
+	// Report is the rendered text report for experiment jobs.
+	Report string `json:"report,omitempty"`
+}
+
+// repOutcome is what one repetition of any protocol produces.
+type repOutcome struct {
+	counters *metrics.Counters
+	rounds   int
+	success  bool
+	reason   string
+}
+
+// runSpec executes a normalized spec, checking ctx between repetitions so
+// a timed-out or draining job stops at the next rep boundary.
+func runSpec(ctx context.Context, spec JobSpec) (*JobResult, error) {
+	if spec.Protocol == ProtoExperiment {
+		return runExperiment(spec)
+	}
+	res := &JobResult{PerKind: map[string]int64{}}
+	var msgs, bits, rounds []float64
+	agg := new(metrics.Counters)
+	seen := map[string]bool{}
+	for rep := 0; rep < spec.Reps; rep++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cancelled after %d/%d reps: %w", rep, spec.Reps, err)
+		}
+		seed := spec.Seed + uint64(rep)*7919
+		out, err := runOnce(spec, seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Reps++
+		// Each repetition's counters are owned by this worker; Snapshot +
+		// MergeSnapshot is the race-free aggregation contract.
+		agg.MergeSnapshot(out.counters.Snapshot())
+		msgs = append(msgs, float64(out.counters.Messages()))
+		bits = append(bits, float64(out.counters.Bits()))
+		rounds = append(rounds, float64(out.rounds))
+		if out.success {
+			res.Success++
+		} else if !seen[out.reason] && len(res.Failures) < 8 {
+			seen[out.reason] = true
+			res.Failures = append(res.Failures, out.reason)
+		}
+	}
+	res.Messages = stats.Summarize(msgs)
+	res.Bits = stats.Summarize(bits)
+	res.Rounds = stats.Summarize(rounds)
+	res.SuccessRate = float64(res.Success) / float64(res.Reps)
+	res.CILow, res.CIHigh = stats.WilsonInterval(res.Success, res.Reps)
+	res.PerKind = agg.Snapshot().PerKind
+	return res, nil
+}
+
+// runOnce executes one repetition at one seed.
+func runOnce(spec JobSpec, seed uint64) (repOutcome, error) {
+	switch spec.Protocol {
+	case ProtoElection, ProtoAgreement, ProtoMinAgree:
+		return runCore(spec, seed)
+	default:
+		return runBaseline(spec, seed)
+	}
+}
+
+// coreOptions translates a normalized spec into sublinear.Options.
+func coreOptions(spec JobSpec, seed uint64) sublinear.Options {
+	opts := sublinear.Options{
+		N: spec.N, Alpha: spec.Alpha, Seed: seed,
+		Explicit:   spec.Explicit,
+		Concurrent: spec.Engine == "concurrent",
+		Actors:     spec.Engine == "actors",
+	}
+	if f := *spec.F; f > 0 {
+		opts.Faults = &sublinear.FaultModel{
+			Faulty: f, Policy: parsePolicy(spec.Policy),
+			Hunter: spec.Hunter, CrashAfterElection: spec.Late,
+		}
+	}
+	return opts
+}
+
+func parsePolicy(s string) sublinear.DropPolicy {
+	switch s {
+	case "all":
+		return sublinear.DropAll
+	case "none":
+		return sublinear.DropNone
+	case "random":
+		return sublinear.DropRandom
+	default:
+		return sublinear.DropHalf
+	}
+}
+
+func runCore(spec JobSpec, seed uint64) (repOutcome, error) {
+	opts := coreOptions(spec, seed)
+	switch spec.Protocol {
+	case ProtoElection:
+		res, err := sublinear.Elect(opts)
+		if err != nil {
+			return repOutcome{}, err
+		}
+		return repOutcome{res.Counters, res.Rounds, res.Eval.Success, res.Eval.Reason}, nil
+	case ProtoAgreement:
+		inputs := sublinear.RandomInputs(spec.N, spec.POne, seed^0xbeef)
+		res, err := sublinear.Agree(opts, inputs)
+		if err != nil {
+			return repOutcome{}, err
+		}
+		return repOutcome{res.Counters, res.Rounds, res.Eval.Success, res.Eval.Reason}, nil
+	default: // minagree
+		src := rng.New(seed ^ 0x313a6)
+		values := make([]uint64, spec.N)
+		for i := range values {
+			values[i] = uint64(src.Int64n(int64(spec.N) * 16))
+		}
+		res, err := sublinear.AgreeMin(opts, values)
+		if err != nil {
+			return repOutcome{}, err
+		}
+		return repOutcome{res.Counters, res.Rounds, res.Eval.Success, res.Eval.Reason}, nil
+	}
+}
+
+// runBaseline dispatches the Table-I comparators with the same adversary
+// family the experiment harness uses.
+func runBaseline(spec JobSpec, seed uint64) (repOutcome, error) {
+	n, f := spec.N, *spec.F
+	inputs := sublinear.RandomInputs(n, spec.POne, seed^0xbeef)
+	src := rng.New(seed ^ 0xadd5)
+	plan := func(horizon int) *fault.Plan {
+		return fault.NewRandomPlan(n, f, horizon, parsePolicy(spec.Policy), src)
+	}
+	var (
+		res *baseline.Result
+		err error
+	)
+	switch spec.Protocol {
+	case "gk":
+		res, err = baseline.RunGK(baseline.GKConfig{N: n, Seed: seed}, inputs, plan(20))
+	case "floodset":
+		res, err = baseline.RunFloodSet(baseline.FloodSetConfig{N: n, Seed: seed, F: f}, inputs, plan(f+1))
+	case "gossip":
+		res, err = baseline.RunGossip(baseline.GossipConfig{N: n, Seed: seed}, inputs, plan(20))
+	case "rotating":
+		res, err = baseline.RunRotating(baseline.RotatingConfig{N: n, Seed: seed, F: f}, inputs, plan(f+1))
+	case "allpairs":
+		res, err = baseline.RunAllPairs(baseline.AllPairsConfig{N: n, Seed: seed, F: f}, plan(f+1))
+	case "kutten":
+		res, err = baseline.RunKutten(baseline.KuttenConfig{N: n, Seed: seed})
+	case "amp":
+		res, err = baseline.RunAMP(baseline.AMPConfig{N: n, Seed: seed}, inputs)
+	default:
+		return repOutcome{}, fmt.Errorf("unknown baseline %q", spec.Protocol)
+	}
+	if err != nil {
+		return repOutcome{}, err
+	}
+	return repOutcome{res.Counters, res.Rounds, res.Success, res.Reason}, nil
+}
+
+// runExperiment replays a registered experiment through the shared
+// registry and returns its rendered report.
+func runExperiment(spec JobSpec) (*JobResult, error) {
+	r, ok := experiment.Find(spec.Experiment)
+	if !ok {
+		return nil, fmt.Errorf("unknown experiment %q", spec.Experiment)
+	}
+	rep, err := r.Run(experiment.Config{Quick: spec.Quick, SeedBase: spec.Seed})
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	if err := rep.Render(&b); err != nil {
+		return nil, err
+	}
+	return &JobResult{Reps: 1, Success: 1, SuccessRate: 1, Report: b.String()}, nil
+}

@@ -1,0 +1,348 @@
+package simsvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Config sizes the service. The zero value of any field selects its
+// default.
+type Config struct {
+	// Workers is the worker-pool size; 0 means GOMAXPROCS.
+	Workers int
+	// QueueSize bounds the job queue; submissions beyond it get explicit
+	// backpressure (ErrQueueFull / HTTP 429). 0 means 256.
+	QueueSize int
+	// CacheSize bounds the result cache (entries); 0 means 4096.
+	CacheSize int
+	// JobTimeout bounds one job's execution; 0 means 2 minutes.
+	JobTimeout time.Duration
+	// Limits bound what a single job may request; zero means
+	// DefaultLimits.
+	Limits Limits
+	// now is injectable for tests; nil means time.Now.
+	now func() time.Time
+	// exec is the job executor, injectable for tests to model slow,
+	// panicking, or hung jobs; nil means runSpec.
+	exec func(context.Context, JobSpec) (*JobResult, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 256
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 4096
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 2 * time.Minute
+	}
+	if c.Limits == (Limits{}) {
+		c.Limits = DefaultLimits
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	if c.exec == nil {
+		c.exec = runSpec
+	}
+	return c
+}
+
+// Job states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// Job is one submission's record. Fields are guarded by the service
+// mutex; Status returns a consistent copy.
+type Job struct {
+	ID        string
+	Key       string
+	Spec      JobSpec
+	State     string
+	Error     string
+	CacheHit  bool
+	Result    *JobResult
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+}
+
+// JobStatus is the externally visible snapshot of a job.
+type JobStatus struct {
+	ID       string     `json:"id"`
+	State    string     `json:"state"`
+	Spec     JobSpec    `json:"spec"`
+	CacheHit bool       `json:"cacheHit"`
+	Error    string     `json:"error,omitempty"`
+	Result   *JobResult `json:"result,omitempty"`
+	// ElapsedMS is queue-to-finish wall time for finished jobs.
+	ElapsedMS int64 `json:"elapsedMs,omitempty"`
+}
+
+// Submission errors the HTTP layer maps to status codes.
+var (
+	// ErrQueueFull is the backpressure signal: the queue is at capacity
+	// and the caller should retry later (HTTP 429).
+	ErrQueueFull = errors.New("simsvc: job queue full")
+	// ErrClosed means the service is draining and accepts no new work
+	// (HTTP 503).
+	ErrClosed = errors.New("simsvc: service is shutting down")
+)
+
+// Service owns the queue, the worker pool, the job store, and the result
+// cache. Create with New, serve with Handler, stop with Close.
+type Service struct {
+	cfg     Config
+	metrics *svcMetrics
+	cache   *resultCache
+
+	mu     sync.RWMutex
+	closed bool
+	jobs   map[string]*Job
+	order  []string // submission order, for eviction and listing
+	seq    int64
+
+	queue chan *Job
+	wg    sync.WaitGroup
+}
+
+// New starts a service with cfg.Workers workers.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:     cfg,
+		metrics: newSvcMetrics(),
+		cache:   newResultCache(cfg.CacheSize),
+		jobs:    make(map[string]*Job),
+		queue:   make(chan *Job, cfg.QueueSize),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and enqueues a job, serving it from the cache when an
+// identical job (same normalized spec and seed) already ran. It never
+// blocks: a full queue returns ErrQueueFull immediately.
+func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
+	norm, err := spec.Normalize(s.cfg.Limits)
+	if err != nil {
+		s.metrics.invalid.Add(1)
+		return JobStatus{}, err
+	}
+	key := norm.Key()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return JobStatus{}, ErrClosed
+	}
+	s.seq++
+	job := &Job{
+		ID:        fmt.Sprintf("j%08d", s.seq),
+		Key:       key,
+		Spec:      norm,
+		Submitted: s.cfg.now(),
+	}
+	if res, ok := s.cache.get(key); ok {
+		s.metrics.submitted.Add(1)
+		s.metrics.cacheHits.Add(1)
+		s.metrics.completed.Add(1)
+		job.State = StateDone
+		job.CacheHit = true
+		job.Result = res
+		job.Started, job.Finished = job.Submitted, job.Submitted
+		s.store(job)
+		return job.status(), nil
+	}
+	job.State = StateQueued
+	select {
+	case s.queue <- job:
+	default:
+		s.metrics.rejected.Add(1)
+		return JobStatus{}, ErrQueueFull
+	}
+	s.metrics.submitted.Add(1)
+	s.metrics.cacheMisses.Add(1)
+	s.metrics.queued.Add(1)
+	s.store(job)
+	return job.status(), nil
+}
+
+// store indexes a job and evicts the oldest finished records beyond
+// twice the cache size, so the store cannot grow without bound.
+func (s *Service) store(job *Job) {
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	limit := 2 * s.cfg.CacheSize
+	for len(s.order) > limit {
+		old, ok := s.jobs[s.order[0]]
+		if ok && (old.State == StateQueued || old.State == StateRunning) {
+			break // never evict live work
+		}
+		delete(s.jobs, s.order[0])
+		s.order = s.order[1:]
+	}
+}
+
+// Job returns the status of one job.
+func (s *Service) Job(id string) (JobStatus, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return job.status(), true
+}
+
+// Jobs returns the status of every retained job, oldest first.
+func (s *Service) Jobs() []JobStatus {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		if job, ok := s.jobs[id]; ok {
+			out = append(out, job.status())
+		}
+	}
+	return out
+}
+
+// status must be called with the service mutex held.
+func (j *Job) status() JobStatus {
+	st := JobStatus{
+		ID: j.ID, State: j.State, Spec: j.Spec,
+		CacheHit: j.CacheHit, Error: j.Error, Result: j.Result,
+	}
+	if !j.Finished.IsZero() {
+		st.ElapsedMS = j.Finished.Sub(j.Submitted).Milliseconds()
+	}
+	return st
+}
+
+// worker drains the queue until Close closes it, running one job at a
+// time with panic isolation and the per-job timeout.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.metrics.queued.Add(-1)
+		s.metrics.running.Add(1)
+		s.transition(job, StateRunning)
+		res, err := s.runIsolated(job.Spec)
+		s.finish(job, res, err)
+		s.metrics.running.Add(-1)
+	}
+}
+
+// runIsolated executes the spec on a fresh goroutine so that a panic or a
+// runaway repetition is confined to the job: the worker converts a panic
+// into a job failure and a timeout abandons the run at its next
+// repetition boundary.
+func (s *Service) runIsolated(spec JobSpec) (*JobResult, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.JobTimeout)
+	defer cancel()
+	type outcome struct {
+		res *JobResult
+		err error
+	}
+	// Buffered so an abandoned (timed-out) run's final send never blocks.
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{err: fmt.Errorf("job panicked: %v", r)}
+			}
+		}()
+		res, err := s.cfg.exec(ctx, spec)
+		ch <- outcome{res, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-ctx.Done():
+		// The runner sees ctx.Done at its next rep boundary and exits;
+		// the job is reported failed now.
+		return nil, fmt.Errorf("job exceeded timeout %v", s.cfg.JobTimeout)
+	}
+}
+
+func (s *Service) transition(job *Job, state string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job.State = state
+	if state == StateRunning {
+		job.Started = s.cfg.now()
+	}
+}
+
+func (s *Service) finish(job *Job, res *JobResult, err error) {
+	if err == nil {
+		s.cache.put(job.Key, res)
+		s.metrics.completed.Add(1)
+		s.metrics.observe(job.Spec.Protocol, res)
+	} else {
+		s.metrics.failed.Add(1)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job.Finished = s.cfg.now()
+	if err != nil {
+		job.State = StateFailed
+		job.Error = err.Error()
+		return
+	}
+	job.State = StateDone
+	job.Result = res
+}
+
+// Draining reports whether Close has been called.
+func (s *Service) Draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
+}
+
+// QueueDepth returns the number of queued jobs.
+func (s *Service) QueueDepth() int { return int(s.metrics.queued.Load()) }
+
+// Close drains the service: new submissions are rejected with ErrClosed,
+// queued and in-flight jobs run to completion, and workers exit. It
+// returns ctx.Err if the drain outlives ctx (workers are then abandoned;
+// the process is expected to exit).
+func (s *Service) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("drain interrupted: %w", ctx.Err())
+	}
+}

@@ -1,0 +1,213 @@
+package simsvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// blockingExec returns an executor that parks every job until release is
+// closed, so tests control queue occupancy deterministically.
+func blockingExec(release <-chan struct{}) func(context.Context, JobSpec) (*JobResult, error) {
+	return func(ctx context.Context, spec JobSpec) (*JobResult, error) {
+		select {
+		case <-release:
+			return &JobResult{Reps: spec.Reps, Success: spec.Reps, SuccessRate: 1}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// TestBackpressureAndDrain fills a 1-worker, 2-slot service beyond
+// capacity, asserts explicit 429 backpressure with Retry-After, then
+// releases the workers and verifies Close drains every accepted job.
+func TestBackpressureAndDrain(t *testing.T) {
+	release := make(chan struct{})
+	svc := New(Config{Workers: 1, QueueSize: 2, exec: blockingExec(release)})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	// Worker takes one job; two more fill the queue. Seeds differ so no
+	// submission is served from the cache.
+	var ids []string
+	accepted := 0
+	for seed := uint64(0); seed < 8; seed++ {
+		spec := JobSpec{Protocol: "election", N: 64, Alpha: 0.75, Seed: seed}
+		body, _ := json.Marshal(spec)
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st JobStatus
+		_ = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			accepted++
+			ids = append(ids, st.ID)
+		case http.StatusTooManyRequests:
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("429 without Retry-After")
+			}
+		default:
+			t.Fatalf("unexpected status %d", resp.StatusCode)
+		}
+		if seed == 0 {
+			// Let the worker pick up the first job so queue occupancy is
+			// deterministic: 1 running + 2 queued accepted, rest rejected.
+			waitFor(t, func() bool { return svc.metrics.running.Load() == 1 })
+		}
+	}
+	if accepted != 3 {
+		t.Fatalf("accepted %d jobs, want 3 (1 running + 2 queued)", accepted)
+	}
+	mtext := metricsText(t, srv.URL)
+	if !strings.Contains(mtext, "simd_jobs_rejected_total 5") {
+		t.Errorf("rejection counter wrong:\n%s", mtext)
+	}
+
+	// Draining: new work refused, old work completes.
+	close(release)
+	if err := svc.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(JobSpec{Protocol: "election", N: 64, Alpha: 0.75, Seed: 99}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+	for _, id := range ids {
+		st, ok := svc.Job(id)
+		if !ok || st.State != StateDone {
+			t.Fatalf("job %s not drained: %+v", id, st)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while drained: %d", resp.StatusCode)
+	}
+}
+
+// TestCloseLeavesNoGoroutines asserts the worker pool exits on drain: the
+// goroutine count returns to its pre-service level.
+func TestCloseLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	svc := New(Config{Workers: 4, QueueSize: 8})
+	for seed := uint64(0); seed < 6; seed++ {
+		if _, err := svc.Submit(JobSpec{Protocol: "election", N: 64, Alpha: 0.75, Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= before })
+}
+
+func TestPanicIsolation(t *testing.T) {
+	boom := func(ctx context.Context, spec JobSpec) (*JobResult, error) {
+		if spec.Seed == 666 {
+			panic("synthetic failure")
+		}
+		return &JobResult{Reps: 1, Success: 1, SuccessRate: 1}, nil
+	}
+	svc := New(Config{Workers: 1, QueueSize: 4, exec: boom})
+	defer svc.Close(context.Background())
+
+	bad, err := svc.Submit(JobSpec{Protocol: "election", N: 64, Alpha: 0.75, Seed: 666})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := svc.Submit(JobSpec{Protocol: "election", N: 64, Alpha: 0.75, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		st, _ := svc.Job(good.ID)
+		return st.State == StateDone
+	})
+	st, _ := svc.Job(bad.ID)
+	if st.State != StateFailed || !strings.Contains(st.Error, "panicked") {
+		t.Fatalf("panicked job: %+v", st)
+	}
+	if svc.metrics.failed.Load() != 1 || svc.metrics.completed.Load() != 1 {
+		t.Fatalf("counters: failed=%d completed=%d",
+			svc.metrics.failed.Load(), svc.metrics.completed.Load())
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	hang := make(chan struct{}) // never closed: job hangs until ctx fires
+	svc := New(Config{Workers: 1, QueueSize: 2, JobTimeout: 20 * time.Millisecond,
+		exec: blockingExec(hang)})
+	defer svc.Close(context.Background())
+
+	st, err := svc.Submit(JobSpec{Protocol: "election", N: 64, Alpha: 0.75, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		got, _ := svc.Job(st.ID)
+		return got.State == StateFailed
+	})
+	got, _ := svc.Job(st.ID)
+	if !strings.Contains(got.Error, "timeout") {
+		t.Fatalf("timeout error missing: %+v", got)
+	}
+	// The failed result must not poison the cache: resubmitting runs
+	// again rather than hitting.
+	st2, err := svc.Submit(JobSpec{Protocol: "election", N: 64, Alpha: 0.75, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.CacheHit {
+		t.Fatal("failed job was cached")
+	}
+}
+
+func TestStoreEvictionKeepsLiveJobs(t *testing.T) {
+	release := make(chan struct{})
+	svc := New(Config{Workers: 1, QueueSize: 64, CacheSize: 1, exec: blockingExec(release)})
+	// Defers run LIFO: release the workers first, then drain.
+	defer svc.Close(context.Background())
+	defer close(release)
+
+	// With CacheSize 1 the store keeps 2 records; queued jobs must
+	// survive eviction anyway.
+	var ids []string
+	for seed := uint64(0); seed < 6; seed++ {
+		st, err := svc.Submit(JobSpec{Protocol: "election", N: 64, Alpha: 0.75, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		if _, ok := svc.Job(id); !ok {
+			t.Fatalf("live job %s evicted from store", id)
+		}
+	}
+}
+
+// waitFor polls cond for up to 30 seconds.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}

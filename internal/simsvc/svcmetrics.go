@@ -1,0 +1,131 @@
+package simsvc
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// svcMetrics holds the daemon's own counters, exposed in Prometheus text
+// format on /metrics. Everything is either atomic or behind the histogram
+// mutex, so workers update without coordination.
+type svcMetrics struct {
+	submitted atomic.Int64 // accepted submissions (including cache hits)
+	rejected  atomic.Int64 // 429 backpressure rejections
+	invalid   atomic.Int64 // 400 validation rejections
+	completed atomic.Int64 // jobs finished successfully
+	failed    atomic.Int64 // jobs failed (error, panic, timeout)
+	queued    atomic.Int64 // gauge: jobs waiting in the queue
+	running   atomic.Int64 // gauge: jobs currently on a worker
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	mu     sync.Mutex
+	msgs   map[string]*histogram // per-protocol mean messages per rep
+	rounds map[string]*histogram // per-protocol mean rounds per rep
+}
+
+func newSvcMetrics() *svcMetrics {
+	return &svcMetrics{msgs: map[string]*histogram{}, rounds: map[string]*histogram{}}
+}
+
+// observe records a finished job's per-repetition means into the
+// per-protocol histograms.
+func (m *svcMetrics) observe(protocol string, res *JobResult) {
+	if res == nil || res.Reps == 0 || protocol == ProtoExperiment {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	hist(m.msgs, protocol, msgBuckets).observe(res.Messages.Mean)
+	hist(m.rounds, protocol, roundBuckets).observe(res.Rounds.Mean)
+}
+
+func hist(set map[string]*histogram, key string, buckets []float64) *histogram {
+	h, ok := set[key]
+	if !ok {
+		h = &histogram{upper: buckets, counts: make([]int64, len(buckets))}
+		set[key] = h
+	}
+	return h
+}
+
+// histogram is a fixed-bucket cumulative histogram in the Prometheus
+// sense: counts[i] counts observations <= upper[i], plus +Inf overflow.
+type histogram struct {
+	upper  []float64
+	counts []int64
+	inf    int64
+	sum    float64
+	n      int64
+}
+
+func (h *histogram) observe(v float64) {
+	h.sum += v
+	h.n++
+	for i, up := range h.upper {
+		if v <= up {
+			h.counts[i]++
+			return
+		}
+	}
+	h.inf++
+}
+
+// Powers of 4 from 64 to ~16.7M cover everything from toy runs to n=65536
+// quadratic baselines; rounds double from 8 to 4096.
+var (
+	msgBuckets   = []float64{64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216}
+	roundBuckets = []float64{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+)
+
+// write renders the metrics in Prometheus text exposition format.
+func (m *svcMetrics) write(w io.Writer, cacheLen int) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("simd_jobs_submitted_total", "Accepted job submissions, including cache hits.", m.submitted.Load())
+	counter("simd_jobs_rejected_total", "Submissions rejected with 429 because the queue was full.", m.rejected.Load())
+	counter("simd_jobs_invalid_total", "Submissions rejected with 400 by spec validation.", m.invalid.Load())
+	counter("simd_jobs_completed_total", "Jobs that finished with a result.", m.completed.Load())
+	counter("simd_jobs_failed_total", "Jobs that failed: run error, panic, or timeout.", m.failed.Load())
+	gauge("simd_jobs_queued", "Jobs waiting in the queue.", m.queued.Load())
+	gauge("simd_jobs_running", "Jobs currently executing on a worker.", m.running.Load())
+	counter("simd_cache_hits_total", "Submissions served from the result cache.", m.cacheHits.Load())
+	counter("simd_cache_misses_total", "Submissions that had to run.", m.cacheMisses.Load())
+	gauge("simd_cache_entries", "Results currently cached.", int64(cacheLen))
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.writeHists(w, "simd_job_messages", "Mean messages per repetition of finished jobs.", m.msgs)
+	m.writeHists(w, "simd_job_rounds", "Mean rounds per repetition of finished jobs.", m.rounds)
+}
+
+func (m *svcMetrics) writeHists(w io.Writer, name, help string, set map[string]*histogram) {
+	if len(set) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	protos := make([]string, 0, len(set))
+	for p := range set {
+		protos = append(protos, p)
+	}
+	sort.Strings(protos)
+	for _, p := range protos {
+		h := set[p]
+		cum := int64(0)
+		for i, up := range h.upper {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "%s_bucket{protocol=%q,le=\"%g\"} %d\n", name, p, up, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{protocol=%q,le=\"+Inf\"} %d\n", name, p, cum+h.inf)
+		fmt.Fprintf(w, "%s_sum{protocol=%q} %g\n", name, p, h.sum)
+		fmt.Fprintf(w, "%s_count{protocol=%q} %d\n", name, p, h.n)
+	}
+}

@@ -11,15 +11,16 @@ import (
 	"sort"
 )
 
-// Summary holds the summary statistics of a sample.
+// Summary holds the summary statistics of a sample. The JSON tags are
+// the wire names the simsvc API serves.
 type Summary struct {
-	Count  int
-	Mean   float64
-	StdDev float64
-	Min    float64
-	Max    float64
-	Median float64
-	P90    float64
+	Count  int     `json:"count"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Median float64 `json:"median"`
+	P90    float64 `json:"p90"`
 }
 
 // Summarize computes summary statistics. It returns a zero Summary for an
