@@ -93,7 +93,7 @@ func BenchmarkE1TableIGKStyle(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		seed := uint64(i) + 1
 		inputs := sublinear.RandomInputs(2048, 0.5, seed^0xfeed)
-		adv := fault.NewRandomPlan(2048, 1023, 20, fault.DropHalf, rng.New(seed))
+		adv := fault.Must(fault.NewRandomPlan(2048, 1023, 20, fault.DropHalf, rng.New(seed)))
 		res, err := baseline.RunGK(baseline.GKConfig{N: 2048, Seed: seed}, inputs, adv)
 		if err != nil {
 			b.Fatal(err)
@@ -114,7 +114,7 @@ func BenchmarkE1TableIFloodSet(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		seed := uint64(i) + 1
 		inputs := sublinear.RandomInputs(2048, 0.5, seed^0xfeed)
-		adv := fault.NewRandomPlan(2048, 1023, 1024, fault.DropHalf, rng.New(seed))
+		adv := fault.Must(fault.NewRandomPlan(2048, 1023, 1024, fault.DropHalf, rng.New(seed)))
 		res, err := baseline.RunFloodSet(baseline.FloodSetConfig{N: 2048, Seed: seed, F: 1023}, inputs, adv)
 		if err != nil {
 			b.Fatal(err)
@@ -135,7 +135,7 @@ func BenchmarkE1TableIPushGossip(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		seed := uint64(i) + 1
 		inputs := sublinear.RandomInputs(2048, 0.5, seed^0xfeed)
-		adv := fault.NewRandomPlan(2048, 1023, 20, fault.DropHalf, rng.New(seed))
+		adv := fault.Must(fault.NewRandomPlan(2048, 1023, 20, fault.DropHalf, rng.New(seed)))
 		res, err := baseline.RunGossip(baseline.GossipConfig{N: 2048, Seed: seed}, inputs, adv)
 		if err != nil {
 			b.Fatal(err)
@@ -156,7 +156,7 @@ func BenchmarkE1TableIRotatingCoordinator(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		seed := uint64(i) + 1
 		inputs := sublinear.RandomInputs(2048, 0.5, seed^0xfeed)
-		adv := fault.NewRandomPlan(2048, 1023, 1024, fault.DropHalf, rng.New(seed))
+		adv := fault.Must(fault.NewRandomPlan(2048, 1023, 1024, fault.DropHalf, rng.New(seed)))
 		res, err := baseline.RunRotating(baseline.RotatingConfig{N: 2048, Seed: seed, F: 1023}, inputs, adv)
 		if err != nil {
 			b.Fatal(err)
@@ -214,7 +214,7 @@ func BenchmarkE1TableIAllPairs(b *testing.B) {
 	var cost protoCost
 	for i := 0; i < b.N; i++ {
 		seed := uint64(i) + 1
-		adv := fault.NewRandomPlan(2048, 1023, 1024, fault.DropHalf, rng.New(seed))
+		adv := fault.Must(fault.NewRandomPlan(2048, 1023, 1024, fault.DropHalf, rng.New(seed)))
 		res, err := baseline.RunAllPairs(baseline.AllPairsConfig{N: 2048, Seed: seed, F: 1023}, adv)
 		if err != nil {
 			b.Fatal(err)

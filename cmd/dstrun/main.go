@@ -1,0 +1,138 @@
+// Command dstrun drives the deterministic-simulation-testing harness
+// (internal/dst): it fuzzes randomized adversary schedules through
+// every engine mode, checks protocol safety oracles, shrinks each
+// failure to a minimal reproducer, and replays committed reproducers.
+//
+// Usage:
+//
+//	dstrun -campaign 500 [-budget 5m] [-systems election,agreement] [-seed 1] [-out dst-failures]
+//	dstrun -repro dst-failures/election-1f2e3d4c.json
+//
+// Exit status: 0 when every case is clean, 1 on usage or infrastructure
+// errors, 2 when a failure was found (campaign) or the reproducer still
+// fails (repro) — so CI can distinguish "harness broke" from "harness
+// caught a bug".
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sublinear/internal/dst"
+)
+
+// errFailureFound marks a completed run that detected at least one
+// divergence or oracle violation; details are already printed.
+var errFailureFound = errors.New("failure found")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errFailureFound) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "dstrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dstrun", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		campaign = fs.Int("campaign", 0, "number of fuzz cases to run")
+		budget   = fs.Duration("budget", 0, "wall-clock budget for the campaign (0 = none)")
+		systems  = fs.String("systems", "", "comma-separated systems under test (default: all real protocols; see -list)")
+		seed     = fs.Uint64("seed", 1, "campaign seed: (seed, systems, campaign) fully determine every schedule")
+		outDir   = fs.String("out", "dst-failures", "directory for minimized failing-case reproducer files")
+		minimize = fs.Int("minimize", 200, "differential-check budget for shrinking each failure")
+		repro    = fs.String("repro", "", "replay one reproducer file instead of fuzzing")
+		list     = fs.Bool("list", false, "list registered systems and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *list:
+		fmt.Fprintf(out, "default: %s\n", strings.Join(dst.DefaultSystems(), " "))
+		fmt.Fprintf(out, "all:     %s\n", strings.Join(dst.AllSystems(), " "))
+		return nil
+	case *repro != "":
+		return replay(*repro, out)
+	case *campaign > 0:
+		return fuzz(*campaign, *budget, *systems, *seed, *outDir, *minimize, out)
+	default:
+		fs.Usage()
+		return errors.New("need -campaign N, -repro FILE, or -list")
+	}
+}
+
+// replay re-runs one committed reproducer through the full differential
+// check.
+func replay(path string, out io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var c dst.Case
+	if err := json.Unmarshal(data, &c); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	failure, err := dst.Check(c)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if failure == nil {
+		fmt.Fprintf(out, "%s: clean — the reproduced bug is fixed\n", path)
+		return nil
+	}
+	fmt.Fprintf(out, "%s: still failing\n  %s\n", path, failure)
+	return errFailureFound
+}
+
+// fuzz runs a fuzzing campaign and writes one reproducer file per
+// minimized failure.
+func fuzz(cases int, budget time.Duration, systems string, seed uint64, outDir string, minimize int, out io.Writer) error {
+	ctx := context.Background()
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+	cfg := dst.CampaignConfig{Cases: cases, Seed: seed, MinimizeBudget: minimize}
+	if systems != "" {
+		cfg.Systems = strings.Split(systems, ",")
+	}
+	logf := func(format string, args ...any) { fmt.Fprintf(out, format+"\n", args...) }
+	res, err := dst.RunCampaign(ctx, cfg, logf)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "dst: %d cases, %d checks, %d failures\n", res.Cases, res.Checks, len(res.Failures))
+	if len(res.Failures) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	for i, f := range res.Failures {
+		name := fmt.Sprintf("%s-%016x-%d.json", f.Case.System, f.Case.Seed, i)
+		path := filepath.Join(outDir, name)
+		enc, err := json.MarshalIndent(f.Case, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s (%s)\n", path, &f)
+	}
+	return errFailureFound
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sublinear/internal/dst"
+	"sublinear/internal/fault"
+)
+
+// TestSelfTestEndToEnd is the acceptance walk for the whole tool: a
+// campaign against the deliberately broken canary detects the
+// violation, shrinks it to at most two faulty nodes, writes a
+// reproducer file, and -repro replays that file to the same failure.
+func TestSelfTestEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	var buf strings.Builder
+	err := run([]string{"-campaign", "12", "-systems", "canary", "-seed", "3", "-out", dir}, &buf)
+	if !errors.Is(err, errFailureFound) {
+		t.Fatalf("campaign over the broken canary: err = %v, output:\n%s", err, buf.String())
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "canary-*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no reproducer files written (%v), output:\n%s", err, buf.String())
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c dst.Case
+	if err := json.Unmarshal(data, &c); err != nil {
+		t.Fatalf("reproducer is not a valid case: %v", err)
+	}
+	if got := c.Schedule.FaultyCount(); got > 2 {
+		t.Errorf("minimized reproducer has %d faulty nodes, want <= 2", got)
+	}
+	// Replaying the committed file must fail deterministically, twice.
+	for i := 0; i < 2; i++ {
+		var replayOut strings.Builder
+		if err := run([]string{"-repro", files[0]}, &replayOut); !errors.Is(err, errFailureFound) {
+			t.Fatalf("replay %d: err = %v, output:\n%s", i, err, replayOut.String())
+		}
+		if !strings.Contains(replayOut.String(), "canary-consistency") {
+			t.Fatalf("replay %d did not report the oracle: %s", i, replayOut.String())
+		}
+	}
+}
+
+// TestReproCleanCase: a reproducer whose bug does not fire exits clean.
+func TestReproCleanCase(t *testing.T) {
+	c := dst.Case{System: "canary", N: 32, Alpha: 0.8, Seed: 1,
+		Schedule: fault.Schedule{N: 32}} // no crashes: the canary's assumption holds
+	enc, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "clean.json")
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := run([]string{"-repro", path}, &buf); err != nil {
+		t.Fatalf("clean case reported %v: %s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "clean") {
+		t.Fatalf("missing clean verdict: %s", buf.String())
+	}
+}
+
+func TestUsageAndList(t *testing.T) {
+	var buf strings.Builder
+	if err := run(nil, &buf); err == nil || errors.Is(err, errFailureFound) {
+		t.Fatalf("no-op invocation: err = %v", err)
+	}
+	buf.Reset()
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "canary") || !strings.Contains(buf.String(), "election") {
+		t.Fatalf("-list output incomplete: %s", buf.String())
+	}
+}

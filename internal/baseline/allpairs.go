@@ -14,6 +14,9 @@ import (
 type AllPairsConfig struct {
 	N    int
 	Seed uint64
+	// Mode selects the engine execution strategy (all modes are
+	// deterministic per seed and produce identical digests).
+	Mode netsim.RunMode
 	// F is the fault bound; the protocol runs F+1 rounds.
 	F int
 	// Alpha is engine bookkeeping; defaults to 1-F/N.
@@ -86,7 +89,7 @@ func RunAllPairs(cfg AllPairsConfig, adv netsim.Adversary) (*Result, error) {
 	for u := range machines {
 		machines[u] = &allPairsMachine{endRound: cfg.F + 1}
 	}
-	res, err := runMachines(cfg.N, cfg.Alpha, cfg.Seed, cfg.F+2, 8, machines, adv)
+	res, err := runMachines(cfg.N, cfg.Alpha, cfg.Seed, cfg.F+2, 8, cfg.Mode, machines, adv)
 	if err != nil {
 		return nil, err
 	}
@@ -95,6 +98,7 @@ func RunAllPairs(cfg AllPairsConfig, adv netsim.Adversary) (*Result, error) {
 		CrashedAt: res.CrashedAt,
 		Rounds:    res.Rounds,
 		Counters:  res.Counters,
+		Digest:    res.Digest,
 	}
 	var winner uint64
 	agree := true

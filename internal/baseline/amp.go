@@ -14,6 +14,9 @@ import (
 type AMPConfig struct {
 	N    int
 	Seed uint64
+	// Mode selects the engine execution strategy (all modes are
+	// deterministic per seed and produce identical digests).
+	Mode netsim.RunMode
 	// CandidateFactor scales the candidate probability (default 6).
 	CandidateFactor float64
 	// RefereeFactor scales the referee sample (default 2).
@@ -139,7 +142,7 @@ func RunAMP(cfg AMPConfig, inputs []int) (*Result, error) {
 	for u := range machines {
 		machines[u] = &ampMachine{cfg: cfg, input: inputs[u]}
 	}
-	res, err := runMachines(cfg.N, 1, cfg.Seed, 3, 8, machines, nil)
+	res, err := runMachines(cfg.N, 1, cfg.Seed, 3, 8, cfg.Mode, machines, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -148,6 +151,7 @@ func RunAMP(cfg AMPConfig, inputs []int) (*Result, error) {
 		CrashedAt: res.CrashedAt,
 		Rounds:    res.Rounds,
 		Counters:  res.Counters,
+		Digest:    res.Digest,
 	}
 	haveInput := [2]bool{}
 	for _, in := range inputs {

@@ -36,6 +36,8 @@ type Result struct {
 	Rounds int
 	// Counters carries message/bit accounting.
 	Counters *metrics.Counters
+	// Digest is the engine's execution fingerprint (netsim.Result.Digest).
+	Digest uint64
 	// Success is the protocol-specific verdict.
 	Success bool
 	// Reason explains a failure.
@@ -47,7 +49,7 @@ type Result struct {
 // runMachines executes machines on the shared engine with the baseline
 // defaults (strict CONGEST with a generous factor for set-carrying
 // baselines).
-func runMachines(n int, alpha float64, seed uint64, maxRounds, congestFactor int, machines []netsim.Machine, adv netsim.Adversary) (*netsim.Result, error) {
+func runMachines(n int, alpha float64, seed uint64, maxRounds, congestFactor int, mode netsim.RunMode, machines []netsim.Machine, adv netsim.Adversary) (*netsim.Result, error) {
 	cfg := netsim.Config{
 		N:             n,
 		Alpha:         alpha,
@@ -60,6 +62,7 @@ func runMachines(n int, alpha float64, seed uint64, maxRounds, congestFactor int
 	if err != nil {
 		return nil, err
 	}
+	engine.Mode = mode
 	res, err := engine.Run()
 	if err != nil {
 		return nil, fmt.Errorf("baseline run: %w", err)

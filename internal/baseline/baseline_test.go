@@ -97,7 +97,7 @@ func TestFloodSetToleratesHeavyCrashes(t *testing.T) {
 		for i := range inputs {
 			inputs[i] = src.Intn(2)
 		}
-		adv := fault.NewRandomPlan(n, f, f+1, fault.DropHalf, src)
+		adv := fault.Must(fault.NewRandomPlan(n, f, f+1, fault.DropHalf, src))
 		res, err := RunFloodSet(FloodSetConfig{N: n, Seed: seed, F: f}, inputs, adv)
 		if err != nil {
 			t.Fatal(err)
@@ -171,7 +171,7 @@ func TestGKUnderRandomFaults(t *testing.T) {
 		for i := range inputs {
 			inputs[i] = src.Intn(2)
 		}
-		adv := fault.NewRandomPlan(n, f, 10, fault.DropHalf, src)
+		adv := fault.Must(fault.NewRandomPlan(n, f, 10, fault.DropHalf, src))
 		res, err := RunGK(GKConfig{N: n, Seed: seed}, inputs, adv)
 		if err != nil {
 			t.Fatal(err)
@@ -208,7 +208,7 @@ func TestAllPairsAgreesOnWinner(t *testing.T) {
 	f := n / 3
 	for seed := uint64(0); seed < 10; seed++ {
 		src := rng.New(seed + 31)
-		adv := fault.NewRandomPlan(n, f, f+1, fault.DropHalf, src)
+		adv := fault.Must(fault.NewRandomPlan(n, f, f+1, fault.DropHalf, src))
 		res, err := RunAllPairs(AllPairsConfig{N: n, Seed: seed, F: f}, adv)
 		if err != nil {
 			t.Fatal(err)

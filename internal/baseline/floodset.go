@@ -15,6 +15,9 @@ import (
 type FloodSetConfig struct {
 	N    int
 	Seed uint64
+	// Mode selects the engine execution strategy (all modes are
+	// deterministic per seed and produce identical digests).
+	Mode netsim.RunMode
 	// F is the fault bound; the protocol runs F+1 rounds. Required >= 0.
 	F int
 	// Alpha is only used for engine bookkeeping; defaults to 1-F/N.
@@ -88,7 +91,7 @@ func RunFloodSet(cfg FloodSetConfig, inputs []int, adv netsim.Adversary) (*Resul
 	for u := range machines {
 		machines[u] = &floodSetMachine{input: inputs[u], endRound: cfg.F + 1}
 	}
-	res, err := runMachines(cfg.N, cfg.Alpha, cfg.Seed, cfg.F+2, 8, machines, adv)
+	res, err := runMachines(cfg.N, cfg.Alpha, cfg.Seed, cfg.F+2, 8, cfg.Mode, machines, adv)
 	if err != nil {
 		return nil, err
 	}
@@ -103,6 +106,7 @@ func evalExplicitAgreement(res *netsim.Result, inputs []int) (*Result, error) {
 		CrashedAt: res.CrashedAt,
 		Rounds:    res.Rounds,
 		Counters:  res.Counters,
+		Digest:    res.Digest,
 	}
 	haveInput := [2]bool{}
 	for _, in := range inputs {

@@ -19,6 +19,9 @@ import (
 type GKConfig struct {
 	N    int
 	Seed uint64
+	// Mode selects the engine execution strategy (all modes are
+	// deterministic per seed and produce identical digests).
+	Mode netsim.RunMode
 	// CommitteeFactor scales the committee size
 	// CommitteeFactor * ceil(log2 n); default 3.
 	CommitteeFactor float64
@@ -138,7 +141,7 @@ func RunGK(cfg GKConfig, inputs []int, adv netsim.Adversary) (*Result, error) {
 	for u := range machines {
 		machines[u] = &gkMachine{committeeSize: k, input: inputs[u]}
 	}
-	res, err := runMachines(cfg.N, cfg.Alpha, cfg.Seed, k+2, 8, machines, adv)
+	res, err := runMachines(cfg.N, cfg.Alpha, cfg.Seed, k+2, 8, cfg.Mode, machines, adv)
 	if err != nil {
 		return nil, err
 	}

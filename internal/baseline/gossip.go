@@ -17,6 +17,9 @@ import (
 type GossipConfig struct {
 	N    int
 	Seed uint64
+	// Mode selects the engine execution strategy (all modes are
+	// deterministic per seed and produce identical digests).
+	Mode netsim.RunMode
 	// Fanout is the number of random peers pushed to per round; default
 	// 3.
 	Fanout int
@@ -107,7 +110,7 @@ func RunGossip(cfg GossipConfig, inputs []int, adv netsim.Adversary) (*Result, e
 	for u := range machines {
 		machines[u] = &gossipMachine{fanout: cfg.Fanout, endRound: rounds, input: inputs[u]}
 	}
-	res, err := runMachines(cfg.N, cfg.Alpha, cfg.Seed, rounds+1, 8, machines, adv)
+	res, err := runMachines(cfg.N, cfg.Alpha, cfg.Seed, rounds+1, 8, cfg.Mode, machines, adv)
 	if err != nil {
 		return nil, err
 	}
@@ -116,6 +119,7 @@ func RunGossip(cfg GossipConfig, inputs []int, adv netsim.Adversary) (*Result, e
 		CrashedAt: res.CrashedAt,
 		Rounds:    res.Rounds,
 		Counters:  res.Counters,
+		Digest:    res.Digest,
 	}
 	haveInput := [2]bool{}
 	for _, in := range inputs {

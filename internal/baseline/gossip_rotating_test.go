@@ -33,7 +33,7 @@ func TestGossipUnderCrashes(t *testing.T) {
 	ok := 0
 	for seed := uint64(0); seed < reps; seed++ {
 		src := rng.New(seed + 40)
-		adv := fault.NewRandomPlan(n, n/2, 20, fault.DropHalf, src)
+		adv := fault.Must(fault.NewRandomPlan(n, n/2, 20, fault.DropHalf, src))
 		res, err := RunGossip(GossipConfig{N: n, Seed: seed}, mixedInputs(n, seed), adv)
 		if err != nil {
 			t.Fatal(err)
@@ -111,7 +111,7 @@ func TestRotatingUnderAdversarialCoordinatorCrashes(t *testing.T) {
 		crash[i] = i + 1 // coordinator i crashes in its own phase
 	}
 	for seed := uint64(0); seed < 5; seed++ {
-		adv := fault.NewTargetedPlan(n, crash, fault.DropHalf, rng.New(seed))
+		adv := fault.Must(fault.NewTargetedPlan(n, crash, fault.DropHalf, rng.New(seed)))
 		res, err := RunRotating(RotatingConfig{N: n, Seed: seed, F: f}, mixedInputs(n, seed), adv)
 		if err != nil {
 			t.Fatal(err)

@@ -14,6 +14,9 @@ import (
 type KuttenConfig struct {
 	N    int
 	Seed uint64
+	// Mode selects the engine execution strategy (all modes are
+	// deterministic per seed and produce identical digests).
+	Mode netsim.RunMode
 	// CandidateFactor scales the candidate probability
 	// CandidateFactor * ln n / n; default 6.
 	CandidateFactor float64
@@ -143,7 +146,7 @@ func RunKutten(cfg KuttenConfig) (*Result, error) {
 	for u := range machines {
 		machines[u] = &kuttenMachine{cfg: cfg}
 	}
-	res, err := runMachines(cfg.N, 1, cfg.Seed, 3, 8, machines, nil)
+	res, err := runMachines(cfg.N, 1, cfg.Seed, 3, 8, cfg.Mode, machines, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -152,6 +155,7 @@ func RunKutten(cfg KuttenConfig) (*Result, error) {
 		CrashedAt: res.CrashedAt,
 		Rounds:    res.Rounds,
 		Counters:  res.Counters,
+		Digest:    res.Digest,
 	}
 	elected, candidates := 0, 0
 	var leader uint64

@@ -17,6 +17,9 @@ import (
 type RotatingConfig struct {
 	N    int
 	Seed uint64
+	// Mode selects the engine execution strategy (all modes are
+	// deterministic per seed and produce identical digests).
+	Mode netsim.RunMode
 	// F is the fault bound; the protocol runs F+1 phases.
 	F int
 	// Alpha is engine bookkeeping; defaults to 1-F/N.
@@ -91,7 +94,7 @@ func RunRotating(cfg RotatingConfig, inputs []int, adv netsim.Adversary) (*Resul
 	for u := range machines {
 		machines[u] = &rotatingMachine{input: inputs[u], endRound: cfg.F + 1}
 	}
-	res, err := runMachines(cfg.N, cfg.Alpha, cfg.Seed, cfg.F+2, 8, machines, adv)
+	res, err := runMachines(cfg.N, cfg.Alpha, cfg.Seed, cfg.F+2, 8, cfg.Mode, machines, adv)
 	if err != nil {
 		return nil, err
 	}
@@ -100,6 +103,7 @@ func RunRotating(cfg RotatingConfig, inputs []int, adv netsim.Adversary) (*Resul
 		CrashedAt: res.CrashedAt,
 		Rounds:    res.Rounds,
 		Counters:  res.Counters,
+		Digest:    res.Digest,
 	}
 	haveInput := [2]bool{}
 	for _, in := range inputs {

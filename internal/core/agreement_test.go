@@ -74,7 +74,7 @@ func TestAgreementUnderRandomCrashes(t *testing.T) {
 	ok := 0
 	for seed := uint64(0); seed < reps; seed++ {
 		src := rng.New(seed + 600)
-		adv := fault.NewRandomPlan(n, n/2, 40, fault.DropHalf, src)
+		adv := fault.Must(fault.NewRandomPlan(n, n/2, 40, fault.DropHalf, src))
 		res := agreeOnce(t, RunConfig{N: n, Alpha: 0.5, Seed: seed, Adversary: adv}, randInputs(n, seed))
 		if res.Eval.Success {
 			ok++
@@ -92,7 +92,7 @@ func TestAgreementUnderDropAll(t *testing.T) {
 	ok := 0
 	for seed := uint64(0); seed < reps; seed++ {
 		src := rng.New(seed + 700)
-		adv := fault.NewRandomPlan(n, n/2, 40, fault.DropAll, src)
+		adv := fault.Must(fault.NewRandomPlan(n, n/2, 40, fault.DropAll, src))
 		res := agreeOnce(t, RunConfig{N: n, Alpha: 0.5, Seed: seed, Adversary: adv}, randInputs(n, seed))
 		if res.Eval.Success {
 			ok++
@@ -130,7 +130,7 @@ func TestAgreementZeroBias(t *testing.T) {
 func TestAgreementDeterministic(t *testing.T) {
 	mk := func() *AgreementResult {
 		src := rng.New(88)
-		adv := fault.NewRandomPlan(256, 100, 30, fault.DropRandom, src)
+		adv := fault.Must(fault.NewRandomPlan(256, 100, 30, fault.DropRandom, src))
 		return agreeOnce(t, RunConfig{N: 256, Alpha: 0.5, Seed: 12, Adversary: adv}, randInputs(256, 5))
 	}
 	a, b := mk(), mk()
@@ -145,7 +145,7 @@ func TestAgreementDeterministic(t *testing.T) {
 func TestAgreementConcurrentEngineEquivalent(t *testing.T) {
 	mk := func(concurrent bool) *AgreementResult {
 		src := rng.New(21)
-		adv := fault.NewRandomPlan(256, 64, 30, fault.DropHalf, src)
+		adv := fault.Must(fault.NewRandomPlan(256, 64, 30, fault.DropHalf, src))
 		return agreeOnce(t, RunConfig{N: 256, Alpha: 0.5, Seed: 7, Adversary: adv,
 			Concurrent: concurrent}, randInputs(256, 7))
 	}
@@ -157,7 +157,7 @@ func TestAgreementConcurrentEngineEquivalent(t *testing.T) {
 func TestAgreementExplicit(t *testing.T) {
 	const n = 256
 	src := rng.New(31)
-	adv := fault.NewRandomPlan(n, n/4, 30, fault.DropHalf, src)
+	adv := fault.Must(fault.NewRandomPlan(n, n/4, 30, fault.DropHalf, src))
 	res := agreeOnce(t, RunConfig{N: n, Alpha: 0.5, Seed: 3, Adversary: adv,
 		Params: Params{Explicit: true}}, randInputs(n, 3))
 	if !res.Eval.Success || !res.Eval.ExplicitOK {

@@ -15,7 +15,7 @@ import (
 func TestElectionActorsModeEquivalent(t *testing.T) {
 	mk := func(mode netsim.RunMode) *ElectionResult {
 		src := rng.New(15)
-		adv := fault.NewRandomPlan(128, 32, 40, fault.DropHalf, src)
+		adv := fault.Must(fault.NewRandomPlan(128, 32, 40, fault.DropHalf, src))
 		return electOnce(t, RunConfig{N: 128, Alpha: 0.75, Seed: 8, Adversary: adv, Mode: mode})
 	}
 	seq, act := mk(netsim.Sequential), mk(netsim.Actors)
@@ -31,7 +31,7 @@ func TestAgreementActorsModeEquivalent(t *testing.T) {
 	inputs := randInputs(128, 9)
 	mk := func(mode netsim.RunMode) *AgreementResult {
 		src := rng.New(16)
-		adv := fault.NewRandomPlan(128, 32, 30, fault.DropHalf, src)
+		adv := fault.Must(fault.NewRandomPlan(128, 32, 30, fault.DropHalf, src))
 		return agreeOnce(t, RunConfig{N: 128, Alpha: 0.75, Seed: 9, Adversary: adv, Mode: mode}, inputs)
 	}
 	if !reflect.DeepEqual(mk(netsim.Sequential).Outputs, mk(netsim.Actors).Outputs) {
@@ -105,7 +105,7 @@ func TestElectionTimeoutRetiresDeadRanks(t *testing.T) {
 		t.Fatal(err)
 	}
 	crashRound := newElectionMachine(d).prepEnd + 1
-	adv := fault.NewTargetedPlan(n, map[int]int{minOwner: crashRound}, fault.DropAll, rng.New(1))
+	adv := fault.Must(fault.NewTargetedPlan(n, map[int]int{minOwner: crashRound}, fault.DropAll, rng.New(1)))
 	res := electOnce(t, RunConfig{N: n, Alpha: 0.75, Seed: seed, Adversary: adv})
 	if !res.Eval.Success {
 		t.Fatalf("run with dead minimum failed: %s", res.Eval.Reason)
@@ -143,7 +143,7 @@ func TestElectionLeaderCrashAfterClaim(t *testing.T) {
 	// claim completes within a few exchange round-trips. Crash it well
 	// after that but before the schedule ends.
 	crashRound := newElectionMachine(d).prepEnd + 40
-	adv := fault.NewTargetedPlan(n, map[int]int{leader: crashRound}, fault.DropNone, rng.New(1))
+	adv := fault.Must(fault.NewTargetedPlan(n, map[int]int{leader: crashRound}, fault.DropNone, rng.New(1)))
 	res := electOnce(t, RunConfig{N: n, Alpha: 0.75, Seed: seed, Adversary: adv})
 	if !res.Eval.Success {
 		t.Fatalf("crashed-after-claim leader rejected: %s", res.Eval.Reason)

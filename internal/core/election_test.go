@@ -64,7 +64,7 @@ func TestElectionExactlyOneElected(t *testing.T) {
 func TestElectionDeterministic(t *testing.T) {
 	mk := func() *ElectionResult {
 		src := rng.New(77)
-		adv := fault.NewRandomPlan(256, 128, 60, fault.DropHalf, src)
+		adv := fault.Must(fault.NewRandomPlan(256, 128, 60, fault.DropHalf, src))
 		return electOnce(t, RunConfig{N: 256, Alpha: 0.5, Seed: 9, Adversary: adv})
 	}
 	a, b := mk(), mk()
@@ -79,7 +79,7 @@ func TestElectionDeterministic(t *testing.T) {
 func TestElectionConcurrentEngineEquivalent(t *testing.T) {
 	mk := func(concurrent bool) *ElectionResult {
 		src := rng.New(5)
-		adv := fault.NewRandomPlan(128, 32, 40, fault.DropHalf, src)
+		adv := fault.Must(fault.NewRandomPlan(128, 32, 40, fault.DropHalf, src))
 		return electOnce(t, RunConfig{N: 128, Alpha: 0.75, Seed: 4, Adversary: adv, Concurrent: concurrent})
 	}
 	seq, par := mk(false), mk(true)
@@ -96,7 +96,7 @@ func TestElectionUnderRandomCrashes(t *testing.T) {
 	ok := 0
 	for seed := uint64(0); seed < reps; seed++ {
 		src := rng.New(seed + 100)
-		adv := fault.NewRandomPlan(n, n/2, 80, fault.DropHalf, src)
+		adv := fault.Must(fault.NewRandomPlan(n, n/2, 80, fault.DropHalf, src))
 		res := electOnce(t, RunConfig{N: n, Alpha: 0.5, Seed: seed, Adversary: adv})
 		if res.Eval.Success {
 			ok++
@@ -114,7 +114,7 @@ func TestElectionUnderDropAll(t *testing.T) {
 	ok := 0
 	for seed := uint64(0); seed < reps; seed++ {
 		src := rng.New(seed + 200)
-		adv := fault.NewRandomPlan(n, n/2, 100, fault.DropAll, src)
+		adv := fault.Must(fault.NewRandomPlan(n, n/2, 100, fault.DropAll, src))
 		res := electOnce(t, RunConfig{N: n, Alpha: 0.5, Seed: seed, Adversary: adv})
 		if res.Eval.Success {
 			ok++
@@ -168,7 +168,7 @@ func TestElectionLeaderNeverCrashedBeforeProposal(t *testing.T) {
 func TestElectionExplicit(t *testing.T) {
 	const n = 256
 	src := rng.New(42)
-	adv := fault.NewRandomPlan(n, n/4, 60, fault.DropHalf, src)
+	adv := fault.Must(fault.NewRandomPlan(n, n/4, 60, fault.DropHalf, src))
 	res := electOnce(t, RunConfig{N: n, Alpha: 0.5, Seed: 2, Adversary: adv,
 		Params: Params{Explicit: true}})
 	if !res.Eval.Success {
@@ -187,8 +187,8 @@ func TestElectionExplicit(t *testing.T) {
 func TestElectionEarlyStopMatchesOutcome(t *testing.T) {
 	for seed := uint64(0); seed < 6; seed++ {
 		src1, src2 := rng.New(seed+500), rng.New(seed+500)
-		advA := fault.NewRandomPlan(256, 64, 60, fault.DropHalf, src1)
-		advB := fault.NewRandomPlan(256, 64, 60, fault.DropHalf, src2)
+		advA := fault.Must(fault.NewRandomPlan(256, 64, 60, fault.DropHalf, src1))
+		advB := fault.Must(fault.NewRandomPlan(256, 64, 60, fault.DropHalf, src2))
 		full := electOnce(t, RunConfig{N: 256, Alpha: 0.5, Seed: seed, Adversary: advA})
 		early := electOnce(t, RunConfig{N: 256, Alpha: 0.5, Seed: seed, Adversary: advB,
 			Params: Params{EarlyStop: true}})

@@ -199,7 +199,9 @@ type MinAgreementResult struct {
 	Faulty    []bool
 	Rounds    int
 	Counters  *metrics.Counters
-	Eval      MinAgreementEval
+	// Digest is the engine's execution fingerprint (netsim.Result.Digest).
+	Digest uint64
+	Eval   MinAgreementEval
 }
 
 // RunMinAgreement executes the multi-valued implicit agreement. values
@@ -236,6 +238,7 @@ func RunMinAgreement(cfg RunConfig, values []uint64) (*MinAgreementResult, error
 		Faulty:    res.Faulty,
 		Rounds:    res.Rounds,
 		Counters:  res.Counters,
+		Digest:    res.Digest,
 	}
 	for u, o := range res.Outputs {
 		mo, ok := o.(MinAgreementOutput)

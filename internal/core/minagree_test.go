@@ -68,7 +68,7 @@ func TestMinAgreementUnderCrashes(t *testing.T) {
 	ok := 0
 	for seed := uint64(0); seed < reps; seed++ {
 		src := rng.New(seed + 800)
-		adv := fault.NewRandomPlan(n, n/2, 40, fault.DropHalf, src)
+		adv := fault.Must(fault.NewRandomPlan(n, n/2, 40, fault.DropHalf, src))
 		res := minAgreeOnce(t, RunConfig{N: n, Alpha: 0.5, Seed: seed, Adversary: adv},
 			randValues(n, 1000, seed))
 		if res.Eval.Success {

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+
+	"sublinear/internal/metrics"
+)
+
+// Protocol oracles for the deterministic-simulation harness
+// (internal/dst). Unlike the Eval verdicts, which judge the paper's
+// with-high-probability guarantees and may legitimately fail on unlucky
+// seeds, an oracle checks only SAFETY invariants that must hold in every
+// execution under every admissible adversary: a violation is a bug in
+// the protocol or the simulator, never bad luck, which is what makes
+// oracles sound fuzzing targets.
+
+// Oracle is one named safety invariant checked against a finished run.
+type Oracle struct {
+	// Name identifies the invariant in failure reports.
+	Name string
+	// Check returns a non-nil error describing the violation, if any.
+	Check func(v *RunView) error
+}
+
+// RunView is the engine-agnostic view of a finished run that oracles
+// inspect. The dst harness builds one per execution from whichever
+// protocol result type the system under test produced.
+type RunView struct {
+	// N is the network size.
+	N int
+	// Outputs holds the per-node protocol outputs (ElectionOutput,
+	// AgreementOutput, MinAgreementOutput, or a test machine's type).
+	Outputs []any
+	// CrashedAt[u] is node u's crash round, or 0.
+	CrashedAt []int
+	// Faulty[u] reports adversary membership.
+	Faulty []bool
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Messages and Bits are the run's totals.
+	Messages, Bits int64
+	// BitBudget is the per-message CONGEST budget the engine enforced.
+	BitBudget int
+	// Violations is the number of recorded CONGEST violations
+	// (non-strict engines only; strict engines abort instead).
+	Violations int
+}
+
+// live reports whether node u survived the run.
+func (v *RunView) live(u int) bool { return v.CrashedAt[u] == 0 }
+
+// NewRunView assembles the common fields shared by every protocol's
+// result type.
+func NewRunView(outputs []any, crashedAt []int, faulty []bool, rounds int, c *metrics.Counters, bitBudget, violations int) *RunView {
+	return &RunView{
+		N:          len(outputs),
+		Outputs:    outputs,
+		CrashedAt:  crashedAt,
+		Faulty:     faulty,
+		Rounds:     rounds,
+		Messages:   c.Messages(),
+		Bits:       c.Bits(),
+		BitBudget:  bitBudget,
+		Violations: violations,
+	}
+}
+
+// CrashMonotonicityOracle checks the crash model itself: only nodes in
+// the adversary's static faulty set ever crash, and every recorded crash
+// round lies within the executed run. A violation means the engine let a
+// non-faulty node die or invented a crash out of thin air.
+func CrashMonotonicityOracle() Oracle {
+	return Oracle{
+		Name: "crash-monotonicity",
+		Check: func(v *RunView) error {
+			for u, r := range v.CrashedAt {
+				if r == 0 {
+					continue
+				}
+				if !v.Faulty[u] {
+					return fmt.Errorf("non-faulty node %d crashed in round %d", u, r)
+				}
+				if r < 1 || r > v.Rounds {
+					return fmt.Errorf("node %d crash round %d outside executed range [1,%d]", u, r, v.Rounds)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// CongestOracle checks the CONGEST accounting: no recorded violations,
+// and the total bits cannot exceed messages times the per-message
+// budget — the arithmetic cross-check on the engine's enforcement.
+func CongestOracle() Oracle {
+	return Oracle{
+		Name: "congest-budget",
+		Check: func(v *RunView) error {
+			if v.Violations > 0 {
+				return fmt.Errorf("%d CONGEST violations recorded", v.Violations)
+			}
+			if v.BitBudget > 0 && v.Bits > v.Messages*int64(v.BitBudget) {
+				return fmt.Errorf("%d bits over %d messages exceeds budget %d bits/message",
+					v.Bits, v.Messages, v.BitBudget)
+			}
+			return nil
+		},
+	}
+}
+
+// LeaderUniquenessOracle checks the election's core safety promise: at
+// most one live node believes it is the leader. Two live ELECTED nodes
+// with DISTINCT ranks is always a bug; equal ranks are excluded because
+// a rank collision (probability ~1/n^2 over the [1, n^4] ID space) is
+// the paper's accepted whp failure mode, not a protocol defect. An
+// elected node must also believe in its own rank.
+func LeaderUniquenessOracle() Oracle {
+	return Oracle{
+		Name: "leader-uniqueness",
+		Check: func(v *RunView) error {
+			electedRank := uint64(0)
+			electedNode := -1
+			for u, o := range v.Outputs {
+				eo, ok := o.(ElectionOutput)
+				if !ok {
+					return fmt.Errorf("node %d output is %T, want ElectionOutput", u, o)
+				}
+				if !v.live(u) || eo.State != Elected {
+					continue
+				}
+				if eo.LeaderRank != eo.Rank {
+					return fmt.Errorf("live node %d is ELECTED but believes in rank %d, own rank %d",
+						u, eo.LeaderRank, eo.Rank)
+				}
+				if electedNode >= 0 && eo.Rank != electedRank {
+					return fmt.Errorf("live nodes %d (rank %d) and %d (rank %d) are both ELECTED",
+						electedNode, electedRank, u, eo.Rank)
+				}
+				electedNode, electedRank = u, eo.Rank
+			}
+			return nil
+		},
+	}
+}
+
+// AgreementValidityOracle checks binary agreement validity, which holds
+// deterministically: a decided bit must be the input of some node — a 1
+// cannot be decided when every input is 0, and a 0 cannot materialize
+// from all-1 inputs.
+func AgreementValidityOracle() Oracle {
+	return Oracle{
+		Name: "agreement-validity",
+		Check: func(v *RunView) error {
+			var haveInput [2]bool
+			for u, o := range v.Outputs {
+				ao, ok := o.(AgreementOutput)
+				if !ok {
+					return fmt.Errorf("node %d output is %T, want AgreementOutput", u, o)
+				}
+				if ao.Input != 0 && ao.Input != 1 {
+					return fmt.Errorf("node %d input %d outside {0,1}", u, ao.Input)
+				}
+				haveInput[ao.Input] = true
+			}
+			for u, o := range v.Outputs {
+				ao := o.(AgreementOutput)
+				if !ao.Decided {
+					continue
+				}
+				if ao.Value != 0 && ao.Value != 1 {
+					return fmt.Errorf("node %d decided %d outside {0,1}", u, ao.Value)
+				}
+				if !haveInput[ao.Value] {
+					return fmt.Errorf("node %d decided %d, which is no node's input", u, ao.Value)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// MinValidityOracle checks the multi-valued protocol's deterministic
+// validity: every decided value must be some node's input — minima
+// propagate, they are not invented.
+func MinValidityOracle() Oracle {
+	return Oracle{
+		Name: "min-validity",
+		Check: func(v *RunView) error {
+			inputs := make(map[uint64]bool, len(v.Outputs))
+			for u, o := range v.Outputs {
+				mo, ok := o.(MinAgreementOutput)
+				if !ok {
+					return fmt.Errorf("node %d output is %T, want MinAgreementOutput", u, o)
+				}
+				inputs[mo.Input] = true
+			}
+			for u, o := range v.Outputs {
+				mo := o.(MinAgreementOutput)
+				if mo.Decided && !inputs[mo.Value] {
+					return fmt.Errorf("node %d decided %d, which is no node's input", u, mo.Value)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// ElectionOracles is the safety suite for leader-election runs.
+func ElectionOracles() []Oracle {
+	return []Oracle{CrashMonotonicityOracle(), CongestOracle(), LeaderUniquenessOracle()}
+}
+
+// AgreementOracles is the safety suite for binary-agreement runs.
+func AgreementOracles() []Oracle {
+	return []Oracle{CrashMonotonicityOracle(), CongestOracle(), AgreementValidityOracle()}
+}
+
+// MinAgreementOracles is the safety suite for multi-valued agreement
+// runs.
+func MinAgreementOracles() []Oracle {
+	return []Oracle{CrashMonotonicityOracle(), CongestOracle(), MinValidityOracle()}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sublinear/internal/metrics"
+)
+
+func oracleByName(t *testing.T, oracles []Oracle, name string) Oracle {
+	t.Helper()
+	for _, o := range oracles {
+		if o.Name == name {
+			return o
+		}
+	}
+	t.Fatalf("no oracle %q", name)
+	return Oracle{}
+}
+
+// electionView builds a minimal RunView around the given outputs.
+func electionView(outputs []ElectionOutput, crashedAt []int) *RunView {
+	anyOut := make([]any, len(outputs))
+	faulty := make([]bool, len(outputs))
+	for u := range outputs {
+		anyOut[u] = outputs[u]
+		faulty[u] = crashedAt[u] != 0
+	}
+	c := new(metrics.Counters)
+	return NewRunView(anyOut, crashedAt, faulty, 5, c, 64, 0)
+}
+
+func TestLeaderUniquenessOracle(t *testing.T) {
+	o := oracleByName(t, ElectionOracles(), "leader-uniqueness")
+	one := []ElectionOutput{
+		{IsCandidate: true, Rank: 9, State: Elected, LeaderRank: 9},
+		{IsCandidate: true, Rank: 4, State: NonElected, LeaderRank: 9},
+	}
+	if err := o.Check(electionView(one, []int{0, 0})); err != nil {
+		t.Fatalf("single leader rejected: %v", err)
+	}
+	two := []ElectionOutput{
+		{IsCandidate: true, Rank: 9, State: Elected, LeaderRank: 9},
+		{IsCandidate: true, Rank: 4, State: Elected, LeaderRank: 4},
+	}
+	if err := o.Check(electionView(two, []int{0, 0})); err == nil {
+		t.Fatal("two live leaders with distinct ranks accepted")
+	}
+	// A crashed second leader is not a live violation.
+	if err := o.Check(electionView(two, []int{0, 3})); err != nil {
+		t.Fatalf("crashed second leader rejected: %v", err)
+	}
+	// Equal ranks are the whp collision caveat, not a safety bug.
+	tie := []ElectionOutput{
+		{IsCandidate: true, Rank: 9, State: Elected, LeaderRank: 9},
+		{IsCandidate: true, Rank: 9, State: Elected, LeaderRank: 9},
+	}
+	if err := o.Check(electionView(tie, []int{0, 0})); err != nil {
+		t.Fatalf("rank collision flagged as safety violation: %v", err)
+	}
+	inconsistent := []ElectionOutput{
+		{IsCandidate: true, Rank: 9, State: Elected, LeaderRank: 3},
+	}
+	if err := o.Check(electionView(inconsistent, []int{0})); err == nil {
+		t.Fatal("ELECTED node believing a foreign rank accepted")
+	}
+}
+
+func TestAgreementValidityOracle(t *testing.T) {
+	o := oracleByName(t, AgreementOracles(), "agreement-validity")
+	view := func(outputs []AgreementOutput) *RunView {
+		anyOut := make([]any, len(outputs))
+		for u := range outputs {
+			anyOut[u] = outputs[u]
+		}
+		c := new(metrics.Counters)
+		return NewRunView(anyOut, make([]int, len(outputs)), make([]bool, len(outputs)), 3, c, 64, 0)
+	}
+	ok := []AgreementOutput{
+		{Input: 0, Decided: true, Value: 0},
+		{Input: 1, Decided: true, Value: 0},
+	}
+	if err := o.Check(view(ok)); err != nil {
+		t.Fatalf("valid decision rejected: %v", err)
+	}
+	invalid := []AgreementOutput{
+		{Input: 1, Decided: true, Value: 0},
+		{Input: 1, Decided: false},
+	}
+	if err := o.Check(view(invalid)); err == nil {
+		t.Fatal("decided 0 with all-1 inputs accepted")
+	}
+}
+
+func TestCrashMonotonicityOracle(t *testing.T) {
+	o := CrashMonotonicityOracle()
+	c := new(metrics.Counters)
+	good := NewRunView(make([]any, 3), []int{0, 2, 0}, []bool{false, true, false}, 4, c, 64, 0)
+	if err := o.Check(good); err != nil {
+		t.Fatalf("legal crash rejected: %v", err)
+	}
+	rogue := NewRunView(make([]any, 3), []int{0, 2, 0}, []bool{false, false, false}, 4, c, 64, 0)
+	if err := o.Check(rogue); err == nil || !strings.Contains(err.Error(), "non-faulty") {
+		t.Fatalf("non-faulty crash not flagged: %v", err)
+	}
+	future := NewRunView(make([]any, 3), []int{0, 9, 0}, []bool{false, true, false}, 4, c, 64, 0)
+	if err := o.Check(future); err == nil {
+		t.Fatal("crash beyond the executed rounds accepted")
+	}
+}
+
+func TestCongestOracle(t *testing.T) {
+	o := CongestOracle()
+	c := new(metrics.Counters)
+	c.BeginRound(1)
+	c.AddMessage("x", 10)
+	c.AddMessage("x", 10)
+	within := NewRunView(make([]any, 2), make([]int, 2), make([]bool, 2), 1, c, 16, 0)
+	if err := o.Check(within); err != nil {
+		t.Fatalf("in-budget run rejected: %v", err)
+	}
+	over := NewRunView(make([]any, 2), make([]int, 2), make([]bool, 2), 1, c, 4, 0)
+	if err := o.Check(over); err == nil {
+		t.Fatal("over-budget bits accepted")
+	}
+	violated := NewRunView(make([]any, 2), make([]int, 2), make([]bool, 2), 1, c, 16, 2)
+	if err := o.Check(violated); err == nil {
+		t.Fatal("recorded violations accepted")
+	}
+}
+
+func TestMinValidityOracle(t *testing.T) {
+	o := oracleByName(t, MinAgreementOracles(), "min-validity")
+	view := func(outputs []MinAgreementOutput) *RunView {
+		anyOut := make([]any, len(outputs))
+		for u := range outputs {
+			anyOut[u] = outputs[u]
+		}
+		c := new(metrics.Counters)
+		return NewRunView(anyOut, make([]int, len(outputs)), make([]bool, len(outputs)), 3, c, 64, 0)
+	}
+	ok := []MinAgreementOutput{
+		{Input: 7, Decided: true, Value: 3},
+		{Input: 3, Decided: true, Value: 3},
+	}
+	if err := o.Check(view(ok)); err != nil {
+		t.Fatalf("valid minimum rejected: %v", err)
+	}
+	invented := []MinAgreementOutput{
+		{Input: 7, Decided: true, Value: 5},
+		{Input: 3, Decided: false},
+	}
+	if err := o.Check(view(invented)); err == nil {
+		t.Fatal("invented value accepted")
+	}
+}

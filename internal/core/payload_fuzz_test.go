@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"sublinear/internal/netsim"
+)
+
+// FuzzPayloadBits checks the CONGEST bit accounting over arbitrary
+// payload contents and network sizes: every payload the protocols can
+// send must cost at least one bit, fit the engine's enforced budget at
+// the default congest factor (so a strict run can never abort on a
+// well-formed payload), grow monotonically with n, and — for the
+// agreement messages the paper bounds at O(1) bits — stay independent
+// of n entirely.
+func FuzzPayloadBits(f *testing.F) {
+	f.Add(16, uint64(12345), 1)
+	f.Add(2, uint64(0), 0)
+	f.Add(1<<20, uint64(1)<<61, 1)
+	f.Fuzz(func(t *testing.T, n int, rank uint64, bit int) {
+		if n < 2 {
+			n = 2
+		}
+		if n > 1<<30 {
+			n = 1 << 30
+		}
+		bit &= 1
+		payloads := []netsim.Payload{
+			rankAnnounce{rank: rank},
+			rankForward{rank: rank},
+			proposeMsg{id: rank, prop: rank ^ 0xff},
+			relayMaxMsg{rank: rank, ownerProposed: bit == 1},
+			claimMsg{rank: rank, self: bit == 1},
+			confirmMsg{rank: rank, owner: bit == 0},
+			leaderAnnounce{rank: rank},
+			bitRegister{bit: bit},
+			zeroMsg{},
+			valueAnnounce{bit: bit},
+		}
+		budget := netsim.PerMessageBudget(n, DefaultCongestFactor)
+		bigger := n
+		if bigger <= 1<<29 {
+			bigger = 2 * n
+		}
+		for _, p := range payloads {
+			bits := p.Bits(n)
+			if bits <= 0 {
+				t.Fatalf("%s: Bits(%d) = %d, want > 0", p.Kind(), n, bits)
+			}
+			if bits > budget {
+				t.Fatalf("%s: Bits(%d) = %d exceeds the enforced budget %d", p.Kind(), n, bits, budget)
+			}
+			if grown := p.Bits(bigger); grown < bits {
+				t.Fatalf("%s: Bits shrank from %d to %d as n grew %d -> %d", p.Kind(), bits, grown, n, bigger)
+			}
+		}
+		// The agreement propagation payloads are the paper's O(1)-bit
+		// messages: their cost must not depend on n at all.
+		for _, p := range []netsim.Payload{bitRegister{bit: bit}, zeroMsg{}, valueAnnounce{bit: bit}} {
+			if p.Bits(n) != p.Bits(2) {
+				t.Fatalf("%s: constant-size payload costs %d bits at n=%d, %d at n=2",
+					p.Kind(), p.Bits(n), n, p.Bits(2))
+			}
+		}
+	})
+}

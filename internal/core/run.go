@@ -36,10 +36,16 @@ type RunConfig struct {
 	CongestFactor int
 }
 
+// DefaultCongestFactor is the per-message bit-budget multiplier the core
+// protocols run under when RunConfig.CongestFactor is zero; it admits
+// the largest protocol payload with headroom. Exposed so the oracles can
+// recompute the enforced budget.
+const DefaultCongestFactor = 12
+
 func (c RunConfig) engineConfig(maxRounds int) netsim.Config {
 	factor := c.CongestFactor
 	if factor == 0 {
-		factor = 12
+		factor = DefaultCongestFactor
 	}
 	return netsim.Config{
 		N:             c.N,
@@ -66,6 +72,8 @@ type ElectionResult struct {
 	Counters *metrics.Counters
 	// Trace is the message trace when RunConfig.Record was set.
 	Trace *netsim.Trace
+	// Digest is the engine's execution fingerprint (netsim.Result.Digest).
+	Digest uint64
 	// Eval summarises success per Definition 1.
 	Eval ElectionEval
 }
@@ -98,6 +106,7 @@ func RunElection(cfg RunConfig) (*ElectionResult, error) {
 		Rounds:    res.Rounds,
 		Counters:  res.Counters,
 		Trace:     res.Trace,
+		Digest:    res.Digest,
 	}
 	for u, o := range res.Outputs {
 		eo, ok := o.(ElectionOutput)
@@ -124,6 +133,8 @@ type AgreementResult struct {
 	Counters *metrics.Counters
 	// Trace is the message trace when RunConfig.Record was set.
 	Trace *netsim.Trace
+	// Digest is the engine's execution fingerprint (netsim.Result.Digest).
+	Digest uint64
 	// Eval summarises success per Definition 2.
 	Eval AgreementEval
 }
@@ -162,6 +173,7 @@ func RunAgreement(cfg RunConfig, inputs []int) (*AgreementResult, error) {
 		Rounds:    res.Rounds,
 		Counters:  res.Counters,
 		Trace:     res.Trace,
+		Digest:    res.Digest,
 	}
 	for u, o := range res.Outputs {
 		ao, ok := o.(AgreementOutput)

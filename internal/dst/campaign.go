@@ -1,0 +1,108 @@
+package dst
+
+import (
+	"context"
+	"fmt"
+
+	"sublinear/internal/core"
+	"sublinear/internal/fault"
+	"sublinear/internal/rng"
+)
+
+// campaignSizes is the network-size menu a campaign draws from: small
+// enough that thousands of differential runs fit a CI budget, large
+// enough that alpha can sit well below 1 and leave the adversary a real
+// crash budget.
+var campaignSizes = []int{32, 48, 64}
+
+// CampaignConfig parameterises one fuzzing campaign.
+type CampaignConfig struct {
+	// Systems names the systems under test; empty means
+	// DefaultSystems() (every real protocol, not the canary).
+	Systems []string
+	// Cases is the number of schedules to generate and check.
+	Cases int
+	// Seed drives all schedule and case generation; a campaign is fully
+	// determined by (Systems, Cases, Seed).
+	Seed uint64
+	// MinimizeBudget caps the checks spent shrinking each failure;
+	// zero means 200.
+	MinimizeBudget int
+}
+
+// CampaignResult summarises a finished (or deadline-cut) campaign.
+type CampaignResult struct {
+	// Cases is the number of cases actually checked.
+	Cases int
+	// Checks counts differential checks including minimization reruns.
+	Checks int
+	// Failures holds one minimized failure per failing case.
+	Failures []Failure
+}
+
+// RunCampaign fuzzes the configured systems until the case budget or
+// the context deadline runs out, minimizing every failure it finds.
+// logf (optional) receives progress lines. The error reports
+// infrastructure problems only; finding failures is a normal result.
+func RunCampaign(ctx context.Context, cfg CampaignConfig, logf func(format string, args ...any)) (*CampaignResult, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	names := cfg.Systems
+	if len(names) == 0 {
+		names = DefaultSystems()
+	}
+	systems := make([]*System, len(names))
+	for i, name := range names {
+		sys, err := Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		systems[i] = sys
+	}
+	if cfg.Cases <= 0 {
+		return nil, fmt.Errorf("dst: campaign needs a positive case budget, got %d", cfg.Cases)
+	}
+	minBudget := cfg.MinimizeBudget
+	if minBudget <= 0 {
+		minBudget = 200
+	}
+	src := rng.New(cfg.Seed)
+	res := &CampaignResult{}
+	for i := 0; i < cfg.Cases; i++ {
+		if ctx.Err() != nil {
+			logf("dst: budget exhausted after %d/%d cases", res.Cases, cfg.Cases)
+			break
+		}
+		sys := systems[i%len(systems)]
+		n := campaignSizes[src.Intn(len(campaignSizes))]
+		alpha := core.MinimumAlpha(n)
+		if alpha < 0.7 {
+			alpha = 0.7
+		}
+		c := Case{
+			System:   sys.Name,
+			N:        n,
+			Alpha:    alpha,
+			Seed:     src.Uint64(),
+			Schedule: fault.GenerateSchedule(n, sys.MaxF(n, alpha), sys.Horizon, src),
+		}
+		res.Cases++
+		res.Checks++
+		failure, err := Check(c)
+		if err != nil {
+			return nil, fmt.Errorf("dst: case %d: %w", i, err)
+		}
+		if failure == nil {
+			continue
+		}
+		logf("dst: case %d (%s, n=%d, f=%d) FAILED: %s",
+			i, c.System, c.N, c.Schedule.FaultyCount(), failure)
+		min, spent := Minimize(failure, minBudget)
+		res.Checks += spent
+		logf("dst: minimized to f=%d after %d checks: %s",
+			min.Case.Schedule.FaultyCount(), spent, min)
+		res.Failures = append(res.Failures, *min)
+	}
+	return res, nil
+}

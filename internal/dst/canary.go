@@ -1,0 +1,126 @@
+package dst
+
+import (
+	"fmt"
+
+	"sublinear/internal/core"
+	"sublinear/internal/netsim"
+)
+
+// The canary is a deliberately broken system: each node broadcasts one
+// ping in round 1 and reports how many pings it received, under the
+// (wrong) assumption that a broadcast reaches everyone or no one. A
+// node that crashes mid-broadcast with a partial delivery policy
+// (DropHalf, DropRandom) splits the live nodes' counts, violating the
+// canary-consistency oracle. It exists as the harness's self-test —
+// proof that schedule fuzzing finds the bug, minimization shrinks it to
+// a single mid-broadcast crash, and the repro replays deterministically
+// — and is therefore excluded from DefaultSystems: a campaign that
+// includes it is expected to fail.
+const canaryName = "canary"
+
+// canaryPing is the broadcast payload.
+type canaryPing struct{}
+
+func (canaryPing) Kind() string { return "ping" }
+func (canaryPing) Bits(int) int { return 1 }
+
+// CanaryOutput is a node's report: the number of pings it counted.
+type CanaryOutput struct {
+	Pings int
+}
+
+type canaryMachine struct {
+	lastRound int
+	pings     int
+}
+
+var _ netsim.Machine = (*canaryMachine)(nil)
+
+func (m *canaryMachine) Step(env *netsim.Env, round int, inbox []netsim.Delivery) []netsim.Send {
+	m.lastRound = round
+	for _, d := range inbox {
+		if _, ok := d.Payload.(canaryPing); ok {
+			m.pings++
+		}
+	}
+	if round != 1 {
+		return nil
+	}
+	sends := make([]netsim.Send, 0, env.N-1)
+	for p := 1; p < env.N; p++ {
+		sends = append(sends, netsim.Send{Port: p, Payload: canaryPing{}})
+	}
+	return sends
+}
+
+func (m *canaryMachine) Done() bool  { return m.lastRound >= 2 }
+func (m *canaryMachine) Output() any { return CanaryOutput{Pings: m.pings} }
+
+// canaryConsistencyOracle encodes the canary's broken assumption: all
+// live nodes counted the same number of pings.
+func canaryConsistencyOracle() core.Oracle {
+	return core.Oracle{
+		Name: "canary-consistency",
+		Check: func(v *core.RunView) error {
+			count, first := 0, -1
+			for u, o := range v.Outputs {
+				co, ok := o.(CanaryOutput)
+				if !ok {
+					return fmt.Errorf("node %d output is %T, want CanaryOutput", u, o)
+				}
+				if v.CrashedAt[u] != 0 {
+					continue
+				}
+				if first < 0 {
+					first, count = u, co.Pings
+				} else if co.Pings != count {
+					return fmt.Errorf("live nodes %d and %d counted %d vs %d pings",
+						first, u, count, co.Pings)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func init() {
+	register(&System{
+		Name:    canaryName,
+		MaxF:    crashBudget,
+		Horizon: 2,
+		Oracles: []core.Oracle{core.CrashMonotonicityOracle(), core.CongestOracle(), canaryConsistencyOracle()},
+		Run: func(c Case, mode netsim.RunMode) (*Run, error) {
+			adv, err := c.adversary()
+			if err != nil {
+				return nil, err
+			}
+			machines := make([]netsim.Machine, c.N)
+			for u := range machines {
+				machines[u] = &canaryMachine{}
+			}
+			cfg := netsim.Config{
+				N: c.N, Alpha: c.Alpha, Seed: c.Seed,
+				MaxRounds: 3, CongestFactor: core.DefaultCongestFactor, Strict: true,
+			}
+			engine, err := netsim.NewEngine(cfg, machines, adv)
+			if err != nil {
+				return nil, err
+			}
+			engine.Mode = mode
+			res, err := engine.Run()
+			if err != nil {
+				return nil, err
+			}
+			return &Run{
+				Digest:   res.Digest,
+				Rounds:   res.Rounds,
+				Messages: res.Counters.Messages(),
+				Bits:     res.Counters.Bits(),
+				Outputs:  fmt.Sprintf("%+v", res.Outputs),
+				View: core.NewRunView(res.Outputs, res.CrashedAt, res.Faulty, res.Rounds,
+					res.Counters, netsim.PerMessageBudget(c.N, core.DefaultCongestFactor), len(res.Violations)),
+			}, nil
+		},
+	})
+}

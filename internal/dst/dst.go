@@ -1,0 +1,231 @@
+// Package dst is a deterministic-simulation-testing harness in the
+// FoundationDB style: a single seed expands into a fully explicit
+// adversary schedule (fault.Schedule), the scheduled run executes
+// differentially through every netsim engine mode, and the results are
+// checked against protocol safety oracles (internal/core). Any
+// divergence between engine modes or oracle violation is a Failure
+// whose Case serializes to JSON, shrinks to a minimal reproducer
+// (Minimize), and replays byte-for-byte with `dstrun -repro`.
+package dst
+
+import (
+	"fmt"
+	"sort"
+
+	"sublinear/internal/core"
+	"sublinear/internal/fault"
+	"sublinear/internal/netsim"
+	"sublinear/internal/rng"
+)
+
+// Case is one fully determined execution: the system under test, its
+// network parameters, the seed that fixes every protocol coin, and the
+// explicit crash schedule. A Case marshalled to JSON is a reproducer
+// file.
+type Case struct {
+	// System names the registered system under test.
+	System string `json:"system"`
+	// N is the network size.
+	N int `json:"n"`
+	// Alpha is the guaranteed non-faulty fraction.
+	Alpha float64 `json:"alpha"`
+	// Seed drives the engine and input generation (the schedule's own
+	// seed drives only its DropRandom coins).
+	Seed uint64 `json:"seed"`
+	// POne biases the agreement input bits toward 1; 0 means 0.5.
+	POne float64 `json:"p_one,omitempty"`
+	// Schedule is the explicit crash adversary.
+	Schedule fault.Schedule `json:"schedule"`
+}
+
+// Validate checks the case against its system's admissible parameters.
+func (c Case) Validate() error {
+	sys, err := Lookup(c.System)
+	if err != nil {
+		return err
+	}
+	if c.N < 2 {
+		return fmt.Errorf("dst: n = %d, need >= 2", c.N)
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		return fmt.Errorf("dst: alpha = %v out of (0, 1]", c.Alpha)
+	}
+	if c.POne < 0 || c.POne > 1 {
+		return fmt.Errorf("dst: p_one = %v out of [0, 1]", c.POne)
+	}
+	if c.Schedule.N != c.N {
+		return fmt.Errorf("dst: schedule is for n = %d, case has n = %d", c.Schedule.N, c.N)
+	}
+	if err := c.Schedule.Validate(); err != nil {
+		return err
+	}
+	if maxF := sys.MaxF(c.N, c.Alpha); c.Schedule.FaultyCount() > maxF {
+		return fmt.Errorf("dst: %d faulty nodes exceed the %s bound %d at n = %d, alpha = %v",
+			c.Schedule.FaultyCount(), c.System, maxF, c.N, c.Alpha)
+	}
+	return nil
+}
+
+// Run is the engine-agnostic summary of one execution that the
+// differential check compares across modes.
+type Run struct {
+	// Digest is the engine's execution fingerprint.
+	Digest uint64
+	// Rounds, Messages and Bits are the run totals.
+	Rounds   int
+	Messages int64
+	Bits     int64
+	// Outputs is a canonical rendering of the per-node outputs.
+	Outputs string
+	// View feeds the oracles.
+	View *core.RunView
+}
+
+// System is one registered protocol under test.
+type System struct {
+	// Name is the registry key.
+	Name string
+	// MaxF bounds the faulty set the adversary may schedule.
+	MaxF func(n int, alpha float64) int
+	// Horizon is the latest round the adversary schedules crashes in.
+	Horizon int
+	// Run executes the case in the given engine mode.
+	Run func(c Case, mode netsim.RunMode) (*Run, error)
+	// Oracles is the safety suite checked on every run.
+	Oracles []core.Oracle
+}
+
+// Failure is one detected bug: a case plus what went wrong. Kind is
+// "divergence" (engine modes disagreed), "oracle" (a safety invariant
+// broke), or "error" (the run itself failed under the schedule).
+type Failure struct {
+	Case   Case   `json:"case"`
+	Kind   string `json:"kind"`
+	Oracle string `json:"oracle,omitempty"`
+	Detail string `json:"detail"`
+}
+
+func (f *Failure) String() string {
+	if f.Oracle != "" {
+		return fmt.Sprintf("%s/%s: %s", f.Kind, f.Oracle, f.Detail)
+	}
+	return fmt.Sprintf("%s: %s", f.Kind, f.Detail)
+}
+
+// sameBug reports whether two failures are the same class of bug, the
+// acceptance criterion for a shrink step.
+func sameBug(a, b *Failure) bool { return a.Kind == b.Kind && a.Oracle == b.Oracle }
+
+// modes are the engine strategies every case runs through.
+var modes = []struct {
+	name string
+	mode netsim.RunMode
+}{
+	{"sequential", netsim.Sequential},
+	{"parallel", netsim.Parallel},
+	{"actors", netsim.Actors},
+}
+
+// Check executes the case differentially through all engine modes and
+// the system's oracles. It returns a non-nil *Failure when the case
+// exposes a bug and a non-nil error only for infrastructure problems
+// (unknown system, invalid case).
+func Check(c Case) (*Failure, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	sys, err := Lookup(c.System)
+	if err != nil {
+		return nil, err
+	}
+	var ref *Run
+	for _, m := range modes {
+		run, err := sys.Run(c, m.mode)
+		if err != nil {
+			return &Failure{Case: c, Kind: "error",
+				Detail: fmt.Sprintf("%s mode: %v", m.name, err)}, nil
+		}
+		if ref == nil {
+			ref = run
+			continue
+		}
+		if d := diffRuns(ref, run); d != "" {
+			return &Failure{Case: c, Kind: "divergence",
+				Detail: fmt.Sprintf("%s vs %s mode: %s", modes[0].name, m.name, d)}, nil
+		}
+	}
+	for _, o := range sys.Oracles {
+		if err := o.Check(ref.View); err != nil {
+			return &Failure{Case: c, Kind: "oracle", Oracle: o.Name, Detail: err.Error()}, nil
+		}
+	}
+	return nil, nil
+}
+
+// diffRuns describes the first discrepancy between two runs, or "".
+func diffRuns(a, b *Run) string {
+	switch {
+	case a.Digest != b.Digest:
+		return fmt.Sprintf("digest %#x vs %#x", a.Digest, b.Digest)
+	case a.Rounds != b.Rounds:
+		return fmt.Sprintf("rounds %d vs %d", a.Rounds, b.Rounds)
+	case a.Messages != b.Messages:
+		return fmt.Sprintf("messages %d vs %d", a.Messages, b.Messages)
+	case a.Bits != b.Bits:
+		return fmt.Sprintf("bits %d vs %d", a.Bits, b.Bits)
+	case a.Outputs != b.Outputs:
+		return fmt.Sprintf("outputs %q vs %q", a.Outputs, b.Outputs)
+	}
+	return ""
+}
+
+// registry holds the systems under test. Canary is registered but kept
+// out of DefaultSystems: it exists to prove the harness detects bugs,
+// so a campaign over it always fails.
+var registry = map[string]*System{}
+
+func register(s *System) { registry[s.Name] = s }
+
+// Lookup resolves a registered system by name.
+func Lookup(name string) (*System, error) {
+	s, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("dst: unknown system %q (have %v)", name, AllSystems())
+	}
+	return s, nil
+}
+
+// DefaultSystems lists the systems a campaign fuzzes when none are
+// named explicitly: every registered real protocol, not the canary.
+func DefaultSystems() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		if name != canaryName {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AllSystems lists every registered system, canary included.
+func AllSystems() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// inputRand derives the input-generation stream from the case seed,
+// decorrelated from the engine's own streams.
+func (c Case) inputRand() *rng.Source { return rng.New(c.Seed).Split(0x1b) }
+
+// adversary builds the case's fresh schedule adversary.
+func (c Case) adversary() (netsim.Adversary, error) {
+	if c.Schedule.FaultyCount() == 0 {
+		return nil, nil
+	}
+	return c.Schedule.Adversary()
+}

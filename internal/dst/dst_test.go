@@ -1,0 +1,158 @@
+package dst
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"sublinear/internal/fault"
+)
+
+// TestCampaignCleanOnRealProtocols is the harness in its steady state:
+// a deterministic mini-campaign over every real protocol finds no
+// engine divergence and no oracle violation.
+func TestCampaignCleanOnRealProtocols(t *testing.T) {
+	res, err := RunCampaign(context.Background(), CampaignConfig{Cases: 9, Seed: 7}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cases != 9 {
+		t.Fatalf("checked %d cases, want 9", res.Cases)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("unexpected failure: %s (case %+v)", &f, f.Case)
+	}
+}
+
+// canaryCampaign runs a campaign over the deliberately broken canary
+// and returns its failures; the harness MUST find some.
+func canaryCampaign(t *testing.T) []Failure {
+	t.Helper()
+	res, err := RunCampaign(context.Background(), CampaignConfig{
+		Systems: []string{"canary"}, Cases: 12, Seed: 3,
+	}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) == 0 {
+		t.Fatal("campaign over the broken canary found no failure — the harness is blind")
+	}
+	return res.Failures
+}
+
+// TestCanarySelfTest is the harness's acceptance self-test: fuzzing the
+// deliberately broken canary detects the consistency violation and
+// shrinks every failure to at most two faulty nodes (the bug needs
+// exactly one mid-broadcast crash).
+func TestCanarySelfTest(t *testing.T) {
+	for _, f := range canaryCampaign(t) {
+		if f.Kind != "oracle" || f.Oracle != "canary-consistency" {
+			t.Errorf("failure is %s/%s, want oracle/canary-consistency", f.Kind, f.Oracle)
+		}
+		if got := f.Case.Schedule.FaultyCount(); got > 2 {
+			t.Errorf("minimized schedule still has %d faulty nodes, want <= 2: %+v", got, f.Case.Schedule)
+		}
+	}
+}
+
+// TestFailureReplaysDeterministically closes the repro loop: a
+// minimized failing case, round-tripped through its JSON reproducer
+// encoding, fails again with the identical failure — twice.
+func TestFailureReplaysDeterministically(t *testing.T) {
+	f := canaryCampaign(t)[0]
+	enc, err := json.Marshal(f.Case)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replay Case
+	if err := json.Unmarshal(enc, &replay); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		got, err := Check(replay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == nil {
+			t.Fatal("reproducer no longer fails")
+		}
+		if got.Kind != f.Kind || got.Oracle != f.Oracle || got.Detail != f.Detail {
+			t.Fatalf("replay %d diverged: got %s, want %s", i, got, &f)
+		}
+	}
+}
+
+func TestCaseValidate(t *testing.T) {
+	valid := Case{System: "election", N: 32, Alpha: 0.8, Seed: 1,
+		Schedule: fault.Schedule{N: 32, Crashes: []fault.Crash{{Node: 3, Round: 1, Policy: fault.DropHalf}}}}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid case rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(c *Case)
+	}{
+		{"unknown system", func(c *Case) { c.System = "nope" }},
+		{"n too small", func(c *Case) { c.N = 1; c.Schedule.N = 1 }},
+		{"alpha out of range", func(c *Case) { c.Alpha = 1.5 }},
+		{"p_one out of range", func(c *Case) { c.POne = 2 }},
+		{"schedule n mismatch", func(c *Case) { c.Schedule.N = 16 }},
+		{"invalid schedule", func(c *Case) { c.Schedule.Crashes[0].Round = 0 }},
+		{"too many faulty", func(c *Case) {
+			c.Alpha = 1 // crash budget 0
+		}},
+	}
+	for _, tc := range cases {
+		c := valid
+		c.Schedule.Crashes = append([]fault.Crash(nil), valid.Schedule.Crashes...)
+		tc.mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestLookupAndRegistry(t *testing.T) {
+	if _, err := Lookup("no-such-system"); err == nil {
+		t.Fatal("unknown system resolved")
+	}
+	for _, name := range DefaultSystems() {
+		if name == "canary" {
+			t.Fatal("canary leaked into the default campaign systems")
+		}
+		if _, err := Lookup(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Lookup("canary"); err != nil {
+		t.Fatalf("canary not registered: %v", err)
+	}
+	if len(AllSystems()) != len(DefaultSystems())+1 {
+		t.Fatalf("AllSystems %v vs DefaultSystems %v", AllSystems(), DefaultSystems())
+	}
+}
+
+// TestMinimizeBudget: a zero budget returns the failure untouched.
+func TestMinimizeBudget(t *testing.T) {
+	f := canaryCampaign(t)[0]
+	got, spent := Minimize(&f, 0)
+	if spent != 0 {
+		t.Fatalf("spent %d checks on a zero budget", spent)
+	}
+	if got != &f {
+		t.Fatal("zero-budget minimize did not return its input")
+	}
+}
+
+// TestCampaignHonorsContext: a pre-cancelled context checks nothing.
+func TestCampaignHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunCampaign(ctx, CampaignConfig{Cases: 50, Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cases != 0 {
+		t.Fatalf("cancelled campaign still checked %d cases", res.Cases)
+	}
+}

@@ -1,0 +1,40 @@
+package dst
+
+// Minimize greedily shrinks a failing case to a minimal reproducer:
+// it walks the schedule's shrink candidates (remove a crash, neutralize
+// a policy, delay a round — most aggressive first), accepts any
+// candidate that still fails with the same bug class (Kind and Oracle),
+// and restarts from the accepted candidate until no shrink applies.
+// Every accepted step strictly reduces the schedule's complexity
+// measure, so the walk terminates. budget caps the number of
+// differential checks spent; the second return value reports how many
+// were used.
+func Minimize(f *Failure, budget int) (*Failure, int) {
+	cur := f
+	checks := 0
+	for {
+		sys, err := Lookup(cur.Case.System)
+		if err != nil {
+			return cur, checks
+		}
+		improved := false
+		for _, s := range cur.Case.Schedule.Shrinks(sys.Horizon) {
+			if checks >= budget {
+				return cur, checks
+			}
+			cand := cur.Case
+			cand.Schedule = s
+			checks++
+			got, cerr := Check(cand)
+			if cerr != nil || got == nil || !sameBug(got, cur) {
+				continue
+			}
+			cur = got
+			improved = true
+			break
+		}
+		if !improved {
+			return cur, checks
+		}
+	}
+}

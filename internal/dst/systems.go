@@ -1,0 +1,137 @@
+package dst
+
+import (
+	"fmt"
+
+	"sublinear/internal/core"
+	"sublinear/internal/netsim"
+)
+
+// crashBudget is the fault-model bound: the adversary may select at
+// most (1-alpha)n faulty nodes, and the harness additionally keeps at
+// least two nodes live so every protocol's output is meaningful.
+func crashBudget(n int, alpha float64) int {
+	f := int((1 - alpha) * float64(n))
+	if f > n-2 {
+		f = n - 2
+	}
+	if f < 0 {
+		f = 0
+	}
+	return f
+}
+
+// coreBudget is the per-message CONGEST budget the core protocols run
+// under, recomputed for the oracles' cross-check.
+func coreBudget(n int) int { return netsim.PerMessageBudget(n, core.DefaultCongestFactor) }
+
+func init() {
+	register(&System{
+		Name:    "election",
+		MaxF:    crashBudget,
+		Horizon: 8,
+		Oracles: core.ElectionOracles(),
+		Run: func(c Case, mode netsim.RunMode) (*Run, error) {
+			adv, err := c.adversary()
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.RunElection(core.RunConfig{
+				N: c.N, Alpha: c.Alpha, Seed: c.Seed, Adversary: adv, Mode: mode,
+			})
+			if err != nil {
+				return nil, err
+			}
+			outs := make([]any, len(res.Outputs))
+			for u := range res.Outputs {
+				outs[u] = res.Outputs[u]
+			}
+			return &Run{
+				Digest:   res.Digest,
+				Rounds:   res.Rounds,
+				Messages: res.Counters.Messages(),
+				Bits:     res.Counters.Bits(),
+				Outputs:  fmt.Sprintf("%+v", res.Outputs),
+				View:     core.NewRunView(outs, res.CrashedAt, res.Faulty, res.Rounds, res.Counters, coreBudget(c.N), 0),
+			}, nil
+		},
+	})
+
+	register(&System{
+		Name:    "agreement",
+		MaxF:    crashBudget,
+		Horizon: 6,
+		Oracles: core.AgreementOracles(),
+		Run: func(c Case, mode netsim.RunMode) (*Run, error) {
+			adv, err := c.adversary()
+			if err != nil {
+				return nil, err
+			}
+			pOne := c.POne
+			if pOne == 0 {
+				pOne = 0.5
+			}
+			src := c.inputRand()
+			inputs := make([]int, c.N)
+			for u := range inputs {
+				if src.Bool(pOne) {
+					inputs[u] = 1
+				}
+			}
+			res, err := core.RunAgreement(core.RunConfig{
+				N: c.N, Alpha: c.Alpha, Seed: c.Seed, Adversary: adv, Mode: mode,
+			}, inputs)
+			if err != nil {
+				return nil, err
+			}
+			outs := make([]any, len(res.Outputs))
+			for u := range res.Outputs {
+				outs[u] = res.Outputs[u]
+			}
+			return &Run{
+				Digest:   res.Digest,
+				Rounds:   res.Rounds,
+				Messages: res.Counters.Messages(),
+				Bits:     res.Counters.Bits(),
+				Outputs:  fmt.Sprintf("%+v", res.Outputs),
+				View:     core.NewRunView(outs, res.CrashedAt, res.Faulty, res.Rounds, res.Counters, coreBudget(c.N), 0),
+			}, nil
+		},
+	})
+
+	register(&System{
+		Name:    "minagree",
+		MaxF:    crashBudget,
+		Horizon: 6,
+		Oracles: core.MinAgreementOracles(),
+		Run: func(c Case, mode netsim.RunMode) (*Run, error) {
+			adv, err := c.adversary()
+			if err != nil {
+				return nil, err
+			}
+			src := c.inputRand()
+			values := make([]uint64, c.N)
+			for u := range values {
+				values[u] = src.Uint64() & 0xffff
+			}
+			res, err := core.RunMinAgreement(core.RunConfig{
+				N: c.N, Alpha: c.Alpha, Seed: c.Seed, Adversary: adv, Mode: mode,
+			}, values)
+			if err != nil {
+				return nil, err
+			}
+			outs := make([]any, len(res.Outputs))
+			for u := range res.Outputs {
+				outs[u] = res.Outputs[u]
+			}
+			return &Run{
+				Digest:   res.Digest,
+				Rounds:   res.Rounds,
+				Messages: res.Counters.Messages(),
+				Bits:     res.Counters.Bits(),
+				Outputs:  fmt.Sprintf("%+v", res.Outputs),
+				View:     core.NewRunView(outs, res.CrashedAt, res.Faulty, res.Rounds, res.Counters, coreBudget(c.N), 0),
+			}, nil
+		},
+	})
+}

@@ -360,7 +360,8 @@ func (a *baselineAgg) meanBits() float64   { return a.bits / float64(max(a.runs,
 func (a *baselineAgg) meanRounds() float64 { return a.rounds / float64(max(a.runs, 1)) }
 
 // faultPlan builds the standard random-crash adversary used across
-// experiments.
+// experiments. Experiment parameters are static and known-good, so the
+// constructor cannot fail.
 func faultPlan(n, f, horizon int, src *rng.Source) *fault.Plan {
-	return fault.NewRandomPlan(n, f, horizon, fault.DropHalf, src)
+	return fault.Must(fault.NewRandomPlan(n, f, horizon, fault.DropHalf, src))
 }

@@ -10,6 +10,8 @@
 package fault
 
 import (
+	"fmt"
+
 	"sublinear/internal/netsim"
 	"sublinear/internal/rng"
 )
@@ -45,19 +47,52 @@ var _ netsim.Adversary = (*Plan)(nil)
 
 // NewRandomPlan selects f faulty nodes uniformly at random, assigns each a
 // uniform crash round in [1, horizon], and applies the given drop policy.
-func NewRandomPlan(n, f, horizon int, policy DropPolicy, src *rng.Source) *Plan {
-	p := newPlan(n, policy, src)
-	if f <= 0 {
-		return p
+// It rejects impossible parameters — f outside [0, n], a non-positive
+// horizon with f > 0, an invalid policy, or a nil source — instead of
+// panicking mid-construction. Must unwraps the result where parameters
+// are static and known-good.
+func NewRandomPlan(n, f, horizon int, policy DropPolicy, src *rng.Source) (*Plan, error) {
+	if err := validatePlanArgs(n, f, policy, src); err != nil {
+		return nil, err
 	}
-	if f > n {
-		f = n
+	if f > 0 && horizon < 1 {
+		return nil, fmt.Errorf("fault: horizon %d, need >= 1 when f > 0", horizon)
+	}
+	p := newPlan(n, policy, src)
+	if f == 0 {
+		return p, nil
 	}
 	for _, u := range src.SampleDistinct(f, n, nil) {
 		p.faulty[u] = true
 		p.crashRound[u] = 1 + src.Intn(horizon)
 	}
-	return p
+	return p, nil
+}
+
+// validatePlanArgs holds the checks shared by the plan constructors.
+func validatePlanArgs(n, f int, policy DropPolicy, src *rng.Source) error {
+	if n < 1 {
+		return fmt.Errorf("fault: n = %d, need >= 1", n)
+	}
+	if f < 0 || f > n {
+		return fmt.Errorf("fault: f = %d out of range [0, %d]", f, n)
+	}
+	if !validPolicy(policy) {
+		return fmt.Errorf("fault: invalid policy %d", int(policy))
+	}
+	if src == nil {
+		return fmt.Errorf("fault: nil rng source")
+	}
+	return nil
+}
+
+// Must unwraps a plan constructor's result, panicking on error. For tests
+// and benchmarks whose parameters are static and known-good.
+func Must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }
 
 // NewLateCrashPlan selects f faulty nodes uniformly at random and crashes
@@ -66,27 +101,39 @@ func NewRandomPlan(n, f, horizon int, policy DropPolicy, src *rng.Source) *Plan 
 // paper's footnote-3 scenario: every faulty node executes correctly until
 // the leader is elected, then crashes — so an elected leader is faulty
 // with probability f/n.
-func NewLateCrashPlan(n, f, round int, src *rng.Source) *Plan {
-	p := newPlan(n, DropNone, src)
-	if f > n {
-		f = n
+func NewLateCrashPlan(n, f, round int, src *rng.Source) (*Plan, error) {
+	if err := validatePlanArgs(n, f, DropNone, src); err != nil {
+		return nil, err
 	}
+	if f > 0 && round < 1 {
+		return nil, fmt.Errorf("fault: crash round %d, need >= 1", round)
+	}
+	p := newPlan(n, DropNone, src)
 	for _, u := range src.SampleDistinct(f, n, nil) {
 		p.faulty[u] = true
 		p.crashRound[u] = round
 	}
-	return p
+	return p, nil
 }
 
 // NewTargetedPlan crashes the given nodes at the given rounds with the
 // given policy. Useful for deterministic scenario tests.
-func NewTargetedPlan(n int, crashRound map[int]int, policy DropPolicy, src *rng.Source) *Plan {
+func NewTargetedPlan(n int, crashRound map[int]int, policy DropPolicy, src *rng.Source) (*Plan, error) {
+	if err := validatePlanArgs(n, len(crashRound), policy, src); err != nil {
+		return nil, err
+	}
 	p := newPlan(n, policy, src)
 	for u, r := range crashRound {
+		if u < 0 || u >= n {
+			return nil, fmt.Errorf("fault: node %d out of range [0, %d)", u, n)
+		}
+		if r < 1 {
+			return nil, fmt.Errorf("fault: node %d crash round %d, need >= 1", u, r)
+		}
 		p.faulty[u] = true
 		p.crashRound[u] = r
 	}
-	return p
+	return p, nil
 }
 
 func newPlan(n int, policy DropPolicy, src *rng.Source) *Plan {

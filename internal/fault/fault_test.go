@@ -22,7 +22,7 @@ func (probe) Kind() string { return "probe" }
 
 func TestRandomPlanSelectsExactlyF(t *testing.T) {
 	const n, f = 100, 37
-	p := NewRandomPlan(n, f, 10, DropAll, rng.New(1))
+	p := Must(NewRandomPlan(n, f, 10, DropAll, rng.New(1)))
 	if got := p.FaultyCount(); got != f {
 		t.Fatalf("FaultyCount = %d, want %d", got, f)
 	}
@@ -39,7 +39,7 @@ func TestRandomPlanSelectsExactlyF(t *testing.T) {
 
 func TestRandomPlanCrashWindow(t *testing.T) {
 	const n, f, horizon = 50, 20, 7
-	p := NewRandomPlan(n, f, horizon, DropAll, rng.New(2))
+	p := Must(NewRandomPlan(n, f, horizon, DropAll, rng.New(2)))
 	for u := 0; u < n; u++ {
 		if !p.Faulty(u) {
 			if p.CrashNow(u, 1, nil) || p.CrashNow(u, 1000, nil) {
@@ -62,16 +62,41 @@ func TestRandomPlanCrashWindow(t *testing.T) {
 }
 
 func TestRandomPlanZeroFaults(t *testing.T) {
-	p := NewRandomPlan(10, 0, 5, DropAll, rng.New(3))
+	p := Must(NewRandomPlan(10, 0, 5, DropAll, rng.New(3)))
 	if p.FaultyCount() != 0 {
 		t.Fatal("faults selected for f=0")
 	}
 }
 
-func TestRandomPlanClampsF(t *testing.T) {
-	p := NewRandomPlan(10, 25, 5, DropAll, rng.New(4))
-	if p.FaultyCount() != 10 {
-		t.Fatalf("FaultyCount = %d, want clamp to 10", p.FaultyCount())
+// Regression: the constructors used to clamp f > n silently and panic on
+// a non-positive horizon (rng.Intn(horizon)); now every impossible
+// parameter is an error.
+func TestPlanConstructorValidation(t *testing.T) {
+	src := func() *rng.Source { return rng.New(4) }
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"f > n", func() error { _, err := NewRandomPlan(10, 25, 5, DropAll, src()); return err }},
+		{"f < 0", func() error { _, err := NewRandomPlan(10, -1, 5, DropAll, src()); return err }},
+		{"zero horizon", func() error { _, err := NewRandomPlan(10, 3, 0, DropAll, src()); return err }},
+		{"negative horizon", func() error { _, err := NewRandomPlan(10, 3, -7, DropAll, src()); return err }},
+		{"n < 1", func() error { _, err := NewRandomPlan(0, 0, 5, DropAll, src()); return err }},
+		{"invalid policy", func() error { _, err := NewRandomPlan(10, 3, 5, DropPolicy(99), src()); return err }},
+		{"nil source", func() error { _, err := NewRandomPlan(10, 3, 5, DropAll, nil); return err }},
+		{"late f > n", func() error { _, err := NewLateCrashPlan(10, 11, 5, src()); return err }},
+		{"late zero round", func() error { _, err := NewLateCrashPlan(10, 3, 0, src()); return err }},
+		{"targeted node range", func() error { _, err := NewTargetedPlan(10, map[int]int{10: 1}, DropAll, src()); return err }},
+		{"targeted zero round", func() error { _, err := NewTargetedPlan(10, map[int]int{3: 0}, DropAll, src()); return err }},
+	}
+	for _, tc := range cases {
+		if tc.err() == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// The horizon is irrelevant when there are no faults to schedule.
+	if _, err := NewRandomPlan(10, 0, 0, DropAll, src()); err != nil {
+		t.Errorf("f=0 with zero horizon rejected: %v", err)
 	}
 }
 
@@ -128,7 +153,7 @@ func TestDropRandomIsFair(t *testing.T) {
 
 func TestLateCrashPlan(t *testing.T) {
 	const n, f, round = 40, 15, 99
-	p := NewLateCrashPlan(n, f, round, rng.New(7))
+	p := Must(NewLateCrashPlan(n, f, round, rng.New(7)))
 	if p.FaultyCount() != f {
 		t.Fatalf("FaultyCount = %d", p.FaultyCount())
 	}
@@ -149,7 +174,7 @@ func TestLateCrashPlan(t *testing.T) {
 }
 
 func TestTargetedPlan(t *testing.T) {
-	p := NewTargetedPlan(10, map[int]int{3: 2, 7: 5}, DropAll, rng.New(8))
+	p := Must(NewTargetedPlan(10, map[int]int{3: 2, 7: 5}, DropAll, rng.New(8)))
 	if !p.Faulty(3) || !p.Faulty(7) || p.Faulty(0) {
 		t.Fatal("faulty set wrong")
 	}
@@ -162,8 +187,8 @@ func TestTargetedPlan(t *testing.T) {
 }
 
 func TestPlanDeterminism(t *testing.T) {
-	a := NewRandomPlan(64, 20, 9, DropRandom, rng.New(42))
-	b := NewRandomPlan(64, 20, 9, DropRandom, rng.New(42))
+	a := Must(NewRandomPlan(64, 20, 9, DropRandom, rng.New(42)))
+	b := Must(NewRandomPlan(64, 20, 9, DropRandom, rng.New(42)))
 	for u := 0; u < 64; u++ {
 		if a.Faulty(u) != b.Faulty(u) {
 			t.Fatal("faulty sets differ for identical seeds")

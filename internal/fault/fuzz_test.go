@@ -1,0 +1,59 @@
+package fault
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"sublinear/internal/rng"
+)
+
+// FuzzScheduleRoundTrip hardens the schedule codec, the input surface of
+// the DST repro workflow (`dstrun -repro file.json`): arbitrary bytes
+// must never panic the decoder, anything that decodes and validates must
+// re-encode canonically and round-trip to an equal schedule, and every
+// valid schedule must build an adversary.
+func FuzzScheduleRoundTrip(f *testing.F) {
+	for seed := uint64(0); seed < 4; seed++ {
+		enc, err := json.Marshal(GenerateSchedule(16, 8, 6, rng.New(seed)))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte(`{"n":2}`))
+	f.Add([]byte(`{"n":8,"crashes":[{"node":1,"round":1,"policy":"bogus"}]}`))
+	f.Add([]byte(`{"n":8,"crashes":[{"node":1,"round":1,"policy":3}]}`))
+	f.Add([]byte(`{"n":-4,"crashes":[{"node":0,"round":0,"policy":"all"}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Schedule
+		if err := json.Unmarshal(data, &s); err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			if _, advErr := s.Adversary(); advErr == nil {
+				t.Fatalf("invalid schedule (%v) built an adversary", err)
+			}
+			return
+		}
+		if _, err := s.Adversary(); err != nil {
+			t.Fatalf("valid schedule rejected by Adversary: %v", err)
+		}
+		enc, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("valid schedule cannot re-encode: %v", err)
+		}
+		var back Schedule
+		if err := json.Unmarshal(enc, &back); err != nil {
+			t.Fatalf("canonical encoding does not decode: %v", err)
+		}
+		// An explicit empty crash list decodes as []Crash{} but re-encodes
+		// as omitted (nil); the two are the same schedule.
+		if len(s.Crashes) == 0 {
+			s.Crashes = nil
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Fatalf("round trip mismatch:\n%+v\n%+v", s, back)
+		}
+	})
+}

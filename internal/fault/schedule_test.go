@@ -1,0 +1,145 @@
+package fault
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"sublinear/internal/netsim"
+	"sublinear/internal/rng"
+)
+
+func TestScheduleValidate(t *testing.T) {
+	good := Schedule{N: 8, Crashes: []Crash{{Node: 1, Round: 2, Policy: DropHalf}}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	bad := []Schedule{
+		{N: 1},
+		{N: 8, Crashes: []Crash{{Node: 8, Round: 1, Policy: DropAll}}},
+		{N: 8, Crashes: []Crash{{Node: -1, Round: 1, Policy: DropAll}}},
+		{N: 8, Crashes: []Crash{{Node: 1, Round: 0, Policy: DropAll}}},
+		{N: 8, Crashes: []Crash{{Node: 1, Round: 1, Policy: DropPolicy(7)}}},
+		{N: 8, Crashes: []Crash{{Node: 1, Round: 1, Policy: DropAll}, {Node: 1, Round: 2, Policy: DropAll}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad schedule %d accepted", i)
+		}
+		if _, err := s.Adversary(); err == nil {
+			t.Errorf("bad schedule %d built an adversary", i)
+		}
+	}
+}
+
+func TestScheduleAdversaryExecutes(t *testing.T) {
+	s := Schedule{N: 6, Crashes: []Crash{
+		{Node: 2, Round: 3, Policy: DropAll},
+		{Node: 4, Round: 1, Policy: DropNone},
+	}}
+	adv, err := s.Adversary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adv.Faulty(2) || !adv.Faulty(4) || adv.Faulty(0) {
+		t.Fatal("faulty set wrong")
+	}
+	if adv.CrashNow(2, 2, nil) || !adv.CrashNow(2, 3, nil) || !adv.CrashNow(2, 9, nil) {
+		t.Fatal("node 2 crash timing wrong")
+	}
+	if adv.DeliverOnCrash(2, 3, 0, netsim.Send{}) {
+		t.Fatal("DropAll delivered")
+	}
+	if !adv.DeliverOnCrash(4, 1, 1, netsim.Send{}) {
+		t.Fatal("DropNone dropped")
+	}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	s := GenerateSchedule(16, 8, 5, rng.New(11))
+	enc, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", s, back)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("decoded schedule invalid: %v", err)
+	}
+}
+
+func TestDropPolicyJSONRejectsUnknown(t *testing.T) {
+	var p DropPolicy
+	if err := json.Unmarshal([]byte(`"sideways"`), &p); err == nil {
+		t.Fatal("unknown policy decoded")
+	}
+	if err := json.Unmarshal([]byte(`3`), &p); err == nil {
+		t.Fatal("numeric policy decoded")
+	}
+	if _, err := json.Marshal(DropPolicy(42)); err == nil {
+		t.Fatal("invalid policy encoded")
+	}
+}
+
+func TestGenerateScheduleBounds(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		s := GenerateSchedule(12, 6, 4, rng.New(seed))
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: generated invalid schedule: %v", seed, err)
+		}
+		if len(s.Crashes) > 6 {
+			t.Fatalf("seed %d: %d crashes, maxF 6", seed, len(s.Crashes))
+		}
+		for _, c := range s.Crashes {
+			if c.Round < 1 || c.Round > 4 {
+				t.Fatalf("seed %d: crash round %d outside [1,4]", seed, c.Round)
+			}
+		}
+	}
+}
+
+func TestShrinksAreSimpler(t *testing.T) {
+	s := Schedule{N: 8, Crashes: []Crash{
+		{Node: 1, Round: 2, Policy: DropHalf},
+		{Node: 5, Round: 1, Policy: DropNone},
+	}}
+	shrinks := s.Shrinks(4)
+	if len(shrinks) == 0 {
+		t.Fatal("no shrink candidates")
+	}
+	for i, c := range shrinks {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("shrink %d invalid: %v", i, err)
+		}
+		if reflect.DeepEqual(c, s) {
+			t.Fatalf("shrink %d is not simpler: identical schedule", i)
+		}
+		if len(c.Crashes) > len(s.Crashes) {
+			t.Fatalf("shrink %d grew the faulty set", i)
+		}
+	}
+	// The first candidates remove whole crashes.
+	if len(shrinks[0].Crashes) != 1 {
+		t.Fatalf("first shrink kept %d crashes", len(shrinks[0].Crashes))
+	}
+	// An empty schedule has nothing simpler.
+	if got := (Schedule{N: 8}).Shrinks(4); len(got) != 0 {
+		t.Fatalf("empty schedule produced %d shrinks", len(got))
+	}
+}
+
+func TestScheduleAdversaryReplaysIdentically(t *testing.T) {
+	s := Schedule{N: 8, Seed: 77, Crashes: []Crash{{Node: 3, Round: 1, Policy: DropRandom}}}
+	a := Must(s.Adversary())
+	b := Must(s.Adversary())
+	for i := 0; i < 64; i++ {
+		if a.DeliverOnCrash(3, 1, i, netsim.Send{}) != b.DeliverOnCrash(3, 1, i, netsim.Send{}) {
+			t.Fatal("DropRandom coins differ across fresh adversaries of one schedule")
+		}
+	}
+}

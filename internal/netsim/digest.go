@@ -1,0 +1,49 @@
+package netsim
+
+// Run digests. Every engine mode folds the observable events of an
+// execution — round boundaries, crash decisions, and each message's
+// (sender, port, kind, size, delivered) tuple — into a single FNV-1a
+// fingerprint on the coordination thread, where event order is
+// deterministic by construction. Two runs with the same digest performed
+// the same communication; the deterministic-simulation harness
+// (internal/dst) compares digests across the Sequential, Parallel and
+// Actors engines to detect any scheduling-dependent divergence.
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// Event tags keep distinct event shapes from aliasing in the digest.
+const (
+	digestRound   uint64 = 0xd1
+	digestCrash   uint64 = 0xd2
+	digestSend    uint64 = 0xd3
+	digestDrop    uint64 = 0xd4
+	digestOutcome uint64 = 0xd5
+)
+
+// digest is an order-sensitive FNV-1a accumulator over 64-bit words.
+type digest struct{ h uint64 }
+
+func newDigest() digest { return digest{h: fnvOffset} }
+
+func (d *digest) word(v uint64) {
+	for i := 0; i < 8; i++ {
+		d.h = (d.h ^ (v & 0xff)) * fnvPrime
+		v >>= 8
+	}
+}
+
+func (d *digest) words(vs ...uint64) {
+	for _, v := range vs {
+		d.word(v)
+	}
+}
+
+func (d *digest) str(s string) {
+	d.word(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		d.h = (d.h ^ uint64(s[i])) * fnvPrime
+	}
+}

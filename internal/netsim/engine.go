@@ -24,6 +24,7 @@ type Engine struct {
 	violations []Violation
 	trace      *Trace
 	bitBudget  int
+	digest     digest
 
 	// Concurrent selects the Parallel run mode; Mode overrides it when
 	// set. Semantics are identical across modes; tests assert
@@ -44,6 +45,11 @@ func NewEngine(cfg Config, machines []Machine, adv Adversary) (*Engine, error) {
 	if len(machines) != cfg.N {
 		return nil, fmt.Errorf("netsim: %d machines for N=%d", len(machines), cfg.N)
 	}
+	for u, m := range machines {
+		if m == nil {
+			return nil, fmt.Errorf("netsim: machine %d is nil", u)
+		}
+	}
 	if adv == nil {
 		adv = NoFaults{}
 	}
@@ -56,6 +62,7 @@ func NewEngine(cfg Config, machines []Machine, adv Adversary) (*Engine, error) {
 		nextInbox: make([][]Delivery, cfg.N),
 		crashedAt: make([]int, cfg.N),
 		bitBudget: cfg.bitBudget(),
+		digest:    newDigest(),
 	}
 	root := rng.New(cfg.Seed)
 	for u := 0; u < cfg.N; u++ {
@@ -84,6 +91,7 @@ func (e *Engine) Run() (*Result, error) {
 	}
 	for round := 1; round <= e.cfg.MaxRounds; round++ {
 		e.counters.BeginRound(round)
+		e.digest.words(digestRound, uint64(round))
 
 		// Phase 1: every live machine computes its outbox from its inbox.
 		switch mode {
@@ -109,6 +117,7 @@ func (e *Engine) Run() (*Result, error) {
 			if e.crashedAt[u] == 0 && e.adv.Faulty(u) && e.adv.CrashNow(u, round, outbox) {
 				crashing = true
 				e.crashedAt[u] = round
+				e.digest.words(digestCrash, uint64(u), uint64(round))
 			}
 			if err := e.deliver(u, round, outbox, crashing); err != nil {
 				return nil, err
@@ -218,8 +227,12 @@ func (e *Engine) deliver(u, round int, outbox []Send, crashing bool) error {
 		e.counters.AddMessage(s.Payload.Kind(), sz)
 
 		if crashing && !e.adv.DeliverOnCrash(u, round, i, s) {
+			e.digest.words(digestDrop, uint64(u), uint64(s.Port), uint64(sz))
+			e.digest.str(s.Payload.Kind())
 			continue
 		}
+		e.digest.words(digestSend, uint64(u), uint64(s.Port), uint64(sz))
+		e.digest.str(s.Payload.Kind())
 		v := Peer(n, u, s.Port)
 		e.nextInbox[v] = append(e.nextInbox[v], Delivery{
 			Port:    ArrivalPort(n, u, v),
@@ -253,7 +266,9 @@ func (e *Engine) allQuiet() bool {
 }
 
 func (e *Engine) result() *Result {
+	e.digest.words(digestOutcome, uint64(e.counters.Rounds()), uint64(e.counters.Messages()), uint64(e.counters.Bits()))
 	res := &Result{
+		Digest:     e.digest.h,
 		Outputs:    make([]any, e.cfg.N),
 		CrashedAt:  append([]int(nil), e.crashedAt...),
 		Faulty:     make([]bool, e.cfg.N),

@@ -346,7 +346,59 @@ func TestRunModesEquivalent(t *testing.T) {
 			if results[0].Counters.Messages() != results[i].Counters.Messages() {
 				t.Fatalf("seed %d: mode %d message counts diverge", seed, modes[i])
 			}
+			if results[0].Digest != results[i].Digest {
+				t.Fatalf("seed %d: mode %d digest %#x diverges from sequential %#x",
+					seed, modes[i], results[i].Digest, results[0].Digest)
+			}
 		}
+	}
+}
+
+func TestDigestDistinguishesSeeds(t *testing.T) {
+	run := func(seed uint64) uint64 {
+		machines := make([]Machine, 16)
+		for u := range machines {
+			machines[u] = &randomMachine{}
+		}
+		eng, err := NewEngine(Config{N: 16, Alpha: 1, Seed: seed, MaxRounds: 8, Strict: true}, machines, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Digest
+	}
+	if run(1) == run(2) {
+		t.Fatal("different seeds produced equal digests")
+	}
+	if run(3) != run(3) {
+		t.Fatal("equal seeds produced different digests")
+	}
+}
+
+func TestDigestSeesCrashFiltering(t *testing.T) {
+	// Two runs that send identical messages but differ only in whether a
+	// crash drops them must not share a digest: dropped and delivered
+	// messages hash under different tags.
+	run := func(adv Adversary) uint64 {
+		m0 := newScript(3, map[int][]Send{
+			1: {{Port: 1, Payload: testPayload{id: 1}}, {Port: 2, Payload: testPayload{id: 1}}},
+		})
+		machines := []Machine{m0, newScript(3, nil), newScript(3, nil)}
+		eng, err := NewEngine(Config{N: 3, Alpha: 0.5, MaxRounds: 3}, machines, adv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Digest
+	}
+	if run(nil) == run(crashAdv{node: 0, round: 1}) {
+		t.Fatal("crash filtering is invisible to the digest")
 	}
 }
 
@@ -395,5 +447,8 @@ func TestNewEngineValidation(t *testing.T) {
 	}
 	if _, err := NewEngine(Config{N: 0, Alpha: 1, MaxRounds: 1}, nil, nil); err == nil {
 		t.Error("bad config accepted")
+	}
+	if _, err := NewEngine(Config{N: 2, Alpha: 1, MaxRounds: 1}, []Machine{newScript(1, nil), nil}, nil); err == nil {
+		t.Error("nil machine accepted")
 	}
 }

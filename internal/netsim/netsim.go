@@ -207,6 +207,21 @@ type Result struct {
 	// Trace is the recorded message trace, or nil if Config.Record was
 	// false.
 	Trace *Trace
+	// Digest fingerprints the execution: an order-sensitive hash of every
+	// round boundary, crash decision, and message (sender, port, kind,
+	// size, delivered-or-dropped), folded on the coordination thread.
+	// Runs with equal seeds must produce equal digests in every engine
+	// mode; the DST harness fails on any mismatch.
+	Digest uint64
+}
+
+// PerMessageBudget returns the CONGEST per-message bit budget an engine
+// enforces for the given network size and congest factor (0 selects the
+// default factor). Exposed for the protocol oracles, which re-check the
+// budget against the counters after a run.
+func PerMessageBudget(n, congestFactor int) int {
+	cfg := Config{N: n, CongestFactor: congestFactor}
+	return cfg.bitBudget()
 }
 
 // Peer returns the node that port p of node u connects to, for an n-node

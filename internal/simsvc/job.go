@@ -19,12 +19,16 @@ import (
 // Protocols accepted by JobSpec.Protocol. The core three run the paper's
 // algorithms through the public sublinear API; the baseline names run the
 // Table-I comparators; "experiment" replays a registered experiment
-// (E1–E13) from the shared internal/experiment registry.
+// (E1–E13) from the shared internal/experiment registry; "dst" runs a
+// deterministic-simulation fuzzing campaign (internal/dst) over the real
+// protocols, where Reps is the case budget and a "success" is a case
+// with no engine divergence and no oracle violation.
 const (
 	ProtoElection   = "election"
 	ProtoAgreement  = "agreement"
 	ProtoMinAgree   = "minagree"
 	ProtoExperiment = "experiment"
+	ProtoDST        = "dst"
 )
 
 // baselineProtocols maps the JobSpec spelling of each Table-I comparator.
@@ -35,7 +39,7 @@ var baselineProtocols = map[string]bool{
 
 // Protocols returns every accepted protocol name, sorted.
 func Protocols() []string {
-	out := []string{ProtoElection, ProtoAgreement, ProtoMinAgree, ProtoExperiment}
+	out := []string{ProtoElection, ProtoAgreement, ProtoMinAgree, ProtoExperiment, ProtoDST}
 	for p := range baselineProtocols {
 		out = append(out, p)
 	}
@@ -100,6 +104,21 @@ func (s JobSpec) Normalize(lim Limits) (JobSpec, error) {
 	core := out.Protocol == ProtoElection || out.Protocol == ProtoAgreement || out.Protocol == ProtoMinAgree
 	switch {
 	case core, baselineProtocols[out.Protocol]:
+	case out.Protocol == ProtoDST:
+		// The campaign picks its own sizes and adversaries; only the seed
+		// and the case budget (Reps) matter. Zero the rest so irrelevant
+		// fields cannot split the cache.
+		out.N, out.Alpha, out.F, out.POne = 0, 0, nil, 0
+		out.Policy, out.Engine = "", ""
+		out.Explicit, out.Hunter, out.Late = false, false, false
+		out.Experiment, out.Quick = "", false
+		if out.Reps == 0 {
+			out.Reps = 25
+		}
+		if out.Reps < 1 || out.Reps > lim.MaxReps {
+			return out, fmt.Errorf("reps %d out of range [1, %d]", out.Reps, lim.MaxReps)
+		}
+		return out, nil
 	case out.Protocol == ProtoExperiment:
 		if out.Experiment == "" {
 			return out, fmt.Errorf("experiment jobs need an experiment ID")

@@ -2,11 +2,13 @@ package simsvc
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 
 	"sublinear"
 	"sublinear/internal/baseline"
+	"sublinear/internal/dst"
 	"sublinear/internal/experiment"
 	"sublinear/internal/fault"
 	"sublinear/internal/metrics"
@@ -49,6 +51,9 @@ type repOutcome struct {
 func runSpec(ctx context.Context, spec JobSpec) (*JobResult, error) {
 	if spec.Protocol == ProtoExperiment {
 		return runExperiment(spec)
+	}
+	if spec.Protocol == ProtoDST {
+		return runDST(ctx, spec)
 	}
 	res := &JobResult{PerKind: map[string]int64{}}
 	var msgs, bits, rounds []float64
@@ -162,8 +167,10 @@ func runBaseline(spec JobSpec, seed uint64) (repOutcome, error) {
 	n, f := spec.N, *spec.F
 	inputs := sublinear.RandomInputs(n, spec.POne, seed^0xbeef)
 	src := rng.New(seed ^ 0xadd5)
+	// Normalize has already bounded n, f, and the policy, so the only
+	// way the constructor can fail here is a harness bug — surface it.
 	plan := func(horizon int) *fault.Plan {
-		return fault.NewRandomPlan(n, f, horizon, parsePolicy(spec.Policy), src)
+		return fault.Must(fault.NewRandomPlan(n, f, horizon, parsePolicy(spec.Policy), src))
 	}
 	var (
 		res *baseline.Result
@@ -191,6 +198,37 @@ func runBaseline(spec JobSpec, seed uint64) (repOutcome, error) {
 		return repOutcome{}, err
 	}
 	return repOutcome{res.Counters, res.Rounds, res.Success, res.Reason}, nil
+}
+
+// runDST runs one deterministic-simulation fuzzing campaign over the
+// real protocols; each case is one "repetition", a success is a case
+// with no engine divergence and no oracle violation, and each failure
+// reason carries the minimized reproducer so the submitter can replay
+// it with `dstrun -repro`.
+func runDST(ctx context.Context, spec JobSpec) (*JobResult, error) {
+	camp, err := dst.RunCampaign(ctx, dst.CampaignConfig{Cases: spec.Reps, Seed: spec.Seed}, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &JobResult{
+		Reps:    camp.Cases,
+		Success: camp.Cases - len(camp.Failures),
+	}
+	if res.Reps > 0 {
+		res.SuccessRate = float64(res.Success) / float64(res.Reps)
+		res.CILow, res.CIHigh = stats.WilsonInterval(res.Success, res.Reps)
+	}
+	for _, f := range camp.Failures {
+		if len(res.Failures) >= 8 {
+			break
+		}
+		repro, jerr := json.Marshal(f.Case)
+		if jerr != nil {
+			return nil, jerr
+		}
+		res.Failures = append(res.Failures, fmt.Sprintf("%s repro=%s", &f, repro))
+	}
+	return res, nil
 }
 
 // runExperiment replays a registered experiment through the shared

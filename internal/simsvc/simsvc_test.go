@@ -87,6 +87,48 @@ func TestRunSpecCoversEveryProtocol(t *testing.T) {
 	}
 }
 
+// TestDSTJob runs the deterministic-simulation campaign job kind: the
+// campaign over the real protocols must come back clean, irrelevant
+// fields must not split the cache key, and the case budget rides on
+// Reps.
+func TestDSTJob(t *testing.T) {
+	spec := JobSpec{Protocol: "dst", Seed: 11, Reps: 3}
+	norm, err := spec.Normalize(DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Reps != 3 {
+		t.Fatalf("reps = %d, want 3", norm.Reps)
+	}
+	// Same job with noise in campaign-irrelevant fields: one cache key.
+	noisy, err := JobSpec{Protocol: "dst", Seed: 11, Reps: 3,
+		N: 512, Alpha: 0.9, Policy: "all", Engine: "actors", Hunter: true}.Normalize(DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.Key() != norm.Key() {
+		t.Fatal("irrelevant fields split the dst cache key")
+	}
+	if _, err := (JobSpec{Protocol: "dst", Reps: -1}).Normalize(DefaultLimits); err == nil {
+		t.Fatal("negative case budget accepted")
+	}
+	res, err := runSpec(context.Background(), norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reps != 3 || res.Success != 3 || len(res.Failures) != 0 {
+		t.Fatalf("campaign over real protocols not clean: %+v", res)
+	}
+	// Defaulted case budget.
+	def, err := (JobSpec{Protocol: "dst", Seed: 1}).Normalize(DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Reps != 25 {
+		t.Fatalf("default case budget = %d, want 25", def.Reps)
+	}
+}
+
 // submit POSTs a spec and returns the decoded status and response.
 func submit(t *testing.T, url string, spec JobSpec) (JobStatus, *http.Response) {
 	t.Helper()

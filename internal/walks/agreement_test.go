@@ -126,7 +126,7 @@ func TestWalkAgreementUnderCrashes(t *testing.T) {
 	ok := 0
 	const reps = 10
 	for seed := uint64(0); seed < reps; seed++ {
-		adv := fault.NewRandomPlan(g.N(), g.N()/16, 10, fault.DropAll, rng.New(seed+60))
+		adv := fault.Must(fault.NewRandomPlan(g.N(), g.N()/16, 10, fault.DropAll, rng.New(seed+60)))
 		res, err := RunAgreement(g, seed, Params{}, walkInputs(g.N(), 0.5, seed), adv)
 		if err != nil {
 			t.Fatal(err)

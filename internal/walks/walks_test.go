@@ -156,7 +156,7 @@ func TestWalkElectionUnderCrashes(t *testing.T) {
 	for seed := uint64(0); seed < reps; seed++ {
 		// A few crashed nodes swallow tokens; the election should still
 		// mostly succeed (lost tokens only shrink the sample).
-		adv := fault.NewRandomPlan(g.N(), g.N()/16, 10, fault.DropAll, rng.New(seed+40))
+		adv := fault.Must(fault.NewRandomPlan(g.N(), g.N()/16, 10, fault.DropAll, rng.New(seed+40)))
 		res, err := Run(g, seed, Params{}, adv)
 		if err != nil {
 			t.Fatal(err)

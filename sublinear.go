@@ -272,7 +272,7 @@ func (opts Options) buildAdversary(params core.Params) (netsim.Adversary, error)
 	}
 	switch {
 	case fm.CrashAfterElection:
-		return fault.NewLateCrashPlan(opts.N, fm.Faulty, horizon+1, src), nil
+		return fault.NewLateCrashPlan(opts.N, fm.Faulty, horizon+1, src)
 	case fm.Hunter:
 		return fault.NewHunter(opts.N, fm.Faulty, 8, fm.Policy, src), nil
 	default:
@@ -280,6 +280,6 @@ func (opts Options) buildAdversary(params core.Params) (netsim.Adversary, error)
 		if window <= 0 || window > horizon {
 			window = horizon
 		}
-		return fault.NewRandomPlan(opts.N, fm.Faulty, window, fm.Policy, src), nil
+		return fault.NewRandomPlan(opts.N, fm.Faulty, window, fm.Policy, src)
 	}
 }
