@@ -1,0 +1,213 @@
+// Command benchjson measures netsim engine throughput with the
+// zero-alloc ping workload and emits machine-readable results, so CI can
+// hold the simulator to its performance budget without parsing `go test
+// -bench` text output.
+//
+// Usage:
+//
+//	benchjson -out BENCH_netsim.json            # measure and write a baseline
+//	benchjson -baseline BENCH_netsim.json       # measure and compare
+//	benchjson -baseline BENCH_netsim.json -threshold 0.2
+//
+// Comparison fails (exit status 2) when any benchmark's msgs/sec drops
+// more than threshold (default 0.2 = 20%) below the baseline. Each entry
+// is measured best-of-2 so one scheduler hiccup doesn't read as a
+// regression; CI's bench-smoke job runs the comparison on every push.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"sublinear/internal/netsim"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name       string  `json:"name"`
+	N          int     `json:"n"`
+	Mode       string  `json:"mode"`
+	Rounds     int     `json:"rounds"`
+	NsPerOp    int64   `json:"ns_op"`
+	BytesPerOp int64   `json:"bytes_op"`
+	AllocsOp   int64   `json:"allocs_op"`
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+}
+
+// Report is the file format: entries plus provenance.
+type Report struct {
+	Schema  int     `json:"schema"`
+	Entries []Entry `json:"entries"`
+}
+
+// benchPayload mirrors the netsim benchmark workload: a preallocated
+// pointer payload and a reused outbox, so the measurement is the
+// engine's per-message cost rather than the workload's allocator
+// traffic.
+type benchPayload struct{ bits int }
+
+func (p *benchPayload) Bits(int) int { return p.bits }
+func (*benchPayload) Kind() string   { return "ping" }
+
+type pingMachine struct {
+	last    int
+	payload benchPayload
+	out     [1]netsim.Send
+}
+
+func (m *pingMachine) Step(env *netsim.Env, round int, _ []netsim.Delivery) []netsim.Send {
+	m.last = round
+	m.payload.bits = 8
+	m.out[0] = netsim.Send{Port: 1 + env.Rand.Intn(env.N-1), Payload: &m.payload}
+	return m.out[:]
+}
+
+func (m *pingMachine) Done() bool  { return false }
+func (m *pingMachine) Output() any { return m.last }
+
+const rounds = 50
+
+// measure runs the benchmark twice and keeps the faster result: a
+// best-of-2 discards one-off scheduler hiccups, which matters because
+// the comparison threshold treats any slowdown as a regression.
+func measure(n int, modeName string, mode netsim.RunMode) Entry {
+	r := bestOf2(n, mode)
+	nsOp := r.NsPerOp()
+	msgs := float64(n*rounds) / (float64(nsOp) * 1e-9)
+	return Entry{
+		Name:       fmt.Sprintf("EngineModes/%s/n%d", modeName, n),
+		N:          n,
+		Mode:       modeName,
+		Rounds:     rounds,
+		NsPerOp:    nsOp,
+		BytesPerOp: r.AllocedBytesPerOp(),
+		AllocsOp:   r.AllocsPerOp(),
+		MsgsPerSec: msgs,
+	}
+}
+
+func bestOf2(n int, mode netsim.RunMode) testing.BenchmarkResult {
+	bench := func() testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				machines := make([]netsim.Machine, n)
+				for u := range machines {
+					machines[u] = &pingMachine{}
+				}
+				eng, err := netsim.NewEngine(netsim.Config{N: n, Alpha: 1, Seed: uint64(i), MaxRounds: rounds}, machines, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng.Mode = mode
+				if _, err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	a, b := bench(), bench()
+	if b.NsPerOp() < a.NsPerOp() {
+		return b
+	}
+	return a
+}
+
+func run(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("out", "", "write measurements as JSON to this file ('-' for stdout)")
+	baseline := fs.String("baseline", "", "compare measurements against this baseline file")
+	threshold := fs.Float64("threshold", 0.2, "max tolerated msgs/sec regression fraction")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" && *baseline == "" {
+		*out = "-"
+	}
+
+	rep := Report{Schema: 1}
+	for _, mode := range []struct {
+		name string
+		mode netsim.RunMode
+	}{{"sequential", netsim.Sequential}, {"parallel", netsim.Parallel}, {"actors", netsim.Actors}} {
+		for _, n := range []int{1024, 4096} {
+			e := measure(n, mode.name, mode.mode)
+			fmt.Fprintf(stdout, "%-32s %12d ns/op %14.0f msgs/sec %8d B/op %6d allocs/op\n",
+				e.Name, e.NsPerOp, e.MsgsPerSec, e.BytesPerOp, e.AllocsOp)
+			rep.Entries = append(rep.Entries, e)
+		}
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if *out == "-" {
+			_, err = stdout.Write(data)
+		} else {
+			err = os.WriteFile(*out, data, 0o644)
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	if *baseline != "" {
+		return compare(stdout, rep, *baseline, *threshold)
+	}
+	return nil
+}
+
+// errRegression marks a comparison that found at least one benchmark
+// below the budget.
+var errRegression = fmt.Errorf("benchjson: regression past threshold")
+
+func compare(stdout *os.File, rep Report, path string, threshold float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("benchjson: parse %s: %w", path, err)
+	}
+	byName := make(map[string]Entry, len(base.Entries))
+	for _, e := range base.Entries {
+		byName[e.Name] = e
+	}
+	failed := false
+	for _, e := range rep.Entries {
+		b, ok := byName[e.Name]
+		if !ok || b.MsgsPerSec <= 0 {
+			fmt.Fprintf(stdout, "%-32s no baseline, skipped\n", e.Name)
+			continue
+		}
+		ratio := e.MsgsPerSec / b.MsgsPerSec
+		status := "ok"
+		if ratio < 1-threshold {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(stdout, "%-32s %6.2fx of baseline (%s)\n", e.Name, ratio, status)
+	}
+	if failed {
+		return errRegression
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err == errRegression {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

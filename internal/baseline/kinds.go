@@ -1,0 +1,27 @@
+package baseline
+
+import "sublinear/internal/metrics"
+
+// Interned kind ids for every baseline payload, so the engine's accounting
+// hot path (netsim.PayloadKindID) never falls back to a string lookup.
+var (
+	kindCoord     = metrics.InternKind("coord")
+	kindFlood     = metrics.InternKind("flood")
+	kindGossip    = metrics.InternKind("gossip")
+	kindRank      = metrics.InternKind("rank")
+	kindBit       = metrics.InternKind("bit")
+	kindReply     = metrics.InternKind("reply")
+	kindAnnounce  = metrics.InternKind("announce")
+	kindCommittee = metrics.InternKind("committee")
+)
+
+func (coordMsg) KindID() metrics.Kind       { return kindCoord }
+func (floodValue) KindID() metrics.Kind     { return kindFlood }
+func (gossipMsg) KindID() metrics.Kind      { return kindGossip }
+func (apRank) KindID() metrics.Kind         { return kindRank }
+func (ampBit) KindID() metrics.Kind         { return kindBit }
+func (ampReply) KindID() metrics.Kind       { return kindReply }
+func (kuttenAnnounce) KindID() metrics.Kind { return kindAnnounce }
+func (kuttenReply) KindID() metrics.Kind    { return kindReply }
+func (gkFlood) KindID() metrics.Kind        { return kindCommittee }
+func (gkAnnounce) KindID() metrics.Kind     { return kindAnnounce }

@@ -25,8 +25,11 @@ type valueMsg struct {
 	register bool
 }
 
-func (valueMsg) Kind() string   { return "value" }
-func (valueMsg) Bits(n int) int { return rankBits(n) + 3 }
+var kindValue = metrics.InternKind("value")
+
+func (valueMsg) Kind() string         { return "value" }
+func (valueMsg) Bits(n int) int       { return rankBits(n) + 3 }
+func (valueMsg) KindID() metrics.Kind { return kindValue }
 
 // MinAgreementOutput is a node's output from the multi-valued protocol.
 type MinAgreementOutput struct {

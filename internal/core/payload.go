@@ -4,6 +4,8 @@ package core
 // budget: at most one rank (4 ceil(log2 n) bits, the paper's [1, n^4] ID
 // space) plus a rank-sized companion field and a few flag bits.
 
+import "sublinear/internal/metrics"
+
 // rankAnnounce is the pre-processing message of the election algorithm: a
 // candidate announces its rank to a referee ("each candidate node u sends
 // its own rank IDu to its referee nodes").
@@ -98,3 +100,28 @@ type valueAnnounce struct {
 
 func (valueAnnounce) Kind() string { return "announce" }
 func (valueAnnounce) Bits(int) int { return 3 }
+
+// Interned kind ids. Precomputing them lets the engine's per-message hot
+// path skip the string-keyed registry lookup (netsim.Kinded).
+var (
+	kindRank     = metrics.InternKind("rank")
+	kindFwd      = metrics.InternKind("fwd")
+	kindPropose  = metrics.InternKind("propose")
+	kindRelay    = metrics.InternKind("relay")
+	kindClaim    = metrics.InternKind("claim")
+	kindConfirm  = metrics.InternKind("confirm")
+	kindAnnounce = metrics.InternKind("announce")
+	kindRegister = metrics.InternKind("register")
+	kindZero     = metrics.InternKind("zero")
+)
+
+func (rankAnnounce) KindID() metrics.Kind   { return kindRank }
+func (rankForward) KindID() metrics.Kind    { return kindFwd }
+func (proposeMsg) KindID() metrics.Kind     { return kindPropose }
+func (relayMaxMsg) KindID() metrics.Kind    { return kindRelay }
+func (claimMsg) KindID() metrics.Kind       { return kindClaim }
+func (confirmMsg) KindID() metrics.Kind     { return kindConfirm }
+func (leaderAnnounce) KindID() metrics.Kind { return kindAnnounce }
+func (bitRegister) KindID() metrics.Kind    { return kindRegister }
+func (zeroMsg) KindID() metrics.Kind        { return kindZero }
+func (valueAnnounce) KindID() metrics.Kind  { return kindAnnounce }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sublinear/internal/core"
+	"sublinear/internal/metrics"
 	"sublinear/internal/netsim"
 )
 
@@ -22,8 +23,11 @@ const canaryName = "canary"
 // canaryPing is the broadcast payload.
 type canaryPing struct{}
 
-func (canaryPing) Kind() string { return "ping" }
-func (canaryPing) Bits(int) int { return 1 }
+var kindPing = metrics.InternKind("ping")
+
+func (canaryPing) Kind() string         { return "ping" }
+func (canaryPing) Bits(int) int         { return 1 }
+func (canaryPing) KindID() metrics.Kind { return kindPing }
 
 // CanaryOutput is a node's report: the number of pings it counted.
 type CanaryOutput struct {

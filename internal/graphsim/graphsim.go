@@ -128,7 +128,7 @@ func Run(cfg Config, machines []netsim.Machine, adv netsim.Adversary) (*Result, 
 						return nil, err
 					}
 				}
-				counters.AddMessage(s.Payload.Kind(), s.Payload.Bits(n))
+				counters.AddKind(netsim.PayloadKindID(s.Payload), s.Payload.Bits(n))
 				if crashing && !adv.DeliverOnCrash(u, round, i, s) {
 					continue
 				}

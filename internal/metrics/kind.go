@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is a process-wide interned message-kind identifier. Kinds are
+// dense small integers assigned in interning order, which lets Counters
+// keep per-kind tallies in a flat []int64 instead of a string-keyed map
+// and lets the simulator's per-message hot path avoid hashing the kind
+// string entirely.
+//
+// The numeric value of a Kind is NOT stable across processes (it depends
+// on interning order); anything that must be reproducible across runs —
+// the execution digest in particular — uses KindHash, a content hash of
+// the kind name precomputed once at interning time.
+type Kind int32
+
+// kindTable is an immutable snapshot of the registry. Readers load it
+// atomically and index without locks; Intern builds a new snapshot under
+// the mutex (copy-on-write), so the per-message fast paths never contend.
+type kindTable struct {
+	ids    map[string]Kind
+	names  []string
+	hashes []uint64
+}
+
+var (
+	kindMu     sync.Mutex
+	kindTable0 = &kindTable{ids: map[string]Kind{}}
+	kinds      atomic.Pointer[kindTable]
+)
+
+func init() { kinds.Store(kindTable0) }
+
+// InternKind returns the dense id for the given kind name, registering it
+// on first use. Safe for concurrent use; lookups of already-interned
+// names are lock-free.
+func InternKind(name string) Kind {
+	if k, ok := kinds.Load().ids[name]; ok {
+		return k
+	}
+	kindMu.Lock()
+	defer kindMu.Unlock()
+	t := kinds.Load()
+	if k, ok := t.ids[name]; ok {
+		return k
+	}
+	k := Kind(len(t.names))
+	nt := &kindTable{
+		ids:    make(map[string]Kind, len(t.ids)+1),
+		names:  append(append(make([]string, 0, len(t.names)+1), t.names...), name),
+		hashes: append(append(make([]uint64, 0, len(t.hashes)+1), t.hashes...), hashKindName(name)),
+	}
+	for s, id := range t.ids {
+		nt.ids[s] = id
+	}
+	nt.ids[name] = k
+	kinds.Store(nt)
+	return k
+}
+
+// KindName returns the name a Kind was interned under, or a placeholder
+// for ids that were never interned.
+func KindName(k Kind) string {
+	t := kinds.Load()
+	if k < 0 || int(k) >= len(t.names) {
+		return fmt.Sprintf("kind#%d", int(k))
+	}
+	return t.names[k]
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string { return KindName(k) }
+
+// KindHash returns the FNV-1a hash of the kind's name, precomputed at
+// interning time. Unlike the raw Kind id it is independent of interning
+// order, so it is safe to fold into cross-process-reproducible digests.
+func KindHash(k Kind) uint64 {
+	t := kinds.Load()
+	if k < 0 || int(k) >= len(t.hashes) {
+		return 0
+	}
+	return t.hashes[k]
+}
+
+// KindCount returns the number of kinds interned so far. Every valid Kind
+// is in [0, KindCount()).
+func KindCount() int { return len(kinds.Load().names) }
+
+// KindNames returns the names of all interned kinds, indexed by Kind.
+// Experiment tables use it to print human-readable per-kind breakdowns
+// after interning.
+func KindNames() []string {
+	t := kinds.Load()
+	return append([]string(nil), t.names...)
+}
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// hashKindName is FNV-1a over the name bytes followed by the length, the
+// same construction the netsim digest used per message before interning.
+func hashKindName(name string) uint64 {
+	h := fnvOffset
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * fnvPrime
+	}
+	h = (h ^ uint64(len(name))) * fnvPrime
+	return h
+}

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestInternKindStable(t *testing.T) {
+	a := InternKind("kindtest-a")
+	b := InternKind("kindtest-b")
+	if a == b {
+		t.Fatalf("distinct names share id %d", a)
+	}
+	if got := InternKind("kindtest-a"); got != a {
+		t.Errorf("re-intern = %d, want %d", got, a)
+	}
+	if got := KindName(a); got != "kindtest-a" {
+		t.Errorf("KindName = %q", got)
+	}
+	if a.String() != "kindtest-a" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestKindHashIsContentHash(t *testing.T) {
+	k := InternKind("kindtest-hash")
+	if got, want := KindHash(k), hashKindName("kindtest-hash"); got != want {
+		t.Errorf("KindHash = %#x, want %#x", got, want)
+	}
+	// Out-of-range ids hash to zero rather than panicking.
+	if got := KindHash(Kind(1 << 30)); got != 0 {
+		t.Errorf("KindHash(out of range) = %#x", got)
+	}
+	if got := KindName(Kind(1 << 30)); got != "kind#1073741824" {
+		t.Errorf("KindName(out of range) = %q", got)
+	}
+}
+
+func TestKindNamesIndexedByKind(t *testing.T) {
+	k := InternKind("kindtest-index")
+	names := KindNames()
+	if len(names) != KindCount() {
+		t.Fatalf("len(KindNames) = %d, KindCount = %d", len(names), KindCount())
+	}
+	if names[k] != "kindtest-index" {
+		t.Errorf("names[%d] = %q", k, names[k])
+	}
+}
+
+func TestInternKindConcurrent(t *testing.T) {
+	names := []string{"conc-a", "conc-b", "conc-c", "conc-d"}
+	var wg sync.WaitGroup
+	got := make([][]Kind, 8)
+	for g := range got {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids := make([]Kind, len(names))
+			for i, s := range names {
+				ids[i] = InternKind(s)
+			}
+			got[g] = ids
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < len(got); g++ {
+		for i := range names {
+			if got[g][i] != got[0][i] {
+				t.Fatalf("goroutine %d interned %q as %d, goroutine 0 as %d",
+					g, names[i], got[g][i], got[0][i])
+			}
+		}
+	}
+}
+
+func TestAddKindAndBulkMatchAddMessage(t *testing.T) {
+	kind := InternKind("bulk-kind")
+
+	var byName Counters
+	byName.BeginRound(1)
+	byName.AddMessage("bulk-kind", 8)
+	byName.AddMessage("bulk-kind", 8)
+
+	var byID Counters
+	byID.BeginRound(1)
+	byID.AddKind(kind, 8)
+	perKind := make([]int64, int(kind)+1)
+	perKind[kind] = 1
+	byID.AddBulk(1, 8, perKind)
+
+	if byName.Messages() != byID.Messages() || byName.Bits() != byID.Bits() {
+		t.Fatalf("totals differ: name=%d/%d id=%d/%d",
+			byName.Messages(), byName.Bits(), byID.Messages(), byID.Bits())
+	}
+	if a, b := byName.PerKind()["bulk-kind"], byID.PerKind()["bulk-kind"]; a != b || a != 2 {
+		t.Fatalf("per-kind differ: %d vs %d", a, b)
+	}
+	if a, b := byName.PerRound(), byID.PerRound(); len(a) != len(b) || a[0].Messages != b[0].Messages {
+		t.Fatalf("per-round differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestCountersKindNames(t *testing.T) {
+	var c Counters
+	c.AddKind(InternKind("zz-last"), 1)
+	c.AddKind(InternKind("aa-first"), 1)
+	got := c.KindNames()
+	if len(got) != 2 || got[0] != "aa-first" || got[1] != "zz-last" {
+		t.Fatalf("KindNames = %v, want sorted [aa-first zz-last]", got)
+	}
+}
+
+func TestReserveRoundsDoesNotChangeBehavior(t *testing.T) {
+	var a, b Counters
+	b.ReserveRounds(100)
+	for r := 1; r <= 5; r++ {
+		a.BeginRound(r)
+		b.BeginRound(r)
+		a.AddMessage("r", r)
+		b.AddMessage("r", r)
+	}
+	ra, rb := a.PerRound(), b.PerRound()
+	if len(ra) != len(rb) {
+		t.Fatalf("round series lengths differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("round %d differs: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+	// A hostile maxRounds must not pre-allocate unboundedly.
+	var c Counters
+	c.ReserveRounds(1 << 40)
+}

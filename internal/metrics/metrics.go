@@ -21,7 +21,10 @@ type Counters struct {
 	bits     int64
 	rounds   int
 	perRound []RoundUsage
-	perKind  map[string]int64
+	// perKind is indexed by Kind (see kind.go): a flat slice instead of a
+	// string-keyed map, so the per-message path is a bounds check and an
+	// increment.
+	perKind []int64
 }
 
 // RoundUsage is the usage recorded for a single round.
@@ -32,17 +35,53 @@ type RoundUsage struct {
 }
 
 // AddMessage records one sent message of the given kind and payload size.
+// Hot paths that already hold an interned Kind should call AddKind
+// instead and skip the registry lookup.
 func (c *Counters) AddMessage(kind string, bits int) {
+	c.AddKind(InternKind(kind), bits)
+}
+
+// AddKind records one sent message of the given interned kind and payload
+// size.
+func (c *Counters) AddKind(kind Kind, bits int) {
 	c.messages++
 	c.bits += int64(bits)
-	if c.perKind == nil {
-		c.perKind = make(map[string]int64)
-	}
-	c.perKind[kind]++
+	c.bumpKind(kind, 1)
 	if n := len(c.perRound); n > 0 {
 		c.perRound[n-1].Messages++
 		c.perRound[n-1].Bits += int64(bits)
 	}
+}
+
+// AddBulk folds a worker's privately accumulated totals into c: messages
+// and bits overall and into the current round, and perKind (indexed by
+// Kind) into the per-kind tallies. It is the barrier-side half of the
+// engine's sharded delivery pipeline, where each worker counts into flat
+// locals and the coordination thread merges them in deterministic order.
+func (c *Counters) AddBulk(messages, bits int64, perKind []int64) {
+	if messages == 0 && bits == 0 {
+		return
+	}
+	c.messages += messages
+	c.bits += bits
+	if n := len(c.perRound); n > 0 {
+		c.perRound[n-1].Messages += messages
+		c.perRound[n-1].Bits += bits
+	}
+	for k, v := range perKind {
+		if v != 0 {
+			c.bumpKind(Kind(k), v)
+		}
+	}
+}
+
+func (c *Counters) bumpKind(kind Kind, delta int64) {
+	if int(kind) >= len(c.perKind) {
+		grown := make([]int64, maxInt(int(kind)+1, KindCount()))
+		copy(grown, c.perKind)
+		c.perKind = grown
+	}
+	c.perKind[kind] += delta
 }
 
 // BeginRound marks the start of a round; subsequent AddMessage calls are
@@ -50,6 +89,22 @@ func (c *Counters) AddMessage(kind string, bits int) {
 func (c *Counters) BeginRound(round int) {
 	c.rounds = round
 	c.perRound = append(c.perRound, RoundUsage{Round: round})
+}
+
+// ReserveRounds pre-sizes the per-round series for up to maxRounds
+// BeginRound calls, so the steady-state round loop never grows it. The
+// reservation is capped to keep a huge MaxRounds from pinning memory up
+// front; beyond the cap the series grows by appending as before.
+func (c *Counters) ReserveRounds(maxRounds int) {
+	const reserveCap = 1 << 16
+	if maxRounds > reserveCap {
+		maxRounds = reserveCap
+	}
+	if maxRounds > cap(c.perRound) {
+		grown := make([]RoundUsage, len(c.perRound), maxRounds)
+		copy(grown, c.perRound)
+		c.perRound = grown
+	}
 }
 
 // Messages returns the total number of messages sent.
@@ -68,13 +123,29 @@ func (c *Counters) PerRound() []RoundUsage {
 	return out
 }
 
-// PerKind returns a copy of the per-kind message counts.
+// PerKind returns the per-kind message counts keyed by kind name. Kinds
+// with zero recorded messages are omitted.
 func (c *Counters) PerKind() map[string]int64 {
 	out := make(map[string]int64, len(c.perKind))
 	for k, v := range c.perKind {
-		out[k] = v
+		if v != 0 {
+			out[KindName(Kind(k))] = v
+		}
 	}
 	return out
+}
+
+// KindNames returns the human-readable names of the kinds this execution
+// actually sent, in ascending-count-agnostic sorted order.
+func (c *Counters) KindNames() []string {
+	names := make([]string, 0, len(c.perKind))
+	for k, v := range c.perKind {
+		if v != 0 {
+			names = append(names, KindName(Kind(k)))
+		}
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Merge adds other's totals into c. Per-round series are merged by round
@@ -85,11 +156,10 @@ func (c *Counters) Merge(other *Counters) {
 	if other.rounds > c.rounds {
 		c.rounds = other.rounds
 	}
-	if c.perKind == nil && len(other.perKind) > 0 {
-		c.perKind = make(map[string]int64, len(other.perKind))
-	}
 	for k, v := range other.perKind {
-		c.perKind[k] += v
+		if v != 0 {
+			c.bumpKind(Kind(k), v)
+		}
 	}
 	for i, ru := range other.perRound {
 		if i < len(c.perRound) {
@@ -136,11 +206,10 @@ func (c *Counters) MergeSnapshot(s Snapshot) {
 	if s.Rounds > c.rounds {
 		c.rounds = s.Rounds
 	}
-	if c.perKind == nil && len(s.PerKind) > 0 {
-		c.perKind = make(map[string]int64, len(s.PerKind))
-	}
-	for k, v := range s.PerKind {
-		c.perKind[k] += v
+	for name, v := range s.PerKind {
+		if v != 0 {
+			c.bumpKind(InternKind(name), v)
+		}
 	}
 	for i, ru := range s.PerRound {
 		if i < len(c.perRound) {
@@ -156,20 +225,23 @@ func (c *Counters) MergeSnapshot(s Snapshot) {
 func (c *Counters) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "rounds=%d messages=%d bits=%d", c.rounds, c.messages, c.bits)
-	if len(c.perKind) > 0 {
-		kinds := make([]string, 0, len(c.perKind))
-		for k := range c.perKind {
-			kinds = append(kinds, k)
-		}
-		sort.Strings(kinds)
+	if kinds := c.KindNames(); len(kinds) > 0 {
+		per := c.PerKind()
 		b.WriteString(" [")
 		for i, k := range kinds {
 			if i > 0 {
 				b.WriteString(" ")
 			}
-			fmt.Fprintf(&b, "%s=%d", k, c.perKind[k])
+			fmt.Fprintf(&b, "%s=%d", k, per[k])
 		}
 		b.WriteString("]")
 	}
 	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -2,7 +2,6 @@ package netsim
 
 import (
 	"fmt"
-	"sync"
 
 	"sublinear/internal/metrics"
 	"sublinear/internal/rng"
@@ -64,6 +63,7 @@ func NewEngine(cfg Config, machines []Machine, adv Adversary) (*Engine, error) {
 		bitBudget: cfg.bitBudget(),
 		digest:    newDigest(),
 	}
+	e.counters.ReserveRounds(cfg.MaxRounds)
 	root := rng.New(cfg.Seed)
 	for u := 0; u < cfg.N; u++ {
 		e.envs[u] = &Env{N: cfg.N, ID: u, Alpha: cfg.Alpha, Rand: root.Split(uint64(u)), Deg: cfg.N - 1}
@@ -77,12 +77,35 @@ func NewEngine(cfg Config, machines []Machine, adv Adversary) (*Engine, error) {
 // Run executes rounds until every live machine is done and no messages are
 // in flight, or MaxRounds elapses. It returns an error only for model
 // violations in strict mode.
+//
+// Every round has two phases. Phase 1 computes each live machine's outbox
+// from its inbox, scheduled per the engine Mode. Phase 2 — crash
+// decisions, CONGEST validation, accounting, digesting, delivery — runs
+// on the sharded pipeline (see shard.go): adversary calls stay on the
+// coordination thread in node order, the per-message work fans out over
+// the worker pool, and everything order-sensitive folds back in node
+// order at the round barrier, so results are identical across modes and
+// worker counts.
 func (e *Engine) Run() (*Result, error) {
 	n := e.cfg.N
 	mode := e.Mode
 	if mode == Sequential && e.Concurrent {
 		mode = Parallel
 	}
+	workers := e.cfg.workerCount()
+	if mode == Sequential {
+		// The sequential engine stays a pure single-threaded reference
+		// implementation: same pipeline, one inline lane, no goroutines.
+		workers = 1
+	}
+	if e.trace != nil {
+		// Trace recording is order-sensitive and unsynchronized; run the
+		// whole pipeline on the coordination thread.
+		workers = 1
+	}
+	pipe := newPipeline(e, workers)
+	defer pipe.close()
+
 	outboxes := make([][]Send, n)
 	var pool *actorPool
 	if mode == Actors {
@@ -96,7 +119,7 @@ func (e *Engine) Run() (*Result, error) {
 		// Phase 1: every live machine computes its outbox from its inbox.
 		switch mode {
 		case Parallel:
-			e.stepConcurrent(round, outboxes)
+			pipe.stepRound(round, outboxes)
 		case Actors:
 			copy(outboxes, pool.runRound(round))
 		default:
@@ -105,27 +128,10 @@ func (e *Engine) Run() (*Result, error) {
 			}
 		}
 
-		// Phase 2 (coordination thread): crash decisions, filtering,
-		// accounting, delivery. Done in node order for determinism.
-		inFlight := false
-		for u := 0; u < n; u++ {
-			outbox := outboxes[u]
-			if outbox == nil {
-				continue
-			}
-			crashing := false
-			if e.crashedAt[u] == 0 && e.adv.Faulty(u) && e.adv.CrashNow(u, round, outbox) {
-				crashing = true
-				e.crashedAt[u] = round
-				e.digest.words(digestCrash, uint64(u), uint64(round))
-			}
-			if err := e.deliver(u, round, outbox, crashing); err != nil {
-				return nil, err
-			}
-			if len(outbox) > 0 {
-				inFlight = true
-			}
-			outboxes[u] = nil
+		// Phase 2: crash decisions, filtering, accounting, delivery.
+		inFlight, err := pipe.runRound(round, outboxes)
+		if err != nil {
+			return nil, err
 		}
 
 		// Rotate inboxes.
@@ -163,95 +169,6 @@ func (e *Engine) stepOne(u, round int) []Send {
 
 // emptyOutbox distinguishes "stepped, sent nothing" from "did not step".
 var emptyOutbox = make([]Send, 0)
-
-func (e *Engine) stepConcurrent(round int, outboxes [][]Send) {
-	var wg sync.WaitGroup
-	workers := 8
-	n := e.cfg.N
-	if n < workers {
-		workers = n
-	}
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for u := lo; u < hi; u++ {
-				outboxes[u] = e.stepOne(u, round)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// deliver applies crash filtering, CONGEST checks, accounting and trace
-// recording to node u's round-r outbox, then places delivered messages in
-// the receivers' next inboxes.
-func (e *Engine) deliver(u, round int, outbox []Send, crashing bool) error {
-	n := e.cfg.N
-	var usedPorts map[int]struct{}
-	if len(outbox) > 1 {
-		usedPorts = make(map[int]struct{}, len(outbox))
-	}
-	for i, s := range outbox {
-		if s.Port < 1 || s.Port >= n {
-			if err := e.violate(u, round, fmt.Sprintf("port %d out of range", s.Port)); err != nil {
-				return err
-			}
-			continue
-		}
-		if usedPorts != nil {
-			if _, dup := usedPorts[s.Port]; dup {
-				if err := e.violate(u, round, fmt.Sprintf("two messages on port %d in one round", s.Port)); err != nil {
-					return err
-				}
-			}
-			usedPorts[s.Port] = struct{}{}
-		}
-		sz := s.Payload.Bits(n)
-		if sz > e.bitBudget {
-			if err := e.violate(u, round, fmt.Sprintf("payload %q is %d bits, budget %d", s.Payload.Kind(), sz, e.bitBudget)); err != nil {
-				return err
-			}
-		}
-		// A message is "sent" (and counts toward message complexity) even
-		// if the sender crashes mid-round and the message is lost: the
-		// paper counts messages sent by all nodes.
-		e.counters.AddMessage(s.Payload.Kind(), sz)
-
-		if crashing && !e.adv.DeliverOnCrash(u, round, i, s) {
-			e.digest.words(digestDrop, uint64(u), uint64(s.Port), uint64(sz))
-			e.digest.str(s.Payload.Kind())
-			continue
-		}
-		e.digest.words(digestSend, uint64(u), uint64(s.Port), uint64(sz))
-		e.digest.str(s.Payload.Kind())
-		v := Peer(n, u, s.Port)
-		e.nextInbox[v] = append(e.nextInbox[v], Delivery{
-			Port:    ArrivalPort(n, u, v),
-			Payload: s.Payload,
-		})
-		if e.trace != nil {
-			e.trace.noteSend(u, v, round)
-		}
-	}
-	return nil
-}
-
-func (e *Engine) violate(node, round int, reason string) error {
-	if e.cfg.Strict {
-		return fmt.Errorf("netsim: node %d round %d: %s", node, round, reason)
-	}
-	e.violations = append(e.violations, Violation{Node: node, Round: round, Reason: reason})
-	return nil
-}
 
 func (e *Engine) allQuiet() bool {
 	for u := range e.machines {

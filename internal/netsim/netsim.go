@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"runtime"
 
 	"sublinear/internal/metrics"
 	"sublinear/internal/rng"
@@ -43,6 +44,26 @@ type Payload interface {
 	Bits(n int) int
 	// Kind returns a short label for accounting (e.g. "propose").
 	Kind() string
+}
+
+// Kinded is an optional Payload extension. A payload whose type
+// precomputes its interned kind id (typically in a package-level
+// `var kindFoo = metrics.InternKind("foo")`) lets the engine's
+// per-message hot path skip the string-keyed registry lookup entirely.
+// Payloads without it still work; the engine falls back to interning
+// Kind() on the fly.
+type Kinded interface {
+	KindID() metrics.Kind
+}
+
+// PayloadKindID resolves a payload's interned kind: the precomputed id
+// when the payload implements Kinded, otherwise a registry lookup on its
+// Kind() string.
+func PayloadKindID(p Payload) metrics.Kind {
+	if k, ok := p.(Kinded); ok {
+		return k.KindID()
+	}
+	return metrics.InternKind(p.Kind())
 }
 
 // Send is an outgoing message: a payload addressed to a local port.
@@ -150,8 +171,14 @@ type Config struct {
 	Strict bool
 	// Record enables the message trace needed by the influence-cloud
 	// analysis (internal/cloud). Costs memory proportional to the number
-	// of messages.
+	// of messages, and forces the delivery pipeline to a single lane so
+	// trace entries keep their deterministic first-crossing order.
 	Record bool
+	// Workers sizes the engine's worker pool, used by the Parallel step
+	// phase and by the sharded delivery pipeline in the Parallel and
+	// Actors modes. Zero selects runtime.GOMAXPROCS(0); 1 forces a fully
+	// single-threaded pipeline; negative is invalid.
+	Workers int
 }
 
 func (c *Config) validate() error {
@@ -164,7 +191,19 @@ func (c *Config) validate() error {
 	if c.MaxRounds < 1 {
 		return errors.New("netsim: config MaxRounds must be >= 1")
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("netsim: config Workers = %d, need >= 0", c.Workers)
+	}
 	return nil
+}
+
+// workerCount resolves the configured pool size: the explicit override
+// when set, otherwise the scheduler's processor count.
+func (c *Config) workerCount() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (c *Config) bitBudget() int {

@@ -3,6 +3,8 @@ package netsim
 import (
 	"testing"
 	"testing/quick"
+
+	"sublinear/internal/metrics"
 )
 
 func TestPeerArrivalPortInverse(t *testing.T) {
@@ -173,5 +175,8 @@ type testPayload struct {
 	size int
 }
 
-func (p testPayload) Bits(int) int { return max(p.size, 1) }
-func (testPayload) Kind() string   { return "test" }
+var testKind = metrics.InternKind("test")
+
+func (p testPayload) Bits(int) int       { return max(p.size, 1) }
+func (testPayload) Kind() string         { return "test" }
+func (testPayload) KindID() metrics.Kind { return testKind }

@@ -11,35 +11,56 @@ package netsim
 //
 // The zero value is ready to use.
 type EdgeQueue struct {
-	perPort map[int][]Payload
-	ports   []int // insertion order, for deterministic flushes
+	perPort map[int]*portQueue
+	ports   []int // insertion order of active ports, for deterministic flushes
+	pending int
+}
+
+// portQueue is one port's FIFO. Popping advances head instead of
+// re-slicing, and a drained queue resets for reuse, so the steady-state
+// enqueue/flush cycle on a recurring port allocates nothing.
+type portQueue struct {
+	items  []Payload
+	head   int
+	active bool // present in EdgeQueue.ports
 }
 
 // Enqueue adds a payload destined for the given port.
 func (q *EdgeQueue) Enqueue(port int, p Payload) {
 	if q.perPort == nil {
-		q.perPort = make(map[int][]Payload)
+		q.perPort = make(map[int]*portQueue)
 	}
-	if _, seen := q.perPort[port]; !seen {
+	pq := q.perPort[port]
+	if pq == nil {
+		pq = &portQueue{}
+		q.perPort[port] = pq
+	}
+	if !pq.active {
+		pq.active = true
 		q.ports = append(q.ports, port)
 	}
-	q.perPort[port] = append(q.perPort[port], p)
+	pq.items = append(pq.items, p)
+	q.pending++
 }
 
 // Flush pops at most one payload per port and appends the resulting sends
 // to dst, returning the extended slice.
 func (q *EdgeQueue) Flush(dst []Send) []Send {
-	if len(q.perPort) == 0 {
+	if q.pending == 0 {
 		return dst
 	}
 	remaining := q.ports[:0]
 	for _, port := range q.ports {
-		queue := q.perPort[port]
-		dst = append(dst, Send{Port: port, Payload: queue[0]})
-		if len(queue) == 1 {
-			delete(q.perPort, port)
+		pq := q.perPort[port]
+		dst = append(dst, Send{Port: port, Payload: pq.items[pq.head]})
+		pq.items[pq.head] = nil // drop the reference; the slice is recycled
+		pq.head++
+		q.pending--
+		if pq.head == len(pq.items) {
+			pq.items = pq.items[:0]
+			pq.head = 0
+			pq.active = false
 		} else {
-			q.perPort[port] = queue[1:]
 			remaining = append(remaining, port)
 		}
 	}
@@ -48,13 +69,7 @@ func (q *EdgeQueue) Flush(dst []Send) []Send {
 }
 
 // Empty reports whether no payloads are pending.
-func (q *EdgeQueue) Empty() bool { return len(q.perPort) == 0 }
+func (q *EdgeQueue) Empty() bool { return q.pending == 0 }
 
 // Pending returns the total number of queued payloads.
-func (q *EdgeQueue) Pending() int {
-	total := 0
-	for _, queue := range q.perPort {
-		total += len(queue)
-	}
-	return total
-}
+func (q *EdgeQueue) Pending() int { return q.pending }

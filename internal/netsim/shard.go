@@ -1,0 +1,422 @@
+package netsim
+
+// The sharded delivery pipeline. Phase 2 of a round — port validation,
+// CONGEST enforcement, accounting, digesting, and inbox placement — used
+// to run message-by-message on the coordination thread, paying a
+// string-keyed map lookup, a string hash, and a fresh map allocation per
+// sender. This file replaces that loop with a pipeline that is both
+// parallel and allocation-free in the steady state:
+//
+//   - Pass A (coordination thread, ascending node order): crash
+//     decisions. The adversary interface is stateful and order-sensitive,
+//     so CrashNow/DeliverOnCrash calls never move off the coordination
+//     thread and never reorder.
+//   - Pass B (sender shards, worker pool): each worker owns a contiguous
+//     range of senders and performs validation, accounting into
+//     flat per-worker counters, per-sender lane digests, and routing of
+//     deliveries into per-(sender-shard, receiver-shard) buckets.
+//     Duplicate-port detection uses a reusable bitset instead of a
+//     per-sender map.
+//   - Pass C (receiver shards, worker pool): each worker owns a
+//     contiguous range of receivers and drains every sender shard's
+//     bucket for it — in ascending sender-shard order, so each inbox sees
+//     deliveries in exactly the order the sequential engine produced —
+//     into nextInbox without any cross-worker append contention.
+//   - Pass D (coordination thread, ascending node order): per-worker
+//     counters and violations merge, and crash events plus per-sender
+//     lane digests fold into the run digest. Everything order-sensitive
+//     happens here, which is the determinism argument: the run digest is
+//     a pure function of per-sender lanes folded in node order, and each
+//     lane is a pure function of one sender's outbox.
+//
+// All buffers (buckets, bitsets, lane arrays, crash masks) are allocated
+// once per Run and recycled, so the steady-state round loop performs no
+// allocations.
+
+import (
+	"fmt"
+	"sync"
+
+	"sublinear/internal/metrics"
+)
+
+// routed is a delivery annotated with its receiver, parked in a bucket
+// between the sender pass and the receiver scatter pass.
+type routed struct {
+	to int
+	d  Delivery
+}
+
+// delivWorker is one worker's private slice of pipeline state. Nothing
+// here is touched by any other goroutine between barriers.
+type delivWorker struct {
+	messages   int64
+	bits       int64
+	perKind    []int64    // flat tallies indexed by metrics.Kind
+	portSeen   []uint64   // duplicate-port bitset, cleared after each sender
+	buckets    [][]routed // outgoing deliveries, one bucket per receiver shard
+	violations []Violation
+	err        error // first strict-mode violation; aborts the run
+}
+
+// violate records a CONGEST violation, mirroring Engine.violate: an error
+// in strict mode (stored, surfaced at the barrier), a record otherwise.
+// It reports whether processing may continue.
+func (wk *delivWorker) violate(strict bool, node, round int, reason string) bool {
+	if strict {
+		wk.err = fmt.Errorf("netsim: node %d round %d: %s", node, round, reason)
+		return false
+	}
+	wk.violations = append(wk.violations, Violation{Node: node, Round: round, Reason: reason})
+	return true
+}
+
+func (wk *delivWorker) count(k metrics.Kind, bits int) {
+	wk.messages++
+	wk.bits += int64(bits)
+	if int(k) >= len(wk.perKind) {
+		grown := make([]int64, maxIntn(int(k)+1, metrics.KindCount()))
+		copy(grown, wk.perKind)
+		wk.perKind = grown
+	}
+	wk.perKind[k]++
+}
+
+// pipeline executes Phase 2 for every round of one Run. It also lends its
+// worker pool to the Parallel mode's step phase, so an engine spins up at
+// most one pool regardless of mode.
+type pipeline struct {
+	e     *Engine
+	w     int // shard / worker count
+	chunk int // nodes per shard
+
+	workers  []delivWorker
+	lane     []uint64 // per-sender lane digest; 0 = no events this round
+	crashing []bool   // per-sender: crashed this round
+	keep     [][]bool // crash-round delivery masks, indexed by sender
+	pool     *shardPool
+
+	// Per-dispatch inputs, set on the coordination thread before the
+	// pass barrier releases the workers.
+	round    int
+	outboxes [][]Send
+}
+
+// passID selects the work a dispatched shard performs.
+type passID int
+
+const (
+	passStep    passID = iota // Phase 1: step machines (Parallel mode)
+	passSenders               // Phase 2, pass B: process sender outboxes
+	passScatter               // Phase 2, pass C: scatter buckets to inboxes
+)
+
+func newPipeline(e *Engine, w int) *pipeline {
+	n := e.cfg.N
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	chunk := (n + w - 1) / w
+	w = (n + chunk - 1) / chunk // drop empty tail shards
+	p := &pipeline{
+		e:        e,
+		w:        w,
+		chunk:    chunk,
+		workers:  make([]delivWorker, w),
+		lane:     make([]uint64, n),
+		crashing: make([]bool, n),
+		keep:     make([][]bool, n),
+	}
+	words := (n + 63) / 64
+	for i := range p.workers {
+		p.workers[i].portSeen = make([]uint64, words)
+		p.workers[i].buckets = make([][]routed, w)
+	}
+	if w > 1 {
+		p.pool = newShardPool(w)
+	}
+	return p
+}
+
+func (p *pipeline) close() {
+	if p.pool != nil {
+		p.pool.close()
+	}
+}
+
+// stepRound runs Phase 1 (machine stepping) for the Parallel mode across
+// the shard pool.
+func (p *pipeline) stepRound(round int, outboxes [][]Send) {
+	p.round = round
+	p.outboxes = outboxes
+	p.dispatch(passStep)
+}
+
+// runRound executes Phase 2 for one round and reports whether any sender
+// still had messages in flight.
+func (p *pipeline) runRound(round int, outboxes [][]Send) (bool, error) {
+	e := p.e
+	n := e.cfg.N
+	inFlight := false
+
+	// Pass A: crash decisions, on the coordination thread in ascending
+	// node order — the exact call sequence stateful adversaries observed
+	// under the sequential engine.
+	for u := 0; u < n; u++ {
+		outbox := outboxes[u]
+		p.crashing[u] = false
+		if outbox == nil {
+			continue
+		}
+		if len(outbox) > 0 {
+			inFlight = true
+		}
+		if e.crashedAt[u] == 0 && e.adv.Faulty(u) && e.adv.CrashNow(u, round, outbox) {
+			p.crashing[u] = true
+			e.crashedAt[u] = round
+			mask := p.keep[u]
+			if cap(mask) < len(outbox) {
+				mask = make([]bool, len(outbox))
+			} else {
+				mask = mask[:len(outbox)]
+			}
+			for i, s := range outbox {
+				// Out-of-range ports never reach the adversary, matching
+				// the sequential engine's call set.
+				mask[i] = s.Port >= 1 && s.Port < n && e.adv.DeliverOnCrash(u, round, i, s)
+			}
+			p.keep[u] = mask
+		}
+	}
+
+	p.round = round
+	p.outboxes = outboxes
+	p.dispatch(passSenders)
+	if p.w > 1 {
+		// Single-shard pipelines route deliveries straight into nextInbox
+		// during the sender pass; only multi-shard runs need the scatter.
+		p.dispatch(passScatter)
+	}
+
+	// Pass D: deterministic merge. Strict-mode errors surface first — the
+	// lowest-numbered worker holds the violation with the smallest
+	// (sender, message) position, matching the sequential engine's abort.
+	for i := range p.workers {
+		if err := p.workers[i].err; err != nil {
+			return false, err
+		}
+	}
+	for i := range p.workers {
+		wk := &p.workers[i]
+		e.counters.AddBulk(wk.messages, wk.bits, wk.perKind)
+		wk.messages, wk.bits = 0, 0
+		for k := range wk.perKind {
+			wk.perKind[k] = 0
+		}
+		if len(wk.violations) > 0 {
+			e.violations = append(e.violations, wk.violations...)
+			wk.violations = wk.violations[:0]
+		}
+	}
+	for u := 0; u < n; u++ {
+		if p.crashing[u] {
+			e.digest.words(digestCrash, uint64(u), uint64(round))
+		}
+		if h := p.lane[u]; h != 0 {
+			e.digest.word(digestLane | uint64(u)<<8)
+			e.digest.word(h)
+			p.lane[u] = 0
+		}
+		outboxes[u] = nil
+	}
+	return inFlight, nil
+}
+
+// dispatch runs one pass across every shard and waits for the barrier.
+// With a single shard the pass runs inline on the coordination thread.
+func (p *pipeline) dispatch(pass passID) {
+	if p.pool == nil {
+		p.runShard(0, pass)
+		return
+	}
+	p.pool.run(func(shard int) { p.runShard(shard, pass) })
+}
+
+func (p *pipeline) runShard(shard int, pass passID) {
+	lo := shard * p.chunk
+	hi := lo + p.chunk
+	if hi > p.e.cfg.N {
+		hi = p.e.cfg.N
+	}
+	switch pass {
+	case passStep:
+		for u := lo; u < hi; u++ {
+			p.outboxes[u] = p.e.stepOne(u, p.round)
+		}
+	case passSenders:
+		wk := &p.workers[shard]
+		for u := lo; u < hi; u++ {
+			if outbox := p.outboxes[u]; len(outbox) > 0 {
+				p.processSender(wk, u, outbox)
+				if wk.err != nil {
+					return
+				}
+			}
+		}
+	case passScatter:
+		p.scatter(shard)
+	}
+}
+
+// processSender validates, accounts, digests and routes one sender's
+// round outbox. It runs on whichever worker owns the sender's shard and
+// touches only that worker's private state plus lane[u].
+func (p *pipeline) processSender(wk *delivWorker, u int, outbox []Send) {
+	e := p.e
+	n := e.cfg.N
+	round := p.round
+	crashing := p.crashing[u]
+	var keep []bool
+	if crashing {
+		keep = p.keep[u]
+	}
+	checkDup := len(outbox) > 1
+	// With one shard there is no cross-worker routing to serialize, so
+	// deliveries skip the bucket bounce and append straight to nextInbox —
+	// one copy and one write barrier per message instead of two.
+	direct := p.w == 1
+	lane := laneInit()
+	events := 0
+	for i, s := range outbox {
+		if s.Port < 1 || s.Port >= n {
+			if !wk.violate(e.cfg.Strict, u, round, fmt.Sprintf("port %d out of range", s.Port)) {
+				return
+			}
+			continue
+		}
+		if checkDup {
+			word, bit := uint(s.Port)>>6, uint64(1)<<(uint(s.Port)&63)
+			if wk.portSeen[word]&bit != 0 {
+				if !wk.violate(e.cfg.Strict, u, round, fmt.Sprintf("two messages on port %d in one round", s.Port)) {
+					return
+				}
+			}
+			wk.portSeen[word] |= bit
+		}
+		sz := s.Payload.Bits(n)
+		if sz > e.bitBudget {
+			if !wk.violate(e.cfg.Strict, u, round, fmt.Sprintf("payload %q is %d bits, budget %d", s.Payload.Kind(), sz, e.bitBudget)) {
+				return
+			}
+		}
+		// A message is "sent" (and counts toward message complexity) even
+		// if the sender crashes mid-round and the message is lost: the
+		// paper counts messages sent by all nodes.
+		kid := PayloadKindID(s.Payload)
+		wk.count(kid, sz)
+
+		if crashing && !keep[i] {
+			lane = laneEvent(lane, digestDrop, s.Port, sz, metrics.KindHash(kid))
+			events++
+			continue
+		}
+		lane = laneEvent(lane, digestSend, s.Port, sz, metrics.KindHash(kid))
+		events++
+		v := (u + s.Port) % n
+		d := Delivery{Port: ArrivalPort(n, u, v), Payload: s.Payload}
+		if direct {
+			e.nextInbox[v] = append(e.nextInbox[v], d)
+		} else {
+			rs := v / p.chunk
+			wk.buckets[rs] = append(wk.buckets[rs], routed{to: v, d: d})
+		}
+		if e.trace != nil {
+			// Trace recording forces a single-lane pipeline (see Run), so
+			// this call stays on one goroutine in (sender, index) order.
+			e.trace.noteSend(u, v, round)
+		}
+	}
+	if checkDup {
+		for _, s := range outbox {
+			if s.Port >= 1 && s.Port < n {
+				wk.portSeen[uint(s.Port)>>6] &^= uint64(1) << (uint(s.Port) & 63)
+			}
+		}
+	}
+	if events > 0 {
+		p.lane[u] = lane
+	}
+}
+
+// scatter drains every sender shard's bucket for this receiver shard into
+// nextInbox. Sender shards are visited in ascending order and each bucket
+// holds deliveries in ascending (sender, index) order, so every inbox
+// receives exactly the sequential engine's delivery order.
+func (p *pipeline) scatter(shard int) {
+	next := p.e.nextInbox
+	for s := range p.workers {
+		bucket := p.workers[s].buckets[shard]
+		for _, r := range bucket {
+			next[r.to] = append(next[r.to], r.d)
+		}
+		p.workers[s].buckets[shard] = bucket[:0]
+	}
+}
+
+// shardPool is a persistent, fixed-size worker pool: one goroutine per
+// shard for the lifetime of a Run, released per pass through per-worker
+// channels and collected with a WaitGroup barrier.
+type shardPool struct {
+	fn     func(shard int)
+	start  []chan struct{}
+	done   sync.WaitGroup
+	exited sync.WaitGroup
+}
+
+func newShardPool(w int) *shardPool {
+	p := &shardPool{start: make([]chan struct{}, w)}
+	p.exited.Add(w)
+	for i := range p.start {
+		p.start[i] = make(chan struct{}, 1)
+		go p.worker(i)
+	}
+	return p
+}
+
+func (p *shardPool) worker(i int) {
+	defer p.exited.Done()
+	for range p.start[i] {
+		p.fn(i)
+		p.done.Done()
+	}
+}
+
+// run executes fn(shard) on every worker and blocks until all complete.
+// The channel sends publish the fn write to the workers.
+func (p *shardPool) run(fn func(shard int)) {
+	p.fn = fn
+	p.done.Add(len(p.start))
+	for _, ch := range p.start {
+		ch <- struct{}{}
+	}
+	p.done.Wait()
+}
+
+// close terminates the workers and waits for them to exit — pool
+// goroutines must never outlive the engine run.
+func (p *shardPool) close() {
+	for _, ch := range p.start {
+		close(ch)
+	}
+	p.exited.Wait()
+}
+
+func maxIntn(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

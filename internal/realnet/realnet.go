@@ -250,7 +250,7 @@ func (h *hub) roundLoop() (int, error) {
 				if s.Port < 1 || s.Port >= n {
 					return 0, fmt.Errorf("realnet: node %d sent to invalid port %d", u, s.Port)
 				}
-				h.counters.AddMessage(s.Payload.Kind(), s.Payload.Bits(n))
+				h.counters.AddKind(netsim.PayloadKindID(s.Payload), s.Payload.Bits(n))
 				if crashing && !h.cfg.Adversary.DeliverOnCrash(u, round, i, s) {
 					continue
 				}

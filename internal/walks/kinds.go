@@ -1,0 +1,10 @@
+package walks
+
+import "sublinear/internal/metrics"
+
+// Interned kind id shared by the walk and agreement tokens. Precomputing
+// it keeps the simulator's per-message accounting off the string registry.
+var kindToken = metrics.InternKind("token")
+
+func (walkToken) KindID() metrics.Kind  { return kindToken }
+func (agreeToken) KindID() metrics.Kind { return kindToken }
