@@ -1,0 +1,314 @@
+// Command fleetctl is the distributed sweep coordinator: it decomposes
+// an experiment sweep, a dst campaign, or an ad-hoc simulation batch
+// into seed-range shards and dispatches them over HTTP to a pool of
+// simd workers, with per-worker circuit breakers, hedged re-dispatch of
+// stragglers, and an append-only journal that lets a killed run resume
+// without repeating completed shards.
+//
+// Usage:
+//
+//	fleetctl -sweep election-scaling -workers host1:8080,host2:8080
+//	fleetctl -sweep table1-mini -spawn 3
+//	fleetctl -dst 500 -spawn 4 -journal .fleet
+//	fleetctl -protocol election -n 64 -alpha 0.75 -reps 32 -spawn 2
+//	fleetctl -list
+//
+// -spawn k starts k local simd children on ephemeral ports, uses them
+// as the worker pool, and tears them down (SIGTERM, then SIGKILL after
+// the drain budget) when the run ends. Exit status: 0 clean, 1 usage or
+// infrastructure errors, 2 when a shard exhausted its retry budget or a
+// distributed dst campaign surfaced a failure — the same convention as
+// dstrun and the other CLIs.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"sublinear/internal/cliutil"
+	"sublinear/internal/experiment"
+	"sublinear/internal/fleet"
+)
+
+// errFailureFound marks a run that completed but found a failure: an
+// exhausted shard or a dst case violation. Maps to exit status 2.
+var errFailureFound = errors.New("failure found")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errFailureFound) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "fleetctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fleetctl", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		workers     = fs.String("workers", "", "comma-separated simd worker base URLs or host:port pairs")
+		spawn       = fs.Int("spawn", 0, "spawn this many local simd workers on ephemeral ports")
+		simdBin     = fs.String("simd-bin", "simd", "simd binary for -spawn (path or name on PATH)")
+		sweepName   = fs.String("sweep", "", "run a named sweep (see -list)")
+		dstCases    = fs.Int("dst", 0, "run a distributed dst campaign of this many cases")
+		protocol    = fs.String("protocol", "", "ad-hoc batch: protocol to run (election|agreement|...)")
+		n           = fs.Int("n", 64, "ad-hoc batch: network size")
+		alpha       = fs.Float64("alpha", 0.75, "ad-hoc batch: fraction of nodes that stay up")
+		reps        = fs.Int("reps", 0, "override total repetitions per sweep point (0 = sweep default)")
+		shardReps   = fs.Int("shard-reps", 0, "repetitions per shard (0 = default 8)")
+		seed        = fs.Uint64("seed", 1, "base seed; the plan hash and every shard seed derive from it")
+		journalDir  = fs.String("journal", "", "journal directory for kill/resume (empty = journaling off)")
+		timeout     = fs.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
+		hedgeAfter  = fs.Duration("hedge-after", 10*time.Second, "re-dispatch a straggling shard after this long (negative = off)")
+		maxAttempts = fs.Int("max-attempts", 4, "per-shard failed-attempt budget")
+		drain       = fs.Duration("drain-timeout", 15*time.Second, "budget for spawned workers to drain on shutdown")
+		outFile     = fs.String("out", "", "write the merged report here as well as stdout")
+		list        = fs.Bool("list", false, "list named sweeps and exit")
+		quiet       = fs.Bool("quiet", false, "suppress per-shard progress")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, s := range experiment.StandardSweeps() {
+			fmt.Fprintf(out, "%-20s %s (%d points, %d reps)\n", s.Name, s.Title, len(s.Points), s.TotalReps())
+		}
+		return nil
+	}
+
+	workload, err := buildWorkload(*sweepName, *dstCases, *protocol, *n, *alpha, *reps, *shardReps, *seed)
+	if err != nil {
+		return err
+	}
+	plan, err := fleet.NewPlan(workload)
+	if err != nil {
+		return err
+	}
+
+	progress := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	if *quiet {
+		progress = func(string, ...any) {}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	urls := splitWorkers(*workers)
+	if *spawn > 0 {
+		pool, err := spawnWorkers(ctx, *simdBin, *spawn, *drain, progress)
+		if err != nil {
+			return err
+		}
+		defer pool.shutdown(progress)
+		urls = append(urls, pool.urls...)
+	}
+	if len(urls) == 0 {
+		return errors.New("no workers: pass -workers or -spawn")
+	}
+
+	cfg := fleet.Config{
+		Workers:     urls,
+		JournalDir:  *journalDir,
+		HedgeAfter:  *hedgeAfter,
+		MaxAttempts: *maxAttempts,
+		Seed:        *seed,
+		Progress:    progress,
+	}
+	progress("fleetctl: plan %.16s: %d shards over %d workers", plan.Hash, len(plan.Shards), len(urls))
+
+	outcome, err := cliutil.RunTimeout(*timeout, func() (*fleet.Outcome, error) {
+		return fleet.Run(ctx, cfg, plan)
+	})
+	switch {
+	case errors.Is(err, fleet.ErrShardsFailed):
+		progress("fleetctl: %v", err)
+		return fmt.Errorf("%w: %d shard(s) exhausted retries", errFailureFound, len(outcome.FailedShards))
+	case err != nil:
+		return err
+	}
+
+	rep, err := fleet.MergeReport(plan, outcome.Results)
+	if err != nil {
+		return err
+	}
+	if err := rep.Render(out); err != nil {
+		return err
+	}
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		if err := rep.Render(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	progress("fleetctl: %d shards done (%d resumed, %d hedged, %d retries)",
+		len(outcome.Results), outcome.Resumed, outcome.Hedged, outcome.Retries)
+	if workload.Kind == fleet.KindDST && dstFoundFailure(rep) {
+		return fmt.Errorf("%w: dst campaign surfaced failures", errFailureFound)
+	}
+	return nil
+}
+
+func buildWorkload(sweepName string, dstCases int, protocol string, n int, alpha float64, reps, shardReps int, seed uint64) (fleet.Workload, error) {
+	modes := 0
+	for _, on := range []bool{sweepName != "", dstCases > 0, protocol != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		return fleet.Workload{}, errors.New("pick exactly one of -sweep, -dst, or -protocol")
+	}
+	w := fleet.Workload{ShardReps: shardReps, Seed: seed}
+	switch {
+	case dstCases > 0:
+		w.Kind = fleet.KindDST
+		w.DSTCases = dstCases
+	case sweepName != "":
+		s, ok := experiment.FindSweep(sweepName)
+		if !ok {
+			return fleet.Workload{}, fmt.Errorf("unknown sweep %q (see -list)", sweepName)
+		}
+		if reps > 0 {
+			s = s.Scale(reps)
+		}
+		w.Kind = fleet.KindSweep
+		w.Sweep = s
+	default:
+		if reps <= 0 {
+			reps = 16
+		}
+		w.Kind = fleet.KindSweep
+		w.Sweep = experiment.Sweep{
+			Name:  "adhoc",
+			Title: fmt.Sprintf("ad-hoc %s batch", protocol),
+			Points: []experiment.SweepPoint{{
+				Label: fmt.Sprintf("%s n=%d", protocol, n), Protocol: protocol,
+				N: n, Alpha: alpha, Reps: reps,
+			}},
+		}
+	}
+	return w, nil
+}
+
+func splitWorkers(s string) []string {
+	var urls []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if !strings.Contains(part, "://") {
+			part = "http://" + part
+		}
+		urls = append(urls, strings.TrimRight(part, "/"))
+	}
+	return urls
+}
+
+func dstFoundFailure(rep *experiment.Report) bool {
+	for _, n := range rep.Notes {
+		if strings.HasPrefix(n, "FAILURE ") {
+			return true
+		}
+	}
+	return false
+}
+
+// workerPool is a set of spawned local simd children.
+type workerPool struct {
+	urls  []string
+	procs []*exec.Cmd
+	drain time.Duration
+}
+
+// spawnWorkers starts k simd children on ephemeral ports and waits for
+// each to publish its bound address through -port-file.
+func spawnWorkers(ctx context.Context, bin string, k int, drain time.Duration, progress func(string, ...any)) (*workerPool, error) {
+	dir, err := os.MkdirTemp("", "fleetctl-spawn-")
+	if err != nil {
+		return nil, err
+	}
+	pool := &workerPool{drain: drain}
+	for i := 0; i < k; i++ {
+		portFile := filepath.Join(dir, fmt.Sprintf("worker-%d.addr", i))
+		cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-port-file", portFile)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			pool.shutdown(progress)
+			return nil, fmt.Errorf("spawn simd: %w", err)
+		}
+		pool.procs = append(pool.procs, cmd)
+		addr, err := awaitPortFile(ctx, portFile, 10*time.Second)
+		if err != nil {
+			pool.shutdown(progress)
+			return nil, fmt.Errorf("worker %d never published its address: %w", i, err)
+		}
+		pool.urls = append(pool.urls, "http://"+addr)
+		progress("fleetctl: spawned simd worker pid=%d addr=%s", cmd.Process.Pid, addr)
+	}
+	return pool, nil
+}
+
+func awaitPortFile(ctx context.Context, path string, budget time.Duration) (string, error) {
+	deadline := time.Now().Add(budget)
+	for {
+		data, err := os.ReadFile(path)
+		if err == nil && strings.Contains(string(data), "\n") {
+			return strings.TrimSpace(string(data)), nil
+		}
+		if time.Now().After(deadline) {
+			return "", errors.New("timed out")
+		}
+		select {
+		case <-ctx.Done():
+			return "", ctx.Err()
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// shutdown drains every spawned child: SIGTERM, a bounded wait for the
+// graceful drain, then SIGKILL for anything still alive. No orphans.
+func (p *workerPool) shutdown(progress func(string, ...any)) {
+	for _, cmd := range p.procs {
+		if cmd.Process != nil {
+			cmd.Process.Signal(syscall.SIGTERM)
+		}
+	}
+	for _, cmd := range p.procs {
+		cmd := cmd
+		if cmd.Process == nil {
+			continue
+		}
+		_, err := cliutil.RunTimeout(p.drain, func() (struct{}, error) {
+			return struct{}{}, cmd.Wait()
+		})
+		if errors.Is(err, cliutil.ErrTimeout) {
+			progress("fleetctl: worker pid=%d ignored SIGTERM, killing", cmd.Process.Pid)
+			cmd.Process.Kill()
+			cmd.Wait()
+		} else {
+			progress("fleetctl: worker pid=%d drained", cmd.Process.Pid)
+		}
+	}
+	p.procs = nil
+}

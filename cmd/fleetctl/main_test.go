@@ -1,0 +1,156 @@
+package main
+
+// Process-level tests: build the real simd and fleetctl binaries, run a
+// sweep with -spawn, and assert the spawned children are reaped in every
+// exit path — clean completion and SIGTERM mid-run. These are the "no
+// orphans" guarantees fleetctl advertises.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildBinaries compiles simd and fleetctl once into a shared temp dir.
+func buildBinaries(t *testing.T) (simd, fleetctl string) {
+	t.Helper()
+	dir := t.TempDir()
+	simd = filepath.Join(dir, "simd")
+	fleetctl = filepath.Join(dir, "fleetctl")
+	for bin, pkg := range map[string]string{simd: "sublinear/cmd/simd", fleetctl: "sublinear/cmd/fleetctl"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Dir = repoRoot(t)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", pkg, err, out)
+		}
+	}
+	return simd, fleetctl
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, "..", "..")
+}
+
+var pidRe = regexp.MustCompile(`spawned simd worker pid=(\d+)`)
+
+func spawnedPids(t *testing.T, stderr []byte) []int {
+	t.Helper()
+	var pids []int
+	for _, m := range pidRe.FindAllSubmatch(stderr, -1) {
+		pid, err := strconv.Atoi(string(m[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pids = append(pids, pid)
+	}
+	return pids
+}
+
+// assertGone polls until every pid has exited (signal 0 fails).
+func assertGone(t *testing.T, pids []int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for _, pid := range pids {
+		for {
+			// A reparented orphan would still accept signal 0.
+			if err := syscall.Kill(pid, 0); err != nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("worker pid %d is still alive: orphaned", pid)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+}
+
+func TestSpawnRunsAndReapsWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real binaries")
+	}
+	simd, fleetctl := buildBinaries(t)
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(fleetctl,
+		"-spawn", "2", "-simd-bin", simd,
+		"-protocol", "election", "-n", "32", "-alpha", "0.8",
+		"-reps", "6", "-shard-reps", "2", "-seed", "5",
+		"-hedge-after", "-1s", "-timeout", "2m")
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("fleetctl: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if !bytes.Contains(stdout.Bytes(), []byte("merged sweep results")) {
+		t.Fatalf("no merged table in output:\n%s", stdout.String())
+	}
+	pids := spawnedPids(t, stderr.Bytes())
+	if len(pids) != 2 {
+		t.Fatalf("found %d spawned pids in stderr, want 2:\n%s", len(pids), stderr.String())
+	}
+	assertGone(t, pids)
+	if !bytes.Contains(stderr.Bytes(), []byte("drained")) {
+		t.Fatalf("workers were not drained gracefully:\n%s", stderr.String())
+	}
+}
+
+// TestSigtermReapsWorkers interrupts fleetctl mid-run and asserts the
+// spawned workers die with it rather than leaking.
+func TestSigtermReapsWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real binaries")
+	}
+	simd, fleetctl := buildBinaries(t)
+	// Stderr goes to a file so the test can poll it while the process is
+	// still writing (sharing a bytes.Buffer would race).
+	errFile, err := os.Create(filepath.Join(t.TempDir(), "stderr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer errFile.Close()
+	// A big ad-hoc batch so the run is still going when the signal lands.
+	cmd := exec.Command(fleetctl,
+		"-spawn", "2", "-simd-bin", simd,
+		"-protocol", "election", "-n", "96", "-alpha", "0.8",
+		"-reps", "400", "-shard-reps", "2", "-seed", "5")
+	cmd.Stderr = errFile
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	procDone := make(chan error, 1)
+	go func() { procDone <- cmd.Wait() }()
+
+	readErr := func() []byte {
+		data, _ := os.ReadFile(errFile.Name())
+		return data
+	}
+	// Wait until both workers are up, then SIGTERM the coordinator.
+	deadline := time.Now().Add(30 * time.Second)
+	for len(spawnedPids(t, readErr())) < 2 {
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("workers never spawned:\n%s", readErr())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	pids := spawnedPids(t, readErr())
+	cmd.Process.Signal(syscall.SIGTERM)
+
+	select {
+	case <-procDone:
+	case <-time.After(60 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("fleetctl did not exit after SIGTERM")
+	}
+	assertGone(t, pids)
+}

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -44,6 +45,7 @@ func run() error {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
 		maxN         = flag.Int("max-n", simsvc.DefaultLimits.MaxN, "largest accepted network size")
 		maxReps      = flag.Int("max-reps", simsvc.DefaultLimits.MaxReps, "largest accepted repetition count")
+		portFile     = flag.String("port-file", "", "write the bound listen address to this file once listening (for -addr :0)")
 	)
 	flag.Parse()
 
@@ -54,15 +56,29 @@ func run() error {
 		JobTimeout: *jobTimeout,
 		Limits:     simsvc.Limits{MaxN: *maxN, MaxReps: *maxReps},
 	})
-	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	server := &http.Server{Handler: svc.Handler()}
+
+	// Bind before daemonizing so -addr :0 picks an ephemeral port the
+	// parent can discover through -port-file (how fleetctl -spawn learns
+	// where its children listen).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("write -port-file: %w", err)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("simd listening on %s", *addr)
-		if err := server.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("simd listening on %s", ln.Addr())
+		if err := server.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
 	}()

@@ -1,0 +1,69 @@
+// Fleet quickstart: shard a small experiment sweep across three
+// in-process simd workers and merge the results deterministically.
+//
+// This is the library view of what `fleetctl -sweep ... -spawn 3` does
+// with real processes: the merged report below is bit-identical to the
+// one a single worker (or a local, unsharded run) would produce,
+// because shards carry exact seed ranges and return raw per-repetition
+// series.
+package main
+
+import (
+	"context"
+	"log"
+	"net/http/httptest"
+	"os"
+
+	"sublinear/internal/experiment"
+	"sublinear/internal/fleet"
+	"sublinear/internal/simsvc"
+)
+
+func main() {
+	// Three "workers": real simsvc services behind test listeners. In
+	// production these are simd daemons on other machines — fleetctl
+	// -spawn 3 starts them for you locally.
+	var urls []string
+	for i := 0; i < 3; i++ {
+		svc := simsvc.New(simsvc.Config{Workers: 2})
+		srv := httptest.NewServer(svc.Handler())
+		defer srv.Close()
+		defer svc.Close(context.Background())
+		urls = append(urls, srv.URL)
+	}
+
+	// A two-point sweep, 8 repetitions each, sharded 2 reps at a time →
+	// 8 shards spread over the pool.
+	plan, err := fleet.NewPlan(fleet.Workload{
+		Kind: fleet.KindSweep,
+		Sweep: experiment.Sweep{
+			Name:  "quickstart",
+			Title: "fleet quickstart sweep",
+			Points: []experiment.SweepPoint{
+				{Label: "election n=64", Protocol: "election", N: 64, Alpha: 0.75, Reps: 8},
+				{Label: "agreement n=64", Protocol: "agreement", N: 64, Alpha: 0.75, Reps: 8},
+			},
+		},
+		ShardReps: 2,
+		Seed:      42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out, err := fleet.Run(context.Background(), fleet.Config{
+		Workers:  urls,
+		Progress: log.Printf,
+	}, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := fleet.MergeReport(plan, out.Results)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rep.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -106,3 +106,36 @@ func RunCampaign(ctx context.Context, cfg CampaignConfig, logf func(format strin
 	}
 	return res, nil
 }
+
+// ShardCampaigns is the distributed campaign mode: it splits a campaign
+// into shard configs of at most shardSize cases each, for dispatch to
+// separate workers (cmd/fleetctl over simd). Each shard draws schedules
+// from its own seed stream, derived from the campaign seed and the
+// shard's starting case index through a splitmix64 finalizer, so
+// neighbouring shards fuzz decorrelated streams and every shard is
+// independently reproducible: the sharded union is fully determined by
+// (Systems, Cases, Seed, shardSize).
+func ShardCampaigns(cfg CampaignConfig, shardSize int) []CampaignConfig {
+	if shardSize <= 0 {
+		shardSize = 64
+	}
+	var shards []CampaignConfig
+	for lo := 0; lo < cfg.Cases; lo += shardSize {
+		s := cfg
+		s.Cases = min(shardSize, cfg.Cases-lo)
+		s.Seed = ShardSeed(cfg.Seed, lo)
+		shards = append(shards, s)
+	}
+	return shards
+}
+
+// ShardSeed derives the campaign seed of the shard starting at case lo.
+func ShardSeed(seed uint64, lo int) uint64 {
+	x := seed + uint64(lo)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -156,3 +156,43 @@ func TestCampaignHonorsContext(t *testing.T) {
 		t.Fatalf("cancelled campaign still checked %d cases", res.Cases)
 	}
 }
+
+func TestShardCampaigns(t *testing.T) {
+	base := CampaignConfig{Cases: 10, Seed: 3, Systems: []string{"election"}}
+	shards := ShardCampaigns(base, 4)
+	if len(shards) != 3 {
+		t.Fatalf("got %d shards, want 3", len(shards))
+	}
+	total := 0
+	seen := map[uint64]bool{}
+	for i, s := range shards {
+		total += s.Cases
+		if seen[s.Seed] {
+			t.Fatalf("shard %d reuses seed %d", i, s.Seed)
+		}
+		seen[s.Seed] = true
+		if len(s.Systems) != 1 || s.Systems[0] != "election" {
+			t.Fatalf("shard %d lost its system list: %+v", i, s.Systems)
+		}
+	}
+	if total != 10 {
+		t.Fatalf("shards cover %d cases, want 10", total)
+	}
+	// The decomposition is a pure function of (config, shard size).
+	again := ShardCampaigns(base, 4)
+	for i := range shards {
+		if shards[i].Seed != again[i].Seed || shards[i].Cases != again[i].Cases {
+			t.Fatalf("shard %d not reproducible: %+v vs %+v", i, shards[i], again[i])
+		}
+	}
+	// Each shard really runs: a tiny sharded campaign completes cleanly.
+	for _, s := range ShardCampaigns(CampaignConfig{Cases: 4, Seed: 11, Systems: []string{"election"}}, 2) {
+		res, err := RunCampaign(context.Background(), s, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cases != s.Cases {
+			t.Fatalf("shard ran %d/%d cases", res.Cases, s.Cases)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package experiment
+
+import "fmt"
+
+// This file describes protocol sweeps as data rather than code, so a
+// distributed coordinator (internal/fleet) can decompose them into
+// seed-range shards, farm the shards out to simd workers, and merge the
+// results back into the same kind of tables the in-process harness
+// renders. The bespoke E1–E13 experiments stay single-process functions;
+// a Sweep is the distribution-friendly subset: a list of parameter
+// points, each repeated Reps times with the standard seed schedule
+// seed(r) = base + r*SeedStride.
+
+// SeedStride is the per-repetition seed increment every harness in this
+// repository uses (see runElectionReps and simsvc.runSpec). A shard
+// covering repetitions [Lo, Hi) of a run with base seed s therefore runs
+// with base seed s + Lo*SeedStride, and the union over shards replays
+// exactly the repetition seeds of the unsharded run.
+const SeedStride = 7919
+
+// SweepPoint is one parameter point of a sweep. The fields mirror the
+// simsvc job schema (this package cannot import simsvc, which imports
+// the experiment registry); zero values mean the service defaults.
+type SweepPoint struct {
+	// Label names the point in rendered tables ("n=64", "alpha=0.7").
+	Label string
+	// Protocol is a simsvc protocol name: election, agreement, minagree,
+	// or a Table-I baseline (gk, floodset, gossip, rotating, allpairs,
+	// kutten, amp).
+	Protocol string
+	N        int
+	Alpha    float64
+	// F is the faulty-node count; nil derives (1-Alpha)*N.
+	F        *int
+	POne     float64
+	Policy   string
+	Engine   string
+	Explicit bool
+	Hunter   bool
+	Late     bool
+	// Reps is the repetition budget of this point.
+	Reps int
+}
+
+// Sweep is a named list of points: the decomposable description of one
+// experiment-style table.
+type Sweep struct {
+	Name   string
+	Title  string
+	Points []SweepPoint
+}
+
+// TotalReps sums the repetition budget over all points.
+func (s Sweep) TotalReps() int {
+	total := 0
+	for _, p := range s.Points {
+		total += p.Reps
+	}
+	return total
+}
+
+// SeedRange is a half-open repetition interval [Lo, Hi) of one point.
+type SeedRange struct {
+	Lo, Hi int
+}
+
+// Reps returns the repetition count of the range.
+func (r SeedRange) Reps() int { return r.Hi - r.Lo }
+
+// SeedRanges partitions reps repetitions into consecutive ranges of at
+// most size repetitions each: the seed-range decomposition of one sweep
+// point. size <= 0 means one range covering everything. The ranges are
+// returned in repetition order, which is the order a merger must
+// concatenate shard results in to reproduce the unsharded series.
+func SeedRanges(reps, size int) []SeedRange {
+	if reps <= 0 {
+		return nil
+	}
+	if size <= 0 || size > reps {
+		size = reps
+	}
+	out := make([]SeedRange, 0, (reps+size-1)/size)
+	for lo := 0; lo < reps; lo += size {
+		hi := lo + size
+		if hi > reps {
+			hi = reps
+		}
+		out = append(out, SeedRange{Lo: lo, Hi: hi})
+	}
+	return out
+}
+
+// standardSweeps are the named sweeps fleetctl accepts out of the box.
+// Repetition budgets are modest; callers scale them with Scale.
+var standardSweeps = []Sweep{
+	{
+		Name:  "election-scaling",
+		Title: "election message complexity vs n (alpha=0.6)",
+		Points: []SweepPoint{
+			{Label: "n=32", Protocol: "election", N: 32, Alpha: 0.6, Reps: 16},
+			{Label: "n=48", Protocol: "election", N: 48, Alpha: 0.6, Reps: 16},
+			{Label: "n=64", Protocol: "election", N: 64, Alpha: 0.6, Reps: 16},
+			{Label: "n=96", Protocol: "election", N: 96, Alpha: 0.6, Reps: 16},
+		},
+	},
+	{
+		Name:  "agreement-alpha",
+		Title: "agreement cost vs guaranteed non-faulty fraction (n=64)",
+		Points: []SweepPoint{
+			{Label: "alpha=0.55", Protocol: "agreement", N: 64, Alpha: 0.55, Reps: 16},
+			{Label: "alpha=0.70", Protocol: "agreement", N: 64, Alpha: 0.70, Reps: 16},
+			{Label: "alpha=0.85", Protocol: "agreement", N: 64, Alpha: 0.85, Reps: 16},
+			{Label: "alpha=1.00", Protocol: "agreement", N: 64, Alpha: 1.00, Reps: 16},
+		},
+	},
+	{
+		Name:  "table1-mini",
+		Title: "Table I comparators at n=64 (alpha=0.7)",
+		Points: []SweepPoint{
+			{Label: "election", Protocol: "election", N: 64, Alpha: 0.7, Reps: 12},
+			{Label: "agreement", Protocol: "agreement", N: 64, Alpha: 0.7, Reps: 12},
+			{Label: "gk", Protocol: "gk", N: 64, Alpha: 0.7, Reps: 12},
+			{Label: "floodset", Protocol: "floodset", N: 64, Alpha: 0.7, Reps: 12},
+			{Label: "gossip", Protocol: "gossip", N: 64, Alpha: 0.7, Reps: 12},
+			{Label: "rotating", Protocol: "rotating", N: 64, Alpha: 0.7, Reps: 12},
+			{Label: "allpairs", Protocol: "allpairs", N: 64, Alpha: 0.7, Reps: 12},
+			{Label: "kutten", Protocol: "kutten", N: 64, Alpha: 0.7, Reps: 12},
+			{Label: "amp", Protocol: "amp", N: 64, Alpha: 0.7, Reps: 12},
+		},
+	},
+}
+
+// StandardSweeps returns the named sweeps, in declaration order.
+func StandardSweeps() []Sweep {
+	out := make([]Sweep, len(standardSweeps))
+	copy(out, standardSweeps)
+	return out
+}
+
+// FindSweep returns the named standard sweep.
+func FindSweep(name string) (Sweep, bool) {
+	for _, s := range standardSweeps {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Sweep{}, false
+}
+
+// Scale returns a copy of the sweep with every point's repetition budget
+// set to reps (reps <= 0 keeps the defaults).
+func (s Sweep) Scale(reps int) Sweep {
+	out := s
+	out.Points = make([]SweepPoint, len(s.Points))
+	copy(out.Points, s.Points)
+	if reps > 0 {
+		for i := range out.Points {
+			out.Points[i].Reps = reps
+		}
+	}
+	return out
+}
+
+// Validate rejects sweeps a coordinator cannot plan.
+func (s Sweep) Validate() error {
+	if len(s.Points) == 0 {
+		return fmt.Errorf("sweep %q has no points", s.Name)
+	}
+	for i, p := range s.Points {
+		if p.Label == "" {
+			return fmt.Errorf("sweep %q point %d has no label", s.Name, i)
+		}
+		if p.Protocol == "" {
+			return fmt.Errorf("sweep %q point %q has no protocol", s.Name, p.Label)
+		}
+		if p.Reps <= 0 {
+			return fmt.Errorf("sweep %q point %q has no repetition budget", s.Name, p.Label)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package experiment
+
+import "testing"
+
+func TestSeedRanges(t *testing.T) {
+	cases := []struct {
+		reps, size int
+		want       []SeedRange
+	}{
+		{0, 4, nil},
+		{10, 0, []SeedRange{{0, 10}}},
+		{10, 4, []SeedRange{{0, 4}, {4, 8}, {8, 10}}},
+		{8, 4, []SeedRange{{0, 4}, {4, 8}}},
+		{3, 100, []SeedRange{{0, 3}}},
+	}
+	for _, c := range cases {
+		got := SeedRanges(c.reps, c.size)
+		if len(got) != len(c.want) {
+			t.Fatalf("SeedRanges(%d, %d) = %v, want %v", c.reps, c.size, got, c.want)
+		}
+		total := 0
+		for i, r := range got {
+			if r != c.want[i] {
+				t.Fatalf("SeedRanges(%d, %d) = %v, want %v", c.reps, c.size, got, c.want)
+			}
+			total += r.Reps()
+		}
+		if total != c.reps {
+			t.Fatalf("ranges cover %d reps, want %d", total, c.reps)
+		}
+	}
+}
+
+// TestSeedRangesPartition checks the decomposition invariant the merger
+// depends on: consecutive, gapless, in repetition order.
+func TestSeedRangesPartition(t *testing.T) {
+	for reps := 1; reps <= 40; reps++ {
+		for size := 1; size <= 10; size++ {
+			prev := 0
+			for _, r := range SeedRanges(reps, size) {
+				if r.Lo != prev || r.Hi <= r.Lo {
+					t.Fatalf("reps=%d size=%d: bad range %+v after %d", reps, size, r, prev)
+				}
+				prev = r.Hi
+			}
+			if prev != reps {
+				t.Fatalf("reps=%d size=%d: ranges end at %d", reps, size, prev)
+			}
+		}
+	}
+}
+
+func TestStandardSweepsValid(t *testing.T) {
+	sweeps := StandardSweeps()
+	if len(sweeps) == 0 {
+		t.Fatal("no standard sweeps")
+	}
+	for _, s := range sweeps {
+		if err := s.Validate(); err != nil {
+			t.Errorf("standard sweep invalid: %v", err)
+		}
+		if s.TotalReps() <= 0 {
+			t.Errorf("sweep %q has no reps", s.Name)
+		}
+		got, ok := FindSweep(s.Name)
+		if !ok || got.Name != s.Name {
+			t.Errorf("FindSweep(%q) = %v, %v", s.Name, got.Name, ok)
+		}
+	}
+	if _, ok := FindSweep("no-such-sweep"); ok {
+		t.Error("FindSweep accepted an unknown name")
+	}
+}
+
+func TestSweepScale(t *testing.T) {
+	s, _ := FindSweep("election-scaling")
+	scaled := s.Scale(3)
+	for _, p := range scaled.Points {
+		if p.Reps != 3 {
+			t.Fatalf("Scale(3) left reps=%d", p.Reps)
+		}
+	}
+	// The original is untouched.
+	for _, p := range s.Points {
+		if p.Reps == 3 {
+			t.Fatal("Scale mutated its receiver")
+		}
+	}
+	same := s.Scale(0)
+	for i, p := range same.Points {
+		if p.Reps != s.Points[i].Reps {
+			t.Fatal("Scale(0) changed reps")
+		}
+	}
+}

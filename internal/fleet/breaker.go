@@ -1,0 +1,77 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-worker circuit breaker with exponential backoff and
+// jitter. Consecutive failures open the circuit for
+// base << (failures-1), capped at max and jittered into [d/2, d) so a
+// fleet of breakers tripped by the same dead worker does not retry in
+// lockstep. Any success closes the circuit and resets the backoff.
+type breaker struct {
+	base, max time.Duration
+	now       func() time.Time
+	// jitter returns a value in [0, 1); it is a seeded source so tests
+	// and reruns are deterministic.
+	jitter func() float64
+
+	mu        sync.Mutex
+	failures  int
+	openUntil time.Time
+}
+
+func newBreaker(base, max time.Duration, now func() time.Time, jitter func() float64) *breaker {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max < base {
+		max = 32 * base
+	}
+	return &breaker{base: base, max: max, now: now, jitter: jitter}
+}
+
+// remaining returns how long the circuit stays open; zero or negative
+// means requests may flow. When the open window has elapsed the breaker
+// is half-open: the next attempt probes the worker, and its outcome
+// either closes the circuit or re-opens it with a longer backoff.
+func (b *breaker) remaining() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.openUntil.Sub(b.now())
+}
+
+// success closes the circuit.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.openUntil = time.Time{}
+}
+
+// failure records a failed attempt and re-opens the circuit with the
+// next backoff step.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	d := b.base
+	for i := 1; i < b.failures && d < b.max; i++ {
+		d *= 2
+	}
+	if d > b.max {
+		d = b.max
+	}
+	// Equal jitter: keep at least half the step so a flapping worker is
+	// really rested, randomize the rest to decorrelate retry storms.
+	d = d/2 + time.Duration(b.jitter()*float64(d/2))
+	b.openUntil = b.now().Add(d)
+}
+
+// consecutiveFailures reports the current failure streak.
+func (b *breaker) consecutiveFailures() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.failures
+}

@@ -1,0 +1,277 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"sublinear/internal/simsvc"
+)
+
+// HealthInfo is what a worker's /healthz reports, as far as the
+// coordinator cares.
+type HealthInfo struct {
+	Status string `json:"status"`
+	Queued int    `json:"queued"`
+	// Workers is the worker's pool size: its dispatch capacity.
+	Workers int `json:"workers"`
+	// Version is the worker's build version.
+	Version string `json:"version"`
+	// DigestSchema is the worker's netsim.DigestSchemaVersion. Digests
+	// are only comparable between workers sharing a schema, so the
+	// registry refuses to mix schemas in one fleet.
+	DigestSchema int `json:"digestSchema"`
+}
+
+// errBusy is a backpressure signal from a worker (429 or a retryable
+// shard rejection): not a failure, just "come back after RetryAfter".
+type errBusy struct {
+	RetryAfter time.Duration
+}
+
+func (e errBusy) Error() string {
+	return fmt.Sprintf("worker busy, retry after %v", e.RetryAfter)
+}
+
+// errPermanent marks request outcomes no retry can fix (an invalid
+// spec): the coordinator fails the shard immediately instead of burning
+// attempts.
+type errPermanent struct {
+	msg string
+}
+
+func (e errPermanent) Error() string { return e.msg }
+
+// IsPermanent reports whether err is a non-retryable shard error.
+func IsPermanent(err error) bool {
+	var p errPermanent
+	return errors.As(err, &p)
+}
+
+// Client talks to one simd worker. The zero value is not usable; fill
+// Base at least.
+type Client struct {
+	// Base is the worker base URL, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the underlying client; nil means a client with a 10s
+	// per-request timeout. Keep the per-request timeout well below a
+	// shard attempt budget: individual requests (submit, poll) are
+	// small even when the shard itself runs long.
+	HTTP *http.Client
+	// Poll is the job poll interval; 0 means 20ms.
+	Poll time.Duration
+	// Sleep is the interruptible sleep used between polls and for
+	// Retry-After waits; nil means sleepCtx. Injectable for tests.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return defaultHTTPClient
+}
+
+var defaultHTTPClient = &http.Client{Timeout: 10 * time.Second}
+
+func (c *Client) poll() time.Duration {
+	if c.Poll > 0 {
+		return c.Poll
+	}
+	return 20 * time.Millisecond
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if c.Sleep != nil {
+		return c.Sleep(ctx, d)
+	}
+	return sleepCtx(ctx, d)
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Health fetches and decodes /healthz. A draining worker (503) is
+// reported as an error: it accepts no new work.
+func (c *Client) Health(ctx context.Context) (HealthInfo, error) {
+	var info HealthInfo
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/healthz", nil)
+	if err != nil {
+		return info, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return info, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&info); err != nil {
+		return info, fmt.Errorf("%s: bad healthz body: %w", c.Base, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return info, fmt.Errorf("%s: healthz %d (%s)", c.Base, resp.StatusCode, info.Status)
+	}
+	return info, nil
+}
+
+// SubmitShards posts a batch of shard specs to /v1/shards and returns
+// the per-shard outcomes. A whole-batch 429 is returned as errBusy with
+// the advertised Retry-After.
+func (c *Client) SubmitShards(ctx context.Context, specs []simsvc.JobSpec) ([]simsvc.ShardSubmission, error) {
+	body, err := json.Marshal(simsvc.ShardBatch{Specs: specs})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/shards", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests:
+		return nil, errBusy{RetryAfter: retryAfter(resp)}
+	case http.StatusBadRequest:
+		return nil, errPermanent{msg: fmt.Sprintf("%s: shard batch rejected: %s", c.Base, readError(resp))}
+	default:
+		return nil, fmt.Errorf("%s: shard submit: HTTP %d: %s", c.Base, resp.StatusCode, readError(resp))
+	}
+	var out struct {
+		Shards []simsvc.ShardSubmission `json:"shards"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&out); err != nil {
+		return nil, fmt.Errorf("%s: bad shard response: %w", c.Base, err)
+	}
+	if len(out.Shards) != len(specs) {
+		return nil, fmt.Errorf("%s: shard response has %d entries for %d specs", c.Base, len(out.Shards), len(specs))
+	}
+	return out.Shards, nil
+}
+
+// JobStatus polls one job.
+func (c *Client) JobStatus(ctx context.Context, id string) (simsvc.JobStatus, error) {
+	var st simsvc.JobStatus
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("%s: job %s: HTTP %d: %s", c.Base, id, resp.StatusCode, readError(resp))
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&st); err != nil {
+		return st, fmt.Errorf("%s: bad job body: %w", c.Base, err)
+	}
+	return st, nil
+}
+
+// RunShard runs one shard to completion on this worker: submit —
+// honoring 429 Retry-After by waiting and resubmitting — then poll
+// until the job finishes. It returns the job result, an errBusy-driven
+// wait cut short by ctx, or an error describing the failed attempt.
+func (c *Client) RunShard(ctx context.Context, spec simsvc.JobSpec) (*simsvc.JobResult, error) {
+	var id string
+	for {
+		subs, err := c.SubmitShards(ctx, []simsvc.JobSpec{spec})
+		var busy errBusy
+		switch {
+		case errors.As(err, &busy):
+			// The worker asked for backpressure; honor its Retry-After
+			// rather than hammering it. ctx (the attempt budget) bounds
+			// the total wait.
+			if serr := c.sleep(ctx, busy.RetryAfter); serr != nil {
+				return nil, fmt.Errorf("%s: gave up waiting for queue space: %w", c.Base, serr)
+			}
+			continue
+		case err != nil:
+			return nil, err
+		}
+		sub := subs[0]
+		if sub.Status == nil {
+			if sub.Retryable {
+				if serr := c.sleep(ctx, time.Second); serr != nil {
+					return nil, fmt.Errorf("%s: gave up waiting for queue space: %w", c.Base, serr)
+				}
+				continue
+			}
+			return nil, errPermanent{msg: fmt.Sprintf("%s: shard rejected: %s", c.Base, sub.Error)}
+		}
+		st := *sub.Status
+		if st.State == simsvc.StateDone {
+			return st.Result, nil // cache hit: done at submit time
+		}
+		if st.State == simsvc.StateFailed {
+			return nil, fmt.Errorf("%s: job failed: %s", c.Base, st.Error)
+		}
+		id = st.ID
+		break
+	}
+	for {
+		if err := c.sleep(ctx, c.poll()); err != nil {
+			return nil, err
+		}
+		st, err := c.JobStatus(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch st.State {
+		case simsvc.StateDone:
+			return st.Result, nil
+		case simsvc.StateFailed:
+			return nil, fmt.Errorf("%s: job %s failed: %s", c.Base, id, st.Error)
+		}
+	}
+}
+
+// retryAfter parses a Retry-After header (seconds form); it falls back
+// to one second.
+func retryAfter(resp *http.Response) time.Duration {
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return time.Second
+}
+
+// readError extracts the {"error": ...} body of a failed request, capped
+// and flattened for log lines.
+func readError(resp *http.Response) string {
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 512))
+	if err != nil || len(data) == 0 {
+		return resp.Status
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(data)
+}

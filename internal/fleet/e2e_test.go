@@ -1,0 +1,214 @@
+package fleet
+
+// End-to-end tests over real in-process simd workers: the full
+// coordinator pipeline (probe, dispatch, retry, journal, merge) against
+// actual simsvc services running real simulations, including a worker
+// killed mid-sweep and a coordinator killed and resumed from its
+// journal.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sublinear/internal/experiment"
+	"sublinear/internal/simsvc"
+)
+
+// startWorker runs a real simsvc service behind an httptest server.
+func startWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc := simsvc.New(simsvc.Config{Workers: 2, QueueSize: 64})
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close(context.Background())
+	})
+	return srv
+}
+
+func e2eSweep() experiment.Sweep {
+	return experiment.Sweep{
+		Name:  "e2e",
+		Title: "fleet e2e sweep",
+		Points: []experiment.SweepPoint{
+			// alpha must clear the paper's log^2(n)/n floor: 25/32 for n=32.
+			{Label: "election n=32", Protocol: "election", N: 32, Alpha: 0.8, Reps: 6},
+			{Label: "agreement n=32", Protocol: "agreement", N: 32, Alpha: 0.8, Reps: 6},
+		},
+	}
+}
+
+func renderReport(t *testing.T, plan *Plan, results map[int]*simsvc.JobResult) string {
+	t.Helper()
+	rep, err := MergeReport(plan, results)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	return buf.String()
+}
+
+// TestE2EWorkerKilledMidSweep runs the same plan twice — once on a
+// single worker, once on three workers with one of them killed mid-sweep
+// — and asserts the rendered reports are bit-identical.
+func TestE2EWorkerKilledMidSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e runs real simulations")
+	}
+	plan, err := NewPlan(Workload{Kind: KindSweep, Sweep: e2eSweep(), ShardReps: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: one worker, no faults.
+	ref := startWorker(t)
+	refOut, err := Run(context.Background(), fastCfg(ref.URL), plan)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	want := renderReport(t, plan, refOut.Results)
+
+	// Fleet of three, one killed after the first completed shard.
+	w1, w2 := startWorker(t), startWorker(t)
+	victim := startWorker(t)
+	var kill sync.Once
+	cfg := fastCfg(w1.URL, w2.URL, victim.URL)
+	cfg.MaxPerWorker = 2
+	cfg.Progress = func(format string, args ...any) {
+		if strings.Contains(format, "done on") {
+			kill.Do(func() {
+				victim.CloseClientConnections()
+				victim.Close()
+			})
+		}
+	}
+	out, err := Run(context.Background(), cfg, plan)
+	if err != nil {
+		t.Fatalf("fleet run with killed worker: %v", err)
+	}
+	if len(out.Results) != len(plan.Shards) {
+		t.Fatalf("completed %d/%d shards", len(out.Results), len(plan.Shards))
+	}
+	got := renderReport(t, plan, out.Results)
+	if got != want {
+		t.Fatalf("3-worker merge differs from 1-worker reference:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+}
+
+// TestE2EJournalResume kills the coordinator (context cancel) partway
+// through a sweep and asserts the second run resumes from the journal,
+// re-dispatching none of the completed shards, and still renders
+// bit-identically to an unjournaled reference.
+func TestE2EJournalResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e runs real simulations")
+	}
+	plan, err := NewPlan(Workload{Kind: KindSweep, Sweep: e2eSweep(), ShardReps: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := startWorker(t)
+	refOut, err := Run(context.Background(), fastCfg(ref.URL), plan)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	want := renderReport(t, plan, refOut.Results)
+
+	worker := startWorker(t)
+	dir := t.TempDir()
+
+	// First run: cancel after two shards are journaled.
+	ctx, cancel := context.WithCancel(context.Background())
+	var completions int
+	var mu sync.Mutex
+	cfg := fastCfg(worker.URL)
+	cfg.JournalDir = dir
+	cfg.MaxPerWorker = 1 // serialize so the cancel point is predictable
+	cfg.Progress = func(format string, args ...any) {
+		if strings.Contains(format, "done on") {
+			mu.Lock()
+			completions++
+			if completions == 2 {
+				cancel()
+			}
+			mu.Unlock()
+		}
+	}
+	_, err = Run(ctx, cfg, plan)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("first run err = %v, want context.Canceled", err)
+	}
+
+	// Second run resumes. Count dispatched specs to prove journaled
+	// shards are not re-run.
+	cfg2 := fastCfg(worker.URL)
+	cfg2.JournalDir = dir
+	out, err := Run(context.Background(), cfg2, plan)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if out.Resumed < 2 {
+		t.Fatalf("resumed %d shards, want at least the 2 journaled before the kill", out.Resumed)
+	}
+	if int(out.Dispatched) > len(plan.Shards)-out.Resumed {
+		t.Fatalf("resumed run dispatched %d attempts for %d missing shards — journaled shards were re-run",
+			out.Dispatched, len(plan.Shards)-out.Resumed)
+	}
+	if len(out.Results) != len(plan.Shards) {
+		t.Fatalf("completed %d/%d shards", len(out.Results), len(plan.Shards))
+	}
+	if got := renderReport(t, plan, out.Results); got != want {
+		t.Fatalf("resumed merge differs from reference:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+
+	// A third run finds everything journaled and dispatches nothing.
+	out3, err := Run(context.Background(), cfg2, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out3.Resumed != len(plan.Shards) || out3.Dispatched != 0 {
+		t.Fatalf("third run resumed %d, dispatched %d; want %d and 0",
+			out3.Resumed, out3.Dispatched, len(plan.Shards))
+	}
+}
+
+// TestE2EDistributedDST shards a small dst campaign over two workers and
+// asserts the merged report is stable across runs of the same plan.
+func TestE2EDistributedDST(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e runs real simulations")
+	}
+	plan, err := NewPlan(Workload{Kind: KindDST, DSTCases: 12, ShardReps: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, w2 := startWorker(t), startWorker(t)
+	cfg := fastCfg(w1.URL, w2.URL)
+	cfg.ShardTimeout = 2 * time.Minute
+	cfg.RequestTimeout = 30 * time.Second
+	out, err := Run(context.Background(), cfg, plan)
+	if err != nil {
+		t.Fatalf("dst fleet run: %v", err)
+	}
+	got := renderReport(t, plan, out.Results)
+	if !strings.Contains(got, "campaign summary") {
+		t.Fatalf("unexpected dst report:\n%s", got)
+	}
+
+	out2, err := Run(context.Background(), fastCfg(w2.URL), plan)
+	if err != nil {
+		t.Fatalf("dst rerun: %v", err)
+	}
+	if got2 := renderReport(t, plan, out2.Results); got2 != got {
+		t.Fatalf("dst merge unstable across fleets:\n--- first ---\n%s\n--- second ---\n%s", got, got2)
+	}
+}

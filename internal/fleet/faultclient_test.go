@@ -1,0 +1,331 @@
+package fleet
+
+// Fault-injection tests for the client path: synthetic httptest workers
+// that return 500s, hang past the request timeout, or push back with
+// 429 + Retry-After, asserting the coordinator's backoff,
+// circuit-breaking, and hedging behavior. All of these run under -race
+// in CI.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sublinear/internal/netsim"
+	"sublinear/internal/simsvc"
+)
+
+// fakeWorker is a scriptable stand-in for a simd worker: healthy
+// /healthz, configurable behavior on /v1/shards and /v1/jobs/.
+type fakeWorker struct {
+	srv      *httptest.Server
+	requests atomic.Int64 // shard submissions seen
+
+	mu   sync.Mutex
+	jobs map[string]simsvc.JobStatus
+	seq  int
+
+	// onSubmit decides the fate of each shard submission; nil accepts
+	// and completes instantly.
+	onSubmit func(w http.ResponseWriter, r *http.Request, n int64) bool // true = handled
+}
+
+func newFakeWorker(t *testing.T) *fakeWorker {
+	f := &fakeWorker{jobs: make(map[string]simsvc.JobStatus)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{
+			"status": "ok", "queued": 0, "workers": 2,
+			"version": "test", "digestSchema": netsim.DigestSchemaVersion,
+		})
+	})
+	mux.HandleFunc("/v1/shards", func(w http.ResponseWriter, r *http.Request) {
+		n := f.requests.Add(1)
+		if f.onSubmit != nil && f.onSubmit(w, r, n) {
+			return
+		}
+		var batch simsvc.ShardBatch
+		json.NewDecoder(r.Body).Decode(&batch)
+		subs := make([]simsvc.ShardSubmission, len(batch.Specs))
+		f.mu.Lock()
+		for i, spec := range batch.Specs {
+			f.seq++
+			id := fmt.Sprintf("j%d", f.seq)
+			st := simsvc.JobStatus{
+				ID: id, State: simsvc.StateDone, Spec: spec,
+				Result: &simsvc.JobResult{
+					Success: spec.Reps, Reps: spec.Reps, SuccessRate: 1,
+					Raw: fakeRaw(spec.Reps),
+				},
+			}
+			f.jobs[id] = st
+			subs[i] = simsvc.ShardSubmission{Status: &st}
+		}
+		f.mu.Unlock()
+		json.NewEncoder(w).Encode(map[string]any{"shards": subs})
+	})
+	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+		f.mu.Lock()
+		st, ok := f.jobs[id]
+		f.mu.Unlock()
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(map[string]string{"error": "unknown job"})
+			return
+		}
+		json.NewEncoder(w).Encode(st)
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func fakeRaw(reps int) *simsvc.RawSeries {
+	raw := &simsvc.RawSeries{}
+	for r := 0; r < reps; r++ {
+		raw.Messages = append(raw.Messages, int64(100+r))
+		raw.Bits = append(raw.Bits, int64(800+r))
+		raw.Rounds = append(raw.Rounds, 7)
+		raw.Success = append(raw.Success, true)
+		raw.Reasons = append(raw.Reasons, "")
+	}
+	return raw
+}
+
+func testPlan(t *testing.T, reps, shard int) *Plan {
+	t.Helper()
+	plan, err := NewPlan(Workload{Kind: KindSweep, Sweep: testSweep(reps), ShardReps: shard, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// fastCfg keeps the retry machinery real but the waits tiny.
+func fastCfg(workers ...string) Config {
+	return Config{
+		Workers:        workers,
+		RequestTimeout: 2 * time.Second,
+		ShardTimeout:   5 * time.Second,
+		Poll:           2 * time.Millisecond,
+		HedgeAfter:     -1,
+		MaxAttempts:    4,
+		BreakerBase:    5 * time.Millisecond,
+		BreakerMax:     50 * time.Millisecond,
+		ProbeRetries:   3,
+		ProbeInterval:  10 * time.Millisecond,
+	}
+}
+
+// TestClientHonorsRetryAfter asserts the client waits exactly the
+// advertised Retry-After before resubmitting, using an injected sleeper
+// so no real time passes.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	f := newFakeWorker(t)
+	f.onSubmit = func(w http.ResponseWriter, r *http.Request, n int64) bool {
+		if n <= 2 {
+			w.Header().Set("Retry-After", "3")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "queue full"})
+			return true
+		}
+		return false
+	}
+	var slept []time.Duration
+	c := &Client{
+		Base: f.srv.URL,
+		Poll: time.Millisecond,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return ctx.Err()
+		},
+	}
+	spec, err := simsvc.JobSpec{Protocol: "election", N: 8, Seed: 1, Reps: 2, Raw: true}.Normalize(simsvc.DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunShard(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Reps != 2 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	if f.requests.Load() != 3 {
+		t.Fatalf("worker saw %d submissions, want 3 (2 rejected + 1 accepted)", f.requests.Load())
+	}
+	if len(slept) < 2 || slept[0] != 3*time.Second || slept[1] != 3*time.Second {
+		t.Fatalf("client slept %v, want two 3s Retry-After waits first", slept)
+	}
+}
+
+// TestCoordinatorBacksOffFailingWorker runs a healthy worker beside one
+// that always returns 500 and asserts the sweep completes, retries were
+// needed, and the circuit breaker kept the failing worker from being
+// hammered once per attempt slot.
+func TestCoordinatorBacksOffFailingWorker(t *testing.T) {
+	good := newFakeWorker(t)
+	bad := newFakeWorker(t)
+	bad.onSubmit = func(w http.ResponseWriter, r *http.Request, n int64) bool {
+		w.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(w).Encode(map[string]string{"error": "boom"})
+		return true
+	}
+	plan := testPlan(t, 12, 2) // 12 shards
+	out, err := Run(context.Background(), fastCfg(good.srv.URL, bad.srv.URL), plan)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if len(out.Results) != len(plan.Shards) {
+		t.Fatalf("completed %d/%d shards", len(out.Results), len(plan.Shards))
+	}
+	if out.Retries == 0 && bad.requests.Load() > 0 {
+		t.Fatal("bad worker saw traffic but no retries were recorded")
+	}
+	// Every shard the bad worker touched must have been re-run on the
+	// good one.
+	if good.requests.Load() < int64(len(plan.Shards)) {
+		t.Fatalf("good worker ran %d submissions, want at least %d", good.requests.Load(), len(plan.Shards))
+	}
+	if _, err := MergeReport(plan, out.Results); err != nil {
+		t.Fatalf("merge after failover: %v", err)
+	}
+}
+
+// TestCoordinatorFailsWhenAllAttemptsExhaust asserts the per-shard
+// attempt budget surfaces as ErrShardsFailed when every worker is
+// broken — the condition fleetctl maps to exit status 2.
+func TestCoordinatorFailsWhenAllAttemptsExhaust(t *testing.T) {
+	bad := newFakeWorker(t)
+	bad.onSubmit = func(w http.ResponseWriter, r *http.Request, n int64) bool {
+		w.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(w).Encode(map[string]string{"error": "boom"})
+		return true
+	}
+	plan := testPlan(t, 4, 4) // 2 shards
+	cfg := fastCfg(bad.srv.URL)
+	cfg.MaxAttempts = 2
+	out, err := Run(context.Background(), cfg, plan)
+	if !errors.Is(err, ErrShardsFailed) {
+		t.Fatalf("err = %v, want ErrShardsFailed", err)
+	}
+	if len(out.FailedShards) != len(plan.Shards) {
+		t.Fatalf("failed %d shards, want %d", len(out.FailedShards), len(plan.Shards))
+	}
+}
+
+// TestCoordinatorSurvivesHangingWorker gives one worker a handler that
+// hangs far past the request timeout: attempts against it time out and
+// the shards complete on the healthy worker.
+func TestCoordinatorSurvivesHangingWorker(t *testing.T) {
+	good := newFakeWorker(t)
+	hang := newFakeWorker(t)
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+	hang.onSubmit = func(w http.ResponseWriter, r *http.Request, n int64) bool {
+		<-release // hold the request open until test teardown
+		return true
+	}
+	plan := testPlan(t, 8, 2) // 8 shards
+	cfg := fastCfg(good.srv.URL, hang.srv.URL)
+	cfg.RequestTimeout = 50 * time.Millisecond
+	out, err := Run(context.Background(), cfg, plan)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if len(out.Results) != len(plan.Shards) {
+		t.Fatalf("completed %d/%d shards", len(out.Results), len(plan.Shards))
+	}
+}
+
+// TestHedgingRedispatchesStraggler parks one shard submission on a slow
+// worker and asserts the hedge monitor re-dispatches it to the fast
+// worker, the first result wins, and the straggler's attempt is
+// cancelled via its context.
+func TestHedgingRedispatchesStraggler(t *testing.T) {
+	fast := newFakeWorker(t)
+	slow := newFakeWorker(t)
+	cancelled := make(chan struct{}, 16)
+	slow.onSubmit = func(w http.ResponseWriter, r *http.Request, n int64) bool {
+		// Never answer; observe the client abandoning the request when
+		// the hedge wins and its attempt context is cancelled. The body
+		// must be drained first or the server never arms the read that
+		// detects the disconnect.
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+		cancelled <- struct{}{}
+		return true
+	}
+	plan := testPlan(t, 2, 2) // 2 shards, one per point
+	cfg := fastCfg(slow.srv.URL, fast.srv.URL)
+	cfg.HedgeAfter = 30 * time.Millisecond
+	cfg.RequestTimeout = 10 * time.Second // the hang outlives any hedge delay
+	cfg.MaxPerWorker = 1
+	out, err := Run(context.Background(), cfg, plan)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if len(out.Results) != len(plan.Shards) {
+		t.Fatalf("completed %d/%d shards", len(out.Results), len(plan.Shards))
+	}
+	if out.Hedged == 0 {
+		t.Fatal("no hedges recorded for a straggling worker")
+	}
+	select {
+	case <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("straggler attempt was never cancelled")
+	}
+}
+
+// TestRegistryRefusesMixedSchemas asserts the fleet refuses to start
+// over workers whose digest schemas differ.
+func TestRegistryRefusesMixedSchemas(t *testing.T) {
+	a := newFakeWorker(t)
+	b := newFakeWorker(t)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{
+			"status": "ok", "queued": 0, "workers": 2,
+			"version": "test", "digestSchema": netsim.DigestSchemaVersion + 1,
+		})
+	})
+	odd := httptest.NewServer(mux)
+	t.Cleanup(odd.Close)
+
+	plan := testPlan(t, 4, 2)
+	cfg := fastCfg(a.srv.URL, b.srv.URL, odd.URL)
+	_, err := Run(context.Background(), cfg, plan)
+	if !errors.Is(err, ErrSchemaMismatch) {
+		t.Fatalf("err = %v, want ErrSchemaMismatch", err)
+	}
+}
+
+// TestRegistrySkipsDeadWorker asserts an unreachable worker at startup
+// is excluded rather than fatal.
+func TestRegistrySkipsDeadWorker(t *testing.T) {
+	good := newFakeWorker(t)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // nothing listens here any more
+
+	plan := testPlan(t, 4, 2)
+	cfg := fastCfg(good.srv.URL, dead.URL)
+	cfg.ProbeRetries = 2
+	out, err := Run(context.Background(), cfg, plan)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if len(out.Workers) != 1 || out.Workers[0].URL != good.srv.URL {
+		t.Fatalf("registry = %+v, want only the good worker", out.Workers)
+	}
+}

@@ -1,0 +1,183 @@
+// Package fleet is the distributed sweep orchestrator: a coordinator
+// that decomposes a workload — an experiment-style sweep or a dst
+// fuzzing campaign — into seed-range shards and dispatches them over
+// HTTP to a pool of simd workers (internal/simsvc).
+//
+// The coordinator applies the fault-tolerance discipline the underlying
+// paper is about: it makes progress while a constant fraction of its
+// workers crash. Each worker sits behind a circuit breaker with
+// exponential backoff and jitter; straggling shards are hedged onto a
+// second worker with first-result-wins; completed shards are recorded
+// in an append-only JSONL journal keyed by a content hash of the plan,
+// so a killed coordinator resumes without redoing finished work; and
+// because every engine is deterministic in its seed, the merged tables
+// are bit-identical no matter how many workers ran the shards or in
+// which order they finished.
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"sublinear/internal/dst"
+	"sublinear/internal/experiment"
+	"sublinear/internal/simsvc"
+)
+
+// Workload kinds.
+const (
+	// KindSweep sweeps protocol parameter points, each repeated
+	// Reps times with the standard seed schedule; shards are seed
+	// ranges of a point.
+	KindSweep = "sweep"
+	// KindDST runs a deterministic-simulation fuzzing campaign
+	// (internal/dst) with the case budget split across shards, each
+	// shard fuzzing from its own derived seed.
+	KindDST = "dst"
+)
+
+// Workload is the coordinator's input: what to run, how finely to
+// shard it, and the base seed that makes the whole run reproducible.
+type Workload struct {
+	// Kind is KindSweep or KindDST.
+	Kind string
+	// Sweep is the parameter sweep (KindSweep).
+	Sweep experiment.Sweep
+	// DSTCases is the campaign case budget (KindDST).
+	DSTCases int
+	// ShardReps caps repetitions (sweep) or cases (dst) per shard;
+	// 0 means 8.
+	ShardReps int
+	// Seed is the base seed of the run.
+	Seed uint64
+}
+
+// Shard is one dispatchable unit: a normalized simd job covering a seed
+// range of one workload point.
+type Shard struct {
+	// Index is the shard's position in plan order; the merger
+	// concatenates results in this order.
+	Index int
+	// Point is the sweep point the shard belongs to (-1 for dst).
+	Point int
+	// Range is the repetition interval of the point this shard covers.
+	Range experiment.SeedRange
+	// Spec is the normalized job submitted to a worker.
+	Spec simsvc.JobSpec
+}
+
+// Plan is the full decomposition of a workload plus its content hash.
+type Plan struct {
+	Workload Workload
+	Shards   []Shard
+	// Hash is the hex SHA-256 of the plan's canonical form; it keys the
+	// resume journal, so an identical re-submission resumes and any
+	// parameter change starts fresh.
+	Hash string
+}
+
+// NewPlan validates the workload and decomposes it into shards.
+func NewPlan(w Workload) (*Plan, error) {
+	if w.ShardReps == 0 {
+		w.ShardReps = 8
+	}
+	if w.ShardReps < 0 {
+		return nil, fmt.Errorf("fleet: negative shard size %d", w.ShardReps)
+	}
+	p := &Plan{Workload: w}
+	switch w.Kind {
+	case KindSweep:
+		if err := w.Sweep.Validate(); err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+		for pi, pt := range w.Sweep.Points {
+			base, err := pointSpec(pt)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: point %q: %w", pt.Label, err)
+			}
+			for _, r := range experiment.SeedRanges(pt.Reps, w.ShardReps) {
+				spec := base
+				spec.Seed = w.Seed + uint64(r.Lo)*experiment.SeedStride
+				spec.Reps = r.Reps()
+				norm, err := spec.Normalize(simsvc.DefaultLimits)
+				if err != nil {
+					return nil, fmt.Errorf("fleet: point %q: %w", pt.Label, err)
+				}
+				p.Shards = append(p.Shards, Shard{
+					Index: len(p.Shards), Point: pi, Range: r, Spec: norm,
+				})
+			}
+		}
+	case KindDST:
+		if w.DSTCases <= 0 {
+			return nil, fmt.Errorf("fleet: dst workload needs a positive case budget, got %d", w.DSTCases)
+		}
+		for _, r := range experiment.SeedRanges(w.DSTCases, w.ShardReps) {
+			// Distributed campaign mode: each shard fuzzes the decorrelated
+			// seed stream internal/dst derives for its case offset.
+			spec := simsvc.JobSpec{
+				Protocol: simsvc.ProtoDST,
+				Seed:     dst.ShardSeed(w.Seed, r.Lo),
+				Reps:     r.Reps(),
+			}
+			norm, err := spec.Normalize(simsvc.DefaultLimits)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: dst shard: %w", err)
+			}
+			p.Shards = append(p.Shards, Shard{
+				Index: len(p.Shards), Point: -1, Range: r, Spec: norm,
+			})
+		}
+	default:
+		return nil, fmt.Errorf("fleet: unknown workload kind %q (want %s|%s)", w.Kind, KindSweep, KindDST)
+	}
+	p.Hash = p.hash()
+	return p, nil
+}
+
+// pointSpec maps a sweep point onto the simd job schema. Raw is set so
+// workers return the per-repetition series the exact merge needs.
+func pointSpec(pt experiment.SweepPoint) (simsvc.JobSpec, error) {
+	return simsvc.JobSpec{
+		Protocol: pt.Protocol,
+		N:        pt.N,
+		Alpha:    pt.Alpha,
+		F:        pt.F,
+		POne:     pt.POne,
+		Policy:   pt.Policy,
+		Engine:   pt.Engine,
+		Explicit: pt.Explicit,
+		Hunter:   pt.Hunter,
+		Late:     pt.Late,
+		Raw:      true,
+	}, nil
+}
+
+// hash folds the workload identity and every shard's content key into
+// one digest. Shard keys already hash the normalized specs, so any
+// change to a parameter, the seed, or the sharding changes the plan
+// hash and with it the journal identity.
+func (p *Plan) hash() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet-plan-v1|kind=%s|name=%s|seed=%d|shardreps=%d|shards=%d",
+		p.Workload.Kind, p.Workload.Sweep.Name, p.Workload.Seed,
+		p.Workload.ShardReps, len(p.Shards))
+	for _, s := range p.Shards {
+		fmt.Fprintf(&b, "|%d:%d:%d-%d:%s", s.Index, s.Point, s.Range.Lo, s.Range.Hi, s.Spec.Key())
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// PointShards returns the shards of sweep point pi, in plan order.
+func (p *Plan) PointShards(pi int) []Shard {
+	var out []Shard
+	for _, s := range p.Shards {
+		if s.Point == pi {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package fleet
+
+import (
+	"fmt"
+
+	"sublinear/internal/experiment"
+	"sublinear/internal/metrics"
+	"sublinear/internal/simsvc"
+	"sublinear/internal/stats"
+)
+
+// MergeReport folds completed shard results back into an experiment
+// report. The merge is deterministic and order-independent: shards are
+// consumed in plan order regardless of which worker produced them or
+// when they arrived, per-repetition series are concatenated in seed
+// order and re-summarized from the samples, and per-kind counters are
+// folded through metrics.Counters.MergeSnapshot. Because every engine
+// is deterministic in its seed, a run sharded over three workers
+// renders bit-identically to the same plan run on one.
+func MergeReport(plan *Plan, results map[int]*simsvc.JobResult) (*experiment.Report, error) {
+	for _, s := range plan.Shards {
+		if results[s.Index] == nil {
+			return nil, fmt.Errorf("fleet: merge: shard %d has no result", s.Index)
+		}
+	}
+	switch plan.Workload.Kind {
+	case KindSweep:
+		return mergeSweep(plan, results)
+	case KindDST:
+		return mergeDST(plan, results)
+	default:
+		return nil, fmt.Errorf("fleet: merge: unknown workload kind %q", plan.Workload.Kind)
+	}
+}
+
+func mergeSweep(plan *Plan, results map[int]*simsvc.JobResult) (*experiment.Report, error) {
+	sweep := plan.Workload.Sweep
+	rep := &experiment.Report{
+		ID:    "fleet",
+		Title: fmt.Sprintf("%s (sweep %q, seed %d, %d shards)", sweep.Title, sweep.Name, plan.Workload.Seed, len(plan.Shards)),
+	}
+	tbl := experiment.NewTable("merged sweep results",
+		"point", "protocol", "n", "reps", "success", "msgs mean", "msgs median", "msgs p90", "bits mean", "rounds mean", "failures")
+	agg := new(metrics.Counters)
+	for pi, pt := range sweep.Points {
+		var msgs, bits, rounds []float64
+		success, reps := 0, 0
+		var reasons []string
+		seen := map[string]bool{}
+		for _, s := range plan.PointShards(pi) {
+			res := results[s.Index]
+			raw := res.Raw
+			if raw == nil {
+				return nil, fmt.Errorf("fleet: merge: shard %d of point %q has no raw series", s.Index, pt.Label)
+			}
+			if len(raw.Messages) != s.Range.Reps() {
+				return nil, fmt.Errorf("fleet: merge: shard %d has %d raw reps, want %d", s.Index, len(raw.Messages), s.Range.Reps())
+			}
+			for r := 0; r < s.Range.Reps(); r++ {
+				msgs = append(msgs, float64(raw.Messages[r]))
+				bits = append(bits, float64(raw.Bits[r]))
+				rounds = append(rounds, float64(raw.Rounds[r]))
+				reps++
+				if raw.Success[r] {
+					success++
+				} else if reason := raw.Reasons[r]; !seen[reason] && len(reasons) < 3 {
+					seen[reason] = true
+					reasons = append(reasons, reason)
+				}
+			}
+			agg.MergeSnapshot(metrics.Snapshot{PerKind: res.PerKind})
+		}
+		m, b, rd := stats.Summarize(msgs), stats.Summarize(bits), stats.Summarize(rounds)
+		lo, hi := stats.WilsonInterval(success, reps)
+		tbl.AddRow(pt.Label, pt.Protocol, pt.N, reps,
+			fmt.Sprintf("%d/%d (CI %.2f-%.2f)", success, reps, lo, hi),
+			m.Mean, m.Median, m.P90, b.Mean, rd.Mean, joinReasons(reasons))
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	if per := agg.Snapshot().PerKind; len(per) > 0 {
+		kt := experiment.NewTable("messages by kind (all points)", "kind", "count")
+		for _, k := range agg.KindNames() {
+			kt.AddRow(k, per[k])
+		}
+		rep.Tables = append(rep.Tables, kt)
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("merged %d shards deterministically in plan order; plan %.16s", len(plan.Shards), plan.Hash))
+	return rep, nil
+}
+
+func mergeDST(plan *Plan, results map[int]*simsvc.JobResult) (*experiment.Report, error) {
+	rep := &experiment.Report{
+		ID:    "fleet",
+		Title: fmt.Sprintf("distributed dst campaign (seed %d, %d shards)", plan.Workload.Seed, len(plan.Shards)),
+	}
+	cases, success := 0, 0
+	var failures []string
+	for _, s := range plan.Shards {
+		res := results[s.Index]
+		cases += res.Reps
+		success += res.Success
+		for _, f := range res.Failures {
+			failures = append(failures, fmt.Sprintf("shard %d: %s", s.Index, f))
+		}
+	}
+	lo, hi := stats.WilsonInterval(success, cases)
+	tbl := experiment.NewTable("campaign summary", "cases", "clean", "failures", "clean rate")
+	tbl.AddRow(cases, success, cases-success,
+		fmt.Sprintf("%.3f (CI %.2f-%.2f)", float64(success)/float64(cases), lo, hi))
+	rep.Tables = append(rep.Tables, tbl)
+	for _, f := range failures {
+		rep.Notes = append(rep.Notes, "FAILURE "+f)
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("merged %d shards deterministically in plan order; plan %.16s", len(plan.Shards), plan.Hash))
+	return rep, nil
+}
+
+func joinReasons(reasons []string) string {
+	if len(reasons) == 0 {
+		return ""
+	}
+	out := ""
+	for i, r := range reasons {
+		if i > 0 {
+			out += "; "
+		}
+		out += r
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// WorkerInfo is one registered worker: its address plus what its
+// /healthz reported at registration.
+type WorkerInfo struct {
+	URL          string
+	Capacity     int
+	Version      string
+	DigestSchema int
+}
+
+// ErrSchemaMismatch is returned when healthy workers disagree on the
+// execution-digest schema. Cross-worker digests are only comparable
+// within one schema, so a mixed fleet would silently produce
+// incomparable results; the coordinator refuses to start instead.
+var ErrSchemaMismatch = errors.New("fleet: workers run different digest schemas")
+
+// ErrNoWorkers is returned when no worker answered its health probe.
+var ErrNoWorkers = errors.New("fleet: no healthy workers")
+
+// probeWorkers health-checks every URL, retrying each up to retries
+// times interval apart, and returns the healthy subset. It fails with
+// ErrNoWorkers when nothing answered and ErrSchemaMismatch when the
+// healthy workers disagree on the digest schema. Unreachable workers
+// are reported through progress and skipped: a fleet that can make
+// progress should, even if part of its pool is down at start.
+func probeWorkers(ctx context.Context, urls []string, retries int, interval time.Duration,
+	sleep func(context.Context, time.Duration) error,
+	progress func(format string, args ...any)) ([]WorkerInfo, error) {
+	if retries < 1 {
+		retries = 1
+	}
+	var healthy []WorkerInfo
+	for _, url := range urls {
+		c := &Client{Base: url}
+		var info HealthInfo
+		var err error
+		for attempt := 0; attempt < retries; attempt++ {
+			if attempt > 0 {
+				if serr := sleep(ctx, interval); serr != nil {
+					return nil, serr
+				}
+			}
+			if info, err = c.Health(ctx); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			progress("fleet: worker %s unreachable, excluding: %v", url, err)
+			continue
+		}
+		cap := info.Workers
+		if cap < 1 {
+			cap = 1
+		}
+		healthy = append(healthy, WorkerInfo{
+			URL: url, Capacity: cap,
+			Version: info.Version, DigestSchema: info.DigestSchema,
+		})
+		progress("fleet: worker %s healthy (capacity=%d version=%s digest-schema=%d)",
+			url, cap, info.Version, info.DigestSchema)
+	}
+	if len(healthy) == 0 {
+		return nil, fmt.Errorf("%w (probed %d)", ErrNoWorkers, len(urls))
+	}
+	for _, w := range healthy[1:] {
+		if w.DigestSchema != healthy[0].DigestSchema {
+			return nil, fmt.Errorf("%w: %s has schema %d, %s has schema %d",
+				ErrSchemaMismatch, healthy[0].URL, healthy[0].DigestSchema, w.URL, w.DigestSchema)
+		}
+	}
+	return healthy, nil
+}

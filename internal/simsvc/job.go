@@ -82,6 +82,11 @@ type JobSpec struct {
 	Experiment string `json:"experiment,omitempty"`
 	// Quick shrinks experiment sweeps to CI scale.
 	Quick bool `json:"quick,omitempty"`
+	// Raw asks for the per-repetition series (messages, bits, rounds,
+	// outcome per rep) alongside the aggregates, so a distributed caller
+	// (internal/fleet) can merge shards into statistics bit-identical to
+	// a single-process run. Core protocols and baselines only.
+	Raw bool `json:"raw,omitempty"`
 }
 
 // Limits bound what a single job may ask for, so one request cannot pin a
@@ -112,6 +117,7 @@ func (s JobSpec) Normalize(lim Limits) (JobSpec, error) {
 		out.Policy, out.Engine = "", ""
 		out.Explicit, out.Hunter, out.Late = false, false, false
 		out.Experiment, out.Quick = "", false
+		out.Raw = false
 		if out.Reps == 0 {
 			out.Reps = 25
 		}
@@ -128,6 +134,7 @@ func (s JobSpec) Normalize(lim Limits) (JobSpec, error) {
 		out.N, out.Alpha, out.F, out.POne = 0, 0, nil, 0
 		out.Policy, out.Engine = "", ""
 		out.Explicit, out.Hunter, out.Late = false, false, false
+		out.Raw = false
 		out.Reps = 1
 		return out, nil
 	default:
@@ -191,9 +198,9 @@ func (s JobSpec) Key() string {
 	if s.F != nil {
 		f = *s.F
 	}
-	canon := fmt.Sprintf("v1|%s|n=%d|alpha=%g|f=%d|pone=%g|policy=%s|engine=%s|x=%t|h=%t|l=%t|seed=%d|reps=%d|exp=%s|quick=%t",
+	canon := fmt.Sprintf("v2|%s|n=%d|alpha=%g|f=%d|pone=%g|policy=%s|engine=%s|x=%t|h=%t|l=%t|seed=%d|reps=%d|exp=%s|quick=%t|raw=%t",
 		s.Protocol, s.N, s.Alpha, f, s.POne, s.Policy, s.Engine,
-		s.Explicit, s.Hunter, s.Late, s.Seed, s.Reps, s.Experiment, s.Quick)
+		s.Explicit, s.Hunter, s.Late, s.Seed, s.Reps, s.Experiment, s.Quick, s.Raw)
 	sum := sha256.Sum256([]byte(canon))
 	return hex.EncodeToString(sum[:])
 }

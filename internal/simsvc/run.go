@@ -36,6 +36,23 @@ type JobResult struct {
 	Failures []string `json:"failures,omitempty"`
 	// Report is the rendered text report for experiment jobs.
 	Report string `json:"report,omitempty"`
+	// Raw is the per-repetition series, present when the spec asked for
+	// it (JobSpec.Raw). Entry r of every slice belongs to repetition r.
+	Raw *RawSeries `json:"raw,omitempty"`
+}
+
+// RawSeries carries per-repetition observations in repetition order. It
+// exists so shards of one logical run, executed on different workers,
+// can be concatenated and re-summarized into statistics bit-identical
+// to an unsharded run: summary quantities like the median and P90 are
+// not mergeable from per-shard summaries, only from the samples.
+type RawSeries struct {
+	Messages []int64 `json:"messages"`
+	Bits     []int64 `json:"bits"`
+	Rounds   []int64 `json:"rounds"`
+	Success  []bool  `json:"success"`
+	// Reasons[r] is the failure reason of repetition r, "" on success.
+	Reasons []string `json:"reasons"`
 }
 
 // repOutcome is what one repetition of any protocol produces.
@@ -56,6 +73,9 @@ func runSpec(ctx context.Context, spec JobSpec) (*JobResult, error) {
 		return runDST(ctx, spec)
 	}
 	res := &JobResult{PerKind: map[string]int64{}}
+	if spec.Raw {
+		res.Raw = &RawSeries{}
+	}
 	var msgs, bits, rounds []float64
 	agg := new(metrics.Counters)
 	seen := map[string]bool{}
@@ -69,6 +89,17 @@ func runSpec(ctx context.Context, spec JobSpec) (*JobResult, error) {
 			return nil, err
 		}
 		res.Reps++
+		if res.Raw != nil {
+			res.Raw.Messages = append(res.Raw.Messages, out.counters.Messages())
+			res.Raw.Bits = append(res.Raw.Bits, out.counters.Bits())
+			res.Raw.Rounds = append(res.Raw.Rounds, int64(out.rounds))
+			res.Raw.Success = append(res.Raw.Success, out.success)
+			reason := ""
+			if !out.success {
+				reason = out.reason
+			}
+			res.Raw.Reasons = append(res.Raw.Reasons, reason)
+		}
 		// Each repetition's counters are owned by this worker; Snapshot +
 		// MergeSnapshot is the race-free aggregation contract.
 		agg.MergeSnapshot(out.counters.Snapshot())

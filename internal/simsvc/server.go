@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strings"
+
+	"sublinear/internal/netsim"
 )
 
 // Handler returns the daemon's HTTP API:
@@ -13,15 +15,20 @@ import (
 //	POST /v1/jobs      submit a JobSpec; 200 done (cache hit), 202
 //	                   accepted, 400 invalid, 429 queue full (with
 //	                   Retry-After), 503 draining
+//	POST /v1/shards    submit a batch of shard JobSpecs in one request;
+//	                   per-shard outcomes, 429 when every shard was
+//	                   rejected for backpressure
 //	GET  /v1/jobs      list retained jobs
 //	GET  /v1/jobs/{id} poll one job
 //	GET  /metrics      Prometheus text metrics
-//	GET  /healthz      liveness and queue depth
+//	GET  /healthz      liveness, queue depth, capacity, build version,
+//	                   and digest schema
 //	GET  /debug/pprof/ runtime profiles
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/v1/shards", s.handleShards)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -68,6 +75,76 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// ShardBatch is the request body of POST /v1/shards: the shards of one
+// distributed run, submitted in a single request. Each spec is an
+// ordinary JobSpec (typically with Raw set so the coordinator can merge
+// shards exactly); each is queued, cached, and retained like a job
+// submitted via /v1/jobs.
+type ShardBatch struct {
+	Specs []JobSpec `json:"specs"`
+}
+
+// ShardSubmission is one element of the /v1/shards response, parallel to
+// the request's Specs. Exactly one of Status and Error is set; Retryable
+// marks backpressure rejections the caller should resubmit after a
+// delay, as opposed to invalid specs, which never succeed.
+type ShardSubmission struct {
+	Status    *JobStatus `json:"status,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Retryable bool       `json:"retryable,omitempty"`
+}
+
+// maxShardBatch bounds one /v1/shards request, so a single call cannot
+// flood the queue past what the per-job backpressure can signal.
+const maxShardBatch = 256
+
+func (s *Service) handleShards(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var batch ShardBatch
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&batch); err != nil {
+		s.metrics.invalid.Add(1)
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad shard batch: " + err.Error()})
+		return
+	}
+	if len(batch.Specs) == 0 || len(batch.Specs) > maxShardBatch {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": "shard batch needs 1..256 specs"})
+		return
+	}
+	out := make([]ShardSubmission, len(batch.Specs))
+	accepted, busy := 0, 0
+	for i, spec := range batch.Specs {
+		st, err := s.Submit(spec)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			out[i] = ShardSubmission{Error: err.Error(), Retryable: true}
+			busy++
+		case errors.Is(err, ErrClosed):
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+			return
+		case err != nil:
+			out[i] = ShardSubmission{Error: err.Error()}
+		default:
+			st := st
+			out[i] = ShardSubmission{Status: &st}
+			accepted++
+		}
+	}
+	code := http.StatusOK
+	if busy > 0 && accepted == 0 {
+		// Nothing got in: the whole batch is backpressure, surface it as
+		// such so clients reuse their 429 path.
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusTooManyRequests
+	}
+	writeJSON(w, code, map[string]any{"shards": out})
+}
+
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -98,6 +175,11 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"status":  status,
 		"queued":  s.QueueDepth(),
 		"workers": s.cfg.Workers,
+		// Version and digestSchema let a fleet coordinator check worker
+		// compatibility before dispatching: execution digests are only
+		// comparable between workers running the same digest schema.
+		"version":      Version,
+		"digestSchema": netsim.DigestSchemaVersion,
 	})
 }
 

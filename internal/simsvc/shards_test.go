@@ -1,0 +1,237 @@
+package simsvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"sublinear/internal/netsim"
+)
+
+func closeService(t *testing.T, svc *Service) {
+	t.Helper()
+	if err := svc.Close(context.Background()); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
+// runSync executes a spec directly through the real executor.
+func runSync(t *testing.T, spec JobSpec) *JobResult {
+	t.Helper()
+	n, err := spec.Normalize(DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runSpec(context.Background(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func postShards(t *testing.T, srv *httptest.Server, batch ShardBatch) (*http.Response, []ShardSubmission) {
+	t.Helper()
+	body, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/shards", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Shards []ShardSubmission `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode shards response: %v", err)
+	}
+	return resp, out.Shards
+}
+
+func TestShardsBatchSubmit(t *testing.T) {
+	svc := New(Config{Workers: 2, QueueSize: 16})
+	defer closeService(t, svc)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	batch := ShardBatch{Specs: []JobSpec{
+		{Protocol: "election", N: 32, Alpha: 0.8, Seed: 1, Reps: 2, Raw: true},
+		{Protocol: "election", N: 32, Alpha: 0.8, Seed: 2, Reps: 2, Raw: true},
+		{Protocol: "bogus"},
+	}}
+	resp, shards := postShards(t, srv, batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if len(shards) != 3 {
+		t.Fatalf("got %d submissions, want 3", len(shards))
+	}
+	for i := 0; i < 2; i++ {
+		if shards[i].Status == nil || shards[i].Error != "" {
+			t.Fatalf("shard %d: %+v, want accepted", i, shards[i])
+		}
+	}
+	if shards[2].Status != nil || shards[2].Error == "" || shards[2].Retryable {
+		t.Fatalf("invalid spec: %+v, want non-retryable per-element error", shards[2])
+	}
+}
+
+func TestShardsBackpressure429(t *testing.T) {
+	// An executor that parks until released keeps the queue full.
+	block := make(chan struct{})
+	svc := New(Config{Workers: 1, QueueSize: 1, exec: blockingExec(block)})
+	defer closeService(t, svc)
+	defer close(block)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	// Fill the worker and the queue.
+	fill := ShardBatch{Specs: []JobSpec{
+		{Protocol: "election", N: 32, Alpha: 0.8, Seed: 10, Reps: 1},
+		{Protocol: "election", N: 32, Alpha: 0.8, Seed: 11, Reps: 1},
+	}}
+	if resp, _ := postShards(t, srv, fill); resp.StatusCode != http.StatusOK {
+		t.Fatalf("fill status %d, want 200", resp.StatusCode)
+	}
+
+	// The next batch gets nothing in: whole-batch 429 with Retry-After.
+	resp, shards := postShards(t, srv, ShardBatch{Specs: []JobSpec{
+		{Protocol: "election", N: 32, Alpha: 0.8, Seed: 12, Reps: 1},
+	}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if len(shards) != 1 || !shards[0].Retryable {
+		t.Fatalf("rejection not marked retryable: %+v", shards)
+	}
+}
+
+func TestShardsRejectsOversizeBatch(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer closeService(t, svc)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	big := ShardBatch{Specs: make([]JobSpec, maxShardBatch+1)}
+	resp, err := http.Post(srv.URL+"/v1/shards", "application/json", bytes.NewReader(mustJSON(t, big)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/v1/shards", "application/json", bytes.NewReader(mustJSON(t, ShardBatch{})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHealthzReportsVersionAndSchema(t *testing.T) {
+	svc := New(Config{Workers: 3})
+	defer closeService(t, svc)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status       string `json:"status"`
+		Workers      int    `json:"workers"`
+		Version      string `json:"version"`
+		DigestSchema int    `json:"digestSchema"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Workers != 3 {
+		t.Fatalf("healthz %+v", h)
+	}
+	if h.Version == "" {
+		t.Fatal("healthz has no build version")
+	}
+	if h.DigestSchema != netsim.DigestSchemaVersion {
+		t.Fatalf("digestSchema = %d, want %d", h.DigestSchema, netsim.DigestSchemaVersion)
+	}
+}
+
+// TestRawSeriesMatchesSummary runs the same spec with and without Raw
+// and checks the per-repetition series is present, sized, and consistent
+// with the summary statistics.
+func TestRawSeriesMatchesSummary(t *testing.T) {
+	spec := JobSpec{Protocol: "election", N: 32, Alpha: 0.8, Seed: 5, Reps: 4}
+
+	plain := runSync(t, spec)
+	if plain.Raw != nil {
+		t.Fatal("non-raw run carries a raw series")
+	}
+
+	spec.Raw = true
+	raw := runSync(t, spec)
+	if raw.Raw == nil {
+		t.Fatal("raw run has no raw series")
+	}
+	rs := raw.Raw
+	if len(rs.Messages) != 4 || len(rs.Bits) != 4 || len(rs.Rounds) != 4 ||
+		len(rs.Success) != 4 || len(rs.Reasons) != 4 {
+		t.Fatalf("raw series sizes %d/%d/%d/%d/%d, want 4 each",
+			len(rs.Messages), len(rs.Bits), len(rs.Rounds), len(rs.Success), len(rs.Reasons))
+	}
+	success := 0
+	var sum int64
+	for i := range rs.Messages {
+		sum += rs.Messages[i]
+		if rs.Success[i] {
+			success++
+			if rs.Reasons[i] != "" {
+				t.Fatalf("rep %d succeeded with reason %q", i, rs.Reasons[i])
+			}
+		}
+	}
+	if success != raw.Success {
+		t.Fatalf("raw success count %d != summary %d", success, raw.Success)
+	}
+	if mean := float64(sum) / 4; mean != raw.Messages.Mean {
+		t.Fatalf("raw mean %v != summary mean %v", mean, raw.Messages.Mean)
+	}
+	// Raw and non-raw runs of the same spec must agree on the summary.
+	if raw.Messages != plain.Messages || raw.Success != plain.Success {
+		t.Fatal("raw flag changed the summary statistics")
+	}
+	// ...and must cache under different keys.
+	if k1, k2 := mustKey(t, spec), mustKey(t, JobSpec{Protocol: "election", N: 32, Alpha: 0.8, Seed: 5, Reps: 4}); k1 == k2 {
+		t.Fatal("raw and non-raw specs share a cache key")
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func mustKey(t *testing.T, s JobSpec) string {
+	t.Helper()
+	n, err := s.Normalize(DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n.Key()
+}

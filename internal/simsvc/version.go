@@ -1,0 +1,39 @@
+package simsvc
+
+import "runtime/debug"
+
+// Version identifies the build serving the API. It is read once from the
+// embedded build info (VCS revision when the binary was built from a
+// checkout, else the main module version) and reported by /healthz so a
+// fleet coordinator can tell which build each worker runs. Digest
+// comparability across workers is governed separately by
+// netsim.DigestSchemaVersion, which /healthz also reports.
+var Version = buildVersion()
+
+func buildVersion() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", ""
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		return rev + dirty
+	}
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	return "devel"
+}
