@@ -19,10 +19,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"testing"
 
 	"sublinear/internal/netsim"
+	"sublinear/internal/trace"
 )
 
 // Entry is one benchmark measurement.
@@ -73,9 +75,21 @@ const rounds = 50
 // measure runs the benchmark twice and keeps the faster result: a
 // best-of-2 discards one-off scheduler hiccups, which matters because
 // the comparison threshold treats any slowdown as a regression.
-func measure(n int, modeName string, mode netsim.RunMode) Entry {
-	r := bestOf2(n, mode)
+//
+// With traced set, every run records a full trace to io.Discard through
+// trace.NewRecorder — encoding, interning, compression, and the digest
+// witness check included — so the entry prices end-to-end flight
+// recording rather than just the engine-side buffering. Traced entries
+// carry a "-traced" mode suffix and are intentionally absent from the
+// committed baseline: the untraced entries are the regression gate (and
+// so prove the nil-Tracer path kept its budget), while the traced ones
+// ride along in the output for overhead tracking.
+func measure(n int, modeName string, mode netsim.RunMode, traced bool) Entry {
+	r := bestOf2(n, mode, traced)
 	nsOp := r.NsPerOp()
+	if traced {
+		modeName += "-traced"
+	}
 	msgs := float64(n*rounds) / (float64(nsOp) * 1e-9)
 	return Entry{
 		Name:       fmt.Sprintf("EngineModes/%s/n%d", modeName, n),
@@ -89,7 +103,7 @@ func measure(n int, modeName string, mode netsim.RunMode) Entry {
 	}
 }
 
-func bestOf2(n int, mode netsim.RunMode) testing.BenchmarkResult {
+func bestOf2(n int, mode netsim.RunMode, traced bool) testing.BenchmarkResult {
 	bench := func() testing.BenchmarkResult {
 		return testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
@@ -98,13 +112,28 @@ func bestOf2(n int, mode netsim.RunMode) testing.BenchmarkResult {
 				for u := range machines {
 					machines[u] = &pingMachine{}
 				}
-				eng, err := netsim.NewEngine(netsim.Config{N: n, Alpha: 1, Seed: uint64(i), MaxRounds: rounds}, machines, nil)
+				cfg := netsim.Config{N: n, Alpha: 1, Seed: uint64(i), MaxRounds: rounds}
+				var rec *trace.Recorder
+				if traced {
+					var err error
+					rec, err = trace.NewRecorder(io.Discard, trace.Header{N: n, Seed: cfg.Seed, Label: "benchjson"})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cfg.Tracer = rec
+				}
+				eng, err := netsim.NewEngine(cfg, machines, nil)
 				if err != nil {
 					b.Fatal(err)
 				}
 				eng.Mode = mode
 				if _, err := eng.Run(); err != nil {
 					b.Fatal(err)
+				}
+				if rec != nil {
+					if err := rec.Close(); err != nil {
+						b.Fatal(err)
+					}
 				}
 			}
 		})
@@ -134,11 +163,23 @@ func run(args []string, stdout *os.File) error {
 		mode netsim.RunMode
 	}{{"sequential", netsim.Sequential}, {"parallel", netsim.Parallel}, {"actors", netsim.Actors}} {
 		for _, n := range []int{1024, 4096} {
-			e := measure(n, mode.name, mode.mode)
+			e := measure(n, mode.name, mode.mode, false)
 			fmt.Fprintf(stdout, "%-32s %12d ns/op %14.0f msgs/sec %8d B/op %6d allocs/op\n",
 				e.Name, e.NsPerOp, e.MsgsPerSec, e.BytesPerOp, e.AllocsOp)
 			rep.Entries = append(rep.Entries, e)
 		}
+	}
+	// Traced variants price the full flight-recorder pipeline at the
+	// larger size. They have no baseline entries, so compare() skips
+	// them — tracing overhead is reported, not gated.
+	for _, mode := range []struct {
+		name string
+		mode netsim.RunMode
+	}{{"sequential", netsim.Sequential}, {"parallel", netsim.Parallel}} {
+		e := measure(4096, mode.name, mode.mode, true)
+		fmt.Fprintf(stdout, "%-32s %12d ns/op %14.0f msgs/sec %8d B/op %6d allocs/op\n",
+			e.Name, e.NsPerOp, e.MsgsPerSec, e.BytesPerOp, e.AllocsOp)
+		rep.Entries = append(rep.Entries, e)
 	}
 
 	if *out != "" {

@@ -7,6 +7,13 @@
 //
 //	dstrun -campaign 500 [-budget 5m] [-systems election,agreement] [-seed 1] [-out dst-failures]
 //	dstrun -repro dst-failures/election-1f2e3d4c.json
+//	dstrun -repro dst-failures/election-1f2e3d4c.json -trace PREFIX
+//
+// With -trace, the replay additionally records two execution traces
+// (internal/trace): PREFIX.trace is the scheduled (failing) run and
+// PREFIX.faultfree.trace is the same case with the crash schedule
+// cleared. `tracectl diff` on the pair pinpoints the first event the
+// faults perturbed.
 //
 // Exit status: 0 when every case is clean, 1 on usage or infrastructure
 // errors, 2 when a failure was found (campaign) or the reproducer still
@@ -27,6 +34,7 @@ import (
 	"time"
 
 	"sublinear/internal/dst"
+	"sublinear/internal/netsim"
 )
 
 // errFailureFound marks a completed run that detected at least one
@@ -54,6 +62,7 @@ func run(args []string, out io.Writer) error {
 		outDir   = fs.String("out", "dst-failures", "directory for minimized failing-case reproducer files")
 		minimize = fs.Int("minimize", 200, "differential-check budget for shrinking each failure")
 		repro    = fs.String("repro", "", "replay one reproducer file instead of fuzzing")
+		tracePfx = fs.String("trace", "", "with -repro: record PREFIX.trace and PREFIX.faultfree.trace for tracectl diff")
 		list     = fs.Bool("list", false, "list registered systems and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -65,7 +74,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "all:     %s\n", strings.Join(dst.AllSystems(), " "))
 		return nil
 	case *repro != "":
-		return replay(*repro, out)
+		return replay(*repro, *tracePfx, out)
 	case *campaign > 0:
 		return fuzz(*campaign, *budget, *systems, *seed, *outDir, *minimize, out)
 	default:
@@ -75,8 +84,8 @@ func run(args []string, out io.Writer) error {
 }
 
 // replay re-runs one committed reproducer through the full differential
-// check.
-func replay(path string, out io.Writer) error {
+// check, optionally recording the scheduled and fault-free traces.
+func replay(path, tracePfx string, out io.Writer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -89,12 +98,46 @@ func replay(path string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
+	if tracePfx != "" {
+		if err := writeTraces(c, tracePfx, out); err != nil {
+			return err
+		}
+	}
 	if failure == nil {
 		fmt.Fprintf(out, "%s: clean — the reproduced bug is fixed\n", path)
 		return nil
 	}
 	fmt.Fprintf(out, "%s: still failing\n  %s\n", path, failure)
 	return errFailureFound
+}
+
+// writeTraces records the case and its fault-free twin. Traces are
+// engine-mode invariant, so recording one mode suffices; diffing the
+// pair localizes the first event the crash schedule perturbed.
+func writeTraces(c dst.Case, prefix string, out io.Writer) error {
+	faultFree := c
+	faultFree.Schedule.Crashes = nil
+	for _, tr := range []struct {
+		path string
+		c    dst.Case
+	}{
+		{prefix + ".trace", c},
+		{prefix + ".faultfree.trace", faultFree},
+	} {
+		f, err := os.Create(tr.path)
+		if err != nil {
+			return err
+		}
+		if _, err := dst.TraceCase(tr.c, netsim.Sequential, f); err != nil {
+			f.Close()
+			return fmt.Errorf("trace %s: %w", tr.path, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", tr.path)
+	}
+	return nil
 }
 
 // fuzz runs a fuzzing campaign and writes one reproducer file per

@@ -11,7 +11,13 @@
 //	fleetctl -sweep table1-mini -spawn 3
 //	fleetctl -dst 500 -spawn 4 -journal .fleet
 //	fleetctl -protocol election -n 64 -alpha 0.75 -reps 32 -spawn 2
+//	fleetctl -sweep table1-mini -spawn 2 -trace-dir .fleet-traces
 //	fleetctl -list
+//
+// -trace-dir DIR turns on execution tracing for every sweep shard and,
+// after the run, downloads the traces of shards whose repetitions
+// failed — and both sides of any hedge divergence — into DIR for
+// offline inspection with tracectl.
 //
 // -spawn k starts k local simd children on ephemeral ports, uses them
 // as the worker pool, and tears them down (SIGTERM, then SIGKILL after
@@ -31,6 +37,7 @@ import (
 	"os/exec"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -75,6 +82,7 @@ func run(args []string, out io.Writer) error {
 		maxAttempts = fs.Int("max-attempts", 4, "per-shard failed-attempt budget")
 		drain       = fs.Duration("drain-timeout", 15*time.Second, "budget for spawned workers to drain on shutdown")
 		outFile     = fs.String("out", "", "write the merged report here as well as stdout")
+		traceDir    = fs.String("trace-dir", "", "record execution traces on every sweep shard and save those of failed or hedge-divergent shards here")
 		list        = fs.Bool("list", false, "list named sweeps and exit")
 		quiet       = fs.Bool("quiet", false, "suppress per-shard progress")
 	)
@@ -91,6 +99,10 @@ func run(args []string, out io.Writer) error {
 	workload, err := buildWorkload(*sweepName, *dstCases, *protocol, *n, *alpha, *reps, *shardReps, *seed)
 	if err != nil {
 		return err
+	}
+	workload.Trace = *traceDir != ""
+	if workload.Trace && workload.Kind == fleet.KindDST {
+		fmt.Fprintln(os.Stderr, "fleetctl: -trace-dir: dst shards cannot record traces through simd; only sweep shards are traced")
 	}
 	plan, err := fleet.NewPlan(workload)
 	if err != nil {
@@ -131,6 +143,12 @@ func run(args []string, out io.Writer) error {
 	outcome, err := cliutil.RunTimeout(*timeout, func() (*fleet.Outcome, error) {
 		return fleet.Run(ctx, cfg, plan)
 	})
+	if *traceDir != "" && outcome != nil {
+		// Fetch before acting on the run error: shards that completed
+		// with protocol failures — and both sides of any hedge
+		// divergence — are exactly the executions worth keeping.
+		fetchTraces(ctx, *traceDir, outcome, progress)
+	}
 	switch {
 	case errors.Is(err, fleet.ErrShardsFailed):
 		progress("fleetctl: %v", err)
@@ -222,6 +240,116 @@ func splitWorkers(s string) []string {
 		urls = append(urls, strings.TrimRight(part, "/"))
 	}
 	return urls
+}
+
+// traceFetch is one trace worth saving: where it may live (preference
+// order) and the file it lands in.
+type traceFetch struct {
+	shard int
+	id    string
+	urls  []string
+	file  string
+}
+
+// fetchTraces downloads the execution traces of interesting shards
+// into dir: every completed shard with failed repetitions (its trace
+// records the first failed rep), and both sides of every hedge
+// divergence, so `tracectl diff` can pinpoint where the two workers'
+// executions split. The winning worker is tried first; the rest of the
+// fleet serves as fallback (an identical spec on another worker is a
+// cache-keyed exact replay, so its store may hold the same
+// content-addressed trace). Fetch failures are reported, not fatal:
+// the merged report matters more than the forensics.
+func fetchTraces(ctx context.Context, dir string, outcome *fleet.Outcome, progress func(string, ...any)) {
+	fleetURLs := make([]string, 0, len(outcome.Workers))
+	for _, w := range outcome.Workers {
+		fleetURLs = append(fleetURLs, w.URL)
+	}
+	candidates := func(first string) []string {
+		urls := []string{}
+		if first != "" {
+			urls = append(urls, first)
+		}
+		for _, u := range fleetURLs {
+			if u != first {
+				urls = append(urls, u)
+			}
+		}
+		return urls
+	}
+
+	var wanted []traceFetch
+	shards := make([]int, 0, len(outcome.Results))
+	for idx := range outcome.Results {
+		shards = append(shards, idx)
+	}
+	sort.Ints(shards)
+	for _, idx := range shards {
+		res := outcome.Results[idx]
+		if res.TraceID == "" || res.Success == res.Reps {
+			continue
+		}
+		wanted = append(wanted, traceFetch{
+			shard: idx, id: res.TraceID,
+			urls: candidates(outcome.Sources[idx]),
+			file: fmt.Sprintf("shard-%04d.trace", idx),
+		})
+	}
+	for _, d := range outcome.Divergences {
+		if d.WinnerTrace != "" {
+			wanted = append(wanted, traceFetch{
+				shard: d.Shard, id: d.WinnerTrace,
+				urls: candidates(d.WinnerURL),
+				file: fmt.Sprintf("shard-%04d.winner.trace", d.Shard),
+			})
+		}
+		if d.LoserTrace != "" {
+			wanted = append(wanted, traceFetch{
+				shard: d.Shard, id: d.LoserTrace,
+				urls: candidates(d.LoserURL),
+				file: fmt.Sprintf("shard-%04d.loser.trace", d.Shard),
+			})
+		}
+	}
+	if len(wanted) == 0 {
+		progress("fleetctl: no failed or divergent traced shards to fetch")
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		progress("fleetctl: trace dir: %v", err)
+		return
+	}
+	for _, tf := range wanted {
+		data, src, err := fetchOne(ctx, tf)
+		if err != nil {
+			progress("fleetctl: shard %d trace %.16s: %v", tf.shard, tf.id, err)
+			continue
+		}
+		path := filepath.Join(dir, tf.file)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			progress("fleetctl: write %s: %v", path, err)
+			continue
+		}
+		progress("fleetctl: saved trace of shard %d from %s to %s (%d bytes)", tf.shard, src, path, len(data))
+	}
+}
+
+// fetchOne tries each candidate worker in order until one serves (and
+// hash-verifies) the trace.
+func fetchOne(ctx context.Context, tf traceFetch) ([]byte, string, error) {
+	var lastErr error
+	for _, url := range tf.urls {
+		c := &fleet.Client{Base: url}
+		data, err := c.FetchTrace(ctx, tf.id)
+		if err == nil {
+			return data, url, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no workers to fetch from")
+	}
+	return nil, "", lastErr
 }
 
 func dstFoundFailure(rep *experiment.Report) bool {

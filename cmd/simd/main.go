@@ -45,16 +45,18 @@ func run() error {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
 		maxN         = flag.Int("max-n", simsvc.DefaultLimits.MaxN, "largest accepted network size")
 		maxReps      = flag.Int("max-reps", simsvc.DefaultLimits.MaxReps, "largest accepted repetition count")
+		traceStore   = flag.Int64("trace-store", 64<<20, "execution trace store capacity in bytes (LRU)")
 		portFile     = flag.String("port-file", "", "write the bound listen address to this file once listening (for -addr :0)")
 	)
 	flag.Parse()
 
 	svc := simsvc.New(simsvc.Config{
-		Workers:    *workers,
-		QueueSize:  *queueSize,
-		CacheSize:  *cacheSize,
-		JobTimeout: *jobTimeout,
-		Limits:     simsvc.Limits{MaxN: *maxN, MaxReps: *maxReps},
+		Workers:         *workers,
+		QueueSize:       *queueSize,
+		CacheSize:       *cacheSize,
+		JobTimeout:      *jobTimeout,
+		TraceStoreBytes: *traceStore,
+		Limits:          simsvc.Limits{MaxN: *maxN, MaxReps: *maxReps},
 	})
 	server := &http.Server{Handler: svc.Handler()}
 

@@ -1,0 +1,334 @@
+// Command tracectl explores execution traces recorded by the
+// internal/trace flight recorder: dstrun -repro -trace artifacts, simd
+// trace-store downloads (GET /v1/traces/{id}, fleetctl -trace-dir), or
+// anything else that drove a netsim run with a trace.Recorder.
+//
+// Usage:
+//
+//	tracectl inspect FILE              header, totals, crash schedule, kind table
+//	tracectl timeline FILE             per-round sparkline and table
+//	tracectl diff A B                  first divergent event between two traces
+//	tracectl export -format csv FILE   per-event CSV or JSONL dump
+//	tracectl verify FILE...            re-verify the digest witness
+//
+// Every subcommand re-verifies the trace while reading it — the reader
+// recomputes the execution digest from the event stream and rejects any
+// trace whose footer disagrees — so output is only ever produced from a
+// checkable witness of a real execution. Exit status: 0 clean, 1 usage
+// or read errors, 2 when diff finds a divergence (the "failure found"
+// convention shared with dstrun and fleetctl).
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"sublinear/internal/trace"
+	"sublinear/internal/viz"
+)
+
+// errDivergence marks a diff that found the two traces unequal. Maps to
+// exit status 2.
+var errDivergence = errors.New("traces diverge")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errDivergence) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "tracectl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		printUsage(out)
+		return errors.New("missing command")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "inspect":
+		return inspect(rest, out)
+	case "timeline":
+		return timeline(rest, out)
+	case "diff":
+		return diffCmd(rest, out)
+	case "export":
+		return export(rest, out)
+	case "verify":
+		return verify(rest, out)
+	case "help", "-h", "-help", "--help":
+		printUsage(out)
+		return nil
+	}
+	return fmt.Errorf("unknown command %q (want inspect|timeline|diff|export|verify)", cmd)
+}
+
+func printUsage(out io.Writer) {
+	fmt.Fprint(out, `tracectl — explore execution flight-recorder traces
+
+  tracectl inspect FILE              header, totals, crash schedule, kind table
+  tracectl timeline [-buckets N] FILE   per-round sparkline and table
+  tracectl diff A B                  first divergent event (exit 2 on divergence)
+  tracectl export [-format csv|json] [-o FILE] FILE   per-event dump
+  tracectl verify FILE...            re-verify the digest witness
+`)
+}
+
+// summarizeFile fully streams one trace, verifying it in the process.
+func summarizeFile(path string) (*trace.Summary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := trace.Summarize(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+func oneFile(name string, args []string, out io.Writer, extra func(fs *flag.FlagSet)) (string, error) {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(out)
+	if extra != nil {
+		extra(fs)
+	}
+	if err := fs.Parse(args); err != nil {
+		return "", err
+	}
+	if fs.NArg() != 1 {
+		return "", fmt.Errorf("%s wants exactly one trace file, got %d", name, fs.NArg())
+	}
+	return fs.Arg(0), nil
+}
+
+func inspect(args []string, out io.Writer) error {
+	path, err := oneFile("inspect", args, out, nil)
+	if err != nil {
+		return err
+	}
+	s, err := summarizeFile(path)
+	if err != nil {
+		return err
+	}
+	h, f := s.Header, s.Footer
+	fmt.Fprintf(out, "trace %s\n", path)
+	fmt.Fprintf(out, "  label     %s\n", h.Label)
+	fmt.Fprintf(out, "  format    v%d, digest schema %d\n", h.Version, h.DigestSchema)
+	fmt.Fprintf(out, "  n         %d\n", h.N)
+	fmt.Fprintf(out, "  seed      %d\n", h.Seed)
+	fmt.Fprintf(out, "  rounds    %d\n", f.Rounds)
+	fmt.Fprintf(out, "  messages  %d (%d bits)\n", f.Messages, f.Bits)
+	fmt.Fprintf(out, "  events    %d\n", f.Events)
+	fmt.Fprintf(out, "  digest    %016x (verified witness)\n", f.Digest)
+	if len(s.Crashes) > 0 {
+		fmt.Fprintf(out, "crashes (%d):\n", len(s.Crashes))
+		for _, c := range s.Crashes {
+			fmt.Fprintf(out, "  r%-4d node %d\n", c.Round, c.Node)
+		}
+	}
+	if len(s.KindCounts) > 0 {
+		fmt.Fprintf(out, "messages by kind (%d kinds):\n", len(s.KindCounts))
+		for _, k := range s.KindsByCount() {
+			fmt.Fprintf(out, "  %-24s %d\n", k, s.KindCounts[k])
+		}
+	}
+	return nil
+}
+
+func timeline(args []string, out io.Writer) error {
+	buckets := 64
+	path, err := oneFile("timeline", args, out, func(fs *flag.FlagSet) {
+		fs.IntVar(&buckets, "buckets", 64, "max sparkline width in cells")
+	})
+	if err != nil {
+		return err
+	}
+	s, err := summarizeFile(path)
+	if err != nil {
+		return err
+	}
+	msgs := make([]float64, len(s.Rounds))
+	for i, r := range s.Rounds {
+		msgs[i] = float64(r.Messages())
+	}
+	fmt.Fprintf(out, "%s — %d rounds, %d messages\n", s.Header.Label, s.Footer.Rounds, s.Footer.Messages)
+	if line := viz.Sparkline(viz.Downsample(msgs, buckets)); line != "" {
+		fmt.Fprintf(out, "msgs/round %s\n", line)
+	}
+	fmt.Fprintf(out, "%6s %8s %6s %7s %5s %5s %10s\n", "round", "msgs", "drops", "crashes", "viol", "notes", "bits")
+	for _, r := range s.Rounds {
+		fmt.Fprintf(out, "%6d %8d %6d %7d %5d %5d %10d\n",
+			r.Round, r.Messages(), r.Drops, r.Crashes, r.Violations, r.Annotations, r.Bits)
+	}
+	if len(s.KindCounts) > 0 {
+		kinds := s.KindsByCount()
+		bars := viz.Bars{Title: "messages by kind", LogScale: true}
+		for _, k := range kinds {
+			bars.Labels = append(bars.Labels, k)
+			bars.Values = append(bars.Values, float64(s.KindCounts[k]))
+		}
+		if err := bars.Render(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func diffCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff wants exactly two trace files, got %d", fs.NArg())
+	}
+	fa, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer fa.Close()
+	fb, err := os.Open(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	defer fb.Close()
+	div, err := trace.Diff(fa, fb)
+	if err != nil {
+		return err
+	}
+	if div == nil {
+		fmt.Fprintf(out, "traces are equivalent: %s and %s record the same execution\n", fs.Arg(0), fs.Arg(1))
+		return nil
+	}
+	fmt.Fprintln(out, div.String())
+	return errDivergence
+}
+
+// exportEvent is the JSONL form of one event; zero-valued fields are
+// elided so sends stay compact.
+type exportEvent struct {
+	Index int64  `json:"index"`
+	Op    string `json:"op"`
+	Round int    `json:"round"`
+	Node  int    `json:"node,omitempty"`
+	Port  int    `json:"port,omitempty"`
+	Bits  int    `json:"bits,omitempty"`
+	Kind  string `json:"kind,omitempty"`
+	Text  string `json:"text,omitempty"`
+}
+
+func export(args []string, out io.Writer) (err error) {
+	format, outFile := "csv", ""
+	path, err := oneFile("export", args, out, func(fs *flag.FlagSet) {
+		fs.StringVar(&format, "format", "csv", "output format: csv or json (JSON Lines)")
+		fs.StringVar(&outFile, "o", "", "write here instead of stdout")
+	})
+	if err != nil {
+		return err
+	}
+	if format != "csv" && format != "json" {
+		return fmt.Errorf("unknown export format %q (want csv or json)", format)
+	}
+	dst := out
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); err == nil && cerr != nil {
+				err = cerr
+			}
+		}()
+		dst = f
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+
+	var cw *csv.Writer
+	var enc *json.Encoder
+	if format == "csv" {
+		cw = csv.NewWriter(dst)
+		if err := cw.Write([]string{"index", "op", "round", "node", "port", "bits", "kind", "text"}); err != nil {
+			return err
+		}
+	} else {
+		enc = json.NewEncoder(dst)
+	}
+	var idx int64
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if format == "csv" {
+			rec := []string{
+				strconv.FormatInt(idx, 10), ev.Op.String(),
+				strconv.Itoa(ev.Round), strconv.Itoa(ev.Node),
+				strconv.Itoa(ev.Port), strconv.Itoa(ev.Bits),
+				ev.Kind, ev.Text,
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		} else {
+			e := exportEvent{
+				Index: idx, Op: ev.Op.String(), Round: ev.Round,
+				Node: ev.Node, Port: ev.Port, Bits: ev.Bits,
+				Kind: ev.Kind, Text: ev.Text,
+			}
+			if err := enc.Encode(e); err != nil {
+				return err
+			}
+		}
+		idx++
+	}
+	if cw != nil {
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func verify(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return errors.New("verify wants at least one trace file")
+	}
+	for _, path := range fs.Args() {
+		s, err := summarizeFile(path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s: OK  n=%d rounds=%d messages=%d events=%d digest=%016x\n",
+			path, s.Header.N, s.Footer.Rounds, s.Footer.Messages, s.Footer.Events, s.Footer.Digest)
+	}
+	return nil
+}

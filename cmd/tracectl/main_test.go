@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sublinear/internal/dst"
+	"sublinear/internal/fault"
+	"sublinear/internal/netsim"
+)
+
+// writeTrace records one dst case into path and returns the run's
+// digest, giving the tests real traces produced by a real engine.
+func writeTrace(t *testing.T, path string, c dst.Case) uint64 {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := dst.TraceCase(c, netsim.Sequential, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run.Digest
+}
+
+func electionCase(crashes []fault.Crash) dst.Case {
+	for i := range crashes {
+		crashes[i].Policy = fault.DropAll
+	}
+	return dst.Case{
+		System: "election", N: 24, Alpha: 0.9, Seed: 5,
+		Schedule: fault.Schedule{N: 24, Crashes: crashes},
+	}
+}
+
+// TestInspectTimelineVerify walks the read-only commands over one real
+// trace: inspect shows the header and the crash schedule, timeline
+// renders a sparkline plus a row per round, verify re-checks the
+// witness and prints the digest.
+func TestInspectTimelineVerify(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.trace")
+	writeTrace(t, path, electionCase([]fault.Crash{{Node: 3, Round: 2}}))
+
+	var buf strings.Builder
+	if err := run([]string{"inspect", path}, &buf); err != nil {
+		t.Fatalf("inspect: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{"n         24", "seed      5", "verified witness", "r2    node 3", "messages by kind"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("inspect output missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	buf.Reset()
+	if err := run([]string{"timeline", path}, &buf); err != nil {
+		t.Fatalf("timeline: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "msgs/round") {
+		t.Errorf("timeline has no sparkline:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "round") || !strings.Contains(buf.String(), "crashes") {
+		t.Errorf("timeline has no per-round table:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := run([]string{"verify", path}, &buf); err != nil {
+		t.Fatalf("verify: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "OK") || !strings.Contains(buf.String(), "digest=") {
+		t.Errorf("verify output: %s", buf.String())
+	}
+}
+
+// TestDiffExitCodes pins the CLI contract: identical runs diff clean
+// (exit 0 path), a crash-injected run diverges (errDivergence → exit 2)
+// and the report names the crashed node and round — the acceptance
+// criterion for localizing a dst failure against its fault-free twin.
+func TestDiffExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.trace")
+	b := filepath.Join(dir, "b.trace")
+	crashed := filepath.Join(dir, "crashed.trace")
+	writeTrace(t, a, electionCase(nil))
+	writeTrace(t, b, electionCase(nil))
+	writeTrace(t, crashed, electionCase([]fault.Crash{{Node: 7, Round: 3}}))
+
+	var buf strings.Builder
+	if err := run([]string{"diff", a, b}, &buf); err != nil {
+		t.Fatalf("identical traces diverge: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "equivalent") {
+		t.Errorf("clean diff output: %s", buf.String())
+	}
+
+	buf.Reset()
+	err := run([]string{"diff", a, crashed}, &buf)
+	if !errors.Is(err, errDivergence) {
+		t.Fatalf("crashed-vs-clean diff err = %v, want errDivergence\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "first divergence") {
+		t.Errorf("diff did not report a divergence:\n%s", out)
+	}
+	// The injected crash is the first divergent event: the schedule
+	// touches nothing before it.
+	if !strings.Contains(out, "r3 node 7 CRASH") {
+		t.Errorf("diff did not localize the injected crash (r3 node 7):\n%s", out)
+	}
+}
+
+// TestExportFormats checks both export encodings over one trace: the
+// CSV has a header plus one row per event, and the JSONL decodes back
+// event by event with ops the trace actually contains.
+func TestExportFormats(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.trace")
+	writeTrace(t, path, electionCase([]fault.Crash{{Node: 1, Round: 2}}))
+
+	var buf strings.Builder
+	if err := run([]string{"export", "-format", "csv", path}, &buf); err != nil {
+		t.Fatalf("csv export: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "index,op,round,node,port,bits,kind,text" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if len(lines) < 10 {
+		t.Errorf("csv export has only %d lines", len(lines))
+	}
+
+	outFile := filepath.Join(dir, "events.jsonl")
+	buf.Reset()
+	if err := run([]string{"export", "-format", "json", "-o", outFile, path}, &buf); err != nil {
+		t.Fatalf("json export: %v", err)
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := map[string]int{}
+	jlines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	for i, line := range jlines {
+		var e exportEvent
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("jsonl line %d: %v", i, err)
+		}
+		if e.Index != int64(i) {
+			t.Fatalf("jsonl line %d has index %d", i, e.Index)
+		}
+		ops[e.Op]++
+	}
+	if len(jlines) != len(lines)-1 {
+		t.Errorf("json exported %d events, csv %d", len(jlines), len(lines)-1)
+	}
+	for _, op := range []string{"round", "send", "crash"} {
+		if ops[op] == 0 {
+			t.Errorf("jsonl export has no %q events (ops: %v)", op, ops)
+		}
+	}
+}
+
+// TestBadInputs: usage errors and corrupt traces exit via status 1, not
+// panics or silent success.
+func TestBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	bogus := filepath.Join(dir, "bogus.trace")
+	if err := os.WriteFile(bogus, []byte("not a trace at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	for _, args := range [][]string{
+		{},
+		{"frobnicate"},
+		{"inspect"},
+		{"inspect", bogus},
+		{"diff", bogus, bogus},
+		{"verify", filepath.Join(dir, "missing.trace")},
+		{"export", "-format", "xml", bogus},
+	} {
+		buf.Reset()
+		if err := run(args, &buf); err == nil || errors.Is(err, errDivergence) {
+			t.Errorf("run(%v) err = %v, want a hard error", args, err)
+		}
+	}
+	buf.Reset()
+	if err := run([]string{"help"}, &buf); err != nil || !strings.Contains(buf.String(), "tracectl") {
+		t.Errorf("help: err=%v output=%s", err, buf.String())
+	}
+}

@@ -17,6 +17,9 @@ type AllPairsConfig struct {
 	// Mode selects the engine execution strategy (all modes are
 	// deterministic per seed and produce identical digests).
 	Mode netsim.RunMode
+	// Tracer, when non-nil, streams the run to an execution flight
+	// recorder (internal/trace); nil costs nothing.
+	Tracer netsim.Tracer
 	// F is the fault bound; the protocol runs F+1 rounds.
 	F int
 	// Alpha is engine bookkeeping; defaults to 1-F/N.
@@ -89,7 +92,7 @@ func RunAllPairs(cfg AllPairsConfig, adv netsim.Adversary) (*Result, error) {
 	for u := range machines {
 		machines[u] = &allPairsMachine{endRound: cfg.F + 1}
 	}
-	res, err := runMachines(cfg.N, cfg.Alpha, cfg.Seed, cfg.F+2, 8, cfg.Mode, machines, adv)
+	res, err := runMachines(cfg.N, cfg.Alpha, cfg.Seed, cfg.F+2, 8, cfg.Mode, cfg.Tracer, machines, adv)
 	if err != nil {
 		return nil, err
 	}

@@ -17,6 +17,9 @@ type AMPConfig struct {
 	// Mode selects the engine execution strategy (all modes are
 	// deterministic per seed and produce identical digests).
 	Mode netsim.RunMode
+	// Tracer, when non-nil, streams the run to an execution flight
+	// recorder (internal/trace); nil costs nothing.
+	Tracer netsim.Tracer
 	// CandidateFactor scales the candidate probability (default 6).
 	CandidateFactor float64
 	// RefereeFactor scales the referee sample (default 2).
@@ -142,7 +145,7 @@ func RunAMP(cfg AMPConfig, inputs []int) (*Result, error) {
 	for u := range machines {
 		machines[u] = &ampMachine{cfg: cfg, input: inputs[u]}
 	}
-	res, err := runMachines(cfg.N, 1, cfg.Seed, 3, 8, cfg.Mode, machines, nil)
+	res, err := runMachines(cfg.N, 1, cfg.Seed, 3, 8, cfg.Mode, cfg.Tracer, machines, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -49,7 +49,7 @@ type Result struct {
 // runMachines executes machines on the shared engine with the baseline
 // defaults (strict CONGEST with a generous factor for set-carrying
 // baselines).
-func runMachines(n int, alpha float64, seed uint64, maxRounds, congestFactor int, mode netsim.RunMode, machines []netsim.Machine, adv netsim.Adversary) (*netsim.Result, error) {
+func runMachines(n int, alpha float64, seed uint64, maxRounds, congestFactor int, mode netsim.RunMode, tracer netsim.Tracer, machines []netsim.Machine, adv netsim.Adversary) (*netsim.Result, error) {
 	cfg := netsim.Config{
 		N:             n,
 		Alpha:         alpha,
@@ -57,6 +57,7 @@ func runMachines(n int, alpha float64, seed uint64, maxRounds, congestFactor int
 		MaxRounds:     maxRounds,
 		CongestFactor: congestFactor,
 		Strict:        true,
+		Tracer:        tracer,
 	}
 	engine, err := netsim.NewEngine(cfg, machines, adv)
 	if err != nil {

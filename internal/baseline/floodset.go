@@ -18,6 +18,9 @@ type FloodSetConfig struct {
 	// Mode selects the engine execution strategy (all modes are
 	// deterministic per seed and produce identical digests).
 	Mode netsim.RunMode
+	// Tracer, when non-nil, streams the run to an execution flight
+	// recorder (internal/trace); nil costs nothing.
+	Tracer netsim.Tracer
 	// F is the fault bound; the protocol runs F+1 rounds. Required >= 0.
 	F int
 	// Alpha is only used for engine bookkeeping; defaults to 1-F/N.
@@ -91,7 +94,7 @@ func RunFloodSet(cfg FloodSetConfig, inputs []int, adv netsim.Adversary) (*Resul
 	for u := range machines {
 		machines[u] = &floodSetMachine{input: inputs[u], endRound: cfg.F + 1}
 	}
-	res, err := runMachines(cfg.N, cfg.Alpha, cfg.Seed, cfg.F+2, 8, cfg.Mode, machines, adv)
+	res, err := runMachines(cfg.N, cfg.Alpha, cfg.Seed, cfg.F+2, 8, cfg.Mode, cfg.Tracer, machines, adv)
 	if err != nil {
 		return nil, err
 	}

@@ -22,6 +22,9 @@ type GKConfig struct {
 	// Mode selects the engine execution strategy (all modes are
 	// deterministic per seed and produce identical digests).
 	Mode netsim.RunMode
+	// Tracer, when non-nil, streams the run to an execution flight
+	// recorder (internal/trace); nil costs nothing.
+	Tracer netsim.Tracer
 	// CommitteeFactor scales the committee size
 	// CommitteeFactor * ceil(log2 n); default 3.
 	CommitteeFactor float64
@@ -141,7 +144,7 @@ func RunGK(cfg GKConfig, inputs []int, adv netsim.Adversary) (*Result, error) {
 	for u := range machines {
 		machines[u] = &gkMachine{committeeSize: k, input: inputs[u]}
 	}
-	res, err := runMachines(cfg.N, cfg.Alpha, cfg.Seed, k+2, 8, cfg.Mode, machines, adv)
+	res, err := runMachines(cfg.N, cfg.Alpha, cfg.Seed, k+2, 8, cfg.Mode, cfg.Tracer, machines, adv)
 	if err != nil {
 		return nil, err
 	}

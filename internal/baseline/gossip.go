@@ -20,6 +20,9 @@ type GossipConfig struct {
 	// Mode selects the engine execution strategy (all modes are
 	// deterministic per seed and produce identical digests).
 	Mode netsim.RunMode
+	// Tracer, when non-nil, streams the run to an execution flight
+	// recorder (internal/trace); nil costs nothing.
+	Tracer netsim.Tracer
 	// Fanout is the number of random peers pushed to per round; default
 	// 3.
 	Fanout int
@@ -110,7 +113,7 @@ func RunGossip(cfg GossipConfig, inputs []int, adv netsim.Adversary) (*Result, e
 	for u := range machines {
 		machines[u] = &gossipMachine{fanout: cfg.Fanout, endRound: rounds, input: inputs[u]}
 	}
-	res, err := runMachines(cfg.N, cfg.Alpha, cfg.Seed, rounds+1, 8, cfg.Mode, machines, adv)
+	res, err := runMachines(cfg.N, cfg.Alpha, cfg.Seed, rounds+1, 8, cfg.Mode, cfg.Tracer, machines, adv)
 	if err != nil {
 		return nil, err
 	}

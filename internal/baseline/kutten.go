@@ -17,6 +17,9 @@ type KuttenConfig struct {
 	// Mode selects the engine execution strategy (all modes are
 	// deterministic per seed and produce identical digests).
 	Mode netsim.RunMode
+	// Tracer, when non-nil, streams the run to an execution flight
+	// recorder (internal/trace); nil costs nothing.
+	Tracer netsim.Tracer
 	// CandidateFactor scales the candidate probability
 	// CandidateFactor * ln n / n; default 6.
 	CandidateFactor float64
@@ -146,7 +149,7 @@ func RunKutten(cfg KuttenConfig) (*Result, error) {
 	for u := range machines {
 		machines[u] = &kuttenMachine{cfg: cfg}
 	}
-	res, err := runMachines(cfg.N, 1, cfg.Seed, 3, 8, cfg.Mode, machines, nil)
+	res, err := runMachines(cfg.N, 1, cfg.Seed, 3, 8, cfg.Mode, cfg.Tracer, machines, nil)
 	if err != nil {
 		return nil, err
 	}

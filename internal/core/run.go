@@ -23,6 +23,12 @@ type RunConfig struct {
 	Adversary netsim.Adversary
 	// Record enables message tracing for influence-cloud analysis.
 	Record bool
+	// Tracer, when non-nil, streams every engine event (rounds, sends,
+	// drops, crashes, violations) to an execution flight recorder — see
+	// internal/trace. Unlike Record it does not constrain the engine to
+	// one worker and costs nothing when nil. Ignored by the TCP runners,
+	// which do not go through the simulator.
+	Tracer netsim.Tracer
 	// Concurrent runs node steps on parallel goroutines with a round
 	// barrier (identical semantics; exercised by tests and benches).
 	Concurrent bool
@@ -55,6 +61,7 @@ func (c RunConfig) engineConfig(maxRounds int) netsim.Config {
 		CongestFactor: factor,
 		Strict:        true,
 		Record:        c.Record,
+		Tracer:        c.Tracer,
 	}
 }
 

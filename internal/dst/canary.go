@@ -94,7 +94,7 @@ func init() {
 		MaxF:    crashBudget,
 		Horizon: 2,
 		Oracles: []core.Oracle{core.CrashMonotonicityOracle(), core.CongestOracle(), canaryConsistencyOracle()},
-		Run: func(c Case, mode netsim.RunMode) (*Run, error) {
+		Run: func(c Case, mode netsim.RunMode, tracer netsim.Tracer) (*Run, error) {
 			adv, err := c.adversary()
 			if err != nil {
 				return nil, err
@@ -106,6 +106,7 @@ func init() {
 			cfg := netsim.Config{
 				N: c.N, Alpha: c.Alpha, Seed: c.Seed,
 				MaxRounds: 3, CongestFactor: core.DefaultCongestFactor, Strict: true,
+				Tracer: tracer,
 			}
 			engine, err := netsim.NewEngine(cfg, machines, adv)
 			if err != nil {

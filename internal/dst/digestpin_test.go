@@ -49,7 +49,7 @@ func TestDigestGoldenValues(t *testing.T) {
 		}
 		for _, mode := range []netsim.RunMode{netsim.Sequential, netsim.Parallel, netsim.Actors} {
 			t.Run(fmt.Sprintf("%s/seed%d/mode%d", g.system, g.seed, mode), func(t *testing.T) {
-				res, err := sys.Run(c, mode)
+				res, err := sys.Run(c, mode, nil)
 				if err != nil {
 					t.Fatal(err)
 				}

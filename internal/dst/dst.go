@@ -10,12 +10,14 @@ package dst
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"sublinear/internal/core"
 	"sublinear/internal/fault"
 	"sublinear/internal/netsim"
 	"sublinear/internal/rng"
+	"sublinear/internal/trace"
 )
 
 // Case is one fully determined execution: the system under test, its
@@ -89,8 +91,9 @@ type System struct {
 	MaxF func(n int, alpha float64) int
 	// Horizon is the latest round the adversary schedules crashes in.
 	Horizon int
-	// Run executes the case in the given engine mode.
-	Run func(c Case, mode netsim.RunMode) (*Run, error)
+	// Run executes the case in the given engine mode. tracer is usually
+	// nil; TraceCase passes a flight recorder through to the engine.
+	Run func(c Case, mode netsim.RunMode, tracer netsim.Tracer) (*Run, error)
 	// Oracles is the safety suite checked on every run.
 	Oracles []core.Oracle
 }
@@ -140,7 +143,7 @@ func Check(c Case) (*Failure, error) {
 	}
 	var ref *Run
 	for _, m := range modes {
-		run, err := sys.Run(c, m.mode)
+		run, err := sys.Run(c, m.mode, nil)
 		if err != nil {
 			return &Failure{Case: c, Kind: "error",
 				Detail: fmt.Sprintf("%s mode: %v", m.name, err)}, nil
@@ -160,6 +163,36 @@ func Check(c Case) (*Failure, error) {
 		}
 	}
 	return nil, nil
+}
+
+// TraceCase replays one case in the given engine mode with an execution
+// flight recorder attached, writing the binary trace (internal/trace) to
+// w. The recorded digest doubles as the witness: TraceCase fails if the
+// trace's recomputed digest disagrees with the engine's. Because traces
+// are engine-mode invariant, diffing the traces of a failing schedule
+// and its fault-free twin (Schedule.Crashes = nil) localizes the first
+// event the faults perturbed — the use case `dstrun -repro -trace`
+// packages up.
+func TraceCase(c Case, mode netsim.RunMode, w io.Writer) (*Run, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	sys, err := Lookup(c.System)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := trace.NewRecorder(w, trace.Header{N: c.N, Seed: c.Seed, Label: c.System})
+	if err != nil {
+		return nil, err
+	}
+	run, err := sys.Run(c, mode, rec)
+	if err != nil {
+		return nil, err
+	}
+	if err := rec.Close(); err != nil {
+		return nil, fmt.Errorf("dst: trace of %s case: %w", c.System, err)
+	}
+	return run, nil
 }
 
 // diffRuns describes the first discrepancy between two runs, or "".

@@ -31,13 +31,13 @@ func init() {
 		MaxF:    crashBudget,
 		Horizon: 8,
 		Oracles: core.ElectionOracles(),
-		Run: func(c Case, mode netsim.RunMode) (*Run, error) {
+		Run: func(c Case, mode netsim.RunMode, tracer netsim.Tracer) (*Run, error) {
 			adv, err := c.adversary()
 			if err != nil {
 				return nil, err
 			}
 			res, err := core.RunElection(core.RunConfig{
-				N: c.N, Alpha: c.Alpha, Seed: c.Seed, Adversary: adv, Mode: mode,
+				N: c.N, Alpha: c.Alpha, Seed: c.Seed, Adversary: adv, Mode: mode, Tracer: tracer,
 			})
 			if err != nil {
 				return nil, err
@@ -62,7 +62,7 @@ func init() {
 		MaxF:    crashBudget,
 		Horizon: 6,
 		Oracles: core.AgreementOracles(),
-		Run: func(c Case, mode netsim.RunMode) (*Run, error) {
+		Run: func(c Case, mode netsim.RunMode, tracer netsim.Tracer) (*Run, error) {
 			adv, err := c.adversary()
 			if err != nil {
 				return nil, err
@@ -79,7 +79,7 @@ func init() {
 				}
 			}
 			res, err := core.RunAgreement(core.RunConfig{
-				N: c.N, Alpha: c.Alpha, Seed: c.Seed, Adversary: adv, Mode: mode,
+				N: c.N, Alpha: c.Alpha, Seed: c.Seed, Adversary: adv, Mode: mode, Tracer: tracer,
 			}, inputs)
 			if err != nil {
 				return nil, err
@@ -104,7 +104,7 @@ func init() {
 		MaxF:    crashBudget,
 		Horizon: 6,
 		Oracles: core.MinAgreementOracles(),
-		Run: func(c Case, mode netsim.RunMode) (*Run, error) {
+		Run: func(c Case, mode netsim.RunMode, tracer netsim.Tracer) (*Run, error) {
 			adv, err := c.adversary()
 			if err != nil {
 				return nil, err
@@ -115,7 +115,7 @@ func init() {
 				values[u] = src.Uint64() & 0xffff
 			}
 			res, err := core.RunMinAgreement(core.RunConfig{
-				N: c.N, Alpha: c.Alpha, Seed: c.Seed, Adversary: adv, Mode: mode,
+				N: c.N, Alpha: c.Alpha, Seed: c.Seed, Adversary: adv, Mode: mode, Tracer: tracer,
 			}, values)
 			if err != nil {
 				return nil, err

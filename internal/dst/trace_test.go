@@ -1,0 +1,75 @@
+package dst
+
+import (
+	"bytes"
+	"testing"
+
+	"sublinear/internal/netsim"
+	"sublinear/internal/trace"
+)
+
+// TestTraceCaseLocalizesCanary closes the flight-recorder loop on the
+// harness's self-test bug: record the minimized failing canary case and
+// its fault-free twin, diff the traces, and require the first divergent
+// event to be exactly the scheduled crash — round and node. This is the
+// property `dstrun -repro -trace` + `tracectl diff` packages for users.
+func TestTraceCaseLocalizesCanary(t *testing.T) {
+	c := canaryCampaign(t)[0].Case
+
+	record := func(c Case) []byte {
+		var buf bytes.Buffer
+		if _, err := TraceCase(c, netsim.Parallel, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	failing := record(c)
+	faultFree := c
+	faultFree.Schedule.Crashes = nil
+	clean := record(faultFree)
+
+	div, err := trace.Diff(bytes.NewReader(failing), bytes.NewReader(clean))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div == nil {
+		t.Fatal("failing and fault-free traces are identical")
+	}
+	// The earliest crash (ties broken by node order, matching the
+	// engine's pass-D emission order) must be the first divergence:
+	// everything before it is untouched by the schedule.
+	want := c.Schedule.Crashes[0]
+	for _, cr := range c.Schedule.Crashes[1:] {
+		if cr.Round < want.Round || (cr.Round == want.Round && cr.Node < want.Node) {
+			want = cr
+		}
+	}
+	if div.Round != want.Round {
+		t.Errorf("divergence at round %d, want crash round %d\n%s", div.Round, want.Round, div)
+	}
+	if div.A == nil || div.A.Op != trace.OpCrash || div.A.Node != want.Node {
+		t.Errorf("divergent event %v, want crash of node %d", div.A, want.Node)
+	}
+}
+
+// TestTraceCaseWitness pins TraceCase's digest cross-check: the trace it
+// writes reads back with the digest the differential check saw.
+func TestTraceCaseWitness(t *testing.T) {
+	c := Case{System: "election", N: 24, Alpha: 0.9, Seed: 5}
+	c.Schedule.N = c.N
+	var buf bytes.Buffer
+	run, err := TraceCase(c, netsim.Sequential, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, footer, err := trace.ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if footer.Digest != run.Digest {
+		t.Errorf("trace digest %#x, run digest %#x", footer.Digest, run.Digest)
+	}
+	if footer.Messages != run.Messages || footer.Rounds != run.Rounds {
+		t.Errorf("trace footer %+v vs run %+v", footer, run)
+	}
+}

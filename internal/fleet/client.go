@@ -3,6 +3,8 @@ package fleet
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -189,6 +191,47 @@ func (c *Client) JobStatus(ctx context.Context, id string) (simsvc.JobStatus, er
 		return st, fmt.Errorf("%s: bad job body: %w", c.Base, err)
 	}
 	return st, nil
+}
+
+// maxTraceBytes caps one trace fetch; it matches the default simd
+// trace-store budget, which no single resident trace can exceed.
+const maxTraceBytes = 64 << 20
+
+// FetchTrace downloads a recorded execution trace by its content
+// address (a JobResult.TraceID) and verifies it: the bytes must hash
+// back to the requested id. A 404 is permanent for this worker — the
+// trace was never recorded there or has been LRU-evicted — so the
+// caller should try the next worker or resubmit the traced job rather
+// than retry the fetch.
+func (c *Client) FetchTrace(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/traces/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return nil, errPermanent{msg: fmt.Sprintf("%s: trace %.16s not on this worker (evicted or never recorded)", c.Base, id)}
+	default:
+		return nil, fmt.Errorf("%s: trace %.16s: HTTP %d: %s", c.Base, id, resp.StatusCode, readError(resp))
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxTraceBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("%s: trace %.16s: %w", c.Base, id, err)
+	}
+	if len(data) > maxTraceBytes {
+		return nil, fmt.Errorf("%s: trace %.16s exceeds %d bytes", c.Base, id, maxTraceBytes)
+	}
+	sum := sha256.Sum256(data)
+	if got := hex.EncodeToString(sum[:]); got != id {
+		return nil, fmt.Errorf("%s: trace bytes hash to %.16s, want %.16s (corrupt transfer or lying worker)", c.Base, got, id)
+	}
+	return data, nil
 }
 
 // RunShard runs one shard to completion on this worker: submit —

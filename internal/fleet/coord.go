@@ -1,7 +1,9 @@
 package fleet
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -106,10 +108,35 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Divergence records a hedged shard whose duplicate attempts returned
+// different results. Every engine is deterministic in the normalized
+// spec, so honest workers cannot disagree; a divergence is evidence of
+// a corrupt, miscompiled, or lying worker. When the plan was traced,
+// the two trace content addresses let `tracectl diff` pinpoint the
+// first event where the executions split.
+type Divergence struct {
+	// Shard is the divergent shard's plan index.
+	Shard int
+	// WinnerURL and LoserURL are the two workers that disagreed; the
+	// winner's result is the one kept in Outcome.Results.
+	WinnerURL, LoserURL string
+	// WinnerTrace and LoserTrace are the results' trace content
+	// addresses, "" when the shard was not traced.
+	WinnerTrace, LoserTrace string
+}
+
 // Outcome summarises a coordinator run.
 type Outcome struct {
 	// Results maps shard index to result for every completed shard.
 	Results map[int]*simsvc.JobResult
+	// Sources maps shard index to the URL of the worker whose result
+	// won. Shards restored from the journal are absent: the worker that
+	// ran them belonged to an earlier coordinator.
+	Sources map[int]string
+	// Divergences lists hedge races whose duplicate results differed
+	// (see Divergence). The run still completes — the first result is
+	// kept — but each divergence is a worker-integrity alarm.
+	Divergences []Divergence
 	// Workers is the healthy registry the run started with.
 	Workers []WorkerInfo
 	// Resumed counts shards restored from the journal, Dispatched the
@@ -133,6 +160,7 @@ type task struct {
 	done       bool
 	failed     bool
 	result     *simsvc.JobResult
+	winnerURL  string
 	failures   int
 	inflight   int
 	hedged     bool
@@ -177,7 +205,7 @@ func (t *task) end(id int) {
 // win records the first result and cancels every other in-flight
 // attempt (the hedging loser is abandoned via its context). It reports
 // whether this attempt won.
-func (t *task) win(res *simsvc.JobResult) bool {
+func (t *task) win(res *simsvc.JobResult, url string) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.done {
@@ -185,10 +213,22 @@ func (t *task) win(res *simsvc.JobResult) bool {
 	}
 	t.done = true
 	t.result = res
+	t.winnerURL = url
 	for _, cancel := range t.cancels {
 		cancel()
 	}
 	return true
+}
+
+// winner returns the recorded winning result and its worker, or nil
+// when the task has no winner (still running, or permanently failed).
+func (t *task) winner() (*simsvc.JobResult, string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.done || t.failed {
+		return nil, ""
+	}
+	return t.result, t.winnerURL
 }
 
 // fail marks the task permanently failed. It reports whether this call
@@ -292,7 +332,10 @@ func (q *taskQueue) close() { close(q.quit) }
 // shards are already journaled and will be resumed by the next run).
 func Run(ctx context.Context, cfg Config, plan *Plan) (*Outcome, error) {
 	cfg = cfg.withDefaults()
-	out := &Outcome{Results: make(map[int]*simsvc.JobResult)}
+	out := &Outcome{
+		Results: make(map[int]*simsvc.JobResult),
+		Sources: make(map[int]string),
+	}
 
 	workers, err := probeWorkers(ctx, cfg.Workers, cfg.ProbeRetries, cfg.ProbeInterval, cfg.sleep, cfg.Progress)
 	if err != nil {
@@ -454,11 +497,16 @@ func (c *coordinator) attempt(ctx context.Context, t *task, w WorkerInfo, client
 
 	switch {
 	case err == nil:
-		if t.win(res) {
+		if t.win(res, w.URL) {
 			br.success()
 			c.complete(t, res, w)
+		} else if prior, priorURL := t.winner(); prior != nil && !resultsEqual(prior, res) {
+			// A losing hedge result must be identical by determinism; a
+			// mismatch means one of the two workers is corrupt or lying.
+			// Keep the winner (either could be the bad one — the traces
+			// settle it) and raise the alarm.
+			c.recordDivergence(t.shard.Index, prior, priorURL, res, w.URL)
 		}
-		// A losing hedge result is identical by determinism; drop it.
 	case t.isDone():
 		// The attempt lost a hedge race or the run is shutting down; its
 		// context was cancelled underneath it. Not the worker's fault.
@@ -489,10 +537,32 @@ func (c *coordinator) complete(t *task, res *simsvc.JobResult, w WorkerInfo) {
 	}
 	c.resMu.Lock()
 	c.out.Results[t.shard.Index] = res
+	c.out.Sources[t.shard.Index] = w.URL
 	done := len(c.out.Results)
 	c.resMu.Unlock()
 	c.cfg.Progress("fleet: shard %d/%d done on %s", done, len(c.plan.Shards), w.URL)
 	c.finishOne()
+}
+
+func (c *coordinator) recordDivergence(shard int, winner *simsvc.JobResult, winnerURL string, loser *simsvc.JobResult, loserURL string) {
+	d := Divergence{
+		Shard: shard, WinnerURL: winnerURL, LoserURL: loserURL,
+		WinnerTrace: winner.TraceID, LoserTrace: loser.TraceID,
+	}
+	c.resMu.Lock()
+	c.out.Divergences = append(c.out.Divergences, d)
+	c.resMu.Unlock()
+	c.cfg.Progress("fleet: shard %d HEDGE DIVERGENCE: %s and %s returned different results for one deterministic spec",
+		shard, winnerURL, loserURL)
+}
+
+// resultsEqual compares two shard results over their canonical JSON
+// form — the same encoding the journal persists — so any observable
+// field, including the trace content address, participates.
+func resultsEqual(a, b *simsvc.JobResult) bool {
+	aj, err1 := json.Marshal(a)
+	bj, err2 := json.Marshal(b)
+	return err1 == nil && err2 == nil && bytes.Equal(aj, bj)
 }
 
 func (c *coordinator) failShard(t *task, err error) {

@@ -18,6 +18,7 @@ import (
 
 	"sublinear/internal/experiment"
 	"sublinear/internal/simsvc"
+	"sublinear/internal/trace"
 )
 
 // startWorker runs a real simsvc service behind an httptest server.
@@ -210,5 +211,59 @@ func TestE2EDistributedDST(t *testing.T) {
 	}
 	if got2 := renderReport(t, plan, out2.Results); got2 != got {
 		t.Fatalf("dst merge unstable across fleets:\n--- first ---\n%s\n--- second ---\n%s", got, got2)
+	}
+}
+
+// TestE2ETraceFetch runs a traced sweep over two real workers, then
+// fetches every shard's execution trace from the worker that produced
+// its winning result and verifies it (the fetch rehashes the bytes
+// against the content address; the reader recomputes the witness
+// digest). This is the client side of the simd trace store — the loop
+// fleetctl's -trace-dir runs for failed and divergent shards.
+func TestE2ETraceFetch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e runs real simulations")
+	}
+	plan, err := NewPlan(Workload{Kind: KindSweep, Sweep: e2eSweep(), ShardReps: 3, Seed: 13, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range plan.Shards {
+		if !s.Spec.Trace {
+			t.Fatalf("shard %d spec lost the trace flag", s.Index)
+		}
+	}
+	w1, w2 := startWorker(t), startWorker(t)
+	out, err := Run(context.Background(), fastCfg(w1.URL, w2.URL), plan)
+	if err != nil {
+		t.Fatalf("traced fleet run: %v", err)
+	}
+	for _, s := range plan.Shards {
+		res := out.Results[s.Index]
+		if res == nil || res.TraceID == "" {
+			t.Fatalf("shard %d finished without a trace id: %+v", s.Index, res)
+		}
+		src := out.Sources[s.Index]
+		if src != w1.URL && src != w2.URL {
+			t.Fatalf("shard %d source %q is not a fleet worker", s.Index, src)
+		}
+		c := &Client{Base: src}
+		data, err := c.FetchTrace(context.Background(), res.TraceID)
+		if err != nil {
+			t.Fatalf("shard %d trace fetch: %v", s.Index, err)
+		}
+		hdr, _, _, err := trace.ReadAll(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("shard %d trace does not verify: %v", s.Index, err)
+		}
+		if hdr.N != s.Spec.N {
+			t.Errorf("shard %d trace header n=%d, want %d", s.Index, hdr.N, s.Spec.N)
+		}
+	}
+	// A bogus content address is a permanent miss: try the next worker
+	// or resubmit, never retry the same fetch.
+	c := &Client{Base: w1.URL}
+	if _, err := c.FetchTrace(context.Background(), "deadbeef"); !IsPermanent(err) {
+		t.Fatalf("bogus trace fetch err = %v, want a permanent error", err)
 	}
 }

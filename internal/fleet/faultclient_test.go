@@ -329,3 +329,45 @@ func TestRegistrySkipsDeadWorker(t *testing.T) {
 		t.Fatalf("registry = %+v, want only the good worker", out.Workers)
 	}
 }
+
+// TestHedgeDivergenceDetection drives the hedge-loser comparison
+// directly: the first result wins, an identical late duplicate is
+// dropped silently, and a differing late duplicate — impossible for
+// honest deterministic workers — is recorded as a Divergence carrying
+// both workers and both trace content addresses.
+func TestHedgeDivergenceDetection(t *testing.T) {
+	tsk := &task{shard: Shard{Index: 3}, cancels: map[int]context.CancelFunc{}}
+	win := &simsvc.JobResult{Success: 4, Reps: 4, TraceID: "aaaa"}
+	if !tsk.win(win, "http://a") {
+		t.Fatal("first result did not win")
+	}
+	if tsk.win(&simsvc.JobResult{}, "http://b") {
+		t.Fatal("second result won an already-done task")
+	}
+	prior, url := tsk.winner()
+	if prior != win || url != "http://a" {
+		t.Fatalf("winner() = (%v, %q), want the recorded winner from http://a", prior, url)
+	}
+
+	same := *win
+	if !resultsEqual(win, &same) {
+		t.Fatal("identical results compare unequal")
+	}
+	loser := &simsvc.JobResult{Success: 3, Reps: 4, TraceID: "bbbb"}
+	if resultsEqual(win, loser) {
+		t.Fatal("differing results compare equal")
+	}
+
+	out := &Outcome{Results: map[int]*simsvc.JobResult{}, Sources: map[int]string{}}
+	var mu sync.Mutex
+	c := &coordinator{cfg: Config{}.withDefaults(), out: out, resMu: &mu}
+	c.recordDivergence(3, win, "http://a", loser, "http://b")
+	if len(out.Divergences) != 1 {
+		t.Fatalf("recorded %d divergences, want 1", len(out.Divergences))
+	}
+	d := out.Divergences[0]
+	if d.Shard != 3 || d.WinnerURL != "http://a" || d.LoserURL != "http://b" ||
+		d.WinnerTrace != "aaaa" || d.LoserTrace != "bbbb" {
+		t.Fatalf("divergence = %+v", d)
+	}
+}

@@ -52,6 +52,15 @@ type Workload struct {
 	ShardReps int
 	// Seed is the base seed of the run.
 	Seed uint64
+	// Trace asks every sweep shard to record an execution trace
+	// (simsvc JobSpec.Trace): each completed shard result then carries
+	// the content address of its trace, fetchable from the worker that
+	// ran it via Client.FetchTrace. dst shards ignore the flag — the
+	// dst protocol cannot trace through simd (Normalize zeroes it) —
+	// and because the trace flag is part of every spec's cache key, a
+	// traced plan has a different hash (and journal) than an untraced
+	// one.
+	Trace bool
 }
 
 // Shard is one dispatchable unit: a normalized simd job covering a seed
@@ -93,7 +102,7 @@ func NewPlan(w Workload) (*Plan, error) {
 			return nil, fmt.Errorf("fleet: %w", err)
 		}
 		for pi, pt := range w.Sweep.Points {
-			base, err := pointSpec(pt)
+			base, err := pointSpec(pt, w.Trace)
 			if err != nil {
 				return nil, fmt.Errorf("fleet: point %q: %w", pt.Label, err)
 			}
@@ -139,7 +148,7 @@ func NewPlan(w Workload) (*Plan, error) {
 
 // pointSpec maps a sweep point onto the simd job schema. Raw is set so
 // workers return the per-repetition series the exact merge needs.
-func pointSpec(pt experiment.SweepPoint) (simsvc.JobSpec, error) {
+func pointSpec(pt experiment.SweepPoint, trace bool) (simsvc.JobSpec, error) {
 	return simsvc.JobSpec{
 		Protocol: pt.Protocol,
 		N:        pt.N,
@@ -152,6 +161,7 @@ func pointSpec(pt experiment.SweepPoint) (simsvc.JobSpec, error) {
 		Hunter:   pt.Hunter,
 		Late:     pt.Late,
 		Raw:      true,
+		Trace:    trace,
 	}, nil
 }
 

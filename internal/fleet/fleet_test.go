@@ -263,3 +263,69 @@ func TestJournalPartialTail(t *testing.T) {
 		t.Fatal("journal does not end in a newline after repair")
 	}
 }
+
+// TestJournalDuplicateRecordsLastWin pins the idempotent-replay
+// contract: the append path cannot promise exactly-once — a successor
+// coordinator can resume past a predecessor stalled mid-fsync, re-run
+// the shard, and have the stalled record land afterwards — so replay
+// must resolve duplicate shard records last-wins. The duplicates here
+// carry distinguishable payloads to observe which one won; a torn tail
+// after them simulates the stalled writer dying mid-append.
+func TestJournalDuplicateRecordsLastWin(t *testing.T) {
+	dir := t.TempDir()
+	plan, err := NewPlan(Workload{Kind: KindSweep, Sweep: testSweep(8), ShardReps: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _, err := OpenJournal(dir, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(0, &simsvc.JobResult{Success: 1, Reps: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(2, &simsvc.JobResult{Success: 4, Reps: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// The stalled predecessor's append for shard 0 lands after the
+	// successor already re-recorded it...
+	if err := j.Record(0, &simsvc.JobResult{Success: 3, Reps: 4}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// ...and then the predecessor dies mid-way through yet another copy.
+	path := JournalPath(dir, plan)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"shard":0,"result":{"success":9`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, done, err := OpenJournal(dir, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 2 {
+		t.Fatalf("reloaded %d shards, want 2", len(done))
+	}
+	if done[0] == nil || done[0].Success != 3 {
+		t.Fatalf("shard 0 replayed as %+v, want the last complete record (Success=3)", done[0])
+	}
+	// The journal stays appendable after the repair, and a reopen sees
+	// the post-repair record too.
+	if err := j2.Record(1, &simsvc.JobResult{Success: 4, Reps: 4}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, done, err := OpenJournal(dir, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3.Close()
+	if len(done) != 3 || done[0].Success != 3 {
+		t.Fatalf("after repair reloaded %d shards (shard0=%+v), want 3 with shard 0 last-wins intact", len(done), done[0])
+	}
+}

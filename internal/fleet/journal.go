@@ -17,7 +17,10 @@ import (
 // resumes by replaying the journal and dispatching only the missing
 // shards; because shard results are deterministic in the spec, replayed
 // entries are exact, not approximations (the client-side complement of
-// simd's server-side result cache).
+// simd's server-side result cache). Replay is idempotent — duplicate
+// records for a shard resolve last-wins, and a torn final line from a
+// kill mid-append is repaired by truncation — so the journal tolerates
+// the append anomalies a crash can leave behind.
 type Journal struct {
 	path string
 
@@ -109,6 +112,15 @@ func OpenJournal(dir string, p *Plan) (*Journal, map[int]*simsvc.JobResult, erro
 			break
 		}
 		if e.Result != nil && e.Shard >= 0 && e.Shard < len(p.Shards) {
+			// Replay is idempotent: duplicate records for one shard are
+			// legal and the last one wins. Duplicates happen when a
+			// successor resumes past a predecessor stalled mid-fsync —
+			// the record is not yet visible, the shard re-runs, and the
+			// stalled write lands afterwards — so exactly-once append
+			// cannot be promised; exactly-once *replay* is promised
+			// instead. Determinism makes the duplicates byte-identical
+			// in practice; last-wins keeps the rule aligned with "the
+			// journal's final say" when they are not.
 			done[e.Shard] = e.Result
 		}
 		good += nl + 1

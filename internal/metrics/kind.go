@@ -86,6 +86,12 @@ func KindHash(k Kind) uint64 {
 	return t.hashes[k]
 }
 
+// HashKindName returns the content hash a kind of the given name would
+// carry (KindHash), without interning the name. Trace readers use it to
+// recompute digests from decoded kind names: interning there would let
+// arbitrary trace bytes grow the process-wide registry without bound.
+func HashKindName(name string) uint64 { return hashKindName(name) }
+
 // KindCount returns the number of kinds interned so far. Every valid Kind
 // is in [0, KindCount()).
 func KindCount() int { return len(kinds.Load().names) }

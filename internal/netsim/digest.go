@@ -85,3 +85,81 @@ func laneInit() uint64 { return fnvOffset }
 func laneEvent(lane, tag uint64, port, size int, kindHash uint64) uint64 {
 	return foldWord(foldWord(lane, tag|uint64(port)<<8|uint64(size)<<40), kindHash)
 }
+
+// DigestAccumulator recomputes a run digest from the observable event
+// stream a Tracer sees, in the exact fold order of the engine: rounds,
+// crash decisions, per-sender message lanes flushed on sender change,
+// and the outcome record. Feeding it every TraceRound / TraceCrash /
+// TraceMessage call of a run and then Sum-ming with the TraceFinish
+// totals yields netsim.Result.Digest — which is how internal/trace
+// certifies a recorded trace as a faithful witness of the execution,
+// and how a reader re-verifies a trace file it did not record.
+// Violations and annotations do not fold into the digest.
+type DigestAccumulator struct {
+	d      digest
+	sender int
+	lane   uint64
+	open   bool // a lane is accumulating for sender
+}
+
+// NewDigestAccumulator returns an accumulator seeded exactly like a
+// fresh engine digest (schema version included).
+func NewDigestAccumulator() *DigestAccumulator {
+	return &DigestAccumulator{d: newDigest()}
+}
+
+// flush folds the pending sender lane, mirroring the pipeline's pass D:
+// the (lane-tag, sender) word then the lane value, skipped in the
+// astronomically unlikely case the lane folded to exactly zero (the
+// pipeline uses zero as its "no events" sentinel).
+func (a *DigestAccumulator) flush() {
+	if !a.open {
+		return
+	}
+	if a.lane != 0 {
+		a.d.word(digestLane | uint64(a.sender)<<8)
+		a.d.word(a.lane)
+	}
+	a.open = false
+}
+
+// Round folds the start of round r.
+func (a *DigestAccumulator) Round(r int) {
+	a.flush()
+	a.d.words(digestRound, uint64(r))
+}
+
+// Crash folds node u's crash in round r.
+func (a *DigestAccumulator) Crash(u, r int) {
+	a.flush()
+	a.d.words(digestCrash, uint64(u), uint64(r))
+}
+
+// Message folds one counted message into the sender's lane. kindHash is
+// the kind's content hash (metrics.KindHash for an interned Kind,
+// metrics.HashKindName for a decoded name). Messages of one sender must
+// arrive contiguously in outbox order, as the Tracer contract delivers
+// them.
+func (a *DigestAccumulator) Message(sender, port int, kindHash uint64, bits int, dropped bool) {
+	if a.open && a.sender != sender {
+		a.flush()
+	}
+	if !a.open {
+		a.sender = sender
+		a.lane = laneInit()
+		a.open = true
+	}
+	tag := digestSend
+	if dropped {
+		tag = digestDrop
+	}
+	a.lane = laneEvent(a.lane, tag, port, bits, kindHash)
+}
+
+// Sum folds the outcome record and returns the final digest. The
+// accumulator must not be reused afterwards.
+func (a *DigestAccumulator) Sum(rounds int, messages, bits int64) uint64 {
+	a.flush()
+	a.d.words(digestOutcome, uint64(rounds), uint64(messages), uint64(bits))
+	return a.d.h
+}

@@ -66,7 +66,7 @@ func NewEngine(cfg Config, machines []Machine, adv Adversary) (*Engine, error) {
 	e.counters.ReserveRounds(cfg.MaxRounds)
 	root := rng.New(cfg.Seed)
 	for u := 0; u < cfg.N; u++ {
-		e.envs[u] = &Env{N: cfg.N, ID: u, Alpha: cfg.Alpha, Rand: root.Split(uint64(u)), Deg: cfg.N - 1}
+		e.envs[u] = &Env{N: cfg.N, ID: u, Alpha: cfg.Alpha, Rand: root.Split(uint64(u)), Deg: cfg.N - 1, tracing: cfg.Tracer != nil}
 	}
 	if cfg.Record {
 		e.trace = newTrace(cfg.N)
@@ -115,6 +115,9 @@ func (e *Engine) Run() (*Result, error) {
 	for round := 1; round <= e.cfg.MaxRounds; round++ {
 		e.counters.BeginRound(round)
 		e.digest.words(digestRound, uint64(round))
+		if e.cfg.Tracer != nil {
+			e.cfg.Tracer.TraceRound(round)
+		}
 
 		// Phase 1: every live machine computes its outbox from its inbox.
 		switch mode {
@@ -184,6 +187,9 @@ func (e *Engine) allQuiet() bool {
 
 func (e *Engine) result() *Result {
 	e.digest.words(digestOutcome, uint64(e.counters.Rounds()), uint64(e.counters.Messages()), uint64(e.counters.Bits()))
+	if e.cfg.Tracer != nil {
+		e.cfg.Tracer.TraceFinish(e.counters.Rounds(), e.counters.Messages(), e.counters.Bits(), e.digest.h)
+	}
 	res := &Result{
 		Digest:     e.digest.h,
 		Outputs:    make([]any, e.cfg.N),

@@ -98,6 +98,28 @@ type Env struct {
 	// N-1; the general-graph simulator (internal/graphsim) sets the
 	// node's topology degree.
 	Deg int
+
+	// Trace-annotation buffer, drained by the engine at the round
+	// barrier when a Tracer is configured.
+	tracing bool
+	annot   []string
+}
+
+// Tracing reports whether an execution trace is being recorded
+// (Config.Tracer non-nil). Protocols that build annotation strings with
+// fmt.Sprintf should gate on it so the untraced hot path stays
+// allocation-free.
+func (e *Env) Tracing() bool { return e.tracing }
+
+// Annotate attaches a free-form protocol-state note to this node's
+// current round in the execution trace. It is a no-op when tracing is
+// off. Annotations are observability only: they are NOT folded into the
+// run digest, so annotated and unannotated runs of the same execution
+// stay digest-equal.
+func (e *Env) Annotate(text string) {
+	if e.tracing {
+		e.annot = append(e.annot, text)
+	}
 }
 
 // PortTo returns the local port that reaches node v from this node (KT1
@@ -137,6 +159,46 @@ type Adversary interface {
 	Faulty(node int) bool
 	CrashNow(node, round int, outbox []Send) bool
 	DeliverOnCrash(node, round, msgIndex int, send Send) bool
+}
+
+// Tracer observes the typed event stream of a run: the execution flight
+// recorder hook (internal/trace implements it). The engine guarantees:
+//
+//   - Every method is called on the coordination thread; implementations
+//     need no locking.
+//   - The call order is deterministic — identical for the Sequential,
+//     Parallel, and Actors engines at every worker count, because events
+//     buffered on the delivery pipeline's workers are emitted at the
+//     round barrier in ascending node order, exactly mirroring the
+//     digest fold order (see shard.go pass D).
+//   - Per round: TraceRound(r) once at round open; then, after delivery,
+//     for each node u in ascending order: TraceCrash if u crashed this
+//     round, the node's message and violation events in outbox order,
+//     and finally its annotations. TraceFinish fires once, after the
+//     outcome fold, with the run's final digest — a recorder that
+//     reconstructs the digest from the events it saw can compare the two
+//     and certify the trace as a witness of the execution.
+//
+// A nil Config.Tracer costs one predictable branch per message and no
+// allocations; the steady-state zero-alloc guarantee holds with tracing
+// off.
+type Tracer interface {
+	// TraceRound marks the start of round r.
+	TraceRound(round int)
+	// TraceCrash reports that node crashed in the given round.
+	TraceCrash(node, round int)
+	// TraceMessage reports one counted message: sender's port, interned
+	// kind, payload size in bits, and whether the message was lost to the
+	// sender's crash (dropped) instead of delivered.
+	TraceMessage(sender, round, port int, kind metrics.Kind, bits int, dropped bool)
+	// TraceViolation reports a CONGEST violation attributed to node.
+	TraceViolation(node, round int, reason string)
+	// TraceAnnotation reports a protocol-state note (Env.Annotate).
+	TraceAnnotation(node, round int, text string)
+	// TraceFinish reports the run totals and the final execution digest
+	// (netsim.Result.Digest). It is not called if the run aborts with a
+	// strict-mode error.
+	TraceFinish(rounds int, messages, bits int64, digest uint64)
 }
 
 // NoFaults is an Adversary with an empty faulty set.
@@ -179,6 +241,12 @@ type Config struct {
 	// Actors modes. Zero selects runtime.GOMAXPROCS(0); 1 forces a fully
 	// single-threaded pipeline; negative is invalid.
 	Workers int
+	// Tracer, when non-nil, receives the run's typed event stream in
+	// deterministic order (see the Tracer interface contract). Unlike
+	// Record it does not constrain the pipeline: traced runs keep their
+	// configured worker count and emit identical event streams at every
+	// worker count. nil disables tracing at zero cost.
+	Tracer Tracer
 }
 
 func (c *Config) validate() error {

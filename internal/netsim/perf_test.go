@@ -3,7 +3,23 @@ package netsim
 import (
 	"fmt"
 	"testing"
+
+	"sublinear/internal/metrics"
 )
+
+// countingTracer is a no-op Tracer that only tallies calls: it isolates
+// the engine-side cost of tracing (per-sender event buffering and the
+// pass-D merge sweep) from any recorder backend.
+type countingTracer struct {
+	rounds, msgs, other int64
+}
+
+func (c *countingTracer) TraceRound(int)                                      { c.rounds++ }
+func (c *countingTracer) TraceCrash(int, int)                                 { c.other++ }
+func (c *countingTracer) TraceMessage(int, int, int, metrics.Kind, int, bool) { c.msgs++ }
+func (c *countingTracer) TraceViolation(int, int, string)                     { c.other++ }
+func (c *countingTracer) TraceAnnotation(int, int, string)                    { c.other++ }
+func (c *countingTracer) TraceFinish(int, int64, int64, uint64)               {}
 
 // pingRun executes the zero-alloc benchmark workload and returns the
 // result. Shared by the steady-state allocation and workers-determinism
@@ -62,9 +78,22 @@ func TestSteadyStateAllocs(t *testing.T) {
 		long  = 210
 	)
 	for _, mode := range []struct {
-		name string
-		mode RunMode
-	}{{"sequential", Sequential}, {"parallel", Parallel}} {
+		name   string
+		mode   RunMode
+		traced bool
+	}{
+		// Nil-Tracer cases pin the zero-overhead claim for tracing off:
+		// Config.Tracer is nil here, so these bound the exact path every
+		// untraced production run takes.
+		{"sequential", Sequential, false},
+		{"parallel", Parallel, false},
+		// Traced cases bound the engine-side cost of tracing with a no-op
+		// Tracer: the per-sender event buffers recycle across rounds, so
+		// steady-state tracing adds no allocations either (a real recorder
+		// backend adds only its own buffer growth and compression).
+		{"sequential-traced", Sequential, true},
+		{"parallel-traced", Parallel, true},
+	} {
 		t.Run(mode.name, func(t *testing.T) {
 			measure := func(rounds int) float64 {
 				return testing.AllocsPerRun(3, func() {
@@ -72,7 +101,11 @@ func TestSteadyStateAllocs(t *testing.T) {
 					for u := range machines {
 						machines[u] = &fixedPingMachine{}
 					}
-					eng, err := NewEngine(Config{N: n, Alpha: 1, Seed: 42, MaxRounds: rounds}, machines, nil)
+					cfg := Config{N: n, Alpha: 1, Seed: 42, MaxRounds: rounds}
+					if mode.traced {
+						cfg.Tracer = &countingTracer{}
+					}
+					eng, err := NewEngine(cfg, machines, nil)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -91,6 +124,36 @@ func TestSteadyStateAllocs(t *testing.T) {
 				t.Errorf("marginal allocations = %.4f per message, want ~0", marginal)
 			}
 		})
+	}
+}
+
+// TestTracerSeesEveryMessage cross-checks the Tracer hook against the
+// counters: a counting tracer must observe exactly the counted messages
+// and rounds, at any worker count, crashes included.
+func TestTracerSeesEveryMessage(t *testing.T) {
+	const n, rounds = 64, 20
+	for _, workers := range []int{1, 4} {
+		tr := &countingTracer{}
+		machines := make([]Machine, n)
+		for u := range machines {
+			machines[u] = &pingMachine{}
+		}
+		eng, err := NewEngine(Config{N: n, Alpha: 1, Seed: 42, MaxRounds: rounds, Workers: workers, Tracer: tr},
+			machines, crashAdv{node: 3, round: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Mode = Parallel
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.msgs != res.Counters.Messages() {
+			t.Errorf("workers=%d: tracer saw %d messages, counters %d", workers, tr.msgs, res.Counters.Messages())
+		}
+		if tr.rounds != int64(res.Rounds) {
+			t.Errorf("workers=%d: tracer saw %d rounds, result %d", workers, tr.rounds, res.Rounds)
+		}
 	}
 }
 

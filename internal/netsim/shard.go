@@ -47,6 +47,27 @@ type routed struct {
 	d  Delivery
 }
 
+// Buffered trace-event ops (pipeline-internal; the Tracer interface sees
+// typed method calls).
+const (
+	tevSend uint8 = iota
+	tevDrop
+	tevViolation
+)
+
+// tev is one trace event parked in a sender's buffer between pass B
+// (workers) and pass D (coordination thread). Like lane digests, the
+// per-sender buffers are written only by the worker that owns the
+// sender's shard and read only after the barrier, so they need no
+// locking and recycle across rounds.
+type tev struct {
+	op     uint8
+	port   int32
+	bits   int32
+	kind   metrics.Kind
+	reason string // tevViolation only
+}
+
 // delivWorker is one worker's private slice of pipeline state. Nothing
 // here is touched by any other goroutine between barriers.
 type delivWorker struct {
@@ -94,6 +115,7 @@ type pipeline struct {
 	lane     []uint64 // per-sender lane digest; 0 = no events this round
 	crashing []bool   // per-sender: crashed this round
 	keep     [][]bool // crash-round delivery masks, indexed by sender
+	tevs     [][]tev  // per-sender trace-event buffers; nil when untraced
 	pool     *shardPool
 
 	// Per-dispatch inputs, set on the coordination thread before the
@@ -134,6 +156,9 @@ func newPipeline(e *Engine, w int) *pipeline {
 	for i := range p.workers {
 		p.workers[i].portSeen = make([]uint64, words)
 		p.workers[i].buckets = make([][]routed, w)
+	}
+	if e.cfg.Tracer != nil {
+		p.tevs = make([][]tev, n)
 	}
 	if w > 1 {
 		p.pool = newShardPool(w)
@@ -221,6 +246,7 @@ func (p *pipeline) runRound(round int, outboxes [][]Send) (bool, error) {
 			wk.violations = wk.violations[:0]
 		}
 	}
+	tracer := e.cfg.Tracer
 	for u := 0; u < n; u++ {
 		if p.crashing[u] {
 			e.digest.words(digestCrash, uint64(u), uint64(round))
@@ -229,6 +255,33 @@ func (p *pipeline) runRound(round int, outboxes [][]Send) (bool, error) {
 			e.digest.word(digestLane | uint64(u)<<8)
 			e.digest.word(h)
 			p.lane[u] = 0
+		}
+		if tracer != nil {
+			// Emit the node's buffered events in the digest fold order:
+			// crash first, then messages/violations in outbox order, then
+			// annotations. This sweep is the determinism argument for
+			// traces: event order is a pure function of per-sender buffers
+			// visited in ascending node order, independent of worker count.
+			if p.crashing[u] {
+				tracer.TraceCrash(u, round)
+			}
+			buf := p.tevs[u]
+			for i := range buf {
+				ev := &buf[i]
+				if ev.op == tevViolation {
+					tracer.TraceViolation(u, round, ev.reason)
+				} else {
+					tracer.TraceMessage(u, round, int(ev.port), ev.kind, int(ev.bits), ev.op == tevDrop)
+				}
+				ev.reason = "" // release, the buffer recycles
+			}
+			p.tevs[u] = buf[:0]
+			if env := e.envs[u]; len(env.annot) > 0 {
+				for _, a := range env.annot {
+					tracer.TraceAnnotation(u, round, a)
+				}
+				env.annot = env.annot[:0]
+			}
 		}
 		outboxes[u] = nil
 	}
@@ -288,11 +341,16 @@ func (p *pipeline) processSender(wk *delivWorker, u int, outbox []Send) {
 	// deliveries skip the bucket bounce and append straight to nextInbox —
 	// one copy and one write barrier per message instead of two.
 	direct := p.w == 1
+	traced := p.tevs != nil
 	lane := laneInit()
 	events := 0
 	for i, s := range outbox {
 		if s.Port < 1 || s.Port >= n {
-			if !wk.violate(e.cfg.Strict, u, round, fmt.Sprintf("port %d out of range", s.Port)) {
+			reason := fmt.Sprintf("port %d out of range", s.Port)
+			if traced {
+				p.tevs[u] = append(p.tevs[u], tev{op: tevViolation, port: int32(s.Port), reason: reason})
+			}
+			if !wk.violate(e.cfg.Strict, u, round, reason) {
 				return
 			}
 			continue
@@ -300,7 +358,11 @@ func (p *pipeline) processSender(wk *delivWorker, u int, outbox []Send) {
 		if checkDup {
 			word, bit := uint(s.Port)>>6, uint64(1)<<(uint(s.Port)&63)
 			if wk.portSeen[word]&bit != 0 {
-				if !wk.violate(e.cfg.Strict, u, round, fmt.Sprintf("two messages on port %d in one round", s.Port)) {
+				reason := fmt.Sprintf("two messages on port %d in one round", s.Port)
+				if traced {
+					p.tevs[u] = append(p.tevs[u], tev{op: tevViolation, port: int32(s.Port), reason: reason})
+				}
+				if !wk.violate(e.cfg.Strict, u, round, reason) {
 					return
 				}
 			}
@@ -308,7 +370,11 @@ func (p *pipeline) processSender(wk *delivWorker, u int, outbox []Send) {
 		}
 		sz := s.Payload.Bits(n)
 		if sz > e.bitBudget {
-			if !wk.violate(e.cfg.Strict, u, round, fmt.Sprintf("payload %q is %d bits, budget %d", s.Payload.Kind(), sz, e.bitBudget)) {
+			reason := fmt.Sprintf("payload %q is %d bits, budget %d", s.Payload.Kind(), sz, e.bitBudget)
+			if traced {
+				p.tevs[u] = append(p.tevs[u], tev{op: tevViolation, port: int32(s.Port), reason: reason})
+			}
+			if !wk.violate(e.cfg.Strict, u, round, reason) {
 				return
 			}
 		}
@@ -321,10 +387,16 @@ func (p *pipeline) processSender(wk *delivWorker, u int, outbox []Send) {
 		if crashing && !keep[i] {
 			lane = laneEvent(lane, digestDrop, s.Port, sz, metrics.KindHash(kid))
 			events++
+			if traced {
+				p.tevs[u] = append(p.tevs[u], tev{op: tevDrop, port: int32(s.Port), bits: int32(sz), kind: kid})
+			}
 			continue
 		}
 		lane = laneEvent(lane, digestSend, s.Port, sz, metrics.KindHash(kid))
 		events++
+		if traced {
+			p.tevs[u] = append(p.tevs[u], tev{op: tevSend, port: int32(s.Port), bits: int32(sz), kind: kid})
+		}
 		v := (u + s.Port) % n
 		d := Delivery{Port: ArrivalPort(n, u, v), Payload: s.Payload}
 		if direct {

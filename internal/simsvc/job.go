@@ -87,6 +87,14 @@ type JobSpec struct {
 	// (internal/fleet) can merge shards into statistics bit-identical to
 	// a single-process run. Core protocols and baselines only.
 	Raw bool `json:"raw,omitempty"`
+	// Trace records one repetition's execution trace (internal/trace)
+	// alongside the result: the first failed repetition if any failed,
+	// the first repetition otherwise. The trace is deposited in the
+	// daemon's content-addressed trace store and referenced by the
+	// result's TraceID for GET /v1/traces/{id}. Core protocols and
+	// baselines only; costs one extra (deterministic) repetition when
+	// the traced rep is not rep 0.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Limits bound what a single job may ask for, so one request cannot pin a
@@ -117,7 +125,7 @@ func (s JobSpec) Normalize(lim Limits) (JobSpec, error) {
 		out.Policy, out.Engine = "", ""
 		out.Explicit, out.Hunter, out.Late = false, false, false
 		out.Experiment, out.Quick = "", false
-		out.Raw = false
+		out.Raw, out.Trace = false, false
 		if out.Reps == 0 {
 			out.Reps = 25
 		}
@@ -134,7 +142,7 @@ func (s JobSpec) Normalize(lim Limits) (JobSpec, error) {
 		out.N, out.Alpha, out.F, out.POne = 0, 0, nil, 0
 		out.Policy, out.Engine = "", ""
 		out.Explicit, out.Hunter, out.Late = false, false, false
-		out.Raw = false
+		out.Raw, out.Trace = false, false
 		out.Reps = 1
 		return out, nil
 	default:
@@ -198,9 +206,9 @@ func (s JobSpec) Key() string {
 	if s.F != nil {
 		f = *s.F
 	}
-	canon := fmt.Sprintf("v2|%s|n=%d|alpha=%g|f=%d|pone=%g|policy=%s|engine=%s|x=%t|h=%t|l=%t|seed=%d|reps=%d|exp=%s|quick=%t|raw=%t",
+	canon := fmt.Sprintf("v3|%s|n=%d|alpha=%g|f=%d|pone=%g|policy=%s|engine=%s|x=%t|h=%t|l=%t|seed=%d|reps=%d|exp=%s|quick=%t|raw=%t|trace=%t",
 		s.Protocol, s.N, s.Alpha, f, s.POne, s.Policy, s.Engine,
-		s.Explicit, s.Hunter, s.Late, s.Seed, s.Reps, s.Experiment, s.Quick, s.Raw)
+		s.Explicit, s.Hunter, s.Late, s.Seed, s.Reps, s.Experiment, s.Quick, s.Raw, s.Trace)
 	sum := sha256.Sum256([]byte(canon))
 	return hex.EncodeToString(sum[:])
 }

@@ -1,6 +1,7 @@
 package simsvc
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -12,8 +13,10 @@ import (
 	"sublinear/internal/experiment"
 	"sublinear/internal/fault"
 	"sublinear/internal/metrics"
+	"sublinear/internal/netsim"
 	"sublinear/internal/rng"
 	"sublinear/internal/stats"
+	"sublinear/internal/trace"
 )
 
 // JobResult is the aggregated outcome of one job's repetitions.
@@ -39,6 +42,19 @@ type JobResult struct {
 	// Raw is the per-repetition series, present when the spec asked for
 	// it (JobSpec.Raw). Entry r of every slice belongs to repetition r.
 	Raw *RawSeries `json:"raw,omitempty"`
+	// TraceID is the content address of the recorded execution trace
+	// when the spec asked for one (JobSpec.Trace); fetch the bytes from
+	// GET /v1/traces/{id}. Set by the service when it deposits the
+	// trace in its store.
+	TraceID string `json:"traceId,omitempty"`
+	// TraceRep is the repetition the trace records (the first failed
+	// repetition, or 0 when all succeeded). Meaningful with TraceID.
+	TraceRep int `json:"traceRep,omitempty"`
+
+	// traceData carries the recorded trace from the runner to the
+	// service, which moves it into the trace store and replaces it with
+	// TraceID. Unexported: never serialized, never cached.
+	traceData []byte
 }
 
 // RawSeries carries per-repetition observations in repetition order. It
@@ -83,8 +99,7 @@ func runSpec(ctx context.Context, spec JobSpec) (*JobResult, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("cancelled after %d/%d reps: %w", rep, spec.Reps, err)
 		}
-		seed := spec.Seed + uint64(rep)*7919
-		out, err := runOnce(spec, seed)
+		out, err := runOnce(spec, repSeed(spec, rep), nil)
 		if err != nil {
 			return nil, err
 		}
@@ -119,26 +134,84 @@ func runSpec(ctx context.Context, spec JobSpec) (*JobResult, error) {
 	res.SuccessRate = float64(res.Success) / float64(res.Reps)
 	res.CILow, res.CIHigh = stats.WilsonInterval(res.Success, res.Reps)
 	res.PerKind = agg.Snapshot().PerKind
+	if spec.Trace {
+		if err := recordTrace(spec, res); err != nil {
+			return nil, err
+		}
+	}
 	return res, nil
 }
 
-// runOnce executes one repetition at one seed.
-func runOnce(spec JobSpec, seed uint64) (repOutcome, error) {
+// recordTrace re-runs the most interesting repetition — the first one
+// that failed, or rep 0 when all passed — with a flight recorder
+// attached, and stashes the trace bytes on the result for the service
+// to deposit. Repetitions are deterministic in their seed, so the
+// re-run is an exact replay of what the aggregate already counted.
+func recordTrace(spec JobSpec, res *JobResult) error {
+	rep := 0
+	if res.Raw != nil {
+		for r, passed := range res.Raw.Success {
+			if !passed {
+				rep = r
+				break
+			}
+		}
+	} else if res.Success > 0 && res.Success < res.Reps {
+		// Without the raw series we know something failed but not which
+		// rep (when everything failed, rep 0 already is a failed rep);
+		// find the first failure the same way the loop did.
+		for r := 0; r < res.Reps; r++ {
+			out, err := runOnce(spec, repSeed(spec, r), nil)
+			if err != nil {
+				return err
+			}
+			if !out.success {
+				rep = r
+				break
+			}
+		}
+	}
+	var buf bytes.Buffer
+	rec, err := trace.NewRecorder(&buf, trace.Header{
+		N: spec.N, Seed: repSeed(spec, rep), Label: spec.Protocol,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := runOnce(spec, repSeed(spec, rep), rec); err != nil {
+		return err
+	}
+	if err := rec.Close(); err != nil {
+		return fmt.Errorf("trace of rep %d: %w", rep, err)
+	}
+	res.TraceRep = rep
+	res.traceData = buf.Bytes()
+	return nil
+}
+
+// repSeed is the seed of repetition r, shared by the aggregation loop
+// and the trace re-run.
+func repSeed(spec JobSpec, r int) uint64 { return spec.Seed + uint64(r)*7919 }
+
+// runOnce executes one repetition at one seed. tracer is nil except for
+// the trace re-run.
+func runOnce(spec JobSpec, seed uint64, tracer netsim.Tracer) (repOutcome, error) {
 	switch spec.Protocol {
 	case ProtoElection, ProtoAgreement, ProtoMinAgree:
-		return runCore(spec, seed)
+		return runCore(spec, seed, tracer)
 	default:
-		return runBaseline(spec, seed)
+		return runBaseline(spec, seed, tracer)
 	}
 }
 
 // coreOptions translates a normalized spec into sublinear.Options.
-func coreOptions(spec JobSpec, seed uint64) sublinear.Options {
+func coreOptions(spec JobSpec, seed uint64, tracer netsim.Tracer) sublinear.Options {
 	opts := sublinear.Options{
 		N: spec.N, Alpha: spec.Alpha, Seed: seed,
 		Explicit:   spec.Explicit,
 		Concurrent: spec.Engine == "concurrent",
 		Actors:     spec.Engine == "actors",
+		Tracer:     tracer,
 	}
 	if f := *spec.F; f > 0 {
 		opts.Faults = &sublinear.FaultModel{
@@ -162,8 +235,8 @@ func parsePolicy(s string) sublinear.DropPolicy {
 	}
 }
 
-func runCore(spec JobSpec, seed uint64) (repOutcome, error) {
-	opts := coreOptions(spec, seed)
+func runCore(spec JobSpec, seed uint64, tracer netsim.Tracer) (repOutcome, error) {
+	opts := coreOptions(spec, seed, tracer)
 	switch spec.Protocol {
 	case ProtoElection:
 		res, err := sublinear.Elect(opts)
@@ -194,7 +267,7 @@ func runCore(spec JobSpec, seed uint64) (repOutcome, error) {
 
 // runBaseline dispatches the Table-I comparators with the same adversary
 // family the experiment harness uses.
-func runBaseline(spec JobSpec, seed uint64) (repOutcome, error) {
+func runBaseline(spec JobSpec, seed uint64, tracer netsim.Tracer) (repOutcome, error) {
 	n, f := spec.N, *spec.F
 	inputs := sublinear.RandomInputs(n, spec.POne, seed^0xbeef)
 	src := rng.New(seed ^ 0xadd5)
@@ -209,19 +282,19 @@ func runBaseline(spec JobSpec, seed uint64) (repOutcome, error) {
 	)
 	switch spec.Protocol {
 	case "gk":
-		res, err = baseline.RunGK(baseline.GKConfig{N: n, Seed: seed}, inputs, plan(20))
+		res, err = baseline.RunGK(baseline.GKConfig{N: n, Seed: seed, Tracer: tracer}, inputs, plan(20))
 	case "floodset":
-		res, err = baseline.RunFloodSet(baseline.FloodSetConfig{N: n, Seed: seed, F: f}, inputs, plan(f+1))
+		res, err = baseline.RunFloodSet(baseline.FloodSetConfig{N: n, Seed: seed, F: f, Tracer: tracer}, inputs, plan(f+1))
 	case "gossip":
-		res, err = baseline.RunGossip(baseline.GossipConfig{N: n, Seed: seed}, inputs, plan(20))
+		res, err = baseline.RunGossip(baseline.GossipConfig{N: n, Seed: seed, Tracer: tracer}, inputs, plan(20))
 	case "rotating":
-		res, err = baseline.RunRotating(baseline.RotatingConfig{N: n, Seed: seed, F: f}, inputs, plan(f+1))
+		res, err = baseline.RunRotating(baseline.RotatingConfig{N: n, Seed: seed, F: f, Tracer: tracer}, inputs, plan(f+1))
 	case "allpairs":
-		res, err = baseline.RunAllPairs(baseline.AllPairsConfig{N: n, Seed: seed, F: f}, plan(f+1))
+		res, err = baseline.RunAllPairs(baseline.AllPairsConfig{N: n, Seed: seed, F: f, Tracer: tracer}, plan(f+1))
 	case "kutten":
-		res, err = baseline.RunKutten(baseline.KuttenConfig{N: n, Seed: seed})
+		res, err = baseline.RunKutten(baseline.KuttenConfig{N: n, Seed: seed, Tracer: tracer})
 	case "amp":
-		res, err = baseline.RunAMP(baseline.AMPConfig{N: n, Seed: seed}, inputs)
+		res, err = baseline.RunAMP(baseline.AMPConfig{N: n, Seed: seed, Tracer: tracer}, inputs)
 	default:
 		return repOutcome{}, fmt.Errorf("unknown baseline %q", spec.Protocol)
 	}

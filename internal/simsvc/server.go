@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 
 	"sublinear/internal/netsim"
@@ -20,6 +21,9 @@ import (
 //	                   rejected for backpressure
 //	GET  /v1/jobs      list retained jobs
 //	GET  /v1/jobs/{id} poll one job
+//	GET  /v1/traces/{id} fetch a recorded execution trace by content
+//	                   address (the TraceID of a job result whose spec
+//	                   set "trace": true); binary internal/trace format
 //	GET  /metrics      Prometheus text metrics
 //	GET  /healthz      liveness, queue depth, capacity, build version,
 //	                   and digest schema
@@ -29,6 +33,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/v1/shards", s.handleShards)
+	mux.HandleFunc("/v1/traces/", s.handleTrace)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -159,9 +164,28 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/traces/")
+	data, ok := s.traces.get(id)
+	if !ok {
+		// Unknown or evicted — the store is an LRU, so a trace's
+		// lifetime is bounded by churn; resubmitting the traced job
+		// (a cache-keyed exact replay) regenerates it.
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown trace " + id})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
+}
+
 func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.write(w, s.cache.len())
+	s.metrics.write(w, s.cache.len(), s.traces)
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -19,6 +19,9 @@ type Config struct {
 	QueueSize int
 	// CacheSize bounds the result cache (entries); 0 means 4096.
 	CacheSize int
+	// TraceStoreBytes bounds the content-addressed trace store (bytes of
+	// resident trace data, LRU-evicted); 0 means 64 MiB.
+	TraceStoreBytes int64
 	// JobTimeout bounds one job's execution; 0 means 2 minutes.
 	JobTimeout time.Duration
 	// Limits bound what a single job may request; zero means
@@ -40,6 +43,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize <= 0 {
 		c.CacheSize = 4096
+	}
+	if c.TraceStoreBytes <= 0 {
+		c.TraceStoreBytes = 64 << 20
 	}
 	if c.JobTimeout <= 0 {
 		c.JobTimeout = 2 * time.Minute
@@ -107,6 +113,7 @@ type Service struct {
 	cfg     Config
 	metrics *svcMetrics
 	cache   *resultCache
+	traces  *traceStore
 
 	mu     sync.RWMutex
 	closed bool
@@ -125,6 +132,7 @@ func New(cfg Config) *Service {
 		cfg:     cfg,
 		metrics: newSvcMetrics(),
 		cache:   newResultCache(cfg.CacheSize),
+		traces:  newTraceStore(cfg.TraceStoreBytes),
 		jobs:    make(map[string]*Job),
 		queue:   make(chan *Job, cfg.QueueSize),
 	}
@@ -292,6 +300,14 @@ func (s *Service) transition(job *Job, state string) {
 
 func (s *Service) finish(job *Job, res *JobResult, err error) {
 	if err == nil {
+		// Move any recorded trace into the content-addressed store and
+		// keep only its ID: the result (cached and shared by reference)
+		// must not pin megabytes of trace bytes, and the store's byte cap
+		// is the single bound on resident trace data.
+		if res.traceData != nil {
+			res.TraceID = s.traces.put(res.traceData)
+			res.traceData = nil
+		}
 		s.cache.put(job.Key, res)
 		s.metrics.completed.Add(1)
 		s.metrics.observe(job.Spec.Protocol, res)

@@ -83,7 +83,7 @@ var (
 )
 
 // write renders the metrics in Prometheus text exposition format.
-func (m *svcMetrics) write(w io.Writer, cacheLen int) {
+func (m *svcMetrics) write(w io.Writer, cacheLen int, traces *traceStore) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -100,6 +100,10 @@ func (m *svcMetrics) write(w io.Writer, cacheLen int) {
 	counter("simd_cache_hits_total", "Submissions served from the result cache.", m.cacheHits.Load())
 	counter("simd_cache_misses_total", "Submissions that had to run.", m.cacheMisses.Load())
 	gauge("simd_cache_entries", "Results currently cached.", int64(cacheLen))
+	traceEntries, traceBytes, traceWritten := traces.stats()
+	counter("simd_trace_bytes_written_total", "Trace bytes deposited into the store over the daemon's lifetime.", traceWritten)
+	gauge("simd_trace_store_entries", "Execution traces currently resident in the store.", int64(traceEntries))
+	gauge("simd_trace_store_bytes", "Bytes of trace data currently resident (LRU-capped).", traceBytes)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()

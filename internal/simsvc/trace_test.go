@@ -1,0 +1,223 @@
+package simsvc
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sublinear/internal/trace"
+)
+
+// TestTraceSpecNormalization pins the trace flag's cache semantics: it
+// splits the key (a traced job is not the same work as an untraced
+// one), and the protocols that cannot trace have it zeroed so it cannot
+// split their cache.
+func TestTraceSpecNormalization(t *testing.T) {
+	base := JobSpec{Protocol: "election", N: 64, Alpha: 0.75, Seed: 1}
+	traced := base
+	traced.Trace = true
+	a, err := base.Normalize(DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := traced.Normalize(DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key() == b.Key() {
+		t.Error("trace flag does not split the cache key")
+	}
+	for _, proto := range []string{ProtoDST, ProtoExperiment} {
+		spec := JobSpec{Protocol: proto, Seed: 1, Experiment: "E1", Trace: true}
+		norm, err := spec.Normalize(DefaultLimits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if norm.Trace {
+			t.Errorf("%s: trace flag survived normalization", proto)
+		}
+	}
+}
+
+// TestRecordTracePicksFailedRep checks the traced-rep policy directly:
+// with a raw series marking rep 1 failed, the recorded trace is rep 1's
+// run — its header carries rep 1's seed — and it reads back as a
+// verified witness.
+func TestRecordTracePicksFailedRep(t *testing.T) {
+	spec, err := JobSpec{Protocol: "election", N: 48, Alpha: 0.75, Seed: 9, Reps: 3, Trace: true, Raw: true}.Normalize(DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &JobResult{
+		Reps: 3, Success: 2,
+		Raw: &RawSeries{Success: []bool{true, false, true}},
+	}
+	if err := recordTrace(spec, res); err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceRep != 1 {
+		t.Errorf("TraceRep = %d, want 1 (first failed rep)", res.TraceRep)
+	}
+	hdr, _, _, err := trace.ReadAll(bytes.NewReader(res.traceData))
+	if err != nil {
+		t.Fatalf("recorded trace does not read back: %v", err)
+	}
+	if hdr.Seed != repSeed(spec, 1) {
+		t.Errorf("trace seed %d, want rep 1's seed %d", hdr.Seed, repSeed(spec, 1))
+	}
+	if hdr.Label != "election" || hdr.N != 48 {
+		t.Errorf("trace header %+v", hdr)
+	}
+}
+
+// TestRunSpecTracesEveryProtocol runs one traced repetition of each
+// core protocol and each Table-I baseline through runSpec and requires
+// a verified witness trace: the engines behind every protocol must all
+// feed the recorder coherently.
+func TestRunSpecTracesEveryProtocol(t *testing.T) {
+	protos := []string{ProtoElection, ProtoAgreement, ProtoMinAgree}
+	for p := range baselineProtocols {
+		protos = append(protos, p)
+	}
+	for _, proto := range protos {
+		t.Run(proto, func(t *testing.T) {
+			spec, err := JobSpec{Protocol: proto, N: 64, Alpha: 0.75, Seed: 11, Trace: true}.Normalize(DefaultLimits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := runSpec(context.Background(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.traceData == nil {
+				t.Fatal("no trace recorded")
+			}
+			if _, _, _, err := trace.ReadAll(bytes.NewReader(res.traceData)); err != nil {
+				t.Fatalf("trace does not verify: %v", err)
+			}
+		})
+	}
+}
+
+// TestTraceStoreEndToEnd drives the full loop over HTTP: submit a
+// traced job, poll it, fetch the trace by the result's content address,
+// check the address matches the bytes, and see the store surfaced in
+// /metrics.
+func TestTraceStoreEndToEnd(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close(context.Background())
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	st, err := svc.Submit(JobSpec{Protocol: "agreement", N: 48, Alpha: 0.75, Seed: 3, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		got, ok := svc.Job(st.ID)
+		return ok && (got.State == StateDone || got.State == StateFailed)
+	})
+	got, _ := svc.Job(st.ID)
+	if got.State != StateDone {
+		t.Fatalf("job %s: %s", got.State, got.Error)
+	}
+	if got.Result == nil || got.Result.TraceID == "" {
+		t.Fatal("finished traced job has no TraceID")
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/traces/" + got.Result.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace: %d %s", resp.StatusCode, data)
+	}
+	sum := sha256.Sum256(data)
+	if hex.EncodeToString(sum[:]) != got.Result.TraceID {
+		t.Error("fetched trace bytes do not hash to their content address")
+	}
+	if _, _, _, err := trace.ReadAll(bytes.NewReader(data)); err != nil {
+		t.Fatalf("fetched trace does not verify: %v", err)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/traces/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace: status %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"simd_trace_bytes_written_total",
+		"simd_trace_store_entries 1",
+		"simd_trace_store_bytes",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestTraceStoreEviction pins the byte-cap contract: deposits are
+// content-addressed and idempotent, the LRU evicts by bytes, and an
+// entry larger than the whole store is never retained.
+func TestTraceStoreEviction(t *testing.T) {
+	ts := newTraceStore(100)
+	blob := func(c byte, n int) []byte { return bytes.Repeat([]byte{c}, n) }
+
+	idA := ts.put(blob('a', 40))
+	idB := ts.put(blob('b', 40))
+	if again := ts.put(blob('a', 40)); again != idA {
+		t.Error("identical deposit changed its content address")
+	}
+	if entries, resident, _ := ts.stats(); entries != 2 || resident != 80 {
+		t.Fatalf("stats = (%d, %d), want (2, 80)", entries, resident)
+	}
+
+	// Touch A so B is the LRU victim of the next deposit.
+	if _, ok := ts.get(idA); !ok {
+		t.Fatal("A missing before eviction")
+	}
+	ts.put(blob('c', 40))
+	if _, ok := ts.get(idB); ok {
+		t.Error("LRU victim B survived")
+	}
+	if _, ok := ts.get(idA); !ok {
+		t.Error("recently used A evicted")
+	}
+
+	big := ts.put(blob('d', 200))
+	if big == "" {
+		t.Error("oversized deposit has no content address")
+	}
+	if _, ok := ts.get(big); ok {
+		t.Error("oversized deposit was retained")
+	}
+	// written counts every deposited byte — duplicates and oversized
+	// included — so it measures trace production, not retention:
+	// a, b, a again, c, d.
+	if _, resident, written := ts.stats(); resident > 100 {
+		t.Errorf("resident %d exceeds the 100-byte cap", resident)
+	} else if written != 40*4+200 {
+		t.Errorf("written = %d, want %d", written, 40*4+200)
+	}
+}

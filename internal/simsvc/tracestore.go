@@ -1,0 +1,85 @@
+package simsvc
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// traceStore is a content-addressed, byte-capped LRU over recorded
+// execution traces. Keys are the hex SHA-256 of the trace bytes, so a
+// deposit is idempotent: identical runs (same normalized spec → same
+// deterministic trace) share one entry, and a fetched trace can be
+// integrity-checked by rehashing. Unlike the result cache it is bounded
+// in bytes, not entries — traces of large-n jobs dwarf their JSON
+// results, and the cap is what keeps a burst of traced jobs from
+// growing the daemon without bound.
+type traceStore struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	written  int64      // total bytes ever deposited (monotonic)
+	ll       *list.List // front = most recently used
+	entries  map[string]*list.Element
+}
+
+type traceEntry struct {
+	id   string
+	data []byte
+}
+
+func newTraceStore(maxBytes int64) *traceStore {
+	if maxBytes < 1 {
+		maxBytes = 1
+	}
+	return &traceStore{maxBytes: maxBytes, ll: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// put deposits a trace and returns its content address. A trace larger
+// than the whole store is hashed but not retained — the ID is still
+// returned so the result is well-formed, and the fetch will 404.
+func (t *traceStore) put(data []byte) string {
+	sum := sha256.Sum256(data)
+	id := hex.EncodeToString(sum[:])
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.written += int64(len(data))
+	if el, ok := t.entries[id]; ok {
+		t.ll.MoveToFront(el)
+		return id
+	}
+	if int64(len(data)) > t.maxBytes {
+		return id
+	}
+	t.entries[id] = t.ll.PushFront(&traceEntry{id, data})
+	t.bytes += int64(len(data))
+	for t.bytes > t.maxBytes {
+		oldest := t.ll.Back()
+		t.ll.Remove(oldest)
+		e := oldest.Value.(*traceEntry)
+		delete(t.entries, e.id)
+		t.bytes -= int64(len(e.data))
+	}
+	return id
+}
+
+// get returns the trace bytes for an id. The bytes are shared by
+// reference; callers must not mutate them.
+func (t *traceStore) get(id string) ([]byte, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	el, ok := t.entries[id]
+	if !ok {
+		return nil, false
+	}
+	t.ll.MoveToFront(el)
+	return el.Value.(*traceEntry).data, true
+}
+
+// stats returns (entries, resident bytes, total bytes ever written).
+func (t *traceStore) stats() (entries int, bytes, written int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ll.Len(), t.bytes, t.written
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// Divergence pinpoints the first difference between two traces: the
+// ordinal of the first event that differs (0-based, counting all event
+// types), the round it happened in, and the two events. A nil event
+// means that side's trace ended first.
+type Divergence struct {
+	// Index is the event ordinal of the divergence, or -1 for a header
+	// mismatch (incomparable traces).
+	Index int64
+	// Round is the round of whichever event exists (A preferred).
+	Round int
+	// A and B are the first differing events.
+	A, B *Event
+	// Reason names what differs.
+	Reason string
+}
+
+// String renders the divergence for tracectl output.
+func (d *Divergence) String() string {
+	if d.Index < 0 {
+		return fmt.Sprintf("header mismatch: %s", d.Reason)
+	}
+	fa, fb := "(trace ended)", "(trace ended)"
+	if d.A != nil {
+		fa = d.A.String()
+	}
+	if d.B != nil {
+		fb = d.B.String()
+	}
+	return fmt.Sprintf("first divergence at event %d (round %d): %s\n  a: %s\n  b: %s", d.Index, d.Round, d.Reason, fa, fb)
+}
+
+// Diff streams two traces in lockstep and returns the first divergent
+// event, or nil if the traces are equivalent (equal headers modulo
+// label, and identical event sequences). Because both readers verify
+// their digest witness, equal event streams imply equal digests; the
+// deterministic engines guarantee the converse, which is what makes
+// "diff two traces" the same question as "did these runs perform the
+// same execution".
+func Diff(a, b io.Reader) (*Divergence, error) {
+	ra, err := NewReader(a)
+	if err != nil {
+		return nil, fmt.Errorf("trace a: %w", err)
+	}
+	rb, err := NewReader(b)
+	if err != nil {
+		return nil, fmt.Errorf("trace b: %w", err)
+	}
+	ha, hb := ra.Header(), rb.Header()
+	switch {
+	case ha.N != hb.N:
+		return &Divergence{Index: -1, Reason: fmt.Sprintf("n=%d vs n=%d", ha.N, hb.N)}, nil
+	case ha.DigestSchema != hb.DigestSchema:
+		return &Divergence{Index: -1, Reason: fmt.Sprintf("digest schema %d vs %d", ha.DigestSchema, hb.DigestSchema)}, nil
+	case ha.Seed != hb.Seed:
+		return &Divergence{Index: -1, Reason: fmt.Sprintf("seed %d vs %d", ha.Seed, hb.Seed)}, nil
+	}
+	var idx int64
+	for {
+		ea, errA := ra.Next()
+		eb, errB := rb.Next()
+		endA, endB := errA == io.EOF, errB == io.EOF
+		if errA != nil && !endA {
+			return nil, fmt.Errorf("trace a: %w", errA)
+		}
+		if errB != nil && !endB {
+			return nil, fmt.Errorf("trace b: %w", errB)
+		}
+		switch {
+		case endA && endB:
+			return nil, nil
+		case endA:
+			return &Divergence{Index: idx, Round: eb.Round, B: &eb, Reason: "trace a ended first"}, nil
+		case endB:
+			return &Divergence{Index: idx, Round: ea.Round, A: &ea, Reason: "trace b ended first"}, nil
+		}
+		if ea != eb {
+			return &Divergence{Index: idx, Round: ea.Round, A: &ea, B: &eb, Reason: describe(ea, eb)}, nil
+		}
+		idx++
+	}
+}
+
+// describe names the first field that differs between two events.
+func describe(a, b Event) string {
+	switch {
+	case a.Op != b.Op:
+		return fmt.Sprintf("event type %s vs %s", a.Op, b.Op)
+	case a.Round != b.Round:
+		return fmt.Sprintf("round %d vs %d", a.Round, b.Round)
+	case a.Node != b.Node:
+		return fmt.Sprintf("node %d vs %d", a.Node, b.Node)
+	case a.Port != b.Port:
+		return fmt.Sprintf("port %d vs %d", a.Port, b.Port)
+	case a.Kind != b.Kind:
+		return fmt.Sprintf("kind %q vs %q", a.Kind, b.Kind)
+	case a.Bits != b.Bits:
+		return fmt.Sprintf("size %db vs %db", a.Bits, b.Bits)
+	default:
+		return fmt.Sprintf("text %q vs %q", a.Text, b.Text)
+	}
+}

@@ -1,0 +1,125 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sublinear/internal/netsim"
+	"sublinear/internal/trace"
+)
+
+// FuzzTraceRead mirrors internal/wire's FuzzReadFrame for the trace
+// format: the reader must never panic on arbitrary bytes (its caps keep
+// allocations bounded by input actually present, not declared lengths),
+// and any stream it accepts must re-encode through the Writer into a
+// byte-identical trace — the format is canonical, and acceptance
+// implies the digest witness verified.
+func FuzzTraceRead(f *testing.F) {
+	// Seed corpus: real recorded traces (fault-free and crashing, with
+	// violations and annotations), plus truncations and header-only
+	// prefixes. The committed corpus under testdata/fuzz mirrors these.
+	seeds := fuzzSeedTraces(f)
+	for _, s := range seeds {
+		f.Add(s)
+		if len(s) > 8 {
+			f.Add(s[:len(s)/2])
+			f.Add(s[:8])
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("SLTR"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hdr, evs, footer, err := trace.ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panicking or ballooning is not
+		}
+		var buf bytes.Buffer
+		w, err := trace.NewWriter(&buf, hdr)
+		if err != nil {
+			t.Fatalf("accepted header rejected by writer: %+v: %v", hdr, err)
+		}
+		for _, ev := range evs {
+			if err := w.Event(ev); err != nil {
+				t.Fatalf("accepted event rejected by writer: %s: %v", ev, err)
+			}
+		}
+		if err := w.Finish(footer.Rounds, footer.Messages, footer.Bits, footer.Digest); err != nil {
+			t.Fatalf("accepted footer rejected by writer: %+v: %v", footer, err)
+		}
+		hdr2, evs2, footer2, err := trace.ReadAll(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded trace does not read back: %v", err)
+		}
+		if hdr2 != hdr || footer2 != footer || len(evs2) != len(evs) {
+			t.Fatalf("round-trip mismatch: %+v vs %+v, %+v vs %+v, %d vs %d events",
+				hdr2, hdr, footer2, footer, len(evs2), len(evs))
+		}
+		for i := range evs {
+			if evs[i] != evs2[i] {
+				t.Fatalf("event %d changed across round-trip: %s vs %s", i, evs[i], evs2[i])
+			}
+		}
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the committed seed corpus under
+// testdata/fuzz/FuzzTraceRead. Gated behind an env var: run it after
+// any format or digest-schema change, in the same commit:
+//
+//	TRACE_WRITE_CORPUS=1 go test -run TestWriteFuzzCorpus ./internal/trace/
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("TRACE_WRITE_CORPUS") == "" {
+		t.Skip("set TRACE_WRITE_CORPUS=1 to regenerate the committed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzTraceRead")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seeds := fuzzSeedTraces(t)
+	for i, s := range seeds {
+		write(fmt.Sprintf("seed-trace-%d", i), s)
+		write(fmt.Sprintf("seed-trunc-%d", i), s[:len(s)/2])
+	}
+	write("seed-header", seeds[0][:8])
+	write("seed-empty", nil)
+}
+
+// fuzzSeedTraces records small real executions to seed the corpus.
+func fuzzSeedTraces(f testing.TB) [][]byte {
+	f.Helper()
+	var out [][]byte
+	for _, adv := range []netsim.Adversary{nil, crashAdv{at: map[int]int{2: 2}}} {
+		const n = 8
+		var buf bytes.Buffer
+		rec, err := trace.NewRecorder(&buf, trace.Header{N: n, Seed: 7, Label: "fuzz-seed"})
+		if err != nil {
+			f.Fatal(err)
+		}
+		machines := make([]netsim.Machine, n)
+		for i := range machines {
+			machines[i] = &chattyMachine{rounds: 3}
+		}
+		cfg := netsim.Config{N: n, Alpha: 0.75, Seed: 7, MaxRounds: 5, Tracer: rec}
+		engine, err := netsim.NewEngine(cfg, machines, adv)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if _, err := engine.Run(); err != nil {
+			f.Fatal(err)
+		}
+		if err := rec.Close(); err != nil {
+			f.Fatal(err)
+		}
+		out = append(out, buf.Bytes())
+	}
+	return out
+}

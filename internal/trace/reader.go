@@ -1,0 +1,446 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+
+	"sublinear/internal/metrics"
+	"sublinear/internal/netsim"
+	"sublinear/internal/wire"
+)
+
+// Reader streams events out of a trace. It validates as it goes —
+// ordering, caps, the kind table's canonical layout, and finally the
+// footer totals and the digest witness — so a stream that reads to EOF
+// without error is a verified record of a real execution. Memory use is
+// bounded by the decode caps, never by declared sizes in the input:
+// arbitrary bytes cannot make the reader panic or balloon allocations
+// (FuzzTraceRead).
+type Reader struct {
+	src      io.Reader
+	frameBuf []byte
+
+	hdr    Header
+	footer Footer
+	done   bool
+
+	gz      *gzip.Reader
+	br      *bufio.Reader
+	body    *bytes.Reader
+	inChunk bool
+
+	kinds      []string
+	kindHashes []uint64
+	// pendingKind, when >= 0, is a freshly defined kind id that the very
+	// next record must use — the canonical table layout the writer
+	// produces, enforced so accepted traces re-encode identically.
+	pendingKind int
+
+	acc    *netsim.DigestAccumulator
+	round  int
+	node   int
+	events int64
+	msgs   int64
+	bits   int64
+}
+
+// NewReader parses the header frame.
+func NewReader(src io.Reader) (*Reader, error) {
+	r := &Reader{src: src, pendingKind: -1, acc: netsim.NewDigestAccumulator()}
+	body, err := wire.ReadFrame(src, nil)
+	if err != nil {
+		if err == io.EOF {
+			return nil, ErrIncomplete
+		}
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if len(body) < 1+len(traceMagic) || body[0] != frameHeader || string(body[1:1+len(traceMagic)]) != traceMagic {
+		return nil, errors.New("trace: not a trace stream (bad magic)")
+	}
+	b := body[1+len(traceMagic):]
+	var version, schema, n, seed, labelLen uint64
+	for _, dst := range []*uint64{&version, &schema, &n, &seed, &labelLen} {
+		if *dst, b, err = wire.Uvarint(b); err != nil {
+			return nil, fmt.Errorf("trace: header: %w", err)
+		}
+	}
+	if version != FormatVersion {
+		return nil, fmt.Errorf("trace: format version %d, this reader speaks %d", version, FormatVersion)
+	}
+	if schema != netsim.DigestSchemaVersion {
+		// The witness recompute runs the current digest schema; a trace
+		// recorded under another schema cannot be verified, only mislead.
+		return nil, fmt.Errorf("trace: digest schema %d, this build speaks %d", schema, netsim.DigestSchemaVersion)
+	}
+	if n < 2 || n > maxN {
+		return nil, fmt.Errorf("trace: header n=%d out of range [2,%d]", n, maxN)
+	}
+	if labelLen > maxLabel || int(labelLen) != len(b) {
+		return nil, fmt.Errorf("trace: header label length %d does not match body", labelLen)
+	}
+	r.hdr = Header{
+		Version:      int(version),
+		DigestSchema: int(schema),
+		N:            int(n),
+		Seed:         seed,
+		Label:        string(b),
+	}
+	return r, nil
+}
+
+// Header returns the trace header.
+func (r *Reader) Header() Header { return r.hdr }
+
+// Footer returns the trace footer; valid once Next has returned io.EOF.
+func (r *Reader) Footer() (Footer, bool) { return r.footer, r.done }
+
+// Kinds returns the kind names decoded so far, indexed by local id.
+func (r *Reader) Kinds() []string { return r.kinds }
+
+// Next returns the next event. It returns io.EOF after the footer has
+// been read and verified; any other error means the trace is corrupt,
+// truncated, or not a faithful witness (digest mismatch).
+func (r *Reader) Next() (Event, error) {
+	if r.done {
+		return Event{}, io.EOF
+	}
+	for {
+		if !r.inChunk {
+			if err := r.nextFrame(); err != nil {
+				return Event{}, err
+			}
+			if r.done {
+				return Event{}, io.EOF
+			}
+			continue
+		}
+		op, err := r.br.ReadByte()
+		if err == io.EOF {
+			r.inChunk = false
+			continue
+		}
+		if err != nil {
+			return Event{}, fmt.Errorf("trace: chunk: %w", err)
+		}
+		ev, ok, err := r.record(op)
+		if err != nil {
+			return Event{}, err
+		}
+		if ok {
+			return ev, nil
+		}
+		// Kind definition: not an event, keep decoding.
+	}
+}
+
+// nextFrame advances to the next chunk or parses the footer.
+func (r *Reader) nextFrame() error {
+	body, err := wire.ReadFrame(r.src, r.frameBuf)
+	if err != nil {
+		if err == io.EOF {
+			return ErrIncomplete
+		}
+		return fmt.Errorf("trace: %w", err)
+	}
+	r.frameBuf = body[:0]
+	if len(body) == 0 {
+		return errors.New("trace: empty frame")
+	}
+	switch body[0] {
+	case frameChunk:
+		if r.body == nil {
+			r.body = bytes.NewReader(body[1:])
+		} else {
+			r.body.Reset(body[1:])
+		}
+		if r.gz == nil {
+			gz, err := gzip.NewReader(r.body)
+			if err != nil {
+				return fmt.Errorf("trace: chunk: %w", err)
+			}
+			r.gz = gz
+		} else if err := r.gz.Reset(r.body); err != nil {
+			return fmt.Errorf("trace: chunk: %w", err)
+		}
+		r.gz.Multistream(false)
+		if r.br == nil {
+			r.br = bufio.NewReader(r.gz)
+		} else {
+			r.br.Reset(r.gz)
+		}
+		r.inChunk = true
+		return nil
+	case frameFooter:
+		return r.parseFooter(body[1:])
+	case frameHeader:
+		return errors.New("trace: duplicate header frame")
+	default:
+		return fmt.Errorf("trace: unknown frame type %q", body[0])
+	}
+}
+
+func (r *Reader) parseFooter(b []byte) error {
+	if r.pendingKind >= 0 {
+		return errors.New("trace: kind defined but never used")
+	}
+	var rounds, messages, bits, events, kinds, digest uint64
+	var err error
+	for _, dst := range []*uint64{&rounds, &messages, &bits, &events, &kinds, &digest} {
+		if *dst, b, err = wire.Uvarint(b); err != nil {
+			return fmt.Errorf("trace: footer: %w", err)
+		}
+	}
+	if len(b) != 0 {
+		return errors.New("trace: trailing bytes in footer")
+	}
+	f := Footer{
+		Rounds:   int(rounds),
+		Messages: int64(messages),
+		Bits:     int64(bits),
+		Events:   int64(events),
+		Kinds:    int(kinds),
+		Digest:   digest,
+	}
+	switch {
+	case f.Rounds != r.round:
+		return fmt.Errorf("trace: footer rounds %d, stream recorded %d", f.Rounds, r.round)
+	case f.Messages != r.msgs:
+		return fmt.Errorf("trace: footer messages %d, stream recorded %d", f.Messages, r.msgs)
+	case f.Bits != r.bits:
+		return fmt.Errorf("trace: footer bits %d, stream recorded %d", f.Bits, r.bits)
+	case f.Events != r.events:
+		return fmt.Errorf("trace: footer events %d, stream recorded %d", f.Events, r.events)
+	case f.Kinds != len(r.kinds):
+		return fmt.Errorf("trace: footer kinds %d, stream defined %d", f.Kinds, len(r.kinds))
+	}
+	if computed := r.acc.Sum(f.Rounds, f.Messages, f.Bits); computed != f.Digest {
+		return fmt.Errorf("trace: witness mismatch: recomputed digest %016x, footer claims %016x", computed, f.Digest)
+	}
+	// The footer is the last frame; trailing data means corruption.
+	if _, err := wire.ReadFrame(r.src, r.frameBuf); err != io.EOF {
+		return errors.New("trace: trailing data after footer")
+	}
+	r.footer = f
+	r.done = true
+	return nil
+}
+
+// record decodes one record. ok is false for kind definitions, which
+// are table updates rather than events.
+func (r *Reader) record(op byte) (Event, bool, error) {
+	if r.pendingKind >= 0 && op != opSend && op != opDrop {
+		return Event{}, false, errors.New("trace: kind definition not followed by its first use")
+	}
+	switch op {
+	case opKind:
+		if r.pendingKind >= 0 {
+			return Event{}, false, errors.New("trace: consecutive kind definitions")
+		}
+		if len(r.kinds) >= maxKinds {
+			return Event{}, false, fmt.Errorf("trace: more than %d kinds", maxKinds)
+		}
+		name, err := r.str(maxKindName)
+		if err != nil {
+			return Event{}, false, err
+		}
+		if len(name) == 0 {
+			return Event{}, false, errors.New("trace: empty kind name")
+		}
+		for _, k := range r.kinds {
+			if k == name {
+				return Event{}, false, fmt.Errorf("trace: kind %q defined twice", name)
+			}
+		}
+		r.pendingKind = len(r.kinds)
+		r.kinds = append(r.kinds, name)
+		r.kindHashes = append(r.kindHashes, metrics.HashKindName(name))
+		return Event{}, false, nil
+	case opRound:
+		delta, err := r.scalar("round delta")
+		if err != nil {
+			return Event{}, false, err
+		}
+		if delta < 1 || r.round+delta > maxRounds {
+			return Event{}, false, fmt.Errorf("trace: round delta %d from round %d", delta, r.round)
+		}
+		r.round += delta
+		r.node = 0
+		r.events++
+		r.acc.Round(r.round)
+		return Event{Op: OpRound, Round: r.round}, true, nil
+	case opSend, opDrop:
+		node, err := r.nodeDelta()
+		if err != nil {
+			return Event{}, false, err
+		}
+		port, err := r.scalar("port")
+		if err != nil {
+			return Event{}, false, err
+		}
+		kid, err := r.scalar("kind id")
+		if err != nil {
+			return Event{}, false, err
+		}
+		bits, err := r.scalar("bits")
+		if err != nil {
+			return Event{}, false, err
+		}
+		if port < 1 || port >= r.hdr.N {
+			return Event{}, false, fmt.Errorf("trace: message port %d out of range for n=%d", port, r.hdr.N)
+		}
+		if kid >= len(r.kinds) {
+			return Event{}, false, fmt.Errorf("trace: kind id %d, table has %d", kid, len(r.kinds))
+		}
+		if r.pendingKind >= 0 {
+			if kid != r.pendingKind {
+				return Event{}, false, errors.New("trace: kind definition not followed by its first use")
+			}
+			r.pendingKind = -1
+		}
+		r.events++
+		r.msgs++
+		r.bits += int64(bits)
+		dropped := op == opDrop
+		r.acc.Message(node, port, r.kindHashes[kid], bits, dropped)
+		o := OpSend
+		if dropped {
+			o = OpDrop
+		}
+		return Event{Op: o, Round: r.round, Node: node, Port: port, Bits: bits, Kind: r.kinds[kid]}, true, nil
+	case opCrash:
+		node, err := r.nodeDelta()
+		if err != nil {
+			return Event{}, false, err
+		}
+		r.events++
+		r.acc.Crash(node, r.round)
+		return Event{Op: OpCrash, Round: r.round, Node: node}, true, nil
+	case opViolation:
+		node, err := r.nodeDelta()
+		if err != nil {
+			return Event{}, false, err
+		}
+		port, err := r.scalar("violation port")
+		if err != nil {
+			return Event{}, false, err
+		}
+		reason, err := r.str(maxText)
+		if err != nil {
+			return Event{}, false, err
+		}
+		r.events++
+		return Event{Op: OpViolation, Round: r.round, Node: node, Port: port, Text: reason}, true, nil
+	case opAnnotation:
+		node, err := r.nodeDelta()
+		if err != nil {
+			return Event{}, false, err
+		}
+		text, err := r.str(maxText)
+		if err != nil {
+			return Event{}, false, err
+		}
+		r.events++
+		return Event{Op: OpAnnotation, Round: r.round, Node: node, Text: text}, true, nil
+	default:
+		return Event{}, false, fmt.Errorf("trace: unknown record opcode %d", op)
+	}
+}
+
+// nodeDelta decodes a node delta and applies the ordering rules: events
+// only inside rounds, nodes non-decreasing within a round, below n.
+func (r *Reader) nodeDelta() (int, error) {
+	if r.round == 0 {
+		return 0, errors.New("trace: event before first round")
+	}
+	delta, err := r.scalar("node delta")
+	if err != nil {
+		return 0, err
+	}
+	node := r.node + delta
+	if node >= r.hdr.N {
+		return 0, fmt.Errorf("trace: node %d out of range for n=%d", node, r.hdr.N)
+	}
+	r.node = node
+	return node, nil
+}
+
+// scalar decodes one bounded non-negative varint.
+func (r *Reader) scalar(what string) (int, error) {
+	v, err := readUvarint(r.br)
+	if err != nil {
+		return 0, fmt.Errorf("trace: %s: %w", what, err)
+	}
+	if v > maxScalar {
+		return 0, fmt.Errorf("trace: %s %d out of range", what, v)
+	}
+	return int(v), nil
+}
+
+// str decodes a length-prefixed string with a hard cap; the allocation
+// is bounded by the bytes actually present, never the declared length.
+func (r *Reader) str(cap int) (string, error) {
+	n, err := readUvarint(r.br)
+	if err != nil {
+		return "", fmt.Errorf("trace: string length: %w", err)
+	}
+	if n > uint64(cap) {
+		return "", fmt.Errorf("trace: string %d bytes, cap %d", n, cap)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return "", fmt.Errorf("trace: string body: %w", err)
+	}
+	return string(buf), nil
+}
+
+// readUvarint mirrors binary.ReadUvarint but normalizes io.EOF inside a
+// record to io.ErrUnexpectedEOF: a chunk may only end at a record
+// boundary.
+func readUvarint(br *bufio.Reader) (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; i < 10; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, err
+		}
+		if b < 0x80 {
+			if i == 9 && b > 1 {
+				return 0, errors.New("varint overflows uint64")
+			}
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, errors.New("varint overflows uint64")
+}
+
+// ReadAll decodes an entire trace into memory: header, events, footer.
+// Intended for tests, diffing small traces, and tracectl export; large
+// traces should stream through Next.
+func ReadAll(src io.Reader) (Header, []Event, Footer, error) {
+	r, err := NewReader(src)
+	if err != nil {
+		return Header{}, nil, Footer{}, err
+	}
+	var evs []Event
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			f, _ := r.Footer()
+			return r.Header(), evs, f, nil
+		}
+		if err != nil {
+			return r.Header(), evs, Footer{}, err
+		}
+		evs = append(evs, ev)
+	}
+}

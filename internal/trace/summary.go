@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"io"
+	"sort"
+)
+
+// RoundStat aggregates one round of a trace.
+type RoundStat struct {
+	Round       int
+	Sends       int
+	Drops       int
+	Crashes     int
+	Violations  int
+	Annotations int
+	Bits        int64
+}
+
+// Messages is the round's counted messages (sends + crash-round drops).
+func (r RoundStat) Messages() int { return r.Sends + r.Drops }
+
+// Crash is one crash decision.
+type Crash struct {
+	Node, Round int
+}
+
+// Summary is a full pass over a trace: per-round statistics, the
+// per-kind message breakdown, and the crash schedule. Because the
+// reader verifies structure and digest while streaming, holding a
+// Summary implies the trace was a valid witness.
+type Summary struct {
+	Header  Header
+	Footer  Footer
+	Rounds  []RoundStat
+	Crashes []Crash
+	// KindCounts maps kind name to counted messages of that kind.
+	KindCounts map[string]int64
+}
+
+// Summarize streams an entire trace and aggregates it. Any structural,
+// cap, or witness error surfaces unchanged from the Reader.
+func Summarize(src io.Reader) (*Summary, error) {
+	r, err := NewReader(src)
+	if err != nil {
+		return nil, err
+	}
+	s := &Summary{Header: r.Header(), KindCounts: make(map[string]int64)}
+	var cur *RoundStat
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			s.Footer, _ = r.Footer()
+			return s, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch ev.Op {
+		case OpRound:
+			s.Rounds = append(s.Rounds, RoundStat{Round: ev.Round})
+			cur = &s.Rounds[len(s.Rounds)-1]
+		case OpSend:
+			cur.Sends++
+			cur.Bits += int64(ev.Bits)
+			s.KindCounts[ev.Kind]++
+		case OpDrop:
+			cur.Drops++
+			cur.Bits += int64(ev.Bits)
+			s.KindCounts[ev.Kind]++
+		case OpCrash:
+			cur.Crashes++
+			s.Crashes = append(s.Crashes, Crash{Node: ev.Node, Round: ev.Round})
+		case OpViolation:
+			cur.Violations++
+		case OpAnnotation:
+			cur.Annotations++
+		}
+	}
+}
+
+// KindsByCount returns the kind names sorted by descending message
+// count (ties by name), for stable tabular output.
+func (s *Summary) KindsByCount() []string {
+	names := make([]string, 0, len(s.KindCounts))
+	for k := range s.KindCounts {
+		names = append(names, k)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if s.KindCounts[names[i]] != s.KindCounts[names[j]] {
+			return s.KindCounts[names[i]] > s.KindCounts[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}

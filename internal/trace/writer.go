@@ -1,0 +1,377 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+
+	"sublinear/internal/metrics"
+	"sublinear/internal/netsim"
+	"sublinear/internal/wire"
+)
+
+// Writer encodes an event stream into the trace format. It performs the
+// same structural validation the reader does (ordering, caps), so any
+// stream a Reader accepted re-encodes without error — the round-trip
+// property FuzzTraceRead leans on. Most callers want Recorder, which
+// adds the digest witness; Writer is the re-encoding half (tracectl
+// export, fuzz harness).
+type Writer struct {
+	dst   io.Writer
+	rec   []byte // pending uncompressed records
+	frame []byte // reusable frame build buffer
+	gz    *gzip.Writer
+	gzBuf bytes.Buffer
+
+	header Header
+	kinds  map[string]uint64
+	round  int
+	node   int
+	events int64
+	done   bool
+	err    error
+}
+
+// NewWriter writes the header frame and returns a Writer. The caller
+// fills Header.N, Seed, and Label; Version and DigestSchema are stamped
+// by the writer.
+func NewWriter(dst io.Writer, h Header) (*Writer, error) {
+	if h.N < 2 || h.N > maxN {
+		return nil, fmt.Errorf("trace: header n=%d out of range [2,%d]", h.N, maxN)
+	}
+	if len(h.Label) > maxLabel {
+		return nil, fmt.Errorf("trace: label %d bytes, cap %d", len(h.Label), maxLabel)
+	}
+	w := &Writer{dst: dst, kinds: make(map[string]uint64)}
+	body := append([]byte{frameHeader}, traceMagic...)
+	body = wire.AppendUvarint(body, FormatVersion)
+	body = wire.AppendUvarint(body, netsim.DigestSchemaVersion)
+	body = wire.AppendUvarint(body, uint64(h.N))
+	body = wire.AppendUvarint(body, h.Seed)
+	body = wire.AppendUvarint(body, uint64(len(h.Label)))
+	body = append(body, h.Label...)
+	if err := wire.WriteFrame(dst, body); err != nil {
+		return nil, err
+	}
+	h.Version = FormatVersion
+	h.DigestSchema = netsim.DigestSchemaVersion
+	w.header = h
+	return w, nil
+}
+
+// Round opens round r. Rounds must strictly increase.
+func (w *Writer) Round(r int) error {
+	if w.err != nil {
+		return w.err
+	}
+	if r <= w.round || r > maxRounds {
+		return w.fail(fmt.Errorf("trace: round %d after round %d", r, w.round))
+	}
+	w.rec = append(w.rec, opRound)
+	w.rec = wire.AppendUvarint(w.rec, uint64(r-w.round))
+	w.round, w.node = r, 0
+	w.events++
+	return w.flushMaybe()
+}
+
+// Send records a delivered message.
+func (w *Writer) Send(node, port int, kind string, bits int) error {
+	return w.message(opSend, node, port, kind, bits)
+}
+
+// Drop records a message lost to the sender's crash.
+func (w *Writer) Drop(node, port int, kind string, bits int) error {
+	return w.message(opDrop, node, port, kind, bits)
+}
+
+func (w *Writer) message(op byte, node, port int, kind string, bits int) error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.checkNode(node); err != nil {
+		return err
+	}
+	if port < 1 || port >= w.header.N {
+		return w.fail(fmt.Errorf("trace: message port %d out of range for n=%d", port, w.header.N))
+	}
+	if bits < 0 || bits > maxScalar {
+		return w.fail(fmt.Errorf("trace: message size %d bits out of range", bits))
+	}
+	kid, ok := w.kinds[kind]
+	if !ok {
+		// Define the kind immediately before its first use — the
+		// canonical (and only accepted) position.
+		if len(kind) == 0 || len(kind) > maxKindName {
+			return w.fail(fmt.Errorf("trace: kind name %d bytes, cap %d", len(kind), maxKindName))
+		}
+		if len(w.kinds) >= maxKinds {
+			return w.fail(fmt.Errorf("trace: more than %d distinct kinds", maxKinds))
+		}
+		kid = uint64(len(w.kinds))
+		w.kinds[kind] = kid
+		w.rec = append(w.rec, opKind)
+		w.rec = wire.AppendUvarint(w.rec, uint64(len(kind)))
+		w.rec = append(w.rec, kind...)
+	}
+	w.rec = append(w.rec, op)
+	w.rec = wire.AppendUvarint(w.rec, uint64(node-w.node))
+	w.rec = wire.AppendUvarint(w.rec, uint64(port))
+	w.rec = wire.AppendUvarint(w.rec, kid)
+	w.rec = wire.AppendUvarint(w.rec, uint64(bits))
+	w.node = node
+	w.events++
+	return w.flushMaybe()
+}
+
+// Crash records a node's crash in the current round.
+func (w *Writer) Crash(node int) error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.checkNode(node); err != nil {
+		return err
+	}
+	w.rec = append(w.rec, opCrash)
+	w.rec = wire.AppendUvarint(w.rec, uint64(node-w.node))
+	w.node = node
+	w.events++
+	return w.flushMaybe()
+}
+
+// Violation records a CONGEST violation. port may be out of range (that
+// being the violation) but must be non-negative.
+func (w *Writer) Violation(node, port int, reason string) error {
+	return w.text(opViolation, node, port, reason)
+}
+
+// Annotation records a protocol-state note.
+func (w *Writer) Annotation(node int, text string) error {
+	return w.text(opAnnotation, node, 0, text)
+}
+
+func (w *Writer) text(op byte, node, port int, s string) error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.checkNode(node); err != nil {
+		return err
+	}
+	if port < 0 || port > maxScalar {
+		return w.fail(fmt.Errorf("trace: violation port %d out of range", port))
+	}
+	if len(s) > maxText {
+		return w.fail(fmt.Errorf("trace: text %d bytes, cap %d", len(s), maxText))
+	}
+	w.rec = append(w.rec, op)
+	w.rec = wire.AppendUvarint(w.rec, uint64(node-w.node))
+	if op == opViolation {
+		w.rec = wire.AppendUvarint(w.rec, uint64(port))
+	}
+	w.rec = wire.AppendUvarint(w.rec, uint64(len(s)))
+	w.rec = append(w.rec, s...)
+	w.node = node
+	w.events++
+	return w.flushMaybe()
+}
+
+// Event re-encodes one decoded event, dispatching on its op. Round
+// transitions are driven by OpRound events, so replaying a Reader's
+// event sequence reproduces an equivalent trace.
+func (w *Writer) Event(ev Event) error {
+	switch ev.Op {
+	case OpRound:
+		return w.Round(ev.Round)
+	case OpSend:
+		return w.Send(ev.Node, ev.Port, ev.Kind, ev.Bits)
+	case OpDrop:
+		return w.Drop(ev.Node, ev.Port, ev.Kind, ev.Bits)
+	case OpCrash:
+		return w.Crash(ev.Node)
+	case OpViolation:
+		return w.Violation(ev.Node, ev.Port, ev.Text)
+	case OpAnnotation:
+		return w.Annotation(ev.Node, ev.Text)
+	}
+	return w.fail(fmt.Errorf("trace: unknown event op %d", ev.Op))
+}
+
+// Finish flushes pending records and writes the footer. Rounds,
+// messages, bits, and digest come from the run (TraceFinish); the event
+// and kind counts are the writer's own tallies.
+func (w *Writer) Finish(rounds int, messages, bits int64, digest uint64) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.done {
+		return w.fail(fmt.Errorf("trace: Finish called twice"))
+	}
+	if rounds != w.round {
+		return w.fail(fmt.Errorf("trace: footer rounds %d, last recorded round %d", rounds, w.round))
+	}
+	if messages < 0 || bits < 0 {
+		return w.fail(fmt.Errorf("trace: negative footer totals"))
+	}
+	if err := w.flush(); err != nil {
+		return err
+	}
+	body := append(w.frame[:0], frameFooter)
+	body = wire.AppendUvarint(body, uint64(rounds))
+	body = wire.AppendUvarint(body, uint64(messages))
+	body = wire.AppendUvarint(body, uint64(bits))
+	body = wire.AppendUvarint(body, uint64(w.events))
+	body = wire.AppendUvarint(body, uint64(len(w.kinds)))
+	body = wire.AppendUvarint(body, digest)
+	if err := wire.WriteFrame(w.dst, body); err != nil {
+		return w.fail(err)
+	}
+	w.done = true
+	return nil
+}
+
+func (w *Writer) checkNode(node int) error {
+	if w.round == 0 {
+		return w.fail(fmt.Errorf("trace: event before first round"))
+	}
+	if node < w.node || node >= w.header.N {
+		return w.fail(fmt.Errorf("trace: node %d after node %d (n=%d)", node, w.node, w.header.N))
+	}
+	return nil
+}
+
+func (w *Writer) fail(err error) error {
+	if w.err == nil {
+		w.err = err
+	}
+	return w.err
+}
+
+func (w *Writer) flushMaybe() error {
+	if len(w.rec) < chunkFlush {
+		return nil
+	}
+	return w.flush()
+}
+
+// flush compresses pending records into one chunk frame.
+func (w *Writer) flush() error {
+	if len(w.rec) == 0 {
+		return nil
+	}
+	w.gzBuf.Reset()
+	w.gzBuf.WriteByte(frameChunk)
+	if w.gz == nil {
+		// BestSpeed: traces are written on the engine's coordination
+		// thread; the varint delta coding has already done the heavy
+		// size lifting.
+		w.gz, _ = gzip.NewWriterLevel(&w.gzBuf, gzip.BestSpeed)
+	} else {
+		w.gz.Reset(&w.gzBuf)
+	}
+	if _, err := w.gz.Write(w.rec); err != nil {
+		return w.fail(err)
+	}
+	if err := w.gz.Close(); err != nil {
+		return w.fail(err)
+	}
+	w.rec = w.rec[:0]
+	if err := wire.WriteFrame(w.dst, w.gzBuf.Bytes()); err != nil {
+		return w.fail(err)
+	}
+	return nil
+}
+
+// Recorder is the netsim.Tracer implementation: a Writer plus the
+// digest witness. It recomputes the execution digest from the events it
+// is handed (netsim.DigestAccumulator) and fails at Close if the
+// engine's TraceFinish digest disagrees — a recorded trace is either a
+// faithful witness of the run or an error, never silently wrong.
+//
+// The Tracer interface returns no errors, so failures (I/O, witness
+// mismatch) are latched and surfaced by Close.
+type Recorder struct {
+	w        *Writer
+	acc      *netsim.DigestAccumulator
+	err      error
+	finished bool
+	digest   uint64
+}
+
+// NewRecorder writes the trace header and returns a Recorder ready to
+// be installed as netsim.Config.Tracer.
+func NewRecorder(dst io.Writer, h Header) (*Recorder, error) {
+	w, err := NewWriter(dst, h)
+	if err != nil {
+		return nil, err
+	}
+	return &Recorder{w: w, acc: netsim.NewDigestAccumulator()}, nil
+}
+
+// TraceRound implements netsim.Tracer.
+func (r *Recorder) TraceRound(round int) {
+	r.note(r.w.Round(round))
+	r.acc.Round(round)
+}
+
+// TraceCrash implements netsim.Tracer.
+func (r *Recorder) TraceCrash(node, round int) {
+	r.note(r.w.Crash(node))
+	r.acc.Crash(node, round)
+}
+
+// TraceMessage implements netsim.Tracer.
+func (r *Recorder) TraceMessage(sender, round, port int, kind metrics.Kind, bits int, dropped bool) {
+	name := metrics.KindName(kind)
+	if dropped {
+		r.note(r.w.Drop(sender, port, name, bits))
+	} else {
+		r.note(r.w.Send(sender, port, name, bits))
+	}
+	r.acc.Message(sender, port, metrics.KindHash(kind), bits, dropped)
+}
+
+// TraceViolation implements netsim.Tracer.
+func (r *Recorder) TraceViolation(node, round int, reason string) {
+	port := 0 // the reason string carries the specifics
+	r.note(r.w.Violation(node, port, reason))
+}
+
+// TraceAnnotation implements netsim.Tracer.
+func (r *Recorder) TraceAnnotation(node, round int, text string) {
+	r.note(r.w.Annotation(node, text))
+}
+
+// TraceFinish implements netsim.Tracer: it checks the witness and
+// writes the footer.
+func (r *Recorder) TraceFinish(rounds int, messages, bits int64, digest uint64) {
+	if computed := r.acc.Sum(rounds, messages, bits); computed != digest {
+		r.note(fmt.Errorf("trace: witness mismatch: recomputed digest %016x, engine digest %016x", computed, digest))
+		return
+	}
+	r.digest = digest
+	r.finished = true
+	r.note(r.w.Finish(rounds, messages, bits, digest))
+}
+
+// Digest returns the verified execution digest; valid after a
+// successful Close.
+func (r *Recorder) Digest() uint64 { return r.digest }
+
+// Close surfaces the first recording error. A run that aborted before
+// TraceFinish (strict-mode violation) yields ErrIncomplete: the trace
+// stream has no footer and will not read back.
+func (r *Recorder) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	if !r.finished {
+		return ErrIncomplete
+	}
+	return nil
+}
+
+func (r *Recorder) note(err error) {
+	if err != nil && r.err == nil {
+		r.err = err
+	}
+}

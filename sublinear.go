@@ -121,7 +121,16 @@ type Options struct {
 	// Record keeps the message trace (needed for influence-cloud
 	// analysis; costs memory).
 	Record bool
+	// Tracer streams every engine event to an execution flight
+	// recorder (see internal/trace and cmd/tracectl). Unlike Record it
+	// works at any worker count and costs nothing when nil. Ignored
+	// when TCP is set — the socket runner bypasses the simulator.
+	Tracer Tracer
 }
+
+// Tracer receives the engine's event stream; trace.NewRecorder builds
+// one that writes the binary trace format with a digest witness.
+type Tracer = netsim.Tracer
 
 // ErrTooManyFaults is returned when the fault model exceeds what alpha
 // admits.
@@ -232,6 +241,7 @@ func (opts Options) runConfig() (core.RunConfig, error) {
 		Seed:       opts.Seed,
 		Params:     params,
 		Record:     opts.Record,
+		Tracer:     opts.Tracer,
 		Concurrent: opts.Concurrent,
 	}
 	if opts.Actors {
