@@ -1,5 +1,6 @@
 // Command fleetctl is the distributed sweep coordinator: it decomposes
-// an experiment sweep, a dst campaign, or an ad-hoc simulation batch
+// an experiment sweep, a dst campaign, an exhaustive model check, or an
+// ad-hoc simulation batch
 // into seed-range shards and dispatches them over HTTP to a pool of
 // simd workers, with per-worker circuit breakers, hedged re-dispatch of
 // stragglers, and an append-only journal that lets a killed run resume
@@ -10,9 +11,18 @@
 //	fleetctl -sweep election-scaling -workers host1:8080,host2:8080
 //	fleetctl -sweep table1-mini -spawn 3
 //	fleetctl -dst 500 -spawn 4 -journal .fleet
+//	fleetctl -mc echo -n 6 -spawn 4
 //	fleetctl -protocol election -n 64 -alpha 0.75 -reps 32 -spawn 2
 //	fleetctl -sweep table1-mini -spawn 2 -trace-dir .fleet-traces
 //	fleetctl -list
+//
+// -mc SYSTEM exhaustively model-checks the named dst system's bounded
+// schedule universe (internal/mc), sharding the universe's index space
+// across the fleet; the merged report carries the exact state-space
+// counts and, on violation, dstrun-compatible reproducers. -alpha is
+// passed through only when set explicitly; the default is the system's
+// own (the paper's core protocols default to their admissibility
+// floor).
 //
 // -trace-dir DIR turns on execution tracing for every sweep shard and,
 // after the run, downloads the traces of shards whose repetitions
@@ -70,6 +80,10 @@ func run(args []string, out io.Writer) error {
 		simdBin     = fs.String("simd-bin", "simd", "simd binary for -spawn (path or name on PATH)")
 		sweepName   = fs.String("sweep", "", "run a named sweep (see -list)")
 		dstCases    = fs.Int("dst", 0, "run a distributed dst campaign of this many cases")
+		mcSystem    = fs.String("mc", "", "exhaustively model-check this dst system's schedule universe")
+		mcShards    = fs.Int("mc-shards", 0, "index-range shards for -mc (0 = worker count)")
+		mcPolicies  = fs.String("policies", "", "comma-separated drop-policy palette for -mc (empty = deterministic palette)")
+		mcHorizon   = fs.Int("horizon", 0, "crash-round horizon for -mc (0 = system horizon)")
 		protocol    = fs.String("protocol", "", "ad-hoc batch: protocol to run (election|agreement|...)")
 		n           = fs.Int("n", 64, "ad-hoc batch: network size")
 		alpha       = fs.Float64("alpha", 0.75, "ad-hoc batch: fraction of nodes that stay up")
@@ -96,7 +110,26 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	workload, err := buildWorkload(*sweepName, *dstCases, *protocol, *n, *alpha, *reps, *shardReps, *seed)
+	alphaSet, nSet := false, false
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "alpha":
+			alphaSet = true
+		case "n":
+			nSet = true
+		}
+	})
+	if *mcSystem != "" && !nSet {
+		// The ad-hoc default n=64 is far beyond exhaustive reach; the
+		// model checker's bread and butter is small n.
+		*n = 5
+	}
+	mcw := mcWorkload{
+		system: *mcSystem, shards: *mcShards, policies: *mcPolicies,
+		horizon: *mcHorizon, alphaSet: alphaSet,
+		workerCount: len(splitWorkers(*workers)) + *spawn,
+	}
+	workload, err := buildWorkload(*sweepName, *dstCases, *protocol, mcw, *n, *alpha, *reps, *shardReps, *seed)
 	if err != nil {
 		return err
 	}
@@ -179,24 +212,51 @@ func run(args []string, out io.Writer) error {
 	}
 	progress("fleetctl: %d shards done (%d resumed, %d hedged, %d retries)",
 		len(outcome.Results), outcome.Resumed, outcome.Hedged, outcome.Retries)
-	if workload.Kind == fleet.KindDST && dstFoundFailure(rep) {
+	if (workload.Kind == fleet.KindDST || workload.Kind == fleet.KindMC) && reportFoundFailure(rep) {
+		if workload.Kind == fleet.KindMC {
+			return fmt.Errorf("%w: model check found violating schedules", errFailureFound)
+		}
 		return fmt.Errorf("%w: dst campaign surfaced failures", errFailureFound)
 	}
 	return nil
 }
 
-func buildWorkload(sweepName string, dstCases int, protocol string, n int, alpha float64, reps, shardReps int, seed uint64) (fleet.Workload, error) {
+// mcWorkload bundles the -mc flag family for buildWorkload.
+type mcWorkload struct {
+	system      string
+	shards      int
+	policies    string
+	horizon     int
+	alphaSet    bool
+	workerCount int
+}
+
+func buildWorkload(sweepName string, dstCases int, protocol string, mcw mcWorkload, n int, alpha float64, reps, shardReps int, seed uint64) (fleet.Workload, error) {
 	modes := 0
-	for _, on := range []bool{sweepName != "", dstCases > 0, protocol != ""} {
+	for _, on := range []bool{sweepName != "", dstCases > 0, protocol != "", mcw.system != ""} {
 		if on {
 			modes++
 		}
 	}
 	if modes != 1 {
-		return fleet.Workload{}, errors.New("pick exactly one of -sweep, -dst, or -protocol")
+		return fleet.Workload{}, errors.New("pick exactly one of -sweep, -dst, -mc, or -protocol")
 	}
 	w := fleet.Workload{ShardReps: shardReps, Seed: seed}
 	switch {
+	case mcw.system != "":
+		w.Kind = fleet.KindMC
+		mcAlpha := 0.0 // system default
+		if mcw.alphaSet {
+			mcAlpha = alpha
+		}
+		shards := mcw.shards
+		if shards <= 0 {
+			shards = mcw.workerCount
+		}
+		w.MC = fleet.MCWorkload{
+			System: mcw.system, N: n, Alpha: mcAlpha, MaxF: -1,
+			Horizon: mcw.horizon, Policies: mcw.policies, Shards: shards,
+		}
 	case dstCases > 0:
 		w.Kind = fleet.KindDST
 		w.DSTCases = dstCases
@@ -352,7 +412,7 @@ func fetchOne(ctx context.Context, tf traceFetch) ([]byte, string, error) {
 	return nil, "", lastErr
 }
 
-func dstFoundFailure(rep *experiment.Report) bool {
+func reportFoundFailure(rep *experiment.Report) bool {
 	for _, n := range rep.Notes {
 		if strings.HasPrefix(n, "FAILURE ") {
 			return true

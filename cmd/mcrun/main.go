@@ -1,0 +1,207 @@
+// Command mcrun drives the exhaustive small-n schedule model checker
+// (internal/mc): it enumerates every fault.Schedule in a bounded
+// universe, executes each through every netsim engine mode, checks the
+// dst safety oracles, and writes a dstrun-compatible reproducer for
+// every distinct bug class it finds.
+//
+// Usage:
+//
+//	mcrun -system echo -n 4
+//	mcrun -system canary -n 4 -out mc-failures
+//	mcrun -system minflood -n 5 -range 0:10000 -v
+//	mcrun -system election -n 6 -alpha 1
+//	mcrun -list
+//
+// -range lo:hi scans only that slice of the universe's index space —
+// the sharding unit the fleet uses (`fleetctl -mc`); disjoint ranges
+// covering [0, size) explore the universe exactly once. -trace
+// additionally records, for the first reproducer, the failing execution
+// and its fault-free twin for `tracectl diff`, mirroring
+// `dstrun -repro -trace`.
+//
+// Exit status: 0 when every scanned schedule verified clean, 1 on usage
+// or infrastructure errors, 2 when violations were found — the same
+// convention as dstrun and fleetctl.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sublinear/internal/dst"
+	"sublinear/internal/fault"
+	"sublinear/internal/mc"
+	"sublinear/internal/netsim"
+)
+
+// errViolations marks a completed exploration that found violating
+// schedules; details and reproducers are already written.
+var errViolations = errors.New("violations found")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errViolations) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "mcrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mcrun", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		system   = fs.String("system", "", "dst-registered system under test (see -list)")
+		n        = fs.Int("n", 4, "network size")
+		alpha    = fs.Float64("alpha", 0, "non-faulty fraction (0 = system default)")
+		maxF     = fs.Int("maxf", -1, "faulty-count bound (-1 = the system's crash budget)")
+		horizon  = fs.Int("horizon", 0, "crash-round horizon (0 = system horizon)")
+		policies = fs.String("policies", "", "comma-separated drop-policy palette (empty = all|half|none)")
+		seed     = fs.Uint64("seed", 1, "seed for case inputs and DropRandom coins")
+		pone     = fs.Float64("pone", 0, "P[input bit = 1] for agreement inputs (0 = 0.5)")
+		noSym    = fs.Bool("no-symmetry", false, "disable rotation-orbit pruning")
+		noMemo   = fs.Bool("no-memo", false, "disable execution-digest memoization")
+		rng      = fs.String("range", "", "scan only index range lo:hi of the universe (sharding unit)")
+		outDir   = fs.String("out", "mc-failures", "directory for minimized reproducer files")
+		minimize = fs.Int("minimize", 200, "differential-check budget for shrinking each failure class")
+		tracePfx = fs.String("trace", "", "record PREFIX.trace and PREFIX.faultfree.trace for the first reproducer")
+		list     = fs.Bool("list", false, "list registered systems and exit")
+		verbose  = fs.Bool("v", false, "print progress while scanning")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Fprintf(out, "default: %s\n", strings.Join(dst.DefaultSystems(), " "))
+		fmt.Fprintf(out, "all:     %s\n", strings.Join(dst.AllSystems(), " "))
+		return nil
+	}
+	if *system == "" {
+		fs.Usage()
+		return errors.New("need -system NAME or -list")
+	}
+
+	cfg := mc.Config{
+		System: *system, N: *n, Alpha: *alpha, MaxF: *maxF,
+		Horizon: *horizon, Seed: *seed, POne: *pone,
+		NoSymmetry: *noSym, NoMemo: *noMemo, MinimizeBudget: *minimize,
+	}
+	for _, ps := range strings.Split(*policies, ",") {
+		if ps = strings.TrimSpace(ps); ps != "" {
+			pol, err := fault.ParsePolicy(ps)
+			if err != nil {
+				return err
+			}
+			cfg.Policies = append(cfg.Policies, pol)
+		}
+	}
+	lo, hi, err := parseRange(*rng)
+	if err != nil {
+		return err
+	}
+
+	var progress func(mc.Stats)
+	start := time.Now()
+	if *verbose {
+		progress = func(s mc.Stats) {
+			fmt.Fprintf(os.Stderr, "mcrun: %d/%d scanned, %d explored, %d sym-skipped, %d memo-hits, %d violations, %.0f states/s\n",
+				s.Scanned, s.Universe, s.Explored, s.SymSkipped, s.MemoHits, s.Violations, s.Rate(time.Since(start)))
+		}
+	}
+	rep, err := mc.ExploreRange(context.Background(), cfg, lo, hi, progress)
+	if err != nil {
+		return err
+	}
+
+	s := rep.Stats
+	fmt.Fprintf(out, "mc: %s n=%d alpha=%g maxF=%d horizon=%d: universe %d, scanned [%d, %d)\n",
+		rep.Config.System, rep.Config.N, rep.Config.Alpha, rep.Config.MaxF, rep.Config.Horizon,
+		s.Universe, rep.Lo, rep.Hi)
+	fmt.Fprintf(out, "mc: explored %d, sym-skipped %d, memo-hits %d (dedup %.3f), frontier %d, %.0f states/s\n",
+		s.Explored, s.SymSkipped, s.MemoHits, s.DedupRatio(), s.Frontier,
+		s.Rate(time.Duration(rep.Elapsed*float64(time.Second))))
+	if rep.Clean() {
+		fmt.Fprintf(out, "mc: every scanned schedule verified clean\n")
+		return nil
+	}
+	fmt.Fprintf(out, "mc: %d violating schedule(s) in %d bug class(es)\n", s.Violations, len(rep.Failures))
+	if err := writeRepros(rep, *outDir, *tracePfx, out); err != nil {
+		return err
+	}
+	return errViolations
+}
+
+// parseRange parses "lo:hi" (hi < 0 or missing = universe size).
+func parseRange(s string) (int64, int64, error) {
+	if s == "" {
+		return 0, -1, nil
+	}
+	var lo, hi int64
+	if _, err := fmt.Sscanf(s, "%d:%d", &lo, &hi); err != nil {
+		return 0, 0, fmt.Errorf("bad -range %q (want lo:hi): %w", s, err)
+	}
+	return lo, hi, nil
+}
+
+// writeRepros writes one dstrun-compatible reproducer per bug class and
+// optionally records the trace pair of the first one.
+func writeRepros(rep *mc.Report, outDir, tracePfx string, out io.Writer) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	for i, f := range rep.Failures {
+		name := fmt.Sprintf("%s-%016x-%d.json", f.Case.System, f.Case.Seed, i)
+		path := filepath.Join(outDir, name)
+		enc, err := json.MarshalIndent(f.Case, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s (%s)\n", path, &f)
+		if i == 0 && tracePfx != "" {
+			if err := writeTraces(f.Case, tracePfx, out); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeTraces records the failing case and its fault-free twin; `tracectl
+// diff` on the pair localizes the first event the faults perturbed.
+func writeTraces(c dst.Case, prefix string, out io.Writer) error {
+	faultFree := c
+	faultFree.Schedule.Crashes = nil
+	for _, tr := range []struct {
+		path string
+		c    dst.Case
+	}{
+		{prefix + ".trace", c},
+		{prefix + ".faultfree.trace", faultFree},
+	} {
+		f, err := os.Create(tr.path)
+		if err != nil {
+			return err
+		}
+		if _, err := dst.TraceCase(tr.c, netsim.Sequential, f); err != nil {
+			f.Close()
+			return fmt.Errorf("trace %s: %w", tr.path, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", tr.path)
+	}
+	return nil
+}

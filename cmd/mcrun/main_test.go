@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sublinear/internal/dst"
+)
+
+// TestCanaryEndToEnd is the acceptance walk for the whole tool: an
+// exhaustive scan of the broken canary's n=4 universe finds the
+// injected bug, writes a dstrun-compatible reproducer minimized to one
+// crash, records the trace pair, and the reproducer replays through
+// dst.Check to the same failure class.
+func TestCanaryEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	pfx := filepath.Join(dir, "first")
+	var buf strings.Builder
+	err := run([]string{"-system", "canary", "-n", "4", "-seed", "11",
+		"-out", dir, "-trace", pfx}, &buf)
+	if !errors.Is(err, errViolations) {
+		t.Fatalf("exhaustive canary scan: err = %v, output:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "violating schedule") {
+		t.Fatalf("no violation summary:\n%s", buf.String())
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "canary-*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no reproducer files written (%v), output:\n%s", err, buf.String())
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c dst.Case
+	if err := json.Unmarshal(data, &c); err != nil {
+		t.Fatalf("reproducer is not a valid case: %v", err)
+	}
+	if got := c.Schedule.FaultyCount(); got != 1 {
+		t.Errorf("minimized reproducer has %d faulty nodes, want 1", got)
+	}
+	failure, err := dst.Check(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failure == nil || failure.Oracle != "canary-consistency" {
+		t.Fatalf("reproducer did not replay the canary bug: %v", failure)
+	}
+	for _, suffix := range []string{".trace", ".faultfree.trace"} {
+		if fi, err := os.Stat(pfx + suffix); err != nil || fi.Size() == 0 {
+			t.Errorf("trace %s missing or empty: %v", suffix, err)
+		}
+	}
+}
+
+// TestCleanSystemExitsZero: a real system's universe verifies clean and
+// the run reports its accounting.
+func TestCleanSystemExitsZero(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-system", "echo", "-n", "4", "-seed", "7"}, &buf); err != nil {
+		t.Fatalf("echo scan: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "verified clean") {
+		t.Fatalf("no clean verdict:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "sym-skipped") {
+		t.Fatalf("no accounting line:\n%s", buf.String())
+	}
+}
+
+// TestRangeSharding: two -range invocations covering the universe find
+// the same violations the full scan does.
+func TestRangeSharding(t *testing.T) {
+	var full strings.Builder
+	err := run([]string{"-system", "canary", "-n", "4", "-seed", "11", "-out", t.TempDir()}, &full)
+	if !errors.Is(err, errViolations) {
+		t.Fatalf("full scan: %v", err)
+	}
+	found := false
+	for _, r := range []string{"0:120", "120:-1"} {
+		var buf strings.Builder
+		err := run([]string{"-system", "canary", "-n", "4", "-seed", "11",
+			"-range", r, "-out", t.TempDir()}, &buf)
+		if errors.Is(err, errViolations) {
+			found = true
+		} else if err != nil {
+			t.Fatalf("range %s: %v\n%s", r, err, buf.String())
+		}
+	}
+	if !found {
+		t.Fatal("no range shard found the canary bug")
+	}
+}
+
+// TestUsageErrors: bad invocations exit with infrastructure errors, not
+// violations.
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-system", "nope", "-n", "4"},
+		{"-system", "echo", "-n", "4", "-range", "backwards"},
+		{"-system", "echo", "-n", "4", "-policies", "sideways"},
+	} {
+		var buf strings.Builder
+		err := run(args, &buf)
+		if err == nil || errors.Is(err, errViolations) {
+			t.Errorf("args %v: err = %v", args, err)
+		}
+	}
+}
+
+// TestListPrintsSystems mirrors dstrun -list.
+func TestListPrintsSystems(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"canary", "echo", "minflood", "floodset", "election"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("-list output missing %s:\n%s", want, buf.String())
+		}
+	}
+}

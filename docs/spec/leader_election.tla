@@ -1,0 +1,174 @@
+---------------------------- MODULE leader_election ----------------------------
+(***************************************************************************)
+(* A TLA+ companion spec of the fail-stop synchronous round model that     *)
+(* this repository simulates (internal/netsim) and exhaustively checks    *)
+(* (internal/mc), specialized to flooding-based leader election.           *)
+(*                                                                         *)
+(* The protocol modeled is the FloodSet-style election the `floodset`     *)
+(* baseline implements: every node starts knowing only its own rank,       *)
+(* floods its known rank set for MaxF+1 synchronous rounds, and then       *)
+(* elects itself iff its own rank is the maximum of everything it          *)
+(* gathered.  The adversary may crash up to MaxF nodes; a node crashing    *)
+(* in round r delivers its round-r broadcast to an adversarially chosen    *)
+(* subset of peers and is silent thereafter.                               *)
+(*                                                                         *)
+(* Safety properties (checkable with TLC; see the MODEL CHECKING note at   *)
+(* the bottom):                                                            *)
+(*   LeaderUniqueness - at most one live node is elected, ever.            *)
+(*   Agreement        - once the protocol terminates, all live nodes       *)
+(*                      gathered exactly the same rank set.                *)
+(***************************************************************************)
+EXTENDS Naturals, FiniteSets
+
+CONSTANTS
+  N,     \* network size
+  MaxF   \* crash budget: the adversary crashes at most MaxF nodes
+
+ASSUME NAssumption == N \in Nat /\ N >= 2
+ASSUME FAssumption == MaxF \in Nat /\ MaxF <= N - 2
+
+Nodes == 0 .. N - 1
+
+(***************************************************************************)
+(* Ranks.  The implementation draws random ranks, unique with high        *)
+(* probability; the spec models the post-collision world directly by      *)
+(* using the node id as its rank.  Uniqueness is the only property of     *)
+(* ranks the safety argument uses.                                         *)
+(***************************************************************************)
+Rank(u) == u
+
+SetMax(S) == CHOOSE x \in S : \A y \in S : y <= x
+
+R == MaxF + 1   \* flooding rounds: enough for one crash-free round
+
+VARIABLES
+  round,   \* 1..R while flooding; R+1 = deciding; R+2 = terminated
+  alive,   \* nodes that have not crashed
+  known,   \* known[u]: the set of ranks node u has gathered
+  leader   \* leader[u]: TRUE iff u elected itself
+
+vars == <<round, alive, known, leader>>
+
+TypeOK ==
+  /\ round \in 1 .. R + 2
+  /\ alive \subseteq Nodes
+  /\ known \in [Nodes -> SUBSET {Rank(u) : u \in Nodes}]
+  /\ leader \in [Nodes -> BOOLEAN]
+
+Init ==
+  /\ round = 1
+  /\ alive = Nodes
+  /\ known = [u \in Nodes |-> {Rank(u)}]
+  /\ leader = [u \in Nodes |-> FALSE]
+
+(***************************************************************************)
+(* One synchronous flooding round.  The adversary picks the set of nodes  *)
+(* that crash mid-broadcast this round (respecting the remaining budget)  *)
+(* and, for each, the subset of peers that still receive its final        *)
+(* broadcast.  Survivors receive every live sender's set in full.         *)
+(***************************************************************************)
+CrashesSoFar == N - Cardinality(alive)
+
+Gathered(u, crashSet, deliv) ==
+  known[u]
+    \cup UNION {known[v] : v \in (alive \ crashSet) \ {u}}
+    \cup UNION {known[v] : v \in {w \in crashSet : u \in deliv[w]}}
+
+Flood ==
+  /\ round <= R
+  /\ \E crashSet \in SUBSET alive :
+       /\ CrashesSoFar + Cardinality(crashSet) <= MaxF
+       /\ \E deliv \in [crashSet -> SUBSET Nodes] :
+            known' = [u \in Nodes |->
+                       IF u \in alive \ crashSet
+                       THEN Gathered(u, crashSet, deliv)
+                       ELSE known[u]]
+       /\ alive' = alive \ crashSet
+  /\ round' = round + 1
+  /\ UNCHANGED leader
+
+(***************************************************************************)
+(* After R rounds every live node decides: elect iff own rank is the      *)
+(* maximum gathered.  Ranks are unique, so agreement on the gathered set  *)
+(* implies at most one node passes the test.                               *)
+(***************************************************************************)
+Decide ==
+  /\ round = R + 1
+  /\ leader' = [u \in Nodes |-> u \in alive /\ Rank(u) = SetMax(known[u])]
+  /\ round' = round + 1   \* R + 2: terminated
+  /\ UNCHANGED <<alive, known>>
+
+Terminated ==
+  /\ round = R + 2
+  /\ UNCHANGED vars
+
+Next == Flood \/ Decide \/ Terminated
+
+Spec == Init /\ [][Next]_vars
+
+--------------------------------------------------------------------------------
+(***************************************************************************)
+(* Safety.                                                                 *)
+(***************************************************************************)
+
+\* At most one live leader, in every reachable state.  This is the
+\* leader-uniqueness oracle (internal/core) verbatim.
+LeaderUniqueness == Cardinality({u \in alive : leader[u]}) <= 1
+
+\* FloodSet agreement: once terminated, all live nodes gathered the same
+\* set.  With at most MaxF crashes in R = MaxF+1 rounds, some round is
+\* crash-free; after it every live node holds the union of all live sets,
+\* and equal sets stay equal under further unions.
+Agreement ==
+  round = R + 2 => \A u, v \in alive : known[u] = known[v]
+
+\* A node's own rank never leaves its gathered set, and gathered sets
+\* only grow (the spec-level shadow of the crash-monotonicity oracle).
+SelfKnowledge == \A u \in Nodes : Rank(u) \in known[u]
+
+Safety == LeaderUniqueness /\ Agreement /\ SelfKnowledge
+
+================================================================================
+
+MODEL CHECKING
+
+  TLC exhausts this spec quickly at mc-comparable sizes; the companion
+  leader_election.cfg pins N = 4, MaxF = 2 and checks TypeOK and the
+  three Safety invariants.  The adversary's choices (crash set, crash
+  round, per-crash delivery subset) are the spec's only nondeterminism,
+  mirroring mc's enumerated schedule universe.
+
+MAPPING TO THE IMPLEMENTATION
+
+  Spec action / object        netsim / mc counterpart
+  --------------------        ----------------------------------------
+  Flood (one Next step)       one synchronous netsim round: Phase 1
+                              collects outboxes, Phase 2 delivers; the
+                              round barrier is the atomicity boundary,
+                              exactly as in the spec.
+  crashSet at round r         fault.Schedule crashes with Round = r.
+  deliv[w] (subset of peers)  the crash-round delivery policy of node
+                              w's crash.  The spec quantifies over every
+                              subset, which strictly subsumes the
+                              implemented palette: DropNone ~ {}, DropAll
+                              (deliver all) ~ Nodes, DropHalf ~ the
+                              specific even-outbox-index subset, and
+                              DropRandom ~ a seed-chosen subset.  A spec
+                              property proved over all subsets therefore
+                              covers every palette mc enumerates.
+  R = MaxF + 1 rounds         the floodset system's registered horizon.
+  known[u]                    the floodset node's gathered rank set.
+  Decide / leader[u]          the node's final ELECTED output.
+  LeaderUniqueness            core's leader-uniqueness oracle.
+  Agreement                   core's agreement-validity oracle family.
+  SelfKnowledge               the monotonicity half of the
+                              crash-monotonicity oracle.
+
+  Two deliberate gaps between spec and implementation: (1) the spec has
+  no message-size accounting, so the CONGEST-budget oracle has no spec
+  counterpart; (2) the spec's ranks are unique by construction, while
+  the implementation's random ranks collide with negligible probability
+  (the oracle excuses equal-rank collisions, per the paper's whp
+  caveat).  The spec proves the model; mc (cmd/mcrun) exhaustively
+  checks the executable implementation against the same invariants on
+  the same bounded universes.

@@ -90,10 +90,11 @@ func canaryConsistencyOracle() core.Oracle {
 
 func init() {
 	register(&System{
-		Name:    canaryName,
-		MaxF:    crashBudget,
-		Horizon: 2,
-		Oracles: []core.Oracle{core.CrashMonotonicityOracle(), core.CongestOracle(), canaryConsistencyOracle()},
+		Name:      canaryName,
+		MaxF:      crashBudget,
+		Horizon:   2,
+		Symmetric: true,
+		Oracles:   []core.Oracle{core.CrashMonotonicityOracle(), core.CongestOracle(), canaryConsistencyOracle()},
 		Run: func(c Case, mode netsim.RunMode, tracer netsim.Tracer) (*Run, error) {
 			adv, err := c.adversary()
 			if err != nil {

@@ -96,6 +96,35 @@ type System struct {
 	Run func(c Case, mode netsim.RunMode, tracer netsim.Tracer) (*Run, error)
 	// Oracles is the safety suite checked on every run.
 	Oracles []core.Oracle
+	// Symmetric declares the system rotation-symmetric: its execution is
+	// deterministic, ID-blind, coin-blind, input-free, and its machines
+	// emit their outbox in a label-free order (e.g. ascending port) even
+	// when reacting to an inbox, which arrives in sender-id order —
+	// crash policies that select deliveries by outbox index (DropHalf)
+	// make emission order observable. Under those conditions, relabeling
+	// node u as (u+k) mod n and rotating the crash schedule by k yields
+	// an isomorphic execution with an identical verdict. The model checker (internal/mc) explores one
+	// representative per rotation orbit for symmetric systems; setting
+	// this on a system that reads node IDs, per-node inputs or coins
+	// makes mc unsound. Guarded by TestSymmetrySoundness.
+	Symmetric bool
+	// DefaultAlpha picks the alpha an exhaustive check should use when
+	// the caller gives none. The paper's core protocols return their
+	// admissibility floor (log^2 n / n, which is 1 — zero crash budget —
+	// below n = 32); crash-tolerant-by-design systems return 0.5, the
+	// maximal crash budget. nil means 0.5.
+	DefaultAlpha func(n int) float64
+}
+
+// ResolveAlpha returns alpha when non-zero, else the system's default.
+func (s *System) ResolveAlpha(n int, alpha float64) float64 {
+	if alpha != 0 {
+		return alpha
+	}
+	if s.DefaultAlpha == nil {
+		return 0.5
+	}
+	return s.DefaultAlpha(n)
 }
 
 // Failure is one detected bug: a case plus what went wrong. Kind is
@@ -134,23 +163,49 @@ var modes = []struct {
 // exposes a bug and a non-nil error only for infrastructure problems
 // (unknown system, invalid case).
 func Check(c Case) (*Failure, error) {
-	if err := c.Validate(); err != nil {
-		return nil, err
+	ref, f, err := CheckSequential(c)
+	if err != nil || f != nil {
+		return f, err
 	}
+	return CheckRemaining(c, ref)
+}
+
+// CheckSequential is the first half of Check: it validates the case and
+// executes the reference (sequential) mode only. The returned Run's
+// Digest fingerprints the whole execution, so a caller that has already
+// checked another case with the same digest — the model checker's
+// memoization — can skip CheckRemaining: an identical event stream
+// replays identically through the other modes and the oracles. A non-nil
+// Failure (kind "error") reports the run failing under the schedule.
+func CheckSequential(c Case) (*Run, *Failure, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	sys, err := Lookup(c.System)
+	if err != nil {
+		return nil, nil, err
+	}
+	run, err := sys.Run(c, modes[0].mode, nil)
+	if err != nil {
+		return nil, &Failure{Case: c, Kind: "error",
+			Detail: fmt.Sprintf("%s mode: %v", modes[0].name, err)}, nil
+	}
+	return run, nil, nil
+}
+
+// CheckRemaining is the second half of Check: given the sequential
+// reference run it executes the remaining engine modes, diffs them
+// against the reference, and applies the system's oracles.
+func CheckRemaining(c Case, ref *Run) (*Failure, error) {
 	sys, err := Lookup(c.System)
 	if err != nil {
 		return nil, err
 	}
-	var ref *Run
-	for _, m := range modes {
+	for _, m := range modes[1:] {
 		run, err := sys.Run(c, m.mode, nil)
 		if err != nil {
 			return &Failure{Case: c, Kind: "error",
 				Detail: fmt.Sprintf("%s mode: %v", m.name, err)}, nil
-		}
-		if ref == nil {
-			ref = run
-			continue
 		}
 		if d := diffRuns(ref, run); d != "" {
 			return &Failure{Case: c, Kind: "divergence",

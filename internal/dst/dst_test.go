@@ -144,6 +144,64 @@ func TestMinimizeBudget(t *testing.T) {
 	}
 }
 
+// TestMinimizeCanonicalRepro: minimization is a pure function of the
+// failure's canonical schedule — two runs that catch the same bug with
+// differently-ordered crash lists shrink to byte-identical reproducer
+// files. mc relies on this to dedupe repro artifacts across shards.
+func TestMinimizeCanonicalRepro(t *testing.T) {
+	// Find a failing canary schedule with >= 2 crashes so that crash
+	// ordering is observable in the un-canonicalized encoding.
+	uni := fault.Universe{N: 4, MaxF: 2, Horizon: 2, Seed: 5}
+	var found *Failure
+	for i := int64(0); i < uni.Size() && found == nil; i++ {
+		s := uni.At(i)
+		if s.FaultyCount() < 2 {
+			continue
+		}
+		c := Case{System: "canary", N: 4, Alpha: 0.5, Seed: 5, Schedule: s}
+		f, err := Check(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f != nil && f.Kind == "oracle" {
+			found = f
+		}
+	}
+	if found == nil {
+		t.Fatal("no 2-crash canary failure in the n=4 universe")
+	}
+	reversed := *found
+	rs := found.Case.Schedule
+	rs.Crashes = append([]fault.Crash(nil), found.Case.Schedule.Crashes...)
+	for i, j := 0, len(rs.Crashes)-1; i < j; i, j = i+1, j-1 {
+		rs.Crashes[i], rs.Crashes[j] = rs.Crashes[j], rs.Crashes[i]
+	}
+	reversed.Case.Schedule = rs
+	const budget = 200
+	a, _ := Minimize(found, budget)
+	b, _ := Minimize(&reversed, budget)
+	aj, err := json.Marshal(a.Case)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(b.Case)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Fatalf("reproducers differ:\n%s\n%s", aj, bj)
+	}
+	// And re-minimizing an already minimal failure is a fixed point.
+	c, _ := Minimize(a, budget)
+	cj, err := json.Marshal(c.Case)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cj) != string(aj) {
+		t.Fatalf("minimize not idempotent:\n%s\n%s", aj, cj)
+	}
+}
+
 // TestCampaignHonorsContext: a pre-cancelled context checks nothing.
 func TestCampaignHonorsContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())

@@ -9,8 +9,19 @@ package dst
 // measure, so the walk terminates. budget caps the number of
 // differential checks spent; the second return value reports how many
 // were used.
+//
+// Every schedule on the walk is held in fault.Schedule.Canonicalize
+// form — the same total order mc enumerates in — so the shrink sequence
+// is a pure function of the failure's canonical form: two runs that find
+// the same bug under differently-ordered crash lists minimize to
+// byte-identical reproducer files.
 func Minimize(f *Failure, budget int) (*Failure, int) {
-	cur := f
+	if budget <= 0 {
+		return f, 0
+	}
+	start := *f
+	start.Case.Schedule = start.Case.Schedule.Canonicalize()
+	cur := &start
 	checks := 0
 	for {
 		sys, err := Lookup(cur.Case.System)
@@ -23,7 +34,7 @@ func Minimize(f *Failure, budget int) (*Failure, int) {
 				return cur, checks
 			}
 			cand := cur.Case
-			cand.Schedule = s
+			cand.Schedule = s.Canonicalize()
 			checks++
 			got, cerr := Check(cand)
 			if cerr != nil || got == nil || !sameBug(got, cur) {

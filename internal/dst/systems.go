@@ -25,12 +25,26 @@ func crashBudget(n int, alpha float64) int {
 // under, recomputed for the oracles' cross-check.
 func coreBudget(n int) int { return netsim.PerMessageBudget(n, core.DefaultCongestFactor) }
 
+// coreAlpha is the core protocols' DefaultAlpha: the paper's
+// admissibility floor log^2 n / n, clamped up to the campaign's 0.7. At
+// model-checking sizes (n < 32) the floor is 1, so the exhaustive
+// universe of an admissible core run is the single fault-free schedule —
+// the paper's fault tolerance only exists at scale.
+func coreAlpha(n int) float64 {
+	a := core.MinimumAlpha(n)
+	if a < 0.7 {
+		a = 0.7
+	}
+	return a
+}
+
 func init() {
 	register(&System{
-		Name:    "election",
-		MaxF:    crashBudget,
-		Horizon: 8,
-		Oracles: core.ElectionOracles(),
+		Name:         "election",
+		MaxF:         crashBudget,
+		Horizon:      8,
+		DefaultAlpha: coreAlpha,
+		Oracles:      core.ElectionOracles(),
 		Run: func(c Case, mode netsim.RunMode, tracer netsim.Tracer) (*Run, error) {
 			adv, err := c.adversary()
 			if err != nil {
@@ -58,10 +72,11 @@ func init() {
 	})
 
 	register(&System{
-		Name:    "agreement",
-		MaxF:    crashBudget,
-		Horizon: 6,
-		Oracles: core.AgreementOracles(),
+		Name:         "agreement",
+		MaxF:         crashBudget,
+		Horizon:      6,
+		DefaultAlpha: coreAlpha,
+		Oracles:      core.AgreementOracles(),
 		Run: func(c Case, mode netsim.RunMode, tracer netsim.Tracer) (*Run, error) {
 			adv, err := c.adversary()
 			if err != nil {
@@ -100,10 +115,11 @@ func init() {
 	})
 
 	register(&System{
-		Name:    "minagree",
-		MaxF:    crashBudget,
-		Horizon: 6,
-		Oracles: core.MinAgreementOracles(),
+		Name:         "minagree",
+		MaxF:         crashBudget,
+		Horizon:      6,
+		DefaultAlpha: coreAlpha,
+		Oracles:      core.MinAgreementOracles(),
 		Run: func(c Case, mode netsim.RunMode, tracer netsim.Tracer) (*Run, error) {
 			adv, err := c.adversary()
 			if err != nil {

@@ -55,5 +55,22 @@ func FuzzScheduleRoundTrip(f *testing.F) {
 		if !reflect.DeepEqual(s, back) {
 			t.Fatalf("round trip mismatch:\n%+v\n%+v", s, back)
 		}
+		// Canonicalization algebra (the mc memo/journal keys): canonicalize
+		// is idempotent, hashing is canonical-form invariant and stable,
+		// and the rotation-canonical representative is an orbit invariant.
+		c := s.Canonicalize()
+		if !reflect.DeepEqual(c, c.Canonicalize()) {
+			t.Fatalf("canonicalize not idempotent:\n%+v\n%+v", c, c.Canonicalize())
+		}
+		if !s.Equal(c) || s.Hash() != c.Hash() {
+			t.Fatalf("canonical form not Equal/hash-stable: %+v vs %+v", s, c)
+		}
+		if h := s.Hash(); h != s.Hash() {
+			t.Fatalf("hash not deterministic: %x vs %x", h, s.Hash())
+		}
+		rot := s.Rotate(1 + s.N/2)
+		if rot.RotationCanonical().Hash() != s.RotationCanonical().Hash() {
+			t.Fatalf("rotation canonical not orbit-invariant for %+v", s)
+		}
 	})
 }

@@ -1,0 +1,377 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file gives Schedule the algebra the model checker (internal/mc)
+// needs: a total canonical order, a stable content hash, the rotation
+// group action used for symmetry reduction, and Universe — an explicit,
+// indexable enumeration of every schedule in a bounded adversary space.
+// Everything here is pure structure; nothing touches an rng stream, so
+// two processes (or two shards of a fleet run) agree on index -> schedule
+// without coordination.
+
+// Canonicalize returns the schedule in canonical form: crashes sorted by
+// (Node, Round, Policy) and exact duplicate entries removed. It is total
+// (defined even for invalid schedules) and idempotent, and it preserves
+// node identities — unlike RotationCanonical, which relabels. Repro files
+// and minimized counterexamples use this form, so structurally equal
+// schedules are byte-identical on disk.
+func (s Schedule) Canonicalize() Schedule {
+	out := s
+	out.Crashes = append([]Crash(nil), s.Crashes...)
+	sort.Slice(out.Crashes, func(i, j int) bool {
+		return crashLess(out.Crashes[i], out.Crashes[j])
+	})
+	dedup := out.Crashes[:0]
+	for _, c := range out.Crashes {
+		if len(dedup) > 0 && dedup[len(dedup)-1] == c {
+			continue
+		}
+		dedup = append(dedup, c)
+	}
+	out.Crashes = dedup
+	if len(out.Crashes) == 0 {
+		out.Crashes = nil
+	}
+	return out
+}
+
+func crashLess(a, b Crash) bool {
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	if a.Round != b.Round {
+		return a.Round < b.Round
+	}
+	return a.Policy < b.Policy
+}
+
+// RandomSensitive reports whether the schedule's behaviour depends on its
+// Seed — true exactly when some crash uses DropRandom. For every other
+// policy the adversary is a pure function of the crash list, which is why
+// Hash and Equal ignore the seed unless it can matter.
+func (s Schedule) RandomSensitive() bool {
+	for _, c := range s.Crashes {
+		if c.Policy == DropRandom {
+			return true
+		}
+	}
+	return false
+}
+
+// Hash returns a stable 64-bit content hash of the schedule's canonical
+// form. Schedules that execute identically hash identically: the fold
+// covers N and the canonical crash list, and mixes in Seed only when the
+// schedule is RandomSensitive (a DropRandom coin stream is the only place
+// the seed can change behaviour). The hash is a pure function of the
+// fields — stable across processes and runs — so it can key memo tables
+// and content-addressed journals.
+func (s Schedule) Hash() uint64 {
+	c := s.Canonicalize()
+	h := splitmix(0x5eed5eed ^ uint64(c.N))
+	if c.RandomSensitive() {
+		h = splitmix(h ^ c.Seed)
+	}
+	for _, cr := range c.Crashes {
+		h = splitmix(h ^ uint64(cr.Node))
+		h = splitmix(h ^ uint64(cr.Round))
+		h = splitmix(h ^ uint64(cr.Policy))
+	}
+	return h
+}
+
+// splitmix is the splitmix64 finalizer: a cheap full-avalanche mix.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Equal reports whether two schedules describe the same adversary:
+// identical N and canonical crash lists, and identical seeds when either
+// is RandomSensitive. Equal schedules always Hash identically.
+func (s Schedule) Equal(t Schedule) bool {
+	a, b := s.Canonicalize(), t.Canonicalize()
+	if a.N != b.N || len(a.Crashes) != len(b.Crashes) {
+		return false
+	}
+	for i := range a.Crashes {
+		if a.Crashes[i] != b.Crashes[i] {
+			return false
+		}
+	}
+	if (a.RandomSensitive() || b.RandomSensitive()) && a.Seed != b.Seed {
+		return false
+	}
+	return true
+}
+
+// Rotate relabels every node u as (u+k) mod N and re-canonicalizes. The
+// rotations are the symmetry group of netsim's port wiring
+// (Peer(n,u,p) = (u+p) mod n): rotating the crash list and rotating the
+// node array commute, which is the algebraic fact mc's symmetry pruning
+// rests on.
+func (s Schedule) Rotate(k int) Schedule {
+	if s.N <= 0 {
+		return s.Canonicalize()
+	}
+	k = ((k % s.N) + s.N) % s.N
+	out := s
+	out.Crashes = append([]Crash(nil), s.Crashes...)
+	for i := range out.Crashes {
+		out.Crashes[i].Node = (out.Crashes[i].Node + k) % s.N
+	}
+	return out.Canonicalize()
+}
+
+// RotationCanonical returns the lexicographically least schedule among
+// the N rotations of s — a canonical representative of s's orbit under
+// the rotation group. Two schedules are rotation-equivalent iff their
+// RotationCanonical forms are Equal. Node identities are NOT preserved;
+// use this only where the system under test is rotation-symmetric.
+func (s Schedule) RotationCanonical() Schedule {
+	best := s.Canonicalize()
+	if s.N <= 1 || len(best.Crashes) == 0 {
+		return best
+	}
+	for k := 1; k < s.N; k++ {
+		if cand := s.Rotate(k); crashesLess(cand.Crashes, best.Crashes) {
+			best = cand
+		}
+	}
+	return best
+}
+
+func crashesLess(a, b []Crash) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return crashLess(a[i], b[i])
+		}
+	}
+	return len(a) < len(b)
+}
+
+// DeterministicPolicies is the default mc enumeration palette: the three
+// policies whose delivery decisions are pure functions of the message
+// index. DropRandom is excluded — its coin stream makes the schedule
+// seed-sensitive and consumes coins in node order, which breaks rotation
+// symmetry — but callers who want it can list it explicitly.
+var DeterministicPolicies = []DropPolicy{DropAll, DropHalf, DropNone}
+
+// Universe is a bounded, fully enumerable adversary space: every
+// schedule over n nodes with at most MaxF faulty nodes, each crashing in
+// a round from [1, Horizon] under one of Policies. Its size is
+//
+//	sum over f in [0, MaxF] of C(n, f) * (Horizon*|Policies|)^f
+//
+// and At is a bijection from [0, Size()) onto the space, ordered by
+// faulty count, then faulty set (combinadic order), then per-node
+// (round, policy) digits. Because At is pure arithmetic, any index range
+// [lo, hi) is a well-defined shard of the whole universe: fleet workers
+// enumerate disjoint ranges and the union is exhaustive by construction.
+type Universe struct {
+	// N is the network size; schedules carry it verbatim.
+	N int `json:"n"`
+	// MaxF bounds the faulty count; clamped nowhere, validated in Validate.
+	MaxF int `json:"max_f"`
+	// Horizon bounds crash rounds to [1, Horizon].
+	Horizon int `json:"horizon"`
+	// Policies is the per-crash policy palette, in enumeration order.
+	// Empty means DeterministicPolicies.
+	Policies []DropPolicy `json:"policies,omitempty"`
+	// Seed is stamped onto every schedule (only DropRandom reads it).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// maxUniverseSize caps Size so a typo'd bound fails fast instead of
+// producing a "universe" no exhaustive run could ever finish.
+const maxUniverseSize = int64(1) << 40
+
+// Validate checks the bounds and that the total size is representable.
+func (u Universe) Validate() error {
+	if u.N < 2 {
+		return fmt.Errorf("fault: universe n = %d, need >= 2", u.N)
+	}
+	if u.MaxF < 0 || u.MaxF > u.N {
+		return fmt.Errorf("fault: universe maxF = %d out of range [0, %d]", u.MaxF, u.N)
+	}
+	if u.MaxF > 0 && u.Horizon < 1 {
+		return fmt.Errorf("fault: universe horizon = %d, need >= 1 when maxF > 0", u.Horizon)
+	}
+	seen := map[DropPolicy]bool{}
+	for _, p := range u.policies() {
+		if !validPolicy(p) {
+			return fmt.Errorf("fault: universe has invalid policy %d", p)
+		}
+		if seen[p] {
+			return fmt.Errorf("fault: universe lists policy %s twice", p)
+		}
+		seen[p] = true
+	}
+	if _, err := u.size(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (u Universe) policies() []DropPolicy {
+	if len(u.Policies) == 0 {
+		return DeterministicPolicies
+	}
+	return u.Policies
+}
+
+// Size returns the number of schedules in the universe. The universe
+// must Validate; Size panics on overflow only if Validate was skipped.
+func (u Universe) Size() int64 {
+	n, err := u.size()
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func (u Universe) size(layers ...*[]int64) (int64, error) {
+	perCrash := int64(u.Horizon) * int64(len(u.policies()))
+	total := int64(0)
+	for f := 0; f <= u.MaxF; f++ {
+		layer, err := mulChecked(binomial(u.N, f), powChecked(perCrash, f))
+		if err != nil {
+			return 0, fmt.Errorf("fault: universe layer f=%d: %w", f, err)
+		}
+		if len(layers) > 0 {
+			*layers[0] = append(*layers[0], layer)
+		}
+		total += layer
+		if total < 0 || total > maxUniverseSize {
+			return 0, fmt.Errorf("fault: universe size exceeds %d at f=%d", maxUniverseSize, f)
+		}
+	}
+	return total, nil
+}
+
+// LayerSizes returns the per-faulty-count layer sizes, summing to Size.
+func (u Universe) LayerSizes() []int64 {
+	var layers []int64
+	if _, err := u.size(&layers); err != nil {
+		panic(err)
+	}
+	return layers
+}
+
+// At unranks index i into its schedule: layer scan for the faulty count,
+// combinadic unranking for the faulty set, then base-(Horizon*|Policies|)
+// digits for each node's (round, policy). It panics when i is out of
+// range — indices come from counted loops, never from input.
+func (u Universe) At(i int64) Schedule {
+	if i < 0 || i >= u.Size() {
+		panic(fmt.Sprintf("fault: universe index %d out of range [0, %d)", i, u.Size()))
+	}
+	pols := u.policies()
+	perCrash := int64(u.Horizon) * int64(len(pols))
+	f := 0
+	for {
+		layer, _ := mulChecked(binomial(u.N, f), powChecked(perCrash, f))
+		if i < layer {
+			break
+		}
+		i -= layer
+		f++
+	}
+	s := Schedule{N: u.N, Seed: u.Seed}
+	if f == 0 {
+		return s
+	}
+	detailSpace := powChecked(perCrash, f)
+	if detailSpace < 0 {
+		panic("fault: universe detail space overflow")
+	}
+	subset := unrankSubset(i/detailSpace, u.N, f)
+	digits := i % detailSpace
+	for _, node := range subset {
+		d := digits % perCrash
+		digits /= perCrash
+		s.Crashes = append(s.Crashes, Crash{
+			Node:   node,
+			Round:  1 + int(d%int64(u.Horizon)),
+			Policy: pols[int(d/int64(u.Horizon))],
+		})
+	}
+	return s.Canonicalize()
+}
+
+// unrankSubset maps rank r in [0, C(n,f)) to the r-th f-subset of [0,n)
+// in combinadic (lexicographic) order, returned ascending.
+func unrankSubset(r int64, n, f int) []int {
+	subset := make([]int, 0, f)
+	next := 0
+	for k := f; k > 0; k-- {
+		for {
+			// Subsets starting at `next` with k-1 more elements from the
+			// remaining n-next-1 nodes.
+			block := binomial(n-next-1, k-1)
+			if r < block {
+				break
+			}
+			r -= block
+			next++
+		}
+		subset = append(subset, next)
+		next++
+	}
+	return subset
+}
+
+// binomial computes C(n, k) exactly in int64, returning a negative
+// sentinel on overflow (callers run it through mulChecked, which rejects
+// negatives).
+func binomial(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	out := int64(1)
+	for i := 0; i < k; i++ {
+		hi := out * int64(n-i)
+		if out != 0 && hi/out != int64(n-i) {
+			return -1
+		}
+		out = hi / int64(i+1)
+	}
+	return out
+}
+
+func powChecked(base int64, exp int) int64 {
+	out := int64(1)
+	for i := 0; i < exp; i++ {
+		v, err := mulChecked(out, base)
+		if err != nil {
+			return -1
+		}
+		out = v
+	}
+	return out
+}
+
+func mulChecked(a, b int64) (int64, error) {
+	if a < 0 || b < 0 {
+		return 0, fmt.Errorf("overflow")
+	}
+	if a == 0 || b == 0 {
+		return 0, nil
+	}
+	if a > math.MaxInt64/b {
+		return 0, fmt.Errorf("overflow: %d * %d", a, b)
+	}
+	return a * b, nil
+}

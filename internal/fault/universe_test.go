@@ -1,0 +1,214 @@
+package fault
+
+import (
+	"fmt"
+	"testing"
+
+	"sublinear/internal/rng"
+)
+
+func scheduleKey(s Schedule) string {
+	c := s.Canonicalize()
+	return fmt.Sprintf("n=%d|%v", c.N, c.Crashes)
+}
+
+// bruteForce enumerates the universe by nested recursion, independent of
+// the unranking arithmetic, as ground truth for At.
+func bruteForce(u Universe) map[string]bool {
+	out := map[string]bool{}
+	pols := u.policies()
+	var rec func(nextNode int, crashes []Crash)
+	rec = func(nextNode int, crashes []Crash) {
+		out[scheduleKey(Schedule{N: u.N, Crashes: append([]Crash(nil), crashes...)})] = true
+		if len(crashes) == u.MaxF {
+			return
+		}
+		for node := nextNode; node < u.N; node++ {
+			for round := 1; round <= u.Horizon; round++ {
+				for _, p := range pols {
+					rec(node+1, append(crashes, Crash{Node: node, Round: round, Policy: p}))
+				}
+			}
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+func TestUniverseAtIsABijection(t *testing.T) {
+	for _, u := range []Universe{
+		{N: 4, MaxF: 2, Horizon: 3},
+		{N: 5, MaxF: 3, Horizon: 2, Policies: []DropPolicy{DropAll, DropNone}},
+		{N: 3, MaxF: 3, Horizon: 2},
+		{N: 6, MaxF: 1, Horizon: 4},
+		{N: 4, MaxF: 0, Horizon: 0},
+	} {
+		if err := u.Validate(); err != nil {
+			t.Fatalf("universe %+v: %v", u, err)
+		}
+		want := bruteForce(u)
+		if got := u.Size(); got != int64(len(want)) {
+			t.Fatalf("universe %+v: Size() = %d, brute force = %d", u, got, len(want))
+		}
+		seen := map[string]bool{}
+		for i := int64(0); i < u.Size(); i++ {
+			s := u.At(i)
+			if err := s.Validate(); err != nil {
+				t.Fatalf("universe %+v: At(%d) invalid: %v", u, i, err)
+			}
+			k := scheduleKey(s)
+			if seen[k] {
+				t.Fatalf("universe %+v: At(%d) = %s repeats", u, i, k)
+			}
+			seen[k] = true
+			if !want[k] {
+				t.Fatalf("universe %+v: At(%d) = %s not in brute-force set", u, i, k)
+			}
+		}
+	}
+}
+
+func TestUniverseLayerSizesSumToSize(t *testing.T) {
+	u := Universe{N: 5, MaxF: 3, Horizon: 3}
+	var sum int64
+	layers := u.LayerSizes()
+	if len(layers) != u.MaxF+1 {
+		t.Fatalf("got %d layers, want %d", len(layers), u.MaxF+1)
+	}
+	for _, l := range layers {
+		sum += l
+	}
+	if sum != u.Size() {
+		t.Fatalf("layer sum %d != size %d", sum, u.Size())
+	}
+	// f=0 is always the single fault-free schedule.
+	if layers[0] != 1 {
+		t.Fatalf("layer 0 = %d, want 1", layers[0])
+	}
+}
+
+func TestUniverseValidateRejects(t *testing.T) {
+	for _, u := range []Universe{
+		{N: 1, MaxF: 0, Horizon: 1},
+		{N: 4, MaxF: 5, Horizon: 1},
+		{N: 4, MaxF: -1, Horizon: 1},
+		{N: 4, MaxF: 1, Horizon: 0},
+		{N: 4, MaxF: 1, Horizon: 1, Policies: []DropPolicy{DropAll, DropAll}},
+		{N: 4, MaxF: 1, Horizon: 1, Policies: []DropPolicy{DropPolicy(99)}},
+		{N: 64, MaxF: 64, Horizon: 8},
+	} {
+		if err := u.Validate(); err == nil {
+			t.Errorf("universe %+v: Validate accepted", u)
+		}
+	}
+}
+
+func TestCanonicalizeSortsAndDedupes(t *testing.T) {
+	s := Schedule{N: 6, Crashes: []Crash{
+		{Node: 4, Round: 2, Policy: DropAll},
+		{Node: 1, Round: 3, Policy: DropHalf},
+		{Node: 4, Round: 2, Policy: DropAll},
+		{Node: 1, Round: 1, Policy: DropHalf},
+	}}
+	c := s.Canonicalize()
+	want := []Crash{
+		{Node: 1, Round: 1, Policy: DropHalf},
+		{Node: 1, Round: 3, Policy: DropHalf},
+		{Node: 4, Round: 2, Policy: DropAll},
+	}
+	if len(c.Crashes) != len(want) {
+		t.Fatalf("got %v, want %v", c.Crashes, want)
+	}
+	for i := range want {
+		if c.Crashes[i] != want[i] {
+			t.Fatalf("got %v, want %v", c.Crashes, want)
+		}
+	}
+	if !c.Equal(c.Canonicalize()) {
+		t.Fatal("canonicalize not idempotent")
+	}
+}
+
+func TestHashAndEqualSemantics(t *testing.T) {
+	a := Schedule{N: 8, Seed: 1, Crashes: []Crash{
+		{Node: 3, Round: 2, Policy: DropHalf}, {Node: 1, Round: 1, Policy: DropAll}}}
+	b := Schedule{N: 8, Seed: 2, Crashes: []Crash{
+		{Node: 1, Round: 1, Policy: DropAll}, {Node: 3, Round: 2, Policy: DropHalf}}}
+	// Deterministic policies: seeds differ but behaviour cannot, so the
+	// schedules are equal and hash identically.
+	if !a.Equal(b) || a.Hash() != b.Hash() {
+		t.Fatalf("deterministic schedules with different seeds should be equal: %v vs %v", a, b)
+	}
+	// Make one crash random-sensitive: now the seed is load-bearing.
+	a.Crashes[0].Policy = DropRandom
+	b.Crashes[1].Policy = DropRandom
+	if a.Equal(b) {
+		t.Fatal("random-sensitive schedules with different seeds compared equal")
+	}
+	b.Seed = 1
+	if !a.Equal(b) || a.Hash() != b.Hash() {
+		t.Fatal("identical random-sensitive schedules should be equal")
+	}
+	c := a.Canonicalize()
+	if c.Hash() != a.Hash() {
+		t.Fatal("hash not canonical-form invariant")
+	}
+	d := a
+	d.Crashes = append([]Crash(nil), a.Crashes...)
+	d.Crashes[0].Round++
+	if d.Equal(a) || d.Hash() == a.Hash() {
+		t.Fatal("distinct schedules compared equal or collided")
+	}
+}
+
+func TestRotationCanonicalIsOrbitInvariant(t *testing.T) {
+	src := rng.New(42)
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + src.Intn(7)
+		s := GenerateSchedule(n, n, 4, src)
+		want := s.RotationCanonical()
+		for k := 0; k < n; k++ {
+			if got := s.Rotate(k).RotationCanonical(); !got.Equal(want) {
+				t.Fatalf("n=%d k=%d: rotation canonical differs:\n%v\n%v\nfrom %v",
+					n, k, got, want, s)
+			}
+		}
+		// The representative is in the orbit.
+		inOrbit := false
+		for k := 0; k < n; k++ {
+			if s.Rotate(k).Equal(want) {
+				inOrbit = true
+				break
+			}
+		}
+		// DropRandom schedules compare seed-sensitively; rotation keeps the
+		// seed, so the representative is still reachable.
+		if !inOrbit {
+			t.Fatalf("n=%d: representative %v not in orbit of %v", n, want, s)
+		}
+	}
+}
+
+// TestOrbitSizesDivideGroupOrder checks the orbit-stabilizer bookkeeping
+// mc's symmetry stats rely on: grouping a universe by rotation-canonical
+// representative partitions it into orbits whose sizes divide n.
+func TestOrbitSizesDivideGroupOrder(t *testing.T) {
+	u := Universe{N: 4, MaxF: 2, Horizon: 2}
+	orbits := map[string]int64{}
+	for i := int64(0); i < u.Size(); i++ {
+		orbits[scheduleKey(u.At(i).RotationCanonical())]++
+	}
+	var total int64
+	for rep, size := range orbits {
+		total += size
+		if int64(u.N)%size != 0 {
+			t.Fatalf("orbit %s has size %d, not a divisor of n=%d", rep, size, u.N)
+		}
+	}
+	if total != u.Size() {
+		t.Fatalf("orbits cover %d schedules, universe has %d", total, u.Size())
+	}
+	if int64(len(orbits)) >= u.Size() {
+		t.Fatalf("symmetry reduction saved nothing: %d orbits for %d schedules", len(orbits), u.Size())
+	}
+}

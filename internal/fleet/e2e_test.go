@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"sublinear/internal/experiment"
+	"sublinear/internal/mc"
 	"sublinear/internal/simsvc"
 	"sublinear/internal/trace"
 )
@@ -211,6 +212,74 @@ func TestE2EDistributedDST(t *testing.T) {
 	}
 	if got2 := renderReport(t, plan, out2.Results); got2 != got {
 		t.Fatalf("dst merge unstable across fleets:\n--- first ---\n%s\n--- second ---\n%s", got, got2)
+	}
+}
+
+// TestE2EDistributedMC shards one exhaustive model-checking run over
+// two real workers and checks the acceptance claim end to end: the
+// merged verdict and every exact count equal a single-process
+// mc.Explore of the same universe, the canary's injected bug surfaces
+// as a FAILURE note with a replayable repro, and a clean system's
+// universe merges violation-free.
+func TestE2EDistributedMC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e runs real simulations")
+	}
+	single, err := mc.Explore(context.Background(), mc.Config{System: "canary", N: 4, MaxF: -1, Seed: 11}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(Workload{
+		Kind: KindMC, Seed: 11,
+		MC: MCWorkload{System: "canary", N: 4, MaxF: -1, Shards: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Shards) != 4 {
+		t.Fatalf("plan has %d shards, want 4", len(plan.Shards))
+	}
+	w1, w2 := startWorker(t), startWorker(t)
+	out, err := Run(context.Background(), fastCfg(w1.URL, w2.URL), plan)
+	if err != nil {
+		t.Fatalf("mc fleet run: %v", err)
+	}
+	var merged mc.Stats
+	for _, s := range plan.Shards {
+		res := out.Results[s.Index]
+		if res == nil || res.MC == nil {
+			t.Fatalf("shard %d has no mc report", s.Index)
+		}
+		merged.Add(res.MC.Stats)
+	}
+	if merged.Universe != single.Stats.Universe ||
+		merged.Scanned != single.Stats.Scanned ||
+		merged.SymSkipped != single.Stats.SymSkipped ||
+		merged.Violations != single.Stats.Violations ||
+		merged.Frontier != single.Stats.Frontier {
+		t.Fatalf("fleet exact counts diverge from single process:\nsingle %+v\nfleet  %+v",
+			single.Stats, merged)
+	}
+	got := renderReport(t, plan, out.Results)
+	if !strings.Contains(got, "FAILURE ") || !strings.Contains(got, "repro=") {
+		t.Fatalf("canary fleet report carries no replayable failure:\n%s", got)
+	}
+
+	// A clean system: same pipeline, zero violations.
+	cleanPlan, err := NewPlan(Workload{
+		Kind: KindMC, Seed: 7,
+		MC: MCWorkload{System: "echo", N: 3, MaxF: -1, Shards: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanOut, err := Run(context.Background(), fastCfg(w1.URL, w2.URL), cleanPlan)
+	if err != nil {
+		t.Fatalf("clean mc fleet run: %v", err)
+	}
+	cleanRep := renderReport(t, cleanPlan, cleanOut.Results)
+	if strings.Contains(cleanRep, "FAILURE ") || !strings.Contains(cleanRep, "verified clean") {
+		t.Fatalf("echo universe not clean under the fleet:\n%s", cleanRep)
 	}
 }
 

@@ -23,6 +23,8 @@ import (
 
 	"sublinear/internal/dst"
 	"sublinear/internal/experiment"
+	"sublinear/internal/fault"
+	"sublinear/internal/mc"
 	"sublinear/internal/simsvc"
 )
 
@@ -36,17 +38,26 @@ const (
 	// (internal/dst) with the case budget split across shards, each
 	// shard fuzzing from its own derived seed.
 	KindDST = "dst"
+	// KindMC exhaustively model-checks one dst system's bounded
+	// schedule universe (internal/mc), sharded into contiguous
+	// index ranges of the universe's rank space. Because unranking is
+	// pure arithmetic, shards need no coordination, and the exact
+	// counts (Scanned, SymSkipped, Violations) sum back to the
+	// single-process totals no matter how the range was partitioned.
+	KindMC = "mc"
 )
 
 // Workload is the coordinator's input: what to run, how finely to
 // shard it, and the base seed that makes the whole run reproducible.
 type Workload struct {
-	// Kind is KindSweep or KindDST.
+	// Kind is KindSweep, KindDST or KindMC.
 	Kind string
 	// Sweep is the parameter sweep (KindSweep).
 	Sweep experiment.Sweep
 	// DSTCases is the campaign case budget (KindDST).
 	DSTCases int
+	// MC is the model-checking universe (KindMC).
+	MC MCWorkload
 	// ShardReps caps repetitions (sweep) or cases (dst) per shard;
 	// 0 means 8.
 	ShardReps int
@@ -61,6 +72,31 @@ type Workload struct {
 	// traced plan has a different hash (and journal) than an untraced
 	// one.
 	Trace bool
+}
+
+// MCWorkload names one system's bounded schedule universe for a KindMC
+// run. Zero values resolve through mc.Config.Resolve: alpha falls back
+// to the system's default, MaxF -1 derives the crash budget, Horizon 0
+// the system's horizon, and an empty Policies string the deterministic
+// palette.
+type MCWorkload struct {
+	// System is the dst-registered system under test.
+	System string
+	// N is the network size.
+	N int
+	// Alpha is the non-faulty fraction; 0 means the system default.
+	Alpha float64
+	// MaxF bounds the faulty count; -1 derives the crash budget.
+	MaxF int
+	// Horizon bounds crash rounds; 0 means the system's horizon.
+	Horizon int
+	// Policies is the comma-separated drop-policy palette; "" means
+	// the deterministic palette.
+	Policies string
+	// POne biases agreement input bits; 0 means 0.5.
+	POne float64
+	// Shards is the index-range shard count; 0 means 4.
+	Shards int
 }
 
 // Shard is one dispatchable unit: a normalized simd job covering a seed
@@ -139,8 +175,51 @@ func NewPlan(w Workload) (*Plan, error) {
 				Index: len(p.Shards), Point: -1, Range: r, Spec: norm,
 			})
 		}
+	case KindMC:
+		m := w.MC
+		if m.Shards <= 0 {
+			m.Shards = 4
+		}
+		// Resolve once here so a bad universe fails at plan time, not on
+		// a worker; the workers re-resolve the same config from the spec.
+		cfg := mc.Config{
+			System: m.System, N: m.N, Alpha: m.Alpha, MaxF: m.MaxF,
+			Horizon: m.Horizon, Seed: w.Seed, POne: m.POne,
+		}
+		for _, ps := range strings.Split(m.Policies, ",") {
+			if ps = strings.TrimSpace(ps); ps != "" {
+				pol, err := fault.ParsePolicy(ps)
+				if err != nil {
+					return nil, fmt.Errorf("fleet: mc workload: %w", err)
+				}
+				cfg.Policies = append(cfg.Policies, pol)
+			}
+		}
+		_, uni, err := cfg.Resolve()
+		if err != nil {
+			return nil, fmt.Errorf("fleet: mc workload: %w", err)
+		}
+		maxF := m.MaxF
+		for _, r := range mc.Ranges(uni.Size(), m.Shards) {
+			f := maxF
+			spec := simsvc.JobSpec{
+				Protocol: simsvc.ProtoMC,
+				System:   m.System, N: m.N, Alpha: m.Alpha, F: &f,
+				Horizon: m.Horizon, Policies: m.Policies, POne: m.POne,
+				Seed: w.Seed, Lo: r[0], Hi: r[1],
+			}
+			norm, err := spec.Normalize(simsvc.DefaultLimits)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: mc shard: %w", err)
+			}
+			p.Shards = append(p.Shards, Shard{
+				Index: len(p.Shards), Point: -1,
+				Range: experiment.SeedRange{Lo: int(r[0]), Hi: int(r[1])},
+				Spec:  norm,
+			})
+		}
 	default:
-		return nil, fmt.Errorf("fleet: unknown workload kind %q (want %s|%s)", w.Kind, KindSweep, KindDST)
+		return nil, fmt.Errorf("fleet: unknown workload kind %q (want %s|%s|%s)", w.Kind, KindSweep, KindDST, KindMC)
 	}
 	p.Hash = p.hash()
 	return p, nil

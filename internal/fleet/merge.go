@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sublinear/internal/experiment"
+	"sublinear/internal/mc"
 	"sublinear/internal/metrics"
 	"sublinear/internal/simsvc"
 	"sublinear/internal/stats"
@@ -28,6 +29,8 @@ func MergeReport(plan *Plan, results map[int]*simsvc.JobResult) (*experiment.Rep
 		return mergeSweep(plan, results)
 	case KindDST:
 		return mergeDST(plan, results)
+	case KindMC:
+		return mergeMC(plan, results)
 	default:
 		return nil, fmt.Errorf("fleet: merge: unknown workload kind %q", plan.Workload.Kind)
 	}
@@ -112,6 +115,60 @@ func mergeDST(plan *Plan, results map[int]*simsvc.JobResult) (*experiment.Report
 	for _, f := range failures {
 		rep.Notes = append(rep.Notes, "FAILURE "+f)
 	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("merged %d shards deterministically in plan order; plan %.16s", len(plan.Shards), plan.Hash))
+	return rep, nil
+}
+
+// mergeMC folds the shards of one exhaustive model-checking run back
+// into the single-process totals. Scanned, SymSkipped, Violations and
+// Frontier are exact partition-invariant counts, so their sums (and
+// max, for Frontier) are identical to an unsharded run; Explored and
+// MemoHits shift between shards but always satisfy the accounting
+// identity Explored + MemoHits + SymSkipped = Scanned, which the merge
+// verifies along with full coverage of the universe.
+func mergeMC(plan *Plan, results map[int]*simsvc.JobResult) (*experiment.Report, error) {
+	m := plan.Workload.MC
+	rep := &experiment.Report{
+		ID: "fleet",
+		Title: fmt.Sprintf("exhaustive model check of %s at n=%d (seed %d, %d shards)",
+			m.System, m.N, plan.Workload.Seed, len(plan.Shards)),
+	}
+	var total mc.Stats
+	var failures []string
+	elapsed := 0.0
+	for _, s := range plan.Shards {
+		res := results[s.Index]
+		if res.MC == nil {
+			return nil, fmt.Errorf("fleet: merge: shard %d carries no mc report", s.Index)
+		}
+		total.Add(res.MC.Stats)
+		elapsed += res.MC.Elapsed
+		for _, f := range res.Failures {
+			failures = append(failures, fmt.Sprintf("shard %d: %s", s.Index, f))
+		}
+	}
+	if total.Scanned != total.Universe {
+		return nil, fmt.Errorf("fleet: merge: shards scanned %d of %d schedules — the plan does not cover the universe",
+			total.Scanned, total.Universe)
+	}
+	if total.Explored+total.MemoHits+total.SymSkipped != total.Scanned {
+		return nil, fmt.Errorf("fleet: merge: accounting identity broken: %d explored + %d memo + %d sym != %d scanned",
+			total.Explored, total.MemoHits, total.SymSkipped, total.Scanned)
+	}
+	tbl := experiment.NewTable("state-space accounting",
+		"universe", "scanned", "explored", "sym skipped", "memo hits", "violations", "dedup ratio", "frontier")
+	tbl.AddRow(total.Universe, total.Scanned, total.Explored, total.SymSkipped,
+		total.MemoHits, total.Violations, fmt.Sprintf("%.3f", total.DedupRatio()), total.Frontier)
+	rep.Tables = append(rep.Tables, tbl)
+	for _, f := range failures {
+		rep.Notes = append(rep.Notes, "FAILURE "+f)
+	}
+	verdict := "every schedule in the universe verified clean"
+	if total.Violations > 0 {
+		verdict = fmt.Sprintf("%d violating schedule(s) found", total.Violations)
+	}
+	rep.Notes = append(rep.Notes, fmt.Sprintf("%s; %.1f CPU-seconds across shards", verdict, elapsed))
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("merged %d shards deterministically in plan order; plan %.16s", len(plan.Shards), plan.Hash))
 	return rep, nil

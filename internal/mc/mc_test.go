@@ -1,0 +1,217 @@
+package mc
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"sublinear/internal/dst"
+	"sublinear/internal/fault"
+)
+
+// TestCanaryExhaustiveFindsInjectedBug is the harness self-test at
+// model-checker strength: exhausting the canary's n=4 universe must find
+// the injected bug, minimize it to a single mid-broadcast crash, and
+// produce a reproducer that replays to the same failure class.
+func TestCanaryExhaustiveFindsInjectedBug(t *testing.T) {
+	rep, err := Explore(context.Background(), Config{System: "canary", N: 4, MaxF: -1, Seed: 11}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("exhaustive canary run found no violations")
+	}
+	if rep.Stats.Scanned != rep.Stats.Universe {
+		t.Fatalf("scanned %d of %d states", rep.Stats.Scanned, rep.Stats.Universe)
+	}
+	if len(rep.Failures) == 0 {
+		t.Fatal("violations counted but no failure class recorded")
+	}
+	f := rep.Failures[0]
+	if f.Kind != "oracle" || f.Oracle != "canary-consistency" {
+		t.Fatalf("unexpected failure class %s/%s", f.Kind, f.Oracle)
+	}
+	if got := f.Case.Schedule.FaultyCount(); got != 1 {
+		t.Fatalf("minimized repro has %d crashes, want 1", got)
+	}
+	replay, err := dst.Check(f.Case)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay == nil || replay.Kind != f.Kind || replay.Oracle != f.Oracle {
+		t.Fatalf("repro did not replay: got %v", replay)
+	}
+}
+
+// TestRealSystemsCleanExhaustive is the acceptance claim: every real
+// protocol's bounded universe at n=4 verifies clean. The core protocols
+// resolve alpha to their admissibility floor (1 below n=32), so their
+// universe is the single fault-free schedule; the crash-tolerant systems
+// get full fault universes.
+func TestRealSystemsCleanExhaustive(t *testing.T) {
+	for _, sysName := range dst.DefaultSystems() {
+		rep, err := Explore(context.Background(), Config{System: sysName, N: 4, MaxF: -1, Seed: 7}, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", sysName, err)
+		}
+		if !rep.Clean() {
+			t.Fatalf("%s: %d violations, first: %v", sysName, rep.Stats.Violations, rep.Failures)
+		}
+		if rep.Stats.Scanned != rep.Stats.Universe {
+			t.Fatalf("%s: scanned %d of %d", sysName, rep.Stats.Scanned, rep.Stats.Universe)
+		}
+		t.Logf("%s: universe=%d explored=%d symSkipped=%d memoHits=%d",
+			sysName, rep.Stats.Universe, rep.Stats.Explored, rep.Stats.SymSkipped, rep.Stats.MemoHits)
+	}
+}
+
+// TestShardedMatchesSingleProcess: partitioning the index space must not
+// change the verdict or any exact count. Explored/MemoHits shift between
+// shards (which shard sees a digest first is partition-dependent) but
+// their sum plus SymSkipped always accounts for every scanned state.
+func TestShardedMatchesSingleProcess(t *testing.T) {
+	cfg := Config{System: "canary", N: 4, MaxF: -1, Seed: 11}
+	single, err := Explore(context.Background(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged Stats
+	for _, r := range Ranges(single.Stats.Universe, 4) {
+		rep, err := ExploreRange(context.Background(), cfg, r[0], r[1], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged.Add(rep.Stats)
+	}
+	if merged.Universe != single.Stats.Universe ||
+		merged.Scanned != single.Stats.Scanned ||
+		merged.SymSkipped != single.Stats.SymSkipped ||
+		merged.Violations != single.Stats.Violations ||
+		merged.Frontier != single.Stats.Frontier {
+		t.Fatalf("sharded exact counts diverge:\nsingle %+v\nmerged %+v", single.Stats, merged)
+	}
+	for name, s := range map[string]Stats{"single": single.Stats, "merged": merged} {
+		if s.Explored+s.MemoHits+s.SymSkipped != s.Scanned {
+			t.Fatalf("%s: %d explored + %d memo + %d sym != %d scanned",
+				name, s.Explored, s.MemoHits, s.SymSkipped, s.Scanned)
+		}
+	}
+}
+
+// TestPruningPreservesVerdict: symmetry pruning and memoization are
+// performance reductions, not semantics: switching either off must not
+// change whether the universe verifies clean.
+func TestPruningPreservesVerdict(t *testing.T) {
+	base := Config{System: "canary", N: 4, MaxF: -1, Seed: 11}
+	full, err := Explore(context.Background(), base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats.SymSkipped == 0 || full.Stats.MemoHits == 0 {
+		t.Fatalf("reductions idle on the canary universe: %+v", full.Stats)
+	}
+	for name, cfg := range map[string]Config{
+		"no-symmetry": {System: "canary", N: 4, MaxF: -1, Seed: 11, NoSymmetry: true},
+		"no-memo":     {System: "canary", N: 4, MaxF: -1, Seed: 11, NoMemo: true},
+		"plain":       {System: "canary", N: 4, MaxF: -1, Seed: 11, NoSymmetry: true, NoMemo: true},
+	} {
+		rep, err := Explore(context.Background(), cfg, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Clean() != full.Clean() {
+			t.Fatalf("%s changed the verdict", name)
+		}
+		if cfg.NoSymmetry && rep.Stats.Violations < full.Stats.Violations {
+			t.Fatalf("%s found fewer violating schedules (%d) than the pruned run found orbits (%d)",
+				name, rep.Stats.Violations, full.Stats.Violations)
+		}
+		if cfg.NoSymmetry && rep.Stats.SymSkipped != 0 {
+			t.Fatalf("%s still skipped %d states", name, rep.Stats.SymSkipped)
+		}
+		if cfg.NoMemo && !cfg.NoSymmetry && rep.Stats.MemoHits != 0 {
+			t.Fatalf("%s still memoized %d states", name, rep.Stats.MemoHits)
+		}
+	}
+}
+
+// TestMemoVerdictReplay: a memo hit on a violating digest must still
+// count the violation, keeping Violations partition-invariant. The
+// no-symmetry canary run exercises this: every violating orbit has
+// rotated twins with identical digests... not identical (the digest
+// folds sender ids), so instead check the accounting identity and that
+// disabling memo never changes the violation count.
+func TestMemoVerdictReplay(t *testing.T) {
+	with, err := Explore(context.Background(), Config{System: "canary", N: 4, MaxF: -1, Seed: 11, NoSymmetry: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Explore(context.Background(), Config{System: "canary", N: 4, MaxF: -1, Seed: 11, NoSymmetry: true, NoMemo: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Stats.Violations != without.Stats.Violations {
+		t.Fatalf("memoization changed the violation count: %d vs %d",
+			with.Stats.Violations, without.Stats.Violations)
+	}
+	if with.Stats.MemoHits == 0 {
+		t.Fatal("memoization never hit on the canary universe")
+	}
+}
+
+// TestResolveDefaults pins the config resolution rules.
+func TestResolveDefaults(t *testing.T) {
+	cfg, uni, err := Config{System: "echo", N: 4, MaxF: -1}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Alpha != 0.5 || cfg.MaxF != 2 || cfg.Horizon != 3 {
+		t.Fatalf("echo resolved to %+v", cfg)
+	}
+	if len(cfg.Policies) != len(fault.DeterministicPolicies) {
+		t.Fatalf("echo policies %v", cfg.Policies)
+	}
+	if uni.Size() == 0 {
+		t.Fatal("empty universe")
+	}
+	// Core protocols at small n resolve alpha to 1: zero crash budget.
+	cfg, uni, err = Config{System: "election", N: 4, MaxF: -1}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Alpha != 1 || cfg.MaxF != 0 || uni.Size() != 1 {
+		t.Fatalf("election at n=4 resolved to alpha=%v maxF=%d size=%d",
+			cfg.Alpha, cfg.MaxF, uni.Size())
+	}
+	// An explicit horizon beyond the system's is clamped: crashes after
+	// the system horizon are outside its fault model.
+	cfg, _, err = Config{System: "minflood", N: 4, MaxF: -1, Horizon: 99}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, _ := dst.Lookup("minflood")
+	if cfg.Horizon != sys.Horizon {
+		t.Fatalf("horizon %d not clamped to %d", cfg.Horizon, sys.Horizon)
+	}
+	if _, _, err := (Config{System: "nope", N: 4}).Resolve(); err == nil ||
+		!strings.Contains(err.Error(), "unknown system") {
+		t.Fatalf("unknown system resolved: %v", err)
+	}
+}
+
+// TestRangesPartition: Ranges tiles [0, size) exactly.
+func TestRangesPartition(t *testing.T) {
+	for _, tc := range []struct{ size, k int64 }{{10, 4}, {3, 8}, {1, 1}, {241, 4}} {
+		rs := Ranges(tc.size, int(tc.k))
+		next := int64(0)
+		for _, r := range rs {
+			if r[0] != next || r[1] <= r[0] {
+				t.Fatalf("size=%d k=%d: bad range %v after %d", tc.size, tc.k, r, next)
+			}
+			next = r[1]
+		}
+		if next != tc.size {
+			t.Fatalf("size=%d k=%d: ranges end at %d", tc.size, tc.k, next)
+		}
+	}
+}

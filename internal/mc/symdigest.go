@@ -1,0 +1,137 @@
+package mc
+
+import (
+	"sort"
+
+	"sublinear/internal/metrics"
+	"sublinear/internal/netsim"
+)
+
+// SymTracer computes a rotation-invariant execution fingerprint — the
+// witness behind mc's symmetry pruning. The engine's own digest
+// (netsim.Result.Digest) folds each sender's node id and so changes
+// under relabeling even when the executions are isomorphic. SymTracer
+// drops exactly the label-dependent coordinates and nothing else:
+//
+//   - each sender's per-round events fold, in emission order, into a
+//     private lane keyed by (tag, port, bits, kind-hash) — ports are
+//     relative to the sender, so lane values are label-free, and
+//     rotating the labels only permutes which node owns which lane. The
+//     fold is deliberately order-sensitive: the Symmetric contract
+//     requires label-free emission order (inboxes arrive in sender-id
+//     order, and DropHalf selects deliveries by outbox index, making
+//     emission order observable), and an order-sensitive lane is what
+//     catches a machine that violates it;
+//   - at every round boundary the multiset of non-empty lane values is
+//     folded in sorted order, erasing the node permutation;
+//   - crash events fold as a sorted multiset of crash rounds, with the
+//     node ids dropped.
+//
+// Two executions that are rotations of one another therefore produce
+// identical SymTracer sums, and TestSymmetrySoundness checks the
+// converse direction empirically: for every dst.System flagged
+// Symmetric, rotating the schedule leaves both the sum and the
+// differential verdict unchanged.
+type SymTracer struct {
+	h      uint64
+	lanes  []uint64 // per-sender lane of the current round; 0 = empty
+	sorted []uint64 // scratch for the round flush
+	crash  []int    // crash rounds of the current round
+	rounds int
+}
+
+var _ netsim.Tracer = (*SymTracer)(nil)
+
+// NewSymTracer returns a tracer for an n-node run.
+func NewSymTracer(n int) *SymTracer {
+	return &SymTracer{h: symFold(0, symSchema), lanes: make([]uint64, n)}
+}
+
+// symSchema seeds the sum so it can never alias the engine digest.
+const symSchema uint64 = 0x53594d31 // "SYM1"
+
+// Tags mirror the engine digest's event discrimination.
+const (
+	symRound uint64 = 0xa1
+	symCrash uint64 = 0xa2
+	symSend  uint64 = 0xa3
+	symDrop  uint64 = 0xa4
+	symFinal uint64 = 0xa5
+)
+
+// symFold is the splitmix64 finalizer over a running accumulator.
+func symFold(h, v uint64) uint64 {
+	x := h ^ v
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// flushRound folds the finished round's label-free summary: the sorted
+// multiset of non-empty sender lanes, then the sorted crash rounds.
+func (t *SymTracer) flushRound() {
+	t.sorted = t.sorted[:0]
+	for u, lane := range t.lanes {
+		if lane != 0 {
+			t.sorted = append(t.sorted, lane)
+			t.lanes[u] = 0
+		}
+	}
+	sort.Slice(t.sorted, func(i, j int) bool { return t.sorted[i] < t.sorted[j] })
+	for _, lane := range t.sorted {
+		t.h = symFold(t.h, lane)
+	}
+	sort.Ints(t.crash)
+	for _, r := range t.crash {
+		t.h = symFold(symFold(t.h, symCrash), uint64(r))
+	}
+	t.crash = t.crash[:0]
+}
+
+// TraceRound closes the previous round and folds the new round number.
+func (t *SymTracer) TraceRound(round int) {
+	t.flushRound()
+	t.h = symFold(symFold(t.h, symRound), uint64(round))
+	t.rounds = round
+}
+
+// TraceCrash records the crash round, dropping the node label.
+func (t *SymTracer) TraceCrash(_, round int) { t.crash = append(t.crash, round) }
+
+// TraceMessage folds one message into its sender's lane in emission
+// order. The lane seed is nonzero so a sender with events is
+// distinguishable from one without, mirroring the engine's lane
+// sentinel.
+func (t *SymTracer) TraceMessage(sender, _, port int, kind metrics.Kind, bits int, dropped bool) {
+	tag := symSend
+	if dropped {
+		tag = symDrop
+	}
+	lane := t.lanes[sender]
+	if lane == 0 {
+		lane = symSchema
+	}
+	lane = symFold(lane, tag|uint64(port)<<8|uint64(bits)<<40)
+	t.lanes[sender] = symFold(lane, metrics.KindHash(kind))
+}
+
+// TraceViolation and TraceAnnotation carry node-attributed free text and
+// do not fold into the sum, matching the engine digest's treatment.
+func (t *SymTracer) TraceViolation(int, int, string)  {}
+func (t *SymTracer) TraceAnnotation(int, int, string) {}
+
+// TraceFinish folds the label-free run totals. The engine digest itself
+// is deliberately excluded: it is the label-sensitive fingerprint this
+// tracer exists to replace.
+func (t *SymTracer) TraceFinish(rounds int, messages, bits int64, _ uint64) {
+	t.flushRound()
+	t.h = symFold(t.h, symFinal)
+	t.h = symFold(t.h, uint64(rounds))
+	t.h = symFold(t.h, uint64(messages))
+	t.h = symFold(t.h, uint64(bits))
+}
+
+// Sum returns the rotation-invariant fingerprint. Call after the run
+// completes (TraceFinish folds the totals).
+func (t *SymTracer) Sum() uint64 { return t.h }

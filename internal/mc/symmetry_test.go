@@ -1,0 +1,116 @@
+package mc
+
+import (
+	"testing"
+
+	"sublinear/internal/dst"
+	"sublinear/internal/fault"
+	"sublinear/internal/netsim"
+)
+
+// verdictClass collapses a differential check result to its bug class.
+func verdictClass(t *testing.T, c dst.Case) string {
+	t.Helper()
+	f, err := dst.Check(c)
+	if err != nil {
+		t.Fatalf("check %+v: %v", c, err)
+	}
+	if f == nil {
+		return "clean"
+	}
+	return f.Kind + "/" + f.Oracle
+}
+
+// symSum runs the case sequentially with a SymTracer attached.
+func symSum(t *testing.T, sys *dst.System, c dst.Case) uint64 {
+	t.Helper()
+	tr := NewSymTracer(c.N)
+	if _, err := sys.Run(c, netsim.Sequential, tr); err != nil {
+		t.Fatalf("run %+v: %v", c, err)
+	}
+	return tr.Sum()
+}
+
+// TestSymmetrySoundness guards the pruning rule: for every system that
+// declares Symmetric, rotating a schedule's node labels must leave both
+// the rotation-invariant execution fingerprint and the differential
+// verdict unchanged, over the system's own enumerated universe. This is
+// the empirical converse of the wiring argument in the package comment —
+// if a registered system ever reads node IDs, coins or per-node inputs,
+// this test fails before mc can prune unsoundly with it.
+func TestSymmetrySoundness(t *testing.T) {
+	var symmetric []string
+	for _, name := range dst.AllSystems() {
+		sys, err := dst.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sys.Symmetric {
+			symmetric = append(symmetric, name)
+		}
+	}
+	if len(symmetric) < 3 {
+		t.Fatalf("need >= 3 symmetric systems for the table, have %v", symmetric)
+	}
+	for _, name := range symmetric {
+		sys, _ := dst.Lookup(name)
+		for _, n := range []int{3, 5} {
+			alpha := sys.ResolveAlpha(n, 0)
+			maxF := sys.MaxF(n, alpha)
+			uni := fault.Universe{N: n, MaxF: maxF, Horizon: min(sys.Horizon, 2), Seed: 9}
+			if err := uni.Validate(); err != nil {
+				t.Fatalf("%s n=%d: %v", name, n, err)
+			}
+			size := uni.Size()
+			if size > 160 {
+				size = 160
+			}
+			for i := int64(0); i < size; i++ {
+				s := uni.At(i)
+				base := dst.Case{System: name, N: n, Alpha: alpha, Seed: 9, Schedule: s}
+				wantSum := symSum(t, sys, base)
+				wantClass := verdictClass(t, base)
+				for k := 1; k < n; k++ {
+					rot := base
+					rot.Schedule = s.Rotate(k)
+					if got := symSum(t, sys, rot); got != wantSum {
+						t.Fatalf("%s n=%d schedule %v rotate %d: sym digest %#x != %#x",
+							name, n, s.Crashes, k, got, wantSum)
+					}
+					if got := verdictClass(t, rot); got != wantClass {
+						t.Fatalf("%s n=%d schedule %v rotate %d: verdict %q != %q",
+							name, n, s.Crashes, k, got, wantClass)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAsymmetricSystemIsDetectable documents why floodset is not flagged
+// Symmetric: its per-node random inputs are attached to node labels, so
+// some rotation of some schedule changes the observable execution. If
+// this test ever fails, floodset became input-free and could be flagged.
+func TestAsymmetricSystemIsDetectable(t *testing.T) {
+	sys, err := dst.Lookup("floodset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Symmetric {
+		t.Fatal("floodset is flagged Symmetric; this test and the flag disagree")
+	}
+	uni := fault.Universe{N: 4, MaxF: 2, Horizon: 2, Seed: 3}
+	for i := int64(0); i < uni.Size(); i++ {
+		s := uni.At(i)
+		base := dst.Case{System: "floodset", N: 4, Alpha: 0.5, Seed: 3, Schedule: s}
+		want := symSum(t, sys, base)
+		for k := 1; k < 4; k++ {
+			rot := base
+			rot.Schedule = s.Rotate(k)
+			if symSum(t, sys, rot) != want {
+				return // found the asymmetry witness
+			}
+		}
+	}
+	t.Fatal("no schedule rotation changed floodset's fingerprint; is it symmetric after all?")
+}

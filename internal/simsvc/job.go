@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"sublinear/internal/fault"
 )
 
 // Protocols accepted by JobSpec.Protocol. The core three run the paper's
@@ -22,13 +24,17 @@ import (
 // (E1–E13) from the shared internal/experiment registry; "dst" runs a
 // deterministic-simulation fuzzing campaign (internal/dst) over the real
 // protocols, where Reps is the case budget and a "success" is a case
-// with no engine divergence and no oracle violation.
+// with no engine divergence and no oracle violation; "mc" exhaustively
+// model-checks one dst system's bounded schedule universe (internal/mc)
+// over the index range [Lo, Hi), which is how the fleet shards one
+// exhaustive run across workers.
 const (
 	ProtoElection   = "election"
 	ProtoAgreement  = "agreement"
 	ProtoMinAgree   = "minagree"
 	ProtoExperiment = "experiment"
 	ProtoDST        = "dst"
+	ProtoMC         = "mc"
 )
 
 // baselineProtocols maps the JobSpec spelling of each Table-I comparator.
@@ -39,7 +45,7 @@ var baselineProtocols = map[string]bool{
 
 // Protocols returns every accepted protocol name, sorted.
 func Protocols() []string {
-	out := []string{ProtoElection, ProtoAgreement, ProtoMinAgree, ProtoExperiment, ProtoDST}
+	out := []string{ProtoElection, ProtoAgreement, ProtoMinAgree, ProtoExperiment, ProtoDST, ProtoMC}
 	for p := range baselineProtocols {
 		out = append(out, p)
 	}
@@ -80,6 +86,21 @@ type JobSpec struct {
 	Reps int `json:"reps,omitempty"`
 	// Experiment is the registered experiment ID (protocol "experiment").
 	Experiment string `json:"experiment,omitempty"`
+	// System names the dst-registered system a model-checking job
+	// explores (protocol "mc").
+	System string `json:"system,omitempty"`
+	// Horizon bounds the crash rounds a model-checking job enumerates;
+	// 0 resolves the system's own horizon.
+	Horizon int `json:"horizon,omitempty"`
+	// Policies is the comma-separated drop-policy palette of a
+	// model-checking job (e.g. "all,half,none"); empty means the
+	// deterministic palette.
+	Policies string `json:"policies,omitempty"`
+	// Lo and Hi delimit the schedule-index range [Lo, Hi) a
+	// model-checking job scans; Hi 0 means the whole universe. Disjoint
+	// ranges over the same universe are shards of one exhaustive run.
+	Lo int64 `json:"lo,omitempty"`
+	Hi int64 `json:"hi,omitempty"`
 	// Quick shrinks experiment sweeps to CI scale.
 	Quick bool `json:"quick,omitempty"`
 	// Raw asks for the per-repetition series (messages, bits, rounds,
@@ -126,11 +147,51 @@ func (s JobSpec) Normalize(lim Limits) (JobSpec, error) {
 		out.Explicit, out.Hunter, out.Late = false, false, false
 		out.Experiment, out.Quick = "", false
 		out.Raw, out.Trace = false, false
+		out.System, out.Horizon, out.Policies, out.Lo, out.Hi = "", 0, "", 0, 0
 		if out.Reps == 0 {
 			out.Reps = 25
 		}
 		if out.Reps < 1 || out.Reps > lim.MaxReps {
 			return out, fmt.Errorf("reps %d out of range [1, %d]", out.Reps, lim.MaxReps)
+		}
+		return out, nil
+	case out.Protocol == ProtoMC:
+		// Exhaustive model checking: the universe is (System, N, Alpha,
+		// Horizon, Policies, Seed) and the work is the index range
+		// [Lo, Hi). MaxF rides in F. Everything else is zeroed so
+		// irrelevant fields cannot split the cache; mc.Config.Resolve
+		// validates the semantic fields at run time against the system's
+		// registration.
+		out.Policy, out.Engine = "", ""
+		out.Explicit, out.Hunter, out.Late = false, false, false
+		out.Experiment, out.Quick = "", false
+		out.Raw, out.Trace = false, false
+		out.Reps = 1
+		if out.System == "" {
+			return out, fmt.Errorf("mc jobs need a system name")
+		}
+		if out.N < 2 || out.N > lim.MaxN {
+			return out, fmt.Errorf("n %d out of range [2, %d]", out.N, lim.MaxN)
+		}
+		if out.Alpha < 0 || out.Alpha > 1 {
+			return out, fmt.Errorf("alpha %v out of range [0, 1] (0 = system default)", out.Alpha)
+		}
+		if out.POne < 0 || out.POne > 1 {
+			return out, fmt.Errorf("pone %v out of range [0, 1]", out.POne)
+		}
+		if out.F == nil {
+			derive := -1 // mc derives the system's crash budget
+			out.F = &derive
+		}
+		if out.Policies != "" {
+			for _, p := range strings.Split(out.Policies, ",") {
+				if _, err := fault.ParsePolicy(strings.TrimSpace(p)); err != nil {
+					return out, err
+				}
+			}
+		}
+		if out.Lo < 0 || (out.Hi != 0 && out.Hi <= out.Lo) {
+			return out, fmt.Errorf("index range [%d, %d) is empty or negative", out.Lo, out.Hi)
 		}
 		return out, nil
 	case out.Protocol == ProtoExperiment:
@@ -143,6 +204,7 @@ func (s JobSpec) Normalize(lim Limits) (JobSpec, error) {
 		out.Policy, out.Engine = "", ""
 		out.Explicit, out.Hunter, out.Late = false, false, false
 		out.Raw, out.Trace = false, false
+		out.System, out.Horizon, out.Policies, out.Lo, out.Hi = "", 0, "", 0, 0
 		out.Reps = 1
 		return out, nil
 	default:
@@ -150,6 +212,7 @@ func (s JobSpec) Normalize(lim Limits) (JobSpec, error) {
 			s.Protocol, strings.Join(Protocols(), "|"))
 	}
 	out.Experiment, out.Quick = "", false
+	out.System, out.Horizon, out.Policies, out.Lo, out.Hi = "", 0, "", 0, 0
 	if out.Reps == 0 {
 		out.Reps = 1
 	}
@@ -206,9 +269,10 @@ func (s JobSpec) Key() string {
 	if s.F != nil {
 		f = *s.F
 	}
-	canon := fmt.Sprintf("v3|%s|n=%d|alpha=%g|f=%d|pone=%g|policy=%s|engine=%s|x=%t|h=%t|l=%t|seed=%d|reps=%d|exp=%s|quick=%t|raw=%t|trace=%t",
+	canon := fmt.Sprintf("v4|%s|n=%d|alpha=%g|f=%d|pone=%g|policy=%s|engine=%s|x=%t|h=%t|l=%t|seed=%d|reps=%d|exp=%s|quick=%t|raw=%t|trace=%t|sys=%s|hor=%d|pols=%s|lo=%d|hi=%d",
 		s.Protocol, s.N, s.Alpha, f, s.POne, s.Policy, s.Engine,
-		s.Explicit, s.Hunter, s.Late, s.Seed, s.Reps, s.Experiment, s.Quick, s.Raw, s.Trace)
+		s.Explicit, s.Hunter, s.Late, s.Seed, s.Reps, s.Experiment, s.Quick, s.Raw, s.Trace,
+		s.System, s.Horizon, s.Policies, s.Lo, s.Hi)
 	sum := sha256.Sum256([]byte(canon))
 	return hex.EncodeToString(sum[:])
 }

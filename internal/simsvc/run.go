@@ -12,6 +12,7 @@ import (
 	"sublinear/internal/dst"
 	"sublinear/internal/experiment"
 	"sublinear/internal/fault"
+	"sublinear/internal/mc"
 	"sublinear/internal/metrics"
 	"sublinear/internal/netsim"
 	"sublinear/internal/rng"
@@ -39,6 +40,11 @@ type JobResult struct {
 	Failures []string `json:"failures,omitempty"`
 	// Report is the rendered text report for experiment jobs.
 	Report string `json:"report,omitempty"`
+	// MC is the model-checking report for "mc" jobs: resolved config,
+	// explored index range, and the state-space accounting. Its repro
+	// files ride in Failures as "desc repro={json}" strings, same as dst
+	// jobs. A success is a violation-free range.
+	MC *mc.Report `json:"mc,omitempty"`
 	// Raw is the per-repetition series, present when the spec asked for
 	// it (JobSpec.Raw). Entry r of every slice belongs to repetition r.
 	Raw *RawSeries `json:"raw,omitempty"`
@@ -87,6 +93,9 @@ func runSpec(ctx context.Context, spec JobSpec) (*JobResult, error) {
 	}
 	if spec.Protocol == ProtoDST {
 		return runDST(ctx, spec)
+	}
+	if spec.Protocol == ProtoMC {
+		return runMC(ctx, spec)
 	}
 	res := &JobResult{PerKind: map[string]int64{}}
 	if spec.Raw {
@@ -323,6 +332,54 @@ func runDST(ctx context.Context, spec JobSpec) (*JobResult, error) {
 		res.CILow, res.CIHigh = stats.WilsonInterval(res.Success, res.Reps)
 	}
 	for _, f := range camp.Failures {
+		if len(res.Failures) >= 8 {
+			break
+		}
+		repro, jerr := json.Marshal(f.Case)
+		if jerr != nil {
+			return nil, jerr
+		}
+		res.Failures = append(res.Failures, fmt.Sprintf("%s repro=%s", &f, repro))
+	}
+	return res, nil
+}
+
+// runMC explores one index range of a system's bounded schedule
+// universe with the exhaustive model checker. The job is the fleet's
+// sharding unit: disjoint [Lo, Hi) ranges over the same universe are
+// shards of one exhaustive run, and their exact counts (Scanned,
+// SymSkipped, Violations) merge by summation into the single-process
+// totals. Success means the range verified clean; each violating bug
+// class contributes one minimized reproducer to Failures.
+func runMC(ctx context.Context, spec JobSpec) (*JobResult, error) {
+	cfg := mc.Config{
+		System: spec.System, N: spec.N, Alpha: spec.Alpha, MaxF: *spec.F,
+		Horizon: spec.Horizon, Seed: spec.Seed, POne: spec.POne,
+	}
+	if spec.Policies != "" {
+		for _, p := range strings.Split(spec.Policies, ",") {
+			pol, err := fault.ParsePolicy(strings.TrimSpace(p))
+			if err != nil {
+				return nil, err
+			}
+			cfg.Policies = append(cfg.Policies, pol)
+		}
+	}
+	hi := spec.Hi
+	if hi == 0 {
+		hi = -1 // whole universe
+	}
+	rep, err := mc.ExploreRange(ctx, cfg, spec.Lo, hi, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &JobResult{Reps: 1, MC: rep}
+	if rep.Clean() {
+		res.Success = 1
+	}
+	res.SuccessRate = float64(res.Success)
+	res.CILow, res.CIHigh = stats.WilsonInterval(res.Success, res.Reps)
+	for _, f := range rep.Failures {
 		if len(res.Failures) >= 8 {
 			break
 		}

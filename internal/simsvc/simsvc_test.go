@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"sublinear/internal/experiment"
+	"sublinear/internal/mc"
 )
 
 func TestNormalizeResolvesDefaultsAndKeys(t *testing.T) {
@@ -126,6 +127,79 @@ func TestDSTJob(t *testing.T) {
 	}
 	if def.Reps != 25 {
 		t.Fatalf("default case budget = %d, want 25", def.Reps)
+	}
+}
+
+// TestMCJob runs the exhaustive model-checking job kind: a canary job
+// must come back violating with a repro in Failures, a real system must
+// verify clean, the same universe split into two [Lo, Hi) shards must
+// sum its exact counts back to the unsharded run, and irrelevant fields
+// must not split the cache key.
+func TestMCJob(t *testing.T) {
+	spec := JobSpec{Protocol: "mc", System: "canary", N: 4, Seed: 11}
+	norm, err := spec.Normalize(DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.F == nil || *norm.F != -1 || norm.Reps != 1 {
+		t.Fatalf("mc normalization: %+v", norm)
+	}
+	noisy, err := JobSpec{Protocol: "mc", System: "canary", N: 4, Seed: 11,
+		Policy: "all", Engine: "actors", Hunter: true, Raw: true}.Normalize(DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.Key() != norm.Key() {
+		t.Fatal("irrelevant fields split the mc cache key")
+	}
+	for _, bad := range []JobSpec{
+		{Protocol: "mc", N: 4},                                             // no system
+		{Protocol: "mc", System: "canary", N: 1},                           // n too small
+		{Protocol: "mc", System: "canary", N: 4, Policies: "all,sideways"}, // bad palette
+		{Protocol: "mc", System: "canary", N: 4, Lo: 5, Hi: 3},             // empty range
+	} {
+		if _, err := bad.Normalize(DefaultLimits); err == nil {
+			t.Fatalf("spec %+v accepted", bad)
+		}
+	}
+	res, err := runSpec(context.Background(), norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Success != 0 || res.MC == nil || res.MC.Stats.Violations == 0 {
+		t.Fatalf("canary universe verified clean: %+v", res)
+	}
+	if len(res.Failures) == 0 || !strings.Contains(res.Failures[0], "repro=") {
+		t.Fatalf("no replayable repro in failures: %v", res.Failures)
+	}
+	// Two shards of the same universe sum to the unsharded exact counts.
+	mid := res.MC.Stats.Universe / 2
+	var merged mc.Stats
+	for _, r := range [][2]int64{{0, mid}, {mid, res.MC.Stats.Universe}} {
+		shard := norm
+		shard.Lo, shard.Hi = r[0], r[1]
+		sres, err := runSpec(context.Background(), shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged.Add(sres.MC.Stats)
+	}
+	if merged.Scanned != res.MC.Stats.Scanned ||
+		merged.SymSkipped != res.MC.Stats.SymSkipped ||
+		merged.Violations != res.MC.Stats.Violations {
+		t.Fatalf("sharded mc counts diverge: %+v vs %+v", merged, res.MC.Stats)
+	}
+	// A real protocol's bounded universe verifies clean.
+	clean, err := (JobSpec{Protocol: "mc", System: "echo", N: 3, Seed: 7}).Normalize(DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := runSpec(context.Background(), clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Success != 1 || len(cres.Failures) != 0 {
+		t.Fatalf("echo universe not clean: %+v", cres)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // svcMetrics holds the daemon's own counters, exposed in Prometheus text
@@ -23,6 +24,18 @@ type svcMetrics struct {
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 
+	// Model-checker progress, accumulated over finished "mc" jobs. The
+	// counts sum across jobs (shards of one exhaustive run included);
+	// frontier and rate are gauges of the deepest layer and the most
+	// recent job's scan speed.
+	mcScanned    atomic.Int64
+	mcExplored   atomic.Int64
+	mcSymSkipped atomic.Int64
+	mcMemoHits   atomic.Int64
+	mcViolations atomic.Int64
+	mcFrontier   atomic.Int64 // gauge: deepest faulty-count layer scanned
+	mcRate       atomic.Int64 // gauge: last job's states scanned per second
+
 	mu     sync.Mutex
 	msgs   map[string]*histogram // per-protocol mean messages per rep
 	rounds map[string]*histogram // per-protocol mean rounds per rep
@@ -33,9 +46,26 @@ func newSvcMetrics() *svcMetrics {
 }
 
 // observe records a finished job's per-repetition means into the
-// per-protocol histograms.
+// per-protocol histograms, and a model-checking job's state-space
+// accounting into the mc counters.
 func (m *svcMetrics) observe(protocol string, res *JobResult) {
 	if res == nil || res.Reps == 0 || protocol == ProtoExperiment {
+		return
+	}
+	if protocol == ProtoMC {
+		if res.MC == nil {
+			return
+		}
+		s := res.MC.Stats
+		m.mcScanned.Add(s.Scanned)
+		m.mcExplored.Add(s.Explored)
+		m.mcSymSkipped.Add(s.SymSkipped)
+		m.mcMemoHits.Add(s.MemoHits)
+		m.mcViolations.Add(s.Violations)
+		if f := int64(s.Frontier); f > m.mcFrontier.Load() {
+			m.mcFrontier.Store(f)
+		}
+		m.mcRate.Store(int64(s.Rate(time.Duration(res.MC.Elapsed * float64(time.Second)))))
 		return
 	}
 	m.mu.Lock()
@@ -104,6 +134,17 @@ func (m *svcMetrics) write(w io.Writer, cacheLen int, traces *traceStore) {
 	counter("simd_trace_bytes_written_total", "Trace bytes deposited into the store over the daemon's lifetime.", traceWritten)
 	gauge("simd_trace_store_entries", "Execution traces currently resident in the store.", int64(traceEntries))
 	gauge("simd_trace_store_bytes", "Bytes of trace data currently resident (LRU-capped).", traceBytes)
+	counter("simd_mc_states_scanned_total", "Schedule indices scanned by finished model-checking jobs.", m.mcScanned.Load())
+	counter("simd_mc_states_explored_total", "Schedules fully differentially checked (scanned minus symmetry prunes and memo hits).", m.mcExplored.Load())
+	counter("simd_mc_sym_skipped_total", "Schedules pruned as non-canonical rotation representatives.", m.mcSymSkipped.Load())
+	counter("simd_mc_memo_hits_total", "Schedules short-circuited by a repeated execution digest.", m.mcMemoHits.Load())
+	counter("simd_mc_violations_total", "Schedules whose execution violated an oracle or diverged across engines.", m.mcViolations.Load())
+	gauge("simd_mc_frontier", "Deepest faulty-count layer any model-checking job has scanned.", m.mcFrontier.Load())
+	gauge("simd_mc_states_per_second", "Scan rate of the most recent model-checking job.", m.mcRate.Load())
+	if scanned := m.mcScanned.Load(); scanned > 0 {
+		dedup := float64(m.mcSymSkipped.Load()+m.mcMemoHits.Load()) / float64(scanned)
+		fmt.Fprintf(w, "# HELP simd_mc_dedup_ratio Fraction of scanned states retired without a full differential check.\n# TYPE simd_mc_dedup_ratio gauge\nsimd_mc_dedup_ratio %g\n", dedup)
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
