@@ -8,12 +8,21 @@
 //	dstrun -campaign 500 [-budget 5m] [-systems election,agreement] [-seed 1] [-out dst-failures]
 //	dstrun -repro dst-failures/election-1f2e3d4c.json
 //	dstrun -repro dst-failures/election-1f2e3d4c.json -trace PREFIX
+//	dstrun -repro dst-failures/election-1f2e3d4c.json -realnet
 //
 // With -trace, the replay additionally records two execution traces
 // (internal/trace): PREFIX.trace is the scheduled (failing) run and
 // PREFIX.faultfree.trace is the same case with the crash schedule
 // cleared. `tracectl diff` on the pair pinpoints the first event the
 // faults perturbed.
+//
+// With -realnet, the replay additionally re-validates the case over real
+// TCP loopback sockets (internal/realnet): the socket run must reproduce
+// the simulator's digest and oracle verdict, so a simulator-found
+// violation is confirmed to exist in a physical execution too. Combined
+// with -trace it also records PREFIX.realnet.trace, which `tracectl
+// diff` can compare event-by-event against PREFIX.trace across the
+// sim/real boundary.
 //
 // Exit status: 0 when every case is clean, 1 on usage or infrastructure
 // errors, 2 when a failure was found (campaign) or the reproducer still
@@ -63,6 +72,7 @@ func run(args []string, out io.Writer) error {
 		minimize = fs.Int("minimize", 200, "differential-check budget for shrinking each failure")
 		repro    = fs.String("repro", "", "replay one reproducer file instead of fuzzing")
 		tracePfx = fs.String("trace", "", "with -repro: record PREFIX.trace and PREFIX.faultfree.trace for tracectl diff")
+		realnet  = fs.Bool("realnet", false, "with -repro: re-validate the case over TCP loopback sockets; with -trace, also record PREFIX.realnet.trace")
 		list     = fs.Bool("list", false, "list registered systems and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -74,7 +84,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "all:     %s\n", strings.Join(dst.AllSystems(), " "))
 		return nil
 	case *repro != "":
-		return replay(*repro, *tracePfx, out)
+		return replay(*repro, *tracePfx, *realnet, out)
 	case *campaign > 0:
 		return fuzz(*campaign, *budget, *systems, *seed, *outDir, *minimize, out)
 	default:
@@ -84,8 +94,9 @@ func run(args []string, out io.Writer) error {
 }
 
 // replay re-runs one committed reproducer through the full differential
-// check, optionally recording the scheduled and fault-free traces.
-func replay(path, tracePfx string, out io.Writer) error {
+// check, optionally recording the scheduled and fault-free traces and
+// re-validating the case over sockets.
+func replay(path, tracePfx string, realnet bool, out io.Writer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -99,7 +110,16 @@ func replay(path, tracePfx string, out io.Writer) error {
 		return fmt.Errorf("%s: %w", path, err)
 	}
 	if tracePfx != "" {
-		if err := writeTraces(c, tracePfx, out); err != nil {
+		if err := writeTraces(c, tracePfx, realnet, out); err != nil {
+			return err
+		}
+	}
+	if realnet {
+		realFailure, err := dst.CheckRealnet(c)
+		if err != nil {
+			return fmt.Errorf("%s: realnet: %w", path, err)
+		}
+		if err := compareVerdicts(path, failure, realFailure, out); err != nil {
 			return err
 		}
 	}
@@ -111,24 +131,64 @@ func replay(path, tracePfx string, out io.Writer) error {
 	return errFailureFound
 }
 
-// writeTraces records the case and its fault-free twin. Traces are
-// engine-mode invariant, so recording one mode suffices; diffing the
-// pair localizes the first event the crash schedule perturbed.
-func writeTraces(c dst.Case, prefix string, out io.Writer) error {
+// compareVerdicts cross-checks the simulator's verdict against the
+// socket engine's. CheckRealnet already diffs the two digests, so a
+// divergence failure means the engines executed different runs; a
+// verdict mismatch with equal digests would mean a non-deterministic
+// oracle. Both are harness bugs, reported as failures.
+func compareVerdicts(path string, sim, real *dst.Failure, out io.Writer) error {
+	switch {
+	case real != nil && real.Kind == "divergence":
+		fmt.Fprintf(out, "%s: socket engine diverged from the simulator\n  %s\n", path, real)
+		return errFailureFound
+	case (sim == nil) != (real == nil):
+		fmt.Fprintf(out, "%s: verdicts disagree across the sim/real boundary\n  simulator: %v\n  realnet:   %v\n", path, sim, real)
+		return errFailureFound
+	case sim != nil && (sim.Kind != real.Kind || sim.Oracle != real.Oracle):
+		fmt.Fprintf(out, "%s: failure classification differs across the sim/real boundary\n  simulator: %s\n  realnet:   %s\n", path, sim, real)
+		return errFailureFound
+	case sim == nil:
+		fmt.Fprintf(out, "%s: realnet verdict matches (clean over sockets too)\n", path)
+	default:
+		class := sim.Kind
+		if sim.Oracle != "" {
+			class += "/" + sim.Oracle
+		}
+		fmt.Fprintf(out, "%s: realnet verdict matches (%s fails over sockets too)\n", path, class)
+	}
+	return nil
+}
+
+// writeTraces records the case and its fault-free twin, plus — with
+// -realnet — the same case executed over sockets. In-process traces are
+// engine-mode invariant, so recording one mode suffices for the
+// fault/fault-free pair; the realnet trace exists to let `tracectl diff`
+// localize a first divergence across the sim/real boundary (for a
+// conforming engine the diff is empty).
+func writeTraces(c dst.Case, prefix string, realnet bool, out io.Writer) error {
 	faultFree := c
 	faultFree.Schedule.Crashes = nil
-	for _, tr := range []struct {
+	targets := []struct {
 		path string
 		c    dst.Case
+		mode netsim.RunMode
 	}{
-		{prefix + ".trace", c},
-		{prefix + ".faultfree.trace", faultFree},
-	} {
+		{prefix + ".trace", c, netsim.Sequential},
+		{prefix + ".faultfree.trace", faultFree, netsim.Sequential},
+	}
+	if realnet {
+		targets = append(targets, struct {
+			path string
+			c    dst.Case
+			mode netsim.RunMode
+		}{prefix + ".realnet.trace", c, netsim.RealNet})
+	}
+	for _, tr := range targets {
 		f, err := os.Create(tr.path)
 		if err != nil {
 			return err
 		}
-		if _, err := dst.TraceCase(tr.c, netsim.Sequential, f); err != nil {
+		if _, err := dst.TraceCase(tr.c, tr.mode, f); err != nil {
 			f.Close()
 			return fmt.Errorf("trace %s: %w", tr.path, err)
 		}

@@ -71,6 +71,38 @@ func TestReproCleanCase(t *testing.T) {
 	}
 }
 
+// TestReproRealnet replays a failing reproducer over sockets: the
+// socket engine must reproduce the simulator's digest and verdict, and
+// -trace must record the realnet trace next to the sequential pair so
+// tracectl can diff across the sim/real boundary.
+func TestReproRealnet(t *testing.T) {
+	c := dst.Case{System: "canary", N: 8, Alpha: 0.5, Seed: 1,
+		Schedule: fault.Schedule{N: 8, Seed: 1, Crashes: []fault.Crash{
+			{Node: 0, Round: 1, Policy: fault.DropHalf},
+		}}}
+	enc, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "canary.json")
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prefix := filepath.Join(dir, "repro")
+	var buf strings.Builder
+	if err := run([]string{"-repro", path, "-realnet", "-trace", prefix}, &buf); !errors.Is(err, errFailureFound) {
+		t.Fatalf("replay: err = %v, output:\n%s", err, buf.String())
+	}
+	got := buf.String()
+	if !strings.Contains(got, "realnet verdict matches") {
+		t.Fatalf("no cross-engine verdict confirmation: %s", got)
+	}
+	if _, err := os.Stat(prefix + ".realnet.trace"); err != nil {
+		t.Fatalf("realnet trace missing: %v\noutput: %s", err, got)
+	}
+}
+
 func TestUsageAndList(t *testing.T) {
 	var buf strings.Builder
 	if err := run(nil, &buf); err == nil || errors.Is(err, errFailureFound) {

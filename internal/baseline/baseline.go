@@ -59,12 +59,7 @@ func runMachines(n int, alpha float64, seed uint64, maxRounds, congestFactor int
 		Strict:        true,
 		Tracer:        tracer,
 	}
-	engine, err := netsim.NewEngine(cfg, machines, adv)
-	if err != nil {
-		return nil, err
-	}
-	engine.Mode = mode
-	res, err := engine.Run()
+	res, err := netsim.Execute(mode, cfg, machines, adv)
 	if err != nil {
 		return nil, fmt.Errorf("baseline run: %w", err)
 	}

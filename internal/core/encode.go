@@ -24,6 +24,7 @@ const (
 	tagBitRegister
 	tagZero
 	tagValueAnnounce
+	tagValue
 )
 
 // EncodePayload appends the binary encoding of a core protocol payload to
@@ -63,6 +64,10 @@ func EncodePayload(dst []byte, p netsim.Payload) ([]byte, error) {
 	case valueAnnounce:
 		dst = append(dst, tagValueAnnounce)
 		return wire.AppendUvarint(dst, uint64(pl.bit)), nil
+	case valueMsg:
+		dst = append(dst, tagValue)
+		dst = wire.AppendUvarint(dst, pl.v)
+		return wire.AppendBool(dst, pl.register), nil
 	default:
 		return nil, fmt.Errorf("core: cannot encode payload type %T", p)
 	}
@@ -148,6 +153,16 @@ func DecodePayload(b []byte) (netsim.Payload, []byte, error) {
 			return nil, nil, err
 		}
 		return valueAnnounce{bit: int(bit)}, rest, nil
+	case tagValue:
+		v, rest, err := wire.Uvarint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		register, rest, err := wire.Bool(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		return valueMsg{v: v, register: register}, rest, nil
 	default:
 		return nil, nil, fmt.Errorf("core: unknown payload tag %d", tag)
 	}

@@ -225,13 +225,7 @@ func RunMinAgreement(cfg RunConfig, values []uint64) (*MinAgreementResult, error
 		machines[u] = newMinAgreeMachine(d, values[u])
 	}
 	maxRounds := newMinAgreeMachine(d, 0).endRound
-	engine, err := netsim.NewEngine(cfg.engineConfig(maxRounds), machines, cfg.Adversary)
-	if err != nil {
-		return nil, err
-	}
-	engine.Concurrent = cfg.Concurrent
-	engine.Mode = cfg.Mode
-	res, err := engine.Run()
+	res, err := netsim.Execute(cfg.runMode(), cfg.engineConfig(maxRounds), machines, cfg.Adversary)
 	if err != nil {
 		return nil, fmt.Errorf("min agreement run: %w", err)
 	}

@@ -26,15 +26,16 @@ type RunConfig struct {
 	// Tracer, when non-nil, streams every engine event (rounds, sends,
 	// drops, crashes, violations) to an execution flight recorder — see
 	// internal/trace. Unlike Record it does not constrain the engine to
-	// one worker and costs nothing when nil. Ignored by the TCP runners,
-	// which do not go through the simulator.
+	// one worker and costs nothing when nil. Honored by every mode,
+	// including the socket engine, which emits the identical event
+	// stream.
 	Tracer netsim.Tracer
 	// Concurrent runs node steps on parallel goroutines with a round
 	// barrier (identical semantics; exercised by tests and benches).
 	Concurrent bool
 	// Mode overrides Concurrent with an explicit netsim.RunMode
-	// (Sequential, Parallel, or Actors — one persistent goroutine per
-	// node).
+	// (Sequential, Parallel, Actors — one persistent goroutine per node
+	// — or a registered engine like netsim.RealNet).
 	Mode netsim.RunMode
 	// CongestFactor overrides the per-message bit budget multiplier;
 	// zero selects 12, which admits the largest protocol payload
@@ -63,6 +64,16 @@ func (c RunConfig) engineConfig(maxRounds int) netsim.Config {
 		Record:        c.Record,
 		Tracer:        c.Tracer,
 	}
+}
+
+// runMode resolves the effective RunMode: an explicit Mode wins, and the
+// legacy Concurrent flag promotes the default Sequential to Parallel —
+// the same promotion the engine applied when the flag lived on it.
+func (c RunConfig) runMode() netsim.RunMode {
+	if c.Mode == netsim.Sequential && c.Concurrent {
+		return netsim.Parallel
+	}
+	return c.Mode
 }
 
 // ElectionResult is the outcome of one leader-election run.
@@ -96,13 +107,7 @@ func RunElection(cfg RunConfig) (*ElectionResult, error) {
 	for u := range machines {
 		machines[u] = newElectionMachine(d)
 	}
-	engine, err := netsim.NewEngine(cfg.engineConfig(electionRounds(d)), machines, cfg.Adversary)
-	if err != nil {
-		return nil, err
-	}
-	engine.Concurrent = cfg.Concurrent
-	engine.Mode = cfg.Mode
-	res, err := engine.Run()
+	res, err := netsim.Execute(cfg.runMode(), cfg.engineConfig(electionRounds(d)), machines, cfg.Adversary)
 	if err != nil {
 		return nil, fmt.Errorf("election run: %w", err)
 	}
@@ -163,13 +168,7 @@ func RunAgreement(cfg RunConfig, inputs []int) (*AgreementResult, error) {
 		}
 		machines[u] = newAgreementMachine(d, inputs[u])
 	}
-	engine, err := netsim.NewEngine(cfg.engineConfig(agreementRounds(d, 0)), machines, cfg.Adversary)
-	if err != nil {
-		return nil, err
-	}
-	engine.Concurrent = cfg.Concurrent
-	engine.Mode = cfg.Mode
-	res, err := engine.Run()
+	res, err := netsim.Execute(cfg.runMode(), cfg.engineConfig(agreementRounds(d, 0)), machines, cfg.Adversary)
 	if err != nil {
 		return nil, fmt.Errorf("agreement run: %w", err)
 	}

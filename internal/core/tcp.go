@@ -1,108 +1,174 @@
 package core
 
 import (
+	"encoding/gob"
 	"fmt"
 
 	"sublinear/internal/netsim"
 	"sublinear/internal/realnet"
+	"sublinear/internal/rng"
 )
 
-// RunElectionOverTCP executes the leader election with every message
-// crossing a real TCP loopback socket in the binary wire format, instead
-// of the in-memory simulator. Same model, same adversary semantics, same
-// evaluation; see internal/realnet.
-func RunElectionOverTCP(cfg RunConfig) (*ElectionResult, error) {
-	d, err := deriveParams(cfg.Params, cfg.N, cfg.Alpha)
-	if err != nil {
-		return nil, err
+// Socket-engine glue: payload codecs, deterministic input derivation,
+// and system factories that let worker processes (internal/realnet
+// Serve/Join, cmd/realnode) rebuild the exact machines an in-process
+// caller would construct. The TCP entry points below are thin wrappers
+// that flip RunConfig.Mode to netsim.RealNet — same result types, same
+// evaluation, same digest as the simulator.
+
+func init() {
+	type entry struct {
+		name   string
+		sample netsim.Payload
 	}
-	machines := make([]netsim.Machine, cfg.N)
-	for u := range machines {
-		machines[u] = newElectionMachine(d)
+	for _, e := range []entry{
+		{"core/rank", rankAnnounce{}},
+		{"core/fwd", rankForward{}},
+		{"core/propose", proposeMsg{}},
+		{"core/relay", relayMaxMsg{}},
+		{"core/claim", claimMsg{}},
+		{"core/confirm", confirmMsg{}},
+		{"core/leader-announce", leaderAnnounce{}},
+		{"core/register", bitRegister{}},
+		{"core/zero", zeroMsg{}},
+		{"core/value-announce", valueAnnounce{}},
+		{"core/value", valueMsg{}},
+	} {
+		realnet.RegisterPayload(e.sample, realnet.PayloadCodec{
+			Name:   e.name,
+			Encode: EncodePayload,
+			Decode: DecodePayload,
+		})
 	}
-	res, err := realnet.Run(realnet.Config{
-		N:         cfg.N,
-		Alpha:     cfg.Alpha,
-		Seed:      cfg.Seed,
-		MaxRounds: electionRounds(d),
-		Encode:    EncodePayload,
-		Decode:    DecodePayload,
-		Adversary: cfg.Adversary,
-	}, machines)
-	if err != nil {
-		return nil, fmt.Errorf("election over tcp: %w", err)
-	}
-	out := &ElectionResult{
-		Outputs:   make([]ElectionOutput, cfg.N),
-		CrashedAt: res.CrashedAt,
-		Faulty:    faultyVector(cfg.Adversary, cfg.N),
-		Rounds:    res.Rounds,
-		Counters:  res.Counters,
-	}
-	for u, o := range res.Outputs {
-		eo, ok := o.(ElectionOutput)
-		if !ok {
-			return nil, fmt.Errorf("election over tcp: node %d returned %T", u, o)
+
+	gob.Register(ElectionOutput{})
+	gob.Register(AgreementOutput{})
+	gob.Register(MinAgreementOutput{})
+
+	realnet.RegisterSystem("election", func(p realnet.SystemParams) ([]netsim.Machine, error) {
+		d, err := deriveParams(Params{}, p.N, p.Alpha)
+		if err != nil {
+			return nil, err
 		}
-		out.Outputs[u] = eo
+		machines := make([]netsim.Machine, p.N)
+		for u := range machines {
+			machines[u] = newElectionMachine(d)
+		}
+		return machines, nil
+	})
+	realnet.RegisterSystem("agreement", func(p realnet.SystemParams) ([]netsim.Machine, error) {
+		d, err := deriveParams(Params{}, p.N, p.Alpha)
+		if err != nil {
+			return nil, err
+		}
+		inputs := DeriveAgreementInputs(p.N, p.Seed, p.POne)
+		machines := make([]netsim.Machine, p.N)
+		for u := range machines {
+			machines[u] = newAgreementMachine(d, inputs[u])
+		}
+		return machines, nil
+	})
+	realnet.RegisterSystem("minagree", func(p realnet.SystemParams) ([]netsim.Machine, error) {
+		d, err := deriveParams(Params{}, p.N, p.Alpha)
+		if err != nil {
+			return nil, err
+		}
+		values := DeriveMinAgreementValues(p.N, p.Seed)
+		machines := make([]netsim.Machine, p.N)
+		for u := range machines {
+			machines[u] = newMinAgreeMachine(d, values[u])
+		}
+		return machines, nil
+	})
+}
+
+// inputStream is the shared derivation of protocol inputs from a run
+// seed: a split of the run's rng keyed by a fixed constant, consumed
+// node by node. The dst harness and the realnet system factories both
+// use it, so a worker process and the simulator-side reference derive
+// identical inputs from the (n, seed) pair alone.
+func inputStream(seed uint64) *rng.Source { return rng.New(seed).Split(0x1b) }
+
+// DeriveAgreementInputs derives the n one-bit agreement inputs for a
+// seed. pOne is the probability of a 1-input; zero means one half.
+func DeriveAgreementInputs(n int, seed uint64, pOne float64) []int {
+	if pOne == 0 {
+		pOne = 0.5
 	}
-	out.Eval = evaluateElection(out.Outputs, res.CrashedAt, d.params.Explicit)
-	return out, nil
+	src := inputStream(seed)
+	inputs := make([]int, n)
+	for u := range inputs {
+		if src.Bool(pOne) {
+			inputs[u] = 1
+		}
+	}
+	return inputs
+}
+
+// DeriveMinAgreementValues derives the n 16-bit min-agreement inputs for
+// a seed.
+func DeriveMinAgreementValues(n int, seed uint64) []uint64 {
+	src := inputStream(seed)
+	values := make([]uint64, n)
+	for u := range values {
+		values[u] = src.Uint64() & 0xffff
+	}
+	return values
+}
+
+// RealnetSpec assembles the realnet coordinator configuration and system
+// spec for one of the registered core systems — the single source of
+// truth cmd/realnode and the multi-process tests use, so coordinator and
+// workers agree on horizons and budgets by construction.
+func RealnetSpec(system string, n int, alpha float64, seed uint64, pOne float64) (realnet.Config, realnet.SystemSpec, error) {
+	d, err := deriveParams(Params{}, n, alpha)
+	if err != nil {
+		return realnet.Config{}, realnet.SystemSpec{}, err
+	}
+	var maxRounds int
+	switch system {
+	case "election":
+		maxRounds = electionRounds(d)
+	case "agreement":
+		maxRounds = agreementRounds(d, 0)
+	case "minagree":
+		maxRounds = newMinAgreeMachine(d, 0).endRound
+	default:
+		return realnet.Config{}, realnet.SystemSpec{}, fmt.Errorf("core: unknown realnet system %q (want election, agreement, or minagree)", system)
+	}
+	cfg := realnet.Config{
+		N:             n,
+		Alpha:         alpha,
+		Seed:          seed,
+		MaxRounds:     maxRounds,
+		CongestFactor: DefaultCongestFactor,
+		Strict:        true,
+	}
+	return cfg, realnet.SystemSpec{Name: system, POne: pOne}, nil
+}
+
+// RunElectionOverTCP executes the leader election over real TCP loopback
+// sockets: every message is serialized through the payload codec and
+// crosses a socket. Same model, same adversary semantics, same
+// evaluation, and — the conformance contract — the same Result.Digest as
+// RunElection on the sequential simulator.
+func RunElectionOverTCP(cfg RunConfig) (*ElectionResult, error) {
+	cfg.Mode = netsim.RealNet
+	cfg.Concurrent = false
+	return RunElection(cfg)
 }
 
 // RunAgreementOverTCP is RunAgreement over real TCP loopback sockets.
 func RunAgreementOverTCP(cfg RunConfig, inputs []int) (*AgreementResult, error) {
-	d, err := deriveParams(cfg.Params, cfg.N, cfg.Alpha)
-	if err != nil {
-		return nil, err
-	}
-	if len(inputs) != cfg.N {
-		return nil, fmt.Errorf("agreement over tcp: %d inputs for N=%d", len(inputs), cfg.N)
-	}
-	machines := make([]netsim.Machine, cfg.N)
-	for u := range machines {
-		if inputs[u] != 0 && inputs[u] != 1 {
-			return nil, fmt.Errorf("agreement over tcp: input[%d] = %d", u, inputs[u])
-		}
-		machines[u] = newAgreementMachine(d, inputs[u])
-	}
-	res, err := realnet.Run(realnet.Config{
-		N:         cfg.N,
-		Alpha:     cfg.Alpha,
-		Seed:      cfg.Seed,
-		MaxRounds: agreementRounds(d, 0),
-		Encode:    EncodePayload,
-		Decode:    DecodePayload,
-		Adversary: cfg.Adversary,
-	}, machines)
-	if err != nil {
-		return nil, fmt.Errorf("agreement over tcp: %w", err)
-	}
-	out := &AgreementResult{
-		Outputs:   make([]AgreementOutput, cfg.N),
-		CrashedAt: res.CrashedAt,
-		Faulty:    faultyVector(cfg.Adversary, cfg.N),
-		Rounds:    res.Rounds,
-		Counters:  res.Counters,
-	}
-	for u, o := range res.Outputs {
-		ao, ok := o.(AgreementOutput)
-		if !ok {
-			return nil, fmt.Errorf("agreement over tcp: node %d returned %T", u, o)
-		}
-		out.Outputs[u] = ao
-	}
-	out.Eval = evaluateAgreement(out.Outputs, inputs, res.CrashedAt, d.params.Explicit)
-	return out, nil
+	cfg.Mode = netsim.RealNet
+	cfg.Concurrent = false
+	return RunAgreement(cfg, inputs)
 }
 
-func faultyVector(adv netsim.Adversary, n int) []bool {
-	out := make([]bool, n)
-	if adv == nil {
-		return out
-	}
-	for u := 0; u < n; u++ {
-		out[u] = adv.Faulty(u)
-	}
-	return out
+// RunMinAgreementOverTCP is RunMinAgreement over real TCP loopback
+// sockets.
+func RunMinAgreementOverTCP(cfg RunConfig, values []uint64) (*MinAgreementResult, error) {
+	cfg.Mode = netsim.RealNet
+	cfg.Concurrent = false
+	return RunMinAgreement(cfg, values)
 }

@@ -315,12 +315,7 @@ func anonRun(c Case, mode netsim.RunMode, tracer netsim.Tracer, maxRounds int, b
 		MaxRounds: maxRounds, CongestFactor: anonCongestFactor, Strict: true,
 		Tracer: tracer,
 	}
-	engine, err := netsim.NewEngine(cfg, machines, adv)
-	if err != nil {
-		return nil, err
-	}
-	engine.Mode = mode
-	res, err := engine.Run()
+	res, err := netsim.Execute(mode, cfg, machines, adv)
 	if err != nil {
 		return nil, err
 	}

@@ -109,12 +109,7 @@ func init() {
 				MaxRounds: 3, CongestFactor: core.DefaultCongestFactor, Strict: true,
 				Tracer: tracer,
 			}
-			engine, err := netsim.NewEngine(cfg, machines, adv)
-			if err != nil {
-				return nil, err
-			}
-			engine.Mode = mode
-			res, err := engine.Run()
+			res, err := netsim.Execute(mode, cfg, machines, adv)
 			if err != nil {
 				return nil, err
 			}

@@ -82,17 +82,10 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			pOne := c.POne
-			if pOne == 0 {
-				pOne = 0.5
-			}
-			src := c.inputRand()
-			inputs := make([]int, c.N)
-			for u := range inputs {
-				if src.Bool(pOne) {
-					inputs[u] = 1
-				}
-			}
+			// The shared derivation (not a local stream): realnet worker
+			// processes rebuild the same inputs from (n, seed, pOne) alone,
+			// so the socket engine cannot drift from the simulator here.
+			inputs := core.DeriveAgreementInputs(c.N, c.Seed, c.POne)
 			res, err := core.RunAgreement(core.RunConfig{
 				N: c.N, Alpha: c.Alpha, Seed: c.Seed, Adversary: adv, Mode: mode, Tracer: tracer,
 			}, inputs)
@@ -125,11 +118,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			src := c.inputRand()
-			values := make([]uint64, c.N)
-			for u := range values {
-				values[u] = src.Uint64() & 0xffff
-			}
+			values := core.DeriveMinAgreementValues(c.N, c.Seed)
 			res, err := core.RunMinAgreement(core.RunConfig{
 				N: c.N, Alpha: c.Alpha, Seed: c.Seed, Adversary: adv, Mode: mode, Tracer: tracer,
 			}, values)

@@ -105,6 +105,29 @@ type Env struct {
 	annot   []string
 }
 
+// NewEnv constructs the per-node environment an out-of-process engine
+// (a registered RunMode, or a realnet worker in another OS process)
+// hands to its machine. The in-process engines build envs the same way:
+// coins for node id derive as rng.New(seed).Split(id) — Split is pure,
+// so a remote worker reconstructs exactly the coin stream the simulator
+// would have used — and Deg is n-1 on the complete network.
+func NewEnv(n, id int, alpha float64, coins *rng.Source, tracing bool) *Env {
+	return &Env{N: n, ID: id, Alpha: alpha, Rand: coins, Deg: n - 1, tracing: tracing}
+}
+
+// DrainAnnotations returns the annotations buffered since the last drain
+// and resets the buffer. The in-process engines drain at the round
+// barrier (shard.go pass D); the socket engine drains after each Step so
+// a node's annotations ship inside its outbox frame.
+func (e *Env) DrainAnnotations() []string {
+	if len(e.annot) == 0 {
+		return nil
+	}
+	out := e.annot
+	e.annot = nil
+	return out
+}
+
 // Tracing reports whether an execution trace is being recorded
 // (Config.Tracer non-nil). Protocols that build annotation strings with
 // fmt.Sprintf should gate on it so the untraced hot path stays

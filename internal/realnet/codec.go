@@ -1,0 +1,111 @@
+package realnet
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+
+	"sublinear/internal/netsim"
+	"sublinear/internal/wire"
+)
+
+// Payload codec registry. The socket engine never inspects payload
+// contents on the coordinator — bodies are routed opaquely — but the
+// node ends must serialize every payload type a protocol sends. Each
+// protocol package registers a codec per payload type at init
+// (internal/core, internal/baseline, internal/dst), keyed by the
+// concrete Go type; the registry assigns dense wire tags in registration
+// order. Tags are therefore binary-local: both ends of every payload
+// trip live in the same process (in-process runs) or in processes built
+// from the same binary (realnode workers), and the handshake compares a
+// content hash of the codec table so mixed binaries fail fast instead of
+// mis-decoding.
+
+// PayloadCodec serialises one payload type.
+type PayloadCodec struct {
+	// Name identifies the codec in the handshake's table hash. Convention:
+	// "package/kind", e.g. "core/propose".
+	Name string
+	// Encode appends the payload's encoding to dst.
+	Encode func(dst []byte, p netsim.Payload) ([]byte, error)
+	// Decode decodes one payload, returning the remaining bytes.
+	Decode func(b []byte) (netsim.Payload, []byte, error)
+}
+
+var (
+	codecMu   sync.RWMutex
+	codecTags = map[reflect.Type]int{}
+	codecs    []PayloadCodec
+)
+
+// RegisterPayload registers the codec for sample's concrete type. It
+// panics on duplicates and incomplete codecs — init-time programming
+// errors.
+func RegisterPayload(sample netsim.Payload, c PayloadCodec) {
+	if c.Name == "" || c.Encode == nil || c.Decode == nil {
+		panic("realnet: RegisterPayload needs a name and both codec functions")
+	}
+	t := reflect.TypeOf(sample)
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	if tag, ok := codecTags[t]; ok {
+		panic(fmt.Sprintf("realnet: payload type %v already registered as %q", t, codecs[tag].Name))
+	}
+	codecTags[t] = len(codecs)
+	codecs = append(codecs, c)
+}
+
+// codecTableHash content-hashes the registered codec names in tag order.
+// Exchanged in the handshake: peers whose registries differ (different
+// binaries, or the same binary at different versions) would assign
+// different tags to the same payload type, so the coordinator rejects
+// them before any payload crosses the wire.
+func codecTableHash() uint64 {
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	const offset, prime = uint64(14695981039346656037), uint64(1099511628211)
+	h := offset
+	for _, c := range codecs {
+		for i := 0; i < len(c.Name); i++ {
+			h = (h ^ uint64(c.Name[i])) * prime
+		}
+		h = (h ^ uint64(len(c.Name))) * prime
+	}
+	return h
+}
+
+// encodePayload appends tag + codec encoding of p.
+func encodePayload(dst []byte, p netsim.Payload) ([]byte, error) {
+	codecMu.RLock()
+	tag, ok := codecTags[reflect.TypeOf(p)]
+	var c PayloadCodec
+	if ok {
+		c = codecs[tag]
+	}
+	codecMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("realnet: no codec registered for payload type %T (RegisterPayload in its package's init)", p)
+	}
+	dst = wire.AppendUvarint(dst, uint64(tag))
+	return c.Encode(dst, p)
+}
+
+// decodePayload decodes one tagged payload.
+func decodePayload(b []byte) (netsim.Payload, []byte, error) {
+	tag, b, err := wire.Uvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	codecMu.RLock()
+	ok := tag < uint64(len(codecs))
+	var c PayloadCodec
+	if ok {
+		c = codecs[tag]
+	}
+	total := len(codecs)
+	codecMu.RUnlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("realnet: payload tag %d beyond the %d registered codecs", tag, total)
+	}
+	return c.Decode(b)
+}

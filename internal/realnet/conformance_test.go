@@ -1,0 +1,338 @@
+package realnet_test
+
+// The differential conformance matrix: every baseline and core protocol,
+// across seeds, crash schedules and drop policies, must produce a socket
+// run whose schema-v2 digest is byte-identical to the sequential
+// simulator's. The dst systems are exercised through their System.Run
+// hooks (the same entry point dst campaigns and mc universes use), the
+// baselines through their public runners with the Mode field flipped.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"sublinear/internal/baseline"
+	"sublinear/internal/dst"
+	"sublinear/internal/fault"
+	"sublinear/internal/netsim"
+)
+
+// policies is the full drop-policy sweep for crash schedules.
+var policies = []struct {
+	name   string
+	policy fault.DropPolicy
+}{
+	{"drop-all", fault.DropAll},
+	{"drop-none", fault.DropNone},
+	{"drop-half", fault.DropHalf},
+	{"drop-random", fault.DropRandom},
+}
+
+// crashSchedule builds an explicit f-crash schedule spread over the
+// first rounds, all using the same policy.
+func crashSchedule(n, f int, seed uint64, policy fault.DropPolicy) fault.Schedule {
+	s := fault.Schedule{N: n, Seed: seed}
+	for i := 0; i < f; i++ {
+		s.Crashes = append(s.Crashes, fault.Crash{
+			Node:   (i*5 + 1) % n,
+			Round:  1 + i%3,
+			Policy: policy,
+		})
+	}
+	return s
+}
+
+// assertRunsEqual compares everything a dst.Run exposes.
+func assertRunsEqual(t *testing.T, seq, real *dst.Run) {
+	t.Helper()
+	if seq.Digest != real.Digest {
+		t.Errorf("digest: sequential %016x, realnet %016x", seq.Digest, real.Digest)
+	}
+	if seq.Rounds != real.Rounds {
+		t.Errorf("rounds: sequential %d, realnet %d", seq.Rounds, real.Rounds)
+	}
+	if seq.Messages != real.Messages {
+		t.Errorf("messages: sequential %d, realnet %d", seq.Messages, real.Messages)
+	}
+	if seq.Bits != real.Bits {
+		t.Errorf("bits: sequential %d, realnet %d", seq.Bits, real.Bits)
+	}
+	if seq.Outputs != real.Outputs {
+		t.Errorf("outputs diverge:\n  sequential: %s\n  realnet:    %s", seq.Outputs, real.Outputs)
+	}
+}
+
+// TestConformanceDSTSystems runs the dst-registered systems (the three
+// core protocols plus the anonymous baselines) over loopback sockets and
+// asserts byte-identical digests against the sequential engine, under
+// every drop policy.
+func TestConformanceDSTSystems(t *testing.T) {
+	systems := []struct {
+		name string
+		n    int
+	}{
+		// The core protocols' admissibility floor log^2(n)/n is 1 at
+		// n=16, so a crash budget only exists from n=32 up.
+		{"election", 32},
+		{"agreement", 32},
+		{"minagree", 32},
+		{"echo", 16},
+		{"minflood", 16},
+		{"floodset", 16},
+	}
+	for _, sc := range systems {
+		sys, err := dst.Lookup(sc.name)
+		if err != nil {
+			t.Fatalf("lookup %s: %v", sc.name, err)
+		}
+		alpha := sys.ResolveAlpha(sc.n, 0)
+		maxF := sys.MaxF(sc.n, alpha)
+		f := 3
+		if f > maxF {
+			f = maxF
+		}
+		for _, seed := range []uint64{1, 2} {
+			for _, pol := range policies {
+				if f == 0 && pol.policy != fault.DropAll {
+					continue // fault-free: policy is irrelevant, run once
+				}
+				name := fmt.Sprintf("%s/n%d/seed%d/%s", sc.name, sc.n, seed, pol.name)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					c := dst.Case{
+						System:   sc.name,
+						N:        sc.n,
+						Alpha:    alpha,
+						Seed:     seed,
+						Schedule: crashSchedule(sc.n, f, seed, pol.policy),
+					}
+					seq, err := sys.Run(c, netsim.Sequential, nil)
+					if err != nil {
+						t.Fatalf("sequential: %v", err)
+					}
+					real, err := sys.Run(c, netsim.RealNet, nil)
+					if err != nil {
+						t.Fatalf("realnet: %v", err)
+					}
+					assertRunsEqual(t, seq, real)
+				})
+			}
+		}
+	}
+}
+
+// assertBaselinesEqual compares two baseline.Results field by field,
+// including the per-kind counter decomposition — the socket engine must
+// not merely match totals but classify every message identically.
+func assertBaselinesEqual(t *testing.T, seq, real *baseline.Result) {
+	t.Helper()
+	if seq.Digest != real.Digest {
+		t.Errorf("digest: sequential %016x, realnet %016x", seq.Digest, real.Digest)
+	}
+	if seq.Rounds != real.Rounds {
+		t.Errorf("rounds: sequential %d, realnet %d", seq.Rounds, real.Rounds)
+	}
+	if seq.Success != real.Success || seq.Value != real.Value || seq.Reason != real.Reason {
+		t.Errorf("verdict: sequential (%v, %d, %q), realnet (%v, %d, %q)",
+			seq.Success, seq.Value, seq.Reason, real.Success, real.Value, real.Reason)
+	}
+	if sv, rv := fmt.Sprintf("%+v", seq.Outputs), fmt.Sprintf("%+v", real.Outputs); sv != rv {
+		t.Errorf("outputs diverge:\n  sequential: %s\n  realnet:    %s", sv, rv)
+	}
+	if sv, rv := fmt.Sprintf("%v", seq.CrashedAt), fmt.Sprintf("%v", real.CrashedAt); sv != rv {
+		t.Errorf("crashedAt: sequential %s, realnet %s", sv, rv)
+	}
+	if sv, rv := renderPerKind(seq), renderPerKind(real); sv != rv {
+		t.Errorf("per-kind counters diverge:\n  sequential: %s\n  realnet:    %s", sv, rv)
+	}
+}
+
+func renderPerKind(r *baseline.Result) string {
+	per := r.Counters.PerKind()
+	keys := make([]string, 0, len(per))
+	for k := range per {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s=%+v ", k, per[k])
+	}
+	return out
+}
+
+func mustAdversary(t *testing.T, s fault.Schedule) netsim.Adversary {
+	t.Helper()
+	adv, err := s.Adversary()
+	if err != nil {
+		t.Fatalf("adversary: %v", err)
+	}
+	return adv
+}
+
+func binaryInputs(n int) []int {
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = (i / 3) % 2
+	}
+	return inputs
+}
+
+// TestConformanceBaselines drives the comparator protocols' public
+// runners directly, sequential vs socket engine, with crash schedules
+// where the protocol tolerates them.
+func TestConformanceBaselines(t *testing.T) {
+	const n = 16
+	for _, seed := range []uint64{1, 2} {
+		for _, pol := range policies {
+			sched := crashSchedule(n, 3, seed, pol.policy)
+			prefix := fmt.Sprintf("seed%d/%s", seed, pol.name)
+
+			t.Run("allpairs/"+prefix, func(t *testing.T) {
+				t.Parallel()
+				run := func(mode netsim.RunMode) *baseline.Result {
+					res, err := baseline.RunAllPairs(baseline.AllPairsConfig{
+						N: n, Seed: seed, Mode: mode, F: 3, Alpha: 0.5,
+					}, mustAdversary(t, sched))
+					if err != nil {
+						t.Fatalf("mode %d: %v", mode, err)
+					}
+					return res
+				}
+				assertBaselinesEqual(t, run(netsim.Sequential), run(netsim.RealNet))
+			})
+
+			t.Run("rotating/"+prefix, func(t *testing.T) {
+				t.Parallel()
+				run := func(mode netsim.RunMode) *baseline.Result {
+					res, err := baseline.RunRotating(baseline.RotatingConfig{
+						N: n, Seed: seed, Mode: mode, F: 3, Alpha: 0.5,
+					}, binaryInputs(n), mustAdversary(t, sched))
+					if err != nil {
+						t.Fatalf("mode %d: %v", mode, err)
+					}
+					return res
+				}
+				assertBaselinesEqual(t, run(netsim.Sequential), run(netsim.RealNet))
+			})
+
+			t.Run("floodset/"+prefix, func(t *testing.T) {
+				t.Parallel()
+				run := func(mode netsim.RunMode) *baseline.Result {
+					res, err := baseline.RunFloodSet(baseline.FloodSetConfig{
+						N: n, Seed: seed, Mode: mode, F: 3,
+					}, binaryInputs(n), mustAdversary(t, sched))
+					if err != nil {
+						t.Fatalf("mode %d: %v", mode, err)
+					}
+					return res
+				}
+				assertBaselinesEqual(t, run(netsim.Sequential), run(netsim.RealNet))
+			})
+
+			t.Run("gossip/"+prefix, func(t *testing.T) {
+				t.Parallel()
+				run := func(mode netsim.RunMode) *baseline.Result {
+					res, err := baseline.RunGossip(baseline.GossipConfig{
+						N: n, Seed: seed, Mode: mode,
+					}, binaryInputs(n), mustAdversary(t, sched))
+					if err != nil {
+						t.Fatalf("mode %d: %v", mode, err)
+					}
+					return res
+				}
+				assertBaselinesEqual(t, run(netsim.Sequential), run(netsim.RealNet))
+			})
+
+			t.Run("gk/"+prefix, func(t *testing.T) {
+				t.Parallel()
+				run := func(mode netsim.RunMode) *baseline.Result {
+					res, err := baseline.RunGK(baseline.GKConfig{
+						N: n, Seed: seed, Mode: mode,
+					}, binaryInputs(n), mustAdversary(t, sched))
+					if err != nil {
+						t.Fatalf("mode %d: %v", mode, err)
+					}
+					return res
+				}
+				assertBaselinesEqual(t, run(netsim.Sequential), run(netsim.RealNet))
+			})
+		}
+
+		// The fault-free baselines (the PODC'18 / TCS'15 protocols assume
+		// no crashes) run once per seed.
+		t.Run(fmt.Sprintf("amp/seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			run := func(mode netsim.RunMode) *baseline.Result {
+				res, err := baseline.RunAMP(baseline.AMPConfig{
+					N: n, Seed: seed, Mode: mode,
+				}, binaryInputs(n))
+				if err != nil {
+					t.Fatalf("mode %d: %v", mode, err)
+				}
+				return res
+			}
+			assertBaselinesEqual(t, run(netsim.Sequential), run(netsim.RealNet))
+		})
+
+		t.Run(fmt.Sprintf("kutten/seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			run := func(mode netsim.RunMode) *baseline.Result {
+				res, err := baseline.RunKutten(baseline.KuttenConfig{
+					N: n, Seed: seed, Mode: mode,
+				})
+				if err != nil {
+					t.Fatalf("mode %d: %v", mode, err)
+				}
+				return res
+			}
+			assertBaselinesEqual(t, run(netsim.Sequential), run(netsim.RealNet))
+		})
+	}
+}
+
+// TestConformanceDSTHook exercises the dst.CheckRealnet entry point —
+// the hook dst campaigns and mc universes use to re-validate a failing
+// schedule over sockets.
+func TestConformanceDSTHook(t *testing.T) {
+	c := dst.Case{
+		System: "echo",
+		N:      12,
+		Alpha:  0.5,
+		Seed:   7,
+		Schedule: fault.Schedule{N: 12, Seed: 7, Crashes: []fault.Crash{
+			{Node: 3, Round: 1, Policy: fault.DropHalf},
+			{Node: 8, Round: 2, Policy: fault.DropRandom},
+		}},
+	}
+	fail, err := dst.CheckRealnet(c)
+	if err != nil {
+		t.Fatalf("CheckRealnet: %v", err)
+	}
+	if fail != nil {
+		t.Fatalf("CheckRealnet reported a failure on a healthy case: %+v", fail)
+	}
+	// The canary is deliberately broken: a mid-broadcast crash splits the
+	// live nodes' ping counts. The socket engine must reproduce the same
+	// oracle verdict the simulator finds.
+	bad := dst.Case{
+		System: "canary",
+		N:      8,
+		Alpha:  0.5,
+		Seed:   1,
+		Schedule: fault.Schedule{N: 8, Seed: 1, Crashes: []fault.Crash{
+			{Node: 0, Round: 1, Policy: fault.DropHalf},
+		}},
+	}
+	fail, err = dst.CheckRealnet(bad)
+	if err != nil {
+		t.Fatalf("CheckRealnet(canary): %v", err)
+	}
+	if fail == nil {
+		t.Fatal("CheckRealnet(canary) found no failure; want canary-consistency oracle violation in both engines")
+	}
+	if fail.Kind == "divergence" {
+		t.Fatalf("engines diverged on the canary instead of agreeing on the oracle violation: %s", fail.Detail)
+	}
+}

@@ -1,0 +1,563 @@
+package realnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"sublinear/internal/metrics"
+	"sublinear/internal/netsim"
+	"sublinear/internal/wire"
+)
+
+// hub is the round-barrier coordinator: it owns the listener, one
+// connection per node, and the single-threaded replica of the
+// simulator's round pipeline. Socket I/O (shipping ROUND frames, reading
+// OUTBOX frames) fans out per node, but everything the digest, counters,
+// tracer, and adversary observe runs on the hub goroutine in ascending
+// node order — the exact event order of the Sequential engine, which is
+// what makes the digests byte-equal.
+type hub struct {
+	cfg       Config
+	spec      systemSpec
+	ln        net.Listener
+	bitBudget int
+
+	conns      []*nodeConn
+	counters   metrics.Counters
+	acc        *netsim.DigestAccumulator
+	crashedAt  []int
+	done       []bool
+	next       [][]delivery // per receiver, deliveries for the coming round
+	violations []netsim.Violation
+	outputs    []any
+	portSeen   []uint64 // duplicate-port bitset, cleared after each sender
+	scratch    []byte
+}
+
+// delivery is one routed message awaiting its receiver's next round.
+type delivery struct {
+	port int // arrival port at the receiver
+	body []byte
+}
+
+// nodeConn is the hub's end of one node connection, plus the kind-id
+// remap built from the node's HELLO: remote dense ids index this table,
+// which carries the hub-local interned Kind, its content hash, and the
+// name (for violation messages). In-process the remap is the identity;
+// across processes it bridges two independently-grown intern tables.
+type nodeConn struct {
+	c     net.Conn
+	kinds []kindEntry
+}
+
+type kindEntry struct {
+	name  string
+	local metrics.Kind
+	hash  uint64
+}
+
+// wirePayload is the hub-side view of a payload: the sender's declared
+// kind, bit size, and opaque body. It implements netsim.Payload (and
+// Kinded) so adversaries, budget checks, and violation messages see
+// exactly what the simulator's in-memory payload would show, without the
+// hub ever decoding protocol contents.
+type wirePayload struct {
+	name string
+	kind metrics.Kind
+	hash uint64
+	bits int
+	body []byte
+}
+
+func (p wirePayload) Bits(int) int         { return p.bits }
+func (p wirePayload) Kind() string         { return p.name }
+func (p wirePayload) KindID() metrics.Kind { return p.kind }
+
+func newHub(cfg Config, spec systemSpec, ln net.Listener) *hub {
+	n := cfg.N
+	return &hub{
+		cfg:       cfg,
+		spec:      spec,
+		ln:        ln,
+		bitBudget: netsim.PerMessageBudget(n, cfg.CongestFactor),
+		conns:     make([]*nodeConn, n),
+		acc:       netsim.NewDigestAccumulator(),
+		crashedAt: make([]int, n),
+		done:      make([]bool, n),
+		next:      make([][]delivery, n),
+		outputs:   make([]any, n),
+		portSeen:  make([]uint64, (n+63)/64),
+	}
+}
+
+// run drives the whole execution: handshakes, the round loop, and the
+// final output collection. On return every connection and the listener
+// are closed.
+func (h *hub) run() (*netsim.Result, error) {
+	n := h.cfg.N
+	defer func() {
+		h.ln.Close()
+		for _, c := range h.conns {
+			if c != nil {
+				c.c.Close()
+			}
+		}
+	}()
+
+	if err := h.accept(); err != nil {
+		return nil, err
+	}
+	// The run is full: keep the listener draining so late or repeated
+	// dials (a restarted node trying to rejoin, a stray client) are
+	// rejected immediately instead of hanging in the backlog. Nodes are
+	// identified by arrival order, so a revenant cannot reclaim its slot.
+	go func() {
+		for {
+			c, err := h.ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+
+	adv := h.cfg.Adversary
+	if adv == nil {
+		adv = netsim.NoFaults{}
+	}
+	tracer := h.cfg.Tracer
+	h.counters.ReserveRounds(h.cfg.MaxRounds)
+
+	outboxes := make([][]netsim.Send, n)
+	annots := make([][]string, n)
+	alive := make([]bool, n)       // stepped this round
+	deadNow := make([]bool, n)     // connection lost this round, unscheduled
+	crashingNow := make([]bool, n) // adversary crash this round
+	keep := make([][]bool, n)
+	errs := make([]error, n)
+
+	for round := 1; round <= h.cfg.MaxRounds; round++ {
+		h.counters.BeginRound(round)
+		h.acc.Round(round)
+		if tracer != nil {
+			tracer.TraceRound(round)
+		}
+
+		if h.cfg.ChaosKill != nil {
+			for u := 0; u < n; u++ {
+				if h.crashedAt[u] == 0 && h.cfg.ChaosKill(round, u) {
+					h.conns[u].c.Close()
+				}
+			}
+		}
+
+		// Ship deliveries and collect outboxes. Writes are sequential
+		// (frames are small; the nodes all read eagerly), reads fan out so
+		// one slow node does not serialize the barrier.
+		for u := 0; u < n; u++ {
+			alive[u], deadNow[u], crashingNow[u] = false, false, false
+			outboxes[u], annots[u], errs[u] = nil, nil, nil
+			if h.crashedAt[u] != 0 {
+				continue
+			}
+			if err := h.sendRound(u, round); err != nil {
+				if isConnError(err) {
+					deadNow[u] = true
+					continue
+				}
+				return nil, fmt.Errorf("realnet: round %d to node %d: %w", round, u, err)
+			}
+			alive[u] = true
+		}
+		var wg sync.WaitGroup
+		for u := 0; u < n; u++ {
+			if !alive[u] {
+				continue
+			}
+			wg.Add(1)
+			go func(u int) {
+				defer wg.Done()
+				outboxes[u], h.done[u], annots[u], errs[u] = h.conns[u].readOutbox(round)
+			}(u)
+		}
+		wg.Wait()
+		for u := 0; u < n; u++ {
+			if errs[u] == nil {
+				continue
+			}
+			if isConnError(errs[u]) {
+				alive[u], deadNow[u] = false, true
+				outboxes[u], annots[u] = nil, nil
+				continue
+			}
+			return nil, fmt.Errorf("realnet: outbox of node %d round %d: %w", u, round, errs[u])
+		}
+
+		// Pass A: crash decisions, ascending node order — the exact
+		// adversary call sequence of the simulator, including the rule
+		// that out-of-range ports never reach DeliverOnCrash.
+		inFlight := false
+		for u := 0; u < n; u++ {
+			if !alive[u] {
+				continue
+			}
+			outbox := outboxes[u]
+			if len(outbox) > 0 {
+				inFlight = true
+			}
+			if h.crashedAt[u] == 0 && adv.Faulty(u) && adv.CrashNow(u, round, outbox) {
+				crashingNow[u] = true
+				h.crashedAt[u] = round
+				mask := keep[u]
+				if cap(mask) < len(outbox) {
+					mask = make([]bool, len(outbox))
+				} else {
+					mask = mask[:len(outbox)]
+				}
+				for i, s := range outbox {
+					mask[i] = s.Port >= 1 && s.Port < n && adv.DeliverOnCrash(u, round, i, s)
+				}
+				keep[u] = mask
+			}
+		}
+
+		// Passes B+D, merged: validate, account, digest, route, and trace
+		// each sender in ascending order — single-threaded, so the merged
+		// sweep is literally the sequential engine's event order.
+		for u := 0; u < n; u++ {
+			if deadNow[u] {
+				// Unscheduled connection loss, detected at this round's
+				// barrier: record it as a crash, exactly where a scheduled
+				// crash would fold. The outbox (if any) died with the socket.
+				h.crashedAt[u] = round
+				h.acc.Crash(u, round)
+				if tracer != nil {
+					tracer.TraceCrash(u, round)
+				}
+				h.conns[u].c.Close()
+				continue
+			}
+			if !alive[u] {
+				continue
+			}
+			if crashingNow[u] {
+				h.acc.Crash(u, round)
+				if tracer != nil {
+					tracer.TraceCrash(u, round)
+				}
+			}
+			if len(outboxes[u]) > 0 {
+				if err := h.processSender(u, round, outboxes[u], crashingNow[u], keep[u]); err != nil {
+					return nil, err
+				}
+			}
+			if tracer != nil {
+				for _, a := range annots[u] {
+					tracer.TraceAnnotation(u, round, a)
+				}
+			}
+			if crashingNow[u] {
+				// The crash kills the connection mid-round; the machine's
+				// frozen output rides the final exchange when the socket is
+				// still healthy enough to deliver it.
+				h.retire(u, frameCrash, round)
+			}
+		}
+
+		if !inFlight && h.allQuiet() {
+			break
+		}
+	}
+
+	for u := 0; u < n; u++ {
+		if h.crashedAt[u] == 0 {
+			h.retire(u, frameStop, 0)
+		}
+	}
+	if h.spec.name != "" {
+		// All-remote run: every output must have arrived as gob.
+		for u := 0; u < n; u++ {
+			if h.outputs[u] == nil && h.crashedAt[u] == 0 {
+				return nil, fmt.Errorf("realnet: node %d delivered no output", u)
+			}
+		}
+	}
+
+	faulty := make([]bool, n)
+	for u := 0; u < n; u++ {
+		faulty[u] = adv.Faulty(u)
+	}
+	rounds := h.counters.Rounds()
+	msgs, bits := h.counters.Messages(), h.counters.Bits()
+	digest := h.acc.Sum(rounds, msgs, bits)
+	if tracer != nil {
+		tracer.TraceFinish(rounds, msgs, bits, digest)
+	}
+	return &netsim.Result{
+		Outputs:    h.outputs,
+		CrashedAt:  h.crashedAt,
+		Faulty:     faulty,
+		Rounds:     rounds,
+		Counters:   &h.counters,
+		Violations: h.violations,
+		Digest:     digest,
+	}, nil
+}
+
+// accept handshakes the run's n connections in arrival order: arrival
+// index is node id. A connection that dies before completing its hello
+// does not consume a slot — a worker that lost the dial race against a
+// partially-bound coordinator closes its connections and redials the
+// whole batch, and those aborted dials must not poison the assembly.
+func (h *hub) accept() error {
+	localHash := codecTableHash()
+	for id := 0; id < h.cfg.N; id++ {
+		c, err := h.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("realnet: accept node %d: %w", id, err)
+		}
+		body, err := readFrameOf(c, frameHello)
+		if err != nil {
+			c.Close()
+			if isConnError(err) {
+				id--
+				continue
+			}
+			return fmt.Errorf("realnet: hello of node %d: %w", id, err)
+		}
+		hel, err := parseHello(body)
+		if err != nil {
+			c.Close()
+			return fmt.Errorf("realnet: hello of node %d: %w", id, err)
+		}
+		if err := wire.CheckHeader(hel.hdr, localHeader()); err != nil {
+			c.Close()
+			return fmt.Errorf("realnet: node %d: %w", id, err)
+		}
+		if hel.codecHash != localHash {
+			c.Close()
+			return fmt.Errorf("realnet: node %d payload codec table %#x differs from coordinator's %#x (mixed binaries?)", id, hel.codecHash, localHash)
+		}
+		nc := &nodeConn{c: c, kinds: make([]kindEntry, len(hel.kinds))}
+		for i, name := range hel.kinds {
+			local := metrics.InternKind(name)
+			nc.kinds[i] = kindEntry{name: name, local: local, hash: metrics.KindHash(local)}
+		}
+		h.scratch = appendWelcome(h.scratch[:0], welcome{
+			hdr:       localHeader(),
+			id:        id,
+			n:         h.cfg.N,
+			maxRounds: h.cfg.MaxRounds,
+			alpha:     h.cfg.Alpha,
+			seed:      h.cfg.Seed,
+			tracing:   h.cfg.Tracer != nil,
+			system:    h.spec.name,
+			pOne:      h.spec.pOne,
+		})
+		if err := wire.WriteTypedFrame(c, frameWelcome, h.scratch); err != nil {
+			c.Close()
+			return fmt.Errorf("realnet: welcome to node %d: %w", id, err)
+		}
+		h.conns[id] = nc
+	}
+	return nil
+}
+
+// sendRound ships node u its deliveries for the round and clears the
+// queue.
+func (h *hub) sendRound(u, round int) error {
+	buf := h.scratch[:0]
+	buf = wire.AppendUvarint(buf, uint64(round))
+	buf = wire.AppendUvarint(buf, uint64(len(h.next[u])))
+	for _, d := range h.next[u] {
+		buf = wire.AppendUvarint(buf, uint64(d.port))
+		buf = wire.AppendUvarint(buf, uint64(len(d.body)))
+		buf = append(buf, d.body...)
+	}
+	h.scratch = buf
+	h.next[u] = h.next[u][:0]
+	return wire.WriteTypedFrame(h.conns[u].c, frameRound, buf)
+}
+
+// readOutbox reads and decodes one OUTBOX frame. Send payloads become
+// wirePayloads carrying the hub-local remap of the sender's declared
+// kind; bodies are copied out of the frame buffer because they live
+// until the next round's delivery.
+func (nc *nodeConn) readOutbox(round int) (sends []netsim.Send, done bool, annots []string, err error) {
+	body, err := readFrameOf(nc.c, frameOutbox)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	echo, body, err := wire.Uvarint(body)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	if echo != uint64(round) {
+		return nil, false, nil, fmt.Errorf("realnet: outbox for round %d in round %d", echo, round)
+	}
+	if done, body, err = wire.Bool(body); err != nil {
+		return nil, false, nil, err
+	}
+	acount, body, err := wire.Uvarint(body)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	for i := uint64(0); i < acount; i++ {
+		var a string
+		if a, body, err = parseString(body); err != nil {
+			return nil, false, nil, err
+		}
+		annots = append(annots, a)
+	}
+	count, body, err := wire.Uvarint(body)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	for i := uint64(0); i < count; i++ {
+		var port, bits int64
+		if port, body, err = wire.Varint(body); err != nil {
+			return nil, false, nil, err
+		}
+		var kid metrics.Kind
+		if kid, body, err = wire.Kind(body, len(nc.kinds)); err != nil {
+			return nil, false, nil, err
+		}
+		if bits, body, err = wire.Varint(body); err != nil {
+			return nil, false, nil, err
+		}
+		var blen uint64
+		if blen, body, err = wire.Uvarint(body); err != nil {
+			return nil, false, nil, err
+		}
+		if blen > uint64(len(body)) {
+			return nil, false, nil, fmt.Errorf("realnet: send body of %d bytes overruns frame: %w", blen, wire.ErrShortBuffer)
+		}
+		ent := nc.kinds[kid]
+		sends = append(sends, netsim.Send{
+			Port: int(port),
+			Payload: wirePayload{
+				name: ent.name,
+				kind: ent.local,
+				hash: ent.hash,
+				bits: int(bits),
+				body: append([]byte(nil), body[:blen]...),
+			},
+		})
+		body = body[blen:]
+	}
+	return sends, done, annots, nil
+}
+
+// processSender replicates the simulator's per-sender sweep: validation
+// in the same order with the same reason strings, accounting of every
+// counted message (sent or lost to the crash), digest lane folding, and
+// routing of surviving messages to their receivers' queues.
+func (h *hub) processSender(u, round int, outbox []netsim.Send, crashing bool, keep []bool) error {
+	n := h.cfg.N
+	tracer := h.cfg.Tracer
+	checkDup := len(outbox) > 1
+	for i, s := range outbox {
+		if s.Port < 1 || s.Port >= n {
+			reason := fmt.Sprintf("port %d out of range", s.Port)
+			if tracer != nil {
+				tracer.TraceViolation(u, round, reason)
+			}
+			if err := h.violate(u, round, reason); err != nil {
+				return err
+			}
+			continue
+		}
+		if checkDup {
+			word, bit := uint(s.Port)>>6, uint64(1)<<(uint(s.Port)&63)
+			if h.portSeen[word]&bit != 0 {
+				reason := fmt.Sprintf("two messages on port %d in one round", s.Port)
+				if tracer != nil {
+					tracer.TraceViolation(u, round, reason)
+				}
+				if err := h.violate(u, round, reason); err != nil {
+					return err
+				}
+			}
+			h.portSeen[word] |= bit
+		}
+		wp := s.Payload.(wirePayload)
+		sz := wp.bits
+		if sz > h.bitBudget {
+			reason := fmt.Sprintf("payload %q is %d bits, budget %d", wp.name, sz, h.bitBudget)
+			if tracer != nil {
+				tracer.TraceViolation(u, round, reason)
+			}
+			if err := h.violate(u, round, reason); err != nil {
+				return err
+			}
+		}
+		// A message counts toward message complexity even if the sender's
+		// crash loses it — the paper counts messages sent.
+		h.counters.AddKind(wp.kind, sz)
+		dropped := crashing && !keep[i]
+		h.acc.Message(u, s.Port, wp.hash, sz, dropped)
+		if tracer != nil {
+			tracer.TraceMessage(u, round, s.Port, wp.kind, sz, dropped)
+		}
+		if dropped {
+			continue
+		}
+		v := (u + s.Port) % n
+		h.next[v] = append(h.next[v], delivery{port: netsim.ArrivalPort(n, u, v), body: wp.body})
+	}
+	if checkDup {
+		for _, s := range outbox {
+			if s.Port >= 1 && s.Port < n {
+				h.portSeen[uint(s.Port)>>6] &^= uint64(1) << (uint(s.Port) & 63)
+			}
+		}
+	}
+	return nil
+}
+
+func (h *hub) violate(u, round int, reason string) error {
+	if h.cfg.Strict {
+		return fmt.Errorf("realnet: node %d round %d: %s", u, round, reason)
+	}
+	h.violations = append(h.violations, netsim.Violation{Node: u, Round: round, Reason: reason})
+	return nil
+}
+
+func (h *hub) allQuiet() bool {
+	for u := 0; u < h.cfg.N; u++ {
+		if h.crashedAt[u] == 0 && !h.done[u] {
+			return false
+		}
+	}
+	return true
+}
+
+// retire ends node u's run: a CRASH (mid-round, with the round number)
+// or STOP frame, then the OUTPUT exchange, then the socket closes. A
+// connection too dead for the exchange just closes — in-process runs
+// recover the output from the node goroutine instead, and all-remote
+// runs surface the gap after the loop.
+func (h *hub) retire(u int, kind byte, round int) {
+	c := h.conns[u].c
+	defer c.Close()
+	h.next[u] = nil
+	var body []byte
+	if kind == frameCrash {
+		body = wire.AppendUvarint(nil, uint64(round))
+	}
+	if err := wire.WriteTypedFrame(c, kind, body); err != nil {
+		return
+	}
+	out, err := readFrameOf(c, frameOutput)
+	if err != nil {
+		return
+	}
+	hasGob, out, err := wire.Bool(out)
+	if err != nil || !hasGob {
+		return
+	}
+	if v, err := decodeOutput(out); err == nil {
+		h.outputs[u] = v
+	}
+}

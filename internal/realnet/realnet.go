@@ -1,421 +1,182 @@
-// Package realnet runs the protocol state machines over real TCP loopback
-// connections instead of the in-memory simulator: every node is a client
-// goroutine with its own socket, every message crosses the wire in the
-// binary format of internal/wire, and a hub enforces the synchronous
-// round structure and the crash-fault semantics.
+// Package realnet executes netsim machines over real TCP sockets with
+// the same contract — and the same execution digest — as the in-process
+// engines.
 //
-// The point is fidelity of the *library*, not of the model — the model is
-// identical to internal/netsim (same Machine contract, same port
-// arithmetic, same adversary interface, same accounting), so a protocol
-// that runs here demonstrably does not depend on simulator conveniences:
-// its messages really serialize, really traverse a network stack, and
-// really arrive as bytes.
+// The engine is a round-barrier coordinator (the hub) plus one
+// connection per node. In-process runs (Run) spawn a goroutine per node
+// that dials the hub over loopback; multi-process runs (Serve/Join, and
+// cmd/realnode on top of them) put the same node loop in worker
+// processes, so an n=64 execution can span a docker-compose fleet while
+// the coordinator still observes one synchronous round structure.
+//
+// Conformance is the point: for the same (config, machines, adversary)
+// triple, Run produces a netsim.Result whose Digest is byte-equal to the
+// Sequential engine's. The hub replicates the simulator's round pipeline
+// exactly — same adversary call sequence (Faulty/CrashNow/DeliverOnCrash
+// in ascending node order), same violation checks in the same order with
+// the same reason strings, same per-kind accounting, same digest fold
+// via netsim.DigestAccumulator, same Tracer event order. Crash faults
+// from a fault.Schedule are physical here: when the adversary crashes a
+// node in round r, the hub applies the schedule's drop policy to the
+// node's last outbox and then closes the node's connection mid-round.
+// Conversely, a connection that dies without being scheduled (chaos, a
+// killed worker) is detected at the round barrier and recorded as a
+// crash event in the digest and trace, exactly where a scheduled crash
+// would fold.
+//
+// The engine registers itself as netsim.RealNet, so callers that
+// dispatch through netsim.Execute (core, baseline, dst) reach sockets by
+// flipping the mode; dst can diff it against the Sequential reference
+// like any other engine.
 package realnet
 
 import (
+	"errors"
 	"fmt"
 	"net"
-	"sync"
 
-	"sublinear/internal/metrics"
 	"sublinear/internal/netsim"
-	"sublinear/internal/rng"
-	"sublinear/internal/wire"
 )
 
-// Encoder serialises a payload, appending to dst.
-type Encoder func(dst []byte, p netsim.Payload) ([]byte, error)
-
-// Decoder deserialises one payload, returning the remaining bytes.
-type Decoder func(b []byte) (netsim.Payload, []byte, error)
-
-// Config parameterises a TCP-backed run.
+// Config parameterises a socket run. The fields mirror netsim.Config;
+// Workers has no meaning here (concurrency is one goroutine or process
+// per node by construction) and Record is unsupported — the message
+// trace for influence-cloud analysis would require shipping full
+// payload provenance through the hub.
 type Config struct {
-	// N is the number of nodes (>= 2).
+	// N is the number of nodes. Required, >= 2.
 	N int
-	// Alpha is the guaranteed non-faulty fraction (engine bookkeeping
-	// and Env exposure).
+	// Alpha is the guaranteed fraction of non-faulty nodes.
 	Alpha float64
-	// Seed derives every node's private coins, as in netsim.
+	// Seed seeds the run; node u's private coins derive from it as
+	// rng.New(Seed).Split(u), exactly like the simulator, so worker
+	// processes reconstruct identical coin streams from the welcome
+	// frame alone.
 	Seed uint64
-	// MaxRounds caps the execution.
+	// MaxRounds caps the execution length. Required, >= 1.
 	MaxRounds int
-	// Encode/Decode translate payloads to and from wire bytes. Required.
-	Encode Encoder
-	Decode Decoder
-	// Adversary injects crash faults at the hub; nil means fault-free.
+	// CongestFactor c sets the per-message budget to c*ceil(log2 n)
+	// bits. Zero selects the netsim default.
+	CongestFactor int
+	// Strict aborts the run on CONGEST violations, with the same
+	// classification as the simulator.
+	Strict bool
+	// Adversary injects crash faults. A fault.Schedule adversary drives
+	// identical CrashNow/DeliverOnCrash decisions here and in the
+	// simulator; nil means no faults.
 	Adversary netsim.Adversary
+	// Tracer observes the run's event stream, in the exact order the
+	// Sequential engine would emit it.
+	Tracer netsim.Tracer
+	// ChaosKill, if set, is consulted at the start of each round for
+	// every live node; returning true force-closes the node's connection
+	// so the run exercises the unplanned-disconnect path: the hub must
+	// detect the loss at the round barrier and record it as a crash.
+	ChaosKill func(round, node int) bool
+	// OnListen, if set, receives the coordinator's bound address before
+	// any node dials — tests use it to aim extra (rejected) connections
+	// at a live hub.
+	OnListen func(addr string)
 }
 
-// Result mirrors netsim.Result for TCP-backed runs.
-type Result struct {
-	// Outputs holds each machine's Output(), indexed by node.
-	Outputs []any
-	// CrashedAt[u] is the crash round of node u, or 0.
-	CrashedAt []int
-	// Rounds is the number of rounds executed.
-	Rounds int
-	// Counters carries message/bit accounting (bits use the payload's
-	// model accounting; wire bytes are reported separately).
-	Counters *metrics.Counters
-	// WireBytes is the total number of payload bytes that crossed TCP.
-	WireBytes int64
-}
-
-// Frame tags of the hub protocol.
-const (
-	frameRound byte = iota + 1
-	frameOutbox
-	frameStop
-)
-
-// Run executes the machines over TCP loopback. It returns an error for
-// transport or codec failures; protocol outcomes are in the Result.
-func Run(cfg Config, machines []netsim.Machine) (*Result, error) {
-	if cfg.N < 2 || len(machines) != cfg.N {
-		return nil, fmt.Errorf("realnet: need N >= 2 machines, have N=%d len=%d", cfg.N, len(machines))
+func (cfg *Config) validate(machines int) error {
+	if cfg.N < 2 {
+		return fmt.Errorf("realnet: need at least 2 nodes, got %d", cfg.N)
 	}
-	if cfg.Encode == nil || cfg.Decode == nil {
-		return nil, fmt.Errorf("realnet: Encode and Decode are required")
+	if machines >= 0 && machines != cfg.N {
+		return fmt.Errorf("realnet: %d machines for %d nodes", machines, cfg.N)
 	}
 	if cfg.MaxRounds < 1 {
-		return nil, fmt.Errorf("realnet: MaxRounds must be >= 1")
+		return fmt.Errorf("realnet: MaxRounds must be positive, got %d", cfg.MaxRounds)
 	}
-	if cfg.Adversary == nil {
-		cfg.Adversary = netsim.NoFaults{}
-	}
-
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, fmt.Errorf("realnet: listen: %w", err)
-	}
-	defer ln.Close()
-
-	h := &hub{cfg: cfg, machines: machines}
-	return h.run(ln)
-}
-
-// hub coordinates the round structure on the server side of every
-// connection.
-type hub struct {
-	cfg      Config
-	machines []netsim.Machine
-
-	conns     []net.Conn
-	crashedAt []int
-	done      []bool
-	next      [][]netsim.Delivery
-	counters  metrics.Counters
-
-	mu        sync.Mutex // guards wireBytes (written by concurrent readers)
-	wireBytes int64
-}
-
-func (h *hub) run(ln net.Listener) (*Result, error) {
-	n := h.cfg.N
-	h.conns = make([]net.Conn, n)
-	h.crashedAt = make([]int, n)
-	h.done = make([]bool, n)
-	h.next = make([][]netsim.Delivery, n)
-
-	// Start the node clients; each dials in and identifies itself with a
-	// one-frame hello carrying its index.
-	root := rng.New(h.cfg.Seed)
-	var clients sync.WaitGroup
-	clientErrs := make(chan error, n)
-	outputs := make([]any, n)
-	for u := 0; u < n; u++ {
-		env := &netsim.Env{N: n, ID: u, Alpha: h.cfg.Alpha, Rand: root.Split(uint64(u))}
-		clients.Add(1)
-		go func(u int, env *netsim.Env) {
-			defer clients.Done()
-			if err := h.client(ln.Addr().String(), u, env, outputs); err != nil {
-				clientErrs <- fmt.Errorf("node %d: %w", u, err)
-			}
-		}(u, env)
-	}
-	// Accept all n connections and map them to node indices.
-	for i := 0; i < n; i++ {
-		conn, err := ln.Accept()
-		if err != nil {
-			return nil, fmt.Errorf("realnet: accept: %w", err)
-		}
-		hello, err := wire.ReadFrame(conn, nil)
-		if err != nil {
-			return nil, fmt.Errorf("realnet: hello: %w", err)
-		}
-		id, _, err := wire.Uvarint(hello)
-		if err != nil || int(id) >= n || h.conns[id] != nil {
-			return nil, fmt.Errorf("realnet: bad hello from %v", conn.RemoteAddr())
-		}
-		h.conns[id] = conn
-	}
-	defer func() {
-		for _, c := range h.conns {
-			if c != nil {
-				c.Close()
-			}
-		}
-	}()
-
-	rounds, err := h.roundLoop()
-	if err != nil {
-		return nil, err
-	}
-	clients.Wait()
-	select {
-	case cerr := <-clientErrs:
-		return nil, cerr
-	default:
-	}
-	res := &Result{
-		Outputs:   outputs,
-		CrashedAt: append([]int(nil), h.crashedAt...),
-		Rounds:    rounds,
-		Counters:  &h.counters,
-		WireBytes: h.wireBytes,
-	}
-	return res, nil
-}
-
-// roundLoop drives the synchronous rounds until quiescence or MaxRounds.
-func (h *hub) roundLoop() (int, error) {
-	n := h.cfg.N
-	outboxes := make([][]netsim.Send, n)
-	doneFlags := make([]bool, n)
-	lastRound := 0
-	for round := 1; round <= h.cfg.MaxRounds; round++ {
-		lastRound = round
-		h.counters.BeginRound(round)
-
-		// Send ROUND frames with each node's deliveries.
-		var buf []byte
-		for u := 0; u < n; u++ {
-			if h.crashedAt[u] != 0 {
-				continue
-			}
-			buf = buf[:0]
-			buf = append(buf, frameRound)
-			buf = wire.AppendUvarint(buf, uint64(round))
-			buf = wire.AppendUvarint(buf, uint64(len(h.next[u])))
-			for _, d := range h.next[u] {
-				buf = wire.AppendUvarint(buf, uint64(d.Port))
-				var err error
-				buf, err = h.cfg.Encode(buf, d.Payload)
-				if err != nil {
-					return 0, fmt.Errorf("realnet: encode delivery: %w", err)
-				}
-			}
-			if err := wire.WriteFrame(h.conns[u], buf); err != nil {
-				return 0, fmt.Errorf("realnet: send round to %d: %w", u, err)
-			}
-			h.next[u] = h.next[u][:0]
-		}
-
-		// Collect OUTBOX frames concurrently, then process in node order
-		// for determinism.
-		var wg sync.WaitGroup
-		errs := make([]error, n)
-		for u := 0; u < n; u++ {
-			if h.crashedAt[u] != 0 {
-				outboxes[u] = nil
-				continue
-			}
-			wg.Add(1)
-			go func(u int) {
-				defer wg.Done()
-				outboxes[u], doneFlags[u], errs[u] = h.readOutbox(u)
-			}(u)
-		}
-		wg.Wait()
-		for u := 0; u < n; u++ {
-			if errs[u] != nil {
-				return 0, errs[u]
-			}
-		}
-
-		inFlight := false
-		for u := 0; u < n; u++ {
-			if h.crashedAt[u] != 0 {
-				continue
-			}
-			h.done[u] = doneFlags[u]
-			outbox := outboxes[u]
-			crashing := false
-			if h.cfg.Adversary.Faulty(u) && h.cfg.Adversary.CrashNow(u, round, outbox) {
-				crashing = true
-				h.crashedAt[u] = round
-			}
-			for i, s := range outbox {
-				if s.Port < 1 || s.Port >= n {
-					return 0, fmt.Errorf("realnet: node %d sent to invalid port %d", u, s.Port)
-				}
-				h.counters.AddKind(netsim.PayloadKindID(s.Payload), s.Payload.Bits(n))
-				if crashing && !h.cfg.Adversary.DeliverOnCrash(u, round, i, s) {
-					continue
-				}
-				v := netsim.Peer(n, u, s.Port)
-				h.next[v] = append(h.next[v], netsim.Delivery{
-					Port:    netsim.ArrivalPort(n, u, v),
-					Payload: s.Payload,
-				})
-			}
-			if crashing {
-				// The node halts: stop its client.
-				if err := h.stopNode(u); err != nil {
-					return 0, err
-				}
-				continue
-			}
-			if len(outbox) > 0 {
-				inFlight = true
-			}
-		}
-
-		if !inFlight && h.allQuiet() {
-			break
-		}
-	}
-	// Stop every surviving client.
-	for u := 0; u < n; u++ {
-		if h.crashedAt[u] == 0 {
-			if err := h.stopNode(u); err != nil {
-				return 0, err
-			}
-		}
-	}
-	return lastRound, nil
-}
-
-func (h *hub) allQuiet() bool {
-	for u := range h.done {
-		if h.crashedAt[u] == 0 && !h.done[u] {
-			return false
-		}
-	}
-	return true
-}
-
-// readOutbox reads one OUTBOX frame from node u.
-func (h *hub) readOutbox(u int) ([]netsim.Send, bool, error) {
-	body, err := wire.ReadFrame(h.conns[u], nil)
-	if err != nil {
-		return nil, false, fmt.Errorf("realnet: read outbox from %d: %w", u, err)
-	}
-	h.addWireBytes(len(body))
-	if len(body) < 1 || body[0] != frameOutbox {
-		return nil, false, fmt.Errorf("realnet: node %d sent frame tag %v, want outbox", u, body[:1])
-	}
-	b := body[1:]
-	done, b, err := wire.Bool(b)
-	if err != nil {
-		return nil, false, err
-	}
-	count, b, err := wire.Uvarint(b)
-	if err != nil {
-		return nil, false, err
-	}
-	sends := make([]netsim.Send, 0, count)
-	for i := uint64(0); i < count; i++ {
-		port, rest, err := wire.Uvarint(b)
-		if err != nil {
-			return nil, false, err
-		}
-		pl, rest, err := h.cfg.Decode(rest)
-		if err != nil {
-			return nil, false, err
-		}
-		b = rest
-		sends = append(sends, netsim.Send{Port: int(port), Payload: pl})
-	}
-	return sends, done, nil
-}
-
-// addWireBytes is called from the concurrent per-connection readers.
-func (h *hub) addWireBytes(n int) {
-	h.mu.Lock()
-	h.wireBytes += int64(n)
-	h.mu.Unlock()
-}
-
-// stopNode sends STOP and lets the client goroutine exit.
-func (h *hub) stopNode(u int) error {
-	if err := wire.WriteFrame(h.conns[u], []byte{frameStop}); err != nil {
-		return fmt.Errorf("realnet: stop node %d: %w", u, err)
+	if !(cfg.Alpha > 0 && cfg.Alpha <= 1) {
+		return fmt.Errorf("realnet: alpha %v outside (0,1]", cfg.Alpha)
 	}
 	return nil
 }
 
-// client is the node side: dial, hello, then answer ROUND frames with
-// OUTBOX frames until STOP.
-func (h *hub) client(addr string, u int, env *netsim.Env, outputs []any) error {
-	conn, err := net.Dial("tcp", addr)
+func init() {
+	netsim.RegisterEngine(netsim.RealNet, "realnet", func(cfg netsim.Config, machines []netsim.Machine, adv netsim.Adversary) (*netsim.Result, error) {
+		if cfg.Record {
+			return nil, errors.New("realnet: Record (message tracing for influence clouds) is not supported over sockets")
+		}
+		return Run(Config{
+			N:             cfg.N,
+			Alpha:         cfg.Alpha,
+			Seed:          cfg.Seed,
+			MaxRounds:     cfg.MaxRounds,
+			CongestFactor: cfg.CongestFactor,
+			Strict:        cfg.Strict,
+			Adversary:     adv,
+			Tracer:        cfg.Tracer,
+		}, machines)
+	})
+}
+
+// Run executes machines over loopback TCP: a hub listening on an
+// ephemeral port, one client goroutine per node dialing in. The result
+// carries the same digest the Sequential simulator computes for this
+// configuration.
+func Run(cfg Config, machines []netsim.Machine) (*netsim.Result, error) {
+	if err := cfg.validate(len(machines)); err != nil {
+		return nil, err
+	}
+	for u, m := range machines {
+		if m == nil {
+			return nil, fmt.Errorf("realnet: machine %d is nil", u)
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return err
+		return nil, fmt.Errorf("realnet: listen: %w", err)
 	}
-	defer conn.Close()
-	hello := wire.AppendUvarint(nil, uint64(u))
-	if err := wire.WriteFrame(conn, hello); err != nil {
-		return err
+	h := newHub(cfg, systemSpec{}, ln)
+	if cfg.OnListen != nil {
+		cfg.OnListen(ln.Addr().String())
 	}
-	machine := h.machines[u]
-	var (
-		buf   []byte
-		out   []byte
-		inbox []netsim.Delivery
-	)
-	for {
-		buf, err = wire.ReadFrame(conn, buf)
-		if err != nil {
-			return err
-		}
-		if len(buf) < 1 {
-			return fmt.Errorf("empty frame")
-		}
-		switch buf[0] {
-		case frameStop:
-			outputs[u] = machine.Output()
-			return nil
-		case frameRound:
-			b := buf[1:]
-			round, b, err := wire.Uvarint(b)
+
+	type nodeResult struct {
+		id  int
+		out any
+		err error
+	}
+	results := make(chan nodeResult, cfg.N)
+	addr := ln.Addr().String()
+	for i := 0; i < cfg.N; i++ {
+		go func() {
+			conn, err := net.Dial("tcp", addr)
 			if err != nil {
-				return err
+				results <- nodeResult{id: -1, err: err}
+				return
 			}
-			count, b, err := wire.Uvarint(b)
-			if err != nil {
-				return err
-			}
-			inbox = inbox[:0]
-			for i := uint64(0); i < count; i++ {
-				port, rest, err := wire.Uvarint(b)
-				if err != nil {
-					return err
+			id, out, err := runNode(conn, func(w welcome) (netsim.Machine, error) {
+				if w.id < 0 || w.id >= len(machines) {
+					return nil, fmt.Errorf("realnet: welcome assigns id %d beyond %d machines", w.id, len(machines))
 				}
-				pl, rest, err := h.cfg.Decode(rest)
-				if err != nil {
-					return err
-				}
-				b = rest
-				inbox = append(inbox, netsim.Delivery{Port: int(port), Payload: pl})
+				return machines[w.id], nil
+			}, nil)
+			results <- nodeResult{id: id, out: out, err: err}
+		}()
+	}
+
+	res, runErr := h.run()
+	// The hub has closed (or force-closed, on error) every connection, so
+	// all node goroutines terminate; their outputs fill the slots the
+	// socket could not deliver — crash-frozen state rides back in-process.
+	for i := 0; i < cfg.N; i++ {
+		nr := <-results
+		if nr.id < 0 {
+			if runErr == nil {
+				runErr = fmt.Errorf("realnet: node failed before handshake: %w", nr.err)
 			}
-			sends := machine.Step(env, int(round), inbox)
-			out = out[:0]
-			out = append(out, frameOutbox)
-			out = wire.AppendBool(out, machine.Done())
-			out = wire.AppendUvarint(out, uint64(len(sends)))
-			for _, s := range sends {
-				out = wire.AppendUvarint(out, uint64(s.Port))
-				out, err = h.cfg.Encode(out, s.Payload)
-				if err != nil {
-					return err
-				}
-			}
-			if err := wire.WriteFrame(conn, out); err != nil {
-				return err
-			}
-		default:
-			return fmt.Errorf("unknown frame tag %d", buf[0])
+			continue
+		}
+		if runErr == nil && res != nil && res.Outputs[nr.id] == nil {
+			res.Outputs[nr.id] = nr.out
 		}
 	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	return res, nil
 }

@@ -1,134 +1,309 @@
-package realnet
+package realnet_test
+
+// Engine unit tests: violation parity with the simulator, strict-mode
+// aborts, chaos (unplanned disconnect) detection, revenant rejection,
+// trace-stream equality, and configuration validation.
 
 import (
+	"bytes"
+	"net"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
+	"sublinear/internal/fault"
 	"sublinear/internal/netsim"
-	"sublinear/internal/wire"
+	"sublinear/internal/realnet"
+	"sublinear/internal/trace"
 )
 
-// tokenPayload is a trivial self-delimiting payload for transport tests.
-type tokenPayload struct{ v uint64 }
-
-func (tokenPayload) Bits(int) int { return 16 }
-func (tokenPayload) Kind() string { return "token" }
-
-func encodeToken(dst []byte, p netsim.Payload) ([]byte, error) {
-	t, ok := p.(tokenPayload)
-	if !ok {
-		return nil, wire.ErrShortBuffer
-	}
-	return wire.AppendUvarint(dst, t.v), nil
+// violatorMachine commits every CONGEST sin in round 1: an out-of-range
+// port, a duplicated port, and (when the budget is squeezed via
+// CongestFactor 1) over-budget payloads.
+type violatorMachine struct {
+	lastRound int
 }
 
-func decodeToken(b []byte) (netsim.Payload, []byte, error) {
-	v, rest, err := wire.Uvarint(b)
-	if err != nil {
-		return nil, nil, err
+func (m *violatorMachine) Step(env *netsim.Env, round int, inbox []netsim.Delivery) []netsim.Send {
+	m.lastRound = round
+	if round != 1 || env.ID != 0 {
+		return nil
 	}
-	return tokenPayload{v: v}, rest, nil
+	return []netsim.Send{
+		{Port: env.N + 5, Payload: chatMsg{round: 1}},
+		{Port: 1, Payload: chatMsg{round: 1}},
+		{Port: 1, Payload: chatMsg{round: 2}},
+	}
 }
 
-// ringMachine passes a token around the ring (port 1 = successor) a fixed
-// number of hops; node 0 starts it.
-type ringMachine struct {
-	hops     int
-	last     int
-	received []uint64
+func (m *violatorMachine) Done() bool  { return m.lastRound >= 2 }
+func (m *violatorMachine) Output() any { return m.lastRound }
+
+func violatorConfig(strict bool) netsim.Config {
+	return netsim.Config{
+		N: 6, Alpha: 0.5, Seed: 3, MaxRounds: 4,
+		CongestFactor: 1, // budget 3 bits < chatMsg's 8: every send is over budget
+		Strict:        strict,
+	}
 }
 
-func (m *ringMachine) Step(env *netsim.Env, round int, inbox []netsim.Delivery) []netsim.Send {
-	m.last = round
-	if env.ID == 0 && round == 1 {
-		return []netsim.Send{{Port: 1, Payload: tokenPayload{v: 1}}}
-	}
-	var out []netsim.Send
-	for _, d := range inbox {
-		tok := d.Payload.(tokenPayload)
-		m.received = append(m.received, tok.v)
-		if int(tok.v) < m.hops {
-			out = append(out, netsim.Send{Port: 1, Payload: tokenPayload{v: tok.v + 1}})
-		}
-	}
-	return out
-}
-
-func (m *ringMachine) Done() bool  { return true } // reactive only
-func (m *ringMachine) Output() any { return append([]uint64(nil), m.received...) }
-
-func TestTokenRingOverTCP(t *testing.T) {
-	const n, hops = 8, 16
+func violatorMachines(n int) []netsim.Machine {
 	machines := make([]netsim.Machine, n)
 	for u := range machines {
-		machines[u] = &ringMachine{hops: hops}
+		machines[u] = &violatorMachine{}
 	}
-	res, err := Run(Config{
-		N: n, Alpha: 1, Seed: 1, MaxRounds: hops + 3,
-		Encode: encodeToken, Decode: decodeToken,
-	}, machines)
+	return machines
+}
+
+// TestViolationParity: in non-strict mode both engines must record the
+// identical violation list (same nodes, rounds, reason strings, order)
+// and still agree on the digest — violations are part of the folded
+// execution fingerprint.
+func TestViolationParity(t *testing.T) {
+	cfg := violatorConfig(false)
+	seq, err := netsim.Execute(netsim.Sequential, cfg, violatorMachines(cfg.N), nil)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("sequential: %v", err)
 	}
-	if res.Counters.Messages() != hops {
-		t.Fatalf("messages = %d, want %d", res.Counters.Messages(), hops)
+	real, err := netsim.Execute(netsim.RealNet, cfg, violatorMachines(cfg.N), nil)
+	if err != nil {
+		t.Fatalf("realnet: %v", err)
 	}
-	// Token value v arrives at node v mod n.
-	for u, o := range res.Outputs {
-		for _, v := range o.([]uint64) {
-			if int(v%n) != u {
-				t.Fatalf("token %d arrived at node %d", v, u)
+	if len(seq.Violations) == 0 {
+		t.Fatal("violator machine produced no violations; test is vacuous")
+	}
+	if !reflect.DeepEqual(seq.Violations, real.Violations) {
+		t.Errorf("violations diverge:\n  sequential: %+v\n  realnet:    %+v", seq.Violations, real.Violations)
+	}
+	if seq.Digest != real.Digest {
+		t.Errorf("digest: sequential %016x, realnet %016x", seq.Digest, real.Digest)
+	}
+}
+
+// TestStrictAbortParity: in strict mode both engines abort on the first
+// violation with the same classification; only the engine prefix of the
+// error differs.
+func TestStrictAbortParity(t *testing.T) {
+	cfg := violatorConfig(true)
+	_, seqErr := netsim.Execute(netsim.Sequential, cfg, violatorMachines(cfg.N), nil)
+	_, realErr := netsim.Execute(netsim.RealNet, cfg, violatorMachines(cfg.N), nil)
+	if seqErr == nil || realErr == nil {
+		t.Fatalf("strict run did not abort: sequential %v, realnet %v", seqErr, realErr)
+	}
+	seqMsg := strings.TrimPrefix(seqErr.Error(), "netsim: ")
+	realMsg := strings.TrimPrefix(realErr.Error(), "realnet: ")
+	if seqMsg != realMsg {
+		t.Errorf("abort classification diverges:\n  sequential: %s\n  realnet:    %s", seqMsg, realMsg)
+	}
+}
+
+// TestTraceStreamIdentical records both engines' event streams through
+// trace.Recorder and diffs them — the socket engine must emit the exact
+// event sequence, which is what makes tracectl diff work across the
+// sim/real boundary.
+func TestTraceStreamIdentical(t *testing.T) {
+	const n = 10
+	sched := fault.Schedule{N: n, Seed: 5, Crashes: []fault.Crash{
+		{Node: 1, Round: 1, Policy: fault.DropHalf},
+		{Node: 6, Round: 3, Policy: fault.DropRandom},
+	}}
+	record := func(mode netsim.RunMode) *bytes.Buffer {
+		t.Helper()
+		var buf bytes.Buffer
+		rec, err := trace.NewRecorder(&buf, trace.Header{N: n, Seed: 5, Label: netsim.EngineName(mode)})
+		if err != nil {
+			t.Fatalf("recorder: %v", err)
+		}
+		adv, err := sched.Adversary()
+		if err != nil {
+			t.Fatalf("adversary: %v", err)
+		}
+		_, err = netsim.Execute(mode, netsim.Config{
+			N: n, Alpha: 0.5, Seed: 5, MaxRounds: chatRounds + 2, Tracer: rec,
+		}, chatterMachines(n, 1), adv)
+		if err != nil {
+			t.Fatalf("%s: %v", netsim.EngineName(mode), err)
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatalf("%s: close recorder: %v", netsim.EngineName(mode), err)
+		}
+		return &buf
+	}
+	a, b := record(netsim.Sequential), record(netsim.RealNet)
+	div, err := trace.Diff(bytes.NewReader(a.Bytes()), bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	if div != nil {
+		t.Errorf("event streams diverge: %s", div)
+	}
+}
+
+// TestChaosKillDetectedAsCrash force-closes a node's connection at the
+// start of round 2. The coordinator must detect the loss within that
+// round — at its barrier — and fold it into the result and trace as a
+// crash at exactly that round.
+func TestChaosKillDetectedAsCrash(t *testing.T) {
+	const n, victim, killRound = 8, 3, 2
+	chaosRun := func(rec *trace.Recorder) *netsim.Result {
+		t.Helper()
+		var tracer netsim.Tracer
+		if rec != nil {
+			tracer = rec
+		}
+		res, err := realnet.Run(realnet.Config{
+			N: n, Alpha: 0.5, Seed: 4, MaxRounds: chatRounds + 2,
+			Tracer: tracer,
+			ChaosKill: func(round, node int) bool {
+				return round == killRound && node == victim
+			},
+		}, chatterMachines(n, victim))
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return res
+	}
+	var buf bytes.Buffer
+	rec, err := trace.NewRecorder(&buf, trace.Header{N: n, Seed: 4, Label: "chaos"})
+	if err != nil {
+		t.Fatalf("recorder: %v", err)
+	}
+	res := chaosRun(rec)
+	// Close verifies the digest witness: the recorded event stream folds
+	// to the digest the hub reported.
+	if err := rec.Close(); err != nil {
+		t.Fatalf("close recorder: %v", err)
+	}
+	if res.CrashedAt[victim] != killRound {
+		t.Fatalf("CrashedAt[%d] = %d, want %d", victim, res.CrashedAt[victim], killRound)
+	}
+	for u := range res.CrashedAt {
+		if u != victim && res.CrashedAt[u] != 0 {
+			t.Errorf("node %d reported crashed at %d; only node %d was killed", u, res.CrashedAt[u], victim)
+		}
+	}
+	// The chaos path must itself be deterministic: the same kill at the
+	// same barrier folds to the same digest on every run.
+	if again := chaosRun(nil); again.Digest != res.Digest {
+		t.Errorf("chaos digest unstable: %016x then %016x", res.Digest, again.Digest)
+	}
+	// The recorded trace must contain the crash event at the kill round.
+	r, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("trace reader: %v", err)
+	}
+	sawCrash := false
+	for {
+		ev, err := r.Next()
+		if err != nil {
+			break
+		}
+		if ev.Op == trace.OpCrash && ev.Node == victim && ev.Round == killRound {
+			sawCrash = true
+		}
+	}
+	if !sawCrash {
+		t.Errorf("trace has no crash event for node %d round %d", victim, killRound)
+	}
+}
+
+// TestRevenantRejected aims an extra connection at a live hub after the
+// handshake is complete; the hub must close it without disturbing the
+// run.
+func TestRevenantRejected(t *testing.T) {
+	const n = 6
+	var (
+		addrMu sync.Mutex
+		addr   string
+		once   sync.Once
+		revErr = make(chan error, 1)
+	)
+	res, err := realnet.Run(realnet.Config{
+		N: n, Alpha: 0.5, Seed: 8, MaxRounds: chatRounds + 2,
+		OnListen: func(a string) {
+			addrMu.Lock()
+			addr = a
+			addrMu.Unlock()
+		},
+		ChaosKill: func(round, node int) bool {
+			// Round 2 is past the handshake: every legitimate node is
+			// connected, so a new dial is a revenant.
+			if round == 2 {
+				once.Do(func() {
+					addrMu.Lock()
+					a := addr
+					addrMu.Unlock()
+					go func() {
+						conn, err := net.Dial("tcp", a)
+						if err != nil {
+							revErr <- nil // listener already closed: rejected at dial
+							return
+						}
+						conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+						_, err = conn.Read(make([]byte, 1))
+						conn.Close()
+						revErr <- err
+					}()
+				})
 			}
-		}
-	}
-	if res.WireBytes <= 0 {
-		t.Fatal("no wire bytes accounted")
-	}
-}
-
-func TestCrashOverTCP(t *testing.T) {
-	// Crash the token at hop 5: the ring goes quiet and the run ends.
-	const n, hops = 6, 30
-	machines := make([]netsim.Machine, n)
-	for u := range machines {
-		machines[u] = &ringMachine{hops: hops}
-	}
-	adv := crashOn{node: 5 % n, round: 6}
-	res, err := Run(Config{
-		N: n, Alpha: 0.5, Seed: 2, MaxRounds: hops + 3,
-		Encode: encodeToken, Decode: decodeToken, Adversary: adv,
-	}, machines)
+			return false
+		},
+	}, chatterMachines(n, 0))
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("run: %v", err)
 	}
-	if res.CrashedAt[adv.node] != adv.round {
-		t.Fatalf("CrashedAt = %v", res.CrashedAt)
+	seq, err := netsim.Execute(netsim.Sequential, netsim.Config{
+		N: n, Alpha: 0.5, Seed: 8, MaxRounds: chatRounds + 2,
+	}, chatterMachines(n, 0), nil)
+	if err != nil {
+		t.Fatalf("sequential reference: %v", err)
 	}
-	// Messages sent: hops 1..6 (the 6th is sent by the crashing node and
-	// counted, but dropped).
-	if res.Counters.Messages() != 6 {
-		t.Fatalf("messages = %d, want 6", res.Counters.Messages())
+	if res.Digest != seq.Digest {
+		t.Errorf("revenant disturbed the run: digest %016x, want %016x", res.Digest, seq.Digest)
 	}
-	if res.Rounds >= hops {
-		t.Fatalf("ring kept running after the crash: %d rounds", res.Rounds)
+	select {
+	case err := <-revErr:
+		if err == nil {
+			t.Log("revenant rejected before or at dial")
+		} else {
+			t.Logf("revenant connection closed by hub: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Error("revenant connection was neither closed nor reset within 10s")
 	}
 }
 
-type crashOn struct{ node, round int }
-
-func (c crashOn) Faulty(u int) bool                              { return u == c.node }
-func (c crashOn) CrashNow(u, round int, _ []netsim.Send) bool    { return u == c.node && round >= c.round }
-func (c crashOn) DeliverOnCrash(_, _, _ int, _ netsim.Send) bool { return false }
-
-func TestRunValidation(t *testing.T) {
-	machines := []netsim.Machine{&ringMachine{}, &ringMachine{}}
-	if _, err := Run(Config{N: 2, Alpha: 1, MaxRounds: 1}, machines); err == nil || !strings.Contains(err.Error(), "Encode") {
-		t.Errorf("missing codec accepted: %v", err)
+// TestRecordModeRejected: the influence-cloud message trace cannot be
+// captured over sockets; asking for it must fail loudly, not silently
+// return an un-analysable result.
+func TestRecordModeRejected(t *testing.T) {
+	_, err := netsim.Execute(netsim.RealNet, netsim.Config{
+		N: 4, Alpha: 0.5, Seed: 1, MaxRounds: 2, Record: true,
+	}, chatterMachines(4, 0), nil)
+	if err == nil || !strings.Contains(err.Error(), "not supported") {
+		t.Fatalf("Record over sockets: got %v, want unsupported error", err)
 	}
-	if _, err := Run(Config{N: 3, Alpha: 1, MaxRounds: 1, Encode: encodeToken, Decode: decodeToken}, machines); err == nil {
+}
+
+// TestConfigValidation covers the constructor-style checks.
+func TestConfigValidation(t *testing.T) {
+	if _, err := realnet.Run(realnet.Config{N: 1, Alpha: 0.5, MaxRounds: 1}, chatterMachines(1, 0)); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := realnet.Run(realnet.Config{N: 4, Alpha: 0.5, MaxRounds: 1}, chatterMachines(3, 0)); err == nil {
 		t.Error("machine count mismatch accepted")
 	}
-	if _, err := Run(Config{N: 2, Alpha: 1, Encode: encodeToken, Decode: decodeToken}, machines); err == nil {
-		t.Error("MaxRounds 0 accepted")
+	if _, err := realnet.Run(realnet.Config{N: 4, Alpha: 0.5, MaxRounds: 0}, chatterMachines(4, 0)); err == nil {
+		t.Error("MaxRounds=0 accepted")
+	}
+	if _, err := realnet.Run(realnet.Config{N: 4, Alpha: 1.5, MaxRounds: 1}, chatterMachines(4, 0)); err == nil {
+		t.Error("alpha out of range accepted")
+	}
+	machines := chatterMachines(4, 0)
+	machines[2] = nil
+	if _, err := realnet.Run(realnet.Config{N: 4, Alpha: 0.5, MaxRounds: 1}, machines); err == nil {
+		t.Error("nil machine accepted")
 	}
 }

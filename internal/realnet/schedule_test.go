@@ -1,0 +1,200 @@
+package realnet_test
+
+// Satellite coverage for fault injection over sockets: a crash at round
+// r must drop exactly the post-crash sends, and every drop policy must
+// filter the same message set over sockets as in the simulator — checked
+// with per-kind metrics.Counters equality, not just digests.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"sublinear/internal/fault"
+	"sublinear/internal/metrics"
+	"sublinear/internal/netsim"
+	"sublinear/internal/realnet"
+	"sublinear/internal/wire"
+)
+
+// chatMsg is the schedule-test payload. Node markedNode sends marked
+// chatter, everyone else plain chatter, so the per-kind counters isolate
+// the crashed node's send count exactly.
+type chatMsg struct {
+	marked bool
+	round  uint64
+}
+
+var (
+	kindChat       = metrics.InternKind("test/chat")
+	kindChatMarked = metrics.InternKind("test/chat-marked")
+)
+
+func (m chatMsg) Kind() string {
+	if m.marked {
+		return "test/chat-marked"
+	}
+	return "test/chat"
+}
+func (m chatMsg) Bits(int) int { return 8 }
+func (m chatMsg) KindID() metrics.Kind {
+	if m.marked {
+		return kindChatMarked
+	}
+	return kindChat
+}
+
+func init() {
+	realnet.RegisterPayload(chatMsg{}, realnet.PayloadCodec{
+		Name: "test/chat",
+		Encode: func(dst []byte, p netsim.Payload) ([]byte, error) {
+			m := p.(chatMsg)
+			dst = wire.AppendBool(dst, m.marked)
+			return wire.AppendUvarint(dst, m.round), nil
+		},
+		Decode: func(b []byte) (netsim.Payload, []byte, error) {
+			marked, rest, err := wire.Bool(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			round, rest, err := wire.Uvarint(rest)
+			if err != nil {
+				return nil, nil, err
+			}
+			return chatMsg{marked: marked, round: round}, rest, nil
+		},
+	})
+}
+
+const (
+	chatRounds = 4 // rounds of chatter before every node is Done
+	chatFanout = 3 // ports 1..chatFanout receive one message per round
+)
+
+// chatterMachine sends chatFanout messages per round for chatRounds
+// rounds and counts what it receives.
+type chatterMachine struct {
+	marked    bool
+	lastRound int
+	received  int
+}
+
+func (m *chatterMachine) Step(env *netsim.Env, round int, inbox []netsim.Delivery) []netsim.Send {
+	m.lastRound = round
+	m.received += len(inbox)
+	if round > chatRounds {
+		return nil
+	}
+	sends := make([]netsim.Send, 0, chatFanout)
+	for p := 1; p <= chatFanout; p++ {
+		sends = append(sends, netsim.Send{Port: p, Payload: chatMsg{marked: m.marked, round: uint64(round)}})
+	}
+	return sends
+}
+
+func (m *chatterMachine) Done() bool  { return m.lastRound > chatRounds }
+func (m *chatterMachine) Output() any { return m.received }
+
+func chatterMachines(n, markedNode int) []netsim.Machine {
+	machines := make([]netsim.Machine, n)
+	for u := range machines {
+		machines[u] = &chatterMachine{marked: u == markedNode}
+	}
+	return machines
+}
+
+func runChatter(t *testing.T, mode netsim.RunMode, n, markedNode int, seed uint64, sched fault.Schedule) *netsim.Result {
+	t.Helper()
+	adv, err := sched.Adversary()
+	if err != nil {
+		t.Fatalf("adversary: %v", err)
+	}
+	res, err := netsim.Execute(mode, netsim.Config{
+		N: n, Alpha: 0.5, Seed: seed, MaxRounds: chatRounds + 2, Strict: true,
+	}, chatterMachines(n, markedNode), adv)
+	if err != nil {
+		t.Fatalf("%s engine: %v", netsim.EngineName(mode), err)
+	}
+	return res
+}
+
+// TestCrashDropsExactlyPostCrashSends crashes the marked node at each
+// round r and asserts, analytically, that the socket engine counts
+// exactly r*chatFanout marked messages: the crash-round outbox is still
+// counted (the engine accounts sends before the drop filter), and every
+// later round contributes nothing.
+func TestCrashDropsExactlyPostCrashSends(t *testing.T) {
+	const n, marked = 10, 2
+	for r := 1; r <= chatRounds; r++ {
+		t.Run(fmt.Sprintf("crash-round-%d", r), func(t *testing.T) {
+			sched := fault.Schedule{N: n, Seed: 9, Crashes: []fault.Crash{
+				{Node: marked, Round: r, Policy: fault.DropAll},
+			}}
+			res := runChatter(t, netsim.RealNet, n, marked, 9, sched)
+			per := res.Counters.PerKind()
+			want := int64(r * chatFanout)
+			if got := per["test/chat-marked"]; got != want {
+				t.Errorf("crashed node sent %d counted messages, want %d (crash round counted, later rounds dropped)", got, want)
+			}
+			if got := per["test/chat"]; got != int64((n-1)*chatRounds*chatFanout) {
+				t.Errorf("live nodes sent %d counted messages, want %d", got, (n-1)*chatRounds*chatFanout)
+			}
+			if res.CrashedAt[marked] != r {
+				t.Errorf("CrashedAt[%d] = %d, want %d", marked, res.CrashedAt[marked], r)
+			}
+			// DropAll: no crash-round delivery, so a receiver wired to the
+			// marked node (arrival distance 1..chatFanout) sees its
+			// chatter only through round r-1; everyone else sees the full
+			// chatFanout senders for all chatRounds rounds.
+			for u, out := range res.Outputs {
+				if u == marked {
+					continue
+				}
+				want := chatFanout * chatRounds
+				if d := ((u-marked)%n + n) % n; d >= 1 && d <= chatFanout {
+					want = (chatFanout-1)*chatRounds + (r - 1)
+				}
+				if got := out.(int); got != want {
+					t.Errorf("node %d received %d messages, want %d", u, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestDropPoliciesFilterSameSet runs every policy through both engines
+// and asserts full per-kind counter equality plus identical outputs —
+// the socket engine's drop filter must select the very same messages,
+// including DropRandom's coin-stream order.
+func TestDropPoliciesFilterSameSet(t *testing.T) {
+	const n, marked = 10, 2
+	for _, pol := range policies {
+		for r := 1; r <= chatRounds; r++ {
+			t.Run(fmt.Sprintf("%s/crash-round-%d", pol.name, r), func(t *testing.T) {
+				sched := fault.Schedule{N: n, Seed: 11, Crashes: []fault.Crash{
+					{Node: marked, Round: r, Policy: pol.policy},
+					{Node: 7, Round: r + 1, Policy: pol.policy},
+				}}
+				seq := runChatter(t, netsim.Sequential, n, marked, 11, sched)
+				real := runChatter(t, netsim.RealNet, n, marked, 11, sched)
+				if seq.Digest != real.Digest {
+					t.Errorf("digest: sequential %016x, realnet %016x", seq.Digest, real.Digest)
+				}
+				if !reflect.DeepEqual(seq.Counters.PerKind(), real.Counters.PerKind()) {
+					t.Errorf("per-kind counters diverge:\n  sequential: %v\n  realnet:    %v",
+						seq.Counters.PerKind(), real.Counters.PerKind())
+				}
+				if seq.Counters.Messages() != real.Counters.Messages() || seq.Counters.Bits() != real.Counters.Bits() {
+					t.Errorf("totals: sequential (%d msgs, %d bits), realnet (%d msgs, %d bits)",
+						seq.Counters.Messages(), seq.Counters.Bits(), real.Counters.Messages(), real.Counters.Bits())
+				}
+				if !reflect.DeepEqual(seq.Outputs, real.Outputs) {
+					t.Errorf("delivered sets diverge:\n  sequential: %v\n  realnet:    %v", seq.Outputs, real.Outputs)
+				}
+				if !reflect.DeepEqual(seq.CrashedAt, real.CrashedAt) {
+					t.Errorf("crashedAt: sequential %v, realnet %v", seq.CrashedAt, real.CrashedAt)
+				}
+			})
+		}
+	}
+}

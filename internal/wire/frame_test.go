@@ -1,0 +1,139 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"sublinear/internal/metrics"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{Version: FrameVersion, Schema: 2}
+	enc := AppendHeader(nil, h)
+	enc = append(enc, 0xaa, 0xbb) // trailing payload survives
+	got, rest, err := ParseHeader(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("header = %+v, want %+v", got, h)
+	}
+	if !bytes.Equal(rest, []byte{0xaa, 0xbb}) {
+		t.Fatalf("rest = %x", rest)
+	}
+}
+
+func TestHeaderRejects(t *testing.T) {
+	if _, _, err := ParseHeader([]byte("slw")); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("truncated magic: %v", err)
+	}
+	if _, _, err := ParseHeader([]byte("nope....")); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+	// Magic then a truncated varint.
+	if _, _, err := ParseHeader([]byte{'s', 'l', 'w', '1', 0x80}); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("truncated version: %v", err)
+	}
+	// Version past uint32.
+	big := AppendUvarint(append([]byte(nil), headerMagic[:]...), 1<<40)
+	big = AppendUvarint(big, 2)
+	if _, _, err := ParseHeader(big); !errors.Is(err, ErrVersion) {
+		t.Errorf("oversized version: %v", err)
+	}
+	local := Header{Version: FrameVersion, Schema: 2}
+	if err := CheckHeader(Header{Version: FrameVersion + 1, Schema: 2}, local); !errors.Is(err, ErrVersion) {
+		t.Errorf("version mismatch accepted: %v", err)
+	}
+	if err := CheckHeader(local, local); err != nil {
+		t.Errorf("matching header rejected: %v", err)
+	}
+}
+
+func TestTypedFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTypedFrame(&buf, 7, []byte("body")); err != nil {
+		t.Fatal(err)
+	}
+	kind, body, err := ReadTypedFrame(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != 7 || string(body) != "body" {
+		t.Fatalf("kind=%d body=%q", kind, body)
+	}
+}
+
+func TestTypedFrameRejects(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTypedFrame(&buf, 0, nil); !errors.Is(err, ErrFrameKind) {
+		t.Errorf("zero kind write: %v", err)
+	}
+	// An empty raw frame has no kind byte.
+	if err := WriteFrame(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadTypedFrame(bytes.NewReader(buf.Bytes()), nil); !errors.Is(err, ErrEmptyFrame) {
+		t.Errorf("empty frame: %v", err)
+	}
+	// A zero kind byte on the wire.
+	buf.Reset()
+	if err := WriteFrame(&buf, []byte{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadTypedFrame(bytes.NewReader(buf.Bytes()), nil); !errors.Is(err, ErrFrameKind) {
+		t.Errorf("zero kind read: %v", err)
+	}
+	// Oversized length prefix.
+	over := []byte{0xff, 0xff, 0xff, 0xff, 1}
+	if _, _, err := ReadTypedFrame(bytes.NewReader(over), nil); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized length: %v", err)
+	}
+	// Truncated body.
+	trunc := []byte{0, 0, 0, 5, 3, 'a'}
+	if _, _, err := ReadTypedFrame(bytes.NewReader(trunc), nil); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated body: %v", err)
+	}
+	// A body at exactly MaxFrame-1 still fits with its kind byte.
+	if err := WriteTypedFrame(io.Discard, 1, make([]byte, MaxFrame-1)); err != nil {
+		t.Errorf("max body rejected: %v", err)
+	}
+	if err := WriteTypedFrame(io.Discard, 1, make([]byte, MaxFrame)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("over-budget body: %v", err)
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40), -9223372036854775808} {
+		enc := AppendVarint(nil, v)
+		got, rest, err := Varint(enc)
+		if err != nil || got != v || len(rest) != 0 {
+			t.Fatalf("varint %d: got %d rest %d err %v", v, got, len(rest), err)
+		}
+	}
+	if _, _, err := Varint([]byte{0x80}); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("truncated varint: %v", err)
+	}
+}
+
+func TestKindRange(t *testing.T) {
+	k := metrics.InternKind("wire-test-kind")
+	enc := AppendKind(nil, k)
+	got, rest, err := Kind(enc, int(k)+1)
+	if err != nil || got != k || len(rest) != 0 {
+		t.Fatalf("kind round trip: got %d rest %d err %v", got, len(rest), err)
+	}
+	if _, _, err := Kind(enc, int(k)); !errors.Is(err, ErrKindRange) {
+		t.Errorf("kind at table size accepted: %v", err)
+	}
+	if _, _, err := Kind(AppendUvarint(nil, 1<<50), 8); !errors.Is(err, ErrKindRange) {
+		t.Errorf("huge kind accepted: %v", err)
+	}
+	if _, _, err := Kind(enc, 0); !errors.Is(err, ErrKindRange) {
+		t.Errorf("empty table accepted: %v", err)
+	}
+	if _, _, err := Kind(nil, 8); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("truncated kind: %v", err)
+	}
+}

@@ -31,6 +31,58 @@ func FuzzReadFrame(f *testing.F) {
 	})
 }
 
+// FuzzWireFrame exercises the framed codec of the socket engine end to
+// end on arbitrary bytes: typed-frame reads must never panic, reject
+// oversized length prefixes and kindless frames, and every accepted
+// frame must round-trip byte-identically; bodies that parse as a
+// protocol header must re-encode canonically; and kind-id decoding must
+// never hand back an id outside the announced table.
+func FuzzWireFrame(f *testing.F) {
+	// A well-formed handshake-ish frame: header + a small kind table.
+	hello := AppendHeader(nil, Header{Version: FrameVersion, Schema: 2})
+	hello = AppendUvarint(hello, 2)
+	hello = AppendKind(hello, 0)
+	hello = AppendKind(hello, 1)
+	var seed bytes.Buffer
+	if err := WriteTypedFrame(&seed, 1, hello); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add(seed.Bytes()[:7])                                   // truncated mid-body
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})            // oversized length prefix
+	f.Add([]byte{0, 0, 0, 1, 0})                              // zero frame kind
+	f.Add([]byte{0, 0, 0, 0})                                 // empty frame, no kind byte
+	f.Add(append([]byte{0, 0, 0, 3, 2}, AppendKind(nil, 9)...)) // kind id out of range
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		kind, body, err := ReadTypedFrame(r, nil)
+		if err != nil {
+			return
+		}
+		if kind == 0 {
+			t.Fatal("reader accepted frame kind 0")
+		}
+		var out bytes.Buffer
+		if err := WriteTypedFrame(&out, kind, body); err != nil {
+			t.Fatalf("accepted typed frame cannot re-encode: %v", err)
+		}
+		consumed := len(data) - r.Len()
+		if !bytes.Equal(out.Bytes(), data[:consumed]) {
+			t.Fatal("typed frame round trip mismatch")
+		}
+		if h, rest, err := ParseHeader(body); err == nil {
+			re := AppendHeader(nil, h)
+			if !bytes.Equal(re, body[:len(body)-len(rest)]) {
+				t.Fatalf("header re-encode mismatch: %x vs %x", re, body[:len(body)-len(rest)])
+			}
+		}
+		const table = 8
+		if k, _, err := Kind(body, table); err == nil && (k < 0 || int(k) >= table) {
+			t.Fatalf("kind %d escaped table of %d", k, table)
+		}
+	})
+}
+
 // FuzzUvarint checks that arbitrary bytes never panic the varint decoder
 // and that accepted values re-encode canonically.
 func FuzzUvarint(f *testing.F) {

@@ -115,16 +115,18 @@ type Options struct {
 	// TCP runs the protocol over real TCP loopback sockets with the
 	// binary wire codec instead of the in-memory simulator: one socket
 	// per node, a hub enforcing the round structure, identical model
-	// semantics. Intended for modest n (every round is n socket
+	// semantics — the socket engine (internal/realnet) produces the
+	// same execution digest as the simulator for the same seed and
+	// schedule. Intended for modest n (every round is n socket
 	// round-trips). Overrides Concurrent and Actors.
 	TCP bool
 	// Record keeps the message trace (needed for influence-cloud
-	// analysis; costs memory).
+	// analysis; costs memory). Not available over TCP.
 	Record bool
 	// Tracer streams every engine event to an execution flight
 	// recorder (see internal/trace and cmd/tracectl). Unlike Record it
-	// works at any worker count and costs nothing when nil. Ignored
-	// when TCP is set — the socket runner bypasses the simulator.
+	// works at any worker count and costs nothing when nil. Honored by
+	// every mode including TCP, which emits the identical event stream.
 	Tracer Tracer
 }
 
@@ -153,12 +155,14 @@ func Elect(opts Options) (*ElectionResult, error) {
 // AgreeMin runs the multi-valued generalization of the agreement
 // protocol: the committee converges on the MINIMUM of its members'
 // values (one value per node, < 2^62 to fit the CONGEST payload). The
-// binary protocol is the 0/1 special case. Implicit only; not available
-// over TCP.
+// binary protocol is the 0/1 special case. Implicit only.
 func AgreeMin(opts Options, values []uint64) (*MinAgreementResult, error) {
 	cfg, err := opts.runConfig()
 	if err != nil {
 		return nil, err
+	}
+	if opts.TCP {
+		return core.RunMinAgreementOverTCP(cfg, values)
 	}
 	return core.RunMinAgreement(cfg, values)
 }

@@ -1,56 +1,78 @@
 package sublinear_test
 
+// Public-API coverage of the socket engine: the TCP option must produce
+// the byte-identical execution digest the simulator computes for the
+// same options, not merely the same protocol outcome. The exhaustive
+// engine-level matrix lives in internal/realnet's conformance suite;
+// these tests pin the sublinear.Options wiring on top of it.
+
 import (
 	"testing"
 
 	"sublinear"
 )
 
-func TestElectOverTCP(t *testing.T) {
-	res, err := sublinear.Elect(sublinear.Options{N: 48, Alpha: 0.75, Seed: 3, TCP: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !res.Eval.Success {
-		t.Fatalf("TCP election failed: %s", res.Eval.Reason)
-	}
-	if res.Counters.Messages() == 0 {
-		t.Fatal("no messages accounted over TCP")
-	}
-}
-
 func TestElectOverTCPMatchesSimulator(t *testing.T) {
-	// The TCP transport must produce the same protocol outcome as the
-	// simulator for the same seed (same machines, same coins, same
-	// fault-free schedule).
-	sim, err := sublinear.Elect(sublinear.Options{N: 32, Alpha: 1, Seed: 5})
+	opts := sublinear.Options{N: 32, Alpha: 1, Seed: 5}
+	sim, err := sublinear.Elect(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tcp, err := sublinear.Elect(sublinear.Options{N: 32, Alpha: 1, Seed: 5, TCP: true})
+	opts.TCP = true
+	tcp, err := sublinear.Elect(opts)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if sim.Digest != tcp.Digest {
+		t.Fatalf("transport changed the execution: sim digest %016x, tcp %016x", sim.Digest, tcp.Digest)
 	}
 	if sim.Eval.AgreedRank != tcp.Eval.AgreedRank || sim.Eval.LeaderNode != tcp.Eval.LeaderNode {
 		t.Fatalf("transport changed the outcome: sim rank %d node %d, tcp rank %d node %d",
 			sim.Eval.AgreedRank, sim.Eval.LeaderNode, tcp.Eval.AgreedRank, tcp.Eval.LeaderNode)
 	}
-	if sim.Counters.Messages() != tcp.Counters.Messages() {
-		t.Fatalf("message counts differ: sim %d, tcp %d",
-			sim.Counters.Messages(), tcp.Counters.Messages())
+	if sim.Counters.Messages() != tcp.Counters.Messages() || sim.Counters.Bits() != tcp.Counters.Bits() {
+		t.Fatalf("accounting differs: sim (%d msgs, %d bits), tcp (%d msgs, %d bits)",
+			sim.Counters.Messages(), sim.Counters.Bits(), tcp.Counters.Messages(), tcp.Counters.Bits())
 	}
 }
 
 func TestAgreeOverTCPWithFaults(t *testing.T) {
 	inputs := sublinear.RandomInputs(48, 0.5, 9)
-	res, err := sublinear.Agree(sublinear.Options{
-		N: 48, Alpha: 0.75, Seed: 9, TCP: true,
+	opts := sublinear.Options{
+		N: 48, Alpha: 0.75, Seed: 9,
 		Faults: &sublinear.FaultModel{Faulty: 12, Policy: sublinear.DropHalf},
-	}, inputs)
+	}
+	sim, err := sublinear.Agree(opts, inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Eval.Success {
-		t.Fatalf("TCP agreement under faults failed: %s", res.Eval.Reason)
+	opts.TCP = true
+	tcp, err := sublinear.Agree(opts, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tcp.Eval.Success {
+		t.Fatalf("TCP agreement under faults failed: %s", tcp.Eval.Reason)
+	}
+	if sim.Digest != tcp.Digest {
+		t.Fatalf("fault injection diverged across transports: sim digest %016x, tcp %016x", sim.Digest, tcp.Digest)
+	}
+}
+
+func TestAgreeMinOverTCP(t *testing.T) {
+	values := []uint64{9, 4, 7, 4, 11, 6, 4, 9, 12, 5, 4, 8, 9, 10, 4, 6,
+		9, 4, 7, 4, 11, 6, 4, 9, 12, 5, 4, 8, 9, 10, 4, 6}
+	opts := sublinear.Options{N: 32, Alpha: 1, Seed: 13}
+	sim, err := sublinear.AgreeMin(opts, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.TCP = true
+	tcp, err := sublinear.AgreeMin(opts, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Digest != tcp.Digest {
+		t.Fatalf("transport changed the execution: sim digest %016x, tcp %016x", sim.Digest, tcp.Digest)
 	}
 }
