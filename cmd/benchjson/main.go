@@ -7,12 +7,25 @@
 //
 //	benchjson -out BENCH_netsim.json            # measure and write a baseline
 //	benchjson -baseline BENCH_netsim.json       # measure and compare
-//	benchjson -baseline BENCH_netsim.json -threshold 0.2
+//	benchjson -baseline BENCH_netsim.json -threshold 0.2 -alloc-threshold 0.25
+//	benchjson -sizes 1024,65536 -ratio 1.3 -ratio-n 65536
+//	benchjson -maxn 60s                         # doubling search: largest n per run budget
 //
 // Comparison fails (exit status 2) when any benchmark's msgs/sec drops
-// more than threshold (default 0.2 = 20%) below the baseline. Each entry
-// is measured best-of-2 so one scheduler hiccup doesn't read as a
-// regression; CI's bench-smoke job runs the comparison on every push.
+// more than -threshold (default 0.2 = 20%) below the baseline, or its
+// allocs/op or bytes/op grow more than -alloc-threshold (default 0.25)
+// above it. Each entry is measured best-of-2 so one scheduler hiccup
+// doesn't read as a regression; CI's bench-smoke job runs the comparison
+// on every push.
+//
+// Baselines are host-specific: the report records the Go version, OS,
+// architecture, CPU count, and GOMAXPROCS it was measured under, and
+// comparing against a baseline from a different host is refused unless
+// -allow-cross-host is given (absolute throughput across machines is
+// noise, not signal). The -ratio gate is self-relative — parallel vs
+// sequential on the same host in the same process — so it stays
+// meaningful everywhere, and is skipped (with a notice) on hosts with
+// fewer than 4 CPUs where a parallel speedup is not physically available.
 package main
 
 import (
@@ -21,7 +34,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"testing"
+	"time"
 
 	"sublinear/internal/netsim"
 	"sublinear/internal/trace"
@@ -39,9 +56,31 @@ type Entry struct {
 	MsgsPerSec float64 `json:"msgs_per_sec"`
 }
 
-// Report is the file format: entries plus provenance.
+// Host identifies the machine a report was measured on. Baselines only
+// gate runs on an identical host; see -allow-cross-host.
+type Host struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+func currentHost() Host {
+	return Host{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Report is the file format: entries plus provenance. Schema 2 added the
+// host block and the alloc gating fields' semantics.
 type Report struct {
 	Schema  int     `json:"schema"`
+	Host    Host    `json:"host"`
 	Entries []Entry `json:"entries"`
 }
 
@@ -145,40 +184,75 @@ func bestOf2(n int, mode netsim.RunMode, traced bool) testing.BenchmarkResult {
 	return a
 }
 
-func run(args []string, stdout *os.File) error {
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("benchjson: bad size %q in -sizes", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchjson: -sizes is empty")
+	}
+	return out, nil
+}
+
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	out := fs.String("out", "", "write measurements as JSON to this file ('-' for stdout)")
 	baseline := fs.String("baseline", "", "compare measurements against this baseline file")
 	threshold := fs.Float64("threshold", 0.2, "max tolerated msgs/sec regression fraction")
+	allocThreshold := fs.Float64("alloc-threshold", 0.25, "max tolerated allocs/op or bytes/op growth fraction")
+	sizes := fs.String("sizes", "1024,4096,65536,262144", "comma-separated node counts to measure")
+	ratio := fs.Float64("ratio", 0, "min required parallel/sequential msgs/sec ratio (0 disables; skipped below 4 CPUs)")
+	ratioN := fs.Int("ratio-n", 65536, "node count at which the -ratio gate is evaluated")
+	allowCrossHost := fs.Bool("allow-cross-host", false, "gate against a baseline measured on a different host")
+	maxN := fs.Duration("maxn", 0, "doubling search: report the largest n whose full run fits this budget (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *out == "" && *baseline == "" {
+	if *out == "" && *baseline == "" && *maxN == 0 {
 		*out = "-"
 	}
 
-	rep := Report{Schema: 1}
+	if *maxN > 0 {
+		return maxNSearch(stdout, *maxN)
+	}
+
+	ns, err := parseSizes(*sizes)
+	if err != nil {
+		return err
+	}
+	if *ratio > 0 && !contains(ns, *ratioN) {
+		return fmt.Errorf("benchjson: -ratio-n %d is not in -sizes %s", *ratioN, *sizes)
+	}
+
+	rep := Report{Schema: 2, Host: currentHost()}
 	for _, mode := range []struct {
 		name string
 		mode netsim.RunMode
-	}{{"sequential", netsim.Sequential}, {"parallel", netsim.Parallel}, {"actors", netsim.Actors}} {
-		for _, n := range []int{1024, 4096} {
+	}{{"sequential", netsim.Sequential}, {"parallel", netsim.Parallel}} {
+		for _, n := range ns {
 			e := measure(n, mode.name, mode.mode, false)
-			fmt.Fprintf(stdout, "%-32s %12d ns/op %14.0f msgs/sec %8d B/op %6d allocs/op\n",
-				e.Name, e.NsPerOp, e.MsgsPerSec, e.BytesPerOp, e.AllocsOp)
+			printEntry(stdout, e)
 			rep.Entries = append(rep.Entries, e)
 		}
 	}
-	// Traced variants price the full flight-recorder pipeline at the
-	// larger size. They have no baseline entries, so compare() skips
-	// them — tracing overhead is reported, not gated.
+	// Traced variants price the full flight-recorder pipeline at one
+	// mid-size. They have no baseline entries, so compare() skips them —
+	// tracing overhead is reported, not gated.
 	for _, mode := range []struct {
 		name string
 		mode netsim.RunMode
 	}{{"sequential", netsim.Sequential}, {"parallel", netsim.Parallel}} {
 		e := measure(4096, mode.name, mode.mode, true)
-		fmt.Fprintf(stdout, "%-32s %12d ns/op %14.0f msgs/sec %8d B/op %6d allocs/op\n",
-			e.Name, e.NsPerOp, e.MsgsPerSec, e.BytesPerOp, e.AllocsOp)
+		printEntry(stdout, e)
 		rep.Entries = append(rep.Entries, e)
 	}
 
@@ -198,17 +272,81 @@ func run(args []string, stdout *os.File) error {
 		}
 	}
 
-	if *baseline != "" {
-		return compare(stdout, rep, *baseline, *threshold)
+	var failure error
+	if *ratio > 0 {
+		if err := checkRatio(stdout, rep, *ratio, *ratioN, rep.Host.NumCPU); err != nil {
+			failure = err
+		}
 	}
-	return nil
+	if *baseline != "" {
+		if err := compare(stdout, rep, *baseline, *threshold, *allocThreshold, *allowCrossHost); err != nil {
+			return err
+		}
+	}
+	return failure
+}
+
+func printEntry(w io.Writer, e Entry) {
+	fmt.Fprintf(w, "%-36s %12d ns/op %14.0f msgs/sec %10d B/op %6d allocs/op\n",
+		e.Name, e.NsPerOp, e.MsgsPerSec, e.BytesPerOp, e.AllocsOp)
+}
+
+func contains(ns []int, n int) bool {
+	for _, v := range ns {
+		if v == n {
+			return true
+		}
+	}
+	return false
 }
 
 // errRegression marks a comparison that found at least one benchmark
 // below the budget.
 var errRegression = fmt.Errorf("benchjson: regression past threshold")
 
-func compare(stdout *os.File, rep Report, path string, threshold float64) error {
+// checkRatio enforces the self-relative parallel-speedup gate: at node
+// count ratioN, the parallel engine must beat sequential by at least the
+// given factor. On hosts with fewer than 4 CPUs the gate is skipped — a
+// sharded pipeline cannot outrun its own single lane without cores to
+// run on, and CI pins this gate to >= 4-core runners.
+func checkRatio(w io.Writer, rep Report, want float64, ratioN, numCPU int) error {
+	if numCPU < 4 {
+		fmt.Fprintf(w, "ratio gate skipped: %d CPUs (< 4), parallel speedup not measurable on this host\n", numCPU)
+		return nil
+	}
+	var seq, par float64
+	for _, e := range rep.Entries {
+		if e.N != ratioN {
+			continue
+		}
+		switch e.Mode {
+		case "sequential":
+			seq = e.MsgsPerSec
+		case "parallel":
+			par = e.MsgsPerSec
+		}
+	}
+	if seq <= 0 || par <= 0 {
+		return fmt.Errorf("benchjson: no sequential+parallel entries at n=%d for the ratio gate", ratioN)
+	}
+	got := par / seq
+	if got < want {
+		fmt.Fprintf(w, "ratio gate: parallel/sequential at n=%d is %.2fx, want >= %.2fx (FAIL)\n", ratioN, got, want)
+		return errRegression
+	}
+	fmt.Fprintf(w, "ratio gate: parallel/sequential at n=%d is %.2fx (>= %.2fx, ok)\n", ratioN, got, want)
+	return nil
+}
+
+// Absolute slack under which alloc growth is ignored: tiny baselines
+// (tens of allocs, a few KB) would otherwise fail on fixed startup
+// noise that a fractional threshold can't absorb.
+const (
+	allocSlack = 64
+	bytesSlack = 1 << 14
+)
+
+func compare(w io.Writer, rep Report, path string, threshold, allocThreshold float64, allowCrossHost bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -216,6 +354,13 @@ func compare(stdout *os.File, rep Report, path string, threshold float64) error 
 	var base Report
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("benchjson: parse %s: %w", path, err)
+	}
+	if base.Schema < 2 {
+		return fmt.Errorf("benchjson: %s is schema %d; regenerate with -out (schema 2 adds host provenance)", path, base.Schema)
+	}
+	if base.Host != rep.Host && !allowCrossHost {
+		return fmt.Errorf("benchjson: baseline %s was measured on a different host (%+v, this host %+v); absolute throughput does not compare across machines — regenerate the baseline here or pass -allow-cross-host",
+			path, base.Host, rep.Host)
 	}
 	byName := make(map[string]Entry, len(base.Entries))
 	for _, e := range base.Entries {
@@ -225,7 +370,7 @@ func compare(stdout *os.File, rep Report, path string, threshold float64) error 
 	for _, e := range rep.Entries {
 		b, ok := byName[e.Name]
 		if !ok || b.MsgsPerSec <= 0 {
-			fmt.Fprintf(stdout, "%-32s no baseline, skipped\n", e.Name)
+			fmt.Fprintf(w, "%-36s no baseline, skipped\n", e.Name)
 			continue
 		}
 		ratio := e.MsgsPerSec / b.MsgsPerSec
@@ -234,11 +379,53 @@ func compare(stdout *os.File, rep Report, path string, threshold float64) error 
 			status = "REGRESSION"
 			failed = true
 		}
-		fmt.Fprintf(stdout, "%-32s %6.2fx of baseline (%s)\n", e.Name, ratio, status)
+		if e.AllocsOp > b.AllocsOp+allocSlack && float64(e.AllocsOp) > float64(b.AllocsOp)*(1+allocThreshold) {
+			status = "ALLOC REGRESSION"
+			failed = true
+		}
+		if e.BytesPerOp > b.BytesPerOp+bytesSlack && float64(e.BytesPerOp) > float64(b.BytesPerOp)*(1+allocThreshold) {
+			status = "ALLOC REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(w, "%-36s %6.2fx of baseline, allocs %d vs %d (%s)\n", e.Name, ratio, e.AllocsOp, b.AllocsOp, status)
 	}
 	if failed {
 		return errRegression
 	}
+	return nil
+}
+
+// maxNSearch doubles n until a full rounds-round parallel run no longer
+// fits the budget, and reports the largest n that did — the "max n per
+// minute" headline in docs/PERF.md.
+func maxNSearch(w io.Writer, budget time.Duration) error {
+	best := 0
+	for n := 1024; ; n *= 2 {
+		machines := make([]netsim.Machine, n)
+		for u := range machines {
+			machines[u] = &pingMachine{}
+		}
+		eng, err := netsim.NewEngine(netsim.Config{N: n, Alpha: 1, Seed: 1, MaxRounds: rounds}, machines, nil)
+		if err != nil {
+			return err
+		}
+		eng.Mode = netsim.Parallel
+		start := time.Now()
+		if _, err := eng.Run(); err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		fmt.Fprintf(w, "n=%-8d %d rounds in %v\n", n, rounds, elapsed.Round(time.Millisecond))
+		if elapsed > budget {
+			break
+		}
+		best = n
+	}
+	if best == 0 {
+		fmt.Fprintf(w, "no n completed %d rounds within %v\n", rounds, budget)
+		return nil
+	}
+	fmt.Fprintf(w, "max n within %v per %d-round run: %d\n", budget, rounds, best)
 	return nil
 }
 

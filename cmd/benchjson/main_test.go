@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, rep Report) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func entry(name string, msgs float64, allocs, bytes int64) Entry {
+	return Entry{Name: name, MsgsPerSec: msgs, AllocsOp: allocs, BytesPerOp: bytes}
+}
+
+func TestCompareGatesThroughputAndAllocs(t *testing.T) {
+	host := currentHost()
+	base := Report{Schema: 2, Host: host, Entries: []Entry{
+		entry("a", 1000, 100, 1 << 20),
+		entry("b", 1000, 100, 1 << 20),
+		entry("c", 1000, 100, 1 << 20),
+	}}
+	path := writeBaseline(t, base)
+
+	cases := []struct {
+		name    string
+		rep     Report
+		wantErr error
+	}{
+		{"within budget", Report{Schema: 2, Host: host, Entries: []Entry{
+			entry("a", 900, 110, 1 << 20),
+		}}, nil},
+		{"throughput regression", Report{Schema: 2, Host: host, Entries: []Entry{
+			entry("a", 700, 100, 1 << 20),
+		}}, errRegression},
+		{"alloc count regression", Report{Schema: 2, Host: host, Entries: []Entry{
+			entry("b", 1000, 400, 1 << 20),
+		}}, errRegression},
+		{"alloc bytes regression", Report{Schema: 2, Host: host, Entries: []Entry{
+			entry("c", 1000, 100, 4 << 20),
+		}}, errRegression},
+		{"alloc growth under absolute slack", Report{Schema: 2, Host: host, Entries: []Entry{
+			// 2 -> 40 allocs is a 20x fraction but below the 64-alloc
+			// slack: startup noise, not a regression.
+			entry("a", 1000, 40, 1 << 20),
+		}}, nil},
+		{"unknown entry skipped", Report{Schema: 2, Host: host, Entries: []Entry{
+			entry("zzz", 1, 1 << 30, 1 << 30),
+		}}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out strings.Builder
+			err := compare(&out, tc.rep, path, 0.2, 0.25, false)
+			if err != tc.wantErr {
+				t.Fatalf("compare = %v, want %v\n%s", err, tc.wantErr, out.String())
+			}
+		})
+	}
+}
+
+func TestCompareRefusesCrossHost(t *testing.T) {
+	other := currentHost()
+	other.NumCPU += 12
+	other.GoVersion = "go0.0"
+	path := writeBaseline(t, Report{Schema: 2, Host: other, Entries: []Entry{entry("a", 1000, 1, 1)}})
+	rep := Report{Schema: 2, Host: currentHost(), Entries: []Entry{entry("a", 1000, 1, 1)}}
+
+	var out strings.Builder
+	err := compare(&out, rep, path, 0.2, 0.25, false)
+	if err == nil || err == errRegression {
+		t.Fatalf("cross-host compare = %v, want refusal error", err)
+	}
+	if !strings.Contains(err.Error(), "different host") {
+		t.Fatalf("refusal does not name the cause: %v", err)
+	}
+	// -allow-cross-host overrides the refusal and gates normally.
+	if err := compare(&out, rep, path, 0.2, 0.25, true); err != nil {
+		t.Fatalf("allow-cross-host compare = %v, want nil", err)
+	}
+}
+
+func TestCompareRefusesOldSchema(t *testing.T) {
+	path := writeBaseline(t, Report{Schema: 1, Entries: []Entry{entry("a", 1000, 1, 1)}})
+	var out strings.Builder
+	err := compare(&out, Report{Schema: 2, Host: currentHost()}, path, 0.2, 0.25, true)
+	if err == nil || !strings.Contains(err.Error(), "schema 1") {
+		t.Fatalf("schema-1 baseline accepted: %v", err)
+	}
+}
+
+func TestCheckRatio(t *testing.T) {
+	rep := Report{Entries: []Entry{
+		{Name: "EngineModes/sequential/n65536", N: 65536, Mode: "sequential", MsgsPerSec: 1000},
+		{Name: "EngineModes/parallel/n65536", N: 65536, Mode: "parallel", MsgsPerSec: 1500},
+	}}
+	var out strings.Builder
+	if err := checkRatio(&out, rep, 1.3, 65536, 8); err != nil {
+		t.Fatalf("1.5x measured vs 1.3x wanted failed: %v", err)
+	}
+	if err := checkRatio(&out, rep, 1.6, 65536, 8); err != errRegression {
+		t.Fatalf("1.5x measured vs 1.6x wanted = %v, want errRegression", err)
+	}
+	// Below 4 CPUs the gate is skipped regardless of the measured ratio.
+	out.Reset()
+	if err := checkRatio(&out, rep, 99, 65536, 2); err != nil {
+		t.Fatalf("2-CPU host did not skip the gate: %v", err)
+	}
+	if !strings.Contains(out.String(), "skipped") {
+		t.Fatalf("skip not reported: %q", out.String())
+	}
+	// Missing entries at ratio-n is a configuration error, not a pass.
+	if err := checkRatio(&out, rep, 1.3, 4096, 8); err == nil || err == errRegression {
+		t.Fatalf("missing entries = %v, want config error", err)
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("1024, 4096,65536")
+	if err != nil || len(got) != 3 || got[0] != 1024 || got[2] != 65536 {
+		t.Fatalf("parseSizes = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "abc", "1024,-1"} {
+		if _, err := parseSizes(bad); err == nil {
+			t.Errorf("parseSizes(%q) accepted", bad)
+		}
+	}
+}

@@ -34,8 +34,8 @@ type RunConfig struct {
 	// barrier (identical semantics; exercised by tests and benches).
 	Concurrent bool
 	// Mode overrides Concurrent with an explicit netsim.RunMode
-	// (Sequential, Parallel, Actors — one persistent goroutine per node
-	// — or a registered engine like netsim.RealNet).
+	// (Sequential, Parallel — Actors is a compatibility alias for
+	// Parallel — or a registered engine like netsim.RealNet).
 	Mode netsim.RunMode
 	// CongestFactor overrides the per-message bit budget multiplier;
 	// zero selects 12, which admits the largest protocol payload

@@ -3,6 +3,7 @@ package fault
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 
 	"sublinear/internal/netsim"
@@ -81,6 +82,7 @@ func (s Schedule) Adversary() (*ScheduleAdversary, error) {
 		faulty: make([]bool, s.N),
 		round:  make([]int, s.N),
 		policy: make([]DropPolicy, s.N),
+		fired:  make([]bool, s.N),
 		coin:   rng.New(s.Seed).Split(0x5ced),
 	}
 	for _, c := range s.Crashes {
@@ -97,17 +99,49 @@ type ScheduleAdversary struct {
 	faulty []bool
 	round  []int
 	policy []DropPolicy
-	coin   *rng.Source
+	// fired marks crashes whose CrashNow already returned true; the
+	// engine never re-consults a crashed node, so NextCrashRound must
+	// treat these as spent.
+	fired []bool
+	coin  *rng.Source
 }
 
-var _ netsim.Adversary = (*ScheduleAdversary)(nil)
+var (
+	_ netsim.Adversary    = (*ScheduleAdversary)(nil)
+	_ netsim.CrashPlanner = (*ScheduleAdversary)(nil)
+)
 
 // Faulty reports whether node is scheduled to crash.
 func (a *ScheduleAdversary) Faulty(node int) bool { return a.faulty[node] }
 
 // CrashNow reports whether node's scheduled crash round has arrived.
 func (a *ScheduleAdversary) CrashNow(node, round int, _ []netsim.Send) bool {
-	return a.round[node] != 0 && round >= a.round[node]
+	if a.round[node] != 0 && round >= a.round[node] {
+		a.fired[node] = true
+		return true
+	}
+	return false
+}
+
+// NextCrashRound implements netsim.CrashPlanner: a schedule's crash
+// timings are fixed up front, so the earliest round at which CrashNow
+// may fire is simply the minimum unfired scheduled round (clamped to
+// the current round). With every scheduled crash spent it returns
+// math.MaxInt, promising the rest of the run crash-free.
+func (a *ScheduleAdversary) NextCrashRound(round int) int {
+	next := math.MaxInt
+	for u, r := range a.round {
+		if r == 0 || a.fired[u] {
+			continue
+		}
+		if r < round {
+			r = round
+		}
+		if r < next {
+			next = r
+		}
+	}
+	return next
 }
 
 // DeliverOnCrash applies the crashing node's scheduled drop policy.

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"encoding/json"
+	"math"
 	"reflect"
 	"testing"
 
@@ -140,6 +141,120 @@ func TestScheduleAdversaryReplaysIdentically(t *testing.T) {
 	for i := 0; i < 64; i++ {
 		if a.DeliverOnCrash(3, 1, i, netsim.Send{}) != b.DeliverOnCrash(3, 1, i, netsim.Send{}) {
 			t.Fatal("DropRandom coins differ across fresh adversaries of one schedule")
+		}
+	}
+}
+
+func TestScheduleNextCrashRound(t *testing.T) {
+	s := Schedule{N: 8, Crashes: []Crash{
+		{Node: 1, Round: 3, Policy: DropNone},
+		{Node: 5, Round: 7, Policy: DropAll},
+	}}
+	adv := Must(s.Adversary())
+	if got := adv.NextCrashRound(1); got != 3 {
+		t.Fatalf("NextCrashRound(1) = %d, want 3", got)
+	}
+	// A scheduled round already in the past clamps to the current round:
+	// CrashNow would fire immediately.
+	if got := adv.NextCrashRound(4); got != 4 {
+		t.Fatalf("NextCrashRound(4) = %d, want 4 (clamped past round for node 1)", got)
+	}
+	// Firing node 1's crash spends it; the next crash is node 5's.
+	if !adv.CrashNow(1, 3, nil) {
+		t.Fatal("node 1 did not crash at its scheduled round")
+	}
+	if got := adv.NextCrashRound(4); got != 7 {
+		t.Fatalf("NextCrashRound(4) after node 1 fired = %d, want 7", got)
+	}
+	if !adv.CrashNow(5, 7, nil) {
+		t.Fatal("node 5 did not crash at its scheduled round")
+	}
+	// All crashes spent: the rest of the run is promised crash-free.
+	if got := adv.NextCrashRound(8); got != math.MaxInt {
+		t.Fatalf("NextCrashRound(8) with all crashes spent = %d, want math.MaxInt", got)
+	}
+}
+
+// chatter is a minimal machine that broadcasts every round, so crashes
+// and drop policies are visible in the message counts and digest.
+type chatter struct{ rounds int }
+
+func (m *chatter) Step(env *netsim.Env, round int, _ []netsim.Delivery) []netsim.Send {
+	m.rounds = round
+	out := make([]netsim.Send, 0, env.Deg)
+	for p := 1; p <= env.Deg; p++ {
+		out = append(out, netsim.Send{Port: p, Payload: pingPayload{}})
+	}
+	return out
+}
+func (m *chatter) Done() bool  { return m.rounds >= 6 }
+func (m *chatter) Output() any { return m.rounds }
+
+type pingPayload struct{}
+
+func (pingPayload) Bits(int) int { return 8 }
+func (pingPayload) Kind() string { return "ping" }
+
+// hidePlanner wraps a ScheduleAdversary so the engine sees only the base
+// Adversary interface: the CrashPlanner fast path is disabled and every
+// round takes the split crash-pass pipeline.
+type hidePlanner struct{ *ScheduleAdversary }
+
+func (h hidePlanner) Faulty(u int) bool { return h.ScheduleAdversary.Faulty(u) }
+
+// TestSchedulePlannerDigestParity pins the engine's batched-barrier
+// contract: publishing crash-free windows via NextCrashRound must not
+// change the execution — digests, counters, and crash records stay
+// byte-identical to the per-round CrashNow consultation, across engine
+// modes and worker counts.
+func TestSchedulePlannerDigestParity(t *testing.T) {
+	s := Schedule{N: 24, Seed: 9, Crashes: []Crash{
+		{Node: 2, Round: 2, Policy: DropHalf},
+		{Node: 11, Round: 4, Policy: DropRandom},
+		{Node: 17, Round: 4, Policy: DropAll},
+	}}
+	run := func(adv netsim.Adversary, mode netsim.RunMode, workers int) *netsim.Result {
+		t.Helper()
+		machines := make([]netsim.Machine, s.N)
+		for u := range machines {
+			machines[u] = &chatter{}
+		}
+		eng, err := netsim.NewEngine(netsim.Config{N: s.N, Alpha: 0.5, Seed: 33, MaxRounds: 8, Workers: workers}, machines, adv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Mode = mode
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(hidePlanner{Must(s.Adversary())}, netsim.Sequential, 1)
+	for _, tc := range []struct {
+		name    string
+		planner bool
+		mode    netsim.RunMode
+		workers int
+	}{
+		{"planner/sequential", true, netsim.Sequential, 1},
+		{"planner/parallel-2", true, netsim.Parallel, 2},
+		{"planner/parallel-5", true, netsim.Parallel, 5},
+		{"hidden/parallel-3", false, netsim.Parallel, 3},
+	} {
+		var adv netsim.Adversary = Must(s.Adversary())
+		if !tc.planner {
+			adv = hidePlanner{Must(s.Adversary())}
+		}
+		got := run(adv, tc.mode, tc.workers)
+		if got.Digest != ref.Digest {
+			t.Errorf("%s: digest %#x, want %#x", tc.name, got.Digest, ref.Digest)
+		}
+		if got.Counters.Messages() != ref.Counters.Messages() {
+			t.Errorf("%s: messages %d, want %d", tc.name, got.Counters.Messages(), ref.Counters.Messages())
+		}
+		if !reflect.DeepEqual(got.CrashedAt, ref.CrashedAt) {
+			t.Errorf("%s: crash rounds %v, want %v", tc.name, got.CrashedAt, ref.CrashedAt)
 		}
 	}
 }

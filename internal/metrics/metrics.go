@@ -107,6 +107,19 @@ func (c *Counters) ReserveRounds(maxRounds int) {
 	}
 }
 
+// ReserveKinds pre-sizes the per-kind tally slice for kinds [0, kinds),
+// so the hot-path growth check in bumpKind never fires mid-round for any
+// kind interned before the run started. Engines call it with
+// KindCount() at construction; a kind interned lazily during the run
+// still grows the slice, once.
+func (c *Counters) ReserveKinds(kinds int) {
+	if kinds > len(c.perKind) {
+		grown := make([]int64, kinds)
+		copy(grown, c.perKind)
+		c.perKind = grown
+	}
+}
+
 // Messages returns the total number of messages sent.
 func (c *Counters) Messages() int64 { return c.messages }
 

@@ -1,84 +1,32 @@
 package netsim
 
-import "sync"
-
-// RunMode selects how machine steps execute within a round. All modes
-// implement identical synchronous-round semantics and produce identical
-// results for identical seeds; they differ only in how the per-node work
-// is scheduled.
+// RunMode selects the engine that executes a run. All modes implement
+// identical synchronous-round semantics and produce identical results
+// (including byte-identical execution digests) for identical seeds; they
+// differ only in how the per-node work is scheduled.
 type RunMode int
 
 // Engine run modes.
 const (
-	// Sequential steps machines one after another on the coordinator
-	// goroutine. Fastest for small node counts, trivially deterministic.
+	// Sequential runs the whole pipeline single-threaded on the
+	// coordinator goroutine. The reference implementation: trivially
+	// deterministic, fastest for small node counts.
 	Sequential RunMode = iota
-	// Parallel steps machines on a pool of worker goroutines with a
-	// WaitGroup barrier per round.
+	// Parallel runs the sharded delivery pipeline (see shard.go): nodes
+	// are partitioned into contiguous shards owned by a persistent
+	// Config.Workers-sized pool, and crash-free rounds fuse delivery,
+	// stepping, and send processing into a single barrier.
 	Parallel
-	// Actors runs one persistent goroutine per node for the lifetime of
-	// the execution; the coordinator releases the actors at each round
-	// barrier and collects their outboxes. This is the literal
-	// "synchronous distributed system as goroutines" construction.
+	// Actors is a compatibility alias for Parallel. The original actors
+	// engine — one persistent goroutine per node, the literal
+	// "synchronous distributed system as goroutines" construction — was
+	// retired when the simulator moved to node counts in the hundreds of
+	// thousands: per-node goroutines cost ~8.7x the sharded pipeline's
+	// throughput at n=4096 and hundreds of thousands of blocked
+	// goroutines beyond that, while exercising no semantics the sharded
+	// pipeline does not. The mode constant remains so existing
+	// configurations, dst differentials, and recorded runs keep working;
+	// it now executes the sharded pipeline and (by construction) yields
+	// the same digests the goroutine-per-node engine produced.
 	Actors
 )
-
-// actorPool manages one long-lived goroutine per node. Each round the
-// coordinator sends the round number to every actor and waits for all of
-// them to report back through a WaitGroup barrier; crash and delivery
-// decisions stay on the coordinator so the adversary remains
-// deterministic.
-type actorPool struct {
-	n        int
-	step     func(u, round int) []Send
-	outboxes [][]Send
-	starts   []chan int
-	wg       sync.WaitGroup
-	exited   sync.WaitGroup
-}
-
-// newActorPool spawns the actors. step must be safe for concurrent calls
-// on distinct u, and each actor only ever calls it with its own u.
-func newActorPool(n int, step func(u, round int) []Send) *actorPool {
-	p := &actorPool{
-		n:        n,
-		step:     step,
-		outboxes: make([][]Send, n),
-		starts:   make([]chan int, n),
-	}
-	p.exited.Add(n)
-	for u := 0; u < n; u++ {
-		p.starts[u] = make(chan int, 1)
-		go p.actor(u)
-	}
-	return p
-}
-
-// actor is the per-node goroutine: block at the barrier, step, report.
-func (p *actorPool) actor(u int) {
-	defer p.exited.Done()
-	for round := range p.starts[u] {
-		p.outboxes[u] = p.step(u, round)
-		p.wg.Done()
-	}
-}
-
-// runRound releases every actor for the given round and blocks until all
-// have stepped. The returned slice is reused across rounds.
-func (p *actorPool) runRound(round int) [][]Send {
-	p.wg.Add(p.n)
-	for _, ch := range p.starts {
-		ch <- round
-	}
-	p.wg.Wait()
-	return p.outboxes
-}
-
-// shutdown terminates the actors and waits for them to exit — the
-// goroutines must never outlive the engine run.
-func (p *actorPool) shutdown() {
-	for _, ch := range p.starts {
-		close(ch)
-	}
-	p.exited.Wait()
-}

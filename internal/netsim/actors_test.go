@@ -7,20 +7,25 @@ import (
 	"time"
 )
 
-func TestActorPoolNoGoroutineLeak(t *testing.T) {
+// TestPipelinePoolNoGoroutineLeak pins that shard-pool goroutines never
+// outlive their run, across repeated multi-worker executions (the Actors
+// alias included).
+func TestPipelinePoolNoGoroutineLeak(t *testing.T) {
 	before := runtime.NumGoroutine()
 	for i := 0; i < 5; i++ {
-		machines := make([]Machine, 64)
-		for u := range machines {
-			machines[u] = &pingMachine{}
-		}
-		eng, err := NewEngine(Config{N: 64, Alpha: 1, Seed: uint64(i), MaxRounds: 10}, machines, nil)
-		if err != nil {
-			t.Fatal(err)
-		}
-		eng.Mode = Actors
-		if _, err := eng.Run(); err != nil {
-			t.Fatal(err)
+		for _, mode := range []RunMode{Parallel, Actors} {
+			machines := make([]Machine, 64)
+			for u := range machines {
+				machines[u] = &pingMachine{}
+			}
+			eng, err := NewEngine(Config{N: 64, Alpha: 1, Seed: uint64(i), MaxRounds: 10, Workers: 4}, machines, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.Mode = mode
+			if _, err := eng.Run(); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 	// Give exiting goroutines a moment to unwind.
@@ -31,41 +36,21 @@ func TestActorPoolNoGoroutineLeak(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	t.Fatalf("goroutines: %d before, %d after — actor pool leaked", before, runtime.NumGoroutine())
+	t.Fatalf("goroutines: %d before, %d after — shard pool leaked", before, runtime.NumGoroutine())
 }
 
-func TestActorPoolDirect(t *testing.T) {
-	calls := make([][]int, 4)
-	pool := newActorPool(4, func(u, round int) []Send {
-		calls[u] = append(calls[u], round)
-		if u == 2 {
-			return []Send{{Port: 1, Payload: testPayload{id: round}}}
-		}
-		return nil
-	})
-	defer pool.shutdown()
-
-	for round := 1; round <= 3; round++ {
-		out := pool.runRound(round)
-		for u := 0; u < 4; u++ {
-			if u == 2 {
-				if len(out[u]) != 1 || out[u][0].Payload.(testPayload).id != round {
-					t.Fatalf("round %d: actor 2 outbox %+v", round, out[u])
-				}
-			} else if out[u] != nil {
-				t.Fatalf("round %d: actor %d produced %+v", round, u, out[u])
-			}
-		}
+// TestActorsAlias pins the retirement decision: the Actors mode is a
+// compatibility alias that executes the sharded pipeline and produces
+// the digests the goroutine-per-node engine used to.
+func TestActorsAlias(t *testing.T) {
+	adv := crashAdv{node: 3, round: 7}
+	ref := pingRun(t, 64, 20, 0, Sequential, adv)
+	got := pingRun(t, 64, 20, 0, Actors, adv)
+	if got.Digest != ref.Digest {
+		t.Fatalf("Actors digest %#x, want sequential %#x", got.Digest, ref.Digest)
 	}
-	for u := 0; u < 4; u++ {
-		if len(calls[u]) != 3 {
-			t.Fatalf("actor %d stepped %d times, want 3", u, len(calls[u]))
-		}
-		for i, r := range calls[u] {
-			if r != i+1 {
-				t.Fatalf("actor %d saw rounds %v", u, calls[u])
-			}
-		}
+	if got.Counters.Messages() != ref.Counters.Messages() {
+		t.Fatalf("Actors messages %d, want %d", got.Counters.Messages(), ref.Counters.Messages())
 	}
 }
 

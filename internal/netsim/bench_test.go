@@ -63,11 +63,13 @@ func benchEngine(b *testing.B, n, rounds int, mode RunMode) {
 }
 
 func BenchmarkEngineModes(b *testing.B) {
+	// Actors is a compatibility alias for Parallel (see RunMode) and is
+	// not benchmarked separately.
 	for _, mode := range []struct {
 		name string
 		mode RunMode
-	}{{"sequential", Sequential}, {"parallel", Parallel}, {"actors", Actors}} {
-		for _, n := range []int{256, 1024, 4096} {
+	}{{"sequential", Sequential}, {"parallel", Parallel}} {
+		for _, n := range []int{256, 1024, 4096, 65536} {
 			b.Run(fmt.Sprintf("%s/n%d", mode.name, n), func(b *testing.B) {
 				benchEngine(b, n, 50, mode.mode)
 			})

@@ -15,8 +15,6 @@ type Engine struct {
 	adv      Adversary
 
 	envs      []*Env
-	inboxes   [][]Delivery
-	nextInbox [][]Delivery
 	crashedAt []int
 
 	counters   metrics.Counters
@@ -29,9 +27,10 @@ type Engine struct {
 	// set. Semantics are identical across modes; tests assert
 	// equivalence.
 	Concurrent bool
-	// Mode selects how machine steps are scheduled within a round:
-	// Sequential (default), Parallel (worker pool per round), or Actors
-	// (persistent goroutine per node).
+	// Mode selects the run mode: Sequential (default, a pure
+	// single-threaded reference pipeline) or Parallel (the sharded
+	// worker-pool pipeline). Actors is a compatibility alias for
+	// Parallel; see the RunMode docs.
 	Mode RunMode
 }
 
@@ -57,16 +56,21 @@ func NewEngine(cfg Config, machines []Machine, adv Adversary) (*Engine, error) {
 		machines:  machines,
 		adv:       adv,
 		envs:      make([]*Env, cfg.N),
-		inboxes:   make([][]Delivery, cfg.N),
-		nextInbox: make([][]Delivery, cfg.N),
 		crashedAt: make([]int, cfg.N),
 		bitBudget: cfg.bitBudget(),
 		digest:    newDigest(),
 	}
 	e.counters.ReserveRounds(cfg.MaxRounds)
+	e.counters.ReserveKinds(metrics.KindCount())
 	root := rng.New(cfg.Seed)
+	// One backing array for all Envs: at large n the per-node environments
+	// are a noticeable slice of construction cost, and a single contiguous
+	// block both halves the allocation count and keeps the step phase's
+	// env loads local.
+	envs := make([]Env, cfg.N)
 	for u := 0; u < cfg.N; u++ {
-		e.envs[u] = &Env{N: cfg.N, ID: u, Alpha: cfg.Alpha, Rand: root.Split(uint64(u)), Deg: cfg.N - 1, tracing: cfg.Tracer != nil}
+		envs[u] = Env{N: cfg.N, ID: u, Alpha: cfg.Alpha, Rand: root.Split(uint64(u)), Deg: cfg.N - 1, tracing: cfg.Tracer != nil}
+		e.envs[u] = &envs[u]
 	}
 	if cfg.Record {
 		e.trace = newTrace(cfg.N)
@@ -74,28 +78,35 @@ func NewEngine(cfg Config, machines []Machine, adv Adversary) (*Engine, error) {
 	return e, nil
 }
 
-// Run executes rounds until every live machine is done and no messages are
-// in flight, or MaxRounds elapses. It returns an error only for model
-// violations in strict mode.
+// Run executes rounds until every live machine is done and no messages
+// are in flight, or MaxRounds elapses. It returns an error only for
+// model violations in strict mode.
 //
-// Every round has two phases. Phase 1 computes each live machine's outbox
-// from its inbox, scheduled per the engine Mode. Phase 2 — crash
-// decisions, CONGEST validation, accounting, digesting, delivery — runs
-// on the sharded pipeline (see shard.go): adversary calls stay on the
+// Every round delivers the previous round's messages, steps each live
+// machine, decides crashes, and processes the new outboxes — all on the
+// sharded pipeline (see shard.go). Adversary calls stay on the
 // coordination thread in node order, the per-message work fans out over
 // the worker pool, and everything order-sensitive folds back in node
 // order at the round barrier, so results are identical across modes and
-// worker counts.
+// worker counts. In rounds where no crash can occur — no live faulty
+// node remains, or a CrashPlanner adversary has published a crash-free
+// window — the three pipeline stages fuse into a single dispatch, so
+// the steady state pays one barrier per round instead of three.
 func (e *Engine) Run() (*Result, error) {
 	n := e.cfg.N
 	mode := e.Mode
 	if mode == Sequential && e.Concurrent {
 		mode = Parallel
 	}
+	if mode == Actors {
+		// The one-goroutine-per-node actors engine is retired; Actors is a
+		// compatibility alias for the sharded pipeline (see RunMode).
+		mode = Parallel
+	}
 	workers := e.cfg.workerCount()
 	if mode == Sequential {
 		// The sequential engine stays a pure single-threaded reference
-		// implementation: same pipeline, one inline lane, no goroutines.
+		// implementation: same pipeline, one inline shard, no goroutines.
 		workers = 1
 	}
 	if e.trace != nil {
@@ -106,12 +117,20 @@ func (e *Engine) Run() (*Result, error) {
 	pipe := newPipeline(e, workers)
 	defer pipe.close()
 
-	outboxes := make([][]Send, n)
-	var pool *actorPool
-	if mode == Actors {
-		pool = newActorPool(n, e.stepOne)
-		defer pool.shutdown()
+	// The faulty set is static (see Adversary), so it is consulted once
+	// up front. liveFaulty tracks how many faulty nodes have yet to
+	// crash: when it reaches zero no adversary call can change the
+	// execution and every remaining round runs on the fused path.
+	liveFaulty := 0
+	for u := 0; u < n; u++ {
+		if e.adv.Faulty(u) {
+			pipe.faulty[u] = true
+			liveFaulty++
+		}
 	}
+	planner, _ := e.adv.(CrashPlanner)
+	windowEnd := 0 // first round that needs a crash pass; recompute when reached
+
 	for round := 1; round <= e.cfg.MaxRounds; round++ {
 		e.counters.BeginRound(round)
 		e.digest.words(digestRound, uint64(round))
@@ -119,30 +138,29 @@ func (e *Engine) Run() (*Result, error) {
 			e.cfg.Tracer.TraceRound(round)
 		}
 
-		// Phase 1: every live machine computes its outbox from its inbox.
-		switch mode {
-		case Parallel:
-			pipe.stepRound(round, outboxes)
-		case Actors:
-			copy(outboxes, pool.runRound(round))
-		default:
-			for u := 0; u < n; u++ {
-				outboxes[u] = e.stepOne(u, round)
+		crashPossible := liveFaulty > 0
+		if crashPossible && planner != nil {
+			if round >= windowEnd {
+				windowEnd = planner.NextCrashRound(round)
+				if windowEnd < round {
+					windowEnd = round
+				}
 			}
+			crashPossible = round >= windowEnd
 		}
 
-		// Phase 2: crash decisions, filtering, accounting, delivery.
-		inFlight, err := pipe.runRound(round, outboxes)
+		if crashPossible {
+			pipe.deliverStep(round)
+			liveFaulty -= pipe.crashPass(round)
+			pipe.senders(round)
+		} else {
+			pipe.fusedRound(round)
+		}
+
+		inFlight, err := pipe.merge(round)
 		if err != nil {
 			return nil, err
 		}
-
-		// Rotate inboxes.
-		e.inboxes, e.nextInbox = e.nextInbox, e.inboxes
-		for u := range e.nextInbox {
-			e.nextInbox[u] = e.nextInbox[u][:0]
-		}
-
 		if !inFlight && e.allQuiet() {
 			break
 		}
@@ -150,16 +168,15 @@ func (e *Engine) Run() (*Result, error) {
 	return e.result(), nil
 }
 
-// stepOne runs machine u for the given round and returns its outbox, or
-// nil if the machine is crashed. Machines that report Done keep being
-// stepped: Done means "I will not send unless I receive something", which
-// matters for reactive roles (a referee acts only when contacted); it does
-// not halt the machine.
-func (e *Engine) stepOne(u, round int) []Send {
+// stepOne runs machine u for the given round against the given inbox and
+// returns its outbox, or nil if the machine is crashed. Machines that
+// report Done keep being stepped: Done means "I will not send unless I
+// receive something", which matters for reactive roles (a referee acts
+// only when contacted); it does not halt the machine.
+func (e *Engine) stepOne(u, round int, inbox []Delivery) []Send {
 	if e.crashedAt[u] != 0 {
 		return nil
 	}
-	inbox := e.inboxes[u]
 	out := e.machines[u].Step(e.envs[u], round, inbox)
 	if e.trace != nil && len(inbox) > 0 {
 		e.trace.noteReceive(u, round)

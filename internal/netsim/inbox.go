@@ -1,0 +1,61 @@
+package netsim
+
+// Struct-of-arrays inbox storage. The engine used to keep one
+// independently grown []Delivery per node and rotate n slice headers at
+// every round barrier; at n in the hundreds of thousands the headers
+// alone span megabytes and every delivery append touches a random one,
+// so the delivery phase degenerated into cache misses. A shardInbox
+// replaces the per-node slices with one contiguous, reusable buffer per
+// receiver shard, partitioned by receiver through an offset table: node
+// u's inbox for the round is buf[off[u-lo] : off[u-lo+1]]. The buffer is
+// rebuilt every round by a stable two-pass counting sort over the
+// routing buckets, which visits memory strictly linearly, and its
+// backing array is an arena owned by the shard — grown geometrically to
+// the run's high-water mark and then reused round after round, so the
+// steady state allocates nothing at any n.
+type shardInbox struct {
+	// lo is the first node of the shard; the offset table is indexed by
+	// u-lo.
+	lo int
+	// buf holds the shard's deliveries for the current round, grouped by
+	// receiver in ascending (sender, outbox index) order — exactly the
+	// order the per-node slices used to accumulate.
+	buf []Delivery
+	// off is the receiver partition: len shardSize+1, off[0] == 0.
+	off []int32
+	// cur is the counting-sort scratch (counts, then placement cursors).
+	cur []int32
+	// dirty records that off holds nonzero entries from the previous
+	// build, so an all-quiet round can skip the rebuild entirely.
+	dirty bool
+}
+
+func newShardInbox(lo, hi int) shardInbox {
+	return shardInbox{
+		lo:  lo,
+		off: make([]int32, hi-lo+1),
+		cur: make([]int32, hi-lo),
+	}
+}
+
+// slice returns node u's inbox for the current round. u must belong to
+// this shard.
+func (ib *shardInbox) slice(u int) []Delivery {
+	l := u - ib.lo
+	return ib.buf[ib.off[l]:ib.off[l+1]]
+}
+
+// growDeliveries returns the arena resized to hold n deliveries,
+// reallocating only when n exceeds the high-water capacity. Growth
+// doubles so a warming-up run settles after O(log n) allocations; after
+// that the same backing array is reused every round.
+func growDeliveries(buf []Delivery, n int) []Delivery {
+	if n <= cap(buf) {
+		return buf[:n]
+	}
+	c := 2 * cap(buf)
+	if c < n {
+		c = n
+	}
+	return make([]Delivery, n, c)
+}

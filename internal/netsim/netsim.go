@@ -171,17 +171,41 @@ type Machine interface {
 }
 
 // Adversary controls crash faults. The engine calls it as follows: the
-// faulty set is static (Faulty); each round, after a faulty live node
+// faulty set is static (Faulty — a pure function of the node, which the
+// engine caches once per run); each round, after a faulty live node
 // produced its outbox, CrashNow is consulted once — returning true crashes
 // the node this round, in which case DeliverOnCrash is consulted per
 // outgoing message. CrashNow is called in increasing node order on the
 // engine's coordination thread, so adversaries may keep state and observe
 // outboxes across rounds (the "adaptively choose when and how" power of
-// the paper's static adversary).
+// the paper's static adversary). Once every faulty node has crashed, the
+// engine stops consulting the adversary altogether.
 type Adversary interface {
 	Faulty(node int) bool
 	CrashNow(node, round int, outbox []Send) bool
 	DeliverOnCrash(node, round, msgIndex int, send Send) bool
+}
+
+// CrashPlanner is an optional Adversary extension that lets the engine
+// amortize its round barrier. NextCrashRound(round) returns the earliest
+// round >= round in which CrashNow may return true for any live node; a
+// larger return value is a binding promise that every round before it is
+// crash-free, which the engine exploits by skipping the per-round
+// CrashNow consultation and fusing delivery, stepping, and send
+// processing into a single worker dispatch — one barrier per round
+// instead of three — for the whole window. The engine re-asks at the end
+// of each window, so implementations may answer incrementally; they must
+// treat nodes whose CrashNow already returned true as spent (the engine
+// never re-consults a crashed node). An adversary with no crashes left
+// should return a round past Config.MaxRounds. Adversaries that decide
+// crash timing only upon seeing an outbox must not implement
+// CrashPlanner: during a published window they are not consulted at all.
+//
+// Fully scheduled adversaries (fault.Schedule) implement this, so every
+// dst/mc replay runs on the fused path between its scheduled crash
+// rounds; digest identity with the unfused path is pinned by tests.
+type CrashPlanner interface {
+	NextCrashRound(round int) int
 }
 
 // Tracer observes the typed event stream of a run: the execution flight
@@ -259,10 +283,10 @@ type Config struct {
 	// of messages, and forces the delivery pipeline to a single lane so
 	// trace entries keep their deterministic first-crossing order.
 	Record bool
-	// Workers sizes the engine's worker pool, used by the Parallel step
-	// phase and by the sharded delivery pipeline in the Parallel and
-	// Actors modes. Zero selects runtime.GOMAXPROCS(0); 1 forces a fully
-	// single-threaded pipeline; negative is invalid.
+	// Workers sizes the sharded pipeline's worker pool, used by the
+	// Parallel mode (and its Actors alias). Zero selects
+	// runtime.GOMAXPROCS(0); 1 forces a fully single-threaded pipeline;
+	// negative is invalid.
 	Workers int
 	// Tracer, when non-nil, receives the run's typed event stream in
 	// deterministic order (see the Tracer interface contract). Unlike

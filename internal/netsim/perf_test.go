@@ -199,3 +199,145 @@ func TestWorkersValidation(t *testing.T) {
 		t.Errorf("workerCount() = %d, want >= 1", got)
 	}
 }
+
+// TestSteadyStateAllocsLargeN repeats the zero-allocation pin at the
+// tentpole scale (n = 65536): the SoA inbox arenas, routing buckets, and
+// preallocated counters must hit their high-water marks in the warmup
+// rounds and stop allocating, in both engine modes. Skipped under -short
+// — each measurement runs a couple of million simulated messages.
+func TestSteadyStateAllocsLargeN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-n allocation pin skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	const (
+		n     = 65536
+		short = 4
+		long  = 16
+	)
+	for _, mode := range []struct {
+		name string
+		mode RunMode
+	}{{"sequential", Sequential}, {"parallel", Parallel}} {
+		t.Run(mode.name, func(t *testing.T) {
+			measure := func(rounds int) float64 {
+				return testing.AllocsPerRun(2, func() {
+					machines := make([]Machine, n)
+					for u := range machines {
+						machines[u] = &fixedPingMachine{}
+					}
+					eng, err := NewEngine(Config{N: n, Alpha: 1, Seed: 42, MaxRounds: rounds}, machines, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					eng.Mode = mode.mode
+					if _, err := eng.Run(); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+			extraMsgs := float64((long - short) * n)
+			marginal := (measure(long) - measure(short)) / extraMsgs
+			if marginal > 0.01 {
+				t.Errorf("marginal allocations = %.4f per message, want ~0", marginal)
+			}
+		})
+	}
+}
+
+// TestLargeNDigestIdentity pins digest byte-identity at tentpole scale:
+// n = 65536 with mid-run crashes must produce the same digest and
+// message count in every mode at every worker count. Skipped under
+// -short; this is the long-form cousin of TestWorkersOverrideDeterminism.
+func TestLargeNDigestIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-n digest pin skipped in -short mode")
+	}
+	const n, rounds = 65536, 8
+	adv := crashAdv{node: 12345, round: 4}
+	ref := pingRun(t, n, rounds, 1, Sequential, adv)
+	for _, tc := range []struct {
+		name    string
+		mode    RunMode
+		workers int
+	}{
+		{"parallel/w2", Parallel, 2},
+		{"parallel/w8", Parallel, 8},
+		{"parallel/w0", Parallel, 0},
+		{"actors/w4", Actors, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res := pingRun(t, n, rounds, tc.workers, tc.mode, adv)
+			if res.Digest != ref.Digest {
+				t.Errorf("digest %#x, want %#x", res.Digest, ref.Digest)
+			}
+			if res.Counters.Messages() != ref.Counters.Messages() {
+				t.Errorf("messages = %d, want %d", res.Counters.Messages(), ref.Counters.Messages())
+			}
+		})
+	}
+}
+
+// windowAdv is a CrashPlanner whose published windows are deliberately
+// tight: it schedules two crashes and promises exactly the rounds
+// between them crash-free. Used to pin that the engine's fused-window
+// fast path is invisible in the digest.
+type windowAdv struct {
+	crashAdv
+	extra int // second faulty node, crashes at round+3
+}
+
+func (a windowAdv) Faulty(u int) bool { return u == a.node || u == a.extra }
+func (a windowAdv) CrashNow(u, round int, out []Send) bool {
+	if u == a.node {
+		return round >= a.round
+	}
+	return round >= a.round+3
+}
+func (a windowAdv) NextCrashRound(round int) int {
+	if round <= a.round {
+		return a.round
+	}
+	return a.round + 3
+}
+
+// TestCrashPlannerWindowDigest pins the batched-barrier contract at the
+// netsim layer: an adversary that publishes crash-free windows via
+// NextCrashRound must yield byte-identical digests, counters, and crash
+// records to the same adversary with the planner hidden, in every mode
+// and worker count.
+func TestCrashPlannerWindowDigest(t *testing.T) {
+	const n, rounds = 96, 20
+	planned := windowAdv{crashAdv: crashAdv{node: 5, round: 6}, extra: 41}
+	// hidden strips the CrashPlanner method by embedding the adversary in
+	// a bare Adversary interface value.
+	hidden := struct{ Adversary }{planned}
+	ref := pingRun(t, n, rounds, 1, Sequential, hidden)
+	for _, tc := range []struct {
+		name    string
+		adv     Adversary
+		mode    RunMode
+		workers int
+	}{
+		{"planner/sequential", planned, Sequential, 1},
+		{"planner/parallel-w3", planned, Parallel, 3},
+		{"planner/parallel-w8", planned, Parallel, 8},
+		{"hidden/parallel-w3", hidden, Parallel, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res := pingRun(t, n, rounds, tc.workers, tc.mode, tc.adv)
+			if res.Digest != ref.Digest {
+				t.Errorf("digest %#x, want %#x", res.Digest, ref.Digest)
+			}
+			if res.Counters.Messages() != ref.Counters.Messages() {
+				t.Errorf("messages = %d, want %d", res.Counters.Messages(), ref.Counters.Messages())
+			}
+			if res.CrashedAt[5] != ref.CrashedAt[5] || res.CrashedAt[41] != ref.CrashedAt[41] {
+				t.Errorf("crash rounds (%d,%d), want (%d,%d)",
+					res.CrashedAt[5], res.CrashedAt[41], ref.CrashedAt[5], ref.CrashedAt[41])
+			}
+		})
+	}
+}

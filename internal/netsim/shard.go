@@ -2,36 +2,47 @@ package netsim
 
 // The sharded delivery pipeline. Phase 2 of a round — port validation,
 // CONGEST enforcement, accounting, digesting, and inbox placement — used
-// to run message-by-message on the coordination thread, paying a
-// string-keyed map lookup, a string hash, and a fresh map allocation per
-// sender. This file replaces that loop with a pipeline that is both
-// parallel and allocation-free in the steady state:
+// to run message-by-message on the coordination thread; the first
+// sharded rebuild fanned that work over sender shards but still paid
+// three full barriers per round (step, senders, scatter) and kept one
+// independently grown inbox slice per node. This file is the second
+// rebuild: struct-of-arrays inboxes, double-buffered routing buckets,
+// and a fused single-barrier round path.
 //
-//   - Pass A (coordination thread, ascending node order): crash
-//     decisions. The adversary interface is stateful and order-sensitive,
-//     so CrashNow/DeliverOnCrash calls never move off the coordination
-//     thread and never reorder.
-//   - Pass B (sender shards, worker pool): each worker owns a contiguous
-//     range of senders and performs validation, accounting into
+// Round structure (all orchestrated from Engine.Run):
+//
+//   - Delivery (receiver shards, worker pool): each shard drains every
+//     sender shard's bucket from the previous round — in ascending
+//     sender-shard order, so each inbox sees deliveries in exactly the
+//     order the old per-node slices accumulated — through a stable
+//     counting sort into the shard's contiguous SoA inbox (inbox.go).
+//   - Step (same shards): each shard steps its live machines against
+//     the freshly built inbox slices and records the outboxes.
+//   - Crash pass (coordination thread, ascending node order): crash
+//     decisions. The adversary interface is stateful and
+//     order-sensitive, so CrashNow/DeliverOnCrash calls never move off
+//     the coordination thread and never reorder. When the adversary
+//     proves no crash can fire this round (CrashPlanner window, or no
+//     live faulty node remains), this pass is skipped entirely and the
+//     delivery, step, and send stages fuse into ONE worker dispatch —
+//     one barrier per round instead of three.
+//   - Send (sender shards, worker pool): validation, accounting into
 //     flat per-worker counters, per-sender lane digests, and routing of
-//     deliveries into per-(sender-shard, receiver-shard) buckets.
-//     Duplicate-port detection uses a reusable bitset instead of a
-//     per-sender map.
-//   - Pass C (receiver shards, worker pool): each worker owns a
-//     contiguous range of receivers and drains every sender shard's
-//     bucket for it — in ascending sender-shard order, so each inbox sees
-//     deliveries in exactly the order the sequential engine produced —
-//     into nextInbox without any cross-worker append contention.
-//   - Pass D (coordination thread, ascending node order): per-worker
+//     deliveries into per-(sender-shard, receiver-shard) buckets for
+//     the next round's delivery stage. Buckets are double-buffered by
+//     round parity so the fused path can fill this round's generation
+//     while shards are still draining the previous one.
+//   - Merge (coordination thread, ascending node order): per-worker
 //     counters and violations merge, and crash events plus per-sender
 //     lane digests fold into the run digest. Everything order-sensitive
-//     happens here, which is the determinism argument: the run digest is
-//     a pure function of per-sender lanes folded in node order, and each
-//     lane is a pure function of one sender's outbox.
+//     happens here, which is the determinism argument: the run digest
+//     is a pure function of per-sender lanes folded in node order, and
+//     each lane is a pure function of one sender's outbox.
 //
-// All buffers (buckets, bitsets, lane arrays, crash masks) are allocated
-// once per Run and recycled, so the steady-state round loop performs no
-// allocations.
+// All buffers (buckets, inbox arenas, bitsets, lane arrays, crash
+// masks, flat counters) are allocated once per Run — pre-sized from the
+// Config and the interned-kind registry — and recycled, so the
+// steady-state round loop performs no allocations at any n.
 
 import (
 	"fmt"
@@ -41,9 +52,10 @@ import (
 )
 
 // routed is a delivery annotated with its receiver, parked in a bucket
-// between the sender pass and the receiver scatter pass.
+// between the send stage of one round and the delivery stage of the
+// next.
 type routed struct {
-	to int
+	to int32
 	d  Delivery
 }
 
@@ -55,11 +67,11 @@ const (
 	tevViolation
 )
 
-// tev is one trace event parked in a sender's buffer between pass B
-// (workers) and pass D (coordination thread). Like lane digests, the
-// per-sender buffers are written only by the worker that owns the
-// sender's shard and read only after the barrier, so they need no
-// locking and recycle across rounds.
+// tev is one trace event parked in a sender's buffer between the send
+// stage (workers) and the merge (coordination thread). Like lane
+// digests, the per-sender buffers are written only by the worker that
+// owns the sender's shard and read only after the barrier, so they need
+// no locking and recycle across rounds.
 type tev struct {
 	op     uint8
 	port   int32
@@ -71,18 +83,23 @@ type tev struct {
 // delivWorker is one worker's private slice of pipeline state. Nothing
 // here is touched by any other goroutine between barriers.
 type delivWorker struct {
-	messages   int64
-	bits       int64
-	perKind    []int64    // flat tallies indexed by metrics.Kind
-	portSeen   []uint64   // duplicate-port bitset, cleared after each sender
-	buckets    [][]routed // outgoing deliveries, one bucket per receiver shard
+	messages int64
+	bits     int64
+	perKind  []int64  // flat tallies indexed by metrics.Kind
+	portSeen []uint64 // duplicate-port bitset, cleared after each sender
+	// buckets[g][rs] holds deliveries routed to receiver shard rs during
+	// a round of parity g. Two generations, because in the fused path the
+	// delivery stage of round r drains generation (r-1)&1 while the send
+	// stage of the same dispatch fills generation r&1.
+	buckets    [2][][]routed
 	violations []Violation
 	err        error // first strict-mode violation; aborts the run
+	inFlight   bool  // some sender in this shard produced a nonempty outbox
 }
 
-// violate records a CONGEST violation, mirroring Engine.violate: an error
-// in strict mode (stored, surfaced at the barrier), a record otherwise.
-// It reports whether processing may continue.
+// violate records a CONGEST violation: an error in strict mode (stored,
+// surfaced at the barrier), a record otherwise. It reports whether
+// processing may continue.
 func (wk *delivWorker) violate(strict bool, node, round int, reason string) bool {
 	if strict {
 		wk.err = fmt.Errorf("netsim: node %d round %d: %s", node, round, reason)
@@ -96,41 +113,50 @@ func (wk *delivWorker) count(k metrics.Kind, bits int) {
 	wk.messages++
 	wk.bits += int64(bits)
 	if int(k) >= len(wk.perKind) {
-		grown := make([]int64, maxIntn(int(k)+1, metrics.KindCount()))
+		grown := make([]int64, max(int(k)+1, metrics.KindCount()))
 		copy(grown, wk.perKind)
 		wk.perKind = grown
 	}
 	wk.perKind[k]++
 }
 
-// pipeline executes Phase 2 for every round of one Run. It also lends its
-// worker pool to the Parallel mode's step phase, so an engine spins up at
-// most one pool regardless of mode.
+// pipeline executes the delivery/step/send stages for every round of one
+// Run and owns all round-recycled state: SoA inboxes, outboxes, routing
+// buckets, lanes, and crash masks.
 type pipeline struct {
 	e     *Engine
 	w     int // shard / worker count
-	chunk int // nodes per shard
+	chunk int // nodes per shard; a power of two, so routing is a shift
+	shift uint // log2(chunk)
 
 	workers  []delivWorker
+	inbox    []shardInbox // one SoA inbox per receiver shard
+	outboxes [][]Send
 	lane     []uint64 // per-sender lane digest; 0 = no events this round
-	crashing []bool   // per-sender: crashed this round
+	crashing []bool   // per-sender: crashed this round; cleared by merge
+	faulty   []bool   // adversary's static faulty set, cached once per Run
 	keep     [][]bool // crash-round delivery masks, indexed by sender
 	tevs     [][]tev  // per-sender trace-event buffers; nil when untraced
 	pool     *shardPool
 
 	// Per-dispatch inputs, set on the coordination thread before the
 	// pass barrier releases the workers.
-	round    int
-	outboxes [][]Send
+	round int
+	gen   int // bucket generation the send stage fills: round & 1
 }
 
 // passID selects the work a dispatched shard performs.
 type passID int
 
 const (
-	passStep    passID = iota // Phase 1: step machines (Parallel mode)
-	passSenders               // Phase 2, pass B: process sender outboxes
-	passScatter               // Phase 2, pass C: scatter buckets to inboxes
+	// passFused runs delivery, step, and send back to back in one
+	// dispatch — the single-barrier path for crash-free rounds.
+	passFused passID = iota
+	// passDeliverStep runs delivery and step, then returns to the
+	// coordination thread for crash decisions before passSenders.
+	passDeliverStep
+	// passSenders runs the send stage after crash decisions.
+	passSenders
 )
 
 func newPipeline(e *Engine, w int) *pipeline {
@@ -141,21 +167,42 @@ func newPipeline(e *Engine, w int) *pipeline {
 	if w < 1 {
 		w = 1
 	}
-	chunk := (n + w - 1) / w
+	// Round the shard size up to a power of two: the send stage routes
+	// every message with a shift instead of an integer division, and the
+	// slight imbalance this can leave in the last shard is noise next to
+	// a per-message div. Digests are shard-geometry-independent (see
+	// buildInbox), so this is invisible in every observable.
+	chunk := 1
+	shift := uint(0)
+	for chunk*w < n {
+		chunk <<= 1
+		shift++
+	}
 	w = (n + chunk - 1) / chunk // drop empty tail shards
 	p := &pipeline{
 		e:        e,
 		w:        w,
 		chunk:    chunk,
+		shift:    shift,
 		workers:  make([]delivWorker, w),
+		inbox:    make([]shardInbox, w),
+		outboxes: make([][]Send, n),
 		lane:     make([]uint64, n),
 		crashing: make([]bool, n),
+		faulty:   make([]bool, n),
 		keep:     make([][]bool, n),
 	}
 	words := (n + 63) / 64
+	kinds := metrics.KindCount()
 	for i := range p.workers {
 		p.workers[i].portSeen = make([]uint64, words)
-		p.workers[i].buckets = make([][]routed, w)
+		p.workers[i].perKind = make([]int64, kinds)
+		p.workers[i].buckets[0] = make([][]routed, w)
+		p.workers[i].buckets[1] = make([][]routed, w)
+	}
+	for s := range p.inbox {
+		lo := s * chunk
+		p.inbox[s] = newShardInbox(lo, min(lo+chunk, n))
 	}
 	if e.cfg.Tracer != nil {
 		p.tevs = make([][]tev, n)
@@ -172,36 +219,45 @@ func (p *pipeline) close() {
 	}
 }
 
-// stepRound runs Phase 1 (machine stepping) for the Parallel mode across
-// the shard pool.
-func (p *pipeline) stepRound(round int, outboxes [][]Send) {
+// fusedRound runs a crash-free round in a single dispatch: every shard
+// delivers, steps, and processes sends without re-synchronizing.
+func (p *pipeline) fusedRound(round int) {
 	p.round = round
-	p.outboxes = outboxes
-	p.dispatch(passStep)
+	p.gen = round & 1
+	p.dispatch(passFused)
 }
 
-// runRound executes Phase 2 for one round and reports whether any sender
-// still had messages in flight.
-func (p *pipeline) runRound(round int, outboxes [][]Send) (bool, error) {
+// deliverStep runs the delivery and step stages of a round that may
+// crash, leaving the outboxes ready for the coordination thread's crash
+// pass.
+func (p *pipeline) deliverStep(round int) {
+	p.round = round
+	p.gen = round & 1
+	p.dispatch(passDeliverStep)
+}
+
+// senders runs the send stage after crash decisions.
+func (p *pipeline) senders(round int) {
+	p.dispatch(passSenders)
+}
+
+// crashPass consults the adversary for this round's crash decisions, on
+// the coordination thread in ascending node order — the exact call
+// sequence stateful adversaries observed under the original sequential
+// engine. It returns the number of nodes that crashed.
+func (p *pipeline) crashPass(round int) int {
 	e := p.e
 	n := e.cfg.N
-	inFlight := false
-
-	// Pass A: crash decisions, on the coordination thread in ascending
-	// node order — the exact call sequence stateful adversaries observed
-	// under the sequential engine.
+	crashes := 0
 	for u := 0; u < n; u++ {
-		outbox := outboxes[u]
-		p.crashing[u] = false
+		outbox := p.outboxes[u]
 		if outbox == nil {
-			continue
+			continue // crashed in an earlier round
 		}
-		if len(outbox) > 0 {
-			inFlight = true
-		}
-		if e.crashedAt[u] == 0 && e.adv.Faulty(u) && e.adv.CrashNow(u, round, outbox) {
+		if e.crashedAt[u] == 0 && p.faulty[u] && e.adv.CrashNow(u, round, outbox) {
 			p.crashing[u] = true
 			e.crashedAt[u] = round
+			crashes++
 			mask := p.keep[u]
 			if cap(mask) < len(outbox) {
 				mask = make([]bool, len(outbox))
@@ -210,32 +266,37 @@ func (p *pipeline) runRound(round int, outboxes [][]Send) (bool, error) {
 			}
 			for i, s := range outbox {
 				// Out-of-range ports never reach the adversary, matching
-				// the sequential engine's call set.
+				// the original engine's call set.
 				mask[i] = s.Port >= 1 && s.Port < n && e.adv.DeliverOnCrash(u, round, i, s)
 			}
 			p.keep[u] = mask
 		}
 	}
+	return crashes
+}
 
-	p.round = round
-	p.outboxes = outboxes
-	p.dispatch(passSenders)
-	if p.w > 1 {
-		// Single-shard pipelines route deliveries straight into nextInbox
-		// during the sender pass; only multi-shard runs need the scatter.
-		p.dispatch(passScatter)
-	}
-
-	// Pass D: deterministic merge. Strict-mode errors surface first — the
-	// lowest-numbered worker holds the violation with the smallest
-	// (sender, message) position, matching the sequential engine's abort.
+// merge is the deterministic round barrier on the coordination thread:
+// strict-mode errors surface first — the lowest-numbered worker holds
+// the violation with the smallest (sender, message) position, matching
+// the original engine's abort — then per-worker counters and violations
+// fold in worker order, and crash events plus per-sender lanes fold
+// into the run digest in ascending node order. It reports whether any
+// sender had messages in flight this round.
+func (p *pipeline) merge(round int) (bool, error) {
+	e := p.e
+	n := e.cfg.N
 	for i := range p.workers {
 		if err := p.workers[i].err; err != nil {
 			return false, err
 		}
 	}
+	inFlight := false
 	for i := range p.workers {
 		wk := &p.workers[i]
+		if wk.inFlight {
+			inFlight = true
+			wk.inFlight = false
+		}
 		e.counters.AddBulk(wk.messages, wk.bits, wk.perKind)
 		wk.messages, wk.bits = 0, 0
 		for k := range wk.perKind {
@@ -283,7 +344,7 @@ func (p *pipeline) runRound(round int, outboxes [][]Send) (bool, error) {
 				env.annot = env.annot[:0]
 			}
 		}
-		outboxes[u] = nil
+		p.crashing[u] = false
 	}
 	return inFlight, nil
 }
@@ -300,27 +361,90 @@ func (p *pipeline) dispatch(pass passID) {
 
 func (p *pipeline) runShard(shard int, pass passID) {
 	lo := shard * p.chunk
-	hi := lo + p.chunk
-	if hi > p.e.cfg.N {
-		hi = p.e.cfg.N
-	}
+	hi := min(lo+p.chunk, p.e.cfg.N)
 	switch pass {
-	case passStep:
-		for u := lo; u < hi; u++ {
-			p.outboxes[u] = p.e.stepOne(u, p.round)
-		}
+	case passFused:
+		p.buildInbox(shard)
+		p.stepShard(shard, lo, hi)
+		p.sendShard(shard, lo, hi)
+	case passDeliverStep:
+		p.buildInbox(shard)
+		p.stepShard(shard, lo, hi)
 	case passSenders:
-		wk := &p.workers[shard]
-		for u := lo; u < hi; u++ {
-			if outbox := p.outboxes[u]; len(outbox) > 0 {
-				p.processSender(wk, u, outbox)
-				if wk.err != nil {
-					return
-				}
+		p.sendShard(shard, lo, hi)
+	}
+}
+
+// buildInbox assembles receiver shard s's SoA inbox for the current
+// round from the previous round's routing buckets: a stable two-pass
+// counting sort by receiver. Sender shards are visited in ascending
+// order and each bucket holds deliveries in ascending (sender, outbox
+// index) order, so every inbox receives exactly the delivery order the
+// per-node slices used to accumulate — independent of worker count.
+func (p *pipeline) buildInbox(s int) {
+	ib := &p.inbox[s]
+	prev := p.gen ^ 1
+	total := 0
+	for b := range p.workers {
+		total += len(p.workers[b].buckets[prev][s])
+	}
+	if total == 0 && !ib.dirty {
+		return // offsets are already all zero: every inbox slice is empty
+	}
+	cur := ib.cur
+	for i := range cur {
+		cur[i] = 0
+	}
+	for b := range p.workers {
+		for _, r := range p.workers[b].buckets[prev][s] {
+			cur[r.to-int32(ib.lo)]++
+		}
+	}
+	off := ib.off
+	var sum int32
+	for i, c := range cur {
+		off[i] = sum
+		cur[i] = sum
+		sum += c
+	}
+	off[len(ib.cur)] = sum
+	ib.buf = growDeliveries(ib.buf, total)
+	for b := range p.workers {
+		bucket := p.workers[b].buckets[prev][s]
+		for _, r := range bucket {
+			l := r.to - int32(ib.lo)
+			ib.buf[cur[l]] = r.d
+			cur[l]++
+		}
+		p.workers[b].buckets[prev][s] = bucket[:0]
+	}
+	ib.dirty = total > 0
+}
+
+// stepShard steps every live machine in [lo, hi) against the freshly
+// built inbox slices and records the outboxes.
+func (p *pipeline) stepShard(shard, lo, hi int) {
+	wk := &p.workers[shard]
+	ib := &p.inbox[shard]
+	for u := lo; u < hi; u++ {
+		out := p.e.stepOne(u, p.round, ib.slice(u))
+		p.outboxes[u] = out
+		if len(out) > 0 {
+			wk.inFlight = true
+		}
+	}
+}
+
+// sendShard processes every sender in [lo, hi) with a nonempty outbox.
+func (p *pipeline) sendShard(shard, lo, hi int) {
+	wk := &p.workers[shard]
+	for u := lo; u < hi; u++ {
+		if outbox := p.outboxes[u]; len(outbox) > 0 {
+			p.processSender(wk, u, outbox)
+			if wk.err != nil {
+				return
 			}
 		}
-	case passScatter:
-		p.scatter(shard)
 	}
 }
 
@@ -337,11 +461,8 @@ func (p *pipeline) processSender(wk *delivWorker, u int, outbox []Send) {
 		keep = p.keep[u]
 	}
 	checkDup := len(outbox) > 1
-	// With one shard there is no cross-worker routing to serialize, so
-	// deliveries skip the bucket bounce and append straight to nextInbox —
-	// one copy and one write barrier per message instead of two.
-	direct := p.w == 1
 	traced := p.tevs != nil
+	buckets := wk.buckets[p.gen]
 	lane := laneInit()
 	events := 0
 	for i, s := range outbox {
@@ -397,14 +518,16 @@ func (p *pipeline) processSender(wk *delivWorker, u int, outbox []Send) {
 		if traced {
 			p.tevs[u] = append(p.tevs[u], tev{op: tevSend, port: int32(s.Port), bits: int32(sz), kind: kid})
 		}
-		v := (u + s.Port) % n
-		d := Delivery{Port: ArrivalPort(n, u, v), Payload: s.Payload}
-		if direct {
-			e.nextInbox[v] = append(e.nextInbox[v], d)
-		} else {
-			rs := v / p.chunk
-			wk.buckets[rs] = append(wk.buckets[rs], routed{to: v, d: d})
+		// With 1 <= Port < n already validated, Peer and ArrivalPort
+		// reduce to a compare-subtract and a subtract — no div/mod on the
+		// per-message path.
+		v := u + s.Port
+		if v >= n {
+			v -= n
 		}
+		d := Delivery{Port: n - s.Port, Payload: s.Payload}
+		rs := v >> p.shift
+		buckets[rs] = append(buckets[rs], routed{to: int32(v), d: d})
 		if e.trace != nil {
 			// Trace recording forces a single-lane pipeline (see Run), so
 			// this call stays on one goroutine in (sender, index) order.
@@ -420,21 +543,6 @@ func (p *pipeline) processSender(wk *delivWorker, u int, outbox []Send) {
 	}
 	if events > 0 {
 		p.lane[u] = lane
-	}
-}
-
-// scatter drains every sender shard's bucket for this receiver shard into
-// nextInbox. Sender shards are visited in ascending order and each bucket
-// holds deliveries in ascending (sender, index) order, so every inbox
-// receives exactly the sequential engine's delivery order.
-func (p *pipeline) scatter(shard int) {
-	next := p.e.nextInbox
-	for s := range p.workers {
-		bucket := p.workers[s].buckets[shard]
-		for _, r := range bucket {
-			next[r.to] = append(next[r.to], r.d)
-		}
-		p.workers[s].buckets[shard] = bucket[:0]
 	}
 }
 
@@ -484,11 +592,4 @@ func (p *shardPool) close() {
 		close(ch)
 	}
 	p.exited.Wait()
-}
-
-func maxIntn(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

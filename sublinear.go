@@ -107,10 +107,10 @@ type Options struct {
 	// Concurrent runs node state machines on a worker pool with a round
 	// barrier.
 	Concurrent bool
-	// Actors runs one persistent goroutine per node — the literal
-	// "synchronous distributed system as goroutines" construction.
-	// Overrides Concurrent. All engine modes produce identical results
-	// for identical seeds.
+	// Actors selects netsim.Actors, which is now a compatibility alias
+	// for the Parallel sharded pipeline (the goroutine-per-node engine
+	// is retired; see the netsim.RunMode docs). Overrides Concurrent.
+	// All engine modes produce identical results for identical seeds.
 	Actors bool
 	// TCP runs the protocol over real TCP loopback sockets with the
 	// binary wire codec instead of the in-memory simulator: one socket
