@@ -9,6 +9,7 @@
 //	benchjson -baseline BENCH_netsim.json       # measure and compare
 //	benchjson -baseline BENCH_netsim.json -threshold 0.2 -alloc-threshold 0.25
 //	benchjson -sizes 1024,65536 -ratio 1.3 -ratio-n 65536
+//	benchjson -topology                         # add topology-engine entries (general graphs)
 //	benchjson -maxn 60s                         # doubling search: largest n per run budget
 //
 // Comparison fails (exit status 2) when any benchmark's msgs/sec drops
@@ -41,6 +42,7 @@ import (
 	"time"
 
 	"sublinear/internal/netsim"
+	"sublinear/internal/topo"
 	"sublinear/internal/trace"
 )
 
@@ -102,7 +104,9 @@ type pingMachine struct {
 func (m *pingMachine) Step(env *netsim.Env, round int, _ []netsim.Delivery) []netsim.Send {
 	m.last = round
 	m.payload.bits = 8
-	m.out[0] = netsim.Send{Port: 1 + env.Rand.Intn(env.N-1), Payload: &m.payload}
+	// Env.Deg is n-1 on the complete network, so the clique workload is
+	// unchanged; on a general graph the ping goes out a uniform local port.
+	m.out[0] = netsim.Send{Port: 1 + env.Rand.Intn(env.Deg), Payload: &m.payload}
 	return m.out[:]
 }
 
@@ -184,6 +188,52 @@ func bestOf2(n int, mode netsim.RunMode, traced bool) testing.BenchmarkResult {
 	return a
 }
 
+// measureTopo prices the topology engine on a general graph with the
+// same ping workload: one uniform local-port message per node per round.
+// The topology is compiled once outside the timed loop — it is immutable
+// shared state, exactly how long-lived callers hold it — so the entry
+// measures delivery, not graph generation. workers follows topo.Config:
+// 1 is the single-lane schedule, 0 means GOMAXPROCS sharding.
+func measureTopo(family string, n int, modeName string, workers int) (Entry, error) {
+	tp, err := topo.ResolveTopology(family, n, 1)
+	if err != nil {
+		return Entry{}, err
+	}
+	bench := func() testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				machines := make([]netsim.Machine, n)
+				for u := range machines {
+					machines[u] = &pingMachine{}
+				}
+				if _, err := topo.Run(topo.Config{
+					Topology: tp, Alpha: 1, Seed: uint64(i), MaxRounds: rounds, Workers: workers,
+				}, machines, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	a, b := bench(), bench()
+	r := a
+	if b.NsPerOp() < a.NsPerOp() {
+		r = b
+	}
+	nsOp := r.NsPerOp()
+	mode := "topo-" + modeName
+	return Entry{
+		Name:       fmt.Sprintf("TopoEngine/%s/%s/n%d", family, modeName, n),
+		N:          n,
+		Mode:       mode,
+		Rounds:     rounds,
+		NsPerOp:    nsOp,
+		BytesPerOp: r.AllocedBytesPerOp(),
+		AllocsOp:   r.AllocsPerOp(),
+		MsgsPerSec: float64(n*rounds) / (float64(nsOp) * 1e-9),
+	}, nil
+}
+
 func parseSizes(s string) ([]int, error) {
 	var out []int
 	for _, f := range strings.Split(s, ",") {
@@ -213,6 +263,7 @@ func run(args []string, stdout io.Writer) error {
 	ratio := fs.Float64("ratio", 0, "min required parallel/sequential msgs/sec ratio (0 disables; skipped below 4 CPUs)")
 	ratioN := fs.Int("ratio-n", 65536, "node count at which the -ratio gate is evaluated")
 	allowCrossHost := fs.Bool("allow-cross-host", false, "gate against a baseline measured on a different host")
+	topology := fs.Bool("topology", false, "also measure the topology engine (cluster-d2 and wellconnected) at n=1024 and n=4096")
 	maxN := fs.Duration("maxn", 0, "doubling search: report the largest n whose full run fits this budget (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -254,6 +305,25 @@ func run(args []string, stdout io.Writer) error {
 		e := measure(4096, mode.name, mode.mode, true)
 		printEntry(stdout, e)
 		rep.Entries = append(rep.Entries, e)
+	}
+	// Topology-engine entries: the same ping workload on general graphs,
+	// single-lane and sharded, at the two sizes the alloc pins cover.
+	if *topology {
+		for _, family := range []string{"cluster-d2", "wellconnected"} {
+			for _, w := range []struct {
+				name    string
+				workers int
+			}{{"seq", 1}, {"par", 0}} {
+				for _, n := range []int{1024, 4096} {
+					e, err := measureTopo(family, n, w.name, w.workers)
+					if err != nil {
+						return err
+					}
+					printEntry(stdout, e)
+					rep.Entries = append(rep.Entries, e)
+				}
+			}
+		}
 	}
 
 	if *out != "" {

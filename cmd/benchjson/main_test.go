@@ -28,9 +28,9 @@ func entry(name string, msgs float64, allocs, bytes int64) Entry {
 func TestCompareGatesThroughputAndAllocs(t *testing.T) {
 	host := currentHost()
 	base := Report{Schema: 2, Host: host, Entries: []Entry{
-		entry("a", 1000, 100, 1 << 20),
-		entry("b", 1000, 100, 1 << 20),
-		entry("c", 1000, 100, 1 << 20),
+		entry("a", 1000, 100, 1<<20),
+		entry("b", 1000, 100, 1<<20),
+		entry("c", 1000, 100, 1<<20),
 	}}
 	path := writeBaseline(t, base)
 
@@ -40,24 +40,24 @@ func TestCompareGatesThroughputAndAllocs(t *testing.T) {
 		wantErr error
 	}{
 		{"within budget", Report{Schema: 2, Host: host, Entries: []Entry{
-			entry("a", 900, 110, 1 << 20),
+			entry("a", 900, 110, 1<<20),
 		}}, nil},
 		{"throughput regression", Report{Schema: 2, Host: host, Entries: []Entry{
-			entry("a", 700, 100, 1 << 20),
+			entry("a", 700, 100, 1<<20),
 		}}, errRegression},
 		{"alloc count regression", Report{Schema: 2, Host: host, Entries: []Entry{
-			entry("b", 1000, 400, 1 << 20),
+			entry("b", 1000, 400, 1<<20),
 		}}, errRegression},
 		{"alloc bytes regression", Report{Schema: 2, Host: host, Entries: []Entry{
-			entry("c", 1000, 100, 4 << 20),
+			entry("c", 1000, 100, 4<<20),
 		}}, errRegression},
 		{"alloc growth under absolute slack", Report{Schema: 2, Host: host, Entries: []Entry{
 			// 2 -> 40 allocs is a 20x fraction but below the 64-alloc
 			// slack: startup noise, not a regression.
-			entry("a", 1000, 40, 1 << 20),
+			entry("a", 1000, 40, 1<<20),
 		}}, nil},
 		{"unknown entry skipped", Report{Schema: 2, Host: host, Entries: []Entry{
-			entry("zzz", 1, 1 << 30, 1 << 30),
+			entry("zzz", 1, 1<<30, 1<<30),
 		}}, nil},
 	}
 	for _, tc := range cases {

@@ -61,4 +61,13 @@ func init() {
 	realnet.RegisterPayload(kuttenReply{}, uvarintCodec("baseline/kutten-reply",
 		func(p netsim.Payload) uint64 { return p.(kuttenReply).min },
 		func(v uint64) netsim.Payload { return kuttenReply{min: v} }))
+	realnet.RegisterPayload(d2Announce{}, uvarintCodec("baseline/d2-announce",
+		func(p netsim.Payload) uint64 { return uint64(p.(d2Announce).key) },
+		func(v uint64) netsim.Payload { return d2Announce{key: int64(v)} }))
+	realnet.RegisterPayload(d2Reply{}, uvarintCodec("baseline/d2-reply",
+		func(p netsim.Payload) uint64 { return uint64(p.(d2Reply).best) },
+		func(v uint64) netsim.Payload { return d2Reply{best: int64(v)} }))
+	realnet.RegisterPayload(wcRank{}, uvarintCodec("baseline/wc-rank",
+		func(p netsim.Payload) uint64 { return uint64(p.(wcRank).key) },
+		func(v uint64) netsim.Payload { return wcRank{key: int64(v)} }))
 }

@@ -9,6 +9,7 @@ import (
 	"sublinear/internal/fault"
 	"sublinear/internal/netsim"
 	"sublinear/internal/rng"
+	"sublinear/internal/topo"
 )
 
 // runSummary is what cross-engine conformance compares: the execution
@@ -125,7 +126,8 @@ func TestCrossEngineConformance(t *testing.T) {
 	modes := []struct {
 		name string
 		mode netsim.RunMode
-	}{{"sequential", netsim.Sequential}, {"parallel", netsim.Parallel}, {"actors", netsim.Actors}}
+	}{{"sequential", netsim.Sequential}, {"parallel", netsim.Parallel}, {"actors", netsim.Actors},
+		{"topo", topo.CliqueMode}}
 	policies := []fault.DropPolicy{fault.DropAll, fault.DropHalf, fault.DropRandom, fault.DropNone}
 
 	for _, r := range runners {

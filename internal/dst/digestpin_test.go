@@ -6,6 +6,7 @@ import (
 
 	"sublinear/internal/fault"
 	"sublinear/internal/netsim"
+	"sublinear/internal/topo"
 )
 
 // TestDigestSchemaVersionPinned locks the digest schema: any change to
@@ -47,7 +48,51 @@ func TestDigestGoldenValues(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, mode := range []netsim.RunMode{netsim.Sequential, netsim.Parallel, netsim.Actors} {
+		// topo.CliqueMode is the topology engine's clique instance: the v2
+		// golden values pre-date it, so matching them proves the new
+		// pipeline reproduces the historical executions bit-for-bit.
+		for _, mode := range []netsim.RunMode{netsim.Sequential, netsim.Parallel, netsim.Actors, topo.CliqueMode} {
+			t.Run(fmt.Sprintf("%s/seed%d/mode%d", g.system, g.seed, mode), func(t *testing.T) {
+				res, err := sys.Run(c, mode, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Digest != g.want {
+					t.Errorf("digest = %#x, want %#x", res.Digest, g.want)
+				}
+			})
+		}
+	}
+}
+
+// TestTopoDigestGoldenValues pins the topology-family systems the same
+// way: fault-free fixed-seed runs on their native graphs (cluster-d2 and
+// wellconnected), compared across every worker mapping the differential
+// uses. n = 64 so candidacy sampling actually varies with the seed — at
+// n = 32 the small-n threshold makes every node a candidate and the
+// digests of different seeds legitimately coincide.
+func TestTopoDigestGoldenValues(t *testing.T) {
+	golden := []struct {
+		system string
+		n      int
+		seed   uint64
+		want   uint64
+	}{
+		{"d2election", 64, 1, 0xe5fd79d22f033f0b},
+		{"d2election", 64, 2, 0x9c3d7a58444619f0},
+		{"wcelection", 64, 1, 0x27090982f0d36089},
+		{"wcelection", 64, 2, 0x238e4cfdb586c7df},
+	}
+	for _, g := range golden {
+		c := Case{System: g.system, N: g.n, Alpha: 0.9, Seed: g.seed, Schedule: fault.Schedule{N: g.n}}
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		sys, err := Lookup(g.system)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []netsim.RunMode{netsim.Sequential, netsim.Parallel, netsim.Actors, topo.CliqueMode} {
 			t.Run(fmt.Sprintf("%s/seed%d/mode%d", g.system, g.seed, mode), func(t *testing.T) {
 				res, err := sys.Run(c, mode, nil)
 				if err != nil {

@@ -17,6 +17,7 @@ import (
 	"sublinear/internal/fault"
 	"sublinear/internal/netsim"
 	"sublinear/internal/rng"
+	"sublinear/internal/topo"
 	"sublinear/internal/trace"
 )
 
@@ -148,7 +149,12 @@ func (f *Failure) String() string {
 // acceptance criterion for a shrink step.
 func sameBug(a, b *Failure) bool { return a.Kind == b.Kind && a.Oracle == b.Oracle }
 
-// modes are the engine strategies every case runs through.
+// modes are the engine strategies every case runs through. The topo
+// entry is the topology engine's clique instance (internal/topo): a
+// fourth independently scheduled delivery pipeline that must reproduce
+// the reference execution byte-for-byte on every system — the
+// registration contract that lets arbitrary-graph runs share the clique
+// engines' verification story.
 var modes = []struct {
 	name string
 	mode netsim.RunMode
@@ -156,6 +162,7 @@ var modes = []struct {
 	{"sequential", netsim.Sequential},
 	{"parallel", netsim.Parallel},
 	{"actors", netsim.Actors},
+	{"topo", topo.CliqueMode},
 }
 
 // Check executes the case differentially through all engine modes and

@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"sublinear/internal/baseline"
+	"sublinear/internal/fault"
+	"sublinear/internal/netsim"
+	"sublinear/internal/rng"
+	"sublinear/internal/topo"
+)
+
+func init() {
+	Register(Runner{"E14", "Topology-general elections: graph family x adversary", runE14})
+}
+
+// runE14 is the in-process twin of the topo-matrix fleet sweep: it runs
+// the diameter-two election (Chatterjee-Kharbanda-Pandurangan style
+// candidacy sampling) and its well-connected variant across graph
+// families and crash adversaries, and checks the measured message totals
+// against the O(n log n) target that motivates the family — the repo's
+// answer to the paper's open problem 2 direction (general networks).
+func runE14(cfg Config) (*Report, error) {
+	rep := &Report{ID: "E14", Title: "Topology-general elections: message cost and success across graph families"}
+	n := pick(cfg, 1024, 128)
+	reps := pick(cfg, 20, 5)
+	f := n / 10
+	nlogn := float64(n) * math.Log2(float64(n))
+
+	type point struct {
+		label    string
+		topology string
+		wc       bool // wcelection instead of d2election
+		faulty   bool
+	}
+	points := []point{
+		{"d2/cluster-d2", "cluster-d2", false, false},
+		{"d2/cluster-d2/crash", "cluster-d2", false, true},
+		{"d2/star", "star", false, false},
+		{"d2/clique", "clique", false, false},
+		{"d2/clique/crash", "clique", false, true},
+		{"wc/wellconnected", "wellconnected", true, false},
+		{"wc/wellconnected/crash", "wellconnected", true, true},
+		{"wc/random-regular", "random-regular", true, false},
+	}
+
+	tbl := NewTable(fmt.Sprintf("n=%d, f=%d random crashes (DropHalf) on crash rows, %d reps", n, f, reps),
+		"point", "success", "mean msgs", "msgs/(n lg n)", "mean rounds")
+	var labels []string
+	var ratios []float64
+	for _, pt := range points {
+		cfg.progressf("E14: %s\n", pt.label)
+		ok := 0
+		var msgs, rounds float64
+		for r := 0; r < reps; r++ {
+			seed := cfg.SeedBase + uint64(r)*7919
+			tp, err := topo.ResolveTopology(pt.topology, n, seed)
+			if err != nil {
+				return nil, err
+			}
+			var adv netsim.Adversary
+			if pt.faulty {
+				adv = fault.Must(fault.NewRandomPlan(n, f, 3, fault.DropHalf, rng.New(seed^0xfa)))
+			}
+			var res *baseline.Result
+			if pt.wc {
+				res, err = baseline.RunWCElection(baseline.WCConfig{N: n, Seed: seed, Topology: tp}, adv)
+			} else {
+				res, err = baseline.RunD2Election(baseline.D2Config{N: n, Seed: seed, Topology: tp}, adv)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if res.Success {
+				ok++
+			}
+			msgs += float64(res.Counters.Messages())
+			rounds += float64(res.Rounds)
+		}
+		meanMsgs := msgs / float64(reps)
+		tbl.AddRow(pt.label, rate(ok, reps), fmt.Sprintf("%.0f", meanMsgs),
+			fmt.Sprintf("%.2f", meanMsgs/nlogn), fmt.Sprintf("%.1f", rounds/float64(reps)))
+		labels = append(labels, pt.label)
+		ratios = append(ratios, meanMsgs/nlogn)
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	rep.figure("figure: messages/(n lg n) by point", false, labels, ratios)
+	rep.notef("diameter-two rows stay within a constant factor of n lg n (the clique row pays Theta(n) per candidate, still O(n lg n) by the O(lg n) candidacy bound); the well-connected variant trades rounds (diameter-many) for the same candidacy-driven message bill. Crash rows may lose uniqueness when a candidate dies mid-relay — the success column quantifies how often.")
+	return rep, nil
+}

@@ -6,7 +6,7 @@ import "fmt"
 // distributed coordinator (internal/fleet) can decompose them into
 // seed-range shards, farm the shards out to simd workers, and merge the
 // results back into the same kind of tables the in-process harness
-// renders. The bespoke E1–E13 experiments stay single-process functions;
+// renders. The bespoke E1–E14 experiments stay single-process functions;
 // a Sweep is the distribution-friendly subset: a list of parameter
 // points, each repeated Reps times with the standard seed schedule
 // seed(r) = base + r*SeedStride.
@@ -38,6 +38,10 @@ type SweepPoint struct {
 	Explicit bool
 	Hunter   bool
 	Late     bool
+	// Topology names the graph family for topology-general protocols
+	// (d2election, wcelection); empty selects the protocol's native
+	// family. Non-topology protocols must leave it empty.
+	Topology string
 	// Reps is the repetition budget of this point.
 	Reps int
 }
@@ -128,7 +132,25 @@ var standardSweeps = []Sweep{
 			{Label: "amp", Protocol: "amp", N: 64, Alpha: 0.7, Reps: 12},
 		},
 	},
+	{
+		Name:  "topo-matrix",
+		Title: "topology-general elections: graph family x adversary (n=64)",
+		Points: []SweepPoint{
+			{Label: "d2/cluster-d2", Protocol: "d2election", N: 64, Alpha: 0.9, F: intp(0), Topology: "cluster-d2", Reps: 12},
+			{Label: "d2/cluster-d2/f", Protocol: "d2election", N: 64, Alpha: 0.9, F: intp(6), Policy: "half", Topology: "cluster-d2", Reps: 12},
+			{Label: "d2/star", Protocol: "d2election", N: 64, Alpha: 0.9, F: intp(0), Topology: "star", Reps: 12},
+			{Label: "d2/clique", Protocol: "d2election", N: 64, Alpha: 0.9, F: intp(0), Topology: "clique", Reps: 12},
+			{Label: "d2/clique/f", Protocol: "d2election", N: 64, Alpha: 0.9, F: intp(6), Policy: "random", Topology: "clique", Reps: 12},
+			{Label: "wc/wellconnected", Protocol: "wcelection", N: 64, Alpha: 0.9, F: intp(0), Topology: "wellconnected", Reps: 12},
+			{Label: "wc/wellconnected/f", Protocol: "wcelection", N: 64, Alpha: 0.9, F: intp(6), Policy: "half", Topology: "wellconnected", Reps: 12},
+			{Label: "wc/random-regular", Protocol: "wcelection", N: 64, Alpha: 0.9, F: intp(0), Topology: "random-regular", Reps: 12},
+			{Label: "wc/ring", Protocol: "wcelection", N: 64, Alpha: 0.9, F: intp(0), Topology: "ring", Reps: 12},
+		},
+	},
 }
+
+// intp builds the optional faulty-count pointer sweep points use.
+func intp(v int) *int { return &v }
 
 // StandardSweeps returns the named sweeps, in declaration order.
 func StandardSweeps() []Sweep {

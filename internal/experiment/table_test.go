@@ -66,8 +66,8 @@ func TestFormatFloat(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
-		t.Fatalf("registered experiments = %d, want 13", len(all))
+	if len(all) != 14 {
+		t.Fatalf("registered experiments = %d, want 14", len(all))
 	}
 	seen := map[string]bool{}
 	for _, r := range all {

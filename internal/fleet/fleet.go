@@ -239,6 +239,7 @@ func pointSpec(pt experiment.SweepPoint, trace bool) (simsvc.JobSpec, error) {
 		Explicit: pt.Explicit,
 		Hunter:   pt.Hunter,
 		Late:     pt.Late,
+		Topology: pt.Topology,
 		Raw:      true,
 		Trace:    trace,
 	}, nil

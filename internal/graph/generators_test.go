@@ -1,0 +1,197 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// generatorsUnderTest builds every generator at a given size, skipping
+// sizes a generator does not support.
+func generatorsUnderTest(n int, seed uint64) map[string]Graph {
+	out := map[string]Graph{}
+	add := func(name string, g Graph, err error) {
+		if err == nil {
+			out[name] = g
+		}
+	}
+	g, err := Complete(n)
+	add("complete", g, err)
+	g, err = Ring(n)
+	add("ring", g, err)
+	g, err = ClusterD2(n)
+	add("cluster-d2", g, err)
+	g, err = Star(n)
+	add("star", g, err)
+	g, err = WellConnected(n, seed)
+	add("wellconnected", g, err)
+	g, err = CliquePorts(n)
+	add("clique-ports", g, err)
+	if n >= 6 {
+		g, err = RandomRegular(n, 4, seed)
+		add("random-regular", g, err)
+	}
+	return out
+}
+
+// checkPortContract verifies the Graph port invariants: ports 1..Degree
+// enumerate distinct neighbors, PortOf inverts Neighbor on both
+// endpoints, and non-neighbors report port 0.
+func checkPortContract(t *testing.T, name string, g Graph) {
+	t.Helper()
+	n := g.N()
+	for u := 0; u < n; u++ {
+		seen := map[int]bool{}
+		for p := 1; p <= g.Degree(u); p++ {
+			v := g.Neighbor(u, p)
+			if v == u || v < 0 || v >= n {
+				t.Fatalf("%s: Neighbor(%d,%d) = %d out of range", name, u, p, v)
+			}
+			if seen[v] {
+				t.Fatalf("%s: node %d has duplicate neighbor %d", name, u, v)
+			}
+			seen[v] = true
+			if got := g.PortOf(u, v); got != p {
+				t.Fatalf("%s: PortOf(%d,%d) = %d, want %d", name, u, v, got, p)
+			}
+			// The edge is symmetric: v must see u on some port.
+			back := g.PortOf(v, u)
+			if back < 1 || back > g.Degree(v) || g.Neighbor(v, back) != u {
+				t.Fatalf("%s: edge (%d,%d) is not symmetric (back port %d)", name, u, v, back)
+			}
+		}
+		for v := 0; v < n; v++ {
+			if v != u && !seen[v] && g.PortOf(u, v) != 0 {
+				t.Fatalf("%s: PortOf(%d,%d) = %d for non-neighbor", name, u, v, g.PortOf(u, v))
+			}
+		}
+	}
+}
+
+// TestGeneratorsConnectedAndSymmetric is the property sweep the issue
+// asks for: every generator at n in {2, 3, odd, power-of-two} yields a
+// connected graph whose Neighbor/PortOf wiring is a symmetric bijection.
+func TestGeneratorsConnectedAndSymmetric(t *testing.T) {
+	for _, n := range []int{2, 3, 7, 16, 33} {
+		for name, g := range generatorsUnderTest(n, 11) {
+			t.Run(fmt.Sprintf("%s/n%d", name, n), func(t *testing.T) {
+				if g.N() != n {
+					t.Fatalf("N() = %d, want %d", g.N(), n)
+				}
+				if !IsConnected(g) {
+					t.Fatalf("%s on %d nodes is not connected", name, n)
+				}
+				checkPortContract(t, name, g)
+			})
+		}
+	}
+}
+
+// TestGeneratorsSeedStable checks byte-stable determinism with
+// testing/quick: for arbitrary (n, seed), generating twice yields the
+// identical adjacency.
+func TestGeneratorsSeedStable(t *testing.T) {
+	same := func(a, b Graph) bool {
+		if a.N() != b.N() {
+			return false
+		}
+		for u := 0; u < a.N(); u++ {
+			if a.Degree(u) != b.Degree(u) {
+				return false
+			}
+			for p := 1; p <= a.Degree(u); p++ {
+				if a.Neighbor(u, p) != b.Neighbor(u, p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	prop := func(rawN uint8, seed uint64) bool {
+		n := 2 + int(rawN)%64
+		for _, build := range []func() (Graph, error){
+			func() (Graph, error) { return ClusterD2(n) },
+			func() (Graph, error) { return Star(n) },
+			func() (Graph, error) { return WellConnected(n, seed) },
+		} {
+			a, errA := build()
+			b, errB := build()
+			if (errA == nil) != (errB == nil) {
+				return false
+			}
+			if errA == nil && !same(a, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiameterTwoFamily pins the defining property of the diameter-two
+// generators: ClusterD2 and Star have diameter <= 2 at every size, hub
+// construction included.
+func TestDiameterTwoFamily(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 9, 16, 33, 64, 100} {
+		for _, tc := range []struct {
+			name  string
+			build func() (Graph, error)
+		}{
+			{"cluster-d2", func() (Graph, error) { return ClusterD2(n) }},
+			{"star", func() (Graph, error) { return Star(n) }},
+		} {
+			g, err := tc.build()
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", tc.name, n, err)
+			}
+			if d := Diameter(g); d > 2 {
+				t.Errorf("%s n=%d: diameter %d, want <= 2", tc.name, n, d)
+			}
+		}
+	}
+}
+
+// TestClusterD2Sparse pins the Theta(n^1.5) edge regime: far below the
+// clique at the sizes the benchmarks use.
+func TestClusterD2Sparse(t *testing.T) {
+	n := 1024
+	g, err := ClusterD2(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := 0
+	for u := 0; u < n; u++ {
+		edges += g.Degree(u)
+	}
+	edges /= 2
+	if lim := 3 * n * 32; edges > lim { // 3*n*sqrt(n)
+		t.Errorf("cluster-d2 n=%d has %d edges, want <= %d", n, edges, lim)
+	}
+	if edges >= n*(n-1)/4 {
+		t.Errorf("cluster-d2 n=%d has %d edges — not sparse vs clique", n, edges)
+	}
+}
+
+// TestCliquePortsMatchesNetsimWiring pins the fixed-wiring contract
+// CliquePorts documents: Neighbor(u,p) = (u+p) mod n and the arrival
+// port of a message from u at v is (u-v) mod n.
+func TestCliquePortsMatchesNetsimWiring(t *testing.T) {
+	n := 9
+	g, err := CliquePorts(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < n; u++ {
+		for p := 1; p < n; p++ {
+			v := (u + p) % n
+			if got := g.Neighbor(u, p); got != v {
+				t.Fatalf("Neighbor(%d,%d) = %d, want %d", u, p, got, v)
+			}
+			if got := g.PortOf(v, u); got != ((u-v)%n+n)%n {
+				t.Fatalf("PortOf(%d,%d) = %d, want %d", v, u, got, ((u-v)%n+n)%n)
+			}
+		}
+	}
+}

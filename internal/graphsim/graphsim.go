@@ -4,6 +4,15 @@
 // Machine, Payload, Send/Delivery and Adversary contracts; the only
 // difference is that node u's ports 1..Deg(u) follow the topology of an
 // internal/graph.Graph instead of the complete wiring.
+//
+// Since internal/topo landed, this package is a compatibility facade: the
+// graph is compiled to a topo.Topology and the run executes on the
+// topology engine's single-worker configuration — the same delivery
+// pipeline, CONGEST accounting, and digest schema as every other engine,
+// instead of the per-round allocating loop that used to live here.
+// Workers is pinned to 1 because this package's historical contract
+// permits machines that share state across nodes (its own tests do);
+// callers wanting the sharded engine use internal/topo directly.
 package graphsim
 
 import (
@@ -12,7 +21,7 @@ import (
 	"sublinear/internal/graph"
 	"sublinear/internal/metrics"
 	"sublinear/internal/netsim"
-	"sublinear/internal/rng"
+	"sublinear/internal/topo"
 )
 
 // Config parameterises a general-graph run.
@@ -44,6 +53,9 @@ type Result struct {
 	Counters *metrics.Counters
 	// Violations holds CONGEST violations in non-strict mode.
 	Violations []netsim.Violation
+	// Digest is the engine's execution fingerprint, in the shared
+	// netsim schema (new with the topo backend; 0 never occurs).
+	Digest uint64
 }
 
 // Run executes the machines on the graph under the adversary (nil means
@@ -59,127 +71,32 @@ func Run(cfg Config, machines []netsim.Machine, adv netsim.Adversary) (*Result, 
 	if cfg.MaxRounds < 1 {
 		return nil, fmt.Errorf("graphsim: MaxRounds must be >= 1")
 	}
-	if adv == nil {
-		adv = netsim.NoFaults{}
-	}
 	factor := cfg.CongestFactor
 	if factor == 0 {
 		factor = 12
 	}
-	budget := factor * ceilLog2(n)
-
-	g := cfg.Graph
-	root := rng.New(cfg.Seed)
-	envs := make([]*netsim.Env, n)
-	for u := 0; u < n; u++ {
-		envs[u] = &netsim.Env{
-			N: n, ID: u, Alpha: cfg.Alpha,
-			Rand: root.Split(uint64(u)),
-			Deg:  g.Degree(u),
-		}
+	tp, err := topo.Compile(cfg.Graph)
+	if err != nil {
+		return nil, fmt.Errorf("graphsim: %w", err)
 	}
-
-	var (
-		counters   metrics.Counters
-		violations []netsim.Violation
-		crashedAt  = make([]int, n)
-		inboxes    = make([][]netsim.Delivery, n)
-		nextInbox  = make([][]netsim.Delivery, n)
-	)
-	violate := func(u, round int, reason string) error {
-		if cfg.Strict {
-			return fmt.Errorf("graphsim: node %d round %d: %s", u, round, reason)
-		}
-		violations = append(violations, netsim.Violation{Node: u, Round: round, Reason: reason})
-		return nil
+	res, err := topo.Run(topo.Config{
+		Topology:      tp,
+		Alpha:         cfg.Alpha,
+		Seed:          cfg.Seed,
+		MaxRounds:     cfg.MaxRounds,
+		CongestFactor: factor,
+		Strict:        cfg.Strict,
+		Workers:       1,
+	}, machines, adv)
+	if err != nil {
+		return nil, err
 	}
-
-	rounds := 0
-	for round := 1; round <= cfg.MaxRounds; round++ {
-		rounds = round
-		counters.BeginRound(round)
-		inFlight := false
-		for u := 0; u < n; u++ {
-			if crashedAt[u] != 0 {
-				continue
-			}
-			outbox := machines[u].Step(envs[u], round, inboxes[u])
-			crashing := false
-			if adv.Faulty(u) && adv.CrashNow(u, round, outbox) {
-				crashing = true
-				crashedAt[u] = round
-			}
-			usedPorts := make(map[int]bool, len(outbox))
-			for i, s := range outbox {
-				if s.Port < 1 || s.Port > g.Degree(u) {
-					if err := violate(u, round, fmt.Sprintf("port %d out of range [1,%d]", s.Port, g.Degree(u))); err != nil {
-						return nil, err
-					}
-					continue
-				}
-				if usedPorts[s.Port] {
-					if err := violate(u, round, fmt.Sprintf("two messages on port %d", s.Port)); err != nil {
-						return nil, err
-					}
-				}
-				usedPorts[s.Port] = true
-				if sz := s.Payload.Bits(n); sz > budget {
-					if err := violate(u, round, fmt.Sprintf("payload %q is %d bits, budget %d", s.Payload.Kind(), sz, budget)); err != nil {
-						return nil, err
-					}
-				}
-				counters.AddKind(netsim.PayloadKindID(s.Payload), s.Payload.Bits(n))
-				if crashing && !adv.DeliverOnCrash(u, round, i, s) {
-					continue
-				}
-				v := g.Neighbor(u, s.Port)
-				nextInbox[v] = append(nextInbox[v], netsim.Delivery{
-					Port:    g.PortOf(v, u),
-					Payload: s.Payload,
-				})
-			}
-			if len(outbox) > 0 {
-				inFlight = true
-			}
-		}
-		inboxes, nextInbox = nextInbox, inboxes
-		for u := range nextInbox {
-			nextInbox[u] = nextInbox[u][:0]
-		}
-		if !inFlight {
-			quiet := true
-			for u := 0; u < n; u++ {
-				if crashedAt[u] == 0 && !machines[u].Done() {
-					quiet = false
-					break
-				}
-			}
-			if quiet {
-				break
-			}
-		}
-	}
-
-	res := &Result{
-		Outputs:    make([]any, n),
-		CrashedAt:  crashedAt,
-		Rounds:     rounds,
-		Counters:   &counters,
-		Violations: violations,
-	}
-	for u, m := range machines {
-		res.Outputs[u] = m.Output()
-	}
-	return res, nil
-}
-
-func ceilLog2(n int) int {
-	b := 0
-	for v := 1; v < n; v <<= 1 {
-		b++
-	}
-	if b < 1 {
-		b = 1
-	}
-	return b
+	return &Result{
+		Outputs:    res.Outputs,
+		CrashedAt:  res.CrashedAt,
+		Rounds:     res.Rounds,
+		Counters:   res.Counters,
+		Violations: res.Violations,
+		Digest:     res.Digest,
+	}, nil
 }

@@ -16,12 +16,13 @@ import (
 	"strings"
 
 	"sublinear/internal/fault"
+	"sublinear/internal/topo"
 )
 
 // Protocols accepted by JobSpec.Protocol. The core three run the paper's
 // algorithms through the public sublinear API; the baseline names run the
 // Table-I comparators; "experiment" replays a registered experiment
-// (E1–E13) from the shared internal/experiment registry; "dst" runs a
+// (E1–E14) from the shared internal/experiment registry; "dst" runs a
 // deterministic-simulation fuzzing campaign (internal/dst) over the real
 // protocols, where Reps is the case budget and a "success" is a case
 // with no engine divergence and no oracle violation; "mc" exhaustively
@@ -43,10 +44,23 @@ var baselineProtocols = map[string]bool{
 	"allpairs": true, "kutten": true, "amp": true,
 }
 
+// topologyProtocols run on internal/topo instead of the clique engines
+// and accept the Topology field: leader election on diameter-two graphs
+// ("d2election") and on well-connected expanders ("wcelection").
+// defaultTopology is each protocol's native graph family, resolved into
+// the spec so two spellings of the default share one cache entry.
+var defaultTopology = map[string]string{
+	"d2election": "cluster-d2",
+	"wcelection": "wellconnected",
+}
+
 // Protocols returns every accepted protocol name, sorted.
 func Protocols() []string {
 	out := []string{ProtoElection, ProtoAgreement, ProtoMinAgree, ProtoExperiment, ProtoDST, ProtoMC}
 	for p := range baselineProtocols {
+		out = append(out, p)
+	}
+	for p := range defaultTopology {
 		out = append(out, p)
 	}
 	sort.Strings(out)
@@ -72,8 +86,15 @@ type JobSpec struct {
 	// empty means half.
 	Policy string `json:"policy,omitempty"`
 	// Engine selects the execution engine (seq|concurrent|actors); empty
-	// means seq. All engines are deterministic per seed.
+	// means seq. All engines are deterministic per seed. For topology
+	// protocols the engine maps onto the topo pipeline's worker count
+	// (1, GOMAXPROCS, 2) — digests are identical across all of them.
 	Engine string `json:"engine,omitempty"`
+	// Topology names the graph family a topology protocol runs on (see
+	// topo.TopologyNames); empty resolves the protocol's native family
+	// (cluster-d2 for d2election, wellconnected for wcelection). Only
+	// valid for topology protocols.
+	Topology string `json:"topology,omitempty"`
 	// Explicit runs the explicit extension of election/agreement.
 	Explicit bool `json:"explicit,omitempty"`
 	// Hunter uses the adaptive committee-hunting adversary (election).
@@ -137,7 +158,7 @@ func (s JobSpec) Normalize(lim Limits) (JobSpec, error) {
 	out.Protocol = strings.ToLower(strings.TrimSpace(s.Protocol))
 	core := out.Protocol == ProtoElection || out.Protocol == ProtoAgreement || out.Protocol == ProtoMinAgree
 	switch {
-	case core, baselineProtocols[out.Protocol]:
+	case core, baselineProtocols[out.Protocol], defaultTopology[out.Protocol] != "":
 	case out.Protocol == ProtoDST:
 		// The campaign picks its own sizes and adversaries; only the seed
 		// and the case budget (Reps) matter. Zero the rest so irrelevant
@@ -147,6 +168,7 @@ func (s JobSpec) Normalize(lim Limits) (JobSpec, error) {
 		out.Explicit, out.Hunter, out.Late = false, false, false
 		out.Experiment, out.Quick = "", false
 		out.Raw, out.Trace = false, false
+		out.Topology = ""
 		out.System, out.Horizon, out.Policies, out.Lo, out.Hi = "", 0, "", 0, 0
 		if out.Reps == 0 {
 			out.Reps = 25
@@ -166,6 +188,7 @@ func (s JobSpec) Normalize(lim Limits) (JobSpec, error) {
 		out.Explicit, out.Hunter, out.Late = false, false, false
 		out.Experiment, out.Quick = "", false
 		out.Raw, out.Trace = false, false
+		out.Topology = ""
 		out.Reps = 1
 		if out.System == "" {
 			return out, fmt.Errorf("mc jobs need a system name")
@@ -204,6 +227,7 @@ func (s JobSpec) Normalize(lim Limits) (JobSpec, error) {
 		out.Policy, out.Engine = "", ""
 		out.Explicit, out.Hunter, out.Late = false, false, false
 		out.Raw, out.Trace = false, false
+		out.Topology = ""
 		out.System, out.Horizon, out.Policies, out.Lo, out.Hi = "", 0, "", 0, 0
 		out.Reps = 1
 		return out, nil
@@ -257,7 +281,28 @@ func (s JobSpec) Normalize(lim Limits) (JobSpec, error) {
 	default:
 		return out, fmt.Errorf("unknown engine %q (want seq|concurrent|actors)", out.Engine)
 	}
+	if native := defaultTopology[out.Protocol]; native != "" {
+		if out.Topology == "" {
+			out.Topology = native
+		}
+		if !knownTopology(out.Topology) {
+			return out, fmt.Errorf("unknown topology %q (want one of %s)",
+				out.Topology, strings.Join(topo.TopologyNames(), "|"))
+		}
+	} else if out.Topology != "" {
+		return out, fmt.Errorf("protocol %q does not take a topology", out.Protocol)
+	}
 	return out, nil
+}
+
+// knownTopology reports whether name is a ResolveTopology family.
+func knownTopology(name string) bool {
+	for _, t := range topo.TopologyNames() {
+		if t == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Key returns the content address of a normalized spec: the hex SHA-256
@@ -269,8 +314,8 @@ func (s JobSpec) Key() string {
 	if s.F != nil {
 		f = *s.F
 	}
-	canon := fmt.Sprintf("v4|%s|n=%d|alpha=%g|f=%d|pone=%g|policy=%s|engine=%s|x=%t|h=%t|l=%t|seed=%d|reps=%d|exp=%s|quick=%t|raw=%t|trace=%t|sys=%s|hor=%d|pols=%s|lo=%d|hi=%d",
-		s.Protocol, s.N, s.Alpha, f, s.POne, s.Policy, s.Engine,
+	canon := fmt.Sprintf("v5|%s|n=%d|alpha=%g|f=%d|pone=%g|policy=%s|engine=%s|topo=%s|x=%t|h=%t|l=%t|seed=%d|reps=%d|exp=%s|quick=%t|raw=%t|trace=%t|sys=%s|hor=%d|pols=%s|lo=%d|hi=%d",
+		s.Protocol, s.N, s.Alpha, f, s.POne, s.Policy, s.Engine, s.Topology,
 		s.Explicit, s.Hunter, s.Late, s.Seed, s.Reps, s.Experiment, s.Quick, s.Raw, s.Trace,
 		s.System, s.Horizon, s.Policies, s.Lo, s.Hi)
 	sum := sha256.Sum256([]byte(canon))

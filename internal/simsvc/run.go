@@ -17,6 +17,7 @@ import (
 	"sublinear/internal/netsim"
 	"sublinear/internal/rng"
 	"sublinear/internal/stats"
+	"sublinear/internal/topo"
 	"sublinear/internal/trace"
 )
 
@@ -231,6 +232,21 @@ func coreOptions(spec JobSpec, seed uint64, tracer netsim.Tracer) sublinear.Opti
 	return opts
 }
 
+// engineWorkers maps the spec's engine name onto the topology engine's
+// worker count: the sequential engine is the single-worker schedule, the
+// concurrent engine uses GOMAXPROCS sharding, and the actor engine's
+// closest analogue is a small fixed shard count.
+func engineWorkers(engine string) int {
+	switch engine {
+	case "concurrent":
+		return 0
+	case "actors":
+		return 2
+	default:
+		return 1
+	}
+}
+
 func parsePolicy(s string) sublinear.DropPolicy {
 	switch s {
 	case "all":
@@ -304,6 +320,22 @@ func runBaseline(spec JobSpec, seed uint64, tracer netsim.Tracer) (repOutcome, e
 		res, err = baseline.RunKutten(baseline.KuttenConfig{N: n, Seed: seed, Tracer: tracer})
 	case "amp":
 		res, err = baseline.RunAMP(baseline.AMPConfig{N: n, Seed: seed, Tracer: tracer}, inputs)
+	case "d2election":
+		tp, terr := topo.ResolveTopology(spec.Topology, n, seed)
+		if terr != nil {
+			return repOutcome{}, terr
+		}
+		res, err = baseline.RunD2Election(baseline.D2Config{
+			N: n, Seed: seed, Topology: tp, Workers: engineWorkers(spec.Engine), Tracer: tracer,
+		}, plan(3))
+	case "wcelection":
+		tp, terr := topo.ResolveTopology(spec.Topology, n, seed)
+		if terr != nil {
+			return repOutcome{}, terr
+		}
+		res, err = baseline.RunWCElection(baseline.WCConfig{
+			N: n, Seed: seed, Topology: tp, Workers: engineWorkers(spec.Engine), Tracer: tracer,
+		}, plan(3))
 	default:
 		return repOutcome{}, fmt.Errorf("unknown baseline %q", spec.Protocol)
 	}

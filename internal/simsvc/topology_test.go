@@ -1,0 +1,62 @@
+package simsvc
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestNormalizeTopology pins the topology field's contract: topology
+// protocols default to their native family, unknown families and
+// topology-on-clique-protocol specs are rejected, and the family is
+// part of the cache identity.
+func TestNormalizeTopology(t *testing.T) {
+	d2, err := JobSpec{Protocol: "d2election", N: 64}.Normalize(DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Topology != "cluster-d2" {
+		t.Fatalf("d2election default topology = %q, want cluster-d2", d2.Topology)
+	}
+	wc, err := JobSpec{Protocol: "wcelection", N: 64}.Normalize(DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc.Topology != "wellconnected" {
+		t.Fatalf("wcelection default topology = %q, want wellconnected", wc.Topology)
+	}
+	star, err := JobSpec{Protocol: "d2election", N: 64, Topology: "star"}.Normalize(DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if star.Key() == d2.Key() {
+		t.Fatal("different topologies share a cache key")
+	}
+	if _, err := (JobSpec{Protocol: "d2election", N: 64, Topology: "torus"}).Normalize(DefaultLimits); err == nil ||
+		!strings.Contains(err.Error(), "unknown topology") {
+		t.Fatalf("bogus topology: err = %v, want unknown topology", err)
+	}
+	if _, err := (JobSpec{Protocol: "election", N: 64, Topology: "star"}).Normalize(DefaultLimits); err == nil ||
+		!strings.Contains(err.Error(), "does not take a topology") {
+		t.Fatalf("topology on clique protocol: err = %v, want rejection", err)
+	}
+}
+
+// TestRunTopologyJob runs one d2election job end to end through the
+// service dispatch: every repetition must elect on the requested family.
+func TestRunTopologyJob(t *testing.T) {
+	spec, err := JobSpec{Protocol: "d2election", N: 32, Topology: "star", Seed: 5, Reps: 3}.Normalize(DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runSpec(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Success != 3 {
+		t.Fatalf("success = %d/3 (failures %v)", res.Success, res.Failures)
+	}
+	if res.PerKind["d2-announce"] == 0 || res.PerKind["d2-reply"] == 0 {
+		t.Fatalf("per-kind accounting missing announce/reply: %v", res.PerKind)
+	}
+}

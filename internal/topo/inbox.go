@@ -1,0 +1,51 @@
+package topo
+
+import "sublinear/internal/netsim"
+
+// Struct-of-arrays inbox storage, identical in design to
+// netsim/inbox.go: one contiguous, reusable buffer per receiver shard,
+// partitioned by receiver through an offset table, rebuilt every round
+// by a stable two-pass counting sort and reused as an arena thereafter.
+type shardInbox struct {
+	// lo is the first node of the shard; the offset table is indexed by
+	// u-lo.
+	lo int
+	// buf holds the shard's deliveries for the current round, grouped by
+	// receiver in ascending (sender, outbox index) order.
+	buf []netsim.Delivery
+	// off is the receiver partition: len shardSize+1, off[0] == 0.
+	off []int32
+	// cur is the counting-sort scratch (counts, then placement cursors).
+	cur []int32
+	// dirty records that off holds nonzero entries from the previous
+	// build, so an all-quiet round can skip the rebuild entirely.
+	dirty bool
+}
+
+func newShardInbox(lo, hi int) shardInbox {
+	return shardInbox{
+		lo:  lo,
+		off: make([]int32, hi-lo+1),
+		cur: make([]int32, hi-lo),
+	}
+}
+
+// slice returns node u's inbox for the current round. u must belong to
+// this shard.
+func (ib *shardInbox) slice(u int) []netsim.Delivery {
+	l := u - ib.lo
+	return ib.buf[ib.off[l]:ib.off[l+1]]
+}
+
+// growDeliveries returns the arena resized to hold n deliveries,
+// reallocating only when n exceeds the high-water capacity.
+func growDeliveries(buf []netsim.Delivery, n int) []netsim.Delivery {
+	if n <= cap(buf) {
+		return buf[:n]
+	}
+	c := 2 * cap(buf)
+	if c < n {
+		c = n
+	}
+	return make([]netsim.Delivery, n, c)
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package topo
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-count assertions are skipped under -race: the detector's
+// shadow-memory bookkeeping allocates on its own schedule.
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package topo
+
+const raceEnabled = true

@@ -1,0 +1,38 @@
+package topo
+
+import (
+	"fmt"
+
+	"sublinear/internal/netsim"
+)
+
+// CliqueMode is the netsim.RunMode of this engine's clique instance:
+// Execute(CliqueMode, cfg, ...) runs cfg.N nodes on Clique(cfg.N)
+// through the topology pipeline. Registered here (import this package
+// to enable it) so every mode-parameterised caller — core, baseline,
+// and above all the dst differential, which diffs it against the
+// Sequential reference on every system — exercises the topology engine
+// on the workload the clique engines define. Digest byte-equality with
+// those engines is the registration contract, pinned by the tests in
+// this package and internal/dst.
+const CliqueMode netsim.RunMode = 4
+
+func init() {
+	netsim.RegisterEngine(CliqueMode, "topo", runClique)
+}
+
+func runClique(cfg netsim.Config, machines []netsim.Machine, adv netsim.Adversary) (*netsim.Result, error) {
+	if cfg.Record {
+		return nil, fmt.Errorf("topo: Record (message-trace capture) is not supported; use a built-in mode")
+	}
+	return Run(Config{
+		Topology:      Clique(cfg.N),
+		Alpha:         cfg.Alpha,
+		Seed:          cfg.Seed,
+		MaxRounds:     cfg.MaxRounds,
+		CongestFactor: cfg.CongestFactor,
+		Strict:        cfg.Strict,
+		Workers:       cfg.Workers,
+		Tracer:        cfg.Tracer,
+	}, machines, adv)
+}

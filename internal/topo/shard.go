@@ -1,0 +1,554 @@
+package topo
+
+// The sharded delivery pipeline, structurally identical to
+// internal/netsim's second-generation rebuild (netsim/shard.go): SoA
+// inboxes rebuilt by a stable counting sort over double-buffered routing
+// buckets, per-worker flat counters and lane digests, a coordination-
+// thread crash pass, and a fused single-barrier path for crash-free
+// rounds. The one semantic difference is routing: a validated port
+// resolves through the Topology's CSR table (two int32 loads) instead of
+// the clique's compare-subtract, and the valid port range of node u is
+// 1..Degree(u) instead of 1..n-1. All buffers are allocated once per Run
+// and recycled, so the steady-state round loop performs no allocations
+// at any n — the same guarantee as the clique pipeline, pinned by
+// TestTopoZeroAllocSteadyState.
+
+import (
+	"fmt"
+	"sync"
+
+	"sublinear/internal/metrics"
+	"sublinear/internal/netsim"
+)
+
+// routed is a delivery annotated with its receiver, parked in a bucket
+// between the send stage of one round and the delivery stage of the
+// next.
+type routed struct {
+	to int32
+	d  netsim.Delivery
+}
+
+// Buffered trace-event ops (pipeline-internal; the Tracer interface sees
+// typed method calls).
+const (
+	tevSend uint8 = iota
+	tevDrop
+	tevViolation
+)
+
+// tev is one trace event parked in a sender's buffer between the send
+// stage (workers) and the merge (coordination thread).
+type tev struct {
+	op     uint8
+	port   int32
+	bits   int32
+	kind   metrics.Kind
+	reason string // tevViolation only
+}
+
+// delivWorker is one worker's private slice of pipeline state. Nothing
+// here is touched by any other goroutine between barriers.
+type delivWorker struct {
+	messages int64
+	bits     int64
+	perKind  []int64  // flat tallies indexed by metrics.Kind
+	portSeen []uint64 // duplicate-port bitset, cleared after each sender
+	// buckets[g][rs] holds deliveries routed to receiver shard rs during
+	// a round of parity g (see netsim/shard.go on the double buffering).
+	buckets    [2][][]routed
+	violations []netsim.Violation
+	err        error // first strict-mode violation; aborts the run
+	inFlight   bool  // some sender in this shard produced a nonempty outbox
+}
+
+// violate records a CONGEST violation: an error in strict mode (stored,
+// surfaced at the barrier), a record otherwise. It reports whether
+// processing may continue.
+func (wk *delivWorker) violate(strict bool, node, round int, reason string) bool {
+	if strict {
+		wk.err = fmt.Errorf("topo: node %d round %d: %s", node, round, reason)
+		return false
+	}
+	wk.violations = append(wk.violations, netsim.Violation{Node: node, Round: round, Reason: reason})
+	return true
+}
+
+func (wk *delivWorker) count(k metrics.Kind, bits int) {
+	wk.messages++
+	wk.bits += int64(bits)
+	if int(k) >= len(wk.perKind) {
+		grown := make([]int64, max(int(k)+1, metrics.KindCount()))
+		copy(grown, wk.perKind)
+		wk.perKind = grown
+	}
+	wk.perKind[k]++
+}
+
+// pipeline executes the delivery/step/send stages for every round of one
+// Run and owns all round-recycled state.
+type pipeline struct {
+	e     *engine
+	w     int  // shard / worker count
+	chunk int  // nodes per shard; a power of two, so routing is a shift
+	shift uint // log2(chunk)
+
+	workers  []delivWorker
+	inbox    []shardInbox // one SoA inbox per receiver shard
+	outboxes [][]netsim.Send
+	lane     []uint64 // per-sender lane digest; 0 = no events this round
+	crashing []bool   // per-sender: crashed this round; cleared by merge
+	faulty   []bool   // adversary's static faulty set, cached once per Run
+	keep     [][]bool // crash-round delivery masks, indexed by sender
+	tevs     [][]tev  // per-sender trace-event buffers; nil when untraced
+	pool     *shardPool
+
+	// Per-dispatch inputs, set on the coordination thread before the
+	// pass barrier releases the workers.
+	round int
+	gen   int // bucket generation the send stage fills: round & 1
+}
+
+// passID selects the work a dispatched shard performs.
+type passID int
+
+const (
+	// passFused runs delivery, step, and send back to back in one
+	// dispatch — the single-barrier path for crash-free rounds.
+	passFused passID = iota
+	// passDeliverStep runs delivery and step, then returns to the
+	// coordination thread for crash decisions before passSenders.
+	passDeliverStep
+	// passSenders runs the send stage after crash decisions.
+	passSenders
+)
+
+func newPipeline(e *engine, w int) *pipeline {
+	n := e.t.n
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	// Power-of-two shard size: the send stage routes with a shift instead
+	// of a div. Digests are shard-geometry-independent (see buildInbox).
+	chunk := 1
+	shift := uint(0)
+	for chunk*w < n {
+		chunk <<= 1
+		shift++
+	}
+	w = (n + chunk - 1) / chunk // drop empty tail shards
+	p := &pipeline{
+		e:        e,
+		w:        w,
+		chunk:    chunk,
+		shift:    shift,
+		workers:  make([]delivWorker, w),
+		inbox:    make([]shardInbox, w),
+		outboxes: make([][]netsim.Send, n),
+		lane:     make([]uint64, n),
+		crashing: make([]bool, n),
+		faulty:   make([]bool, n),
+		keep:     make([][]bool, n),
+	}
+	// Ports are bounded by the maximum degree, not n, so the duplicate-
+	// port bitset is maxDeg+1 bits.
+	words := (e.t.maxDeg >> 6) + 1
+	kinds := metrics.KindCount()
+	for i := range p.workers {
+		p.workers[i].portSeen = make([]uint64, words)
+		p.workers[i].perKind = make([]int64, kinds)
+		p.workers[i].buckets[0] = make([][]routed, w)
+		p.workers[i].buckets[1] = make([][]routed, w)
+	}
+	for s := range p.inbox {
+		lo := s * chunk
+		p.inbox[s] = newShardInbox(lo, min(lo+chunk, n))
+	}
+	if e.cfg.Tracer != nil {
+		p.tevs = make([][]tev, n)
+	}
+	if w > 1 {
+		p.pool = newShardPool(w)
+	}
+	return p
+}
+
+func (p *pipeline) close() {
+	if p.pool != nil {
+		p.pool.close()
+	}
+}
+
+// fusedRound runs a crash-free round in a single dispatch.
+func (p *pipeline) fusedRound(round int) {
+	p.round = round
+	p.gen = round & 1
+	p.dispatch(passFused)
+}
+
+// deliverStep runs the delivery and step stages of a round that may
+// crash, leaving the outboxes ready for the crash pass.
+func (p *pipeline) deliverStep(round int) {
+	p.round = round
+	p.gen = round & 1
+	p.dispatch(passDeliverStep)
+}
+
+// senders runs the send stage after crash decisions.
+func (p *pipeline) senders(round int) {
+	p.dispatch(passSenders)
+}
+
+// crashPass consults the adversary for this round's crash decisions, on
+// the coordination thread in ascending node order — the exact call
+// sequence stateful adversaries observe under every engine. It returns
+// the number of nodes that crashed.
+func (p *pipeline) crashPass(round int) int {
+	e := p.e
+	n := e.t.n
+	crashes := 0
+	for u := 0; u < n; u++ {
+		outbox := p.outboxes[u]
+		if outbox == nil {
+			continue // crashed in an earlier round
+		}
+		if e.crashedAt[u] == 0 && p.faulty[u] && e.adv.CrashNow(u, round, outbox) {
+			p.crashing[u] = true
+			e.crashedAt[u] = round
+			crashes++
+			mask := p.keep[u]
+			if cap(mask) < len(outbox) {
+				mask = make([]bool, len(outbox))
+			} else {
+				mask = mask[:len(outbox)]
+			}
+			deg := e.t.Degree(u)
+			for i, s := range outbox {
+				// Out-of-range ports never reach the adversary, matching
+				// the clique engine's call set.
+				mask[i] = s.Port >= 1 && s.Port <= deg && e.adv.DeliverOnCrash(u, round, i, s)
+			}
+			p.keep[u] = mask
+		}
+	}
+	return crashes
+}
+
+// merge is the deterministic round barrier on the coordination thread:
+// strict-mode errors surface first, then per-worker counters and
+// violations fold in worker order, and crash events plus per-sender
+// lanes fold into the run digest in ascending node order — the exact
+// fold order of netsim's pipeline, which is what makes the clique
+// instance digest-equal to the clique engines.
+func (p *pipeline) merge(round int) (bool, error) {
+	e := p.e
+	n := e.t.n
+	for i := range p.workers {
+		if err := p.workers[i].err; err != nil {
+			return false, err
+		}
+	}
+	inFlight := false
+	for i := range p.workers {
+		wk := &p.workers[i]
+		if wk.inFlight {
+			inFlight = true
+			wk.inFlight = false
+		}
+		e.counters.AddBulk(wk.messages, wk.bits, wk.perKind)
+		wk.messages, wk.bits = 0, 0
+		for k := range wk.perKind {
+			wk.perKind[k] = 0
+		}
+		if len(wk.violations) > 0 {
+			e.violations = append(e.violations, wk.violations...)
+			wk.violations = wk.violations[:0]
+		}
+	}
+	tracer := e.cfg.Tracer
+	for u := 0; u < n; u++ {
+		if p.crashing[u] {
+			e.digest.Crash(u, round)
+		}
+		if h := p.lane[u]; h != 0 {
+			e.digest.Lane(u, h)
+			p.lane[u] = 0
+		}
+		if tracer != nil {
+			if p.crashing[u] {
+				tracer.TraceCrash(u, round)
+			}
+			buf := p.tevs[u]
+			for i := range buf {
+				ev := &buf[i]
+				if ev.op == tevViolation {
+					tracer.TraceViolation(u, round, ev.reason)
+				} else {
+					tracer.TraceMessage(u, round, int(ev.port), ev.kind, int(ev.bits), ev.op == tevDrop)
+				}
+				ev.reason = "" // release, the buffer recycles
+			}
+			p.tevs[u] = buf[:0]
+			for _, a := range e.envs[u].DrainAnnotations() {
+				tracer.TraceAnnotation(u, round, a)
+			}
+		}
+		p.crashing[u] = false
+	}
+	return inFlight, nil
+}
+
+// dispatch runs one pass across every shard and waits for the barrier.
+// With a single shard the pass runs inline on the coordination thread.
+func (p *pipeline) dispatch(pass passID) {
+	if p.pool == nil {
+		p.runShard(0, pass)
+		return
+	}
+	p.pool.run(func(shard int) { p.runShard(shard, pass) })
+}
+
+func (p *pipeline) runShard(shard int, pass passID) {
+	lo := shard * p.chunk
+	hi := min(lo+p.chunk, p.e.t.n)
+	switch pass {
+	case passFused:
+		p.buildInbox(shard)
+		p.stepShard(shard, lo, hi)
+		p.sendShard(shard, lo, hi)
+	case passDeliverStep:
+		p.buildInbox(shard)
+		p.stepShard(shard, lo, hi)
+	case passSenders:
+		p.sendShard(shard, lo, hi)
+	}
+}
+
+// buildInbox assembles receiver shard s's SoA inbox for the current
+// round from the previous round's routing buckets: a stable two-pass
+// counting sort by receiver. Sender shards are visited in ascending
+// order, so every inbox sees deliveries in ascending (sender, outbox
+// index) order — independent of worker count.
+func (p *pipeline) buildInbox(s int) {
+	ib := &p.inbox[s]
+	prev := p.gen ^ 1
+	total := 0
+	for b := range p.workers {
+		total += len(p.workers[b].buckets[prev][s])
+	}
+	if total == 0 && !ib.dirty {
+		return // offsets are already all zero: every inbox slice is empty
+	}
+	cur := ib.cur
+	for i := range cur {
+		cur[i] = 0
+	}
+	for b := range p.workers {
+		for _, r := range p.workers[b].buckets[prev][s] {
+			cur[r.to-int32(ib.lo)]++
+		}
+	}
+	off := ib.off
+	var sum int32
+	for i, c := range cur {
+		off[i] = sum
+		cur[i] = sum
+		sum += c
+	}
+	off[len(ib.cur)] = sum
+	ib.buf = growDeliveries(ib.buf, total)
+	for b := range p.workers {
+		bucket := p.workers[b].buckets[prev][s]
+		for _, r := range bucket {
+			l := r.to - int32(ib.lo)
+			ib.buf[cur[l]] = r.d
+			cur[l]++
+		}
+		p.workers[b].buckets[prev][s] = bucket[:0]
+	}
+	ib.dirty = total > 0
+}
+
+// stepShard steps every live machine in [lo, hi) against the freshly
+// built inbox slices and records the outboxes.
+func (p *pipeline) stepShard(shard, lo, hi int) {
+	wk := &p.workers[shard]
+	ib := &p.inbox[shard]
+	for u := lo; u < hi; u++ {
+		out := p.e.stepOne(u, p.round, ib.slice(u))
+		p.outboxes[u] = out
+		if len(out) > 0 {
+			wk.inFlight = true
+		}
+	}
+}
+
+// sendShard processes every sender in [lo, hi) with a nonempty outbox.
+func (p *pipeline) sendShard(shard, lo, hi int) {
+	wk := &p.workers[shard]
+	for u := lo; u < hi; u++ {
+		if outbox := p.outboxes[u]; len(outbox) > 0 {
+			p.processSender(wk, u, outbox)
+			if wk.err != nil {
+				return
+			}
+		}
+	}
+}
+
+// processSender validates, accounts, digests and routes one sender's
+// round outbox. It runs on whichever worker owns the sender's shard and
+// touches only that worker's private state plus lane[u].
+func (p *pipeline) processSender(wk *delivWorker, u int, outbox []netsim.Send) {
+	e := p.e
+	t := e.t
+	round := p.round
+	deg := t.Degree(u)
+	clique := t.clique
+	var base int32
+	if !clique {
+		base = t.row[u]
+	}
+	crashing := p.crashing[u]
+	var keep []bool
+	if crashing {
+		keep = p.keep[u]
+	}
+	checkDup := len(outbox) > 1
+	traced := p.tevs != nil
+	buckets := wk.buckets[p.gen]
+	lane := netsim.LaneInit()
+	events := 0
+	for i, s := range outbox {
+		if s.Port < 1 || s.Port > deg {
+			reason := fmt.Sprintf("port %d out of range [1,%d]", s.Port, deg)
+			if traced {
+				p.tevs[u] = append(p.tevs[u], tev{op: tevViolation, port: int32(s.Port), reason: reason})
+			}
+			if !wk.violate(e.cfg.Strict, u, round, reason) {
+				return
+			}
+			continue
+		}
+		if checkDup {
+			word, bit := uint(s.Port)>>6, uint64(1)<<(uint(s.Port)&63)
+			if wk.portSeen[word]&bit != 0 {
+				reason := fmt.Sprintf("two messages on port %d in one round", s.Port)
+				if traced {
+					p.tevs[u] = append(p.tevs[u], tev{op: tevViolation, port: int32(s.Port), reason: reason})
+				}
+				if !wk.violate(e.cfg.Strict, u, round, reason) {
+					return
+				}
+			}
+			wk.portSeen[word] |= bit
+		}
+		sz := s.Payload.Bits(t.n)
+		if sz > e.bitBudget {
+			reason := fmt.Sprintf("payload %q is %d bits, budget %d", s.Payload.Kind(), sz, e.bitBudget)
+			if traced {
+				p.tevs[u] = append(p.tevs[u], tev{op: tevViolation, port: int32(s.Port), reason: reason})
+			}
+			if !wk.violate(e.cfg.Strict, u, round, reason) {
+				return
+			}
+		}
+		// A message counts toward message complexity even if the sender
+		// crashes mid-round and the message is lost: the paper counts
+		// messages sent by all nodes.
+		kid := netsim.PayloadKindID(s.Payload)
+		wk.count(kid, sz)
+
+		if crashing && !keep[i] {
+			lane = netsim.LaneEvent(lane, true, s.Port, sz, metrics.KindHash(kid))
+			events++
+			if traced {
+				p.tevs[u] = append(p.tevs[u], tev{op: tevDrop, port: int32(s.Port), bits: int32(sz), kind: kid})
+			}
+			continue
+		}
+		lane = netsim.LaneEvent(lane, false, s.Port, sz, metrics.KindHash(kid))
+		events++
+		if traced {
+			p.tevs[u] = append(p.tevs[u], tev{op: tevSend, port: int32(s.Port), bits: int32(sz), kind: kid})
+		}
+		// Routing: the clique stays pure arithmetic (compare-subtract and
+		// a subtract); everything else is two int32 loads from the CSR
+		// table — no div/mod and no search on the per-message path.
+		var v int32
+		var d netsim.Delivery
+		if clique {
+			vv := u + s.Port
+			if vv >= t.n {
+				vv -= t.n
+			}
+			v = int32(vv)
+			d = netsim.Delivery{Port: t.n - s.Port, Payload: s.Payload}
+		} else {
+			idx := base + int32(s.Port) - 1
+			v = t.peer[idx]
+			d = netsim.Delivery{Port: int(t.aport[idx]), Payload: s.Payload}
+		}
+		rs := int(v) >> p.shift
+		buckets[rs] = append(buckets[rs], routed{to: v, d: d})
+	}
+	if checkDup {
+		for _, s := range outbox {
+			if s.Port >= 1 && s.Port <= deg {
+				wk.portSeen[uint(s.Port)>>6] &^= uint64(1) << (uint(s.Port) & 63)
+			}
+		}
+	}
+	if events > 0 {
+		p.lane[u] = lane
+	}
+}
+
+// shardPool is a persistent, fixed-size worker pool: one goroutine per
+// shard for the lifetime of a Run, released per pass through per-worker
+// channels and collected with a WaitGroup barrier.
+type shardPool struct {
+	fn     func(shard int)
+	start  []chan struct{}
+	done   sync.WaitGroup
+	exited sync.WaitGroup
+}
+
+func newShardPool(w int) *shardPool {
+	p := &shardPool{start: make([]chan struct{}, w)}
+	p.exited.Add(w)
+	for i := range p.start {
+		p.start[i] = make(chan struct{}, 1)
+		go p.worker(i)
+	}
+	return p
+}
+
+func (p *shardPool) worker(i int) {
+	defer p.exited.Done()
+	for range p.start[i] {
+		p.fn(i)
+		p.done.Done()
+	}
+}
+
+// run executes fn(shard) on every worker and blocks until all complete.
+func (p *shardPool) run(fn func(shard int)) {
+	p.fn = fn
+	p.done.Add(len(p.start))
+	for _, ch := range p.start {
+		ch <- struct{}{}
+	}
+	p.done.Wait()
+}
+
+// close terminates the workers and waits for them to exit.
+func (p *shardPool) close() {
+	for _, ch := range p.start {
+		close(ch)
+	}
+	p.exited.Wait()
+}

@@ -1,0 +1,212 @@
+// Package topo is the topology-general delivery engine: the sharded,
+// allocation-free pipeline of internal/netsim generalized from the
+// complete network to arbitrary connected graphs (the paper's open
+// problem 2 and the setting of the diameter-two and well-connected
+// election papers in PAPERS.md).
+//
+// A graph.Graph is compiled once into a Topology — a compressed-sparse-
+// row (CSR) port table — and executions run on the same round structure,
+// adversary contract, CONGEST accounting, digest schema, and Tracer
+// event stream as the clique simulator. The clique itself is just one
+// Topology (Clique), wired exactly like netsim's fixed port permutation
+// and registered as a first-class netsim.RunMode (CliqueMode), so the
+// dst harness differentially checks this engine against the clique
+// pipeline on every system: byte-identical digests or the differential
+// fails.
+//
+// The only model difference from netsim is the port space: node u has
+// ports 1..Degree(u) following the topology instead of 1..n-1. Per-edge
+// CONGEST is enforced identically — one message per port per round, a
+// per-message budget of CongestFactor*ceil(log2 n) bits.
+package topo
+
+import (
+	"fmt"
+
+	"sublinear/internal/graph"
+)
+
+// Topology is a compiled, immutable port-numbered adjacency. The CSR
+// layout stores, for every node u and local port p in 1..Degree(u), the
+// peer node behind the port and the arrival port on which the peer
+// receives — both resolved at compile time, so the per-message hot path
+// is two int32 loads with no search. The clique is special-cased to the
+// arithmetic wiring (peer = (u+p) mod n, arrival = n-p) and carries no
+// arrays at all.
+type Topology struct {
+	n      int
+	name   string
+	clique bool
+	maxDeg int
+	row    []int32 // len n+1; node u's port entries occupy [row[u], row[u+1])
+	peer   []int32 // peer[row[u]+p-1] is the node behind port p of u
+	aport  []int32 // aport[row[u]+p-1] is the arrival port at that peer
+}
+
+// Compile builds the CSR port table of g. Ports keep the graph's own
+// numbering, so a protocol's execution on the compiled topology is
+// identical to one driven through graph.Graph directly.
+func Compile(g graph.Graph) (*Topology, error) {
+	n := g.N()
+	if n < 2 {
+		return nil, fmt.Errorf("topo: graph has %d nodes, need >= 2", n)
+	}
+	t := &Topology{n: n, name: g.Name(), row: make([]int32, n+1)}
+	total := 0
+	for u := 0; u < n; u++ {
+		d := g.Degree(u)
+		if d < 1 {
+			return nil, fmt.Errorf("topo: node %d has degree 0", u)
+		}
+		total += d
+		t.row[u+1] = int32(total)
+		if d > t.maxDeg {
+			t.maxDeg = d
+		}
+	}
+	t.peer = make([]int32, total)
+	t.aport = make([]int32, total)
+	for u := 0; u < n; u++ {
+		base := t.row[u]
+		for p := 1; p <= g.Degree(u); p++ {
+			v := g.Neighbor(u, p)
+			if v < 0 || v >= n || v == u {
+				return nil, fmt.Errorf("topo: Neighbor(%d,%d) = %d is invalid", u, p, v)
+			}
+			ap := g.PortOf(v, u)
+			if ap < 1 || ap > g.Degree(v) {
+				return nil, fmt.Errorf("topo: edge (%d,%d) has no reverse port", u, v)
+			}
+			t.peer[base+int32(p)-1] = int32(v)
+			t.aport[base+int32(p)-1] = int32(ap)
+		}
+	}
+	return t, nil
+}
+
+// Clique returns the complete topology on n nodes with netsim's fixed
+// port wiring (port p of u leads to (u+p) mod n). It stores no adjacency
+// arrays: routing is pure arithmetic, so the clique instance costs the
+// same per message as the netsim pipeline it mirrors.
+func Clique(n int) *Topology {
+	return &Topology{n: n, name: "clique", clique: true, maxDeg: n - 1}
+}
+
+// N returns the number of nodes.
+func (t *Topology) N() int { return t.n }
+
+// Name returns the topology's table label.
+func (t *Topology) Name() string { return t.name }
+
+// MaxDegree returns the maximum node degree.
+func (t *Topology) MaxDegree() int { return t.maxDeg }
+
+// Degree returns the degree of node u — the number of its local ports.
+func (t *Topology) Degree(u int) int {
+	if t.clique {
+		return t.n - 1
+	}
+	return int(t.row[u+1] - t.row[u])
+}
+
+// Ports returns the total directed port count (twice the edge count).
+func (t *Topology) Ports() int64 {
+	if t.clique {
+		return int64(t.n) * int64(t.n-1)
+	}
+	return int64(len(t.peer))
+}
+
+// Edge resolves port p of node u: the peer node and the arrival port the
+// peer receives on. p must be in 1..Degree(u).
+func (t *Topology) Edge(u, p int) (peer, arrival int) {
+	if p < 1 || p > t.Degree(u) {
+		panic(fmt.Sprintf("topo: port %d out of range [1,%d] at node %d", p, t.Degree(u), u))
+	}
+	if t.clique {
+		v := u + p
+		if v >= t.n {
+			v -= t.n
+		}
+		return v, t.n - p
+	}
+	i := t.row[u] + int32(p) - 1
+	return int(t.peer[i]), int(t.aport[i])
+}
+
+// Diameter returns the topology's diameter by breadth-first search from
+// every node. It is an O(n * m) preprocessing helper for protocols whose
+// round budget depends on the diameter (the well-connected election);
+// compile-time, never on the per-round path.
+func (t *Topology) Diameter() int {
+	if t.clique {
+		if t.n <= 1 {
+			return 0
+		}
+		return 1
+	}
+	dist := make([]int32, t.n)
+	queue := make([]int32, 0, t.n)
+	diam := 0
+	for s := 0; s < t.n; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue = append(queue[:0], int32(s))
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			if int(dist[u]) > diam {
+				diam = int(dist[u])
+			}
+			for i := t.row[u]; i < t.row[u+1]; i++ {
+				v := t.peer[i]
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return diam
+}
+
+// ResolveTopology builds a named topology at size n: the shared lookup
+// for sweeps, benchmarks, and service job specs. Known names: "clique"
+// (or empty), "cluster-d2", "star", "ring", "wellconnected", and
+// "random-regular". seed parameterises the randomized families; the same
+// (name, n, seed) always yields the same topology.
+func ResolveTopology(name string, n int, seed uint64) (*Topology, error) {
+	var (
+		g   graph.Graph
+		err error
+	)
+	switch name {
+	case "", "clique":
+		if n < 2 {
+			return nil, fmt.Errorf("topo: n = %d, need >= 2", n)
+		}
+		return Clique(n), nil
+	case "cluster-d2":
+		g, err = graph.ClusterD2(n)
+	case "star":
+		g, err = graph.Star(n)
+	case "ring":
+		g, err = graph.Ring(n)
+	case "wellconnected":
+		g, err = graph.WellConnected(n, seed)
+	case "random-regular":
+		g, err = graph.RandomRegular(n, 4, seed)
+	default:
+		return nil, fmt.Errorf("topo: unknown topology %q", name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return Compile(g)
+}
+
+// TopologyNames lists the names ResolveTopology accepts, in table order.
+func TopologyNames() []string {
+	return []string{"clique", "cluster-d2", "star", "ring", "wellconnected", "random-regular"}
+}
