@@ -10,11 +10,25 @@
 //
 //	fleetctl -sweep election-scaling -workers host1:8080,host2:8080
 //	fleetctl -sweep table1-mini -spawn 3
+//	fleetctl -sweep table1-mini -spawn 3 -mesh -watch
+//	fleetctl -sweep election-scaling -join host1:8080
 //	fleetctl -dst 500 -spawn 4 -journal .fleet
 //	fleetctl -mc echo -n 6 -spawn 4
 //	fleetctl -protocol election -n 64 -alpha 0.75 -reps 32 -spawn 2
 //	fleetctl -sweep table1-mini -spawn 2 -trace-dir .fleet-traces
 //	fleetctl -list
+//
+// -join host:port bootstraps the worker pool from one live gossip-mesh
+// worker: the coordinator fetches the mesh's membership, dispatches to
+// every live member, and keeps re-resolving during the run, so workers
+// that join the mesh mid-sweep receive shards and workers that die are
+// evicted. A bootstrap worker whose execution-digest schema disagrees
+// with ours is refused outright. -mesh makes -spawn children form a
+// gossip mesh of their own (the first child is the bootstrap contact).
+//
+// -watch renders a live dashboard to stderr while the run executes:
+// shard lifecycle counts, a completions-per-second sparkline, and a
+// per-shard progress sparkline, fed by each worker's SSE event stream.
 //
 // -mc SYSTEM exhaustively model-checks the named dst system's bounded
 // schedule universe (internal/mc), sharding the universe's index space
@@ -38,6 +52,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -49,12 +64,14 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"sublinear/internal/cliutil"
 	"sublinear/internal/experiment"
 	"sublinear/internal/fleet"
+	"sublinear/internal/netsim"
 )
 
 // errFailureFound marks a run that completed but found a failure: an
@@ -78,6 +95,9 @@ func run(args []string, out io.Writer) error {
 		workers     = fs.String("workers", "", "comma-separated simd worker base URLs or host:port pairs")
 		spawn       = fs.Int("spawn", 0, "spawn this many local simd workers on ephemeral ports")
 		simdBin     = fs.String("simd-bin", "simd", "simd binary for -spawn (path or name on PATH)")
+		joinAddr    = fs.String("join", "", "bootstrap the worker pool from one live gossip-mesh worker (host:port)")
+		meshSpawn   = fs.Bool("mesh", false, "with -spawn: spawned workers form a gossip mesh and the pool re-resolves through it")
+		watch       = fs.Bool("watch", false, "render a live shard dashboard to stderr (sparklines fed by worker event streams)")
 		sweepName   = fs.String("sweep", "", "run a named sweep (see -list)")
 		dstCases    = fs.Int("dst", 0, "run a distributed dst campaign of this many cases")
 		mcSystem    = fs.String("mc", "", "exhaustively model-check this dst system's schedule universe")
@@ -151,16 +171,22 @@ func run(args []string, out io.Writer) error {
 	defer stop()
 
 	urls := splitWorkers(*workers)
+	meshBootstrap := strings.TrimPrefix(*joinAddr, "http://")
 	if *spawn > 0 {
-		pool, err := spawnWorkers(ctx, *simdBin, *spawn, *drain, progress)
+		pool, err := spawnWorkers(ctx, *simdBin, *spawn, *drain, *meshSpawn, meshBootstrap, progress)
 		if err != nil {
 			return err
 		}
 		defer pool.shutdown(progress)
 		urls = append(urls, pool.urls...)
+		if *meshSpawn && meshBootstrap == "" {
+			// The spawned mesh bootstraps through its first child; the
+			// coordinator re-resolves the pool through the same contact.
+			meshBootstrap = strings.TrimPrefix(pool.urls[0], "http://")
+		}
 	}
-	if len(urls) == 0 {
-		return errors.New("no workers: pass -workers or -spawn")
+	if len(urls) == 0 && meshBootstrap == "" {
+		return errors.New("no workers: pass -workers, -spawn, or -join")
 	}
 
 	cfg := fleet.Config{
@@ -171,11 +197,25 @@ func run(args []string, out io.Writer) error {
 		Seed:        *seed,
 		Progress:    progress,
 	}
+	if meshBootstrap != "" {
+		cfg.Resolve = fleet.ResolveMesh(meshBootstrap, netsim.DigestSchemaVersion)
+	}
+	var board *watchBoard
+	if *watch {
+		board = newWatchBoard(len(plan.Shards))
+		cfg.OnShardEvent = board.onEvent
+		watchCtx, stopWatch := context.WithCancel(ctx)
+		defer stopWatch()
+		go board.run(watchCtx, os.Stderr, 500*time.Millisecond)
+	}
 	progress("fleetctl: plan %.16s: %d shards over %d workers", plan.Hash, len(plan.Shards), len(urls))
 
 	outcome, err := cliutil.RunTimeout(*timeout, func() (*fleet.Outcome, error) {
 		return fleet.Run(ctx, cfg, plan)
 	})
+	if board != nil {
+		progress("%s", board.line()) // final dashboard snapshot
+	}
 	if *traceDir != "" && outcome != nil {
 		// Fetch before acting on the run error: shards that completed
 		// with protocol failures — and both sides of any hedge
@@ -429,8 +469,12 @@ type workerPool struct {
 }
 
 // spawnWorkers starts k simd children on ephemeral ports and waits for
-// each to publish its bound address through -port-file.
-func spawnWorkers(ctx context.Context, bin string, k int, drain time.Duration, progress func(string, ...any)) (*workerPool, error) {
+// each to publish its bound address through -port-file. Each child's
+// stdout and stderr are prefixed with its worker ID ([w0], [w1], …) so
+// interleaved logs stay attributable. With mesh set the children form
+// a gossip mesh: they join through meshJoin when given, otherwise
+// through the first child spawned.
+func spawnWorkers(ctx context.Context, bin string, k int, drain time.Duration, mesh bool, meshJoin string, progress func(string, ...any)) (*workerPool, error) {
 	dir, err := os.MkdirTemp("", "fleetctl-spawn-")
 	if err != nil {
 		return nil, err
@@ -438,8 +482,20 @@ func spawnWorkers(ctx context.Context, bin string, k int, drain time.Duration, p
 	pool := &workerPool{drain: drain}
 	for i := 0; i < k; i++ {
 		portFile := filepath.Join(dir, fmt.Sprintf("worker-%d.addr", i))
-		cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-port-file", portFile)
-		cmd.Stderr = os.Stderr
+		args := []string{"-addr", "127.0.0.1:0", "-port-file", portFile}
+		if mesh {
+			args = append(args, "-mesh")
+			switch {
+			case meshJoin != "":
+				args = append(args, "-join", meshJoin)
+			case i > 0:
+				args = append(args, "-join", strings.TrimPrefix(pool.urls[0], "http://"))
+			}
+		}
+		cmd := exec.Command(bin, args...)
+		prefix := fmt.Sprintf("[w%d] ", i)
+		cmd.Stdout = &prefixWriter{w: os.Stdout, prefix: prefix}
+		cmd.Stderr = &prefixWriter{w: os.Stderr, prefix: prefix}
 		if err := cmd.Start(); err != nil {
 			pool.shutdown(progress)
 			return nil, fmt.Errorf("spawn simd: %w", err)
@@ -454,6 +510,35 @@ func spawnWorkers(ctx context.Context, bin string, k int, drain time.Duration, p
 		progress("fleetctl: spawned simd worker pid=%d addr=%s", cmd.Process.Pid, addr)
 	}
 	return pool, nil
+}
+
+// prefixWriter stamps every line a spawned worker writes with its
+// fleet-local ID before passing it through, buffering partial lines so
+// concurrent children cannot interleave mid-line.
+type prefixWriter struct {
+	mu     sync.Mutex
+	w      io.Writer
+	prefix string
+	buf    []byte
+}
+
+func (p *prefixWriter) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.buf = append(p.buf, b...)
+	for {
+		i := bytes.IndexByte(p.buf, '\n')
+		if i < 0 {
+			return len(b), nil
+		}
+		line := make([]byte, 0, len(p.prefix)+i+1)
+		line = append(line, p.prefix...)
+		line = append(line, p.buf[:i+1]...)
+		if _, err := p.w.Write(line); err != nil {
+			return len(b), err
+		}
+		p.buf = p.buf[i+1:]
+	}
 }
 
 func awaitPortFile(ctx context.Context, path string, budget time.Duration) (string, error) {

@@ -104,53 +104,97 @@ func TestSpawnRunsAndReapsWorkers(t *testing.T) {
 	}
 }
 
-// TestSigtermReapsWorkers interrupts fleetctl mid-run and asserts the
-// spawned workers die with it rather than leaking.
-func TestSigtermReapsWorkers(t *testing.T) {
+// TestSignalsReapWorkers interrupts fleetctl mid-run — with SIGTERM and
+// with SIGINT, which must behave identically — and asserts the spawned
+// workers die with it rather than leaking.
+func TestSignalsReapWorkers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and runs real binaries")
 	}
 	simd, fleetctl := buildBinaries(t)
-	// Stderr goes to a file so the test can poll it while the process is
-	// still writing (sharing a bytes.Buffer would race).
-	errFile, err := os.Create(filepath.Join(t.TempDir(), "stderr"))
-	if err != nil {
-		t.Fatal(err)
+	for _, sig := range []syscall.Signal{syscall.SIGTERM, syscall.SIGINT} {
+		sig := sig
+		t.Run(sig.String(), func(t *testing.T) {
+			// Stderr goes to a file so the test can poll it while the
+			// process is still writing (sharing a bytes.Buffer would race).
+			errFile, err := os.Create(filepath.Join(t.TempDir(), "stderr"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer errFile.Close()
+			// A big ad-hoc batch so the run is still going when the signal lands.
+			cmd := exec.Command(fleetctl,
+				"-spawn", "2", "-simd-bin", simd,
+				"-protocol", "election", "-n", "96", "-alpha", "0.8",
+				"-reps", "400", "-shard-reps", "2", "-seed", "5")
+			cmd.Stderr = errFile
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			procDone := make(chan error, 1)
+			go func() { procDone <- cmd.Wait() }()
+
+			readErr := func() []byte {
+				data, _ := os.ReadFile(errFile.Name())
+				return data
+			}
+			// Wait until both workers are up, then signal the coordinator.
+			deadline := time.Now().Add(30 * time.Second)
+			for len(spawnedPids(t, readErr())) < 2 {
+				if time.Now().After(deadline) {
+					cmd.Process.Kill()
+					t.Fatalf("workers never spawned:\n%s", readErr())
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			pids := spawnedPids(t, readErr())
+			cmd.Process.Signal(sig)
+
+			select {
+			case <-procDone:
+			case <-time.After(60 * time.Second):
+				cmd.Process.Kill()
+				t.Fatalf("fleetctl did not exit after %v", sig)
+			}
+			assertGone(t, pids)
+		})
 	}
-	defer errFile.Close()
-	// A big ad-hoc batch so the run is still going when the signal lands.
+}
+
+// TestMeshSpawnWatchAndPrefixes runs a sweep on a spawned gossip mesh
+// with the live dashboard on, asserting the merged table renders, the
+// children's log lines carry their [wN] prefixes, the dashboard line
+// appears, and the workers are reaped.
+func TestMeshSpawnWatchAndPrefixes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real binaries")
+	}
+	simd, fleetctl := buildBinaries(t)
+	var stdout, stderr bytes.Buffer
 	cmd := exec.Command(fleetctl,
-		"-spawn", "2", "-simd-bin", simd,
-		"-protocol", "election", "-n", "96", "-alpha", "0.8",
-		"-reps", "400", "-shard-reps", "2", "-seed", "5")
-	cmd.Stderr = errFile
-	if err := cmd.Start(); err != nil {
-		t.Fatal(err)
+		"-spawn", "3", "-mesh", "-watch", "-simd-bin", simd,
+		"-protocol", "election", "-n", "32", "-alpha", "0.8",
+		"-reps", "12", "-shard-reps", "2", "-seed", "9",
+		"-hedge-after", "-1s", "-timeout", "2m")
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("fleetctl: %v\nstderr:\n%s", err, stderr.String())
 	}
-	procDone := make(chan error, 1)
-	go func() { procDone <- cmd.Wait() }()
-
-	readErr := func() []byte {
-		data, _ := os.ReadFile(errFile.Name())
-		return data
+	if !bytes.Contains(stdout.Bytes(), []byte("merged sweep results")) {
+		t.Fatalf("no merged table in output:\n%s", stdout.String())
 	}
-	// Wait until both workers are up, then SIGTERM the coordinator.
-	deadline := time.Now().Add(30 * time.Second)
-	for len(spawnedPids(t, readErr())) < 2 {
-		if time.Now().After(deadline) {
-			cmd.Process.Kill()
-			t.Fatalf("workers never spawned:\n%s", readErr())
+	for _, prefix := range []string{"[w0] ", "[w1] ", "[w2] "} {
+		if !bytes.Contains(stderr.Bytes(), []byte(prefix)) {
+			t.Fatalf("no %q-prefixed worker log lines:\n%s", prefix, stderr.String())
 		}
-		time.Sleep(50 * time.Millisecond)
 	}
-	pids := spawnedPids(t, readErr())
-	cmd.Process.Signal(syscall.SIGTERM)
-
-	select {
-	case <-procDone:
-	case <-time.After(60 * time.Second):
-		cmd.Process.Kill()
-		t.Fatal("fleetctl did not exit after SIGTERM")
+	if !bytes.Contains(stderr.Bytes(), []byte("fleetctl: watch ")) {
+		t.Fatalf("no dashboard line on stderr:\n%s", stderr.String())
+	}
+	pids := spawnedPids(t, stderr.Bytes())
+	if len(pids) != 3 {
+		t.Fatalf("found %d spawned pids, want 3:\n%s", len(pids), stderr.String())
 	}
 	assertGone(t, pids)
 }

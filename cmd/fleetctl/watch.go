@@ -1,0 +1,126 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"sublinear/internal/simsvc"
+	"sublinear/internal/viz"
+)
+
+// watchBoard folds the coordinator's live shard event streams
+// (fleet.Config.OnShardEvent) into a one-line dashboard: lifecycle
+// counts, a completions-per-second sparkline, and a per-shard progress
+// sparkline. Events arrive concurrently from watcher goroutines;
+// rendering happens on a fixed cadence from run().
+type watchBoard struct {
+	mu     sync.Mutex
+	total  int
+	state  map[int]*shardProgress
+	doneAt []time.Time
+	failed int
+	now    func() time.Time // injectable for tests
+}
+
+type shardProgress struct {
+	phase     string // queued | running | done
+	rep, reps int
+}
+
+func newWatchBoard(total int) *watchBoard {
+	return &watchBoard{total: total, state: make(map[int]*shardProgress), now: time.Now}
+}
+
+// onEvent is the fleet.Config.OnShardEvent sink. Hedged and retried
+// attempts re-watch the same shard, so terminal transitions are
+// recorded once and later duplicates ignored.
+func (b *watchBoard) onEvent(shard int, ev simsvc.JobEvent) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	sp := b.state[shard]
+	if sp == nil {
+		sp = &shardProgress{phase: "queued"}
+		b.state[shard] = sp
+	}
+	if sp.phase == "done" {
+		return
+	}
+	switch ev.Type {
+	case "running":
+		sp.phase = "running"
+	case "progress":
+		sp.phase = "running"
+		sp.rep, sp.reps = ev.Rep, ev.Reps
+	case "done":
+		sp.phase = "done"
+		sp.rep = sp.reps
+		if ev.State == string(simsvc.StateFailed) {
+			b.failed++
+		}
+		b.doneAt = append(b.doneAt, b.now())
+	}
+}
+
+// rateWindow is the completion-rate sparkline's span: one bucket per
+// second over the last half minute.
+const rateWindow = 30
+
+// line renders the dashboard's current state as one log line.
+func (b *watchBoard) line() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	done, running := 0, 0
+	fractions := make([]float64, b.total)
+	for i := 0; i < b.total; i++ {
+		sp := b.state[i]
+		if sp == nil {
+			continue
+		}
+		switch sp.phase {
+		case "done":
+			done++
+			fractions[i] = 1
+		case "running":
+			running++
+			if sp.reps > 0 {
+				fractions[i] = float64(sp.rep) / float64(sp.reps)
+			}
+		}
+	}
+	now := b.now()
+	rate := make([]float64, rateWindow)
+	recent := 0
+	for _, ts := range b.doneAt {
+		age := int(now.Sub(ts) / time.Second)
+		if age < 0 || age >= rateWindow {
+			continue
+		}
+		rate[rateWindow-1-age]++
+		recent++
+	}
+	s := fmt.Sprintf("fleetctl: watch %d/%d done, %d running", done, b.total, running)
+	if b.failed > 0 {
+		s += fmt.Sprintf(", %d FAILED", b.failed)
+	}
+	s += fmt.Sprintf(" | rate/s %s (%d in %ds) | shards %s",
+		viz.Sparkline(rate), recent, rateWindow,
+		viz.Sparkline(viz.Downsample(fractions, 40)))
+	return s
+}
+
+// run re-renders the dashboard to w every interval until ctx ends.
+func (b *watchBoard) run(ctx context.Context, w io.Writer, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			fmt.Fprintln(w, b.line())
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sublinear/internal/simsvc"
+)
+
+func TestWatchBoardLifecycle(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newWatchBoard(4)
+	b.now = func() time.Time { return now }
+
+	for i := 0; i < 4; i++ {
+		b.onEvent(i, simsvc.JobEvent{Type: "queued"})
+	}
+	b.onEvent(0, simsvc.JobEvent{Type: "running"})
+	b.onEvent(0, simsvc.JobEvent{Type: "progress", Rep: 3, Reps: 4})
+	b.onEvent(1, simsvc.JobEvent{Type: "done", State: string(simsvc.StateDone)})
+	line := b.line()
+	if !strings.Contains(line, "1/4 done, 1 running") {
+		t.Fatalf("counts wrong: %q", line)
+	}
+	if strings.Contains(line, "FAILED") {
+		t.Fatalf("phantom failure: %q", line)
+	}
+	if !strings.Contains(line, "rate/s ") || !strings.Contains(line, "shards ") {
+		t.Fatalf("sparklines missing: %q", line)
+	}
+
+	// A failed terminal event is counted; duplicate terminals (hedge
+	// re-watch) are not.
+	b.onEvent(2, simsvc.JobEvent{Type: "done", State: string(simsvc.StateFailed)})
+	b.onEvent(2, simsvc.JobEvent{Type: "done", State: string(simsvc.StateFailed)})
+	b.onEvent(1, simsvc.JobEvent{Type: "done", State: string(simsvc.StateDone)})
+	line = b.line()
+	if !strings.Contains(line, "2/4 done") || !strings.Contains(line, "1 FAILED") {
+		t.Fatalf("terminal accounting wrong: %q", line)
+	}
+
+	// Completions age out of the rate window.
+	if !strings.Contains(line, "(2 in 30s)") {
+		t.Fatalf("rate window wrong: %q", line)
+	}
+	now = now.Add(time.Minute)
+	if line = b.line(); !strings.Contains(line, "(0 in 30s)") {
+		t.Fatalf("completions did not age out: %q", line)
+	}
+}

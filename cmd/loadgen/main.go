@@ -1,0 +1,825 @@
+// Command loadgen load-tests the simd fleet's admission and scheduling
+// pipeline: it floods a worker mesh with a deep backlog of cheap
+// simulation jobs under one tenant while a second tenant probes
+// interactive latency through the same queues, and reports submit and
+// end-to-end throughput plus probe latency percentiles as
+// machine-readable JSON (BENCH_simd.json), so CI can hold the service
+// path to its budget.
+//
+// Usage:
+//
+//	loadgen -jobs 1000000 -spawn 4 -queue 262144 -out BENCH_simd.json
+//	loadgen -jobs 20000 -baseline BENCH_simd.json -fair-frac 0.25
+//	loadgen -target http://h1:9180,http://h2:9180   # external daemons
+//	loadgen -join h1:9180                           # discover via gossip
+//
+// By default loadgen self-hosts its fleet: -spawn k in-process workers,
+// each with its own TCP listener and gossip mesh node, configured with
+// a flood-tenant queue budget just below capacity (so probe submissions
+// always have admission headroom) and a weighted probe tenant. With
+// -target or -join it drives external simd daemons instead and the
+// tenants' budgets are whatever those daemons were started with.
+//
+// The flood tenant submits -jobs distinct specs (unique seeds, so the
+// result cache never short-circuits the pipeline) in /v1/shards batches
+// from -conc goroutines, honouring 429 + Retry-After backpressure with
+// the delay clamped to -pace: the server's integer-seconds hint is too
+// coarse for a generator whose task is to keep the queue saturated.
+// The default job shape (gossip, n=8) is deliberately tiny so the
+// measurement prices the service pipeline — admission, fair dequeue,
+// journal, events, result bookkeeping — rather than the simulation
+// engine, whose budget BENCH_netsim.json already holds; switch
+// -protocol/-n/-reps to price real protocol work instead.
+// The probe tenant submits one job at a time through POST /v1/jobs and
+// polls it to completion; its latency distribution is the dashboard
+// number a fair scheduler must protect from the backlog.
+//
+// Comparison against -baseline fails (exit status 2) when a throughput
+// entry drops more than -threshold below the baseline or probe p99
+// grows more than -threshold above it. Baselines are host-specific
+// (absolute throughput across machines is noise): gating against a
+// baseline from a different host is refused unless -allow-cross-host.
+// The -fair-frac gate is self-relative and therefore meaningful on any
+// host: probe p99 must stay under that fraction of the whole run's
+// wall time. FIFO dequeue fails it immediately — a probe stuck behind
+// half the backlog waits for about half the run — while weighted fair
+// scheduling keeps probe latency near service time regardless of
+// backlog depth.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sublinear/internal/mesh"
+	"sublinear/internal/netsim"
+	"sublinear/internal/quota"
+	"sublinear/internal/simsvc"
+)
+
+// Tenant labels of the two load classes.
+const (
+	floodTenant = "flood"
+	probeTenant = "probe"
+)
+
+// Entry is one measurement in the report.
+type Entry struct {
+	Name       string  `json:"name"`
+	Jobs       int64   `json:"jobs"`
+	Seconds    float64 `json:"seconds"`
+	JobsPerSec float64 `json:"jobs_per_sec,omitempty"`
+	P50Ms      float64 `json:"p50_ms,omitempty"`
+	P99Ms      float64 `json:"p99_ms,omitempty"`
+	Rejected   int64   `json:"rejected_429,omitempty"`
+}
+
+// Host identifies the machine a report was measured on; baselines only
+// gate runs on an identical host (see -allow-cross-host).
+type Host struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+func currentHost() Host {
+	return Host{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// RunConfig records the workload shape the entries were measured under.
+type RunConfig struct {
+	Jobs     int    `json:"jobs"`
+	Workers  int    `json:"workers"`
+	Queue    int    `json:"queue_per_worker,omitempty"`
+	Protocol string `json:"protocol"`
+	N        int    `json:"n"`
+	Reps     int    `json:"reps"`
+	Conc     int    `json:"conc"`
+	Journal  bool   `json:"journal,omitempty"`
+}
+
+// Report is the BENCH_simd.json file format.
+type Report struct {
+	Schema  int       `json:"schema"`
+	Host    Host      `json:"host"`
+	Config  RunConfig `json:"config"`
+	Entries []Entry   `json:"entries"`
+}
+
+// jobSpec mirrors the fields of simsvc.JobSpec that loadgen submits;
+// the daemon decodes with DisallowUnknownFields, so the mirror must
+// stay a subset.
+type jobSpec struct {
+	Tenant   string  `json:"tenant"`
+	Protocol string  `json:"protocol"`
+	N        int     `json:"n"`
+	Alpha    float64 `json:"alpha"`
+	Seed     uint64  `json:"seed"`
+	Reps     int     `json:"reps,omitempty"`
+}
+
+type jobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+type shardSub struct {
+	Status    *jobStatus `json:"status,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Retryable bool       `json:"retryable,omitempty"`
+}
+
+type shardResp struct {
+	Shards []shardSub `json:"shards"`
+}
+
+// maxBatch matches the daemon's /v1/shards request bound.
+const maxBatch = 256
+
+// probeSeedBase offsets probe seeds past any flood seed, so the two
+// tenants can never collide on a cache key.
+const probeSeedBase = 1 << 40
+
+// worker is one target daemon.
+type worker struct {
+	url   string
+	close func()
+}
+
+// selfHost starts k in-process simd workers wired into a gossip mesh,
+// each on its own TCP listener, and waits for the membership view to
+// converge. The flood tenant's queue budget is capped just below the
+// total so probe admissions always have headroom, and the probe tenant
+// gets an 8x fair-share weight — the configuration the benchmark's
+// latency story depends on.
+func selfHost(k, queueSize, execWorkers int, journalDir string) ([]worker, error) {
+	headroom := 64
+	if queueSize/4 < headroom {
+		headroom = queueSize / 4
+	}
+	q := quota.Config{
+		TotalQueued: queueSize,
+		Tenants: map[string]quota.Limits{
+			floodTenant: {MaxQueued: queueSize - headroom, Weight: 1},
+			probeTenant: {MaxQueued: headroom, Weight: 8},
+		},
+	}
+	var (
+		out       []worker
+		bootstrap []string
+	)
+	for i := 0; i < k; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return out, err
+		}
+		addr := ln.Addr().String()
+		node, err := mesh.NewNode(mesh.Config{
+			Self:      mesh.Member{ID: fmt.Sprintf("lg-%d-%s", i, addr), Addr: addr},
+			Schema:    netsim.DigestSchemaVersion,
+			Seed:      uint64(i) + 1,
+			Bootstrap: bootstrap,
+			Transport: &mesh.HTTPTransport{},
+		})
+		if err != nil {
+			ln.Close()
+			return out, err
+		}
+		cfg := simsvc.Config{
+			Workers:   execWorkers,
+			QueueSize: queueSize,
+			Quota:     q,
+			Mesh:      node,
+		}
+		var svc *simsvc.Service
+		if journalDir != "" {
+			if err := os.MkdirAll(journalDir, 0o755); err != nil {
+				ln.Close()
+				return out, err
+			}
+			cfg.JournalPath = fmt.Sprintf("%s/w%d.journal", journalDir, i)
+			svc, err = simsvc.Open(cfg)
+		} else {
+			svc = simsvc.New(cfg)
+		}
+		if err != nil {
+			ln.Close()
+			return out, err
+		}
+		srv := &http.Server{Handler: svc.Handler()}
+		go srv.Serve(ln)
+		ctx, cancel := context.WithCancel(context.Background())
+		go node.Run(ctx, 50*time.Millisecond)
+		out = append(out, worker{url: "http://" + addr, close: func() {
+			cancel()
+			srv.Close()
+			svc.Close(context.Background())
+		}})
+		if i == 0 {
+			bootstrap = []string{addr}
+		}
+	}
+	// The benchmark is meaningless if dispatch starts before the mesh
+	// has formed; converge first.
+	deadline := time.Now().Add(10 * time.Second)
+	client := &http.Client{Timeout: 2 * time.Second}
+	for {
+		view, err := mesh.FetchMembers(context.Background(), client, strings.TrimPrefix(out[0].url, "http://"), netsim.DigestSchemaVersion)
+		if err == nil && len(view.Live) == k {
+			return out, nil
+		}
+		if time.Now().After(deadline) {
+			return out, fmt.Errorf("loadgen: mesh stuck at %d/%d live members", len(view.Live), k)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// resolveTargets discovers worker URLs through the gossip mesh from one
+// bootstrap contact.
+func resolveTargets(joinAddr string) ([]worker, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	view, err := mesh.FetchMembers(context.Background(), client, strings.TrimPrefix(joinAddr, "http://"), netsim.DigestSchemaVersion)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: join %s: %w", joinAddr, err)
+	}
+	var out []worker
+	for _, m := range view.Live {
+		out = append(out, worker{url: "http://" + m.Addr})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("loadgen: mesh at %s has no live members", joinAddr)
+	}
+	return out, nil
+}
+
+// gen is the shared state of one load-generation run.
+type gen struct {
+	client  *http.Client
+	targets []string
+	rr      atomic.Int64 // round-robin cursor over targets
+	pace    time.Duration
+
+	floodAccepted atomic.Int64
+	floodRejected atomic.Int64
+	probeRejected atomic.Int64
+}
+
+func (g *gen) target() string {
+	return g.targets[int(g.rr.Add(1))%len(g.targets)]
+}
+
+// flood submits jobs flood jobs (seeds base..base+jobs) in maxBatch
+// batches from conc goroutines, retrying backpressure until every spec
+// is accepted. Returns when the last spec has been acknowledged.
+func (g *gen) flood(ctx context.Context, jobs int, conc int, shape jobSpec, base uint64) error {
+	var next atomic.Int64
+	errCh := make(chan error, conc)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start := next.Add(maxBatch) - maxBatch
+				if start >= int64(jobs) {
+					return
+				}
+				end := start + maxBatch
+				if end > int64(jobs) {
+					end = int64(jobs)
+				}
+				specs := make([]jobSpec, 0, end-start)
+				for i := start; i < end; i++ {
+					s := shape
+					s.Tenant = floodTenant
+					s.Seed = base + uint64(i)
+					specs = append(specs, s)
+				}
+				if err := g.submitBatch(ctx, specs); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// submitBatch pushes one batch through /v1/shards, resubmitting the
+// backpressured remainder until everything is in. The marshaled body is
+// reused while the pending set is unchanged (a saturated queue rejects
+// the same batch many times over), and fully rejected rounds back off
+// exponentially so a drain-limited flood doesn't burn the CPU the
+// workers need to drain.
+func (g *gen) submitBatch(ctx context.Context, specs []jobSpec) error {
+	pending := specs
+	body, err := json.Marshal(map[string]any{"specs": pending})
+	if err != nil {
+		return err
+	}
+	delay := g.pace
+	maxDelay := 32 * g.pace
+	for len(pending) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		resp, err := g.client.Post(g.target()+"/v1/shards", "application/json", bytes.NewReader(body))
+		if err != nil {
+			// A worker mid-restart or a transient socket error: pace and
+			// try the next target.
+			time.Sleep(g.pace)
+			continue
+		}
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+			return fmt.Errorf("loadgen: /v1/shards: %s: %s", resp.Status, bytes.TrimSpace(data))
+		}
+		var sr shardResp
+		if err := json.Unmarshal(data, &sr); err != nil {
+			return fmt.Errorf("loadgen: bad /v1/shards response: %w", err)
+		}
+		if len(sr.Shards) != len(pending) {
+			return fmt.Errorf("loadgen: /v1/shards returned %d outcomes for %d specs", len(sr.Shards), len(pending))
+		}
+		var retry []jobSpec
+		for i, sub := range sr.Shards {
+			switch {
+			case sub.Status != nil:
+				g.floodAccepted.Add(1)
+			case sub.Retryable:
+				g.floodRejected.Add(1)
+				retry = append(retry, pending[i])
+			default:
+				return fmt.Errorf("loadgen: spec rejected permanently: %s", sub.Error)
+			}
+		}
+		accepted := len(pending) - len(retry)
+		if accepted > 0 && len(retry) > 0 {
+			if body, err = json.Marshal(map[string]any{"specs": retry}); err != nil {
+				return err
+			}
+		}
+		pending = retry
+		if len(pending) == 0 {
+			return nil
+		}
+		if accepted > 0 {
+			delay = g.pace
+		} else if delay < maxDelay {
+			delay *= 2
+		}
+		time.Sleep(retryDelay(resp.Header.Get("Retry-After"), delay))
+	}
+	return nil
+}
+
+// retryDelay honours the server's Retry-After hint but clamps it to the
+// generator's pace: the integer-seconds hint exists for polite clients,
+// while loadgen's job is to keep the queue saturated and measure.
+func retryDelay(header string, pace time.Duration) time.Duration {
+	if secs, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && secs >= 1 {
+		if d := time.Duration(secs) * time.Second; d < pace {
+			return d
+		}
+	}
+	return pace
+}
+
+// probe runs the interactive tenant: submit one job, poll it to done,
+// record the end-to-end latency (admission retries included — that is
+// the latency a user experiences), repeat every interval until ctx ends
+// or maxProbes samples are in.
+func (g *gen) probe(ctx context.Context, interval time.Duration, maxProbes int, shape jobSpec) []time.Duration {
+	var latencies []time.Duration
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for i := 0; len(latencies) < maxProbes; i++ {
+		select {
+		case <-ctx.Done():
+			return latencies
+		case <-tick.C:
+		}
+		s := shape
+		s.Tenant = probeTenant
+		s.Seed = probeSeedBase + uint64(i)
+		start := time.Now()
+		id, ok := g.submitProbe(ctx, s)
+		if !ok {
+			return latencies
+		}
+		if !g.pollProbe(ctx, id) {
+			return latencies
+		}
+		latencies = append(latencies, time.Since(start))
+	}
+	return latencies
+}
+
+func (g *gen) submitProbe(ctx context.Context, s jobSpec) (string, bool) {
+	for {
+		if ctx.Err() != nil {
+			return "", false
+		}
+		body, _ := json.Marshal(s)
+		resp, err := g.client.Post(g.target()+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			time.Sleep(g.pace)
+			continue
+		}
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			g.probeRejected.Add(1)
+			time.Sleep(retryDelay(resp.Header.Get("Retry-After"), g.pace))
+			continue
+		}
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			return "", false
+		}
+		var st jobStatus
+		if json.Unmarshal(data, &st) != nil || st.ID == "" {
+			return "", false
+		}
+		return st.ID, true
+	}
+}
+
+func (g *gen) pollProbe(ctx context.Context, id string) bool {
+	// The job lives on the worker that accepted it; the round-robin
+	// cursor has moved on, so ask every target until one knows the ID.
+	for {
+		if ctx.Err() != nil {
+			return false
+		}
+		for _, t := range g.targets {
+			resp, err := g.client.Get(t + "/v1/jobs/" + id)
+			if err != nil {
+				continue
+			}
+			data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				continue
+			}
+			var st jobStatus
+			if json.Unmarshal(data, &st) == nil && st.ID == id {
+				switch st.State {
+				case "done", "failed":
+					return true
+				}
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// tenantCounter sums one per-tenant Prometheus counter across targets.
+func (g *gen) tenantCounter(name, tenant string) (int64, error) {
+	var total int64
+	prefix := fmt.Sprintf("%s{tenant=%q} ", name, tenant)
+	for _, t := range g.targets {
+		resp, err := g.client.Get(t + "/metrics")
+		if err != nil {
+			return 0, err
+		}
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+		resp.Body.Close()
+		for _, line := range strings.Split(string(data), "\n") {
+			if rest, ok := strings.CutPrefix(line, prefix); ok {
+				v, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+				if err != nil {
+					return 0, fmt.Errorf("loadgen: bad metric line %q: %w", line, err)
+				}
+				total += v
+			}
+		}
+	}
+	return total, nil
+}
+
+// awaitDrain polls the per-tenant completion counters until every
+// accepted flood job has finished (completed or failed).
+func (g *gen) awaitDrain(ctx context.Context, want int64) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		done, err := g.tenantCounter("simd_tenant_jobs_completed_total", floodTenant)
+		if err == nil {
+			failed, ferr := g.tenantCounter("simd_tenant_jobs_failed_total", floodTenant)
+			if ferr == nil && done+failed >= want {
+				if failed > 0 {
+					return fmt.Errorf("loadgen: %d flood jobs failed", failed)
+				}
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	jobs := fs.Int("jobs", 1_000_000, "flood jobs to push through the fleet")
+	spawn := fs.Int("spawn", 4, "self-hosted mesh workers (ignored with -target/-join)")
+	target := fs.String("target", "", "comma-separated worker base URLs to drive instead of self-hosting")
+	join := fs.String("join", "", "bootstrap host:port: discover workers through the gossip mesh")
+	queueSize := fs.Int("queue", 262144, "per-worker queue capacity when self-hosting")
+	execWorkers := fs.Int("exec-workers", 0, "execution workers per self-hosted daemon (0 = GOMAXPROCS)")
+	journalDir := fs.String("journal", "", "journal directory for self-hosted workers (prices durability; empty = off)")
+	proto := fs.String("protocol", "gossip", "protocol of the generated jobs (the tiny default keeps the benchmark pipeline-bound)")
+	n := fs.Int("n", 8, "network size of the generated jobs")
+	alpha := fs.Float64("alpha", 0.8, "non-faulty fraction of the generated jobs (election needs alpha >= log^2 n / n)")
+	reps := fs.Int("reps", 1, "repetitions per generated job")
+	conc := fs.Int("conc", 8, "concurrent flood submitter goroutines")
+	pace := fs.Duration("pace", 10*time.Millisecond, "backpressure retry delay (Retry-After is clamped to this)")
+	probes := fs.Int("probes", 500, "max probe-tenant latency samples")
+	probeEvery := fs.Duration("probe-every", 25*time.Millisecond, "interval between probe jobs")
+	seed := fs.Uint64("seed", 1, "base seed; flood job i runs with seed+i")
+	out := fs.String("out", "", "write the report as JSON to this file ('-' for stdout)")
+	baseline := fs.String("baseline", "", "compare against this baseline report")
+	threshold := fs.Float64("threshold", 0.2, "max tolerated throughput drop / p99 growth fraction vs the baseline")
+	fairFrac := fs.Float64("fair-frac", 0, "fairness gate: probe p99 must stay under this fraction of the run's wall time (0 disables)")
+	allowCrossHost := fs.Bool("allow-cross-host", false, "gate against a baseline measured on a different host")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" && *baseline == "" {
+		*out = "-"
+	}
+
+	var workers []worker
+	var err error
+	switch {
+	case *target != "":
+		for _, u := range strings.Split(*target, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				workers = append(workers, worker{url: strings.TrimSuffix(u, "/")})
+			}
+		}
+	case *join != "":
+		workers, err = resolveTargets(*join)
+	default:
+		workers, err = selfHost(*spawn, *queueSize, *execWorkers, *journalDir)
+	}
+	defer func() {
+		for _, w := range workers {
+			if w.close != nil {
+				w.close()
+			}
+		}
+	}()
+	if err != nil {
+		return err
+	}
+	if len(workers) == 0 {
+		return fmt.Errorf("loadgen: no workers")
+	}
+
+	g := &gen{
+		client: &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        4 * (*conc),
+				MaxIdleConnsPerHost: 2 * (*conc),
+			},
+		},
+		pace: *pace,
+	}
+	for _, w := range workers {
+		g.targets = append(g.targets, w.url)
+	}
+	shape := jobSpec{Protocol: *proto, N: *n, Alpha: *alpha, Reps: *reps}
+
+	fmt.Fprintf(stdout, "loadgen: %d jobs over %d workers (%s n=%d reps=%d, %d submitters)\n",
+		*jobs, len(workers), *proto, *n, *reps, *conc)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	probeCh := make(chan []time.Duration, 1)
+	go func() { probeCh <- g.probe(ctx, *probeEvery, *probes, shape) }()
+
+	floodStart := time.Now()
+	if err := g.flood(ctx, *jobs, *conc, shape, *seed); err != nil {
+		return err
+	}
+	submitElapsed := time.Since(floodStart)
+	accepted := g.floodAccepted.Load()
+	fmt.Fprintf(stdout, "loadgen: submitted %d jobs in %v (%.0f jobs/sec, %d backpressure retries)\n",
+		accepted, submitElapsed.Round(time.Millisecond), float64(accepted)/submitElapsed.Seconds(), g.floodRejected.Load())
+
+	if err := g.awaitDrain(ctx, accepted); err != nil {
+		return err
+	}
+	drainElapsed := time.Since(floodStart)
+	cancel() // stop probing: the backlog is gone, later samples measure an idle fleet
+	latencies := <-probeCh
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+
+	rep := Report{
+		Schema: 1,
+		Host:   currentHost(),
+		Config: RunConfig{
+			Jobs: *jobs, Workers: len(workers), Queue: *queueSize,
+			Protocol: *proto, N: *n, Reps: *reps, Conc: *conc,
+			Journal: *journalDir != "",
+		},
+		Entries: []Entry{
+			{
+				Name: "flood/submit", Jobs: accepted,
+				Seconds:    submitElapsed.Seconds(),
+				JobsPerSec: float64(accepted) / submitElapsed.Seconds(),
+				Rejected:   g.floodRejected.Load(),
+			},
+			{
+				Name: "flood/drain", Jobs: accepted,
+				Seconds:    drainElapsed.Seconds(),
+				JobsPerSec: float64(accepted) / drainElapsed.Seconds(),
+			},
+			{
+				Name: "probe/under-backlog", Jobs: int64(len(latencies)),
+				Seconds:  drainElapsed.Seconds(),
+				P50Ms:    ms(percentile(latencies, 0.50)),
+				P99Ms:    ms(percentile(latencies, 0.99)),
+				Rejected: g.probeRejected.Load(),
+			},
+		},
+	}
+	for _, e := range rep.Entries {
+		printEntry(stdout, e)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if *out == "-" {
+			_, err = stdout.Write(data)
+		} else {
+			err = os.WriteFile(*out, data, 0o644)
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	var failure error
+	if *fairFrac > 0 {
+		if err := checkFairness(stdout, latencies, drainElapsed, *fairFrac); err != nil {
+			failure = err
+		}
+	}
+	if *baseline != "" {
+		if err := compare(stdout, rep, *baseline, *threshold, *allowCrossHost); err != nil {
+			return err
+		}
+	}
+	return failure
+}
+
+func printEntry(w io.Writer, e Entry) {
+	switch {
+	case e.P50Ms > 0 || e.P99Ms > 0:
+		fmt.Fprintf(w, "%-22s %8d samples %10.1f ms p50 %10.1f ms p99 %8d rejected\n",
+			e.Name, e.Jobs, e.P50Ms, e.P99Ms, e.Rejected)
+	default:
+		fmt.Fprintf(w, "%-22s %8d jobs %12.0f jobs/sec %10.2fs\n", e.Name, e.Jobs, e.JobsPerSec, e.Seconds)
+	}
+}
+
+// errRegression marks a gated comparison that found a budget violation.
+var errRegression = fmt.Errorf("loadgen: regression past threshold")
+
+// checkFairness is the self-relative scheduling gate: however fast the
+// host, a fairly scheduled probe finishes in about its own service time,
+// while a FIFO probe behind the backlog waits a large fraction of the
+// whole run. Requiring p99 under frac of the wall time separates the
+// two regimes with a wide margin on any machine.
+func checkFairness(w io.Writer, latencies []time.Duration, wall time.Duration, frac float64) error {
+	const minSamples = 10
+	if len(latencies) < minSamples {
+		fmt.Fprintf(w, "fairness gate skipped: only %d probe samples (< %d)\n", len(latencies), minSamples)
+		return nil
+	}
+	p99 := percentile(latencies, 0.99)
+	limit := time.Duration(frac * float64(wall))
+	if p99 > limit {
+		fmt.Fprintf(w, "fairness gate: probe p99 %v exceeds %.0f%% of the %v run (FAIL)\n",
+			p99.Round(time.Millisecond), frac*100, wall.Round(time.Millisecond))
+		return errRegression
+	}
+	fmt.Fprintf(w, "fairness gate: probe p99 %v within %.0f%% of the %v run (ok)\n",
+		p99.Round(time.Millisecond), frac*100, wall.Round(time.Millisecond))
+	return nil
+}
+
+func compare(w io.Writer, rep Report, path string, threshold float64, allowCrossHost bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("loadgen: parse %s: %w", path, err)
+	}
+	if base.Host != rep.Host && !allowCrossHost {
+		return fmt.Errorf("loadgen: baseline %s was measured on a different host (%+v, this host %+v); absolute throughput does not compare across machines — regenerate the baseline here or pass -allow-cross-host",
+			path, base.Host, rep.Host)
+	}
+	byName := make(map[string]Entry, len(base.Entries))
+	for _, e := range base.Entries {
+		byName[e.Name] = e
+	}
+	failed := false
+	for _, e := range rep.Entries {
+		b, ok := byName[e.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-22s no baseline, skipped\n", e.Name)
+			continue
+		}
+		status := "ok"
+		switch {
+		case b.JobsPerSec > 0:
+			ratio := e.JobsPerSec / b.JobsPerSec
+			if ratio < 1-threshold {
+				status = "REGRESSION"
+				failed = true
+			}
+			fmt.Fprintf(w, "%-22s %6.2fx of baseline throughput (%s)\n", e.Name, ratio, status)
+		case b.P99Ms > 0:
+			ratio := e.P99Ms / b.P99Ms
+			if ratio > 1+threshold {
+				status = "REGRESSION"
+				failed = true
+			}
+			fmt.Fprintf(w, "%-22s %6.2fx of baseline p99 (%s)\n", e.Name, ratio, status)
+		default:
+			fmt.Fprintf(w, "%-22s baseline carries no gated metric, skipped\n", e.Name)
+		}
+	}
+	if failed {
+		return errRegression
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err == errRegression {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSmallRunProducesReport drives a complete flood+probe+drain cycle
+// against a self-hosted two-worker mesh (journal on, so the durability
+// path is priced too) and checks the report's accounting: all three
+// entries present, every flood job accounted for, rates positive, and
+// the fairness gate passing.
+func TestSmallRunProducesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real load test")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-jobs", "4000", "-spawn", "2", "-queue", "128", "-conc", "2",
+		"-probes", "500", "-probe-every", "2ms", "-pace", "2ms",
+		"-journal", filepath.Join(t.TempDir(), "journals"),
+		"-fair-frac", "0.5", "-out", out,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != 1 || rep.Host != currentHost() {
+		t.Fatalf("bad provenance: %+v", rep)
+	}
+	if !rep.Config.Journal || rep.Config.Workers != 2 {
+		t.Fatalf("config not recorded: %+v", rep.Config)
+	}
+	byName := map[string]Entry{}
+	for _, e := range rep.Entries {
+		byName[e.Name] = e
+	}
+	for _, name := range []string{"flood/submit", "flood/drain", "probe/under-backlog"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("entry %q missing from report: %s", name, data)
+		}
+	}
+	// With a 128-deep queue and 4000 jobs the flood must have seen
+	// backpressure and still landed every job.
+	if e := byName["flood/submit"]; e.Jobs != 4000 || e.JobsPerSec <= 0 || e.Rejected == 0 {
+		t.Fatalf("flood/submit accounting wrong: %+v", e)
+	}
+	if e := byName["flood/drain"]; e.Jobs != 4000 || e.JobsPerSec <= 0 {
+		t.Fatalf("flood/drain accounting wrong: %+v", e)
+	}
+	if e := byName["probe/under-backlog"]; e.Jobs == 0 || e.P99Ms <= 0 || e.P50Ms > e.P99Ms {
+		t.Fatalf("probe percentiles wrong: %+v", e)
+	}
+	if !strings.Contains(buf.String(), "fairness gate: probe p99") ||
+		!strings.Contains(buf.String(), "(ok)") {
+		t.Fatalf("fairness gate did not pass:\n%s", buf.String())
+	}
+
+	// A same-host baseline comparison against itself passes...
+	buf.Reset()
+	if err := run([]string{
+		"-jobs", "300", "-spawn", "2", "-queue", "128", "-conc", "2",
+		"-probes", "10", "-probe-every", "2ms", "-pace", "2ms",
+		"-baseline", out, "-threshold", "0.99",
+	}, &buf); err != nil {
+		t.Fatalf("self-comparison failed: %v\n%s", err, buf.String())
+	}
+}
+
+// TestCompareGatesRegressions exercises the comparison logic on
+// synthetic reports: a throughput drop and a p99 blow-up past the
+// threshold must fail, an identical report must pass, and a baseline
+// from a different host must be refused without -allow-cross-host.
+func TestCompareGatesRegressions(t *testing.T) {
+	cur := Report{
+		Schema: 1,
+		Host:   currentHost(),
+		Entries: []Entry{
+			{Name: "flood/submit", JobsPerSec: 1000},
+			{Name: "flood/drain", JobsPerSec: 800},
+			{Name: "probe/under-backlog", P50Ms: 5, P99Ms: 50},
+		},
+	}
+	write := func(rep Report) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "base.json")
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	var buf bytes.Buffer
+	if err := compare(&buf, cur, write(cur), 0.2, false); err != nil {
+		t.Fatalf("identical report failed comparison: %v\n%s", err, buf.String())
+	}
+
+	slow := cur
+	slow.Entries = []Entry{{Name: "flood/drain", JobsPerSec: 2000}}
+	if err := compare(&buf, cur, write(slow), 0.2, false); err != errRegression {
+		t.Fatalf("60%% throughput drop not gated: %v", err)
+	}
+
+	tail := cur
+	tail.Entries = []Entry{{Name: "probe/under-backlog", P99Ms: 10}}
+	if err := compare(&buf, cur, write(tail), 0.2, false); err != errRegression {
+		t.Fatalf("5x p99 growth not gated: %v", err)
+	}
+
+	foreign := cur
+	foreign.Host.NumCPU++
+	err := compare(&buf, cur, write(foreign), 0.2, false)
+	if err == nil || err == errRegression || !strings.Contains(err.Error(), "different host") {
+		t.Fatalf("cross-host baseline not refused: %v", err)
+	}
+	buf.Reset()
+	if err := compare(&buf, cur, write(foreign), 0.2, true); err != nil {
+		t.Fatalf("-allow-cross-host did not override: %v\n%s", err, buf.String())
+	}
+}
+
+// TestFairnessGate checks both verdicts of the self-relative gate.
+func TestFairnessGate(t *testing.T) {
+	lat := make([]time.Duration, 100)
+	for i := range lat {
+		lat[i] = 10 * time.Millisecond
+	}
+	var buf bytes.Buffer
+	if err := checkFairness(&buf, lat, 10*time.Second, 0.25); err != nil {
+		t.Fatalf("10ms p99 in a 10s run failed a 25%% gate: %v", err)
+	}
+	// Two of a hundred probes stuck behind the backlog (nearest-rank p99
+	// needs more than one tail sample to move).
+	lat[98], lat[99] = 9*time.Second, 9*time.Second
+	if err := checkFairness(&buf, lat, 10*time.Second, 0.25); err != errRegression {
+		t.Fatalf("9s p99 in a 10s run passed a 25%% gate: %v", err)
+	}
+	if err := checkFairness(&buf, lat[:3], 10*time.Second, 0.25); err != nil {
+		t.Fatalf("underpowered sample did not skip: %v", err)
+	}
+}
+
+// TestRetryDelayClampsRetryAfter pins the backpressure pacing contract:
+// the server's integer-seconds hint never slows the generator below its
+// own pace, and garbage headers fall back to the pace.
+func TestRetryDelayClampsRetryAfter(t *testing.T) {
+	pace := 10 * time.Millisecond
+	for header, want := range map[string]time.Duration{
+		"1": pace, "60": pace, "": pace, "soon": pace, "0": pace, "-3": pace,
+	} {
+		if got := retryDelay(header, pace); got != want {
+			t.Fatalf("retryDelay(%q) = %v, want %v", header, got, want)
+		}
+	}
+	if got := retryDelay("1", 2*time.Second); got != time.Second {
+		t.Fatalf("retryDelay honours a hint below the pace: got %v, want 1s", got)
+	}
+}

@@ -7,13 +7,25 @@
 //
 //	simd -addr :8080 -workers 8 -queue 256 -cache 4096 -job-timeout 2m
 //
+// With -journal the daemon is durable: admissions are fsync'd to an
+// append-only JSONL log before they are acknowledged, and a restart —
+// graceful or kill -9 — resumes the queue under the original job IDs
+// with the result cache re-warmed. With -mesh the daemon joins the
+// gossip worker mesh: it carries a stable node ID, push-pulls
+// membership digests with random peers every -gossip-interval, and can
+// be discovered by fleetctl from any one live worker. Tenant budgets
+// are set with repeated -quota flags ("team=w4,q128,r2").
+//
 // See docs/SIMD.md for the API and an example curl session. On SIGINT or
-// SIGTERM the daemon stops accepting work, drains queued and in-flight
-// jobs, and exits 0; if the drain exceeds -drain-timeout it exits 1.
+// SIGTERM the daemon stops accepting work, announces its departure to
+// the mesh, drains queued and in-flight jobs, and exits 0; if the drain
+// exceeds -drain-timeout it exits 1.
 package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"flag"
 	"fmt"
@@ -22,9 +34,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"sublinear/internal/mesh"
+	"sublinear/internal/netsim"
+	"sublinear/internal/quota"
 	"sublinear/internal/simsvc"
 )
 
@@ -47,18 +63,24 @@ func run() error {
 		maxReps      = flag.Int("max-reps", simsvc.DefaultLimits.MaxReps, "largest accepted repetition count")
 		traceStore   = flag.Int64("trace-store", 64<<20, "execution trace store capacity in bytes (LRU)")
 		portFile     = flag.String("port-file", "", "write the bound listen address to this file once listening (for -addr :0)")
+		journalPath  = flag.String("journal", "", "append-only job journal path (empty = no durability)")
+		meshOn       = flag.Bool("mesh", false, "join the gossip worker mesh")
+		meshJoin     = flag.String("join", "", "comma-separated bootstrap addresses of live mesh workers")
+		nodeID       = flag.String("node-id", "", "stable mesh node identity (default: derived from the advertised address)")
+		advertise    = flag.String("advertise", "", "address peers should dial (default: derived from the bound listener)")
+		gossipEvery  = flag.Duration("gossip-interval", time.Second, "gossip round interval")
+		gossipFanout = flag.Int("gossip-fanout", 2, "random peers contacted per gossip round")
 	)
-	flag.Parse()
-
-	svc := simsvc.New(simsvc.Config{
-		Workers:         *workers,
-		QueueSize:       *queueSize,
-		CacheSize:       *cacheSize,
-		JobTimeout:      *jobTimeout,
-		TraceStoreBytes: *traceStore,
-		Limits:          simsvc.Limits{MaxN: *maxN, MaxReps: *maxReps},
+	quotaCfg := quota.Config{Tenants: map[string]quota.Limits{}}
+	flag.Func("quota", "per-tenant budget NAME=w<weight>,q<queued>,r<running> (repeatable)", func(s string) error {
+		name, lim, err := quota.ParseLimits(s)
+		if err != nil {
+			return err
+		}
+		quotaCfg.Tenants[name] = lim
+		return nil
 	})
-	server := &http.Server{Handler: svc.Handler()}
+	flag.Parse()
 
 	// Bind before daemonizing so -addr :0 picks an ephemeral port the
 	// parent can discover through -port-file (how fleetctl -spawn learns
@@ -77,6 +99,56 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var node *mesh.Node
+	if *meshOn {
+		self := mesh.Member{ID: *nodeID, Addr: *advertise}
+		if self.Addr == "" {
+			self.Addr = advertiseAddr(ln.Addr())
+		}
+		if self.ID == "" {
+			self.ID = "w-" + self.Addr
+		}
+		var bootstrap []string
+		for _, b := range strings.Split(*meshJoin, ",") {
+			if b = strings.TrimSpace(b); b != "" {
+				bootstrap = append(bootstrap, b)
+			}
+		}
+		node, err = mesh.NewNode(mesh.Config{
+			Self: self,
+			// Digest-schema gating: two workers whose execution digests
+			// are incomparable must never discover each other.
+			Schema:    netsim.DigestSchemaVersion,
+			Fanout:    *gossipFanout,
+			Seed:      seedFromID(self.ID),
+			Bootstrap: bootstrap,
+			Transport: &mesh.HTTPTransport{},
+			Logf:      log.Printf,
+		})
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		go node.Run(ctx, *gossipEvery)
+	}
+
+	svc, err := simsvc.Open(simsvc.Config{
+		Workers:         *workers,
+		QueueSize:       *queueSize,
+		CacheSize:       *cacheSize,
+		JobTimeout:      *jobTimeout,
+		TraceStoreBytes: *traceStore,
+		Limits:          simsvc.Limits{MaxN: *maxN, MaxReps: *maxReps},
+		Quota:           quotaCfg,
+		JournalPath:     *journalPath,
+		Mesh:            node,
+	})
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	server := &http.Server{Handler: svc.Handler()}
+
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("simd listening on %s", ln.Addr())
@@ -93,6 +165,12 @@ func run() error {
 	log.Printf("simd draining (budget %v)", *drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	if node != nil {
+		// Tell the mesh we are going before we stop answering gossip, so
+		// peers learn of the departure from a farewell digest instead of
+		// the failure detector.
+		node.Leave(drainCtx)
+	}
 	if err := server.Shutdown(drainCtx); err != nil {
 		return fmt.Errorf("http shutdown: %w", err)
 	}
@@ -101,4 +179,27 @@ func run() error {
 	}
 	log.Printf("simd drained cleanly")
 	return nil
+}
+
+// advertiseAddr turns the bound listener address into something peers
+// can dial: an unspecified host (":0" binds) becomes loopback — the
+// right default for locally spawned meshes; multi-host deployments pass
+// -advertise explicitly.
+func advertiseAddr(a net.Addr) string {
+	host, port, err := net.SplitHostPort(a.String())
+	if err != nil {
+		return a.String()
+	}
+	if ip := net.ParseIP(host); ip == nil || ip.IsUnspecified() {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
+}
+
+// seedFromID derives the gossip sampling seed from the stable node
+// identity, so a node's peer-sampling sequence is reproducible across
+// restarts — the same deterministic-RNG discipline as internal/rng.
+func seedFromID(id string) uint64 {
+	sum := sha256.Sum256([]byte(id))
+	return binary.LittleEndian.Uint64(sum[:8])
 }

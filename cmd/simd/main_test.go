@@ -1,0 +1,318 @@
+package main
+
+// Process-level tests: build the real simd binary and exercise the
+// guarantees only a real process can prove — kill -9 durability (the
+// journaled queue survives an unflushed death and drains to results
+// bit-identical to an uninterrupted daemon), SIGINT draining exactly
+// like SIGTERM, and gossip mesh bootstrap over real sockets.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func buildSimd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "simd")
+	cmd := exec.Command("go", "build", "-o", bin, "sublinear/cmd/simd")
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Dir = filepath.Join(wd, "..", "..")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build simd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// simdProc is one spawned daemon under test.
+type simdProc struct {
+	cmd    *exec.Cmd
+	base   string // http://host:port
+	addr   string // host:port
+	stderr *os.File
+}
+
+// startSimd launches the binary on an ephemeral port and waits for
+// /healthz. Extra args are appended after the defaults.
+func startSimd(t *testing.T, bin string, extra ...string) *simdProc {
+	t.Helper()
+	dir := t.TempDir()
+	portFile := filepath.Join(dir, "port")
+	stderr, err := os.Create(filepath.Join(dir, "stderr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{
+		"-addr", "127.0.0.1:0", "-port-file", portFile, "-workers", "2",
+	}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &simdProc{cmd: cmd, stderr: stderr}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+		stderr.Close()
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if data, err := os.ReadFile(portFile); err == nil && len(data) > 0 {
+			p.addr = strings.TrimSpace(string(data))
+			p.base = "http://" + p.addr
+			if resp, err := http.Get(p.base + "/healthz"); err == nil {
+				resp.Body.Close()
+				return p
+			}
+		}
+		if time.Now().After(deadline) {
+			data, _ := os.ReadFile(stderr.Name())
+			t.Fatalf("simd never became healthy:\n%s", data)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+type jobStatus struct {
+	ID       string          `json:"id"`
+	State    string          `json:"state"`
+	CacheHit bool            `json:"cacheHit"`
+	Result   json.RawMessage `json:"result"`
+}
+
+func submitJob(t *testing.T, base string, spec map[string]any) jobStatus {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	return st
+}
+
+func pollJob(t *testing.T, base, id string, timeout time.Duration) jobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err == nil && resp.StatusCode == http.StatusOK {
+			var st jobStatus
+			if err := json.NewDecoder(resp.Body).Decode(&st); err == nil &&
+				(st.State == "done" || st.State == "failed") {
+				resp.Body.Close()
+				return st
+			}
+		}
+		if resp != nil {
+			resp.Body.Close()
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not finish", id)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestKill9ResumesJournaledQueue is the durability acceptance test:
+// SIGKILL a journaled daemon mid-backlog, restart it on the same
+// journal, and require every submitted job — including the ones that
+// never started — to drain to results bit-identical to an uninterrupted
+// daemon's.
+func TestKill9ResumesJournaledQueue(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real binaries")
+	}
+	bin := buildSimd(t)
+	journal := filepath.Join(t.TempDir(), "jobs.jsonl")
+
+	// Reference: an uninterrupted, journal-less daemon runs the same
+	// specs to completion.
+	specs := make([]map[string]any, 10)
+	for i := range specs {
+		specs[i] = map[string]any{
+			"protocol": "election", "n": 48, "alpha": 0.8,
+			"seed": 100 + i, "reps": 4, "raw": true,
+		}
+	}
+	ref := startSimd(t, bin)
+	want := make([]json.RawMessage, len(specs))
+	for i, spec := range specs {
+		st := submitJob(t, ref.base, spec)
+		want[i] = pollJob(t, ref.base, st.ID, 60*time.Second).Result
+	}
+	ref.cmd.Process.Signal(syscall.SIGTERM)
+	ref.cmd.Wait()
+
+	// Victim: journaled, single slow worker so the backlog is deep when
+	// the kill lands.
+	victim := startSimd(t, bin, "-journal", journal, "-workers", "1")
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		ids[i] = submitJob(t, victim.base, spec).ID
+	}
+	// Let it get partway: wait for the first job to finish so the kill
+	// lands mid-backlog, with some jobs done, one in flight, the rest
+	// queued.
+	pollJob(t, victim.base, ids[0], 60*time.Second)
+	if err := victim.cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no flush
+		t.Fatal(err)
+	}
+	victim.cmd.Wait()
+
+	// Successor on the same journal: the backlog must drain under the
+	// original job IDs.
+	successor := startSimd(t, bin, "-journal", journal, "-workers", "2")
+	for i, id := range ids {
+		st := pollJob(t, successor.base, id, 120*time.Second)
+		if st.State != "done" {
+			t.Fatalf("replayed job %s state %s", id, st.State)
+		}
+		if !bytes.Equal(st.Result, want[i]) {
+			t.Fatalf("job %s result diverged after kill -9 + resume:\n%s\nvs reference\n%s",
+				id, st.Result, want[i])
+		}
+	}
+	successor.cmd.Process.Signal(syscall.SIGTERM)
+	successor.cmd.Wait()
+}
+
+// TestSigintDrainsLikeSigterm is the satellite guarantee: Ctrl-C and
+// SIGTERM take the same graceful-drain path — in-flight jobs finish,
+// the daemon logs a clean drain, and the exit status is 0.
+func TestSigintDrainsLikeSigterm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real binaries")
+	}
+	bin := buildSimd(t)
+	for _, sig := range []syscall.Signal{syscall.SIGINT, syscall.SIGTERM} {
+		sig := sig
+		t.Run(sig.String(), func(t *testing.T) {
+			p := startSimd(t, bin, "-drain-timeout", "30s")
+			st := submitJob(t, p.base, map[string]any{
+				"protocol": "election", "n": 64, "alpha": 0.8, "seed": 1, "reps": 10,
+			})
+			if err := p.cmd.Process.Signal(sig); err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan error, 1)
+			go func() { done <- p.cmd.Wait() }()
+			select {
+			case err := <-done:
+				if err != nil {
+					data, _ := os.ReadFile(p.stderr.Name())
+					t.Fatalf("simd exited non-zero on %v: %v\n%s", sig, err, data)
+				}
+			case <-time.After(60 * time.Second):
+				p.cmd.Process.Kill()
+				t.Fatalf("simd did not drain on %v", sig)
+			}
+			data, _ := os.ReadFile(p.stderr.Name())
+			if !bytes.Contains(data, []byte("drained cleanly")) {
+				t.Fatalf("no clean drain on %v (job %s):\n%s", sig, st.ID, data)
+			}
+		})
+	}
+}
+
+// TestMeshBootstrapOverSockets spins up three mesh-enabled daemons,
+// two of them bootstrapping from the first, and waits for every node's
+// membership view to converge on all three — gossip over real HTTP, not
+// the in-memory transport.
+func TestMeshBootstrapOverSockets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real binaries")
+	}
+	bin := buildSimd(t)
+	gossip := []string{"-mesh", "-gossip-interval", "50ms"}
+	w0 := startSimd(t, bin, gossip...)
+	w1 := startSimd(t, bin, append([]string{"-join", w0.addr}, gossip...)...)
+	w2 := startSimd(t, bin, append([]string{"-join", w0.addr}, gossip...)...)
+
+	procs := []*simdProc{w0, w1, w2}
+	deadline := time.Now().Add(30 * time.Second)
+	for _, p := range procs {
+		for {
+			var view struct {
+				Live []struct {
+					ID string `json:"id"`
+				} `json:"live"`
+			}
+			resp, err := http.Get(p.base + "/v1/mesh/members")
+			if err == nil {
+				json.NewDecoder(resp.Body).Decode(&view)
+				resp.Body.Close()
+			}
+			if len(view.Live) == 3 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %s sees %d live members, want 3", p.addr, len(view.Live))
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	// healthz reports the mesh identity.
+	resp, err := http.Get(w1.base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Mesh struct {
+			NodeID string `json:"nodeId"`
+			Live   int    `json:"live"`
+		} `json:"mesh"`
+	}
+	json.NewDecoder(resp.Body).Decode(&hz)
+	resp.Body.Close()
+	if hz.Mesh.NodeID == "" || hz.Mesh.Live != 3 {
+		t.Fatalf("healthz mesh block %+v", hz.Mesh)
+	}
+	// Graceful leave: SIGTERM w2 and wait for the survivors to converge
+	// on two members (farewell digest or failure detection — either way
+	// the dead node must disappear).
+	w2.cmd.Process.Signal(syscall.SIGTERM)
+	w2.cmd.Wait()
+	deadline = time.Now().Add(30 * time.Second)
+	for _, p := range procs[:2] {
+		for {
+			var view struct {
+				Live []struct {
+					ID string `json:"id"`
+				} `json:"live"`
+			}
+			resp, err := http.Get(p.base + "/v1/mesh/members")
+			if err == nil {
+				json.NewDecoder(resp.Body).Decode(&view)
+				resp.Body.Close()
+			}
+			if len(view.Live) == 2 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %s still sees %d live members after leave", p.addr, len(view.Live))
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"crypto/sha256"
@@ -11,6 +12,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"sublinear/internal/simsvc"
@@ -239,6 +241,16 @@ func (c *Client) FetchTrace(ctx context.Context, id string) ([]byte, error) {
 // until the job finishes. It returns the job result, an errBusy-driven
 // wait cut short by ctx, or an error describing the failed attempt.
 func (c *Client) RunShard(ctx context.Context, spec simsvc.JobSpec) (*simsvc.JobResult, error) {
+	return c.RunShardEvents(ctx, spec, nil)
+}
+
+// RunShardEvents is RunShard with a live event feed: once the job is
+// accepted, the worker's SSE stream is consumed in the background and
+// every event forwarded to onEvent (nil disables the watch). Events are
+// best-effort telemetry — delivered from a separate goroutine, possibly
+// lagging the result — while the poll loop stays authoritative for the
+// outcome.
+func (c *Client) RunShardEvents(ctx context.Context, spec simsvc.JobSpec, onEvent func(simsvc.JobEvent)) (*simsvc.JobResult, error) {
 	var id string
 	for {
 		subs, err := c.SubmitShards(ctx, []simsvc.JobSpec{spec})
@@ -267,13 +279,43 @@ func (c *Client) RunShard(ctx context.Context, spec simsvc.JobSpec) (*simsvc.Job
 		}
 		st := *sub.Status
 		if st.State == simsvc.StateDone {
-			return st.Result, nil // cache hit: done at submit time
+			if onEvent != nil {
+				// Cache hit: the job was terminal at submit time, so
+				// synthesize the done event instead of opening a stream
+				// that would only replay it.
+				onEvent(simsvc.JobEvent{
+					Type: "done", Job: st.ID, State: string(st.State),
+					CacheHit: st.CacheHit,
+				})
+			}
+			return st.Result, nil
 		}
 		if st.State == simsvc.StateFailed {
 			return nil, fmt.Errorf("%s: job failed: %s", c.Base, st.Error)
 		}
 		id = st.ID
 		break
+	}
+	if onEvent != nil {
+		watchCtx, stopWatch := context.WithCancel(ctx)
+		watchDone := make(chan struct{})
+		go func() {
+			defer close(watchDone)
+			_ = c.WatchJob(watchCtx, id, onEvent)
+		}()
+		defer func() {
+			// The poller usually sees the terminal state a beat before
+			// the stream delivers the done event; give the watcher a
+			// moment to drain it, then cut the stream and wait so no
+			// callback outlives this call.
+			select {
+			case <-watchDone:
+			case <-time.After(time.Second):
+			case <-ctx.Done():
+			}
+			stopWatch()
+			<-watchDone
+		}()
 	}
 	for {
 		if err := c.sleep(ctx, c.poll()); err != nil {
@@ -290,6 +332,50 @@ func (c *Client) RunShard(ctx context.Context, spec simsvc.JobSpec) (*simsvc.Job
 			return nil, fmt.Errorf("%s: job %s failed: %s", c.Base, id, st.Error)
 		}
 	}
+}
+
+// WatchJob consumes one job's Server-Sent Events stream, invoking fn
+// for every event — replayed history first, then live — until the
+// terminal event arrives (nil error), the stream drops, or ctx is
+// cancelled. The poll API stays authoritative: a watch ending early is
+// a telemetry gap, not a shard failure.
+func (c *Client) WatchJob(ctx context.Context, id string, fn func(simsvc.JobEvent)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	// The stream outlives any per-request deadline; reuse the pooled
+	// transport but let ctx, not a timeout, bound the watch.
+	hc := &http.Client{Transport: c.http().Transport}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: job %s events: HTTP %d: %s", c.Base, id, resp.StatusCode, readError(resp))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue // event:/comment/blank framing lines
+		}
+		var ev simsvc.JobEvent
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			return fmt.Errorf("%s: job %s: bad event payload: %w", c.Base, id, err)
+		}
+		fn(ev)
+		if ev.Terminal() {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("%s: job %s event stream ended before the terminal event", c.Base, id)
 }
 
 // retryAfter parses a Retry-After header (seconds form); it falls back

@@ -58,6 +58,22 @@ type Config struct {
 	Seed uint64
 	// Progress receives human-oriented progress lines; nil discards.
 	Progress func(format string, args ...any)
+	// Resolve, when set, is the dynamic worker source (see ResolveMesh):
+	// it is consulted for the initial worker set (merged with Workers)
+	// and re-consulted every ResolveInterval while the run is live.
+	// Workers it starts listing get dispatch slots mid-run after passing
+	// the same health and digest-schema checks as the initial registry;
+	// workers it stops listing have their slots cancelled and their
+	// in-flight shards re-enqueued.
+	Resolve func(ctx context.Context) ([]string, error)
+	// ResolveInterval is how often Resolve is re-consulted; 0 means 2s.
+	ResolveInterval time.Duration
+	// OnShardEvent, when set, receives each dispatched shard's live
+	// event stream (simsvc SSE: queued, running, per-repetition
+	// progress, done). Callbacks arrive on watcher goroutines —
+	// concurrently across shards — and are telemetry only; the dispatch
+	// outcome comes from polling.
+	OnShardEvent func(shard int, ev simsvc.JobEvent)
 
 	// now and sleep are injectable for tests; nil means time.Now and a
 	// timer-based wait.
@@ -95,6 +111,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProbeInterval <= 0 {
 		c.ProbeInterval = 100 * time.Millisecond
+	}
+	if c.ResolveInterval <= 0 {
+		c.ResolveInterval = 2 * time.Second
 	}
 	if c.Progress == nil {
 		c.Progress = func(string, ...any) {}
@@ -337,7 +356,19 @@ func Run(ctx context.Context, cfg Config, plan *Plan) (*Outcome, error) {
 		Sources: make(map[int]string),
 	}
 
-	workers, err := probeWorkers(ctx, cfg.Workers, cfg.ProbeRetries, cfg.ProbeInterval, cfg.sleep, cfg.Progress)
+	urls := cfg.Workers
+	if cfg.Resolve != nil {
+		resolved, err := cfg.Resolve(ctx)
+		switch {
+		case err != nil && len(urls) == 0:
+			return out, fmt.Errorf("fleet: initial mesh resolve: %w", err)
+		case err != nil:
+			cfg.Progress("fleet: initial mesh resolve failed, starting from -worker list: %v", err)
+		default:
+			urls = mergeURLs(urls, resolved)
+		}
+	}
+	workers, err := probeWorkers(ctx, urls, cfg.ProbeRetries, cfg.ProbeInterval, cfg.sleep, cfg.Progress)
 	if err != nil {
 		return out, err
 	}
@@ -393,27 +424,13 @@ func Run(ctx context.Context, cfg Config, plan *Plan) (*Outcome, error) {
 	c := &coordinator{
 		cfg: cfg, plan: plan, queue: queue, journal: journal, out: out,
 		resMu: &resMu, finishOne: finishOne,
+		wg: &wg, runCtx: runCtx,
+		schema:  workers[0].DigestSchema,
+		runners: make(map[string]context.CancelFunc),
 	}
 
-	for wi, w := range workers {
-		slots := w.Capacity
-		if slots > cfg.MaxPerWorker {
-			slots = cfg.MaxPerWorker
-		}
-		br := newBreaker(cfg.BreakerBase, cfg.BreakerMax, cfg.now,
-			rng.New(cfg.Seed^0xf1ee7^uint64(wi)*0x9e3779b97f4a7c15).Float64)
-		client := &Client{
-			Base: w.URL,
-			HTTP: &http.Client{Timeout: cfg.RequestTimeout},
-			Poll: cfg.Poll,
-		}
-		for s := 0; s < slots; s++ {
-			wg.Add(1)
-			go func(w WorkerInfo) {
-				defer wg.Done()
-				c.runner(runCtx, w, client, br)
-			}(w)
-		}
+	for _, w := range workers {
+		c.startWorker(runCtx, w)
 	}
 
 	if cfg.HedgeAfter > 0 {
@@ -421,6 +438,13 @@ func Run(ctx context.Context, cfg Config, plan *Plan) (*Outcome, error) {
 		go func() {
 			defer wg.Done()
 			c.hedgeMonitor(runCtx, tasks)
+		}()
+	}
+	if cfg.Resolve != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.membership(runCtx)
 		}()
 	}
 
@@ -450,6 +474,148 @@ type coordinator struct {
 	out       *Outcome
 	resMu     *sync.Mutex
 	finishOne func()
+
+	// runCtx is the run-level context; a runner whose per-worker context
+	// died distinguishes "my worker was evicted" from "the run is over"
+	// by checking it.
+	runCtx context.Context
+	wg     *sync.WaitGroup
+	// schema is the fleet's digest schema, fixed by the initial healthy
+	// registry; mid-run joiners must match it.
+	schema int
+
+	workerMu  sync.Mutex
+	workerSeq int
+	runners   map[string]context.CancelFunc // live worker URL → its slots' cancel
+}
+
+// mergeURLs unions two worker URL lists, preserving first-seen order.
+func mergeURLs(a, b []string) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	var out []string
+	for _, u := range append(append([]string(nil), a...), b...) {
+		if u != "" && !seen[u] {
+			seen[u] = true
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// startWorker spins up the dispatch slots of one healthy worker: a
+// breaker, a client, and Capacity-bounded runner goroutines under a
+// per-worker context so membership changes can cancel just this worker.
+// Called for the initial registry and again by the membership monitor
+// for mid-run joiners; re-adding a live worker is a no-op.
+func (c *coordinator) startWorker(ctx context.Context, w WorkerInfo) {
+	workerCtx, cancel := context.WithCancel(ctx)
+	c.workerMu.Lock()
+	if _, live := c.runners[w.URL]; live {
+		c.workerMu.Unlock()
+		cancel()
+		return
+	}
+	c.runners[w.URL] = cancel
+	wi := c.workerSeq
+	c.workerSeq++
+	c.workerMu.Unlock()
+
+	slots := w.Capacity
+	if slots > c.cfg.MaxPerWorker {
+		slots = c.cfg.MaxPerWorker
+	}
+	br := newBreaker(c.cfg.BreakerBase, c.cfg.BreakerMax, c.cfg.now,
+		rng.New(c.cfg.Seed^0xf1ee7^uint64(wi)*0x9e3779b97f4a7c15).Float64)
+	client := &Client{
+		Base: w.URL,
+		HTTP: &http.Client{Timeout: c.cfg.RequestTimeout},
+		Poll: c.cfg.Poll,
+	}
+	for s := 0; s < slots; s++ {
+		c.wg.Add(1)
+		go func(w WorkerInfo) {
+			defer c.wg.Done()
+			c.runner(workerCtx, w, client, br)
+		}(w)
+	}
+}
+
+// stopWorker cancels a worker's dispatch slots. Their in-flight
+// attempts fail on the cancelled context and re-enqueue their shards.
+func (c *coordinator) stopWorker(url string) {
+	c.workerMu.Lock()
+	cancel, live := c.runners[url]
+	delete(c.runners, url)
+	c.workerMu.Unlock()
+	if live {
+		cancel()
+	}
+}
+
+// membership is the coordinator's view-refresh loop: between dispatch
+// waves it re-resolves the live worker set (the gossip mesh, via
+// Config.Resolve), grants dispatch slots to joiners that pass the same
+// health and digest-schema gate as the initial registry, and cancels
+// the slots of workers the mesh no longer lists so queued shards stop
+// routing to dead addresses.
+func (c *coordinator) membership(ctx context.Context) {
+	for {
+		if c.cfg.sleep(ctx, c.cfg.ResolveInterval) != nil {
+			return
+		}
+		urls, err := c.cfg.Resolve(ctx)
+		if err != nil {
+			if ctx.Err() == nil {
+				c.cfg.Progress("fleet: mesh resolve failed: %v", err)
+			}
+			continue
+		}
+		live := make(map[string]bool, len(urls))
+		for _, u := range urls {
+			live[u] = true
+		}
+		c.workerMu.Lock()
+		var gone []string
+		for url := range c.runners {
+			if !live[url] {
+				gone = append(gone, url)
+			}
+		}
+		c.workerMu.Unlock()
+		for _, url := range gone {
+			c.cfg.Progress("fleet: worker %s left the mesh; cancelling its slots", url)
+			c.stopWorker(url)
+		}
+		for _, url := range urls {
+			c.workerMu.Lock()
+			_, known := c.runners[url]
+			c.workerMu.Unlock()
+			if known {
+				continue
+			}
+			cl := &Client{Base: url, HTTP: &http.Client{Timeout: c.cfg.RequestTimeout}}
+			info, err := cl.Health(ctx)
+			if err != nil {
+				c.cfg.Progress("fleet: mesh lists %s but healthz failed: %v", url, err)
+				continue
+			}
+			if info.DigestSchema != c.schema {
+				c.cfg.Progress("fleet: refusing joiner %s: digest schema %d, fleet runs %d",
+					url, info.DigestSchema, c.schema)
+				continue
+			}
+			capacity := info.Workers
+			if capacity < 1 {
+				capacity = 1
+			}
+			w := WorkerInfo{URL: url, Capacity: capacity, Version: info.Version, DigestSchema: info.DigestSchema}
+			c.resMu.Lock()
+			c.out.Workers = append(c.out.Workers, w)
+			c.resMu.Unlock()
+			c.cfg.Progress("fleet: worker %s joined mid-run (capacity=%d version=%s)", url, capacity, info.Version)
+			c.startWorker(ctx, w)
+		}
+	}
 }
 
 // runner is one dispatch slot on one worker: it pulls tasks, waits out
@@ -492,7 +658,12 @@ func (c *coordinator) attempt(ctx context.Context, t *task, w WorkerInfo, client
 		return
 	}
 	atomic.AddInt64(&c.out.Dispatched, 1)
-	res, err := client.RunShard(attemptCtx, t.shard.Spec)
+	var onEvent func(simsvc.JobEvent)
+	if c.cfg.OnShardEvent != nil {
+		shard := t.shard.Index
+		onEvent = func(ev simsvc.JobEvent) { c.cfg.OnShardEvent(shard, ev) }
+	}
+	res, err := client.RunShardEvents(attemptCtx, t.shard.Spec, onEvent)
 	t.end(id)
 
 	switch {
@@ -515,7 +686,12 @@ func (c *coordinator) attempt(ctx context.Context, t *task, w WorkerInfo, client
 			c.failShard(t, err)
 		}
 	case ctx.Err() != nil:
-		// Run-level shutdown; leave the task as is.
+		// This worker's slots were cancelled. If the run itself is still
+		// live (mesh eviction, not shutdown), give the shard back to the
+		// queue for the surviving workers; on run-level shutdown leave it.
+		if c.runCtx.Err() == nil && !t.isDone() {
+			c.queue.push(t)
+		}
 	default:
 		br.failure()
 		c.cfg.Progress("fleet: shard %d attempt failed on %s (streak %d): %v",

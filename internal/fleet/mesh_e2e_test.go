@@ -1,0 +1,249 @@
+package fleet
+
+// Mesh end-to-end tests: the coordinator discovering its workers from
+// the gossip mesh instead of a static list, surviving a worker killed
+// and another joined mid-sweep, and consuming the live shard event
+// stream — all over real sockets and real simulations.
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sublinear/internal/experiment"
+	"sublinear/internal/mesh"
+	"sublinear/internal/netsim"
+	"sublinear/internal/simsvc"
+)
+
+// meshWorker is one in-process simd worker wired into the gossip mesh.
+type meshWorker struct {
+	srv  *httptest.Server
+	node *mesh.Node
+	svc  *simsvc.Service
+	stop context.CancelFunc
+	addr string // host:port — the mesh contact and dial address
+}
+
+// startMeshWorker brings up a worker whose HTTP listener serves both
+// the job API and the gossip endpoints, gossiping every 10ms.
+// bootstrap is the address of a live member to join through ("" for the
+// first node).
+func startMeshWorker(t *testing.T, seed uint64, bootstrap ...string) *meshWorker {
+	t.Helper()
+	srv := httptest.NewUnstartedServer(nil)
+	addr := srv.Listener.Addr().String()
+	node, err := mesh.NewNode(mesh.Config{
+		Self:      mesh.Member{ID: "w-" + addr, Addr: addr},
+		Schema:    netsim.DigestSchemaVersion,
+		Seed:      seed,
+		Bootstrap: bootstrap,
+		Transport: &mesh.HTTPTransport{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := simsvc.New(simsvc.Config{Workers: 2, QueueSize: 64, Mesh: node})
+	srv.Config.Handler = svc.Handler()
+	srv.Start()
+	ctx, cancel := context.WithCancel(context.Background())
+	go node.Run(ctx, 10*time.Millisecond)
+	w := &meshWorker{srv: srv, node: node, svc: svc, stop: cancel, addr: addr}
+	t.Cleanup(func() {
+		cancel()
+		srv.Close()
+		svc.Close(context.Background())
+	})
+	return w
+}
+
+// kill drops the worker the hard way: gossip stops and the socket goes
+// dead, so peers learn of the death from the failure detector, not a
+// farewell.
+func (w *meshWorker) kill() {
+	w.stop()
+	w.srv.CloseClientConnections()
+	w.srv.Close()
+}
+
+// waitLive blocks until the node's live view reaches want members.
+func waitLive(t *testing.T, n *mesh.Node, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for len(n.Live()) != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("mesh view stuck at %d live members, want %d", len(n.Live()), want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestE2EMeshKillAndJoinMidSweep is the self-organizing-fleet
+// acceptance test: the coordinator bootstraps its worker set from one
+// mesh address, a worker is killed mid-sweep and another joins
+// mid-sweep through gossip, and the merged report is still
+// bit-identical to a single-worker reference run.
+func TestE2EMeshKillAndJoinMidSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e runs real simulations")
+	}
+	sweep := experiment.Sweep{
+		Name:  "mesh-e2e",
+		Title: "mesh e2e sweep",
+		Points: []experiment.SweepPoint{
+			{Label: "election n=64", Protocol: "election", N: 64, Alpha: 0.8, Reps: 24},
+			{Label: "agreement n=64", Protocol: "agreement", N: 64, Alpha: 0.8, Reps: 24},
+		},
+	}
+	plan, err := NewPlan(Workload{Kind: KindSweep, Sweep: sweep, ShardReps: 2, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: one plain worker, static config.
+	ref := startWorker(t)
+	refOut, err := Run(context.Background(), fastCfg(ref.URL), plan)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	want := renderReport(t, plan, refOut.Results)
+
+	// Mesh fleet: two workers plus a victim, discovered through gossip.
+	w0 := startMeshWorker(t, 1)
+	w1 := startMeshWorker(t, 2, w0.addr)
+	victim := startMeshWorker(t, 3, w0.addr)
+	waitLive(t, w0.node, 3)
+
+	var (
+		mu        sync.Mutex
+		progress  []string
+		firstDone = make(chan struct{})
+		joined    = make(chan struct{})
+		doneOnce  sync.Once
+		joinOnce  sync.Once
+	)
+	cfg := fastCfg() // no static workers: the mesh is the only source
+	cfg.Resolve = ResolveMesh(w0.addr, netsim.DigestSchemaVersion)
+	cfg.ResolveInterval = 25 * time.Millisecond
+	cfg.MaxPerWorker = 2
+	cfg.Poll = 20 * time.Millisecond // slow the sweep enough for mid-run churn to land inside it
+	// A killed worker's slots keep failing shards until the mesh evicts
+	// it (about two resolve intervals); the budget must outlast that
+	// window, with the breaker pacing the doomed retries.
+	cfg.MaxAttempts = 12
+	cfg.BreakerBase = 20 * time.Millisecond
+	cfg.BreakerMax = 200 * time.Millisecond
+	cfg.Progress = func(format string, args ...any) {
+		mu.Lock()
+		progress = append(progress, format)
+		mu.Unlock()
+		if strings.Contains(format, "done on") {
+			doneOnce.Do(func() { close(firstDone) })
+		}
+		if strings.Contains(format, "joined mid-run") {
+			joinOnce.Do(func() { close(joined) })
+		}
+	}
+
+	type runResult struct {
+		out *Outcome
+		err error
+	}
+	resCh := make(chan runResult, 1)
+	go func() {
+		out, err := Run(context.Background(), cfg, plan)
+		resCh <- runResult{out, err}
+	}()
+
+	// Mid-sweep churn: once the first shard lands, kill the victim and
+	// bring in a fresh joiner through the mesh.
+	var joiner *meshWorker
+	select {
+	case <-firstDone:
+		victim.kill()
+		joiner = startMeshWorker(t, 4, w0.addr)
+	case res := <-resCh:
+		t.Fatalf("run finished before the first progress callback: %+v err=%v", res.out, res.err)
+	}
+
+	res := <-resCh
+	if res.err != nil {
+		t.Fatalf("mesh fleet run: %v", res.err)
+	}
+	out := res.out
+	if len(out.Results) != len(plan.Shards) {
+		t.Fatalf("completed %d/%d shards", len(out.Results), len(plan.Shards))
+	}
+	if got := renderReport(t, plan, out.Results); got != want {
+		t.Fatalf("mesh fleet merge differs from reference:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+
+	// The joiner must have been discovered unless the sweep outran the
+	// gossip; either way the mesh itself must have admitted it.
+	select {
+	case <-joined:
+		found := false
+		for _, w := range out.Workers {
+			if w.URL == "http://"+joiner.addr {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("joiner reported joined but absent from out.Workers: %+v", out.Workers)
+		}
+	default:
+		t.Logf("sweep finished before the joiner was granted slots (discovery is asynchronous)")
+	}
+	waitLive(t, w0.node, 3) // w0, w1, joiner — the victim's death converged
+	_ = w1
+}
+
+// TestE2EShardEventStream dispatches through the coordinator with
+// OnShardEvent set and asserts every shard's stream delivered its
+// lifecycle: at least the queued and terminal done events (history
+// replay makes these reliable even for watchers that attach late).
+func TestE2EShardEventStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e runs real simulations")
+	}
+	plan, err := NewPlan(Workload{Kind: KindSweep, Sweep: e2eSweep(), ShardReps: 3, Seed: 314})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := startWorker(t)
+	var mu sync.Mutex
+	types := make(map[int]map[string]bool)
+	cfg := fastCfg(w.URL)
+	cfg.OnShardEvent = func(shard int, ev simsvc.JobEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		if types[shard] == nil {
+			types[shard] = make(map[string]bool)
+		}
+		types[shard][ev.Type] = true
+	}
+	out, err := Run(context.Background(), cfg, plan)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(out.Results) != len(plan.Shards) {
+		t.Fatalf("completed %d/%d shards", len(out.Results), len(plan.Shards))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, s := range plan.Shards {
+		evs := types[s.Index]
+		if evs == nil {
+			t.Fatalf("shard %d produced no events", s.Index)
+		}
+		if !evs["done"] {
+			t.Fatalf("shard %d stream missing terminal done event: %v", s.Index, evs)
+		}
+		if !evs["queued"] && !evs["running"] {
+			t.Fatalf("shard %d stream carries no lifecycle events: %v", s.Index, evs)
+		}
+	}
+}

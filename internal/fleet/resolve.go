@@ -1,0 +1,58 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"sublinear/internal/mesh"
+)
+
+// ResolveMesh returns a Config.Resolve that discovers workers from the
+// gossip mesh (internal/mesh): it fetches the membership view from a
+// live node and maps every live member to a worker base URL. schema is
+// the coordinator's digest schema — a bootstrap node on a different
+// schema is refused exactly the way gossip itself would refuse it.
+//
+// The resolver is stateful on purpose: every successful fetch replaces
+// its contact list with the live membership it just learned, so losing
+// the original bootstrap worker does not blind the coordinator — any
+// surviving member can answer the next resolution.
+func ResolveMesh(bootstrap string, schema int) func(context.Context) ([]string, error) {
+	var (
+		mu       sync.Mutex
+		contacts = []string{bootstrap}
+	)
+	client := &http.Client{Timeout: 5 * time.Second}
+	return func(ctx context.Context) ([]string, error) {
+		mu.Lock()
+		cs := append([]string(nil), contacts...)
+		mu.Unlock()
+		var lastErr error
+		for _, addr := range cs {
+			view, err := mesh.FetchMembers(ctx, client, addr, schema)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			urls := make([]string, 0, len(view.Live))
+			next := make([]string, 0, len(view.Live))
+			for _, m := range view.Live {
+				urls = append(urls, "http://"+m.Addr)
+				next = append(next, m.Addr)
+			}
+			if len(next) > 0 {
+				mu.Lock()
+				contacts = next
+				mu.Unlock()
+			}
+			return urls, nil
+		}
+		if lastErr == nil {
+			lastErr = fmt.Errorf("fleet: no mesh contacts")
+		}
+		return nil, lastErr
+	}
+}

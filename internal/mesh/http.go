@@ -1,0 +1,163 @@
+package mesh
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// GossipPath is the HTTP endpoint digests are exchanged on.
+const GossipPath = "/v1/mesh/gossip"
+
+// MembersPath serves a node's current membership view (read-only; used
+// by fleetctl -join to discover the fleet from one bootstrap address).
+const MembersPath = "/v1/mesh/members"
+
+// HTTPTransport exchanges digests by POSTing JSON to GossipPath on the
+// peer.
+type HTTPTransport struct {
+	// Client is the HTTP client; nil uses a 5s-timeout default.
+	Client *http.Client
+}
+
+func (t *HTTPTransport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+// Exchange implements Transport over HTTP. A 409 from the peer (the
+// handler's schema/format rejection) maps to ErrRefused; everything
+// else non-200 is liveness evidence.
+func (t *HTTPTransport) Exchange(ctx context.Context, addr string, d Digest) (Digest, error) {
+	body, err := json.Marshal(d)
+	if err != nil {
+		return Digest{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+GossipPath, bytes.NewReader(body))
+	if err != nil {
+		return Digest{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return Digest{}, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return Digest{}, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var reply Digest
+		if err := json.Unmarshal(payload, &reply); err != nil {
+			return Digest{}, fmt.Errorf("mesh: bad digest from %s: %w", addr, err)
+		}
+		return reply, nil
+	case http.StatusConflict:
+		return Digest{}, fmt.Errorf("%w by %s: %s", ErrRefused, addr, bytes.TrimSpace(payload))
+	default:
+		return Digest{}, fmt.Errorf("mesh: %s returned %d", addr, resp.StatusCode)
+	}
+}
+
+// Handler mounts the node's gossip and members endpoints onto mux.
+func (n *Node) Handler(mux *http.ServeMux) {
+	mux.HandleFunc(GossipPath, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var remote Digest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 4<<20)).Decode(&remote); err != nil {
+			http.Error(w, "bad digest: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		reply, err := n.HandleExchange(remote)
+		if err != nil {
+			// 409: we understood the request and reject the peer — the
+			// transport maps this back to ErrRefused so the peer evicts
+			// us symmetrically.
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(reply)
+	})
+	mux.HandleFunc(MembersPath, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Format string   `json:"format"`
+			Schema int      `json:"digestSchema"`
+			Self   Member   `json:"self"`
+			Live   []Member `json:"live"`
+			All    []Member `json:"all"`
+		}{DigestFormat, n.cfg.Schema, n.Self(), n.Live(), n.Members()})
+	})
+}
+
+// Run drives Tick from a wall-clock ticker until ctx is cancelled —
+// the production loop. interval <= 0 means 1s.
+func (n *Node) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			n.Tick(ctx)
+		}
+	}
+}
+
+// MembersView is the decoded MembersPath payload.
+type MembersView struct {
+	Format string   `json:"format"`
+	Schema int      `json:"digestSchema"`
+	Self   Member   `json:"self"`
+	Live   []Member `json:"live"`
+	All    []Member `json:"all"`
+}
+
+// FetchMembers reads a node's membership view over HTTP — the
+// fleetctl -join bootstrap call. schema is the caller's digest schema;
+// a mismatched node is rejected here the same way gossip would refuse
+// it.
+func FetchMembers(ctx context.Context, client *http.Client, addr string, schema int) (*MembersView, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+MembersPath, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("mesh: %s members endpoint returned %d", addr, resp.StatusCode)
+	}
+	var view MembersView
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&view); err != nil {
+		return nil, fmt.Errorf("mesh: bad members payload from %s: %w", addr, err)
+	}
+	if view.Format != DigestFormat {
+		return nil, fmt.Errorf("%w: %s speaks %q, want %q", ErrRefused, addr, view.Format, DigestFormat)
+	}
+	if view.Schema != schema {
+		return nil, fmt.Errorf("%w: %s is on digest schema %d, ours is %d", ErrRefused, addr, view.Schema, schema)
+	}
+	return &view, nil
+}

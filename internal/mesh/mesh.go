@@ -1,0 +1,498 @@
+// Package mesh is the fleet's self-organizing membership layer: a
+// seeded anti-entropy gossip protocol in the style the paper's
+// literature uses for sublinear-message coordination. Each worker
+// carries a stable node ID and, once per tick, push-pulls its full
+// membership digest with a small random sample of peers instead of
+// heartbeating a central coordinator — the same "talk to a few random
+// nodes per round" idiom as Kutten et al.'s sublinear leader election
+// and Gilbert et al.'s expander sampling. Failures are detected by
+// failed exchanges, propagated as suspicion, and resolved by eviction;
+// incarnation numbers let a live node refute stale suspicion and squash
+// revenant entries after a restart.
+//
+// The protocol is deterministic given its seed and its Transport: peer
+// sampling uses internal/rng, and time is logical (one Tick = one
+// protocol round), so membership convergence is testable under -race
+// with virtual time and an in-memory transport. Production (cmd/simd)
+// drives Tick from a wall-clock ticker and exchanges digests over HTTP.
+package mesh
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sublinear/internal/rng"
+)
+
+// Status is a member's liveness state as locally believed.
+type Status uint8
+
+const (
+	// StatusAlive members receive work and gossip.
+	StatusAlive Status = iota
+	// StatusSuspect members failed a recent exchange somewhere; they
+	// stay in the live set (suspicion is often transient) but are on the
+	// clock: unless refuted they become dead after DeadAfter ticks.
+	StatusSuspect
+	// StatusDead members are evicted from the live set. The tombstone is
+	// retained for ReapAfter ticks so gossip cannot resurrect the dead
+	// entry at its old incarnation (revenant squashing).
+	StatusDead
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusAlive:
+		return "alive"
+	case StatusSuspect:
+		return "suspect"
+	default:
+		return "dead"
+	}
+}
+
+// MarshalJSON encodes the status name, not the numeric value, so
+// digests are debuggable on the wire.
+func (s Status) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the names MarshalJSON writes.
+func (s *Status) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"alive"`:
+		*s = StatusAlive
+	case `"suspect"`:
+		*s = StatusSuspect
+	case `"dead"`:
+		*s = StatusDead
+	default:
+		return fmt.Errorf("mesh: unknown status %s", data)
+	}
+	return nil
+}
+
+// Member is one worker's entry in the membership table.
+type Member struct {
+	// ID is the node's stable identity, independent of its address.
+	ID string `json:"id"`
+	// Addr is the node's HTTP host:port.
+	Addr string `json:"addr"`
+	// Incarnation orders statements about one ID: a higher incarnation
+	// always wins, and only the node itself bumps its incarnation (to
+	// refute suspicion or to return from the dead).
+	Incarnation uint64 `json:"incarnation"`
+	// Status is the sender's local belief.
+	Status Status `json:"status"`
+}
+
+// DigestFormat versions the gossip wire format.
+const DigestFormat = "mesh-digest-v1"
+
+// Digest is one side of a push-pull exchange: the sender's view of the
+// whole membership, including itself.
+type Digest struct {
+	Format string `json:"format"`
+	// Schema is the sender's execution-digest schema
+	// (netsim.DigestSchemaVersion in this repository). Nodes refuse to
+	// mesh with a peer on a different schema — mixed-schema fleets would
+	// produce incomparable results, so they must not discover each other.
+	Schema  int      `json:"digestSchema"`
+	From    Member   `json:"from"`
+	Members []Member `json:"members"`
+}
+
+// ErrRefused marks an exchange rejected by the peer (format or schema
+// mismatch): the peer is incompatible, not crashed, and must be evicted
+// rather than suspected.
+var ErrRefused = errors.New("mesh: exchange refused")
+
+// Transport carries one push-pull exchange to a peer address.
+type Transport interface {
+	// Exchange delivers our digest to the peer at addr and returns the
+	// peer's digest. An error is evidence against the peer's liveness,
+	// except ErrRefused, which is evidence of incompatibility.
+	Exchange(ctx context.Context, addr string, d Digest) (Digest, error)
+}
+
+// Config parameterises a Node. Zero values select defaults.
+type Config struct {
+	// Self identifies this node: ID and Addr are required, Incarnation
+	// and Status are managed by the node.
+	Self Member
+	// Schema tags digests; exchanges across schemas are refused.
+	Schema int
+	// Fanout is how many random peers are gossiped with per tick; 0
+	// means 2.
+	Fanout int
+	// SuspectAfter is how many ticks a member may go unconfirmed before
+	// local suspicion; 0 means 3. (Confirmation = a successful direct
+	// exchange or gossip carrying a newer incarnation or a fresher
+	// alive statement.)
+	SuspectAfter uint64
+	// DeadAfter is how many ticks a suspect has to refute before it is
+	// declared dead; 0 means 3.
+	DeadAfter uint64
+	// ReapAfter is how many ticks a tombstone is retained before it is
+	// dropped; 0 means 64.
+	ReapAfter uint64
+	// Seed drives peer sampling; runs are deterministic given the seed
+	// and the transport.
+	Seed uint64
+	// Bootstrap addresses are contacted whenever the node knows no live
+	// peer — the join path, and the healing path after a full partition.
+	Bootstrap []string
+	// Transport carries exchanges; required.
+	Transport Transport
+	// Logf receives membership transitions; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// member is the node's local state for one remote ID.
+type member struct {
+	Member
+	// heard is the tick of the last liveness confirmation.
+	heard uint64
+	// statusAt is the tick the current status was entered.
+	statusAt uint64
+}
+
+// Node runs the gossip protocol for one process.
+type Node struct {
+	mu      sync.Mutex
+	cfg     Config
+	self    Member
+	members map[string]*member // keyed by ID; never contains self
+	src     *rng.Source
+	tick    uint64
+	left    bool
+}
+
+// NewNode validates cfg and builds a node.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Self.ID == "" || cfg.Self.Addr == "" {
+		return nil, errors.New("mesh: Config.Self needs ID and Addr")
+	}
+	if cfg.Transport == nil {
+		return nil, errors.New("mesh: Config.Transport is required")
+	}
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 2
+	}
+	if cfg.SuspectAfter == 0 {
+		cfg.SuspectAfter = 3
+	}
+	if cfg.DeadAfter == 0 {
+		cfg.DeadAfter = 3
+	}
+	if cfg.ReapAfter == 0 {
+		cfg.ReapAfter = 64
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	self := cfg.Self
+	self.Incarnation = 1
+	self.Status = StatusAlive
+	return &Node{
+		cfg:     cfg,
+		self:    self,
+		members: make(map[string]*member),
+		src:     rng.New(cfg.Seed ^ 0x6e5_4d65_7368), // "mesh"-salted
+	}, nil
+}
+
+// Self returns the node's current self entry (incarnation included).
+func (n *Node) Self() Member {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.self
+}
+
+// Members returns every known entry including self, sorted by ID.
+func (n *Node) Members() []Member {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.membersLocked(false)
+}
+
+// Live returns the members currently eligible for work — alive and
+// suspect (suspicion is usually transient; the dispatcher's own health
+// probes are the second line of defence) — including self unless it has
+// left. Sorted by ID.
+func (n *Node) Live() []Member {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.membersLocked(true)
+}
+
+func (n *Node) membersLocked(liveOnly bool) []Member {
+	out := make([]Member, 0, len(n.members)+1)
+	if !liveOnly || n.self.Status != StatusDead {
+		out = append(out, n.self)
+	}
+	for _, m := range n.members {
+		if liveOnly && m.Status == StatusDead {
+			continue
+		}
+		out = append(out, m.Member)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// digestLocked snapshots the node's view for the wire.
+func (n *Node) digestLocked() Digest {
+	d := Digest{Format: DigestFormat, Schema: n.cfg.Schema, From: n.self}
+	d.Members = n.membersLocked(false)
+	return d
+}
+
+// Digest snapshots the node's view.
+func (n *Node) Digest() Digest {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.digestLocked()
+}
+
+// HandleExchange is the receiving half of push-pull: merge the remote
+// digest, then answer with ours. It returns ErrRefused for format or
+// schema mismatches — the caller maps that to an HTTP rejection.
+func (n *Node) HandleExchange(remote Digest) (Digest, error) {
+	if remote.Format != DigestFormat {
+		return Digest{}, fmt.Errorf("%w: format %q, want %q", ErrRefused, remote.Format, DigestFormat)
+	}
+	if remote.Schema != n.cfg.Schema {
+		return Digest{}, fmt.Errorf("%w: digest schema %d, ours is %d", ErrRefused, remote.Schema, n.cfg.Schema)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	// The sender proved its own liveness by reaching us: fold its self
+	// entry first (always alive from its own mouth), then the rest.
+	n.mergeLocked(remote.From, true)
+	for _, m := range remote.Members {
+		n.mergeLocked(m, m.ID == remote.From.ID)
+	}
+	return n.digestLocked(), nil
+}
+
+// mergeLocked folds one remote statement into the local table.
+// direct marks statements a node made about itself over a live
+// connection, which double as liveness confirmation.
+func (n *Node) mergeLocked(r Member, direct bool) {
+	if r.ID == n.self.ID {
+		// Gossip about us. Anything non-alive at our incarnation or
+		// newer must be refuted: bump past it so the refutation
+		// dominates every copy of the stale statement. A node that has
+		// deliberately left stays dead.
+		if n.left {
+			return
+		}
+		if r.Incarnation >= n.self.Incarnation && r.Status != StatusAlive {
+			n.self.Incarnation = r.Incarnation + 1
+			n.cfg.Logf("mesh: refuting %s rumour about self, incarnation now %d", r.Status, n.self.Incarnation)
+		}
+		return
+	}
+	l, known := n.members[r.ID]
+	if !known {
+		n.members[r.ID] = &member{Member: r, heard: n.tick, statusAt: n.tick}
+		if r.Status != StatusDead {
+			n.cfg.Logf("mesh: discovered %s (%s) %s inc=%d", r.ID, r.Addr, r.Status, r.Incarnation)
+		}
+		return
+	}
+	switch {
+	case r.Incarnation > l.Incarnation:
+		// Newer statement wins outright.
+		if r.Status != l.Status {
+			n.cfg.Logf("mesh: %s (%s) %s -> %s inc=%d", r.ID, r.Addr, l.Status, r.Status, r.Incarnation)
+		}
+		l.Member = r
+		l.statusAt = n.tick
+		l.heard = n.tick
+	case r.Incarnation == l.Incarnation:
+		// Same incarnation: dead > suspect > alive, so a (possibly
+		// false) accusation can only be cleared by the accused bumping
+		// its incarnation — the SWIM refutation discipline.
+		if r.Status > l.Status {
+			n.cfg.Logf("mesh: %s (%s) %s -> %s inc=%d", r.ID, r.Addr, l.Status, r.Status, r.Incarnation)
+			l.Status = r.Status
+			l.statusAt = n.tick
+		} else if direct && r.Status == StatusAlive && l.Status == StatusAlive {
+			l.heard = n.tick
+		}
+	}
+}
+
+// Tick runs one protocol round: age local beliefs, then push-pull with
+// Fanout random live peers (or the bootstrap list when lonely). It
+// returns the number of successful exchanges. Production calls it from
+// a ticker; tests call it directly for virtual time.
+func (n *Node) Tick(ctx context.Context) int {
+	n.mu.Lock()
+	n.tick++
+	tick := n.tick
+	n.ageLocked()
+	targets := n.sampleLocked()
+	var bootstrap []string
+	if len(targets) == 0 {
+		bootstrap = n.cfg.Bootstrap
+	}
+	d := n.digestLocked()
+	n.mu.Unlock()
+
+	ok := 0
+	for _, t := range targets {
+		if n.exchange(ctx, t.addr, t.id, d) {
+			ok++
+		}
+	}
+	for _, addr := range bootstrap {
+		if addr == n.cfg.Self.Addr {
+			continue
+		}
+		if n.exchange(ctx, addr, "", d) {
+			ok++
+		}
+	}
+	_ = tick
+	return ok
+}
+
+// exchange performs one push-pull with a peer and folds the outcome
+// back into the table: reply → merge, refusal → evict, error → suspect.
+func (n *Node) exchange(ctx context.Context, addr, id string, d Digest) bool {
+	reply, err := n.cfg.Transport.Exchange(ctx, addr, d)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch {
+	case err == nil:
+		if reply.Format != DigestFormat || reply.Schema != n.cfg.Schema {
+			// A peer that answers with an alien digest is as
+			// incompatible as one that refuses ours.
+			n.evictLocked(id, addr, "incompatible digest")
+			return false
+		}
+		n.mergeLocked(reply.From, true)
+		for _, m := range reply.Members {
+			n.mergeLocked(m, m.ID == reply.From.ID)
+		}
+		return true
+	case errors.Is(err, ErrRefused):
+		n.evictLocked(id, addr, err.Error())
+		return false
+	default:
+		n.suspectLocked(id, addr, err)
+		return false
+	}
+}
+
+// evictLocked declares a peer dead immediately (schema refusal).
+func (n *Node) evictLocked(id, addr, why string) {
+	m := n.findLocked(id, addr)
+	if m == nil || m.Status == StatusDead {
+		return
+	}
+	n.cfg.Logf("mesh: evicting %s (%s): %s", m.ID, m.Addr, why)
+	m.Status = StatusDead
+	m.statusAt = n.tick
+}
+
+// suspectLocked records a failed exchange with a peer.
+func (n *Node) suspectLocked(id, addr string, err error) {
+	m := n.findLocked(id, addr)
+	if m == nil || m.Status != StatusAlive {
+		return
+	}
+	n.cfg.Logf("mesh: suspecting %s (%s): %v", m.ID, m.Addr, err)
+	m.Status = StatusSuspect
+	m.statusAt = n.tick
+}
+
+func (n *Node) findLocked(id, addr string) *member {
+	if id != "" {
+		return n.members[id]
+	}
+	for _, m := range n.members {
+		if m.Addr == addr {
+			return m
+		}
+	}
+	return nil
+}
+
+// ageLocked advances the local failure-detection timers.
+func (n *Node) ageLocked() {
+	for id, m := range n.members {
+		switch m.Status {
+		case StatusAlive:
+			if n.tick-m.heard > n.cfg.SuspectAfter {
+				n.cfg.Logf("mesh: suspecting %s (%s): silent for %d ticks", m.ID, m.Addr, n.tick-m.heard)
+				m.Status = StatusSuspect
+				m.statusAt = n.tick
+			}
+		case StatusSuspect:
+			if n.tick-m.statusAt >= n.cfg.DeadAfter {
+				n.cfg.Logf("mesh: declaring %s (%s) dead inc=%d", m.ID, m.Addr, m.Incarnation)
+				m.Status = StatusDead
+				m.statusAt = n.tick
+			}
+		case StatusDead:
+			if n.tick-m.statusAt >= n.cfg.ReapAfter {
+				delete(n.members, id)
+			}
+		}
+	}
+}
+
+// gossipTarget is a sampled peer.
+type gossipTarget struct{ id, addr string }
+
+// sampleLocked picks Fanout distinct random non-dead peers.
+func (n *Node) sampleLocked() []gossipTarget {
+	var pool []gossipTarget
+	ids := make([]string, 0, len(n.members))
+	for id := range n.members {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // deterministic sampling order
+	for _, id := range ids {
+		if m := n.members[id]; m.Status != StatusDead {
+			pool = append(pool, gossipTarget{m.ID, m.Addr})
+		}
+	}
+	if len(pool) <= n.cfg.Fanout {
+		return pool
+	}
+	picks := n.src.SampleDistinct(n.cfg.Fanout, len(pool), nil)
+	out := make([]gossipTarget, 0, n.cfg.Fanout)
+	for _, i := range picks {
+		out = append(out, pool[i])
+	}
+	return out
+}
+
+// Leave announces a graceful departure: the node marks itself dead at
+// its current incarnation and pushes one final digest to Fanout peers,
+// so the fleet learns of the departure ahead of the failure detector.
+// After Leave the node no longer refutes dead rumours about itself.
+func (n *Node) Leave(ctx context.Context) {
+	n.mu.Lock()
+	if n.left {
+		n.mu.Unlock()
+		return
+	}
+	n.left = true
+	n.self.Status = StatusDead
+	targets := n.sampleLocked()
+	d := n.digestLocked()
+	n.mu.Unlock()
+	for _, t := range targets {
+		// Best effort: the failure detector cleans up after lost sends.
+		_, _ = n.cfg.Transport.Exchange(ctx, t.addr, d)
+	}
+}

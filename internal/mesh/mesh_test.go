@@ -1,0 +1,334 @@
+package mesh
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// memTransport delivers exchanges to in-process nodes by address —
+// virtual time, no sockets, deterministic under -race.
+type memTransport struct {
+	mu    sync.Mutex
+	nodes map[string]*Node
+	down  map[string]bool
+}
+
+func newMemTransport() *memTransport {
+	return &memTransport{nodes: make(map[string]*Node), down: make(map[string]bool)}
+}
+
+func (t *memTransport) add(n *Node) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nodes[n.Self().Addr] = n
+}
+
+func (t *memTransport) kill(addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.down[addr] = true
+}
+
+func (t *memTransport) revive(addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.down, addr)
+}
+
+func (t *memTransport) Exchange(_ context.Context, addr string, d Digest) (Digest, error) {
+	t.mu.Lock()
+	n, ok := t.nodes[addr]
+	dead := t.down[addr]
+	t.mu.Unlock()
+	if !ok || dead {
+		return Digest{}, errors.New("connection refused")
+	}
+	return n.HandleExchange(d)
+}
+
+func buildMesh(t *testing.T, tr *memTransport, count, schema int) []*Node {
+	t.Helper()
+	nodes := make([]*Node, count)
+	for i := range nodes {
+		n, err := NewNode(Config{
+			Self:      Member{ID: fmt.Sprintf("w%d", i), Addr: fmt.Sprintf("node%d", i)},
+			Schema:    schema,
+			Seed:      uint64(1000 + i),
+			Bootstrap: []string{"node0"},
+			Transport: tr,
+			Logf:      t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		tr.add(n)
+	}
+	return nodes
+}
+
+// tickAll runs one synchronous round on every node.
+func tickAll(ctx context.Context, nodes []*Node) {
+	for _, n := range nodes {
+		n.Tick(ctx)
+	}
+}
+
+func liveIDs(n *Node) string {
+	var ids []string
+	for _, m := range n.Live() {
+		ids = append(ids, m.ID)
+	}
+	return strings.Join(ids, ",")
+}
+
+func TestConvergenceFromSingleBootstrap(t *testing.T) {
+	tr := newMemTransport()
+	nodes := buildMesh(t, tr, 8, 1)
+	ctx := context.Background()
+	want := "w0,w1,w2,w3,w4,w5,w6,w7"
+	// Gossip dissemination is O(log n) rounds; 12 ticks is generous for
+	// n=8 with fanout 2 and leaves headroom so the test is not flaky
+	// against sampling choices.
+	for tick := 0; tick < 12; tick++ {
+		tickAll(ctx, nodes)
+	}
+	for _, n := range nodes {
+		if got := liveIDs(n); got != want {
+			t.Fatalf("node %s sees [%s], want [%s]", n.Self().ID, got, want)
+		}
+	}
+}
+
+func TestDeadWorkerSuspectedThenEvicted(t *testing.T) {
+	tr := newMemTransport()
+	nodes := buildMesh(t, tr, 5, 1)
+	ctx := context.Background()
+	for tick := 0; tick < 12; tick++ {
+		tickAll(ctx, nodes)
+	}
+	tr.kill("node4")
+	live := nodes[:4]
+	// SuspectAfter(3) + DeadAfter(3) plus dissemination: every survivor
+	// must evict w4 well within 20 rounds.
+	for tick := 0; tick < 20; tick++ {
+		tickAll(ctx, live)
+	}
+	for _, n := range live {
+		if got := liveIDs(n); strings.Contains(got, "w4") {
+			t.Fatalf("node %s still sees dead w4: [%s]", n.Self().ID, got)
+		}
+		if got := liveIDs(n); got != "w0,w1,w2,w3" {
+			t.Fatalf("node %s sees [%s], want [w0,w1,w2,w3]", n.Self().ID, got)
+		}
+	}
+}
+
+func TestRevenantRejoinsWithHigherIncarnation(t *testing.T) {
+	tr := newMemTransport()
+	nodes := buildMesh(t, tr, 4, 1)
+	ctx := context.Background()
+	for tick := 0; tick < 12; tick++ {
+		tickAll(ctx, nodes)
+	}
+	// w3 dies; survivors evict it.
+	tr.kill("node3")
+	for tick := 0; tick < 20; tick++ {
+		tickAll(ctx, nodes[:3])
+	}
+	// w3 restarts with the same ID at incarnation 1 — the tombstone at
+	// incarnation 1 would squash it, so the refutation path must bump it
+	// past the rumour.
+	reborn, err := NewNode(Config{
+		Self:      Member{ID: "w3", Addr: "node3"},
+		Schema:    1,
+		Seed:      9999,
+		Bootstrap: []string{"node0"},
+		Transport: tr,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.revive("node3")
+	tr.add(reborn)
+	all := append(append([]*Node{}, nodes[:3]...), reborn)
+	for tick := 0; tick < 20; tick++ {
+		tickAll(ctx, all)
+	}
+	if inc := reborn.Self().Incarnation; inc < 2 {
+		t.Fatalf("reborn w3 incarnation = %d, want >= 2 (must out-rank its tombstone)", inc)
+	}
+	for _, n := range all {
+		if got := liveIDs(n); got != "w0,w1,w2,w3" {
+			t.Fatalf("node %s sees [%s], want [w0,w1,w2,w3]", n.Self().ID, got)
+		}
+	}
+}
+
+func TestSchemaMismatchRefused(t *testing.T) {
+	tr := newMemTransport()
+	nodes := buildMesh(t, tr, 3, 1)
+	ctx := context.Background()
+	for tick := 0; tick < 10; tick++ {
+		tickAll(ctx, nodes)
+	}
+	// An alien-schema node bootstraps at node0. It must be refused and
+	// must never enter anyone's live set; symmetrically it evicts the
+	// refusing peer.
+	alien, err := NewNode(Config{
+		Self:      Member{ID: "wX", Addr: "nodeX"},
+		Schema:    2,
+		Seed:      7,
+		Bootstrap: []string{"node0"},
+		Transport: tr,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.add(alien)
+	for tick := 0; tick < 10; tick++ {
+		tickAll(ctx, nodes)
+		alien.Tick(ctx)
+	}
+	for _, n := range nodes {
+		if got := liveIDs(n); strings.Contains(got, "wX") {
+			t.Fatalf("node %s admitted alien-schema wX: [%s]", n.Self().ID, got)
+		}
+	}
+	if got := liveIDs(alien); strings.Contains(got, "w0") {
+		t.Fatalf("alien kept refusing peer w0 live: [%s]", got)
+	}
+}
+
+func TestJoinAndLeaveMidStream(t *testing.T) {
+	tr := newMemTransport()
+	nodes := buildMesh(t, tr, 3, 1)
+	ctx := context.Background()
+	for tick := 0; tick < 10; tick++ {
+		tickAll(ctx, nodes)
+	}
+	// A new worker joins mid-stream via the same single bootstrap.
+	joiner, err := NewNode(Config{
+		Self:      Member{ID: "w9", Addr: "node9"},
+		Schema:    1,
+		Seed:      42,
+		Bootstrap: []string{"node0"},
+		Transport: tr,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.add(joiner)
+	all := append(append([]*Node{}, nodes...), joiner)
+	for tick := 0; tick < 12; tick++ {
+		tickAll(ctx, all)
+	}
+	for _, n := range all {
+		if got := liveIDs(n); got != "w0,w1,w2,w9" {
+			t.Fatalf("after join, node %s sees [%s]", n.Self().ID, got)
+		}
+	}
+	// w1 leaves gracefully: departure should propagate via its farewell
+	// digest + gossip, faster than the failure detector alone, and the
+	// left node must not refute its own death.
+	nodes[1].Leave(ctx)
+	tr.kill("node1")
+	rest := []*Node{nodes[0], nodes[2], joiner}
+	for tick := 0; tick < 6; tick++ {
+		tickAll(ctx, rest)
+	}
+	for _, n := range rest {
+		if got := liveIDs(n); got != "w0,w2,w9" {
+			t.Fatalf("after leave, node %s sees [%s], want [w0,w2,w9]", n.Self().ID, got)
+		}
+	}
+}
+
+func TestDeterministicSampling(t *testing.T) {
+	// Two meshes with identical seeds and synchronous schedules evolve
+	// identically — the determinism contract that makes convergence
+	// testable at all.
+	run := func() []string {
+		tr := newMemTransport()
+		nodes := buildMesh(t, tr, 6, 1)
+		ctx := context.Background()
+		var trace []string
+		for tick := 0; tick < 8; tick++ {
+			tickAll(ctx, nodes)
+			for _, n := range nodes {
+				trace = append(trace, liveIDs(n))
+			}
+		}
+		return trace
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverged at step %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHTTPTransportAndHandler(t *testing.T) {
+	// Two real nodes over httptest servers: exchange succeeds, members
+	// endpoint serves the view, schema mismatch maps 409 -> ErrRefused.
+	tr := &HTTPTransport{}
+	mkNode := func(id string, schema int) (*Node, *httptest.Server) {
+		mux := http.NewServeMux()
+		n, err := NewNode(Config{
+			Self:      Member{ID: id, Addr: "placeholder"},
+			Schema:    schema,
+			Seed:      1,
+			Transport: tr,
+			Logf:      t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Handler(mux)
+		srv := httptest.NewServer(mux)
+		addr := strings.TrimPrefix(srv.URL, "http://")
+		n.mu.Lock()
+		n.self.Addr = addr
+		n.cfg.Self.Addr = addr
+		n.mu.Unlock()
+		return n, srv
+	}
+	a, sa := mkNode("a", 1)
+	defer sa.Close()
+	b, sb := mkNode("b", 1)
+	defer sb.Close()
+	x, sx := mkNode("x", 99)
+	defer sx.Close()
+
+	ctx := context.Background()
+	reply, err := tr.Exchange(ctx, b.Self().Addr, a.Digest())
+	if err != nil {
+		t.Fatalf("exchange a->b: %v", err)
+	}
+	if reply.From.ID != "b" {
+		t.Fatalf("reply from %q, want b", reply.From.ID)
+	}
+	if _, err := tr.Exchange(ctx, x.Self().Addr, a.Digest()); !errors.Is(err, ErrRefused) {
+		t.Fatalf("cross-schema exchange: got %v, want ErrRefused", err)
+	}
+	view, err := FetchMembers(ctx, nil, b.Self().Addr, 1)
+	if err != nil {
+		t.Fatalf("FetchMembers: %v", err)
+	}
+	if view.Self.ID != "b" || len(view.Live) == 0 {
+		t.Fatalf("members view %+v", view)
+	}
+	if _, err := FetchMembers(ctx, nil, x.Self().Addr, 1); !errors.Is(err, ErrRefused) {
+		t.Fatalf("cross-schema FetchMembers: got %v, want ErrRefused", err)
+	}
+}

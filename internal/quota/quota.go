@@ -1,0 +1,313 @@
+// Package quota is the multi-tenant admission layer of the simulation
+// service: per-tenant queue-depth and concurrency budgets enforced at
+// submission time, and a weighted fair queue that decides which tenant's
+// job runs next. Admission control keeps one tenant's million-job
+// backlog from starving everyone else's interactive probes — the
+// overload contract stays "429 + Retry-After", but the 429 is now a
+// per-tenant verdict, and the dequeue order is stride-scheduled fair
+// share instead of global FIFO.
+package quota
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Limits bound one tenant's simultaneous use of the service. The zero
+// value of a field means "the configured default" (MaxQueued) or
+// "unlimited" (MaxRunning).
+type Limits struct {
+	// MaxQueued caps the tenant's queued-but-not-running jobs; beyond it
+	// submissions are rejected with ErrTenantQueueFull. 0 means the
+	// queue's default per-tenant cap.
+	MaxQueued int `json:"maxQueued,omitempty"`
+	// MaxRunning caps the tenant's concurrently executing jobs; a tenant
+	// at its cap keeps its queue but is skipped by the dequeue until a
+	// job finishes. 0 means unlimited.
+	MaxRunning int `json:"maxRunning,omitempty"`
+	// Weight is the tenant's fair-share weight: a weight-4 tenant drains
+	// four times as fast as a weight-1 tenant when both have backlogs.
+	// 0 means 1.
+	Weight int `json:"weight,omitempty"`
+}
+
+// Config sizes a Queue.
+type Config struct {
+	// Default applies to tenants with no explicit entry in Tenants.
+	Default Limits
+	// Tenants maps tenant names to their limits.
+	Tenants map[string]Limits
+	// TotalQueued bounds the queue across all tenants; beyond it
+	// submissions are rejected with ErrQueueFull regardless of tenant
+	// budgets. 0 means 256.
+	TotalQueued int
+}
+
+// Admission errors, mapped by the HTTP layer to 429 + Retry-After.
+var (
+	// ErrQueueFull is the global backpressure signal: the whole queue is
+	// at capacity.
+	ErrQueueFull = errors.New("quota: job queue full")
+	// ErrTenantQueueFull is the per-tenant backpressure signal: this
+	// tenant's queue budget is exhausted even though the service may
+	// have room for others.
+	ErrTenantQueueFull = errors.New("quota: tenant queue budget exhausted")
+)
+
+// strideScale is the numerator of the stride computation. Large enough
+// that integer strides stay distinct across any sane weight spread.
+const strideScale = 1 << 20
+
+// tenant is the per-tenant scheduling state.
+type tenant[T any] struct {
+	name   string
+	limits Limits
+	// items[head:] is the tenant's FIFO. Popping advances head instead
+	// of shifting, so a dequeue out of a deep backlog (the flood tenant
+	// can legitimately hold hundreds of thousands of queued jobs) stays
+	// O(1); the consumed prefix is compacted away once it dominates the
+	// backing array.
+	items   []T
+	head    int
+	running int
+	// pass is the stride-scheduling virtual time: each dequeue advances
+	// it by stride, and the eligible tenant with the smallest pass runs
+	// next, which realises weighted fair sharing with O(tenants) scans
+	// (tenant counts are small).
+	pass   uint64
+	stride uint64
+}
+
+// depth is the tenant's queued-but-not-running count.
+func (t *tenant[T]) depth() int { return len(t.items) - t.head }
+
+// Queue is a weighted fair multi-tenant queue. Push admits or rejects;
+// Pop blocks until an eligible item, honouring per-tenant running caps
+// and weighted fair ordering; Done returns a tenant's running slot.
+// All methods are safe for concurrent use.
+type Queue[T any] struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	cfg     Config
+	tenants map[string]*tenant[T]
+	queued  int
+	closed  bool
+}
+
+// NewQueue builds a queue from cfg.
+func NewQueue[T any](cfg Config) *Queue[T] {
+	if cfg.TotalQueued <= 0 {
+		cfg.TotalQueued = 256
+	}
+	q := &Queue[T]{cfg: cfg, tenants: make(map[string]*tenant[T])}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *Queue[T]) tenantState(name string) *tenant[T] {
+	t, ok := q.tenants[name]
+	if !ok {
+		lim, exists := q.cfg.Tenants[name]
+		if !exists {
+			lim = q.cfg.Default
+		}
+		if lim.Weight <= 0 {
+			lim.Weight = 1
+		}
+		if lim.MaxQueued <= 0 {
+			lim.MaxQueued = q.cfg.Default.MaxQueued
+		}
+		if lim.MaxQueued <= 0 {
+			lim.MaxQueued = q.cfg.TotalQueued
+		}
+		t = &tenant[T]{name: name, limits: lim, stride: strideScale / uint64(lim.Weight)}
+		q.tenants[name] = t
+	}
+	return t
+}
+
+// minPassLocked returns the smallest pass among tenants with work or
+// running jobs, so an idle tenant re-entering cannot replay the past
+// and monopolise the queue with its stale (tiny) pass value.
+func (q *Queue[T]) minPassLocked() uint64 {
+	min, found := uint64(0), false
+	for _, t := range q.tenants {
+		if t.depth() == 0 && t.running == 0 {
+			continue
+		}
+		if !found || t.pass < min {
+			min, found = t.pass, true
+		}
+	}
+	return min
+}
+
+// Push admits one item for a tenant. force bypasses the budgets — used
+// only for journal replay, where the item was already admitted by a
+// previous incarnation of the daemon.
+func (q *Queue[T]) Push(tenantName string, item T, force bool) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errors.New("quota: queue closed")
+	}
+	t := q.tenantState(tenantName)
+	if !force {
+		if q.queued >= q.cfg.TotalQueued {
+			return ErrQueueFull
+		}
+		if t.depth() >= t.limits.MaxQueued {
+			return fmt.Errorf("%w (tenant %q, %d queued)", ErrTenantQueueFull, tenantName, t.depth())
+		}
+	}
+	if t.depth() == 0 && t.running == 0 {
+		// Tenant wakes from idle: align its virtual time with the
+		// backlogged cohort instead of letting it claim its idle period
+		// as credit.
+		if mp := q.minPassLocked(); t.pass < mp {
+			t.pass = mp
+		}
+	}
+	t.items = append(t.items, item)
+	q.queued++
+	q.cond.Signal()
+	return nil
+}
+
+// Pop blocks until an item is dequeued (returned with its tenant and
+// ok=true) or until the queue is closed and fully drained (ok=false).
+// The caller owns a running slot for the returned tenant and must
+// release it with Done.
+func (q *Queue[T]) Pop() (item T, tenantName string, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if t := q.pickLocked(); t != nil {
+			item = t.items[t.head]
+			t.items[t.head] = *new(T) // don't pin the popped item
+			t.head++
+			if t.head >= 1024 && t.head*2 >= len(t.items) {
+				// The consumed prefix dominates the backing array: compact
+				// so memory tracks the live backlog, amortized O(1).
+				n := copy(t.items, t.items[t.head:])
+				clear(t.items[n:])
+				t.items = t.items[:n]
+				t.head = 0
+			}
+			t.running++
+			t.pass += t.stride
+			q.queued--
+			return item, t.name, true
+		}
+		if q.closed && q.queued == 0 {
+			return item, "", false
+		}
+		q.cond.Wait()
+	}
+}
+
+// pickLocked returns the eligible tenant with the smallest pass value,
+// breaking ties by name for determinism, or nil when nothing can run.
+func (q *Queue[T]) pickLocked() *tenant[T] {
+	var best *tenant[T]
+	for _, t := range q.tenants {
+		if t.depth() == 0 {
+			continue
+		}
+		if t.limits.MaxRunning > 0 && t.running >= t.limits.MaxRunning {
+			continue
+		}
+		if best == nil || t.pass < best.pass || (t.pass == best.pass && t.name < best.name) {
+			best = t
+		}
+	}
+	return best
+}
+
+// Done releases a running slot for a tenant, waking dequeuers that may
+// have been blocked on its concurrency cap.
+func (q *Queue[T]) Done(tenantName string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if t, ok := q.tenants[tenantName]; ok && t.running > 0 {
+		t.running--
+	}
+	q.cond.Broadcast()
+}
+
+// Close stops admission. Queued items continue to drain through Pop;
+// once empty, Pop returns ok=false to every waiter.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// Depth returns the total queued count.
+func (q *Queue[T]) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queued
+}
+
+// TenantDepth is one tenant's observable state, for /metrics and
+// /healthz.
+type TenantDepth struct {
+	Tenant  string `json:"tenant"`
+	Queued  int    `json:"queued"`
+	Running int    `json:"running"`
+	Weight  int    `json:"weight"`
+}
+
+// Depths returns every tenant that has ever queued work, sorted by
+// name.
+func (q *Queue[T]) Depths() []TenantDepth {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]TenantDepth, 0, len(q.tenants))
+	for _, t := range q.tenants {
+		out = append(out, TenantDepth{
+			Tenant: t.name, Queued: t.depth(), Running: t.running,
+			Weight: t.limits.Weight,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// ParseLimits parses one "-quota" flag value of the form
+// "NAME=w4,q128,r2": weight 4, max 128 queued, max 2 running. Every
+// clause is optional; "NAME=" takes the defaults.
+func ParseLimits(s string) (name string, lim Limits, err error) {
+	name, spec, ok := strings.Cut(s, "=")
+	name = strings.TrimSpace(name)
+	if !ok || name == "" {
+		return "", lim, fmt.Errorf("quota: %q is not NAME=w<weight>,q<queued>,r<running>", s)
+	}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		val, aerr := strconv.Atoi(clause[1:])
+		if aerr != nil || val < 1 {
+			return "", lim, fmt.Errorf("quota: bad clause %q in %q", clause, s)
+		}
+		switch clause[0] {
+		case 'w':
+			lim.Weight = val
+		case 'q':
+			lim.MaxQueued = val
+		case 'r':
+			lim.MaxRunning = val
+		default:
+			return "", lim, fmt.Errorf("quota: bad clause %q in %q (want w/q/r prefix)", clause, s)
+		}
+	}
+	return name, lim, nil
+}

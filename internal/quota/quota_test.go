@@ -1,0 +1,227 @@
+package quota
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestAdmissionBudgets(t *testing.T) {
+	q := NewQueue[int](Config{
+		TotalQueued: 4,
+		Default:     Limits{MaxQueued: 2},
+	})
+	if err := q.Push("a", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push("a", 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push("a", 3, false); !errors.Is(err, ErrTenantQueueFull) {
+		t.Fatalf("third push for tenant a: got %v, want ErrTenantQueueFull", err)
+	}
+	if err := q.Push("b", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push("c", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	// Global cap (4) reached before tenant d's budget.
+	if err := q.Push("d", 1, false); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("push past global cap: got %v, want ErrQueueFull", err)
+	}
+	// Replay bypasses both budgets.
+	if err := q.Push("a", 4, true); err != nil {
+		t.Fatalf("forced push: %v", err)
+	}
+	if got := q.Depth(); got != 5 {
+		t.Fatalf("depth = %d, want 5", got)
+	}
+}
+
+func TestWeightedFairDequeue(t *testing.T) {
+	q := NewQueue[int](Config{
+		TotalQueued: 100,
+		Tenants: map[string]Limits{
+			"heavy": {Weight: 3},
+			"light": {Weight: 1},
+		},
+	})
+	for i := 0; i < 20; i++ {
+		if err := q.Push("heavy", i, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if err := q.Push("light", i, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := map[string]int{}
+	for i := 0; i < 16; i++ {
+		_, tenant, ok := q.Pop()
+		if !ok {
+			t.Fatal("queue closed early")
+		}
+		counts[tenant]++
+		q.Done(tenant)
+	}
+	// With weights 3:1 the first 16 dequeues split 12:4.
+	if counts["heavy"] != 12 || counts["light"] != 4 {
+		t.Fatalf("dequeue split heavy=%d light=%d, want 12:4", counts["heavy"], counts["light"])
+	}
+}
+
+func TestRunningCapSkipsTenant(t *testing.T) {
+	q := NewQueue[int](Config{
+		TotalQueued: 100,
+		Tenants: map[string]Limits{
+			"capped": {MaxRunning: 1, Weight: 100},
+			"other":  {Weight: 1},
+		},
+	})
+	q.Push("capped", 1, false)
+	q.Push("capped", 2, false)
+	q.Push("other", 1, false)
+
+	_, first, _ := q.Pop() // capped wins on weight
+	if first != "capped" {
+		t.Fatalf("first pop from %q, want capped", first)
+	}
+	// capped is now at its running cap: the next pop must skip it.
+	_, second, _ := q.Pop()
+	if second != "other" {
+		t.Fatalf("second pop from %q, want other (capped at MaxRunning)", second)
+	}
+	q.Done("capped")
+	_, third, _ := q.Pop()
+	if third != "capped" {
+		t.Fatalf("third pop from %q, want capped after Done freed its slot", third)
+	}
+}
+
+func TestIdleTenantDoesNotReplayCredit(t *testing.T) {
+	q := NewQueue[int](Config{TotalQueued: 100})
+	// Busy tenant accumulates pass.
+	for i := 0; i < 10; i++ {
+		q.Push("busy", i, false)
+	}
+	for i := 0; i < 8; i++ {
+		_, tenant, _ := q.Pop()
+		if tenant != "busy" {
+			t.Fatalf("pop %d from %q", i, tenant)
+		}
+		q.Done(tenant)
+	}
+	// A tenant waking from idle is aligned to the cohort: the next
+	// dequeues alternate rather than draining "fresh" wholesale.
+	for i := 0; i < 4; i++ {
+		q.Push("fresh", i, false)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 4; i++ {
+		_, tenant, _ := q.Pop()
+		counts[tenant]++
+		q.Done(tenant)
+	}
+	if counts["fresh"] == 4 {
+		t.Fatalf("fresh tenant drained 4/4 slots; idle credit was not clipped")
+	}
+}
+
+func TestCloseDrainsThenReleasesWaiters(t *testing.T) {
+	q := NewQueue[int](Config{TotalQueued: 10})
+	q.Push("t", 1, false)
+	q.Push("t", 2, false)
+
+	var wg sync.WaitGroup
+	popped := make(chan int, 4)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, tenant, ok := q.Pop()
+				if !ok {
+					return
+				}
+				popped <- v
+				q.Done(tenant)
+			}
+		}()
+	}
+	q.Close()
+	wg.Wait()
+	close(popped)
+	var got []int
+	for v := range popped {
+		got = append(got, v)
+	}
+	if len(got) != 2 {
+		t.Fatalf("drained %d items, want 2", len(got))
+	}
+	if err := q.Push("t", 3, false); err == nil {
+		t.Fatal("push after close succeeded")
+	}
+}
+
+func TestConcurrentPushPop(t *testing.T) {
+	q := NewQueue[int](Config{TotalQueued: 1 << 16})
+	const producers, perProducer = 8, 200
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			tenant := string(rune('a' + p%3))
+			for i := 0; i < perProducer; i++ {
+				if err := q.Push(tenant, p*perProducer+i, false); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	var consumed sync.WaitGroup
+	var count sync.Map
+	for c := 0; c < 4; c++ {
+		consumed.Add(1)
+		go func() {
+			defer consumed.Done()
+			for {
+				v, tenant, ok := q.Pop()
+				if !ok {
+					return
+				}
+				if _, dup := count.LoadOrStore(v, true); dup {
+					t.Errorf("item %d popped twice", v)
+				}
+				q.Done(tenant)
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	consumed.Wait()
+	n := 0
+	count.Range(func(any, any) bool { n++; return true })
+	if n != producers*perProducer {
+		t.Fatalf("consumed %d distinct items, want %d", n, producers*perProducer)
+	}
+}
+
+func TestParseLimits(t *testing.T) {
+	name, lim, err := ParseLimits("teamA=w4,q128,r2")
+	if err != nil || name != "teamA" || lim.Weight != 4 || lim.MaxQueued != 128 || lim.MaxRunning != 2 {
+		t.Fatalf("got %q %+v err=%v", name, lim, err)
+	}
+	if _, _, err := ParseLimits("bad"); err == nil {
+		t.Fatal("parse without '=' succeeded")
+	}
+	if _, _, err := ParseLimits("t=x9"); err == nil {
+		t.Fatal("parse with unknown clause succeeded")
+	}
+	if _, lim, err := ParseLimits("t="); err != nil || lim != (Limits{}) {
+		t.Fatalf("empty spec: %+v err=%v", lim, err)
+	}
+}

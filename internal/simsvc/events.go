@@ -1,0 +1,150 @@
+package simsvc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// JobEvent is one entry on a job's event stream, served over SSE by
+// GET /v1/jobs/{id}/events. The lifecycle is
+// queued → running → progress* → done, with "done" covering both
+// terminal states (State distinguishes them). Cache hits skip straight
+// to "done". The same publications feed /metrics, so the SSE stream
+// and the gauges cannot disagree about what the daemon did.
+type JobEvent struct {
+	Type     string `json:"type"` // queued | running | progress | done
+	Job      string `json:"job"`
+	Tenant   string `json:"tenant,omitempty"`
+	State    string `json:"state,omitempty"`    // done events: StateDone | StateFailed
+	CacheHit bool   `json:"cacheHit,omitempty"` // done events
+	Error    string `json:"error,omitempty"`    // failed done events
+	// Rep/Reps report execution progress: Rep repetitions of Reps have
+	// finished.
+	Rep  int `json:"rep,omitempty"`
+	Reps int `json:"reps,omitempty"`
+	// Done events carry a small result summary inline; the full result
+	// stays on GET /v1/jobs/{id}.
+	Success     int     `json:"success,omitempty"`
+	SuccessRate float64 `json:"successRate,omitempty"`
+	ElapsedMS   int64   `json:"elapsedMs,omitempty"`
+}
+
+// Terminal reports whether the event ends its stream.
+func (e JobEvent) Terminal() bool { return e.Type == "done" }
+
+// eventHub fans job events out to SSE subscribers. Per job it keeps a
+// compact replay history (lifecycle events plus only the most recent
+// progress event) so a late subscriber reconstructs the state machine
+// without unbounded buffering, then receives live events until the
+// terminal one.
+type eventHub struct {
+	mu      sync.Mutex
+	streams map[string]*jobStream
+
+	published   atomic.Int64 // all events published
+	subscribers atomic.Int64 // gauge: live SSE subscriptions
+	lagDrops    atomic.Int64 // events dropped on slow subscribers
+}
+
+type jobStream struct {
+	history  []JobEvent
+	subs     map[chan JobEvent]bool
+	terminal bool
+}
+
+// subscriberBuffer absorbs progress bursts; a subscriber that cannot
+// drain it is evicted (channel closed) rather than allowed to block a
+// worker — the poll API remains the lossless fallback.
+const subscriberBuffer = 64
+
+func newEventHub() *eventHub {
+	return &eventHub{streams: make(map[string]*jobStream)}
+}
+
+func (h *eventHub) publish(ev JobEvent) {
+	h.published.Add(1)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.streams[ev.Job]
+	if !ok {
+		st = &jobStream{subs: make(map[chan JobEvent]bool)}
+		h.streams[ev.Job] = st
+	}
+	if ev.Type == "progress" && len(st.history) > 0 && st.history[len(st.history)-1].Type == "progress" {
+		st.history[len(st.history)-1] = ev // coalesce: history keeps only the latest progress
+	} else {
+		st.history = append(st.history, ev)
+	}
+	if ev.Terminal() {
+		st.terminal = true
+	}
+	for ch := range st.subs {
+		select {
+		case ch <- ev:
+		default:
+			if ev.Type == "progress" {
+				h.lagDrops.Add(1) // droppable: the next progress supersedes it
+				continue
+			}
+			// A subscriber too slow for lifecycle events is cut off;
+			// closing the channel tells its handler to hang up.
+			delete(st.subs, ch)
+			close(ch)
+			h.lagDrops.Add(1)
+		}
+	}
+	if st.terminal {
+		for ch := range st.subs {
+			close(ch)
+		}
+		st.subs = make(map[chan JobEvent]bool)
+	}
+}
+
+// subscribe returns the job's replay history and, when the job is still
+// live, a channel of subsequent events (closed after the terminal event
+// or on eviction) plus a cancel function. For finished jobs the channel
+// is nil: replay is the whole story.
+func (h *eventHub) subscribe(jobID string) (history []JobEvent, ch chan JobEvent, cancel func(), ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, exists := h.streams[jobID]
+	if !exists {
+		return nil, nil, nil, false
+	}
+	history = append([]JobEvent(nil), st.history...)
+	if st.terminal {
+		return history, nil, func() {}, true
+	}
+	ch = make(chan JobEvent, subscriberBuffer)
+	st.subs[ch] = true
+	h.subscribers.Add(1)
+	var once sync.Once
+	cancel = func() {
+		once.Do(func() {
+			h.subscribers.Add(-1)
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			if cur, live := h.streams[jobID]; live {
+				if cur.subs[ch] {
+					delete(cur.subs, ch)
+					close(ch)
+				}
+			}
+		})
+	}
+	return history, ch, cancel, true
+}
+
+// drop forgets a job's stream (called when the job record is evicted);
+// any live subscribers are closed out.
+func (h *eventHub) drop(jobID string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if st, ok := h.streams[jobID]; ok {
+		for ch := range st.subs {
+			close(ch)
+		}
+		delete(h.streams, jobID)
+	}
+}

@@ -71,6 +71,13 @@ func Protocols() []string {
 // of every optional field means "the default"; Normalize resolves the
 // defaults so two spellings of the same job share one cache entry.
 type JobSpec struct {
+	// Tenant is the submitting tenant's label, the unit of admission
+	// control: queue-depth and concurrency budgets and fair-share weight
+	// are per tenant (internal/quota). Empty normalizes to "default".
+	// Deliberately excluded from Key(): results are deterministic in the
+	// spec, so tenants share the result cache — a label must not split
+	// identical work into duplicate runs.
+	Tenant string `json:"tenant,omitempty"`
 	// Protocol selects the algorithm; see Protocols().
 	Protocol string `json:"protocol"`
 	// N is the network size (core protocols and baselines).
@@ -153,8 +160,15 @@ var DefaultLimits = Limits{MaxN: 1 << 16, MaxReps: 1000}
 // default to its concrete value. The returned spec is canonical: two
 // specs describing the same job normalize identically, which is what the
 // cache key hashes.
+// DefaultTenant is the tenant label of unlabelled submissions.
+const DefaultTenant = "default"
+
 func (s JobSpec) Normalize(lim Limits) (JobSpec, error) {
 	out := s
+	out.Tenant = strings.ToLower(strings.TrimSpace(s.Tenant))
+	if out.Tenant == "" {
+		out.Tenant = DefaultTenant
+	}
 	out.Protocol = strings.ToLower(strings.TrimSpace(s.Protocol))
 	core := out.Protocol == ProtoElection || out.Protocol == ProtoAgreement || out.Protocol == ProtoMinAgree
 	switch {
@@ -308,7 +322,8 @@ func knownTopology(name string) bool {
 // Key returns the content address of a normalized spec: the hex SHA-256
 // of its canonical encoding. Identical jobs — same protocol, parameters,
 // engine, and seed — share a key, and deterministic engines make the
-// cached result under that key exact.
+// cached result under that key exact. Tenant is not part of the
+// encoding: it labels who asked, not what runs.
 func (s JobSpec) Key() string {
 	f := -1
 	if s.F != nil {

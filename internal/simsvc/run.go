@@ -102,6 +102,7 @@ func runSpec(ctx context.Context, spec JobSpec) (*JobResult, error) {
 	if spec.Raw {
 		res.Raw = &RawSeries{}
 	}
+	progress := progressFn(ctx)
 	var msgs, bits, rounds []float64
 	agg := new(metrics.Counters)
 	seen := map[string]bool{}
@@ -109,6 +110,7 @@ func runSpec(ctx context.Context, spec JobSpec) (*JobResult, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("cancelled after %d/%d reps: %w", rep, spec.Reps, err)
 		}
+		progress(rep, spec.Reps)
 		out, err := runOnce(spec, repSeed(spec, rep), nil)
 		if err != nil {
 			return nil, err

@@ -3,10 +3,12 @@ package simsvc
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"sublinear/internal/netsim"
 )
@@ -21,6 +23,12 @@ import (
 //	                   rejected for backpressure
 //	GET  /v1/jobs      list retained jobs
 //	GET  /v1/jobs/{id} poll one job
+//	GET  /v1/jobs/{id}/events
+//	                   live job progress over Server-Sent Events:
+//	                   queued → running → progress (per repetition) →
+//	                   done, with the earlier events replayed to late
+//	                   subscribers; finished jobs replay their history
+//	                   and close
 //	GET  /v1/traces/{id} fetch a recorded execution trace by content
 //	                   address (the TraceID of a job result whose spec
 //	                   set "trace": true); binary internal/trace format
@@ -41,6 +49,12 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if s.cfg.Mesh != nil {
+		// The daemon's gossip endpoints live on the same listener as the
+		// job API, so one address is both the work target and the mesh
+		// bootstrap contact.
+		s.cfg.Mesh.Handler(mux)
+	}
 	return mux
 }
 
@@ -121,10 +135,12 @@ func (s *Service) handleShards(w http.ResponseWriter, r *http.Request) {
 			"error": "shard batch needs 1..256 specs"})
 		return
 	}
+	// One admission pass, one journal fsync for the whole batch.
+	results := s.SubmitAll(batch.Specs)
 	out := make([]ShardSubmission, len(batch.Specs))
 	accepted, busy := 0, 0
-	for i, spec := range batch.Specs {
-		st, err := s.Submit(spec)
+	for i, res := range results {
+		st, err := res.Status, res.Err
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			out[i] = ShardSubmission{Error: err.Error(), Retryable: true}
@@ -156,12 +172,82 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if events, ok := strings.CutSuffix(id, "/events"); ok {
+		s.handleEvents(w, r, events)
+		return
+	}
 	st, ok := s.Job(id)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job " + id})
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// sseHeartbeat keeps idle event streams alive through proxies; a
+// comment line is protocol noise SSE clients ignore.
+const sseHeartbeat = 15 * time.Second
+
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request, id string) {
+	history, live, cancel, ok := s.events.subscribe(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job " + id})
+		return
+	}
+	if cancel != nil {
+		defer cancel()
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	writeEvent := func(ev JobEvent) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return !ev.Terminal()
+	}
+	for _, ev := range history {
+		if !writeEvent(ev) {
+			return
+		}
+	}
+	if live == nil {
+		return // finished job: the replay was the whole story
+	}
+	heartbeat := time.NewTicker(sseHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case ev, open := <-live:
+			if !open {
+				// Evicted, cut off for lagging, or the stream's job was
+				// dropped; the poll API remains authoritative.
+				return
+			}
+			if !writeEvent(ev) {
+				return
+			}
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": keep-alive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
@@ -185,7 +271,7 @@ func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.write(w, s.cache.len(), s.traces)
+	s.metrics.write(w, s.cache.len(), s.traces, s.queue.Depths(), s.events)
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -195,7 +281,7 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		status = "draining"
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
+	body := map[string]any{
 		"status":  status,
 		"queued":  s.QueueDepth(),
 		"workers": s.cfg.Workers,
@@ -204,7 +290,21 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		// comparable between workers running the same digest schema.
 		"version":      Version,
 		"digestSchema": netsim.DigestSchemaVersion,
-	})
+		"durable":      s.journal != nil,
+	}
+	if depths := s.queue.Depths(); len(depths) > 0 {
+		body["tenants"] = depths
+	}
+	if s.cfg.Mesh != nil {
+		self := s.cfg.Mesh.Self()
+		body["mesh"] = map[string]any{
+			"nodeId":      self.ID,
+			"addr":        self.Addr,
+			"incarnation": self.Incarnation,
+			"live":        len(s.cfg.Mesh.Live()),
+		}
+	}
+	writeJSON(w, code, body)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -7,6 +7,9 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"sublinear/internal/mesh"
+	"sublinear/internal/quota"
 )
 
 // Config sizes the service. The zero value of any field selects its
@@ -27,10 +30,26 @@ type Config struct {
 	// Limits bound what a single job may request; zero means
 	// DefaultLimits.
 	Limits Limits
+	// Quota configures per-tenant admission budgets and fair-share
+	// weights. Its TotalQueued defaults to QueueSize, so a quota-less
+	// configuration behaves like the old single queue.
+	Quota quota.Config
+	// JournalPath, when non-empty, makes admissions durable: every
+	// accepted job is fsync'd to an append-only JSONL journal before it
+	// is acknowledged, and Open replays the journal so a killed daemon
+	// restarts with its queue (original job IDs preserved, in-flight
+	// jobs re-enqueued) and its result cache. Requires Open, not New.
+	JournalPath string
+	// Mesh, when set, is the daemon's gossip membership node: its
+	// endpoints are mounted on the service handler and /healthz reports
+	// its view of the fleet.
+	Mesh *mesh.Node
 	// now is injectable for tests; nil means time.Now.
 	now func() time.Time
 	// exec is the job executor, injectable for tests to model slow,
-	// panicking, or hung jobs; nil means runSpec.
+	// panicking, or hung jobs; nil means runSpec. Executors that want to
+	// report per-repetition progress call the callback installed by
+	// progressFn(ctx).
 	exec func(context.Context, JobSpec) (*JobResult, error)
 }
 
@@ -52,6 +71,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Limits == (Limits{}) {
 		c.Limits = DefaultLimits
+	}
+	if c.Quota.TotalQueued <= 0 {
+		c.Quota.TotalQueued = c.QueueSize
 	}
 	if c.now == nil {
 		c.now = time.Now
@@ -99,21 +121,43 @@ type JobStatus struct {
 
 // Submission errors the HTTP layer maps to status codes.
 var (
-	// ErrQueueFull is the backpressure signal: the queue is at capacity
-	// and the caller should retry later (HTTP 429).
+	// ErrQueueFull is the backpressure signal: the queue — global or the
+	// submitting tenant's budget — is at capacity and the caller should
+	// retry later (HTTP 429). The wrapped quota error says which budget
+	// it was.
 	ErrQueueFull = errors.New("simsvc: job queue full")
 	// ErrClosed means the service is draining and accepts no new work
 	// (HTTP 503).
 	ErrClosed = errors.New("simsvc: service is shutting down")
 )
 
+// progressKey carries the per-repetition progress callback through the
+// executor's context, so injectable test executors keep the plain
+// (ctx, spec) signature and real runs can still stream progress.
+type progressKey struct{}
+
+func withProgress(ctx context.Context, fn func(rep, reps int)) context.Context {
+	return context.WithValue(ctx, progressKey{}, fn)
+}
+
+// progressFn returns the progress callback installed on ctx, or a no-op.
+func progressFn(ctx context.Context) func(rep, reps int) {
+	if fn, ok := ctx.Value(progressKey{}).(func(rep, reps int)); ok {
+		return fn
+	}
+	return func(int, int) {}
+}
+
 // Service owns the queue, the worker pool, the job store, and the result
-// cache. Create with New, serve with Handler, stop with Close.
+// cache. Create with New (or Open when configured with a journal), serve
+// with Handler, stop with Close.
 type Service struct {
 	cfg     Config
 	metrics *svcMetrics
 	cache   *resultCache
 	traces  *traceStore
+	events  *eventHub
+	journal *jobJournal
 
 	mu     sync.RWMutex
 	closed bool
@@ -121,78 +165,221 @@ type Service struct {
 	order  []string // submission order, for eviction and listing
 	seq    int64
 
-	queue chan *Job
+	queue *quota.Queue[*Job]
 	wg    sync.WaitGroup
 }
 
-// New starts a service with cfg.Workers workers.
+// New starts a service with cfg.Workers workers. It is Open for
+// configurations that cannot fail; it panics when cfg asks for a
+// journal, whose replay has real error paths — use Open for those.
 func New(cfg Config) *Service {
+	if cfg.JournalPath != "" {
+		panic("simsvc: journaled services must be created with Open")
+	}
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err) // unreachable: only the journal path can fail
+	}
+	return s
+}
+
+// Open starts a service, replaying the job journal first when cfg
+// names one: journaled pending jobs re-enter the queue under their
+// original IDs and journaled results re-warm the cache, so a kill -9
+// mid-backlog costs at most the re-execution of jobs whose completion
+// records had not yet flushed — and determinism makes those re-runs
+// byte-identical.
+func Open(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	s := &Service{
 		cfg:     cfg,
 		metrics: newSvcMetrics(),
 		cache:   newResultCache(cfg.CacheSize),
 		traces:  newTraceStore(cfg.TraceStoreBytes),
+		events:  newEventHub(),
 		jobs:    make(map[string]*Job),
-		queue:   make(chan *Job, cfg.QueueSize),
+		queue:   quota.NewQueue[*Job](cfg.Quota),
+	}
+	if cfg.JournalPath != "" {
+		journal, replay, err := openJobJournal(cfg.JournalPath, cfg.CacheSize)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = journal
+		s.replay(replay)
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+// replay restores the journaled state before the workers start: done
+// records first — each re-warms the result cache *and* resurrects its
+// finished job under the original ID, so a client that submitted to the
+// previous incarnation can still poll the ID it was given — then the
+// pending queue in submission order with budgets bypassed: these jobs
+// were admitted by a previous incarnation and a tightened quota must
+// not strand them.
+func (s *Service) replay(rep *journalReplay) {
+	now := s.cfg.now()
+	for i := range rep.Done {
+		rec := &rep.Done[i]
+		s.cache.put(rec.Key, rec.Result)
+		if rec.Spec != nil { // records from older journals carry no spec
+			s.store(&Job{
+				ID: rec.ID, Key: rec.Key, Spec: *rec.Spec,
+				State: StateDone, Error: rec.Error, Result: rec.Result,
+				Submitted: now, Started: now, Finished: now,
+			})
+		}
+		s.metrics.journalReplayedDone.Add(1)
+	}
+	s.seq = rep.MaxSeq
+	for i := range rep.Pending {
+		rec := &rep.Pending[i]
+		job := &Job{
+			ID: rec.ID, Key: rec.Spec.Key(), Spec: *rec.Spec,
+			Submitted: now,
+		}
+		if res, ok := s.cache.get(job.Key); ok {
+			job.State = StateDone
+			job.CacheHit = true
+			job.Result = res
+			job.Started, job.Finished = now, now
+			s.store(job)
+			s.journal.recordDone(jobRecord{Op: "done", ID: job.ID, Spec: &job.Spec, Key: job.Key, State: StateDone, Result: res})
+			continue
+		}
+		job.State = StateQueued
+		if err := s.queue.Push(rec.Tenant, job, true); err != nil {
+			continue // closed cannot happen here; defensive
+		}
+		s.metrics.queued.Add(1)
+		s.metrics.journalReplayedPending.Add(1)
+		s.store(job)
+		s.events.publish(JobEvent{Type: "queued", Job: job.ID, Tenant: job.Spec.Tenant})
+	}
 }
 
 // Submit validates and enqueues a job, serving it from the cache when an
 // identical job (same normalized spec and seed) already ran. It never
-// blocks: a full queue returns ErrQueueFull immediately.
+// blocks: a full queue — global or the job's tenant budget — returns an
+// error wrapping ErrQueueFull immediately.
 func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
-	norm, err := spec.Normalize(s.cfg.Limits)
-	if err != nil {
-		s.metrics.invalid.Add(1)
-		return JobStatus{}, err
-	}
-	key := norm.Key()
+	out := s.SubmitAll([]JobSpec{spec})
+	return out[0].Status, out[0].Err
+}
+
+// Submission is one outcome of SubmitAll, parallel to the input specs.
+type Submission struct {
+	Status JobStatus
+	Err    error
+}
+
+// SubmitAll submits a batch under one admission pass and, when the
+// service is journaled, one fsync — the whole point of batched shard
+// submission: a 256-spec batch costs the same disk latency as a single
+// job. Outcomes are per-spec; an admission rejection of one spec does
+// not disturb its neighbours.
+func (s *Service) SubmitAll(specs []JobSpec) []Submission {
+	out := make([]Submission, len(specs))
+	var recs []jobRecord
+	var acked []int // indices acknowledged pending journal durability
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return JobStatus{}, ErrClosed
-	}
-	s.seq++
-	job := &Job{
-		ID:        fmt.Sprintf("j%08d", s.seq),
-		Key:       key,
-		Spec:      norm,
-		Submitted: s.cfg.now(),
-	}
-	if res, ok := s.cache.get(key); ok {
+	for i, spec := range specs {
+		if s.closed {
+			out[i].Err = ErrClosed
+			continue
+		}
+		norm, err := spec.Normalize(s.cfg.Limits)
+		if err != nil {
+			s.metrics.invalid.Add(1)
+			out[i].Err = err
+			continue
+		}
+		key := norm.Key()
+		s.seq++
+		job := &Job{
+			ID:        fmt.Sprintf("j%08d", s.seq),
+			Key:       key,
+			Spec:      norm,
+			Submitted: s.cfg.now(),
+		}
+		if res, ok := s.cache.get(key); ok {
+			s.metrics.submitted.Add(1)
+			s.metrics.cacheHits.Add(1)
+			s.metrics.completed.Add(1)
+			t := s.metrics.tenant(norm.Tenant)
+			t.submitted.Add(1)
+			t.completed.Add(1)
+			job.State = StateDone
+			job.CacheHit = true
+			job.Result = res
+			job.Started, job.Finished = job.Submitted, job.Submitted
+			s.store(job)
+			s.events.publish(doneEvent(job))
+			out[i].Status = job.status()
+			continue
+		}
+		job.State = StateQueued
+		if err := s.queue.Push(norm.Tenant, job, false); err != nil {
+			s.seq-- // the ID was never exposed; reuse it
+			s.metrics.rejected.Add(1)
+			s.metrics.tenant(norm.Tenant).rejected.Add(1)
+			out[i].Err = fmt.Errorf("%w (%v)", ErrQueueFull, err)
+			continue
+		}
 		s.metrics.submitted.Add(1)
-		s.metrics.cacheHits.Add(1)
-		s.metrics.completed.Add(1)
-		job.State = StateDone
-		job.CacheHit = true
-		job.Result = res
-		job.Started, job.Finished = job.Submitted, job.Submitted
+		s.metrics.cacheMisses.Add(1)
+		s.metrics.queued.Add(1)
+		s.metrics.tenant(norm.Tenant).submitted.Add(1)
 		s.store(job)
-		return job.status(), nil
+		s.events.publish(JobEvent{Type: "queued", Job: job.ID, Tenant: norm.Tenant})
+		out[i].Status = job.status()
+		if s.journal != nil {
+			specCopy := norm
+			recs = append(recs, jobRecord{Op: "submit", ID: job.ID, Tenant: norm.Tenant, Spec: &specCopy})
+			acked = append(acked, i)
+		}
 	}
-	job.State = StateQueued
-	select {
-	case s.queue <- job:
-	default:
-		s.metrics.rejected.Add(1)
-		return JobStatus{}, ErrQueueFull
+	s.mu.Unlock()
+
+	if len(recs) > 0 {
+		// One write+sync for the whole batch, after the jobs are live:
+		// the acknowledgement below is what promises durability, so it
+		// must wait for the sync. A failure here degrades this batch to
+		// the journal-less contract (the jobs still run) and reports it.
+		if err := s.journal.appendSubmits(recs); err != nil {
+			for _, i := range acked {
+				out[i].Err = fmt.Errorf("job %s accepted but not journaled: %w", out[i].Status.ID, err)
+			}
+		}
 	}
-	s.metrics.submitted.Add(1)
-	s.metrics.cacheMisses.Add(1)
-	s.metrics.queued.Add(1)
-	s.store(job)
-	return job.status(), nil
+	return out
+}
+
+// doneEvent builds the terminal event of a finished job. Callers hold
+// the service mutex.
+func doneEvent(job *Job) JobEvent {
+	ev := JobEvent{
+		Type: "done", Job: job.ID, Tenant: job.Spec.Tenant,
+		State: job.State, CacheHit: job.CacheHit, Error: job.Error,
+		ElapsedMS: job.Finished.Sub(job.Submitted).Milliseconds(),
+	}
+	if job.Result != nil {
+		ev.Success = job.Result.Success
+		ev.Reps = job.Result.Reps
+		ev.SuccessRate = job.Result.SuccessRate
+	}
+	return ev
 }
 
 // store indexes a job and evicts the oldest finished records beyond
-// twice the cache size, so the store cannot grow without bound.
+// twice the cache size, so the store cannot grow without bound. Evicted
+// jobs take their event streams with them.
 func (s *Service) store(job *Job) {
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
@@ -203,6 +390,7 @@ func (s *Service) store(job *Job) {
 			break // never evict live work
 		}
 		delete(s.jobs, s.order[0])
+		s.events.drop(s.order[0])
 		s.order = s.order[1:]
 	}
 }
@@ -244,26 +432,40 @@ func (j *Job) status() JobStatus {
 }
 
 // worker drains the queue until Close closes it, running one job at a
-// time with panic isolation and the per-job timeout.
+// time with panic isolation and the per-job timeout. The fair queue
+// decides whose job is next; Done returns the tenant's concurrency
+// slot.
 func (s *Service) worker() {
 	defer s.wg.Done()
-	for job := range s.queue {
+	for {
+		job, tenant, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
 		s.metrics.queued.Add(-1)
 		s.metrics.running.Add(1)
 		s.transition(job, StateRunning)
-		res, err := s.runIsolated(job.Spec)
+		res, err := s.runIsolated(job)
 		s.finish(job, res, err)
 		s.metrics.running.Add(-1)
+		s.queue.Done(tenant)
 	}
 }
 
-// runIsolated executes the spec on a fresh goroutine so that a panic or a
-// runaway repetition is confined to the job: the worker converts a panic
-// into a job failure and a timeout abandons the run at its next
-// repetition boundary.
-func (s *Service) runIsolated(spec JobSpec) (*JobResult, error) {
+// runIsolated executes the job's spec on a fresh goroutine so that a
+// panic or a runaway repetition is confined to the job: the worker
+// converts a panic into a job failure and a timeout abandons the run at
+// its next repetition boundary. Per-repetition progress is streamed
+// onto the job's event channel.
+func (s *Service) runIsolated(job *Job) (*JobResult, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.JobTimeout)
 	defer cancel()
+	ctx = withProgress(ctx, func(rep, reps int) {
+		s.events.publish(JobEvent{
+			Type: "progress", Job: job.ID, Tenant: job.Spec.Tenant,
+			Rep: rep, Reps: reps,
+		})
+	})
 	type outcome struct {
 		res *JobResult
 		err error
@@ -276,7 +478,7 @@ func (s *Service) runIsolated(spec JobSpec) (*JobResult, error) {
 				ch <- outcome{err: fmt.Errorf("job panicked: %v", r)}
 			}
 		}()
-		res, err := s.cfg.exec(ctx, spec)
+		res, err := s.cfg.exec(ctx, job.Spec)
 		ch <- outcome{res, err}
 	}()
 	select {
@@ -295,6 +497,7 @@ func (s *Service) transition(job *Job, state string) {
 	job.State = state
 	if state == StateRunning {
 		job.Started = s.cfg.now()
+		s.events.publish(JobEvent{Type: "running", Job: job.ID, Tenant: job.Spec.Tenant})
 	}
 }
 
@@ -320,10 +523,22 @@ func (s *Service) finish(job *Job, res *JobResult, err error) {
 	if err != nil {
 		job.State = StateFailed
 		job.Error = err.Error()
-		return
+		s.metrics.tenant(job.Spec.Tenant).failed.Add(1)
+	} else {
+		job.State = StateDone
+		job.Result = res
+		s.metrics.tenant(job.Spec.Tenant).completed.Add(1)
 	}
-	job.State = StateDone
-	job.Result = res
+	s.events.publish(doneEvent(job))
+	if s.journal != nil {
+		// Group-committed: the flusher coalesces completion bursts into
+		// one sync. A crash inside that window replays the job as
+		// pending and re-runs it to the same bytes.
+		s.journal.recordDone(jobRecord{
+			Op: "done", ID: job.ID, Spec: &job.Spec, Key: job.Key,
+			State: job.State, Error: job.Error, Result: job.Result,
+		})
+	}
 }
 
 // Draining reports whether Close has been called.
@@ -336,10 +551,15 @@ func (s *Service) Draining() bool {
 // QueueDepth returns the number of queued jobs.
 func (s *Service) QueueDepth() int { return int(s.metrics.queued.Load()) }
 
+// TenantDepths reports the per-tenant queue state.
+func (s *Service) TenantDepths() []quota.TenantDepth { return s.queue.Depths() }
+
 // Close drains the service: new submissions are rejected with ErrClosed,
-// queued and in-flight jobs run to completion, and workers exit. It
-// returns ctx.Err if the drain outlives ctx (workers are then abandoned;
-// the process is expected to exit).
+// queued and in-flight jobs run to completion, workers exit, and the
+// journal (when present) absorbs their completion records before it
+// closes. It returns ctx.Err if the drain outlives ctx (workers are then
+// abandoned; the process is expected to exit — the journal replays what
+// they left behind).
 func (s *Service) Close(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
@@ -347,8 +567,8 @@ func (s *Service) Close(ctx context.Context) error {
 		return nil
 	}
 	s.closed = true
-	close(s.queue)
 	s.mu.Unlock()
+	s.queue.Close()
 
 	done := make(chan struct{})
 	go func() {
@@ -357,6 +577,9 @@ func (s *Service) Close(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		if s.journal != nil {
+			return s.journal.close()
+		}
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("drain interrupted: %w", ctx.Err())

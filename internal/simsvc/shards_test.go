@@ -89,13 +89,20 @@ func TestShardsBackpressure429(t *testing.T) {
 	srv := httptest.NewServer(svc.Handler())
 	defer srv.Close()
 
-	// Fill the worker and the queue.
-	fill := ShardBatch{Specs: []JobSpec{
+	// Fill the worker, wait until the job is off the queue, then fill
+	// the queue slot. Batch admission is atomic, so both fills in one
+	// batch would race the worker's pop — two batches make occupancy
+	// deterministic.
+	if resp, _ := postShards(t, srv, ShardBatch{Specs: []JobSpec{
 		{Protocol: "election", N: 32, Alpha: 0.8, Seed: 10, Reps: 1},
-		{Protocol: "election", N: 32, Alpha: 0.8, Seed: 11, Reps: 1},
-	}}
-	if resp, _ := postShards(t, srv, fill); resp.StatusCode != http.StatusOK {
+	}}); resp.StatusCode != http.StatusOK {
 		t.Fatalf("fill status %d, want 200", resp.StatusCode)
+	}
+	waitFor(t, func() bool { return svc.metrics.running.Load() == 1 })
+	if resp, _ := postShards(t, srv, ShardBatch{Specs: []JobSpec{
+		{Protocol: "election", N: 32, Alpha: 0.8, Seed: 11, Reps: 1},
+	}}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("queue-fill status %d, want 200", resp.StatusCode)
 	}
 
 	// The next batch gets nothing in: whole-batch 429 with Retry-After.

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sublinear/internal/quota"
 )
 
 // svcMetrics holds the daemon's own counters, exposed in Prometheus text
@@ -24,6 +26,10 @@ type svcMetrics struct {
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 
+	// Journal durability accounting: records restored at the last open.
+	journalReplayedPending atomic.Int64
+	journalReplayedDone    atomic.Int64
+
 	// Model-checker progress, accumulated over finished "mc" jobs. The
 	// counts sum across jobs (shards of one exhaustive run included);
 	// frontier and rate are gauges of the deepest layer and the most
@@ -36,13 +42,39 @@ type svcMetrics struct {
 	mcFrontier   atomic.Int64 // gauge: deepest faulty-count layer scanned
 	mcRate       atomic.Int64 // gauge: last job's states scanned per second
 
-	mu     sync.Mutex
-	msgs   map[string]*histogram // per-protocol mean messages per rep
-	rounds map[string]*histogram // per-protocol mean rounds per rep
+	mu      sync.Mutex
+	msgs    map[string]*histogram // per-protocol mean messages per rep
+	rounds  map[string]*histogram // per-protocol mean rounds per rep
+	tenants map[string]*tenantCounters
+}
+
+// tenantCounters are one tenant's admission outcomes. Fields are
+// atomic; the map itself is guarded by the metrics mutex.
+type tenantCounters struct {
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	rejected  atomic.Int64
 }
 
 func newSvcMetrics() *svcMetrics {
-	return &svcMetrics{msgs: map[string]*histogram{}, rounds: map[string]*histogram{}}
+	return &svcMetrics{
+		msgs: map[string]*histogram{}, rounds: map[string]*histogram{},
+		tenants: map[string]*tenantCounters{},
+	}
+}
+
+// tenant returns the counters of one tenant, creating them on first
+// sight.
+func (m *svcMetrics) tenant(name string) *tenantCounters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.tenants[name]
+	if !ok {
+		t = &tenantCounters{}
+		m.tenants[name] = t
+	}
+	return t
 }
 
 // observe records a finished job's per-repetition means into the
@@ -113,7 +145,8 @@ var (
 )
 
 // write renders the metrics in Prometheus text exposition format.
-func (m *svcMetrics) write(w io.Writer, cacheLen int, traces *traceStore) {
+// depths is the live per-tenant queue state; events is the SSE spine.
+func (m *svcMetrics) write(w io.Writer, cacheLen int, traces *traceStore, depths []quota.TenantDepth, events *eventHub) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -127,6 +160,13 @@ func (m *svcMetrics) write(w io.Writer, cacheLen int, traces *traceStore) {
 	counter("simd_jobs_failed_total", "Jobs that failed: run error, panic, or timeout.", m.failed.Load())
 	gauge("simd_jobs_queued", "Jobs waiting in the queue.", m.queued.Load())
 	gauge("simd_jobs_running", "Jobs currently executing on a worker.", m.running.Load())
+	counter("simd_journal_replayed_pending_total", "Journaled jobs re-enqueued at the last daemon start.", m.journalReplayedPending.Load())
+	counter("simd_journal_replayed_done_total", "Journaled results re-warmed into the cache at the last daemon start.", m.journalReplayedDone.Load())
+	if events != nil {
+		counter("simd_events_published_total", "Job lifecycle and progress events published on the SSE spine.", events.published.Load())
+		counter("simd_events_lag_dropped_total", "Events dropped or subscriptions cut because an SSE consumer lagged.", events.lagDrops.Load())
+		gauge("simd_sse_subscribers", "Live SSE subscriptions.", events.subscribers.Load())
+	}
 	counter("simd_cache_hits_total", "Submissions served from the result cache.", m.cacheHits.Load())
 	counter("simd_cache_misses_total", "Submissions that had to run.", m.cacheMisses.Load())
 	gauge("simd_cache_entries", "Results currently cached.", int64(cacheLen))
@@ -146,8 +186,34 @@ func (m *svcMetrics) write(w io.Writer, cacheLen int, traces *traceStore) {
 		fmt.Fprintf(w, "# HELP simd_mc_dedup_ratio Fraction of scanned states retired without a full differential check.\n# TYPE simd_mc_dedup_ratio gauge\nsimd_mc_dedup_ratio %g\n", dedup)
 	}
 
+	for _, d := range depths {
+		fmt.Fprintf(w, "# HELP simd_tenant_queued Jobs a tenant has waiting in the fair queue.\n# TYPE simd_tenant_queued gauge\nsimd_tenant_queued{tenant=%q} %d\n", d.Tenant, d.Queued)
+		fmt.Fprintf(w, "# HELP simd_tenant_running Jobs a tenant has on workers.\n# TYPE simd_tenant_running gauge\nsimd_tenant_running{tenant=%q} %d\n", d.Tenant, d.Running)
+	}
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if len(m.tenants) > 0 {
+		names := make([]string, 0, len(m.tenants))
+		for name := range m.tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		tcounter := func(name, help string, load func(*tenantCounters) int64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+			for _, tn := range names {
+				fmt.Fprintf(w, "%s{tenant=%q} %d\n", name, tn, load(m.tenants[tn]))
+			}
+		}
+		tcounter("simd_tenant_jobs_submitted_total", "Accepted submissions per tenant, cache hits included.",
+			func(t *tenantCounters) int64 { return t.submitted.Load() })
+		tcounter("simd_tenant_jobs_completed_total", "Finished jobs per tenant.",
+			func(t *tenantCounters) int64 { return t.completed.Load() })
+		tcounter("simd_tenant_jobs_failed_total", "Failed jobs per tenant.",
+			func(t *tenantCounters) int64 { return t.failed.Load() })
+		tcounter("simd_tenant_jobs_rejected_total", "Admission rejections (429) per tenant.",
+			func(t *tenantCounters) int64 { return t.rejected.Load() })
+	}
 	m.writeHists(w, "simd_job_messages", "Mean messages per repetition of finished jobs.", m.msgs)
 	m.writeHists(w, "simd_job_rounds", "Mean rounds per repetition of finished jobs.", m.rounds)
 }

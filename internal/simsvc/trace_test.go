@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"sublinear/internal/trace"
@@ -219,5 +221,94 @@ func TestTraceStoreEviction(t *testing.T) {
 		t.Errorf("resident %d exceeds the 100-byte cap", resident)
 	} else if written != 40*4+200 {
 		t.Errorf("written = %d, want %d", written, 40*4+200)
+	}
+}
+
+// TestTraceStoreConcurrentEvictionAndFetch hammers one content address
+// from three sides at once — re-deposits of the same bytes, fetches of
+// its id, and churn deposits sized to force LRU evictions through it —
+// and checks the store's invariants survive: every successful fetch
+// returns bytes that rehash to the requested id, the resident total
+// never exceeds the cap, and the final accounting is consistent. Run
+// under -race this is the store's concurrency contract: eviction of an
+// entry and a fetch of the same hash must serialize cleanly.
+func TestTraceStoreConcurrentEvictionAndFetch(t *testing.T) {
+	const cap = 1 << 10
+	ts := newTraceStore(cap)
+	hot := bytes.Repeat([]byte{'h'}, 300)
+	hotID := ts.put(hot)
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	var fetched, missed atomic.Int64
+	// Re-depositors keep resurrecting the hot entry after evictions.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 500; j++ {
+				if id := ts.put(hot); id != hotID {
+					t.Errorf("re-deposit changed the content address: %s", id)
+					return
+				}
+			}
+		}()
+	}
+	// Churners force evictions: each deposit is distinct and ~cap/3, so
+	// a handful of them push the hot entry off the tail.
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			blob := bytes.Repeat([]byte{byte(i)}, cap/3)
+			for j := 0; j < 500; j++ {
+				blob[0] = byte(j)
+				ts.put(blob)
+			}
+		}()
+	}
+	// Fetchers race both: whatever they observe must be self-consistent.
+	// They re-deposit the hot entry themselves every few iterations —
+	// on a single-CPU box the scheduler can otherwise run the other
+	// goroutines to completion first and leave nothing but misses.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 1000; j++ {
+				if j%8 == 0 {
+					ts.put(hot)
+				}
+				data, ok := ts.get(hotID)
+				if !ok {
+					missed.Add(1) // evicted at this instant: legal
+					continue
+				}
+				sum := sha256.Sum256(data)
+				if hex.EncodeToString(sum[:]) != hotID {
+					t.Errorf("fetch returned bytes that do not hash to their id")
+					return
+				}
+				fetched.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if fetched.Load() == 0 {
+		t.Error("no fetch ever succeeded — the race never exercised the hit path")
+	}
+	t.Logf("fetches: %d hits, %d eviction misses", fetched.Load(), missed.Load())
+	entries, resident, written := ts.stats()
+	if resident > cap {
+		t.Fatalf("resident %d exceeds the %d-byte cap", resident, cap)
+	}
+	if entries == 0 || written == 0 {
+		t.Fatalf("final stats implausible: entries=%d written=%d", entries, written)
 	}
 }
